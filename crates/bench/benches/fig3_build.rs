@@ -1,0 +1,48 @@
+//! Criterion bench for Figure 3: index building time as a function of the
+//! number of points, for every tree configuration the paper plots
+//! (1 balanced / 3 / 5 / 9 partitions / 1 totally unbalanced).
+//!
+//! The `repro` binary runs the full 100k-point sweep once; Criterion runs
+//! a statistically sampled version at moderate sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semtree_bench::{build_chain_dist_tree, build_dist_tree, semantic_points, BUCKET};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_index_building");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 10_000] {
+        let points = semantic_points(n, 0xF163);
+        for m in [1usize, 3, 5, 9] {
+            let label = if m == 1 {
+                "1-partition-balanced".to_string()
+            } else {
+                format!("{m}-partitions")
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &points, |b, pts| {
+                b.iter(|| {
+                    let tree = build_dist_tree(pts, m, BUCKET);
+                    let len = tree.len();
+                    tree.shutdown();
+                    len
+                });
+            });
+        }
+        group.bench_with_input(
+            BenchmarkId::new("1-partition-unbalanced", n),
+            &points,
+            |b, pts| {
+                b.iter(|| {
+                    let tree = build_chain_dist_tree(pts, BUCKET);
+                    let len = tree.len();
+                    tree.shutdown();
+                    len
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 4: sequential k-NN time (K = 3) on the
+//! balanced tree vs the totally unbalanced (chain) tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semtree_bench::{query_points, semantic_points, BUCKET, DIMS};
+use semtree_kdtree::{KdConfig, KdTree};
+
+fn bench_knn_seq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_sequential_knn_k3");
+    for n in [1_000usize, 5_000, 10_000] {
+        let points = semantic_points(n, 0xF164);
+        let data: Vec<(Vec<f64>, u32)> = points.iter().cloned().zip(0u32..).collect();
+        let queries = query_points(&points, 100);
+
+        let balanced =
+            KdTree::bulk_load(KdConfig::new(DIMS).with_bucket_size(BUCKET), data.clone());
+        group.bench_with_input(BenchmarkId::new("balanced", n), &queries, |b, qs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                std::hint::black_box(balanced.knn(q, 3))
+            });
+        });
+
+        let chain = KdTree::chain_load(KdConfig::new(DIMS).with_bucket_size(BUCKET), data);
+        group.bench_with_input(BenchmarkId::new("chain", n), &queries, |b, qs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                std::hint::black_box(chain.knn(q, 3))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_seq);
+criterion_main!(benches);

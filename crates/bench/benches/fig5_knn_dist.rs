@@ -1,0 +1,35 @@
+//! Criterion bench for Figure 5: distributed k-NN time (K = 3) across
+//! 1 / 3 / 5 / 9 partitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semtree_bench::{build_dist_tree, query_points, semantic_points, BUCKET};
+
+fn bench_knn_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_distributed_knn_k3");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000, 10_000] {
+        let points = semantic_points(n, 0xF165);
+        let queries = query_points(&points, 100);
+        for m in [1usize, 3, 5, 9] {
+            let tree = build_dist_tree(&points, m, BUCKET);
+            let label = if m == 1 {
+                "1-partition".to_string()
+            } else {
+                format!("{m}-partitions")
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &queries, |b, qs| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &qs[i % qs.len()];
+                    i += 1;
+                    std::hint::black_box(tree.knn(q, 3))
+                });
+            });
+            tree.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn_dist);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench for Figure 6: sequential range-query time on the
+//! balanced vs the unbalanced tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semtree_bench::{pick_radius, query_points, semantic_points, BUCKET, DIMS};
+use semtree_kdtree::{KdConfig, KdTree};
+
+fn bench_range_seq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_sequential_range");
+    for n in [1_000usize, 5_000, 10_000] {
+        let points = semantic_points(n, 0xF166);
+        let radius = pick_radius(&points, 0.01);
+        let data: Vec<(Vec<f64>, u32)> = points.iter().cloned().zip(0u32..).collect();
+        let queries = query_points(&points, 100);
+
+        let balanced =
+            KdTree::bulk_load(KdConfig::new(DIMS).with_bucket_size(BUCKET), data.clone());
+        group.bench_with_input(BenchmarkId::new("balanced", n), &queries, |b, qs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                std::hint::black_box(balanced.range(q, radius))
+            });
+        });
+
+        let chain = KdTree::chain_load(KdConfig::new(DIMS).with_bucket_size(BUCKET), data);
+        group.bench_with_input(BenchmarkId::new("unbalanced", n), &queries, |b, qs| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &qs[i % qs.len()];
+                i += 1;
+                std::hint::black_box(chain.range(q, radius))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_seq);
+criterion_main!(benches);

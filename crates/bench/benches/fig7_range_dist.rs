@@ -1,0 +1,36 @@
+//! Criterion bench for Figure 7: distributed range-query time across
+//! 1 / 3 / 5 / 9 partitions (border nodes search both sides in parallel).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semtree_bench::{build_dist_tree, pick_radius, query_points, semantic_points, BUCKET};
+
+fn bench_range_dist(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_distributed_range");
+    group.sample_size(20);
+    for n in [1_000usize, 5_000, 10_000] {
+        let points = semantic_points(n, 0xF167);
+        let radius = pick_radius(&points, 0.01);
+        let queries = query_points(&points, 100);
+        for m in [1usize, 3, 5, 9] {
+            let tree = build_dist_tree(&points, m, BUCKET);
+            let label = if m == 1 {
+                "1-partition".to_string()
+            } else {
+                format!("{m}-partitions")
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &queries, |b, qs| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &qs[i % qs.len()];
+                    i += 1;
+                    std::hint::black_box(tree.range(q, radius))
+                });
+            });
+            tree.shutdown();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_dist);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for the Figure 8 pipeline: the cost of one
+//! inconsistency query (target-triple construction + out-of-sample
+//! projection + distributed k-NN) at several K — the paper's effectiveness
+//! experiment measured for throughput rather than quality (quality is
+//! reported by `repro -- fig8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use semtree_bench::registry_for;
+use semtree_core::SemTree;
+use semtree_reqgen::{CorpusGenerator, GenConfig, GroundTruthOracle};
+
+fn bench_effectiveness_queries(c: &mut Criterion) {
+    let corpus = CorpusGenerator::new(GenConfig::small().with_seed(0xF168)).generate();
+    let registry = std::sync::Arc::new(registry_for(&corpus.domain));
+    let distance = semtree_core::TripleDistance::new(semtree_core::Weights::default(), registry);
+    let mut builder = SemTree::builder().dimensions(6).bucket_size(32);
+    builder.add_store(&corpus.store);
+    let index = builder
+        .build_with_distance(distance)
+        .expect("non-empty corpus");
+
+    let oracle = GroundTruthOracle::new(&corpus);
+    let targets: Vec<_> = corpus
+        .store
+        .iter()
+        .filter_map(|(id, _)| oracle.target_triple(id))
+        .take(50)
+        .collect();
+    assert!(!targets.is_empty());
+
+    let mut group = c.benchmark_group("fig8_inconsistency_query");
+    for k in [1usize, 5, 10, 15] {
+        group.bench_with_input(BenchmarkId::new("knn", k), &targets, |b, ts| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let t = &ts[i % ts.len()];
+                i += 1;
+                std::hint::black_box(index.knn(t, k))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effectiveness_queries);
+criterion_main!(benches);

@@ -1,0 +1,243 @@
+//! Shared workload builders for the figure benchmarks and `repro` binaries.
+//!
+//! Every experiment works on *embedded semantic triples*: distinct triples
+//! drawn from the on-board-software domain vocabulary, run through the
+//! Eq. 1 distance and FastMap — i.e. the real pipeline, not synthetic
+//! uniform points — so the tree sees the clustered distribution the paper's
+//! index saw.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use semtree_cluster::CostModel;
+use semtree_dist::{DistConfig, DistSemTree};
+use semtree_distance::{MemoizedDistance, TripleDistance, VocabularyRegistry, Weights};
+use semtree_fastmap::{Embedding, FastMap};
+use semtree_model::{Term, Triple};
+use semtree_reqgen::DomainVocabulary;
+use semtree_vocab::wordnet;
+
+/// The FastMap dimensionality every efficiency experiment uses.
+pub const DIMS: usize = 6;
+/// The paper's bucket size is unstated; 32 keeps trees realistic.
+pub const BUCKET: usize = 32;
+
+/// The vocabulary registry for a domain (Fun + parameter classes +
+/// standard).
+#[must_use]
+pub fn registry_for(domain: &DomainVocabulary) -> VocabularyRegistry {
+    let mut reg = VocabularyRegistry::new();
+    reg.register_standard(Arc::new(wordnet::mini_taxonomy()));
+    reg.register("Fun", Arc::clone(domain.fun_taxonomy()));
+    for (prefix, tax) in domain.parameter_taxonomies() {
+        reg.register(prefix.clone(), Arc::clone(tax));
+    }
+    reg
+}
+
+/// `n` *distinct* domain triples, deterministically shuffled: the
+/// cross-product of actors × functions × parameters, truncated to `n`.
+///
+/// # Panics
+/// Panics if the domain cannot produce `n` distinct triples (never in
+/// practice: the actor count is sized from `n`).
+#[must_use]
+pub fn distinct_triples(n: usize, seed: u64) -> Vec<Triple> {
+    // ~115 combinations per actor; head-room factor 2 guards truncation.
+    let actors = (2 * n / 100).max(8);
+    let domain = DomainVocabulary::new(actors);
+    let mut all = Vec::with_capacity(n * 2);
+    'outer: for actor in domain.actors() {
+        for (_, _, _, predicate, obj_prefix) in domain.functions() {
+            for param in domain.parameters_of(obj_prefix) {
+                all.push(Triple::new(
+                    Term::literal(actor.clone()),
+                    Term::concept_in("Fun", *predicate),
+                    Term::concept_in(*obj_prefix, *param),
+                ));
+                if all.len() >= n * 2 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(all.len() >= n, "domain too small for {n} distinct triples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    all.shuffle(&mut rng);
+    all.truncate(n);
+    all
+}
+
+/// The Eq. 1 distance for a freshly sized domain (weights uniform).
+#[must_use]
+pub fn triple_distance(domain: &DomainVocabulary) -> TripleDistance {
+    TripleDistance::new(Weights::default(), Arc::new(registry_for(domain)))
+}
+
+/// FastMap-embed a triple set with the Eq. 1 distance.
+#[must_use]
+pub fn embed_triples(triples: &[Triple], dims: usize, seed: u64) -> Embedding {
+    let domain = DomainVocabulary::new(8); // vocabularies are actor-independent
+    let distance = triple_distance(&domain);
+    let memo =
+        MemoizedDistance::new(|i: usize, j: usize| distance.distance(&triples[i], &triples[j]));
+    FastMap::new(dims)
+        .with_seed(seed)
+        .embed(triples.len(), &|i, j| memo.distance(i, j))
+}
+
+/// `n` embedded semantic points (the standard efficiency workload).
+#[must_use]
+pub fn semantic_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let triples = distinct_triples(n, seed);
+    let embedding = embed_triples(&triples, DIMS, seed);
+    embedding.iter().map(|(_, p)| p.to_vec()).collect()
+}
+
+/// Build a distributed tree over `m` partitions and insert every point in
+/// the given (already shuffled) order — the paper's dynamic build.
+#[must_use]
+pub fn build_dist_tree(points: &[Vec<f64>], m: usize, bucket: usize) -> DistSemTree {
+    let config = DistConfig::new(points.first().map_or(DIMS, Vec::len))
+        .with_bucket_size(bucket)
+        .with_max_partitions(m.max(1) * 2);
+    let tree = if m <= 1 {
+        DistSemTree::single(config, CostModel::zero())
+    } else {
+        let sample: Vec<Vec<f64>> = points.iter().take(2048).cloned().collect();
+        DistSemTree::with_fanout(config, CostModel::zero(), m, &sample)
+    };
+    for (i, p) in points.iter().enumerate() {
+        tree.insert(p, i as u64);
+    }
+    tree
+}
+
+/// Build the paper's "1 partition (totally unbalanced)" configuration: a
+/// single partition under the degenerate min-split rule, fed the points in
+/// sorted order — a true chain.
+#[must_use]
+pub fn build_chain_dist_tree(points: &[Vec<f64>], bucket: usize) -> DistSemTree {
+    let sorted = sorted_points(points);
+    let config = DistConfig::new(sorted.first().map_or(DIMS, Vec::len))
+        .with_bucket_size(bucket)
+        .with_split_rule(semtree_kdtree::SplitRule::DegenerateMin);
+    let tree = DistSemTree::single(config, CostModel::zero());
+    for (i, p) in sorted.iter().enumerate() {
+        tree.insert(p, i as u64);
+    }
+    tree
+}
+
+/// Sort points lexicographically — inserting in this order degenerates the
+/// tree into the paper's "totally unbalanced" chain.
+#[must_use]
+pub fn sorted_points(points: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .find_map(|(x, y)| x.partial_cmp(y).filter(|o| o.is_ne()))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    sorted
+}
+
+/// A range radius with moderate selectivity: the `q`-quantile of pairwise
+/// distances over a point sample.
+#[must_use]
+pub fn pick_radius(points: &[Vec<f64>], q: f64) -> f64 {
+    let sample: Vec<&Vec<f64>> = points.iter().take(200).collect();
+    let mut dists = Vec::new();
+    for i in 0..sample.len() {
+        for j in (i + 1)..sample.len() {
+            let d = sample[i]
+                .iter()
+                .zip(sample[j])
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            dists.push(d);
+        }
+    }
+    if dists.is_empty() {
+        return 0.1;
+    }
+    dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+    let idx = ((q.clamp(0.0, 1.0)) * (dists.len() - 1) as f64) as usize;
+    dists[idx]
+}
+
+/// Deterministic query points: a rotation of the data set.
+#[must_use]
+pub fn query_points(points: &[Vec<f64>], count: usize) -> Vec<Vec<f64>> {
+    (0..count)
+        .map(|i| points[(i * 37 + 11) % points.len()].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_triples_are_distinct_and_sized() {
+        let ts = distinct_triples(500, 1);
+        assert_eq!(ts.len(), 500);
+        let mut d = ts.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), 500, "all distinct");
+        // Deterministic per seed.
+        assert_eq!(ts, distinct_triples(500, 1));
+        assert_ne!(ts, distinct_triples(500, 2));
+    }
+
+    #[test]
+    fn semantic_points_have_configured_dims() {
+        let ps = semantic_points(100, 3);
+        assert_eq!(ps.len(), 100);
+        assert!(ps.iter().all(|p| p.len() == DIMS));
+    }
+
+    #[test]
+    fn build_dist_tree_round_trips() {
+        let ps = semantic_points(200, 4);
+        for m in [1, 3] {
+            let tree = build_dist_tree(&ps, m, 16);
+            assert_eq!(tree.len(), 200);
+            assert_eq!(tree.partition_count(), m);
+            let hits = tree.knn(&ps[0], 1);
+            assert!(hits[0].dist < 1e-9, "self-query finds itself");
+            tree.shutdown();
+        }
+    }
+
+    #[test]
+    fn sorted_points_are_sorted() {
+        let ps = semantic_points(50, 5);
+        let s = sorted_points(&ps);
+        for w in s.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn pick_radius_monotone_in_quantile() {
+        let ps = semantic_points(100, 6);
+        let small = pick_radius(&ps, 0.05);
+        let large = pick_radius(&ps, 0.5);
+        assert!(small > 0.0);
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn query_points_cycle_data() {
+        let ps = semantic_points(40, 7);
+        let qs = query_points(&ps, 10);
+        assert_eq!(qs.len(), 10);
+        assert!(qs.iter().all(|q| ps.contains(q)));
+    }
+}

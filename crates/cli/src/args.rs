@@ -1,0 +1,215 @@
+//! Dependency-free command-line parsing.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The selected subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `semtree generate` — synthesize a corpus to a Turtle-like file.
+    Generate,
+    /// `semtree index` — build an index from a corpus and save it.
+    Index,
+    /// `semtree query` — load an index and run a k-NN query.
+    Query,
+    /// `semtree audit` — inconsistency sweep over a corpus.
+    Audit,
+    /// `semtree stats` — partition statistics of a saved index.
+    Stats,
+    /// `semtree help`.
+    Help,
+}
+
+/// Parsed command line: the subcommand plus `--key value` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedArgs {
+    /// The subcommand.
+    pub command: Command,
+    /// `--key value` pairs (keys without the leading dashes).
+    pub options: HashMap<String, String>,
+}
+
+/// Parsing failures, rendered to the user as usage errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgsError {
+    /// No subcommand given.
+    NoCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// An option flag without a value.
+    MissingValue(String),
+    /// A stray positional argument.
+    Unexpected(String),
+}
+
+impl fmt::Display for ArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgsError::NoCommand => f.write_str("no command given (try 'semtree help')"),
+            ArgsError::UnknownCommand(c) => write!(f, "unknown command '{c}' (try 'semtree help')"),
+            ArgsError::MissingValue(k) => write!(f, "option --{k} requires a value"),
+            ArgsError::Unexpected(a) => write!(f, "unexpected argument '{a}'"),
+        }
+    }
+}
+
+impl std::error::Error for ArgsError {}
+
+/// Parse an argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
+    let mut iter = args.iter();
+    let command = match iter.next().map(String::as_str) {
+        None => return Err(ArgsError::NoCommand),
+        Some("generate") => Command::Generate,
+        Some("index") => Command::Index,
+        Some("query") => Command::Query,
+        Some("audit") => Command::Audit,
+        Some("stats") => Command::Stats,
+        Some("help" | "--help" | "-h") => Command::Help,
+        Some(other) => return Err(ArgsError::UnknownCommand(other.to_string())),
+    };
+    let mut options = HashMap::new();
+    while let Some(arg) = iter.next() {
+        let key = if let Some(k) = arg.strip_prefix("--") {
+            k
+        } else if let Some(k) = arg.strip_prefix('-') {
+            // Short aliases: -k etc.
+            k
+        } else {
+            return Err(ArgsError::Unexpected(arg.clone()));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(ParsedArgs { command, options })
+}
+
+impl ParsedArgs {
+    /// A string option.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A required string option, with a usage error otherwise.
+    pub fn require(&self, key: &str) -> Result<&str, String> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option --{key}"))
+    }
+
+    /// A numeric option with a default.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid --{key} value '{v}': {e}")),
+        }
+    }
+
+    /// A u64 option with a default.
+    pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("invalid --{key} value '{v}': {e}")),
+        }
+    }
+}
+
+/// The help text.
+#[must_use]
+pub fn usage() -> &'static str {
+    "semtree — semantic triple index (SemTree, ICDE Workshops 2015)
+
+USAGE:
+    semtree <command> [--option value]...
+
+COMMANDS:
+    generate   synthesize a requirements corpus
+                 --out FILE        output Turtle-like corpus (required)
+                 --documents N     document count            [default 40]
+                 --seed S          RNG seed                  [default 42]
+    index      build an index from a corpus and save it
+                 --corpus FILE     input corpus              (required)
+                 --out FILE        output index file         (required)
+                 --dims K          FastMap dimensions        [default 6]
+                 --bucket B        KD-tree bucket size       [default 32]
+                 --partitions M    1 or ≥3 partitions        [default 1]
+    query      k-NN search against a saved index
+                 --index FILE      saved index               (required)
+                 --triple T        query triple, e.g. \"('A', Fun:accept_cmd, CmdType:start-up)\"
+                 -k N              neighbours                [default 5]
+    audit      inconsistency sweep over a corpus
+                 --corpus FILE     input corpus              (required)
+                 -k N              neighbourhood size        [default 10]
+    stats      partition statistics of a saved index
+                 --index FILE      saved index               (required)
+    help       this text
+"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_options() {
+        let p = parse_args(&v(&[
+            "index", "--corpus", "c.ttl", "--out", "i.idx", "-k", "5",
+        ]))
+        .unwrap();
+        assert_eq!(p.command, Command::Index);
+        assert_eq!(p.get("corpus"), Some("c.ttl"));
+        assert_eq!(p.get("out"), Some("i.idx"));
+        assert_eq!(p.get("k"), Some("5"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_args(&v(&[])).unwrap_err(), ArgsError::NoCommand);
+        assert!(matches!(
+            parse_args(&v(&["frobnicate"])).unwrap_err(),
+            ArgsError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            parse_args(&v(&["query", "--index"])).unwrap_err(),
+            ArgsError::MissingValue(_)
+        ));
+        assert!(matches!(
+            parse_args(&v(&["query", "stray"])).unwrap_err(),
+            ArgsError::Unexpected(_)
+        ));
+    }
+
+    #[test]
+    fn help_aliases() {
+        for alias in ["help", "--help", "-h"] {
+            assert_eq!(parse_args(&v(&[alias])).unwrap().command, Command::Help);
+        }
+    }
+
+    #[test]
+    fn typed_getters() {
+        let p = parse_args(&v(&["generate", "--documents", "7"])).unwrap();
+        assert_eq!(p.get_usize("documents", 40).unwrap(), 7);
+        assert_eq!(p.get_usize("missing", 40).unwrap(), 40);
+        assert!(p.require("out").is_err());
+        let bad = parse_args(&v(&["generate", "--documents", "x"])).unwrap();
+        assert!(bad.get_usize("documents", 1).is_err());
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        for c in ["generate", "index", "query", "audit", "stats"] {
+            assert!(usage().contains(c), "{c}");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! The `semtree` command-line tool: generate requirement corpora, build
+//! and persist indexes, query them, and audit for inconsistencies.
+//!
+//! ```text
+//! semtree generate --documents 40 --seed 7 --out corpus.ttl
+//! semtree index    --corpus corpus.ttl --out index.semtree --dims 6 --partitions 3
+//! semtree query    --index index.semtree --triple "('OBSW001', Fun:accept_cmd, CmdType:start-up)" -k 5
+//! semtree audit    --corpus corpus.ttl -k 10
+//! semtree stats    --index index.semtree
+//! ```
+//!
+//! Vocabularies are the on-board-software domain set (`Fun`, `CmdType`, …
+//! plus the standard mini taxonomy); indexes saved by this tool must be
+//! loaded with the same tool (or the same registry) — see
+//! `semtree_core::persist`.
+
+mod args;
+mod commands;
+mod registry;
+
+pub use args::{parse_args, Command, ParsedArgs};
+pub use commands::run;
+pub use registry::standard_distance;

@@ -1,0 +1,44 @@
+//! The CLI's standard vocabulary wiring.
+
+use std::sync::Arc;
+
+use semtree_core::{TripleDistance, VocabularyRegistry, Weights};
+use semtree_reqgen::DomainVocabulary;
+use semtree_vocab::wordnet;
+
+/// The Eq. 1 distance every CLI command uses: the on-board-software domain
+/// vocabularies (`Fun` + parameter classes) plus the standard mini
+/// taxonomy, under uniform weights. Indexes saved by the CLI must be
+/// loaded under the same distance; pinning it here guarantees that.
+#[must_use]
+pub fn standard_distance() -> TripleDistance {
+    let domain = DomainVocabulary::new(8); // taxonomies are actor-independent
+    let mut reg = VocabularyRegistry::new();
+    reg.register_standard(Arc::new(wordnet::mini_taxonomy()));
+    reg.register("Fun", Arc::clone(domain.fun_taxonomy()));
+    for (prefix, tax) in domain.parameter_taxonomies() {
+        reg.register(prefix.clone(), Arc::clone(tax));
+    }
+    TripleDistance::new(Weights::default(), Arc::new(reg))
+}
+
+#[cfg(test)]
+mod tests {
+    use semtree_core::{Term, Triple};
+
+    use super::*;
+
+    #[test]
+    fn distance_is_usable_and_deterministic() {
+        let d1 = standard_distance();
+        let d2 = standard_distance();
+        let a = Triple::new(
+            Term::literal("OBSW001"),
+            Term::concept_in("Fun", "accept_cmd"),
+            Term::concept_in("CmdType", "start-up"),
+        );
+        let b = a.with_predicate(Term::concept_in("Fun", "block_cmd"));
+        assert!(d1.distance(&a, &b) > 0.0);
+        assert_eq!(d1.distance(&a, &b), d2.distance(&a, &b));
+    }
+}

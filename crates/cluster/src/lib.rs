@@ -1,0 +1,52 @@
+//! Simulated distributed runtime — the stand-in for the paper's cluster.
+//!
+//! The paper runs SemTree on "a cluster having 8 processors with 8 GB RAM
+//! (compute nodes)" and moves between partitions "by a proper communication
+//! protocol (in our implementation based on MPJ libraries)". This crate
+//! reproduces that execution model in-process:
+//!
+//! - a [`Cluster`] owns a set of **compute nodes**, each a dedicated OS
+//!   thread processing one request at a time (like a single-threaded MPJ
+//!   rank);
+//! - nodes exchange **typed request/response messages** over channels; a
+//!   handler can [`NodeCtx::call`] another node (blocking, like a
+//!   synchronous MPI send/recv pair) or [`NodeCtx::call_many`] several in
+//!   parallel (the paper's "the navigation is performed in a parallel
+//!   way" at partition borders);
+//! - a [`CostModel`] optionally injects per-message latency and per-byte
+//!   transfer delay so the interconnect cost is tunable, and
+//!   [`ClusterMetrics`] account every message and byte either way;
+//! - handlers can spawn **new compute nodes at runtime**
+//!   ([`NodeCtx::spawn`]), which is how the build-partition algorithm
+//!   creates partitions on demand.
+//!
+//! Requests in SemTree always flow *down* the partition tree and responses
+//! back *up*, so the blocking-call model cannot deadlock (see
+//! `semtree-dist`).
+//!
+//! # Example
+//!
+//! ```
+//! use semtree_cluster::{Cluster, CostModel, Handler, NodeCtx, Wire};
+//!
+//! struct Doubler;
+//! impl Handler for Doubler {
+//!     type Req = u64;
+//!     type Resp = u64;
+//!     fn handle(&mut self, _ctx: &NodeCtx<u64, u64>, req: u64) -> u64 { req * 2 }
+//! }
+//!
+//! let cluster = Cluster::new(CostModel::zero());
+//! let node = cluster.spawn(Doubler);
+//! assert_eq!(cluster.call(node, 21), 42);
+//! assert_eq!(cluster.metrics().messages, 2); // request + response
+//! cluster.shutdown();
+//! ```
+
+mod cost;
+mod metrics;
+mod runtime;
+
+pub use cost::CostModel;
+pub use metrics::{ClusterMetrics, MetricsSnapshot};
+pub use runtime::{Cluster, ComputeNodeId, Handler, NodeCtx, Wire};

@@ -1,0 +1,116 @@
+//! Message and byte accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe counters over a [`crate::Cluster`]'s lifetime.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    messages: AtomicU64,
+    bytes: AtomicU64,
+    spawned_nodes: AtomicU64,
+    simulated_delay_nanos: AtomicU64,
+}
+
+/// A point-in-time copy of [`ClusterMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Requests delivered between nodes (responses are not double-counted).
+    pub messages: u64,
+    /// Total payload bytes carried by those requests.
+    pub bytes: u64,
+    /// Compute nodes spawned.
+    pub spawned_nodes: u64,
+    /// Total injected interconnect delay, in nanoseconds.
+    pub simulated_delay_nanos: u64,
+}
+
+impl ClusterMetrics {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ClusterMetrics::default())
+    }
+
+    pub(crate) fn record_message(&self, bytes: usize, delay_nanos: u64) {
+        self.messages.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.simulated_delay_nanos
+            .fetch_add(delay_nanos, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_spawn(&self) {
+        self.spawned_nodes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests delivered so far.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes carried so far.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Nodes spawned so far.
+    #[must_use]
+    pub fn spawned_nodes(&self) -> u64 {
+        self.spawned_nodes.load(Ordering::Relaxed)
+    }
+
+    /// Copy all counters.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            messages: self.messages.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            spawned_nodes: self.spawned_nodes.load(Ordering::Relaxed),
+            simulated_delay_nanos: self.simulated_delay_nanos.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset every counter to zero (between experiment runs).
+    pub fn reset(&self) {
+        self.messages.store(0, Ordering::Relaxed);
+        self.bytes.store(0, Ordering::Relaxed);
+        self.spawned_nodes.store(0, Ordering::Relaxed);
+        self.simulated_delay_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = ClusterMetrics::new();
+        m.record_message(100, 5);
+        m.record_message(50, 10);
+        m.record_spawn();
+        let s = m.snapshot();
+        assert_eq!(s.messages, 2);
+        assert_eq!(s.bytes, 150);
+        assert_eq!(s.spawned_nodes, 1);
+        assert_eq!(s.simulated_delay_nanos, 15);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = ClusterMetrics::new();
+        m.record_message(1, 1);
+        m.record_spawn();
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn accessors_match_snapshot() {
+        let m = ClusterMetrics::new();
+        m.record_message(7, 0);
+        assert_eq!(m.messages(), 1);
+        assert_eq!(m.bytes(), 7);
+        assert_eq!(m.spawned_nodes(), 0);
+    }
+}

@@ -1,0 +1,458 @@
+//! Compute nodes, the message fabric, and blocking calls.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+
+use crate::cost::CostModel;
+use crate::metrics::{ClusterMetrics, MetricsSnapshot};
+
+/// Identifier of a compute node within one [`Cluster`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComputeNodeId(pub u32);
+
+impl ComputeNodeId {
+    /// The id as a usable index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Approximate on-the-wire payload size, used for byte accounting and the
+/// per-byte component of the [`CostModel`]. Implement it on protocol types;
+/// the default (0 bytes) still counts messages, just not volume.
+pub trait Wire {
+    /// Serialized size estimate in bytes.
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl Wire for () {}
+impl Wire for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl Wire for Vec<f64> {
+    fn wire_size(&self) -> usize {
+        8 * self.len()
+    }
+}
+impl Wire for String {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+/// A compute node's request handler: single-threaded, owns its state, may
+/// call other nodes or spawn new ones through the [`NodeCtx`].
+pub trait Handler: Send + 'static {
+    /// Request message type.
+    type Req: Wire + Send + 'static;
+    /// Response message type.
+    type Resp: Wire + Send + 'static;
+
+    /// Process one request to completion.
+    fn handle(&mut self, ctx: &NodeCtx<Self::Req, Self::Resp>, req: Self::Req) -> Self::Resp;
+}
+
+struct Envelope<Req, Resp> {
+    req: Req,
+    reply: Sender<Resp>,
+}
+
+/// Shared interconnect: node registry + metrics + cost model.
+struct Fabric<Req, Resp> {
+    nodes: RwLock<Vec<Sender<Envelope<Req, Resp>>>>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    metrics: Arc<ClusterMetrics>,
+    cost: CostModel,
+}
+
+impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Fabric<Req, Resp> {
+    /// Record a message; the transit delay is *not* slept here — it is
+    /// slept on the receiving side (`deliver_delay`), so that fan-out
+    /// messages travel concurrently like non-blocking MPI sends.
+    fn record(&self, bytes: usize) -> std::time::Duration {
+        let delay = self.cost.delay_for(bytes);
+        self.metrics.record_message(bytes, delay.as_nanos() as u64);
+        delay
+    }
+
+    fn send(&self, target: ComputeNodeId, req: Req) -> Receiver<Resp> {
+        let sender = {
+            let nodes = self.nodes.read();
+            nodes
+                .get(target.index())
+                .unwrap_or_else(|| panic!("unknown compute node {target:?}"))
+                .clone()
+        };
+        self.record(req.wire_size());
+        let (reply_tx, reply_rx) = unbounded();
+        sender
+            .send(Envelope {
+                req,
+                reply: reply_tx,
+            })
+            .expect("target compute node is alive");
+        reply_rx
+    }
+
+    fn receive(&self, rx: &Receiver<Resp>) -> Resp {
+        // The responder already slept the response's transit delay before
+        // replying; nothing further to charge here.
+        rx.recv().expect("compute node answered before exiting")
+    }
+
+    fn call(&self, target: ComputeNodeId, req: Req) -> Resp {
+        let rx = self.send(target, req);
+        self.receive(&rx)
+    }
+}
+
+/// The capabilities a handler has while processing a request: identify
+/// itself, call other nodes (blocking), fan out in parallel, and spawn new
+/// compute nodes.
+pub struct NodeCtx<Req, Resp> {
+    id: ComputeNodeId,
+    fabric: Arc<Fabric<Req, Resp>>,
+}
+
+impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> NodeCtx<Req, Resp> {
+    /// This node's id.
+    #[must_use]
+    pub fn node_id(&self) -> ComputeNodeId {
+        self.id
+    }
+
+    /// Synchronous request to another node (MPI-style send + recv).
+    ///
+    /// SemTree request flows are strictly parent → child in the partition
+    /// tree, so blocking here cannot deadlock.
+    pub fn call(&self, target: ComputeNodeId, req: Req) -> Resp {
+        assert_ne!(
+            target, self.id,
+            "a node must not call itself (would deadlock)"
+        );
+        self.fabric.call(target, req)
+    }
+
+    /// Fan a set of requests out and wait for every response ("the
+    /// navigation is performed in a parallel way"): all targets process
+    /// concurrently on their own threads.
+    pub fn call_many(&self, calls: Vec<(ComputeNodeId, Req)>) -> Vec<Resp> {
+        let receivers: Vec<Receiver<Resp>> = calls
+            .into_iter()
+            .map(|(target, req)| {
+                assert_ne!(target, self.id, "a node must not call itself");
+                self.fabric.send(target, req)
+            })
+            .collect();
+        receivers.iter().map(|rx| self.fabric.receive(rx)).collect()
+    }
+
+    /// Spawn a new compute node at runtime (build-partition support).
+    pub fn spawn<H>(&self, handler: H) -> ComputeNodeId
+    where
+        H: Handler<Req = Req, Resp = Resp>,
+    {
+        spawn_node(&self.fabric, handler)
+    }
+}
+
+fn spawn_node<Req, Resp, H>(fabric: &Arc<Fabric<Req, Resp>>, mut handler: H) -> ComputeNodeId
+where
+    Req: Wire + Send + 'static,
+    Resp: Wire + Send + 'static,
+    H: Handler<Req = Req, Resp = Resp>,
+{
+    let (tx, rx) = unbounded::<Envelope<Req, Resp>>();
+    let id = {
+        let mut nodes = fabric.nodes.write();
+        let id = ComputeNodeId(u32::try_from(nodes.len()).expect("node count fits u32"));
+        nodes.push(tx);
+        id
+    };
+    fabric.metrics.record_spawn();
+    let ctx = NodeCtx {
+        id,
+        fabric: Arc::clone(fabric),
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("compute-node-{}", id.0))
+        .spawn(move || {
+            while let Ok(env) = rx.recv() {
+                // Sleep the request's transit delay on arrival: this is
+                // where the simulated interconnect latency materialises,
+                // and concurrent senders overlap their delays.
+                let in_delay = ctx.fabric.cost.delay_for(env.req.wire_size());
+                if !in_delay.is_zero() {
+                    std::thread::sleep(in_delay);
+                }
+                let resp = handler.handle(&ctx, env.req);
+                // The response's transit delay is paid before it is handed
+                // back, again on this thread so parallel responders overlap.
+                let out_delay = ctx.fabric.record(resp.wire_size());
+                if !out_delay.is_zero() {
+                    std::thread::sleep(out_delay);
+                }
+                // A client that gave up waiting is not an error.
+                let _ = env.reply.send(resp);
+            }
+        })
+        .expect("spawning a compute node thread succeeds");
+    fabric.handles.lock().push(handle);
+    id
+}
+
+/// A set of simulated compute nodes connected by a message fabric.
+pub struct Cluster<H: Handler> {
+    fabric: Arc<Fabric<H::Req, H::Resp>>,
+}
+
+impl<H: Handler> Cluster<H> {
+    /// Create an empty cluster with the given interconnect cost model.
+    #[must_use]
+    pub fn new(cost: CostModel) -> Self {
+        Cluster {
+            fabric: Arc::new(Fabric {
+                nodes: RwLock::new(Vec::new()),
+                handles: Mutex::new(Vec::new()),
+                metrics: ClusterMetrics::new(),
+                cost,
+            }),
+        }
+    }
+
+    /// Start a compute node running `handler`; returns its id.
+    pub fn spawn(&self, handler: H) -> ComputeNodeId {
+        spawn_node(&self.fabric, handler)
+    }
+
+    /// Blocking request from outside the cluster (the "client").
+    pub fn call(&self, target: ComputeNodeId, req: H::Req) -> H::Resp {
+        self.fabric.call(target, req)
+    }
+
+    /// Number of live compute nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.fabric.nodes.read().len()
+    }
+
+    /// Current metrics snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.fabric.metrics.snapshot()
+    }
+
+    /// Reset metrics counters (between experiment phases).
+    pub fn reset_metrics(&self) {
+        self.fabric.metrics.reset();
+    }
+
+    /// Stop every node and join its thread.
+    pub fn shutdown(self) {
+        // Dropping the senders ends each node's receive loop...
+        self.fabric.nodes.write().clear();
+        // ...then join. (Node threads hold the fabric Arc but never their
+        // own JoinHandle, so joining here cannot self-deadlock.)
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.fabric.handles.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::{Duration, Instant};
+
+    use super::*;
+
+    struct Echo;
+    impl Handler for Echo {
+        type Req = u64;
+        type Resp = u64;
+        fn handle(&mut self, _ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
+            req
+        }
+    }
+
+    #[test]
+    fn echo_roundtrip() {
+        let cluster = Cluster::new(CostModel::zero());
+        let node = cluster.spawn(Echo);
+        assert_eq!(cluster.call(node, 7), 7);
+        assert_eq!(cluster.node_count(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn metrics_count_request_and_response() {
+        let cluster = Cluster::new(CostModel::zero());
+        let node = cluster.spawn(Echo);
+        cluster.call(node, 1);
+        let m = cluster.metrics();
+        assert_eq!(m.messages, 2); // request + response
+        assert_eq!(m.bytes, 16);
+        assert_eq!(m.spawned_nodes, 1);
+        cluster.reset_metrics();
+        assert_eq!(cluster.metrics().messages, 0);
+        cluster.shutdown();
+    }
+
+    /// Forwards any request to the next node (if any), adding 1 per hop.
+    struct Chain {
+        next: Option<ComputeNodeId>,
+    }
+    impl Handler for Chain {
+        type Req = u64;
+        type Resp = u64;
+        fn handle(&mut self, ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
+            match self.next {
+                Some(next) => ctx.call(next, req + 1),
+                None => req,
+            }
+        }
+    }
+
+    #[test]
+    fn nodes_call_each_other_down_a_chain() {
+        let cluster = Cluster::new(CostModel::zero());
+        let tail = cluster.spawn(Chain { next: None });
+        let mid = cluster.spawn(Chain { next: Some(tail) });
+        let head = cluster.spawn(Chain { next: Some(mid) });
+        assert_eq!(cluster.call(head, 0), 2); // two hops increment twice
+        assert_eq!(cluster.metrics().messages, 6); // 3 calls × (req+resp)
+        cluster.shutdown();
+    }
+
+    struct Sleeper;
+    impl Handler for Sleeper {
+        type Req = u64;
+        type Resp = u64;
+        fn handle(&mut self, _ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
+            std::thread::sleep(Duration::from_millis(60));
+            req
+        }
+    }
+
+    /// Fans out to two sleepers in parallel.
+    struct FanOut {
+        a: ComputeNodeId,
+        b: ComputeNodeId,
+    }
+    impl Handler for FanOut {
+        type Req = u64;
+        type Resp = u64;
+        fn handle(&mut self, ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
+            ctx.call_many(vec![(self.a, req), (self.b, req)])
+                .into_iter()
+                .sum()
+        }
+    }
+
+    #[test]
+    fn call_many_runs_targets_in_parallel() {
+        // This needs distinct handler types per node: wrap in one enum-free
+        // cluster by spawning Sleeper-compatible handlers. Handler is a
+        // trait, so all nodes share Req/Resp but can differ in type — the
+        // cluster is typed by ONE handler type H, so express the mix with
+        // a single enum handler instead.
+        enum Mixed {
+            Sleep(Sleeper),
+            Fan(FanOut),
+        }
+        impl Handler for Mixed {
+            type Req = u64;
+            type Resp = u64;
+            fn handle(&mut self, ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
+                match self {
+                    Mixed::Sleep(s) => s.handle(ctx, req),
+                    Mixed::Fan(f) => f.handle(ctx, req),
+                }
+            }
+        }
+        let cluster: Cluster<Mixed> = Cluster::new(CostModel::zero());
+        let a = cluster.spawn(Mixed::Sleep(Sleeper));
+        let b = cluster.spawn(Mixed::Sleep(Sleeper));
+        let fan = cluster.spawn(Mixed::Fan(FanOut { a, b }));
+        let start = Instant::now();
+        assert_eq!(cluster.call(fan, 5), 10);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(115),
+            "parallel fan-out took {elapsed:?} (sequential would be ≥120ms)"
+        );
+        cluster.shutdown();
+    }
+
+    /// Spawns a child node on demand, then forwards to it.
+    struct Spawner {
+        child: Option<ComputeNodeId>,
+    }
+    impl Handler for Spawner {
+        type Req = u64;
+        type Resp = u64;
+        fn handle(&mut self, ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
+            if req == 0 {
+                let child = ctx.spawn(Spawner { child: None });
+                self.child = Some(child);
+                child.0.into()
+            } else {
+                ctx.call(self.child.expect("child spawned first"), 0)
+            }
+        }
+    }
+
+    #[test]
+    fn handlers_spawn_nodes_at_runtime() {
+        let cluster = Cluster::new(CostModel::zero());
+        let root = cluster.spawn(Spawner { child: None });
+        assert_eq!(cluster.node_count(), 1);
+        let child_id = cluster.call(root, 0);
+        assert_eq!(cluster.node_count(), 2);
+        assert_eq!(child_id, 1);
+        // The dynamically spawned child is reachable through the parent.
+        let grandchild = cluster.call(root, 1);
+        assert_eq!(grandchild, 2);
+        assert_eq!(cluster.node_count(), 3);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cost_model_injects_measurable_delay() {
+        let cluster = Cluster::new(CostModel {
+            latency: Duration::from_millis(10),
+            per_kib: Duration::ZERO,
+        });
+        let node = cluster.spawn(Echo);
+        let start = Instant::now();
+        cluster.call(node, 1);
+        assert!(start.elapsed() >= Duration::from_millis(20)); // req + resp
+        let m = cluster.metrics();
+        assert!(m.simulated_delay_nanos >= 20_000_000);
+        cluster.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown compute node")]
+    fn calling_unknown_node_panics() {
+        let cluster: Cluster<Echo> = Cluster::new(CostModel::zero());
+        let _ = cluster.call(ComputeNodeId(5), 1);
+    }
+
+    #[test]
+    fn shutdown_joins_all_threads() {
+        let cluster = Cluster::new(CostModel::zero());
+        for _ in 0..8 {
+            cluster.spawn(Echo);
+        }
+        cluster.shutdown(); // must not hang
+    }
+}

@@ -1,0 +1,47 @@
+//! Build-time errors.
+
+use std::fmt;
+
+/// Why an index could not be built.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// No triples were added.
+    EmptyCorpus,
+    /// Invalid distance weights.
+    BadWeights(String),
+    /// A document failed NLP extraction completely.
+    NoTriplesExtracted {
+        /// The offending document name.
+        document: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::EmptyCorpus => f.write_str("cannot build an index over zero triples"),
+            BuildError::BadWeights(msg) => write!(f, "invalid distance weights: {msg}"),
+            BuildError::NoTriplesExtracted { document } => {
+                write!(f, "document '{document}' produced no triples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(BuildError::EmptyCorpus.to_string().contains("zero triples"));
+        assert!(BuildError::BadWeights("x".into()).to_string().contains('x'));
+        assert!(BuildError::NoTriplesExtracted {
+            document: "D".into()
+        }
+        .to_string()
+        .contains('D'));
+    }
+}

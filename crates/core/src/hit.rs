@@ -1,0 +1,48 @@
+//! Query results.
+
+use semtree_model::{Triple, TripleId};
+
+/// One query hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hit {
+    /// Id of the matched triple in the index's store.
+    pub id: TripleId,
+    /// The matched triple.
+    pub triple: Triple,
+    /// Distance in the FastMap (embedded) space — what the KD-tree ranked
+    /// by.
+    pub embedded_distance: f64,
+    /// The true semantic distance (Eq. 1), present when the query ran with
+    /// refinement ([`crate::QueryOptions::refine`]).
+    pub semantic_distance: Option<f64>,
+}
+
+impl Hit {
+    /// The distance refinement ranked by: semantic when present, embedded
+    /// otherwise.
+    #[must_use]
+    pub fn ranking_distance(&self) -> f64 {
+        self.semantic_distance.unwrap_or(self.embedded_distance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use semtree_model::Term;
+
+    use super::*;
+
+    #[test]
+    fn ranking_distance_prefers_semantic() {
+        let t = Triple::new(Term::literal("s"), Term::concept("p"), Term::concept("o"));
+        let mut h = Hit {
+            id: TripleId(0),
+            triple: t,
+            embedded_distance: 0.5,
+            semantic_distance: None,
+        };
+        assert_eq!(h.ranking_distance(), 0.5);
+        h.semantic_distance = Some(0.2);
+        assert_eq!(h.ranking_distance(), 0.2);
+    }
+}

@@ -1,0 +1,588 @@
+//! The assembled SemTree index.
+
+use semtree_cluster::MetricsSnapshot;
+use semtree_dist::{DistConfig, DistSemTree, GlobalStats};
+use semtree_distance::{MemoizedDistance, TripleDistance};
+use semtree_fastmap::{Embedding, FastMap};
+use semtree_model::{Triple, TripleId, TripleStore};
+
+use crate::builder::SemTreeBuilder;
+use crate::error::BuildError;
+use crate::hit::Hit;
+
+/// Per-query tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Re-rank candidates by the true semantic distance. The KD-tree works
+    /// in the (lossy) FastMap space; refinement over-fetches
+    /// `k × overfetch`, recomputes Eq. 1 on the candidates, and keeps the
+    /// best `k` — the standard filter-and-refine step (DESIGN.md §5).
+    pub refine: bool,
+    /// Over-fetch multiplier used when `refine` is set (≥ 1).
+    pub overfetch: usize,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            refine: false,
+            overfetch: 4,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Plain embedded-space search (the paper's configuration).
+    #[must_use]
+    pub fn raw() -> Self {
+        QueryOptions::default()
+    }
+
+    /// Filter-and-refine with the default over-fetch.
+    #[must_use]
+    pub fn refined() -> Self {
+        QueryOptions {
+            refine: true,
+            overfetch: 4,
+        }
+    }
+}
+
+/// The SemTree index: triples → Eq. 1 distance → FastMap space →
+/// distributed KD-tree.
+pub struct SemTree {
+    store: TripleStore,
+    triples: Vec<Triple>,
+    distance: TripleDistance,
+    embedding: Embedding,
+    tree: DistSemTree,
+    dimensions: usize,
+    bucket_size: usize,
+    partitions: usize,
+}
+
+impl SemTree {
+    /// Start building an index.
+    #[must_use]
+    pub fn builder() -> SemTreeBuilder {
+        SemTreeBuilder::new()
+    }
+
+    pub(crate) fn assemble(
+        builder: SemTreeBuilder,
+        distance: TripleDistance,
+    ) -> Result<SemTree, BuildError> {
+        let store = builder.store;
+        let triples: Vec<Triple> = store.iter().map(|(_, t)| t.clone()).collect();
+        let n = triples.len();
+
+        // FastMap over the semantic distance (memoized: pivot rows are hit
+        // once per dimension per object).
+        let memo = {
+            let triples = &triples;
+            let distance = &distance;
+            MemoizedDistance::new(move |i: usize, j: usize| {
+                distance.distance(&triples[i], &triples[j])
+            })
+        };
+        let fastmap = FastMap::new(builder.dimensions).with_seed(builder.seed);
+        let embedding = fastmap.embed(n, &|i, j| memo.distance(i, j));
+
+        // Load the distributed tree; the embedding is the fan-out sample.
+        let tree = build_tree(
+            &embedding,
+            builder.dimensions,
+            builder.bucket_size,
+            builder.partitions,
+            builder.cost,
+        );
+
+        Ok(SemTree {
+            store,
+            triples,
+            distance,
+            embedding,
+            tree,
+            dimensions: builder.dimensions,
+            bucket_size: builder.bucket_size,
+            partitions: builder.partitions,
+        })
+    }
+
+    /// Reassemble an index from persisted parts (see the [`crate::persist`]
+    /// format): the expensive FastMap embedding is reused verbatim; only
+    /// the distributed tree is reloaded from the stored coordinates.
+    pub(crate) fn from_parts(
+        store: TripleStore,
+        distance: TripleDistance,
+        embedding: Embedding,
+        bucket_size: usize,
+        partitions: usize,
+        cost: semtree_cluster::CostModel,
+    ) -> SemTree {
+        let triples: Vec<Triple> = store.iter().map(|(_, t)| t.clone()).collect();
+        let dimensions = embedding.dimensions();
+        let tree = build_tree(&embedding, dimensions, bucket_size, partitions, cost);
+        SemTree {
+            store,
+            triples,
+            distance,
+            embedding,
+            tree,
+            dimensions,
+            bucket_size,
+            partitions,
+        }
+    }
+
+    /// Leaf bucket capacity the tree was built with.
+    #[must_use]
+    pub fn bucket_size(&self) -> usize {
+        self.bucket_size
+    }
+
+    /// Partition count the tree was built with.
+    #[must_use]
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Number of indexed (distinct) triples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the index is empty (never true: builders reject empty
+    /// corpora).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// The triple stored under an id.
+    #[must_use]
+    pub fn triple(&self, id: TripleId) -> Option<&Triple> {
+        self.triples.get(id.index())
+    }
+
+    /// The underlying document/triple store.
+    #[must_use]
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// The semantic distance in use.
+    #[must_use]
+    pub fn distance(&self) -> &TripleDistance {
+        &self.distance
+    }
+
+    /// The FastMap embedding.
+    #[must_use]
+    pub fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    /// FastMap dimensionality.
+    #[must_use]
+    pub fn dimensions(&self) -> usize {
+        self.dimensions
+    }
+
+    /// Project an arbitrary (possibly unseen) triple into the index's
+    /// FastMap space.
+    #[must_use]
+    pub fn project(&self, query: &Triple) -> Vec<f64> {
+        self.embedding
+            .project_with(&|pivot| self.distance.distance(query, &self.triples[pivot]))
+    }
+
+    /// k-nearest triples by example (paper §III-B.3), default options.
+    #[must_use]
+    pub fn knn(&self, query: &Triple, k: usize) -> Vec<Hit> {
+        self.knn_with(query, k, QueryOptions::default())
+    }
+
+    /// k-nearest with explicit [`QueryOptions`].
+    #[must_use]
+    pub fn knn_with(&self, query: &Triple, k: usize, opts: QueryOptions) -> Vec<Hit> {
+        let point = self.project(query);
+        let fetch = if opts.refine {
+            k.saturating_mul(opts.overfetch.max(1))
+        } else {
+            k
+        };
+        let neighbors = self.tree.knn(&point, fetch);
+        let mut hits: Vec<Hit> = neighbors
+            .into_iter()
+            .map(|n| self.to_hit(n.payload, n.dist, opts.refine.then_some(query)))
+            .collect();
+        if opts.refine {
+            hits.sort_by(|a, b| {
+                a.ranking_distance()
+                    .partial_cmp(&b.ranking_distance())
+                    .expect("finite distances")
+            });
+            hits.truncate(k);
+        }
+        hits
+    }
+
+    /// Range query in the embedded space (paper §III-B.4): all triples
+    /// whose FastMap image lies within `radius` of the query's image.
+    #[must_use]
+    pub fn range(&self, query: &Triple, radius: f64) -> Vec<Hit> {
+        let point = self.project(query);
+        self.tree
+            .range(&point, radius)
+            .into_iter()
+            .map(|n| self.to_hit(n.payload, n.dist, None))
+            .collect()
+    }
+
+    /// Range query by *semantic* radius: over-fetches in the embedded
+    /// space (scaled by `slack ≥ 1`), then keeps candidates whose true
+    /// Eq. 1 distance is within `radius`.
+    #[must_use]
+    pub fn range_semantic(&self, query: &Triple, radius: f64, slack: f64) -> Vec<Hit> {
+        let slack = slack.max(1.0);
+        let point = self.project(query);
+        let mut hits: Vec<Hit> = self
+            .tree
+            .range(&point, radius * slack)
+            .into_iter()
+            .map(|n| self.to_hit(n.payload, n.dist, Some(query)))
+            .filter(|h| h.semantic_distance.expect("refined") <= radius)
+            .collect();
+        hits.sort_by(|a, b| {
+            a.ranking_distance()
+                .partial_cmp(&b.ranking_distance())
+                .expect("finite distances")
+        });
+        hits
+    }
+
+    fn to_hit(&self, payload: u64, embedded: f64, refine_against: Option<&Triple>) -> Hit {
+        let id = TripleId(u32::try_from(payload).expect("payloads are triple ids"));
+        let triple = self.triples[id.index()].clone();
+        let semantic = refine_against.map(|q| self.distance.distance(q, &triple));
+        Hit {
+            id,
+            triple,
+            embedded_distance: embedded,
+            semantic_distance: semantic,
+        }
+    }
+
+    /// Exact pattern matching over the indexed triples (`None` positions
+    /// are wildcards) — the store-level complement of the approximate
+    /// index queries, for "various pattern queries" on bound positions.
+    pub fn find_pattern<'a>(
+        &'a self,
+        pattern: &'a semtree_model::TriplePattern,
+    ) -> impl Iterator<Item = (TripleId, &'a Triple)> + 'a {
+        self.store.matching(pattern)
+    }
+
+    /// Incrementally insert a triple into the *built* index under the named
+    /// document (created on demand) — the paper's dynamic insertion
+    /// surfaced at the API level. The new triple is projected into the
+    /// existing FastMap space via the stored pivots (its coordinates do not
+    /// perturb previously indexed points), then inserted through the
+    /// distributed insertion algorithm. Re-inserting an already-indexed
+    /// triple records the new document occurrence without duplicating the
+    /// index point.
+    ///
+    /// Returns the triple's id and whether it was new to the index.
+    pub fn insert_triple(&mut self, document: &str, triple: Triple) -> (TripleId, bool) {
+        let doc = match self.store.document_by_name(document) {
+            Some(d) => d.id,
+            None => self.store.create_document(document),
+        };
+        let existing = self.store.id_of(&triple);
+        let id = self.store.insert(doc, triple.clone());
+        if existing.is_some() {
+            return (id, false);
+        }
+        debug_assert_eq!(id.index(), self.triples.len());
+        let point = self.project(&triple);
+        self.tree.insert(&point, u64::from(id.0));
+        self.embedding.push_point(&point);
+        self.triples.push(triple);
+        (id, true)
+    }
+
+    /// Distributed-tree statistics (per-partition).
+    #[must_use]
+    pub fn tree_stats(&self) -> GlobalStats {
+        self.tree.global_stats()
+    }
+
+    /// Interconnect metrics.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.tree.metrics()
+    }
+
+    /// Reset interconnect metrics.
+    pub fn reset_metrics(&self) {
+        self.tree.reset_metrics();
+    }
+
+    /// Shut the simulated cluster down.
+    pub fn shutdown(self) {
+        self.tree.shutdown();
+    }
+}
+
+/// Build (or rebuild) the distributed tree over an embedding's points.
+fn build_tree(
+    embedding: &Embedding,
+    dims: usize,
+    bucket_size: usize,
+    partitions: usize,
+    cost: semtree_cluster::CostModel,
+) -> DistSemTree {
+    let config = DistConfig::new(dims)
+        .with_bucket_size(bucket_size)
+        .with_max_partitions(partitions.max(64));
+    let tree = if partitions <= 1 {
+        DistSemTree::single(config, cost)
+    } else {
+        let sample: Vec<Vec<f64>> = embedding
+            .iter()
+            .take(4096)
+            .map(|(_, p)| p.to_vec())
+            .collect();
+        DistSemTree::with_fanout(config, cost, partitions, &sample)
+    };
+    for (i, p) in embedding.iter() {
+        tree.insert(p, i as u64);
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use semtree_model::Term;
+    use semtree_vocab::wordnet;
+
+    use super::*;
+
+    fn triple(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::literal(s), Term::concept(p), Term::concept(o))
+    }
+
+    fn small_index(partitions: usize) -> SemTree {
+        let mut b = SemTree::builder()
+            .dimensions(4)
+            .bucket_size(4)
+            .partitions(partitions)
+            .register_standard(Arc::new(wordnet::mini_taxonomy()));
+        let verbs = [
+            "accept", "block", "send", "receive", "start", "stop", "monitor", "check",
+        ];
+        let objs = ["command", "message", "mode", "signal"];
+        let mut triples = Vec::new();
+        for (i, v) in verbs.iter().enumerate() {
+            for (j, o) in objs.iter().enumerate() {
+                triples.push(triple(&format!("ACT{:02}", (i + j) % 5), v, o));
+            }
+        }
+        b.add_triples("D", triples);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn knn_exact_match_ranks_first() {
+        let idx = small_index(1);
+        let q = triple("ACT00", "accept", "command");
+        let hits = idx.knn(&q, 3);
+        assert_eq!(hits.len(), 3);
+        assert_eq!(hits[0].triple, q);
+        assert!(hits[0].embedded_distance < 1e-9);
+        idx.shutdown();
+    }
+
+    #[test]
+    fn knn_brute_force_agreement_in_embedded_space() {
+        let idx = small_index(1);
+        let q = triple("ACT01", "send", "message");
+        let point = idx.project(&q);
+        let mut brute: Vec<(f64, usize)> = (0..idx.len())
+            .map(|i| {
+                let p = idx.embedding().point(i);
+                let d = p
+                    .iter()
+                    .zip(&point)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt();
+                (d, i)
+            })
+            .collect();
+        brute.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let hits = idx.knn(&q, 5);
+        for (h, (bd, _)) in hits.iter().zip(brute.iter()) {
+            assert!((h.embedded_distance - bd).abs() < 1e-9);
+        }
+        idx.shutdown();
+    }
+
+    #[test]
+    fn multi_partition_index_matches_single_partition() {
+        let single = small_index(1);
+        let multi = small_index(3);
+        let q = triple("ACT02", "start", "mode");
+        let h1: Vec<f64> = single
+            .knn(&q, 6)
+            .iter()
+            .map(|h| h.embedded_distance)
+            .collect();
+        let h3: Vec<f64> = multi
+            .knn(&q, 6)
+            .iter()
+            .map(|h| h.embedded_distance)
+            .collect();
+        for (a, b) in h1.iter().zip(&h3) {
+            assert!((a - b).abs() < 1e-9, "{h1:?} vs {h3:?}");
+        }
+        single.shutdown();
+        multi.shutdown();
+    }
+
+    #[test]
+    fn refinement_orders_by_semantic_distance() {
+        let idx = small_index(1);
+        let q = triple("ACT00", "accept", "command");
+        let hits = idx.knn_with(&q, 5, QueryOptions::refined());
+        assert_eq!(hits.len(), 5);
+        for h in &hits {
+            assert!(h.semantic_distance.is_some());
+        }
+        for w in hits.windows(2) {
+            assert!(w[0].ranking_distance() <= w[1].ranking_distance() + 1e-12);
+        }
+        idx.shutdown();
+    }
+
+    #[test]
+    fn range_semantic_filters_by_true_distance() {
+        let idx = small_index(1);
+        let q = triple("ACT00", "accept", "command");
+        let hits = idx.range_semantic(&q, 0.25, 2.0);
+        assert!(!hits.is_empty(), "the exact match is within any radius");
+        for h in &hits {
+            assert!(h.semantic_distance.unwrap() <= 0.25);
+        }
+        idx.shutdown();
+    }
+
+    #[test]
+    fn range_in_embedded_space() {
+        let idx = small_index(1);
+        let q = triple("ACT00", "accept", "command");
+        let all = idx.range(&q, 10.0); // distances are ≤ 1: radius 10 = everything
+        assert_eq!(all.len(), idx.len());
+        let none = idx.range(&q, -0.0);
+        assert!(none.len() <= 1); // at most the exact match at distance 0
+        idx.shutdown();
+    }
+
+    #[test]
+    fn project_is_stable_for_indexed_triples() {
+        let idx = small_index(1);
+        let t = idx.triple(TripleId(3)).unwrap().clone();
+        let projected = idx.project(&t);
+        let stored = idx.embedding().point(3);
+        for (a, b) in projected.iter().zip(stored) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        idx.shutdown();
+    }
+
+    #[test]
+    fn find_pattern_filters_exactly() {
+        use semtree_model::TriplePattern;
+        let idx = small_index(1);
+        let all = idx.find_pattern(&TriplePattern::any()).count();
+        assert_eq!(all, idx.len());
+        let p = TriplePattern::any().with_predicate(Term::concept("accept"));
+        let hits: Vec<_> = idx.find_pattern(&p).collect();
+        assert_eq!(hits.len(), 4); // one per object class
+        assert!(hits.iter().all(|(_, t)| t.predicate.lexical() == "accept"));
+        idx.shutdown();
+    }
+
+    #[test]
+    fn incremental_insert_is_queryable() {
+        let mut idx = small_index(1);
+        let before = idx.len();
+        let new = triple("NEWACT", "validate", "command");
+        let (id, fresh) = idx.insert_triple("late-doc", new.clone());
+        assert!(fresh);
+        assert_eq!(idx.len(), before + 1);
+        assert_eq!(idx.triple(id), Some(&new));
+        // The new triple is immediately its own nearest neighbour.
+        let hits = idx.knn(&new, 1);
+        assert_eq!(hits[0].id, id);
+        assert!(hits[0].embedded_distance < 1e-9);
+        // The document occurrence was recorded.
+        assert!(idx.store().document_by_name("late-doc").is_some());
+        idx.shutdown();
+    }
+
+    #[test]
+    fn incremental_reinsert_does_not_duplicate() {
+        let mut idx = small_index(1);
+        let existing = idx.triple(TripleId(0)).unwrap().clone();
+        let before = idx.len();
+        let (id, fresh) = idx.insert_triple("dup-doc", existing);
+        assert!(!fresh);
+        assert_eq!(id, TripleId(0));
+        assert_eq!(idx.len(), before);
+        idx.shutdown();
+    }
+
+    #[test]
+    fn incremental_inserts_preserve_query_exactness() {
+        let mut idx = small_index(1);
+        for i in 0..20u32 {
+            idx.insert_triple("inc", triple(&format!("X{i}"), "monitor", "sensor"));
+        }
+        // Brute-force check in the embedded space.
+        let q = triple("X7", "monitor", "sensor");
+        let point = idx.project(&q);
+        let mut best = f64::INFINITY;
+        for i in 0..idx.len() {
+            let p = idx.embedding().point(i);
+            let d = p
+                .iter()
+                .zip(&point)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                .sqrt();
+            best = best.min(d);
+        }
+        let hits = idx.knn(&q, 1);
+        assert!((hits[0].embedded_distance - best).abs() < 1e-9);
+        idx.shutdown();
+    }
+
+    #[test]
+    fn accessors() {
+        let idx = small_index(1);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.dimensions(), 4);
+        assert_eq!(idx.len(), 32);
+        assert!(idx.triple(TripleId(0)).is_some());
+        assert!(idx.triple(TripleId(9999)).is_none());
+        assert!(idx.store().len() == idx.len());
+        let stats = idx.tree_stats();
+        assert_eq!(stats.total_points(), 32);
+        idx.shutdown();
+    }
+}

@@ -1,0 +1,272 @@
+//! Document-level retrieval on top of the triple index.
+//!
+//! The paper's goal is "supporting *retrieval of documents*": a document's
+//! semantics is the set of triples extracted from it, so document ranking
+//! aggregates triple-level k-NN hits back onto the documents that asserted
+//! them. Each query triple contributes `1 − d` for the best-matching
+//! triple a document contains (0 when the document misses the k-NN ring
+//! entirely), and a document's score is the mean contribution over the
+//! query triples.
+
+use std::collections::HashMap;
+
+use semtree_model::{DocumentId, Triple, TripleId};
+use semtree_nlp::SvoExtractor;
+
+use crate::index::{QueryOptions, SemTree};
+
+/// One ranked document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DocumentHit {
+    /// The document's id in the index's store.
+    pub doc: DocumentId,
+    /// The document's external name.
+    pub name: String,
+    /// Aggregate similarity in `[0, 1]`, higher is better.
+    pub score: f64,
+    /// The matched triples with their distances, best first.
+    pub matched: Vec<(TripleId, f64)>,
+}
+
+/// Ranks documents by the semantic similarity of their triples to a query.
+pub struct DocumentRetriever<'a> {
+    index: &'a SemTree,
+    extractor: SvoExtractor,
+    /// Triple-level neighbourhood size per query triple.
+    k: usize,
+    /// Query options for the underlying triple searches.
+    opts: QueryOptions,
+}
+
+impl<'a> DocumentRetriever<'a> {
+    /// A retriever with triple-level `k = 10` and raw (embedded-space)
+    /// matching.
+    #[must_use]
+    pub fn new(index: &'a SemTree) -> Self {
+        DocumentRetriever {
+            index,
+            extractor: SvoExtractor::requirements(),
+            k: 10,
+            opts: QueryOptions::default(),
+        }
+    }
+
+    /// Set the per-query-triple neighbourhood size.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn with_k(mut self, k: usize) -> Self {
+        assert!(k > 0, "neighbourhood size must be at least 1");
+        self.k = k;
+        self
+    }
+
+    /// Use refined (true-distance) triple matching.
+    #[must_use]
+    pub fn with_options(mut self, opts: QueryOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Rank documents for a single query triple.
+    #[must_use]
+    pub fn query_triple(&self, query: &Triple) -> Vec<DocumentHit> {
+        self.query_triples(std::slice::from_ref(query))
+    }
+
+    /// Rank documents for a set of query triples (query-by-document).
+    #[must_use]
+    pub fn query_triples(&self, queries: &[Triple]) -> Vec<DocumentHit> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        // Per document: summed best-contribution and matched triples.
+        let mut scores: HashMap<DocumentId, f64> = HashMap::new();
+        let mut matches: HashMap<DocumentId, Vec<(TripleId, f64)>> = HashMap::new();
+
+        for query in queries {
+            let hits = self.index.knn_with(query, self.k, self.opts);
+            // Best distance per document for THIS query triple.
+            let mut best: HashMap<DocumentId, (TripleId, f64)> = HashMap::new();
+            for hit in hits {
+                let d = hit.ranking_distance();
+                let docs = self
+                    .index
+                    .store()
+                    .documents_of(hit.id)
+                    .expect("hit ids come from the store");
+                for &doc in docs {
+                    match best.get(&doc) {
+                        Some(&(_, existing)) if existing <= d => {}
+                        _ => {
+                            best.insert(doc, (hit.id, d));
+                        }
+                    }
+                }
+            }
+            for (doc, (tid, d)) in best {
+                *scores.entry(doc).or_insert(0.0) += (1.0 - d).max(0.0);
+                matches.entry(doc).or_default().push((tid, d));
+            }
+        }
+
+        let n_queries = queries.len() as f64;
+        let mut out: Vec<DocumentHit> = scores
+            .into_iter()
+            .map(|(doc, sum)| {
+                let mut matched = matches.remove(&doc).unwrap_or_default();
+                matched.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+                DocumentHit {
+                    doc,
+                    name: self
+                        .index
+                        .store()
+                        .document(doc)
+                        .expect("documents_of returns live ids")
+                        .name
+                        .clone(),
+                    score: sum / n_queries,
+                    matched,
+                }
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .expect("finite scores")
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        out
+    }
+
+    /// Rank documents for a natural-language query, extracting its triples
+    /// with the requirements NLP pipeline. Returns an empty ranking when
+    /// no triple could be extracted.
+    #[must_use]
+    pub fn query_text(&self, text: &str) -> Vec<DocumentHit> {
+        let queries = self.extractor.extract(text);
+        self.query_triples(&queries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use semtree_model::Term;
+    use semtree_vocab::wordnet;
+
+    use super::*;
+    use crate::index::SemTree;
+
+    fn req(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(
+            Term::literal(s),
+            Term::concept_in("Fun", p),
+            Term::concept_in("CmdType", o),
+        )
+    }
+
+    fn index() -> SemTree {
+        let mut b = SemTree::builder()
+            .dimensions(4)
+            .bucket_size(4)
+            .register_standard(Arc::new(wordnet::mini_taxonomy()));
+        b.add_triples(
+            "DOC-A",
+            vec![
+                req("OBSW001", "accept_cmd", "start-up"),
+                req("OBSW001", "send_msg", "heartbeat"),
+            ],
+        );
+        b.add_triples(
+            "DOC-B",
+            vec![
+                req("OBSW001", "block_cmd", "start-up"),
+                req("PSU001", "enable_out", "heater"),
+            ],
+        );
+        b.add_triples("DOC-C", vec![req("TCU009", "monitor_par", "temperature")]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_triple_ranks_its_document_first() {
+        let idx = index();
+        let r = DocumentRetriever::new(&idx).with_k(3);
+        let hits = r.query_triple(&req("OBSW001", "accept_cmd", "start-up"));
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].name, "DOC-A");
+        assert!(hits[0].score > 0.9, "exact match ≈ 1: {}", hits[0].score);
+        // Ranked descending.
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        idx.shutdown();
+    }
+
+    #[test]
+    fn multi_triple_query_aggregates() {
+        let idx = index();
+        let r = DocumentRetriever::new(&idx).with_k(2);
+        let hits = r.query_triples(&[
+            req("OBSW001", "accept_cmd", "start-up"),
+            req("OBSW001", "send_msg", "heartbeat"),
+        ]);
+        // DOC-A matches both query triples exactly → top score.
+        assert_eq!(hits[0].name, "DOC-A");
+        assert!(hits[0].score > 0.9);
+        assert_eq!(hits[0].matched.len(), 2);
+        idx.shutdown();
+    }
+
+    #[test]
+    fn text_query_goes_through_nlp() {
+        let idx = index();
+        let r = DocumentRetriever::new(&idx);
+        let hits = r.query_text("The OBSW001 shall accept the start-up command.");
+        assert_eq!(hits[0].name, "DOC-A");
+        assert!(r.query_text("no parseable requirement here").is_empty());
+        idx.shutdown();
+    }
+
+    #[test]
+    fn empty_query_set_is_empty() {
+        let idx = index();
+        let r = DocumentRetriever::new(&idx);
+        assert!(r.query_triples(&[]).is_empty());
+        idx.shutdown();
+    }
+
+    #[test]
+    fn matched_triples_are_sorted_by_distance() {
+        let idx = index();
+        let r = DocumentRetriever::new(&idx).with_k(5);
+        let hits = r.query_triple(&req("OBSW001", "accept_cmd", "start-up"));
+        for h in &hits {
+            for w in h.matched.windows(2) {
+                assert!(w[0].1 <= w[1].1);
+            }
+        }
+        idx.shutdown();
+    }
+
+    #[test]
+    fn refined_options_are_honoured() {
+        let idx = index();
+        let r = DocumentRetriever::new(&idx)
+            .with_k(3)
+            .with_options(QueryOptions::refined());
+        let hits = r.query_triple(&req("OBSW001", "accept_cmd", "start-up"));
+        assert_eq!(hits[0].name, "DOC-A");
+        idx.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        let idx = index();
+        let _ = DocumentRetriever::new(&idx).with_k(0);
+    }
+}

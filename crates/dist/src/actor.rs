@@ -1,0 +1,205 @@
+//! The partition actor: one compute node hosting one partition.
+
+use std::sync::Arc;
+
+use semtree_cluster::{ComputeNodeId, Handler, NodeCtx};
+
+use crate::proto::{Req, Resp};
+use crate::store::{KnnState, LocalNodeId, PartitionStore, RemoteOps};
+use crate::tree::SharedConfig;
+
+/// Hosts one partition of the SemTree and speaks the [`Req`]/[`Resp`]
+/// protocol. Single-threaded per partition, like one MPJ rank.
+pub(crate) struct PartitionActor {
+    store: PartitionStore,
+    shared: Arc<SharedConfig>,
+}
+
+impl PartitionActor {
+    /// An empty partition (fresh leaf at depth 0; an [`Req::AdoptLeaf`]
+    /// normally follows immediately and resets the depth).
+    pub(crate) fn fresh(shared: Arc<SharedConfig>) -> Self {
+        let store = PartitionStore::new_leaf_with_rule(
+            shared.dims,
+            shared.bucket_size,
+            shared.split_rule,
+            Vec::new(),
+            0,
+        );
+        PartitionActor { store, shared }
+    }
+
+    /// A partition with a pre-built store (the fan-out root).
+    pub(crate) fn with_store(store: PartitionStore, shared: Arc<SharedConfig>) -> Self {
+        PartitionActor { store, shared }
+    }
+
+    /// The build-partition algorithm (§III-B.2): while the resource
+    /// condition fires and compute nodes remain, move the biggest leaf to a
+    /// newly created partition and link it.
+    fn enforce_capacity(&mut self, ctx: &NodeCtx<Req, Resp>) {
+        while self.shared.capacity.exceeded(self.store.points()) {
+            let Some(candidate) = self.store.eviction_candidate() else {
+                break; // nothing evictable (root leaf only)
+            };
+            if !self.shared.try_reserve_partition() {
+                break; // no compute node available to host a new partition
+            }
+            let (bucket, depth) = self.store.detach_leaf(candidate);
+            let new_partition = ctx.spawn(PartitionActor::fresh(Arc::clone(&self.shared)));
+            let bucket: Vec<(Vec<f64>, u64)> =
+                bucket.into_iter().map(|(c, p)| (c.into_vec(), p)).collect();
+            let resp = ctx.call(new_partition, Req::AdoptLeaf { bucket, depth });
+            debug_assert_eq!(resp, Resp::Done);
+            self.store
+                .relink_to_partition(candidate, new_partition, LocalNodeId(0));
+        }
+    }
+}
+
+/// [`RemoteOps`] over the live message fabric.
+struct FabricRemote<'a> {
+    ctx: &'a NodeCtx<Req, Resp>,
+}
+
+impl FabricRemote<'_> {
+    fn expect_candidates(resp: Resp) -> Vec<(f64, u64)> {
+        match resp {
+            Resp::Candidates(c) => c,
+            other => panic!("expected candidates, got {other:?}"),
+        }
+    }
+}
+
+impl RemoteOps for FabricRemote<'_> {
+    fn insert(&self, partition: ComputeNodeId, node: LocalNodeId, point: &[f64], payload: u64) {
+        let resp = self.ctx.call(
+            partition,
+            Req::Insert {
+                node,
+                point: point.to_vec(),
+                payload,
+            },
+        );
+        debug_assert_eq!(resp, Resp::Done);
+    }
+
+    fn knn(
+        &self,
+        partition: ComputeNodeId,
+        node: LocalNodeId,
+        point: &[f64],
+        k: usize,
+        worst: Option<f64>,
+    ) -> Vec<(f64, u64)> {
+        Self::expect_candidates(self.ctx.call(
+            partition,
+            Req::Knn {
+                node,
+                point: point.to_vec(),
+                k,
+                worst,
+            },
+        ))
+    }
+
+    fn range(
+        &self,
+        partition: ComputeNodeId,
+        node: LocalNodeId,
+        point: &[f64],
+        radius: f64,
+    ) -> Vec<(f64, u64)> {
+        Self::expect_candidates(self.ctx.call(
+            partition,
+            Req::Range {
+                node,
+                point: point.to_vec(),
+                radius,
+            },
+        ))
+    }
+
+    fn range_parallel(
+        &self,
+        targets: [(ComputeNodeId, LocalNodeId); 2],
+        point: &[f64],
+        radius: f64,
+    ) -> [Vec<(f64, u64)>; 2] {
+        let calls = targets
+            .iter()
+            .map(|&(partition, node)| {
+                (
+                    partition,
+                    Req::Range {
+                        node,
+                        point: point.to_vec(),
+                        radius,
+                    },
+                )
+            })
+            .collect();
+        let mut resps = self.ctx.call_many(calls).into_iter();
+        let a = Self::expect_candidates(resps.next().expect("two responses"));
+        let b = Self::expect_candidates(resps.next().expect("two responses"));
+        [a, b]
+    }
+}
+
+impl Handler for PartitionActor {
+    type Req = Req;
+    type Resp = Resp;
+
+    fn handle(&mut self, ctx: &NodeCtx<Req, Resp>, req: Req) -> Resp {
+        let remote = FabricRemote { ctx };
+        match req {
+            Req::Insert {
+                node,
+                point,
+                payload,
+            } => {
+                let stored_here = self.store.insert(node, &point, payload, &remote);
+                if stored_here {
+                    self.enforce_capacity(ctx);
+                }
+                Resp::Done
+            }
+            Req::Knn {
+                node,
+                point,
+                k,
+                worst,
+            } => {
+                let mut state = KnnState::new(k, worst);
+                self.store.knn(node, &point, &mut state, &remote);
+                Resp::Candidates(state.into_candidates())
+            }
+            Req::Range {
+                node,
+                point,
+                radius,
+            } => {
+                let mut out = Vec::new();
+                self.store.range(node, &point, radius, &mut out, &remote);
+                Resp::Candidates(out)
+            }
+            Req::AdoptLeaf { bucket, depth } => {
+                let bucket = bucket
+                    .into_iter()
+                    .map(|(c, p)| (c.into_boxed_slice(), p))
+                    .collect();
+                self.store = PartitionStore::new_leaf_with_rule(
+                    self.shared.dims,
+                    self.shared.bucket_size,
+                    self.shared.split_rule,
+                    bucket,
+                    depth,
+                );
+                Resp::Done
+            }
+            Req::Stats => Resp::Stats(self.store.stats()),
+            Req::Verify => Resp::Violations(self.store.verify()),
+            Req::Export => Resp::Points(self.store.export_points()),
+        }
+    }
+}

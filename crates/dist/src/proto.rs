@@ -1,0 +1,180 @@
+//! The inter-partition message protocol (the paper's MPJ layer).
+
+use semtree_cluster::{ComputeNodeId, Wire};
+use serde::{Deserialize, Serialize};
+
+use crate::store::LocalNodeId;
+
+/// Requests exchanged between partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Req {
+    /// Insert a point into the sub-tree rooted at `node` of the receiving
+    /// partition ("a message containing the point to be added has to be
+    /// sent to the correct partition").
+    Insert {
+        /// Root of the receiving sub-tree.
+        node: LocalNodeId,
+        /// Query-space coordinates.
+        point: Vec<f64>,
+        /// Opaque payload (a triple id).
+        payload: u64,
+    },
+    /// k-nearest search in the sub-tree rooted at `node`.
+    Knn {
+        /// Root of the receiving sub-tree.
+        node: LocalNodeId,
+        /// Query point `P`.
+        point: Vec<f64>,
+        /// Number of points `K`.
+        k: usize,
+        /// Current worst distance in the caller's result set, as a pruning
+        /// hint (`None` while `|Rs| < K`).
+        worst: Option<f64>,
+    },
+    /// Range search in the sub-tree rooted at `node`.
+    Range {
+        /// Root of the receiving sub-tree.
+        node: LocalNodeId,
+        /// Query point `P`.
+        point: Vec<f64>,
+        /// Range distance `D`.
+        radius: f64,
+    },
+    /// Build-partition transfer: the receiving (new) partition adopts a
+    /// whole leaf bucket as its root.
+    AdoptLeaf {
+        /// The evicted bucket.
+        bucket: Vec<(Vec<f64>, u64)>,
+        /// Global depth of the adopted leaf (keeps split-dimension cycling
+        /// consistent across partitions).
+        depth: u32,
+    },
+    /// Request the partition's local statistics.
+    Stats,
+    /// Check the partition's structural invariants.
+    Verify,
+    /// Export every point stored in this partition's local leaves (not
+    /// following remote links) — the building block of repartitioning.
+    Export,
+}
+
+/// Responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Resp {
+    /// Acknowledgement (insert, adopt).
+    Done,
+    /// Search candidates: `(distance, payload)` pairs.
+    Candidates(Vec<(f64, u64)>),
+    /// Partition statistics.
+    Stats(PartitionStats),
+    /// Invariant violations found by [`Req::Verify`] (empty = healthy).
+    Violations(Vec<String>),
+    /// The partition's local points, from [`Req::Export`].
+    Points(Vec<(Vec<f64>, u64)>),
+}
+
+/// Per-partition statistics, including the outgoing partition links so a
+/// client can walk the whole partition tree.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Points stored in this partition's leaves.
+    pub points: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Routing nodes (internal + edge).
+    pub routing: usize,
+    /// Edge nodes: routing nodes with at least one remote child.
+    pub edge_nodes: usize,
+    /// Partitions directly linked below this one.
+    pub remote_children: Vec<u32>,
+}
+
+impl PartitionStats {
+    /// The linked child partitions as compute-node ids.
+    #[must_use]
+    pub fn remote_children_ids(&self) -> Vec<ComputeNodeId> {
+        self.remote_children
+            .iter()
+            .map(|&p| ComputeNodeId(p))
+            .collect()
+    }
+}
+
+impl Wire for Req {
+    fn wire_size(&self) -> usize {
+        match self {
+            Req::Insert { point, .. } => 8 * point.len() + 16,
+            Req::Knn { point, .. } => 8 * point.len() + 32,
+            Req::Range { point, .. } => 8 * point.len() + 24,
+            Req::AdoptLeaf { bucket, .. } => {
+                bucket.iter().map(|(p, _)| 8 * p.len() + 8).sum::<usize>() + 8
+            }
+            Req::Stats | Req::Verify | Req::Export => 4,
+        }
+    }
+}
+
+impl Wire for Resp {
+    fn wire_size(&self) -> usize {
+        match self {
+            Resp::Done => 4,
+            Resp::Candidates(c) => 16 * c.len() + 8,
+            Resp::Stats(s) => 40 + 4 * s.remote_children.len(),
+            Resp::Violations(v) => v.iter().map(String::len).sum::<usize>() + 8,
+            Resp::Points(pts) => pts.iter().map(|(c, _)| 8 * c.len() + 8).sum::<usize>() + 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = Req::Knn {
+            node: LocalNodeId(0),
+            point: vec![0.0; 2],
+            k: 3,
+            worst: None,
+        };
+        let large = Req::Knn {
+            node: LocalNodeId(0),
+            point: vec![0.0; 16],
+            k: 3,
+            worst: None,
+        };
+        assert!(large.wire_size() > small.wire_size());
+
+        let empty = Resp::Candidates(vec![]);
+        let full = Resp::Candidates(vec![(1.0, 2); 10]);
+        assert!(full.wire_size() > empty.wire_size());
+        assert!(Resp::Done.wire_size() > 0);
+        assert!(Req::Stats.wire_size() > 0);
+    }
+
+    #[test]
+    fn adopt_leaf_size_counts_points() {
+        let a = Req::AdoptLeaf {
+            bucket: vec![(vec![0.0; 4], 1)],
+            depth: 0,
+        };
+        let b = Req::AdoptLeaf {
+            bucket: vec![(vec![0.0; 4], 1); 10],
+            depth: 0,
+        };
+        assert!(b.wire_size() > 5 * a.wire_size());
+    }
+
+    #[test]
+    fn stats_children_roundtrip() {
+        let s = PartitionStats {
+            remote_children: vec![3, 5],
+            ..Default::default()
+        };
+        assert_eq!(
+            s.remote_children_ids(),
+            vec![ComputeNodeId(3), ComputeNodeId(5)]
+        );
+    }
+}

@@ -1,0 +1,957 @@
+//! The `DistSemTree` facade: configuration, construction, and the public
+//! insert/k-NN/range operations.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use semtree_cluster::{Cluster, ComputeNodeId, CostModel};
+use semtree_kdtree::{Neighbor, SplitRule};
+
+use crate::actor::PartitionActor;
+use crate::proto::{PartitionStats, Req, Resp};
+use crate::store::{Child, LocalNodeId, PNodeKind, PartitionStore};
+
+/// The per-partition *resource condition* of the insertion algorithm: "the
+/// condition can be dynamically evaluated at run-time — for example, it may
+/// depend on the percentage of the available storage resources of each
+/// partition — or statically fixed".
+#[derive(Clone)]
+pub enum CapacityPolicy {
+    /// Never triggers build-partition.
+    Unlimited,
+    /// Statically fixed: at most this many points per partition.
+    MaxPoints(usize),
+    /// Dynamically evaluated: the closure receives the partition's current
+    /// point count and returns `true` when the partition is over budget.
+    Dynamic(Arc<dyn Fn(usize) -> bool + Send + Sync>),
+}
+
+impl CapacityPolicy {
+    pub(crate) fn exceeded(&self, points: usize) -> bool {
+        match self {
+            CapacityPolicy::Unlimited => false,
+            CapacityPolicy::MaxPoints(max) => points > *max,
+            CapacityPolicy::Dynamic(f) => f(points),
+        }
+    }
+}
+
+impl std::fmt::Debug for CapacityPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapacityPolicy::Unlimited => f.write_str("Unlimited"),
+            CapacityPolicy::MaxPoints(n) => write!(f, "MaxPoints({n})"),
+            CapacityPolicy::Dynamic(_) => f.write_str("Dynamic(..)"),
+        }
+    }
+}
+
+/// Distributed-tree configuration.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    pub(crate) dims: usize,
+    pub(crate) bucket_size: usize,
+    pub(crate) capacity: CapacityPolicy,
+    pub(crate) max_partitions: usize,
+    pub(crate) split_rule: SplitRule,
+}
+
+impl DistConfig {
+    /// Defaults: bucket size 32, unlimited capacity, up to 64 partitions.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`.
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!(dims > 0, "dimensionality must be at least 1");
+        DistConfig {
+            dims,
+            bucket_size: 32,
+            capacity: CapacityPolicy::Unlimited,
+            max_partitions: 64,
+            split_rule: SplitRule::Cycle,
+        }
+    }
+
+    /// Leaf split rule; [`SplitRule::DegenerateMin`] reproduces the
+    /// paper's "totally unbalanced" series.
+    #[must_use]
+    pub fn with_split_rule(mut self, split_rule: SplitRule) -> Self {
+        self.split_rule = split_rule;
+        self
+    }
+
+    /// Leaf bucket capacity `Bs`.
+    ///
+    /// # Panics
+    /// Panics if `bucket_size == 0`.
+    #[must_use]
+    pub fn with_bucket_size(mut self, bucket_size: usize) -> Self {
+        assert!(bucket_size > 0, "bucket size must be at least 1");
+        self.bucket_size = bucket_size;
+        self
+    }
+
+    /// Per-partition resource condition.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: CapacityPolicy) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Cap on the number of compute nodes / partitions.
+    ///
+    /// # Panics
+    /// Panics if `max_partitions == 0`.
+    #[must_use]
+    pub fn with_max_partitions(mut self, max_partitions: usize) -> Self {
+        assert!(max_partitions > 0, "at least one partition is required");
+        self.max_partitions = max_partitions;
+        self
+    }
+
+    /// Point dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Leaf bucket capacity.
+    #[must_use]
+    pub fn bucket_size(&self) -> usize {
+        self.bucket_size
+    }
+}
+
+/// Configuration + partition accounting shared by every actor.
+pub(crate) struct SharedConfig {
+    pub(crate) dims: usize,
+    pub(crate) bucket_size: usize,
+    pub(crate) split_rule: SplitRule,
+    pub(crate) capacity: CapacityPolicy,
+    pub(crate) max_partitions: usize,
+    partitions: AtomicUsize,
+}
+
+impl SharedConfig {
+    fn new(config: &DistConfig) -> Arc<Self> {
+        Arc::new(SharedConfig {
+            dims: config.dims,
+            bucket_size: config.bucket_size,
+            split_rule: config.split_rule,
+            capacity: config.capacity.clone(),
+            max_partitions: config.max_partitions,
+            partitions: AtomicUsize::new(0),
+        })
+    }
+
+    /// Atomically claim a slot for one more partition; `false` when the
+    /// cluster is out of compute nodes.
+    pub(crate) fn try_reserve_partition(&self) -> bool {
+        self.partitions
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |cur| {
+                (cur < self.max_partitions).then_some(cur + 1)
+            })
+            .is_ok()
+    }
+
+    fn partition_count(&self) -> usize {
+        self.partitions.load(Ordering::SeqCst)
+    }
+}
+
+/// Whole-tree statistics gathered by walking the partition tree.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GlobalStats {
+    /// `(compute node id, stats)` per partition, root first (BFS order).
+    pub partitions: Vec<(u32, PartitionStats)>,
+}
+
+impl GlobalStats {
+    /// Total stored points across partitions.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.partitions.iter().map(|(_, s)| s.points).sum()
+    }
+
+    /// Number of partitions.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Partitions that only route (store no points) — the paper's "some
+    /// partitions are used just for routing and others for storing data".
+    #[must_use]
+    pub fn routing_only(&self) -> usize {
+        self.partitions
+            .iter()
+            .filter(|(_, s)| s.points == 0 && s.routing > 0)
+            .count()
+    }
+
+    /// Total routing nodes hosted by the root partition (the paper's
+    /// `2·M − 1` claim for a pure-routing root over `M − 1` data
+    /// partitions).
+    #[must_use]
+    pub fn root_routing_nodes(&self) -> usize {
+        self.partitions.first().map_or(0, |(_, s)| s.routing)
+    }
+}
+
+/// The distributed SemTree: a cluster of partition actors behind a
+/// synchronous client API.
+pub struct DistSemTree {
+    cluster: Cluster<PartitionActor>,
+    root: ComputeNodeId,
+    shared: Arc<SharedConfig>,
+    inserted: AtomicU64,
+    cost: CostModel,
+}
+
+impl DistSemTree {
+    /// Single-partition tree (the sequential baseline, "1 partition").
+    #[must_use]
+    pub fn single(config: DistConfig, cost: CostModel) -> Self {
+        let shared = SharedConfig::new(&config);
+        assert!(shared.try_reserve_partition());
+        let cluster = Cluster::new(cost);
+        let root = cluster.spawn(PartitionActor::fresh(Arc::clone(&shared)));
+        DistSemTree {
+            cluster,
+            root,
+            shared,
+            inserted: AtomicU64::new(0),
+            cost,
+        }
+    }
+
+    /// `partitions`-partition tree: one pure-routing root partition whose
+    /// routing tree splits the space into `partitions − 1` regions (by
+    /// medians of `sample`), each hosted by its own data partition. This is
+    /// how the experiments pin the paper's "3 / 5 / 9 partitions" series.
+    ///
+    /// # Panics
+    /// Panics if `partitions == 0`, or if `partitions > 1` with an empty
+    /// sample or a `max_partitions` smaller than `partitions`.
+    #[must_use]
+    pub fn with_fanout(
+        config: DistConfig,
+        cost: CostModel,
+        partitions: usize,
+        sample: &[Vec<f64>],
+    ) -> Self {
+        assert!(partitions > 0, "at least one partition is required");
+        if partitions == 1 {
+            return DistSemTree::single(config, cost);
+        }
+        assert!(
+            partitions >= 3,
+            "a routing root needs at least two data partitions (use 1, or ≥ 3)"
+        );
+        assert!(
+            config.max_partitions >= partitions,
+            "max_partitions ({}) below requested partitions ({partitions})",
+            config.max_partitions
+        );
+        assert!(
+            !sample.is_empty(),
+            "a non-empty sample is required to choose the fan-out splits"
+        );
+        for p in sample {
+            assert_eq!(p.len(), config.dims, "sample dimensionality mismatch");
+        }
+
+        let shared = SharedConfig::new(&config);
+        let cluster = Cluster::new(cost);
+
+        // Data partitions are spawned as the recursion reaches its leaves;
+        // the root's routing tree is assembled in a local store whose first
+        // pushed node (the routing root) becomes node 0.
+        let mut store = PartitionStore::empty_arena(config.dims, config.bucket_size);
+        let mut sample: Vec<&[f64]> = sample.iter().map(Vec::as_slice).collect();
+        let root_child = build_fanout(
+            &cluster,
+            &shared,
+            &mut store,
+            &mut sample,
+            partitions - 1,
+            0,
+            config.dims,
+        );
+        match root_child {
+            Child::Local(id) => debug_assert_eq!(id, LocalNodeId(0)),
+            Child::Remote { .. } => unreachable!("fan-out of ≥2 leaves roots locally"),
+        }
+
+        assert!(shared.try_reserve_partition()); // the root partition itself
+        let root = cluster.spawn(PartitionActor::with_store(store, Arc::clone(&shared)));
+        DistSemTree {
+            cluster,
+            root,
+            shared,
+            inserted: AtomicU64::new(0),
+            cost,
+        }
+    }
+
+    /// Insert a point via the distributed insertion algorithm, starting
+    /// "from the root node of the root partition".
+    pub fn insert(&self, point: &[f64], payload: u64) {
+        let resp = self.cluster.call(
+            self.root,
+            Req::Insert {
+                node: LocalNodeId(0),
+                point: point.to_vec(),
+                payload,
+            },
+        );
+        debug_assert_eq!(resp, Resp::Done);
+        self.inserted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Distributed k-nearest query; hits come back closest first.
+    #[must_use]
+    pub fn knn(&self, point: &[f64], k: usize) -> Vec<Neighbor<u64>> {
+        match self.cluster.call(
+            self.root,
+            Req::Knn {
+                node: LocalNodeId(0),
+                point: point.to_vec(),
+                k,
+                worst: None,
+            },
+        ) {
+            Resp::Candidates(c) => c
+                .into_iter()
+                .map(|(dist, payload)| Neighbor { dist, payload })
+                .collect(),
+            other => panic!("expected candidates, got {other:?}"),
+        }
+    }
+
+    /// Distributed range query (inclusive radius); hits closest first.
+    #[must_use]
+    pub fn range(&self, point: &[f64], radius: f64) -> Vec<Neighbor<u64>> {
+        match self.cluster.call(
+            self.root,
+            Req::Range {
+                node: LocalNodeId(0),
+                point: point.to_vec(),
+                radius,
+            },
+        ) {
+            Resp::Candidates(c) => {
+                let mut out: Vec<Neighbor<u64>> = c
+                    .into_iter()
+                    .map(|(dist, payload)| Neighbor { dist, payload })
+                    .collect();
+                out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite distances"));
+                out
+            }
+            other => panic!("expected candidates, got {other:?}"),
+        }
+    }
+
+    /// Number of points inserted through this facade.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inserted.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether no points were inserted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Live partition count.
+    #[must_use]
+    pub fn partition_count(&self) -> usize {
+        self.shared.partition_count()
+    }
+
+    /// Interconnect metrics (messages, bytes, spawns, simulated delay).
+    #[must_use]
+    pub fn metrics(&self) -> semtree_cluster::MetricsSnapshot {
+        self.cluster.metrics()
+    }
+
+    /// Reset interconnect metrics between experiment phases.
+    pub fn reset_metrics(&self) {
+        self.cluster.reset_metrics();
+    }
+
+    /// Walk the partition tree and gather per-partition statistics.
+    #[must_use]
+    pub fn global_stats(&self) -> GlobalStats {
+        let mut out = GlobalStats::default();
+        let mut queue = std::collections::VecDeque::from([self.root]);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(pid) = queue.pop_front() {
+            if !seen.insert(pid) {
+                continue;
+            }
+            match self.cluster.call(pid, Req::Stats) {
+                Resp::Stats(stats) => {
+                    queue.extend(stats.remote_children_ids());
+                    out.partitions.push((pid.0, stats));
+                }
+                other => panic!("expected stats, got {other:?}"),
+            }
+        }
+        out
+    }
+
+    /// Check every partition's structural invariants plus cross-partition
+    /// point conservation; returns human-readable violations
+    /// (empty = healthy). Intended for tests and post-migration audits.
+    #[must_use]
+    pub fn verify(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let stats = self.global_stats();
+        for &(pid, _) in &stats.partitions {
+            match self.cluster.call(ComputeNodeId(pid), Req::Verify) {
+                Resp::Violations(v) => {
+                    violations.extend(v.into_iter().map(|m| format!("partition {pid}: {m}")))
+                }
+                other => violations.push(format!("partition {pid}: bad verify reply {other:?}")),
+            }
+        }
+        let total = stats.total_points();
+        if total != self.len() {
+            violations.push(format!(
+                "{} points inserted but {total} reachable across partitions",
+                self.len()
+            ));
+        }
+        violations
+    }
+
+    /// Export every stored point, in partition BFS order.
+    #[must_use]
+    pub fn export_points(&self) -> Vec<(Vec<f64>, u64)> {
+        let stats = self.global_stats();
+        let mut out = Vec::with_capacity(self.len());
+        for &(pid, _) in &stats.partitions {
+            match self.cluster.call(ComputeNodeId(pid), Req::Export) {
+                Resp::Points(pts) => out.extend(pts),
+                other => panic!("expected points, got {other:?}"),
+            }
+        }
+        out
+    }
+
+    /// Rebuild this tree balanced across exactly `partitions` partitions —
+    /// the distributed analogue of `KdTree::rebalance`, answering the
+    /// paper's observation that "once built, modifying or rebalancing a
+    /// Kd-tree is a non-trivial task". All points are exported, the old
+    /// cluster is shut down, and a fresh fan-out tree is loaded from them.
+    /// The explicit layout supersedes any dynamic capacity policy the old
+    /// tree had (the policy is reset to [`CapacityPolicy::Unlimited`]).
+    #[must_use]
+    pub fn repartitioned(self, partitions: usize) -> DistSemTree {
+        let points = self.export_points();
+        let config = DistConfig {
+            dims: self.shared.dims,
+            bucket_size: self.shared.bucket_size,
+            capacity: CapacityPolicy::Unlimited,
+            max_partitions: self.shared.max_partitions.max(partitions),
+            split_rule: SplitRule::Cycle,
+        };
+        let cost = self.cost;
+        self.shutdown();
+        let tree = if partitions <= 1 || points.is_empty() {
+            DistSemTree::single(config, cost)
+        } else {
+            let sample: Vec<Vec<f64>> = points.iter().take(4096).map(|(c, _)| c.clone()).collect();
+            DistSemTree::with_fanout(config, cost, partitions, &sample)
+        };
+        for (coords, payload) in points {
+            tree.insert(&coords, payload);
+        }
+        tree
+    }
+
+    /// Stop every partition's compute node.
+    pub fn shutdown(self) {
+        self.cluster.shutdown();
+    }
+}
+
+/// Recursive fan-out construction: a routing tree over `target_leaves`
+/// regions; each region leaf becomes a freshly spawned data partition.
+fn build_fanout(
+    cluster: &Cluster<PartitionActor>,
+    shared: &Arc<SharedConfig>,
+    store: &mut PartitionStore,
+    sample: &mut [&[f64]],
+    target_leaves: usize,
+    depth: u32,
+    dims: usize,
+) -> Child {
+    if target_leaves <= 1 {
+        assert!(shared.try_reserve_partition(), "partition budget exhausted");
+        let pid = cluster.spawn(PartitionActor::fresh(Arc::clone(shared)));
+        let resp = cluster.call(
+            pid,
+            Req::AdoptLeaf {
+                bucket: Vec::new(),
+                depth,
+            },
+        );
+        debug_assert_eq!(resp, Resp::Done);
+        return Child::Remote {
+            partition: pid,
+            node: LocalNodeId(0),
+        };
+    }
+    let dim = depth as usize % dims;
+    sample.sort_by(|a, b| a[dim].partial_cmp(&b[dim]).expect("finite coordinates"));
+    let split_val = sample[sample.len() / 2][dim];
+    // Left region gets the larger half of the leaf budget.
+    let left_target = target_leaves.div_ceil(2);
+    let right_target = target_leaves - left_target;
+    // Split the sample at the value boundary so both sides stay non-empty
+    // where possible.
+    let boundary = sample.partition_point(|p| p[dim] <= split_val);
+    let boundary = boundary.clamp(1, sample.len().saturating_sub(1).max(1));
+    let node = store.push_node(
+        PNodeKind::Routing {
+            split_dim: dim,
+            split_val,
+            left: Child::Local(LocalNodeId(u32::MAX)), // patched below
+            right: Child::Local(LocalNodeId(u32::MAX)),
+        },
+        depth,
+    );
+    let (left_sample, right_sample) = sample.split_at_mut(boundary);
+    let left = build_fanout(
+        cluster,
+        shared,
+        store,
+        left_sample,
+        left_target,
+        depth + 1,
+        dims,
+    );
+    let right = build_fanout(
+        cluster,
+        shared,
+        store,
+        right_sample,
+        right_target,
+        depth + 1,
+        dims,
+    );
+    if let Child::Local(id) = left {
+        store.set_parent(id, node, true);
+    }
+    if let Child::Local(id) = right {
+        store.set_parent(id, node, false);
+    }
+    store.patch_routing_children(node, left, right);
+    Child::Local(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(n: usize) -> Vec<(Vec<f64>, u64)> {
+        (0..n)
+            .map(|i| (vec![(i % 17) as f64, (i / 17) as f64], i as u64))
+            .collect()
+    }
+
+    fn brute_knn(points: &[(Vec<f64>, u64)], q: &[f64], k: usize) -> Vec<(f64, u64)> {
+        let mut all: Vec<(f64, u64)> = points
+            .iter()
+            .map(|(c, p)| {
+                let d = c
+                    .iter()
+                    .zip(q)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt();
+                (d, *p)
+            })
+            .collect();
+        all.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn single_partition_knn_and_range_match_brute_force() {
+        let points = grid(300);
+        let tree = DistSemTree::single(DistConfig::new(2).with_bucket_size(8), CostModel::zero());
+        for (c, p) in &points {
+            tree.insert(c, *p);
+        }
+        assert_eq!(tree.len(), 300);
+        assert_eq!(tree.partition_count(), 1);
+
+        let q = [4.3, 7.8];
+        let got = tree.knn(&q, 5);
+        let want = brute_knn(&points, &q, 5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.0).abs() < 1e-9);
+        }
+
+        let got = tree.range(&q, 3.0);
+        let want = points
+            .iter()
+            .filter(|(c, _)| {
+                c.iter()
+                    .zip(&q)
+                    .map(|(x, y)| (x - y) * (x - y))
+                    .sum::<f64>()
+                    .sqrt()
+                    <= 3.0
+            })
+            .count();
+        assert_eq!(got.len(), want);
+        tree.shutdown();
+    }
+
+    #[test]
+    fn fanout_trees_match_brute_force_for_all_paper_partition_counts() {
+        let points = grid(400);
+        let sample: Vec<Vec<f64>> = points.iter().map(|(c, _)| c.clone()).take(100).collect();
+        for m in [1usize, 3, 5, 9] {
+            let tree = DistSemTree::with_fanout(
+                DistConfig::new(2)
+                    .with_bucket_size(8)
+                    .with_max_partitions(16),
+                CostModel::zero(),
+                m,
+                &sample,
+            );
+            for (c, p) in &points {
+                tree.insert(c, *p);
+            }
+            assert_eq!(tree.partition_count(), m, "partition count for M={m}");
+
+            let q = [8.0, 11.0];
+            let got = tree.knn(&q, 7);
+            let want = brute_knn(&points, &q, 7);
+            assert_eq!(got.len(), 7, "M={m}");
+            for (g, w) in got.iter().zip(&want) {
+                assert!((g.dist - w.0).abs() < 1e-9, "M={m}: {} vs {}", g.dist, w.0);
+            }
+
+            let got_range = tree.range(&q, 4.0);
+            let want_range = points
+                .iter()
+                .filter(|(c, _)| {
+                    c.iter()
+                        .zip(&q)
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        .sqrt()
+                        <= 4.0
+                })
+                .count();
+            assert_eq!(got_range.len(), want_range, "M={m}");
+            tree.shutdown();
+        }
+    }
+
+    #[test]
+    fn fanout_root_is_routing_only_and_counts_match_formula() {
+        let sample: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i), 0.0]).collect();
+        for m in [3usize, 5, 9] {
+            let tree = DistSemTree::with_fanout(
+                DistConfig::new(2)
+                    .with_bucket_size(8)
+                    .with_max_partitions(16),
+                CostModel::zero(),
+                m,
+                &sample,
+            );
+            for i in 0..200u64 {
+                tree.insert(&[(i % 64) as f64, (i / 64) as f64], i);
+            }
+            let stats = tree.global_stats();
+            assert_eq!(stats.partition_count(), m);
+            // Root partition stores nothing: pure routing.
+            assert_eq!(stats.partitions[0].1.points, 0, "M={m}");
+            assert!(stats.routing_only() >= 1);
+            // A binary routing tree over M−1 remote leaves has M−2 routing
+            // nodes hosted in the root partition.
+            assert_eq!(stats.root_routing_nodes(), m - 2, "M={m}");
+            assert_eq!(stats.total_points(), 200);
+            tree.shutdown();
+        }
+    }
+
+    #[test]
+    fn messages_grow_with_partition_count() {
+        let sample: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
+        let mut message_counts = Vec::new();
+        for m in [1usize, 3, 5] {
+            let tree = DistSemTree::with_fanout(
+                DistConfig::new(1)
+                    .with_bucket_size(8)
+                    .with_max_partitions(16),
+                CostModel::zero(),
+                m,
+                &sample,
+            );
+            tree.reset_metrics();
+            for i in 0..100u64 {
+                tree.insert(&[(i % 64) as f64], i);
+            }
+            message_counts.push(tree.metrics().messages);
+            tree.shutdown();
+        }
+        assert!(
+            message_counts[1] > message_counts[0],
+            "3 partitions must exchange more messages than 1: {message_counts:?}"
+        );
+    }
+
+    #[test]
+    fn capacity_policy_triggers_build_partition() {
+        let tree = DistSemTree::single(
+            DistConfig::new(1)
+                .with_bucket_size(16)
+                .with_capacity(CapacityPolicy::MaxPoints(40))
+                .with_max_partitions(64),
+            CostModel::zero(),
+        );
+        let points: Vec<(Vec<f64>, u64)> = (0..300u32)
+            .map(|i| (vec![f64::from(i)], u64::from(i)))
+            .collect();
+        for (c, p) in &points {
+            tree.insert(c, *p);
+        }
+        assert!(
+            tree.partition_count() > 1,
+            "over-capacity partition must have spawned others"
+        );
+        let stats = tree.global_stats();
+        assert_eq!(stats.total_points(), 300);
+        for (_, p) in &stats.partitions {
+            assert!(p.points <= 40, "partition holds {} > capacity", p.points);
+        }
+        // Searches stay exact after build-partition.
+        let q = [150.2];
+        let got = tree.knn(&q, 5);
+        let want = brute_knn(&points, &q, 5);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.dist - w.0).abs() < 1e-9);
+        }
+        tree.shutdown();
+    }
+
+    #[test]
+    fn dynamic_capacity_policy_works() {
+        let tree = DistSemTree::single(
+            DistConfig::new(1)
+                .with_bucket_size(4)
+                .with_capacity(CapacityPolicy::Dynamic(Arc::new(|points| points > 25)))
+                .with_max_partitions(16),
+            CostModel::zero(),
+        );
+        for i in 0..100u64 {
+            tree.insert(&[i as f64], i);
+        }
+        assert!(tree.partition_count() > 1);
+        assert_eq!(tree.global_stats().total_points(), 100);
+        tree.shutdown();
+    }
+
+    #[test]
+    fn max_partitions_bounds_build_partition() {
+        let tree = DistSemTree::single(
+            DistConfig::new(1)
+                .with_bucket_size(4)
+                .with_capacity(CapacityPolicy::MaxPoints(10))
+                .with_max_partitions(3),
+            CostModel::zero(),
+        );
+        for i in 0..200u64 {
+            tree.insert(&[i as f64], i);
+        }
+        assert_eq!(tree.partition_count(), 3, "cap respected");
+        assert_eq!(tree.global_stats().total_points(), 200);
+        tree.shutdown();
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = DistSemTree::single(DistConfig::new(2), CostModel::zero());
+        assert!(tree.is_empty());
+        assert!(tree.knn(&[0.0, 0.0], 3).is_empty());
+        assert!(tree.range(&[0.0, 0.0], 10.0).is_empty());
+        tree.shutdown();
+    }
+
+    #[test]
+    fn knn_k_larger_than_population() {
+        let tree = DistSemTree::single(DistConfig::new(1).with_bucket_size(2), CostModel::zero());
+        for i in 0..5u64 {
+            tree.insert(&[i as f64], i);
+        }
+        assert_eq!(tree.knn(&[2.0], 50).len(), 5);
+        tree.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty sample")]
+    fn fanout_without_sample_panics() {
+        let _ = DistSemTree::with_fanout(DistConfig::new(1), CostModel::zero(), 3, &[]);
+    }
+
+    #[test]
+    fn concurrent_clients_share_the_tree() {
+        // The facade is Sync: many client threads can insert and query the
+        // same distributed tree concurrently ("using M−1 data partitions,
+        // we can perform … parallel operations maximizing our throughput").
+        let sample: Vec<Vec<f64>> = (0..128).map(|i| vec![f64::from(i)]).collect();
+        let tree = Arc::new(DistSemTree::with_fanout(
+            DistConfig::new(1)
+                .with_bucket_size(8)
+                .with_max_partitions(16),
+            CostModel::zero(),
+            5,
+            &sample,
+        ));
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        let v = (t * 100 + i) % 128;
+                        tree.insert(&[v as f64], t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(tree.len(), 400);
+        assert_eq!(tree.global_stats().total_points(), 400);
+
+        // Concurrent queries agree with a sequential pass.
+        let expected = tree.knn(&[64.2], 5);
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let tree = Arc::clone(&tree);
+                std::thread::spawn(move || tree.knn(&[64.2], 5))
+            })
+            .collect();
+        for th in threads {
+            let got = th.join().unwrap();
+            for (g, e) in got.iter().zip(&expected) {
+                assert!((g.dist - e.dist).abs() < 1e-12);
+            }
+        }
+        Arc::try_unwrap(tree).ok().expect("sole owner").shutdown();
+    }
+
+    #[test]
+    fn verify_reports_healthy_trees_clean() {
+        let sample: Vec<Vec<f64>> = (0..64).map(|i| vec![f64::from(i)]).collect();
+        for m in [1usize, 3, 5] {
+            let tree = DistSemTree::with_fanout(
+                DistConfig::new(1)
+                    .with_bucket_size(8)
+                    .with_max_partitions(16),
+                CostModel::zero(),
+                m,
+                &sample,
+            );
+            for i in 0..150u64 {
+                tree.insert(&[(i % 64) as f64], i);
+            }
+            assert_eq!(tree.verify(), Vec::<String>::new(), "M={m}");
+            tree.shutdown();
+        }
+    }
+
+    #[test]
+    fn verify_stays_clean_after_build_partition() {
+        let tree = DistSemTree::single(
+            DistConfig::new(1)
+                .with_bucket_size(8)
+                .with_capacity(CapacityPolicy::MaxPoints(25))
+                .with_max_partitions(32),
+            CostModel::zero(),
+        );
+        for i in 0..200u64 {
+            tree.insert(&[i as f64], i);
+        }
+        assert!(tree.partition_count() > 1);
+        assert_eq!(tree.verify(), Vec::<String>::new());
+        tree.shutdown();
+    }
+
+    #[test]
+    fn export_returns_every_point() {
+        let sample: Vec<Vec<f64>> = (0..32).map(|i| vec![f64::from(i)]).collect();
+        let tree = DistSemTree::with_fanout(
+            DistConfig::new(1)
+                .with_bucket_size(4)
+                .with_max_partitions(8),
+            CostModel::zero(),
+            3,
+            &sample,
+        );
+        for i in 0..80u64 {
+            tree.insert(&[(i % 32) as f64], i);
+        }
+        let mut exported = tree.export_points();
+        assert_eq!(exported.len(), 80);
+        exported.sort_by_key(|&(_, p)| p);
+        let payloads: Vec<u64> = exported.iter().map(|&(_, p)| p).collect();
+        assert_eq!(payloads, (0..80u64).collect::<Vec<_>>());
+        tree.shutdown();
+    }
+
+    #[test]
+    fn repartition_preserves_points_and_exactness() {
+        // Grow a lopsided dynamic tree, then rebalance it onto 5
+        // partitions; queries and counts must be preserved.
+        let tree = DistSemTree::single(
+            DistConfig::new(1)
+                .with_bucket_size(4)
+                .with_capacity(CapacityPolicy::MaxPoints(20))
+                .with_max_partitions(16),
+            CostModel::zero(),
+        );
+        let points: Vec<(Vec<f64>, u64)> = (0..200u32)
+            .map(|i| (vec![f64::from(i)], u64::from(i)))
+            .collect();
+        for (c, p) in &points {
+            tree.insert(c, *p);
+        }
+        let before = tree.knn(&[77.3], 5);
+
+        let tree = tree.repartitioned(5);
+        assert_eq!(tree.partition_count(), 5);
+        assert_eq!(tree.len(), 200);
+        assert_eq!(tree.global_stats().total_points(), 200);
+        assert_eq!(tree.verify(), Vec::<String>::new());
+
+        let after = tree.knn(&[77.3], 5);
+        for (a, b) in before.iter().zip(&after) {
+            assert!((a.dist - b.dist).abs() < 1e-12);
+        }
+        tree.shutdown();
+    }
+
+    #[test]
+    fn capacity_policy_debug_formats() {
+        assert_eq!(format!("{:?}", CapacityPolicy::Unlimited), "Unlimited");
+        assert_eq!(
+            format!("{:?}", CapacityPolicy::MaxPoints(5)),
+            "MaxPoints(5)"
+        );
+        let d = CapacityPolicy::Dynamic(Arc::new(|_| false));
+        assert_eq!(format!("{d:?}"), "Dynamic(..)");
+    }
+}

@@ -1,0 +1,103 @@
+//! Memoization wrapper for index-keyed distance oracles.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+/// Memoizes a symmetric `f(i, j)` distance over object indices.
+///
+/// FastMap queries the same pairs repeatedly (every pivot pair is touched
+/// once per dimension per object); memoizing the semantic distance — whose
+/// taxonomy walks are far more expensive than a hash lookup — is the
+/// standard trick and is thread-safe here (`Mutex`-guarded map, suitable
+/// for the moderate cardinalities of pivot-pair reuse).
+pub struct MemoizedDistance<F> {
+    inner: F,
+    cache: Mutex<HashMap<(u32, u32), f64>>,
+}
+
+impl<F: Fn(usize, usize) -> f64> MemoizedDistance<F> {
+    /// Wrap a symmetric distance function.
+    pub fn new(inner: F) -> Self {
+        MemoizedDistance {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The distance, computed at most once per unordered pair.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        let key = if i < j {
+            (i as u32, j as u32)
+        } else {
+            (j as u32, i as u32)
+        };
+        if let Some(&d) = self.cache.lock().get(&key) {
+            return d;
+        }
+        let d = (self.inner)(i, j);
+        self.cache.lock().insert(key, d);
+        d
+    }
+
+    /// Number of cached pairs.
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Drop all cached entries.
+    pub fn clear(&self) {
+        self.cache.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use super::*;
+
+    #[test]
+    fn computes_each_pair_once() {
+        let calls = AtomicUsize::new(0);
+        let m = MemoizedDistance::new(|i, j| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            (i as f64 - j as f64).abs()
+        });
+        assert_eq!(m.distance(1, 4), 3.0);
+        assert_eq!(m.distance(4, 1), 3.0); // symmetric key
+        assert_eq!(m.distance(1, 4), 3.0);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn identity_short_circuits() {
+        let calls = AtomicUsize::new(0);
+        let m = MemoizedDistance::new(|_, _| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            1.0
+        });
+        assert_eq!(m.distance(3, 3), 0.0);
+        assert_eq!(calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let m = MemoizedDistance::new(|i, j| (i + j) as f64);
+        m.distance(0, 1);
+        assert_eq!(m.cached_pairs(), 1);
+        m.clear();
+        assert_eq!(m.cached_pairs(), 0);
+    }
+
+    #[test]
+    fn is_sync_when_inner_is() {
+        fn assert_sync<T: Sync>(_: &T) {}
+        let m = MemoizedDistance::new(|i, j| (i + j) as f64);
+        assert_sync(&m);
+    }
+}

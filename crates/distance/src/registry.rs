@@ -1,0 +1,109 @@
+//! Prefix-keyed registry of taxonomies.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use semtree_vocab::Taxonomy;
+
+/// Maps vocabulary prefixes to taxonomies, mirroring the paper's "domain
+/// specific and/or general vocabularies": `Fun:x` is resolved in the
+/// taxonomy registered for `Fun`, while unprefixed concepts resolve in the
+/// *standard* taxonomy.
+#[derive(Debug, Clone, Default)]
+pub struct VocabularyRegistry {
+    by_prefix: HashMap<String, Arc<Taxonomy>>,
+    standard: Option<Arc<Taxonomy>>,
+}
+
+impl VocabularyRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        VocabularyRegistry::default()
+    }
+
+    /// Register a taxonomy for a prefix (replacing any previous one).
+    pub fn register(&mut self, prefix: impl Into<String>, taxonomy: Arc<Taxonomy>) {
+        self.by_prefix.insert(prefix.into(), taxonomy);
+    }
+
+    /// Register the standard (unprefixed) taxonomy.
+    pub fn register_standard(&mut self, taxonomy: Arc<Taxonomy>) {
+        self.standard = Some(taxonomy);
+    }
+
+    /// Resolve a prefix (`None` → standard taxonomy).
+    #[must_use]
+    pub fn resolve(&self, prefix: Option<&str>) -> Option<&Arc<Taxonomy>> {
+        match prefix {
+            Some(p) => self.by_prefix.get(p),
+            None => self.standard.as_ref(),
+        }
+    }
+
+    /// Number of prefixed taxonomies registered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.by_prefix.len()
+    }
+
+    /// Whether nothing (not even a standard taxonomy) is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.by_prefix.is_empty() && self.standard.is_none()
+    }
+
+    /// Iterate registered prefixes.
+    pub fn prefixes(&self) -> impl Iterator<Item = &str> {
+        self.by_prefix.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tax(name: &str) -> Arc<Taxonomy> {
+        let mut b = Taxonomy::builder(name);
+        b.add("a", &[]);
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let mut r = VocabularyRegistry::new();
+        assert!(r.is_empty());
+        r.register("Fun", tax("Fun"));
+        assert_eq!(r.resolve(Some("Fun")).unwrap().name(), "Fun");
+        assert!(r.resolve(Some("Ghost")).is_none());
+        assert!(r.resolve(None).is_none());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn standard_taxonomy() {
+        let mut r = VocabularyRegistry::new();
+        r.register_standard(tax("std"));
+        assert_eq!(r.resolve(None).unwrap().name(), "std");
+        assert!(!r.is_empty());
+        assert_eq!(r.len(), 0); // standard does not count as a prefix
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut r = VocabularyRegistry::new();
+        r.register("X", tax("first"));
+        r.register("X", tax("second"));
+        assert_eq!(r.resolve(Some("X")).unwrap().name(), "second");
+    }
+
+    #[test]
+    fn prefixes_iterates() {
+        let mut r = VocabularyRegistry::new();
+        r.register("A", tax("A"));
+        r.register("B", tax("B"));
+        let mut ps: Vec<&str> = r.prefixes().collect();
+        ps.sort_unstable();
+        assert_eq!(ps, vec!["A", "B"]);
+    }
+}

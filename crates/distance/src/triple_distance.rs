@@ -1,0 +1,160 @@
+//! Eq. 1: the weighted triple distance.
+
+use std::sync::Arc;
+
+use semtree_model::Triple;
+
+use crate::registry::VocabularyRegistry;
+use crate::term_distance::TermDistanceConfig;
+use crate::weights::Weights;
+
+/// The paper's semantic distance between two triples.
+///
+/// Cheap to clone (the registry is shared behind an `Arc`), `Send + Sync`,
+/// and usable directly as the distance oracle of the FastMap embedding.
+#[derive(Debug, Clone)]
+pub struct TripleDistance {
+    weights: Weights,
+    terms: TermDistanceConfig,
+    registry: Arc<VocabularyRegistry>,
+}
+
+impl TripleDistance {
+    /// Build with default element-distance configuration.
+    #[must_use]
+    pub fn new(weights: Weights, registry: Arc<VocabularyRegistry>) -> Self {
+        TripleDistance {
+            weights,
+            terms: TermDistanceConfig::default(),
+            registry,
+        }
+    }
+
+    /// Build with an explicit element-distance configuration.
+    #[must_use]
+    pub fn with_config(
+        weights: Weights,
+        terms: TermDistanceConfig,
+        registry: Arc<VocabularyRegistry>,
+    ) -> Self {
+        TripleDistance {
+            weights,
+            terms,
+            registry,
+        }
+    }
+
+    /// The weight set in use.
+    #[must_use]
+    pub fn weights(&self) -> Weights {
+        self.weights
+    }
+
+    /// The element-distance configuration in use.
+    #[must_use]
+    pub fn term_config(&self) -> &TermDistanceConfig {
+        &self.terms
+    }
+
+    /// The vocabulary registry in use.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<VocabularyRegistry> {
+        &self.registry
+    }
+
+    /// `d(ti, tj)` per Eq. 1, in `[0, 1]`.
+    #[must_use]
+    pub fn distance(&self, a: &Triple, b: &Triple) -> f64 {
+        let ds = self.terms.distance(&self.registry, &a.subject, &b.subject);
+        let dp = self
+            .terms
+            .distance(&self.registry, &a.predicate, &b.predicate);
+        let dobj = self.terms.distance(&self.registry, &a.object, &b.object);
+        self.weights.combine(ds, dp, dobj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use semtree_model::Term;
+    use semtree_vocab::wordnet;
+
+    use super::*;
+
+    fn dist() -> TripleDistance {
+        let mut reg = VocabularyRegistry::new();
+        reg.register_standard(Arc::new(wordnet::mini_taxonomy()));
+        TripleDistance::new(Weights::default(), Arc::new(reg))
+    }
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::literal(s), Term::concept(p), Term::concept(o))
+    }
+
+    #[test]
+    fn identity_is_zero() {
+        let d = dist();
+        let a = t("OBSW001", "accept", "start");
+        assert_eq!(d.distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let d = dist();
+        let a = t("OBSW001", "accept", "start");
+        let b = t("OBSW002", "send", "message");
+        assert!((d.distance(&a, &b) - d.distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounded_by_unit_interval() {
+        let d = dist();
+        let a = t("OBSW001", "accept", "start");
+        let b = t("completely-different", "antenna", "telemetry_frame");
+        let v = d.distance(&a, &b);
+        assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn paper_motivating_example_ranks_antinomy_near() {
+        // (OBSW001, accept_cmd, start-up) should be semantically close to
+        // (OBSW001, block_cmd, start-up) — "the result set … contains all
+        // the triples semantically close to the target one" — and far from
+        // an unrelated triple.
+        let d = dist();
+        let req = t("OBSW001", "accept", "start");
+        let target = t("OBSW001", "block", "start");
+        let unrelated = t("PSU42", "monitor", "telemetry_frame");
+        assert!(d.distance(&req, &target) < d.distance(&req, &unrelated));
+    }
+
+    #[test]
+    fn predicate_weight_controls_predicate_sensitivity() {
+        let mut reg = VocabularyRegistry::new();
+        reg.register_standard(Arc::new(wordnet::mini_taxonomy()));
+        let reg = Arc::new(reg);
+        let uniform = TripleDistance::new(Weights::default(), Arc::clone(&reg));
+        let heavy = TripleDistance::new(Weights::predicate_heavy(), reg);
+
+        let a = t("OBSW001", "accept", "start");
+        let b = t("OBSW001", "antenna", "start"); // only predicate differs
+        assert!(heavy.distance(&a, &b) > uniform.distance(&a, &b));
+    }
+
+    #[test]
+    fn subject_only_difference_scales_with_alpha() {
+        let d = dist();
+        let a = t("OBSW001", "accept", "start");
+        let b = t("OBSW009", "accept", "start");
+        // Only the subject differs: distance = α · ds.
+        let expected = d.weights().alpha() * (1.0 / 7.0);
+        assert!((d.distance(&a, &b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clone_shares_registry() {
+        let d = dist();
+        let d2 = d.clone();
+        assert!(Arc::ptr_eq(d.registry(), d2.registry()));
+    }
+}

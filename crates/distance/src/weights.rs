@@ -1,0 +1,199 @@
+//! The α/β/γ weight set of Eq. 1.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+const EPS: f64 = 1e-9;
+
+/// Weights `(α, β, γ)` for the subject, predicate and object sub-distances.
+/// Invariants (validated at construction): each weight is non-negative and
+/// they sum to 1, exactly as the paper requires (`α+β+γ = 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    alpha: f64,
+    beta: f64,
+    gamma: f64,
+}
+
+/// Weight-validation failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightsError {
+    /// A weight was negative or non-finite.
+    Invalid(f64),
+    /// The weights do not sum to 1.
+    BadSum(f64),
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::Invalid(w) => write!(f, "weight {w} is negative or non-finite"),
+            WeightsError::BadSum(s) => write!(f, "weights sum to {s}, expected 1"),
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
+
+impl Weights {
+    /// Validated construction.
+    pub fn new(alpha: f64, beta: f64, gamma: f64) -> Result<Self, WeightsError> {
+        for w in [alpha, beta, gamma] {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightsError::Invalid(w));
+            }
+        }
+        let sum = alpha + beta + gamma;
+        if (sum - 1.0).abs() > EPS {
+            return Err(WeightsError::BadSum(sum));
+        }
+        Ok(Weights { alpha, beta, gamma })
+    }
+
+    /// Build from arbitrary non-negative magnitudes, normalising to sum 1.
+    pub fn normalised(alpha: f64, beta: f64, gamma: f64) -> Result<Self, WeightsError> {
+        for w in [alpha, beta, gamma] {
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightsError::Invalid(w));
+            }
+        }
+        let sum = alpha + beta + gamma;
+        if sum <= EPS {
+            return Err(WeightsError::BadSum(sum));
+        }
+        Ok(Weights {
+            alpha: alpha / sum,
+            beta: beta / sum,
+            gamma: gamma / sum,
+        })
+    }
+
+    /// Subject weight α.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Predicate weight β.
+    #[must_use]
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Object weight γ.
+    #[must_use]
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// A predicate-leaning preset (α=0.25, β=0.5, γ=0.25) — useful for the
+    /// inconsistency case study where the predicate carries the antinomy.
+    #[must_use]
+    pub fn predicate_heavy() -> Self {
+        Weights {
+            alpha: 0.25,
+            beta: 0.5,
+            gamma: 0.25,
+        }
+    }
+
+    /// Combine the three sub-distances.
+    #[must_use]
+    pub fn combine(&self, ds: f64, dp: f64, dobj: f64) -> f64 {
+        self.alpha * ds + self.beta * dp + self.gamma * dobj
+    }
+}
+
+impl Default for Weights {
+    /// Uniform weights (1/3 each).
+    fn default() -> Self {
+        Weights {
+            alpha: 1.0 / 3.0,
+            beta: 1.0 / 3.0,
+            gamma: 1.0 / 3.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn valid_construction() {
+        let w = Weights::new(0.2, 0.5, 0.3).unwrap();
+        assert_eq!(w.alpha(), 0.2);
+        assert_eq!(w.beta(), 0.5);
+        assert_eq!(w.gamma(), 0.3);
+    }
+
+    #[test]
+    fn bad_sum_rejected() {
+        assert!(matches!(
+            Weights::new(0.2, 0.2, 0.2),
+            Err(WeightsError::BadSum(_))
+        ));
+    }
+
+    #[test]
+    fn negative_and_nan_rejected() {
+        assert!(matches!(
+            Weights::new(-0.1, 0.6, 0.5),
+            Err(WeightsError::Invalid(_))
+        ));
+        assert!(matches!(
+            Weights::new(f64::NAN, 0.5, 0.5),
+            Err(WeightsError::Invalid(_))
+        ));
+        assert!(Weights::normalised(f64::INFINITY, 1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn normalised_scales() {
+        let w = Weights::normalised(1.0, 2.0, 1.0).unwrap();
+        assert!((w.alpha() - 0.25).abs() < 1e-12);
+        assert!((w.beta() - 0.5).abs() < 1e-12);
+        assert!(Weights::normalised(0.0, 0.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn default_is_uniform() {
+        let w = Weights::default();
+        assert!((w.alpha() + w.beta() + w.gamma() - 1.0).abs() < 1e-12);
+        assert!((w.alpha() - w.beta()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combine_is_convex() {
+        let w = Weights::predicate_heavy();
+        assert_eq!(w.combine(0.0, 0.0, 0.0), 0.0);
+        assert!((w.combine(1.0, 1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((w.combine(0.0, 1.0, 0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(WeightsError::Invalid(-1.0).to_string().contains("negative"));
+        assert!(WeightsError::BadSum(0.6).to_string().contains("0.6"));
+    }
+
+    proptest! {
+        #[test]
+        fn normalised_always_sums_to_one(a in 0.01f64..10.0, b in 0.01f64..10.0, c in 0.01f64..10.0) {
+            let w = Weights::normalised(a, b, c).unwrap();
+            prop_assert!((w.alpha() + w.beta() + w.gamma() - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn combine_stays_in_unit_interval(
+            a in 0.01f64..10.0, b in 0.01f64..10.0, c in 0.01f64..10.0,
+            x in 0.0f64..=1.0, y in 0.0f64..=1.0, z in 0.0f64..=1.0,
+        ) {
+            let w = Weights::normalised(a, b, c).unwrap();
+            let d = w.combine(x, y, z);
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Evaluation harness: retrieval metrics, timing, and experiment tables.
+//!
+//! The paper evaluates SemTree on **efficiency** (running-time curves,
+//! Figures 3–7) and **effectiveness** (average Precision/Recall over 100
+//! k-NN queries, Figure 8, with `P = |T∩T*|/|T|` and `R = |T∩T*|/|T*|`).
+//! This crate provides those computations plus the series/table plumbing
+//! every `repro` binary prints with.
+
+mod bootstrap;
+mod metrics;
+mod plot;
+mod series;
+mod timing;
+
+pub use bootstrap::{bootstrap_mean_ci, ConfidenceInterval};
+pub use metrics::{average_pr, f1_score, precision, recall, PrPoint};
+pub use plot::ascii_plot;
+pub use series::{ExperimentTable, Series};
+pub use timing::{median_duration, time_it, Stopwatch};

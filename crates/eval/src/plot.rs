@@ -1,0 +1,140 @@
+//! Terminal line plots for experiment tables.
+//!
+//! The paper's results are *figures*; the `repro` binary renders each
+//! series table as an ASCII chart so the curve shapes are visible without
+//! external tooling.
+
+use crate::series::ExperimentTable;
+
+const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+
+/// Render a table as a fixed-size ASCII plot (linear axes). Each series
+/// gets one glyph; overlapping points show the later series' glyph.
+#[must_use]
+pub fn ascii_plot(table: &ExperimentTable, width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(6);
+    let xs = table.x_values();
+    let mut ys: Vec<f64> = Vec::new();
+    for s in &table.series {
+        ys.extend(s.points.iter().map(|&(_, y)| y));
+    }
+    if xs.is_empty() || ys.is_empty() {
+        return format!("{} — no data\n", table.title);
+    }
+    let (x_min, x_max) = (xs[0], *xs.last().expect("non-empty"));
+    let y_min = ys.iter().copied().fold(f64::INFINITY, f64::min);
+    let y_max = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let x_span = (x_max - x_min).max(f64::EPSILON);
+    let y_span = (y_max - y_min).max(f64::EPSILON);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in table.series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let col = (((x - x_min) / x_span) * (width - 1) as f64).round() as usize;
+            let row = (((y - y_min) / y_span) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - row][col.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!("{} ({})\n", table.title, table.y_label));
+    out.push_str(&format!("{y_max:>12.4} ┤"));
+    out.push_str(&grid[0].iter().collect::<String>());
+    out.push('\n');
+    for row in &grid[1..height - 1] {
+        out.push_str("             │");
+        out.push_str(&row.iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str(&format!("{y_min:>12.4} ┤"));
+    out.push_str(&grid[height - 1].iter().collect::<String>());
+    out.push('\n');
+    out.push_str("             └");
+    out.push_str(&"─".repeat(width));
+    out.push('\n');
+    out.push_str(&format!(
+        "              {:<10}{:>w$}\n",
+        format_num(x_min),
+        format_num(x_max),
+        w = width.saturating_sub(10)
+    ));
+    for (si, s) in table.series.iter().enumerate() {
+        out.push_str(&format!("  {} {}\n", GLYPHS[si % GLYPHS.len()], s.name));
+    }
+    out
+}
+
+fn format_num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::series::Series;
+
+    use super::*;
+
+    fn table() -> ExperimentTable {
+        let mut t = ExperimentTable::new("Demo", "n", "s");
+        let mut a = Series::new("up");
+        let mut b = Series::new("down");
+        for i in 0..10 {
+            a.push(f64::from(i), f64::from(i));
+            b.push(f64::from(i), f64::from(9 - i));
+        }
+        t.add_series(a);
+        t.add_series(b);
+        t
+    }
+
+    #[test]
+    fn plot_contains_axes_glyphs_and_legend() {
+        let p = ascii_plot(&table(), 40, 12);
+        assert!(p.contains("Demo (s)"));
+        assert!(p.contains('*'));
+        assert!(p.contains('o'));
+        assert!(p.contains("* up"));
+        assert!(p.contains("o down"));
+        assert!(p.contains('└'));
+    }
+
+    #[test]
+    fn rising_series_puts_last_point_top_right() {
+        let t = {
+            let mut t = ExperimentTable::new("Rise", "n", "s");
+            let mut a = Series::new("a");
+            a.push(0.0, 0.0);
+            a.push(1.0, 1.0);
+            t.add_series(a);
+            t
+        };
+        let p = ascii_plot(&t, 20, 8);
+        let lines: Vec<&str> = p.lines().collect();
+        // First grid row (top) must contain the glyph at the far right.
+        assert!(lines[1].trim_end().ends_with('*'), "{p}");
+    }
+
+    #[test]
+    fn empty_table_degrades_gracefully() {
+        let t = ExperimentTable::new("Empty", "x", "y");
+        let p = ascii_plot(&t, 30, 8);
+        assert!(p.contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut t = ExperimentTable::new("Flat", "x", "y");
+        let mut s = Series::new("flat");
+        s.push(1.0, 5.0);
+        s.push(2.0, 5.0);
+        t.add_series(s);
+        let p = ascii_plot(&t, 30, 8);
+        assert!(p.contains('*'));
+    }
+}

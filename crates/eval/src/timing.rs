@@ -1,0 +1,131 @@
+//! Wall-clock measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// Run `f` once and return `(result, elapsed)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Run `f` `runs` times and return the median elapsed time (robust against
+/// scheduler noise in the distributed experiments).
+///
+/// # Panics
+/// Panics if `runs == 0`.
+pub fn median_duration(runs: usize, mut f: impl FnMut()) -> Duration {
+    assert!(runs > 0, "at least one run is required");
+    let mut times: Vec<Duration> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Accumulating stopwatch for multi-phase measurements.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+    total: Duration,
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Stopwatch {
+            started: None,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Start (or restart) the current lap.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stop the current lap, adding it to the total.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.started.take() {
+            self.total += s.elapsed();
+        }
+    }
+
+    /// Accumulated time across completed laps.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Whether a lap is running.
+    #[must_use]
+    pub fn is_running(&self) -> bool {
+        self.started.is_some()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_it_returns_result_and_duration() {
+        let (v, d) = time_it(|| {
+            std::thread::sleep(Duration::from_millis(5));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn median_is_robust() {
+        let mut calls = 0;
+        let d = median_duration(3, || {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert_eq!(calls, 3);
+        assert!(d >= Duration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one run")]
+    fn zero_runs_panics() {
+        median_duration(0, || {});
+    }
+
+    #[test]
+    fn stopwatch_accumulates() {
+        let mut sw = Stopwatch::new();
+        assert!(!sw.is_running());
+        sw.start();
+        assert!(sw.is_running());
+        std::thread::sleep(Duration::from_millis(3));
+        sw.stop();
+        let t1 = sw.total();
+        assert!(t1 >= Duration::from_millis(3));
+        sw.start();
+        std::thread::sleep(Duration::from_millis(3));
+        sw.stop();
+        assert!(sw.total() > t1);
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut sw = Stopwatch::default();
+        sw.stop();
+        assert_eq!(sw.total(), Duration::ZERO);
+    }
+}

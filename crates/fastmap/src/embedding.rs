@@ -1,0 +1,378 @@
+//! The FastMap algorithm and its output.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Number of farthest-point hops in `choose-distant-objects` (the constant
+/// the original paper uses).
+const PIVOT_HOPS: usize = 5;
+
+/// One pivot pair: the two objects spanning a FastMap axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PivotPair {
+    /// Index of the first pivot in the build set.
+    pub a: usize,
+    /// Index of the second pivot in the build set.
+    pub b: usize,
+    /// Projected distance between the pivots on this axis's residual space.
+    pub d_ab: f64,
+}
+
+/// FastMap configuration: target dimensionality and RNG seed.
+#[derive(Debug, Clone, Copy)]
+pub struct FastMap {
+    k: usize,
+    seed: u64,
+}
+
+impl FastMap {
+    /// Embed into `k` dimensions.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "target dimensionality must be at least 1");
+        FastMap {
+            k,
+            seed: 0x5EED_FA57,
+        }
+    }
+
+    /// Fix the pivot-selection seed (embedding is deterministic per seed).
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Target dimensionality.
+    #[must_use]
+    pub fn dimensions(&self) -> usize {
+        self.k
+    }
+
+    /// Run FastMap over `n` objects with distance oracle `dist`
+    /// (symmetric, non-negative, `dist(i,i) = 0`).
+    #[must_use]
+    pub fn embed(&self, n: usize, dist: &dyn Fn(usize, usize) -> f64) -> Embedding {
+        let mut coords = vec![0.0f64; n * self.k];
+        let mut pivots = Vec::with_capacity(self.k);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        for h in 0..self.k {
+            if n < 2 {
+                pivots.push(PivotPair {
+                    a: 0,
+                    b: 0,
+                    d_ab: 0.0,
+                });
+                continue;
+            }
+            // Residual (projected) squared distance at level h.
+            let proj2 = |i: usize, j: usize, coords: &[f64]| -> f64 {
+                let mut d2 = dist(i, j).powi(2);
+                for m in 0..h {
+                    let diff = coords[i * self.k + m] - coords[j * self.k + m];
+                    d2 -= diff * diff;
+                }
+                d2.max(0.0)
+            };
+
+            // choose-distant-objects: start random, hop to the farthest.
+            let mut a = rng.random_range(0..n);
+            let mut b = a;
+            for _ in 0..PIVOT_HOPS {
+                let far = (0..n)
+                    .max_by(|&x, &y| {
+                        proj2(b, x, &coords)
+                            .partial_cmp(&proj2(b, y, &coords))
+                            .expect("distances are finite")
+                    })
+                    .expect("n >= 2");
+                if far == a {
+                    break;
+                }
+                a = b;
+                b = far;
+            }
+            let d_ab2 = proj2(a, b, &coords);
+            if d_ab2 <= f64::EPSILON {
+                // All residual distances are zero: remaining axes are 0.
+                pivots.push(PivotPair { a, b, d_ab: 0.0 });
+                continue;
+            }
+            let d_ab = d_ab2.sqrt();
+
+            for i in 0..n {
+                let x = (proj2(a, i, &coords) + d_ab2 - proj2(b, i, &coords)) / (2.0 * d_ab);
+                coords[i * self.k + h] = x;
+            }
+            pivots.push(PivotPair { a, b, d_ab });
+        }
+
+        Embedding {
+            n,
+            k: self.k,
+            coords,
+            pivots,
+        }
+    }
+}
+
+/// The result of a FastMap run: per-object coordinates plus the pivot pairs
+/// needed to project out-of-sample objects.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Embedding {
+    n: usize,
+    k: usize,
+    coords: Vec<f64>,
+    pivots: Vec<PivotPair>,
+}
+
+impl Embedding {
+    /// Number of embedded objects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the embedding is over zero objects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensionality `k`.
+    #[must_use]
+    pub fn dimensions(&self) -> usize {
+        self.k
+    }
+
+    /// Coordinates of object `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[must_use]
+    pub fn point(&self, i: usize) -> &[f64] {
+        &self.coords[i * self.k..(i + 1) * self.k]
+    }
+
+    /// The pivot pairs, one per dimension.
+    #[must_use]
+    pub fn pivots(&self) -> &[PivotPair] {
+        &self.pivots
+    }
+
+    /// Euclidean distance between two embedded objects.
+    #[must_use]
+    pub fn embedded_distance(&self, i: usize, j: usize) -> f64 {
+        euclidean(self.point(i), self.point(j))
+    }
+
+    /// Project an out-of-sample object into the embedding.
+    ///
+    /// `dist_to(p)` must return the *original-space* distance between the
+    /// new object and build-set object `p`; the projection then replays the
+    /// cosine-law formula against the stored pivots, subtracting the
+    /// already-assigned coordinates exactly as the build did.
+    #[must_use]
+    pub fn project_with(&self, dist_to: &dyn Fn(usize) -> f64) -> Vec<f64> {
+        let mut q = vec![0.0f64; self.k];
+        // Cache original distances to each distinct pivot object.
+        for (h, piv) in self.pivots.iter().enumerate() {
+            if piv.d_ab <= f64::EPSILON {
+                q[h] = 0.0;
+                continue;
+            }
+            let mut da2 = dist_to(piv.a).powi(2);
+            let mut db2 = dist_to(piv.b).powi(2);
+            let pa = self.point(piv.a);
+            let pb = self.point(piv.b);
+            for m in 0..h {
+                da2 -= (q[m] - pa[m]).powi(2);
+                db2 -= (q[m] - pb[m]).powi(2);
+            }
+            da2 = da2.max(0.0);
+            db2 = db2.max(0.0);
+            q[h] = (da2 + piv.d_ab * piv.d_ab - db2) / (2.0 * piv.d_ab);
+        }
+        q
+    }
+
+    /// Iterate all points as `(index, coordinates)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f64])> {
+        (0..self.n).map(move |i| (i, self.point(i)))
+    }
+
+    /// Reassemble an embedding from its serialized parts (coordinates in
+    /// row-major order plus the per-dimension pivot pairs).
+    ///
+    /// # Panics
+    /// Panics when the part sizes are inconsistent (`coords.len()` must be
+    /// `n·k` with `k = pivots.len() > 0`, and pivot indices must be within
+    /// the build set).
+    #[must_use]
+    pub fn from_parts(n: usize, coords: Vec<f64>, pivots: Vec<PivotPair>) -> Self {
+        let k = pivots.len();
+        assert!(k > 0, "at least one dimension is required");
+        assert_eq!(coords.len(), n * k, "coordinate buffer size mismatch");
+        for p in &pivots {
+            assert!(p.a < n.max(1) && p.b < n.max(1), "pivot index out of range");
+        }
+        Embedding {
+            n,
+            k,
+            coords,
+            pivots,
+        }
+    }
+
+    /// Append an out-of-sample point (previously computed with
+    /// [`Embedding::project_with`]) so it becomes addressable like a build
+    /// point. The pivots are untouched: they always reference the original
+    /// build set, so later projections are unaffected.
+    ///
+    /// # Panics
+    /// Panics if `coords.len() != dimensions()`.
+    pub fn push_point(&mut self, coords: &[f64]) {
+        assert_eq!(coords.len(), self.k, "dimensionality mismatch");
+        self.coords.extend_from_slice(coords);
+        self.n += 1;
+    }
+}
+
+/// Plain Euclidean distance between equal-length coordinate slices.
+#[must_use]
+pub(crate) fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_dist(i: usize, j: usize) -> f64 {
+        (i as f64 - j as f64).abs()
+    }
+
+    #[test]
+    fn one_dimensional_data_embeds_isometrically() {
+        let emb = FastMap::new(1).with_seed(1).embed(20, &line_dist);
+        for i in 0..20 {
+            for j in 0..20 {
+                let err = (emb.embedded_distance(i, j) - line_dist(i, j)).abs();
+                assert!(err < 1e-9, "({i},{j}) err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn extra_dimensions_collapse_to_zero_for_line_data() {
+        let emb = FastMap::new(3).with_seed(1).embed(10, &line_dist);
+        for (_, p) in emb.iter() {
+            assert!(p[1].abs() < 1e-9 && p[2].abs() < 1e-9, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn embedded_distance_is_contractive_for_euclidean_input() {
+        // 2-D grid under true Euclidean distance: FastMap never expands
+        // distances when the input is Euclidean.
+        let pts: Vec<(f64, f64)> = (0..5)
+            .flat_map(|x| (0..5).map(move |y| (x as f64, y as f64)))
+            .collect();
+        let d = move |i: usize, j: usize| {
+            let (x1, y1) = pts[i];
+            let (x2, y2) = pts[j];
+            ((x1 - x2).powi(2) + (y1 - y2).powi(2)).sqrt()
+        };
+        let emb = FastMap::new(2).with_seed(42).embed(25, &d);
+        for i in 0..25 {
+            for j in 0..25 {
+                assert!(emb.embedded_distance(i, j) <= d(i, j) + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let e1 = FastMap::new(4).with_seed(9).embed(30, &line_dist);
+        let e2 = FastMap::new(4).with_seed(9).embed(30, &line_dist);
+        for i in 0..30 {
+            assert_eq!(e1.point(i), e2.point(i));
+        }
+    }
+
+    #[test]
+    fn handles_tiny_inputs() {
+        let e0 = FastMap::new(3).with_seed(1).embed(0, &line_dist);
+        assert!(e0.is_empty());
+        let e1 = FastMap::new(3).with_seed(1).embed(1, &line_dist);
+        assert_eq!(e1.len(), 1);
+        assert_eq!(e1.point(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn identical_objects_land_on_the_same_point() {
+        let d = |_: usize, _: usize| 0.0;
+        let emb = FastMap::new(2).with_seed(3).embed(5, &d);
+        for i in 0..5 {
+            assert_eq!(emb.point(i), emb.point(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_dimensions_panics() {
+        let _ = FastMap::new(0);
+    }
+
+    #[test]
+    fn out_of_sample_projection_matches_in_sample() {
+        // Projecting object 7 as if it were new must land where the build
+        // put it: the projection formula is the build formula.
+        let emb = FastMap::new(2).with_seed(11).embed(15, &line_dist);
+        let q = emb.project_with(&|p| line_dist(7, p));
+        let built = emb.point(7);
+        for (qa, qb) in q.iter().zip(built) {
+            assert!((qa - qb).abs() < 1e-9, "{q:?} vs {built:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_sample_projection_preserves_neighbourhoods() {
+        // Embed even integers; project an odd one — it must land between
+        // its neighbours.
+        let d = |i: usize, j: usize| ((2 * i) as f64 - (2 * j) as f64).abs();
+        let emb = FastMap::new(1).with_seed(5).embed(10, &d);
+        // New object with value 7 (between build objects 3→6 and 4→8).
+        let q = emb.project_with(&|p| (7.0 - (2 * p) as f64).abs());
+        let lo = emb.point(3)[0].min(emb.point(4)[0]);
+        let hi = emb.point(3)[0].max(emb.point(4)[0]);
+        assert!(q[0] > lo && q[0] < hi, "{q:?} not within ({lo}, {hi})");
+    }
+
+    #[test]
+    fn pivots_are_recorded_per_dimension() {
+        let emb = FastMap::new(3).with_seed(2).embed(12, &line_dist);
+        assert_eq!(emb.pivots().len(), 3);
+        let p0 = emb.pivots()[0];
+        assert_ne!(p0.a, p0.b);
+        assert!(p0.d_ab > 0.0);
+    }
+
+    #[test]
+    fn first_axis_pivots_are_far_apart() {
+        // The heuristic should find (or approach) the diameter 0..19.
+        let emb = FastMap::new(1).with_seed(8).embed(20, &line_dist);
+        let p = emb.pivots()[0];
+        assert!(p.d_ab >= 15.0, "pivot spread {} too small", p.d_ab);
+    }
+}

@@ -1,0 +1,37 @@
+//! FastMap (Faloutsos & Lin, SIGMOD 1995): embed `n` objects into `R^k`
+//! given only a pairwise distance oracle.
+//!
+//! SemTree "leverages the mapping of triples in a vectorial space by
+//! means of … a proper semantic distance"; FastMap is the algorithm the
+//! paper cites for that mapping. Per dimension it:
+//!
+//! 1. picks two distant *pivot* objects with the classic
+//!    `choose-distant-objects` heuristic (a few farthest-point hops);
+//! 2. projects every object onto the pivot line with the cosine law:
+//!    `x_i = (d(a,i)² + d(a,b)² − d(b,i)²) / (2·d(a,b))`;
+//! 3. recurses on the residual distance
+//!    `d'(i,j)² = d(i,j)² − (x_i − x_j)²` (clamped at 0 — the clamp is
+//!    required because a semantic distance need not be Euclidean).
+//!
+//! The [`Embedding`] retains the pivot pairs so *out-of-sample* objects
+//! (query triples that were never indexed) can be projected into the same
+//! space — see [`Embedding::project_with`] and DESIGN.md §5.
+//!
+//! # Example
+//!
+//! ```
+//! use semtree_fastmap::FastMap;
+//!
+//! // Points on a line, distance = |i − j| · 0.1.
+//! let d = |i: usize, j: usize| (i as f64 - j as f64).abs() * 0.1;
+//! let emb = FastMap::new(2).with_seed(7).embed(10, &d);
+//! // A 1-D structure embeds (near-)isometrically in 2-D.
+//! let err = (emb.embedded_distance(0, 9) - d(0, 9)).abs();
+//! assert!(err < 1e-9);
+//! ```
+
+mod embedding;
+mod quality;
+
+pub use embedding::{Embedding, FastMap, PivotPair};
+pub use quality::{stress, DistortionStats};

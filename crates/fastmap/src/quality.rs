@@ -1,0 +1,155 @@
+//! Embedding-quality metrics: stress and distortion statistics.
+
+use crate::embedding::Embedding;
+
+/// Kruskal-style normalised stress:
+/// `sqrt( Σ (d̂(i,j) − d(i,j))² / Σ d(i,j)² )` over all pairs.
+/// 0 means a perfect (isometric) embedding. Returns 0 for < 2 objects.
+#[must_use]
+pub fn stress(emb: &Embedding, dist: &dyn Fn(usize, usize) -> f64) -> f64 {
+    let n = emb.len();
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist(i, j);
+            let dh = emb.embedded_distance(i, j);
+            num += (dh - d) * (dh - d);
+            den += d * d;
+        }
+    }
+    if den <= 0.0 {
+        0.0
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Per-pair distortion statistics of an embedding: how the embedded
+/// distance relates to the original one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistortionStats {
+    /// Mean of `d̂/d` over pairs with `d > 0`.
+    pub mean_ratio: f64,
+    /// Largest expansion `max d̂/d`.
+    pub max_expansion: f64,
+    /// Largest contraction `min d̂/d`.
+    pub max_contraction: f64,
+    /// Number of pairs measured.
+    pub pairs: usize,
+}
+
+impl DistortionStats {
+    /// Measure an embedding against its source distance.
+    #[must_use]
+    pub fn measure(emb: &Embedding, dist: &dyn Fn(usize, usize) -> f64) -> Self {
+        let n = emb.len();
+        let mut sum = 0.0;
+        let mut max_e = f64::NEG_INFINITY;
+        let mut min_e = f64::INFINITY;
+        let mut pairs = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = dist(i, j);
+                if d <= 0.0 {
+                    continue;
+                }
+                let r = emb.embedded_distance(i, j) / d;
+                sum += r;
+                max_e = max_e.max(r);
+                min_e = min_e.min(r);
+                pairs += 1;
+            }
+        }
+        if pairs == 0 {
+            DistortionStats {
+                mean_ratio: 1.0,
+                max_expansion: 1.0,
+                max_contraction: 1.0,
+                pairs: 0,
+            }
+        } else {
+            DistortionStats {
+                mean_ratio: sum / pairs as f64,
+                max_expansion: max_e,
+                max_contraction: min_e,
+                pairs,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::FastMap;
+
+    fn line_dist(i: usize, j: usize) -> f64 {
+        (i as f64 - j as f64).abs()
+    }
+
+    #[test]
+    fn perfect_embedding_has_zero_stress() {
+        let emb = FastMap::new(1).with_seed(1).embed(12, &line_dist);
+        assert!(stress(&emb, &line_dist) < 1e-9);
+    }
+
+    #[test]
+    fn lossy_embedding_has_positive_stress() {
+        // Random-ish high-dimensional structure squashed into 1-D.
+        let d = |i: usize, j: usize| {
+            if i == j {
+                0.0
+            } else {
+                1.0 + (((i * 31 + j * 17) % 7) as f64) / 7.0
+            }
+        };
+        let sym = |i: usize, j: usize| (d(i.min(j), i.max(j)) + d(i.min(j), i.max(j))) / 2.0;
+        let emb = FastMap::new(1).with_seed(2).embed(10, &sym);
+        assert!(stress(&emb, &sym) > 0.01);
+    }
+
+    #[test]
+    fn stress_degenerate_cases() {
+        let emb = FastMap::new(2).with_seed(1).embed(1, &line_dist);
+        assert_eq!(stress(&emb, &line_dist), 0.0);
+        let zero = |_: usize, _: usize| 0.0;
+        let emb = FastMap::new(2).with_seed(1).embed(4, &zero);
+        assert_eq!(stress(&emb, &zero), 0.0);
+    }
+
+    #[test]
+    fn distortion_of_perfect_embedding_is_one() {
+        let emb = FastMap::new(1).with_seed(1).embed(10, &line_dist);
+        let s = DistortionStats::measure(&emb, &line_dist);
+        assert!((s.mean_ratio - 1.0).abs() < 1e-9);
+        assert!((s.max_expansion - 1.0).abs() < 1e-9);
+        assert!((s.max_contraction - 1.0).abs() < 1e-9);
+        assert_eq!(s.pairs, 45);
+    }
+
+    #[test]
+    fn distortion_empty_input() {
+        let emb = FastMap::new(1).with_seed(1).embed(0, &line_dist);
+        let s = DistortionStats::measure(&emb, &line_dist);
+        assert_eq!(s.pairs, 0);
+        assert_eq!(s.mean_ratio, 1.0);
+    }
+
+    #[test]
+    fn more_dimensions_do_not_increase_stress() {
+        // A fixed pseudo-metric: stress should be monotone non-increasing
+        // as k grows (each extra axis explains residual distance).
+        let d = |i: usize, j: usize| {
+            if i == j {
+                0.0
+            } else {
+                let (a, b) = (i.min(j), i.max(j));
+                1.0 + (((a * 131 + b * 313) % 97) as f64) / 97.0
+            }
+        };
+        let s1 = stress(&FastMap::new(1).with_seed(3).embed(15, &d), &d);
+        let s4 = stress(&FastMap::new(4).with_seed(3).embed(15, &d), &d);
+        assert!(s4 <= s1 + 1e-9, "s1={s1} s4={s4}");
+    }
+}

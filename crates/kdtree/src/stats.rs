@@ -1,0 +1,145 @@
+//! Tree-shape statistics (used by the experiments to verify balance).
+
+use crate::tree::{KdTree, NodeKind};
+
+/// Structural statistics of a KD-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeShape {
+    /// Total nodes (routing + leaves).
+    pub nodes: usize,
+    /// Routing (internal) nodes.
+    pub routing: usize,
+    /// Leaf nodes.
+    pub leaves: usize,
+    /// Stored points.
+    pub entries: usize,
+    /// Deepest node depth (root = 0).
+    pub max_depth: u32,
+    /// Mean leaf depth.
+    pub mean_leaf_depth: f64,
+    /// Largest leaf bucket occupancy.
+    pub max_leaf_occupancy: usize,
+}
+
+impl TreeShape {
+    /// Measure a tree.
+    #[must_use]
+    pub fn of<P: Clone>(tree: &KdTree<P>) -> Self {
+        let mut routing = 0usize;
+        let mut leaves = 0usize;
+        let mut entries = 0usize;
+        let mut max_depth = 0u32;
+        let mut leaf_depth_sum = 0u64;
+        let mut max_leaf_occupancy = 0usize;
+        for node in &tree.nodes {
+            max_depth = max_depth.max(node.depth);
+            match &node.kind {
+                NodeKind::Routing { .. } => routing += 1,
+                NodeKind::Leaf { bucket } => {
+                    leaves += 1;
+                    entries += bucket.len();
+                    leaf_depth_sum += u64::from(node.depth);
+                    max_leaf_occupancy = max_leaf_occupancy.max(bucket.len());
+                }
+            }
+        }
+        TreeShape {
+            nodes: routing + leaves,
+            routing,
+            leaves,
+            entries,
+            max_depth,
+            mean_leaf_depth: if leaves == 0 {
+                0.0
+            } else {
+                leaf_depth_sum as f64 / leaves as f64
+            },
+            max_leaf_occupancy,
+        }
+    }
+
+    /// The ideal (perfectly balanced) depth for this leaf count.
+    #[must_use]
+    pub fn ideal_depth(&self) -> u32 {
+        if self.leaves <= 1 {
+            0
+        } else {
+            (self.leaves as f64).log2().ceil() as u32
+        }
+    }
+
+    /// `max_depth / ideal_depth` — 1.0 is perfectly balanced, a chain over
+    /// `L` leaves approaches `L / log2(L)`.
+    #[must_use]
+    pub fn balance_factor(&self) -> f64 {
+        let ideal = self.ideal_depth();
+        if ideal == 0 {
+            1.0
+        } else {
+            f64::from(self.max_depth) / f64::from(ideal)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{KdConfig, KdTree};
+
+    use super::*;
+
+    fn line(n: usize) -> Vec<(Vec<f64>, u32)> {
+        (0..n).map(|i| (vec![i as f64], i as u32)).collect()
+    }
+
+    #[test]
+    fn shape_counts_are_consistent() {
+        let t = KdTree::bulk_load(KdConfig::new(1).with_bucket_size(4), line(100));
+        let s = TreeShape::of(&t);
+        assert_eq!(s.entries, 100);
+        assert_eq!(s.nodes, s.routing + s.leaves);
+        assert_eq!(s.leaves, s.routing + 1, "binary tree: L = R + 1");
+        assert!(s.max_leaf_occupancy <= 4);
+    }
+
+    #[test]
+    fn balanced_tree_balance_factor_near_one() {
+        let t = KdTree::bulk_load(KdConfig::new(1).with_bucket_size(4), line(256));
+        let s = TreeShape::of(&t);
+        assert!(s.balance_factor() <= 1.5, "factor {}", s.balance_factor());
+    }
+
+    #[test]
+    fn chain_tree_balance_factor_large() {
+        let t = KdTree::chain_load(KdConfig::new(1).with_bucket_size(4), line(256));
+        let s = TreeShape::of(&t);
+        assert!(s.balance_factor() >= 3.0, "factor {}", s.balance_factor());
+    }
+
+    #[test]
+    fn node_count_matches_paper_formula_on_balanced_tree() {
+        // §III-C: with K points and bucket Bs, N = 2K/Bs nodes when leaves
+        // sit half-full on average after median splits. Check the right
+        // order of magnitude (exact equality needs perfectly full leaves).
+        let k_points = 1024;
+        let bs = 8;
+        let t = KdTree::bulk_load(KdConfig::new(1).with_bucket_size(bs), line(k_points));
+        let s = TreeShape::of(&t);
+        let formula = 2 * k_points / bs;
+        assert!(
+            s.nodes >= formula / 4 && s.nodes <= formula * 4,
+            "nodes {} vs formula {formula}",
+            s.nodes
+        );
+    }
+
+    #[test]
+    fn empty_tree_shape() {
+        let t: KdTree<u32> = KdTree::new(KdConfig::new(2));
+        let s = TreeShape::of(&t);
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.routing, 0);
+        assert_eq!(s.balance_factor(), 1.0);
+        assert_eq!(s.ideal_depth(), 0);
+    }
+}

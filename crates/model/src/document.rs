@@ -1,0 +1,100 @@
+//! Documents: named groups of triples with metadata.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::triple::TripleId;
+
+/// Dense identifier of a document inside a [`crate::TripleStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocumentId(pub u32);
+
+impl DocumentId {
+    /// The id as a usable index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DocumentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+/// Optional descriptive metadata for a document.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DocumentMeta {
+    /// Source system or corpus the document came from.
+    pub source: Option<String>,
+    /// Section path within the source (requirement documents are "composed
+    /// by a set of sections, each one containing the definition of a
+    /// specific requirement").
+    pub section: Option<String>,
+}
+
+/// A document: an external name plus the triples extracted from it, in
+/// extraction order (the paper notes "the order of the triples reflects the
+/// temporal sequence of the requirement elements").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Document {
+    /// The store-assigned id.
+    pub id: DocumentId,
+    /// External name, e.g. `REQ-SW-001`.
+    pub name: String,
+    /// Triples in extraction order.
+    pub triples: Vec<TripleId>,
+    /// Descriptive metadata.
+    pub meta: DocumentMeta,
+}
+
+impl Document {
+    pub(crate) fn new(id: DocumentId, name: impl Into<String>) -> Self {
+        Document {
+            id,
+            name: name.into(),
+            triples: Vec::new(),
+            meta: DocumentMeta::default(),
+        }
+    }
+
+    /// Number of triples extracted from this document.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the document has no triples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_document_is_empty() {
+        let d = Document::new(DocumentId(0), "REQ-1");
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.name, "REQ-1");
+    }
+
+    #[test]
+    fn document_id_display() {
+        assert_eq!(DocumentId(3).to_string(), "d3");
+        assert_eq!(DocumentId(3).index(), 3);
+    }
+
+    #[test]
+    fn meta_defaults_to_none() {
+        let m = DocumentMeta::default();
+        assert!(m.source.is_none());
+        assert!(m.section.is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the model substrate.
+
+use std::fmt;
+
+/// Errors produced by the model layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A prefix was rebound to a different namespace.
+    PrefixConflict {
+        /// The conflicting prefix.
+        prefix: String,
+        /// Previously bound namespace.
+        existing: String,
+        /// Newly requested namespace.
+        new: String,
+    },
+    /// Turtle-like input failed to parse.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable reason.
+        message: String,
+    },
+    /// A referenced document does not exist.
+    UnknownDocument(u32),
+    /// A referenced triple does not exist.
+    UnknownTriple(u32),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::PrefixConflict {
+                prefix,
+                existing,
+                new,
+            } => write!(
+                f,
+                "prefix '{prefix}' already bound to '{existing}', cannot rebind to '{new}'"
+            ),
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            ModelError::UnknownDocument(id) => write!(f, "unknown document id {id}"),
+            ModelError::UnknownTriple(id) => write!(f, "unknown triple id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_renders_each_variant() {
+        let e = ModelError::PrefixConflict {
+            prefix: "A".into(),
+            existing: "x".into(),
+            new: "y".into(),
+        };
+        assert!(e.to_string().contains("already bound"));
+        assert!(ModelError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(ModelError::UnknownDocument(5).to_string().contains('5'));
+        assert!(ModelError::UnknownTriple(9).to_string().contains('9'));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&ModelError::UnknownDocument(0));
+    }
+}

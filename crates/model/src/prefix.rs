@@ -1,0 +1,155 @@
+//! Prefix → namespace bindings.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ModelError;
+
+/// A table of vocabulary prefixes, mirroring the paper's "the notation
+/// `X:x` expresses that the meaning of the concept `x` can be found by using
+/// the prefix `X`. If `X` is not specified, we use a standard vocabulary."
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrefixTable {
+    bindings: BTreeMap<Arc<str>, Arc<str>>,
+    standard: Option<Arc<str>>,
+}
+
+impl PrefixTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        PrefixTable::default()
+    }
+
+    /// Bind `prefix` to `namespace`. Rebinding an existing prefix to a
+    /// *different* namespace is an error (silent rebinds hide corpus bugs);
+    /// binding the same pair twice is a no-op.
+    pub fn bind(
+        &mut self,
+        prefix: impl Into<Arc<str>>,
+        namespace: impl Into<Arc<str>>,
+    ) -> Result<(), ModelError> {
+        let prefix = prefix.into();
+        let namespace = namespace.into();
+        match self.bindings.get(&prefix) {
+            Some(existing) if *existing != namespace => Err(ModelError::PrefixConflict {
+                prefix: prefix.to_string(),
+                existing: existing.to_string(),
+                new: namespace.to_string(),
+            }),
+            _ => {
+                self.bindings.insert(prefix, namespace);
+                Ok(())
+            }
+        }
+    }
+
+    /// Set the namespace used for unprefixed concepts.
+    pub fn set_standard(&mut self, namespace: impl Into<Arc<str>>) {
+        self.standard = Some(namespace.into());
+    }
+
+    /// Resolve a prefix; `None` input resolves the standard vocabulary.
+    #[must_use]
+    pub fn resolve(&self, prefix: Option<&str>) -> Option<&str> {
+        match prefix {
+            Some(p) => self.bindings.get(p).map(AsRef::as_ref),
+            None => self.standard.as_deref(),
+        }
+    }
+
+    /// Whether `prefix` is bound.
+    #[must_use]
+    pub fn contains(&self, prefix: &str) -> bool {
+        self.bindings.contains_key(prefix)
+    }
+
+    /// Iterate bindings in prefix order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.bindings.iter().map(|(k, v)| (k.as_ref(), v.as_ref()))
+    }
+
+    /// Number of bound prefixes (excluding the standard vocabulary).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether no prefixes are bound.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Merge another table into this one; conflicting bindings error.
+    pub fn merge(&mut self, other: &PrefixTable) -> Result<(), ModelError> {
+        for (p, ns) in other.iter() {
+            self.bind(p, ns)?;
+        }
+        if let Some(std) = &other.standard {
+            if self.standard.is_none() {
+                self.standard = Some(std.clone());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_resolve() {
+        let mut t = PrefixTable::new();
+        t.bind("Fun", "http://example.org/fun#").unwrap();
+        assert_eq!(t.resolve(Some("Fun")), Some("http://example.org/fun#"));
+        assert_eq!(t.resolve(Some("Nope")), None);
+        assert!(t.contains("Fun"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn standard_vocabulary() {
+        let mut t = PrefixTable::new();
+        assert_eq!(t.resolve(None), None);
+        t.set_standard("http://example.org/std#");
+        assert_eq!(t.resolve(None), Some("http://example.org/std#"));
+    }
+
+    #[test]
+    fn rebind_same_is_noop_different_errors() {
+        let mut t = PrefixTable::new();
+        t.bind("A", "ns1").unwrap();
+        t.bind("A", "ns1").unwrap();
+        let err = t.bind("A", "ns2").unwrap_err();
+        assert!(matches!(err, ModelError::PrefixConflict { .. }));
+    }
+
+    #[test]
+    fn merge_combines_and_detects_conflicts() {
+        let mut a = PrefixTable::new();
+        a.bind("A", "ns1").unwrap();
+        let mut b = PrefixTable::new();
+        b.bind("B", "ns2").unwrap();
+        b.set_standard("std");
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.resolve(None), Some("std"));
+
+        let mut c = PrefixTable::new();
+        c.bind("A", "other").unwrap();
+        assert!(a.merge(&c).is_err());
+    }
+
+    #[test]
+    fn iter_is_sorted_by_prefix() {
+        let mut t = PrefixTable::new();
+        t.bind("Z", "z").unwrap();
+        t.bind("A", "a").unwrap();
+        let keys: Vec<&str> = t.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["A", "Z"]);
+    }
+}

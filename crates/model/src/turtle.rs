@@ -1,0 +1,395 @@
+//! Parser and serializer for the paper's Turtle-like tuple syntax.
+//!
+//! The paper writes resources as
+//!
+//! ```text
+//! ('OBSW001', Fun:accept_cmd, CmdType:start-up)
+//! ```
+//!
+//! This module accepts a line-oriented corpus format built around that
+//! notation:
+//!
+//! ```text
+//! @prefix Fun: <http://example.org/fun#> .
+//! @standard <http://example.org/std#> .
+//! @document REQ-SW-001
+//! # a comment
+//! ('OBSW001', Fun:acquire_in, InType:pre-launch phase)
+//! ('OBSW001', Fun:accept_cmd, CmdType:start-up)
+//! ```
+//!
+//! Term syntax inside a tuple:
+//! - `'...'` — a string literal (single quotes; `''` escapes a quote);
+//! - bare integers / decimals / `true` / `false` — typed literals;
+//! - `Prefix:name` — a concept in vocabulary `Prefix`;
+//! - anything else — a concept in the standard vocabulary. Concept names
+//!   may contain internal spaces (`InType:pre-launch phase`), as in the
+//!   paper's own example.
+
+use std::fmt::Write as _;
+
+use crate::error::ModelError;
+use crate::store::TripleStore;
+use crate::term::{Literal, LiteralType, Term};
+use crate::triple::Triple;
+
+/// Parse a single term. Exposed for tests and tooling.
+pub fn parse_term(raw: &str) -> Result<Term, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err("empty term".to_string());
+    }
+    if let Some(rest) = raw.strip_prefix('\'') {
+        let Some(body) = rest.strip_suffix('\'') else {
+            return Err(format!("unterminated quoted literal: {raw}"));
+        };
+        return Ok(Term::Literal(Literal::typed(
+            body.replace("''", "'"),
+            LiteralType::String,
+        )));
+    }
+    match LiteralType::infer(raw) {
+        LiteralType::String => {}
+        dtype => return Ok(Term::Literal(Literal::typed(raw, dtype))),
+    }
+    match raw.split_once(':') {
+        Some((prefix, name)) if !prefix.is_empty() && !name.is_empty() => {
+            if prefix.contains(char::is_whitespace) {
+                Err(format!("prefix may not contain whitespace: {raw}"))
+            } else {
+                Ok(Term::concept_in(prefix, name.trim()))
+            }
+        }
+        Some(_) => Err(format!("malformed prefixed concept: {raw}")),
+        None => Ok(Term::concept(raw)),
+    }
+}
+
+/// Split the body of a tuple on top-level commas (commas inside quoted
+/// literals do not split).
+fn split_tuple(body: &str) -> Vec<&str> {
+    let mut parts = Vec::with_capacity(3);
+    let mut start = 0usize;
+    let mut in_quote = false;
+    for (i, ch) in body.char_indices() {
+        match ch {
+            '\'' => in_quote = !in_quote,
+            ',' if !in_quote => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+/// Parse one `(s, p, o)` tuple line into a [`Triple`].
+pub fn parse_triple(line: &str) -> Result<Triple, String> {
+    let line = line.trim();
+    let Some(body) = line.strip_prefix('(').and_then(|s| s.strip_suffix(')')) else {
+        return Err(format!("expected '(s, p, o)', got: {line}"));
+    };
+    let parts = split_tuple(body);
+    if parts.len() != 3 {
+        return Err(format!("expected 3 terms, got {}: {line}", parts.len()));
+    }
+    Ok(Triple::new(
+        parse_term(parts[0])?,
+        parse_term(parts[1])?,
+        parse_term(parts[2])?,
+    ))
+}
+
+/// Parse a whole corpus into `store`. Returns the number of triples read.
+///
+/// Directives:
+/// - `@prefix P: <ns> .` binds a prefix;
+/// - `@standard <ns> .` sets the standard vocabulary;
+/// - `@document NAME` starts (or resumes) a document; triples before the
+///   first directive land in a document called `default`.
+pub fn parse_into(store: &mut TripleStore, input: &str) -> Result<usize, ModelError> {
+    let mut current_doc = None;
+    let mut count = 0usize;
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("@prefix") {
+            let (prefix, ns) =
+                parse_prefix_directive(rest).map_err(|message| ModelError::Parse {
+                    line: lineno,
+                    message,
+                })?;
+            store.prefixes_mut().bind(prefix, ns)?;
+        } else if let Some(rest) = line.strip_prefix("@standard") {
+            let ns = parse_angle_ns(rest).map_err(|message| ModelError::Parse {
+                line: lineno,
+                message,
+            })?;
+            store.prefixes_mut().set_standard(ns);
+        } else if let Some(rest) = line.strip_prefix("@document") {
+            let name = rest.trim();
+            if name.is_empty() {
+                return Err(ModelError::Parse {
+                    line: lineno,
+                    message: "@document requires a name".to_string(),
+                });
+            }
+            let id = match store.document_by_name(name) {
+                Some(d) => d.id,
+                None => store.create_document(name),
+            };
+            current_doc = Some(id);
+        } else {
+            let triple = parse_triple(line).map_err(|message| ModelError::Parse {
+                line: lineno,
+                message,
+            })?;
+            let doc = match current_doc {
+                Some(d) => d,
+                None => {
+                    let d = store.create_document("default");
+                    current_doc = Some(d);
+                    d
+                }
+            };
+            store.insert(doc, triple);
+            count += 1;
+        }
+    }
+    Ok(count)
+}
+
+fn parse_prefix_directive(rest: &str) -> Result<(String, String), String> {
+    let rest = rest.trim().trim_end_matches('.').trim_end();
+    let (prefix, ns_part) = rest
+        .split_once(':')
+        .ok_or_else(|| "expected '@prefix P: <ns> .'".to_string())?;
+    let ns = parse_angle_ns(ns_part)?;
+    let prefix = prefix.trim();
+    if prefix.is_empty() {
+        return Err("empty prefix".to_string());
+    }
+    Ok((prefix.to_string(), ns))
+}
+
+fn parse_angle_ns(rest: &str) -> Result<String, String> {
+    let rest = rest.trim().trim_end_matches('.').trim_end();
+    rest.strip_prefix('<')
+        .and_then(|s| s.strip_suffix('>'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected '<namespace>', got: {rest}"))
+}
+
+/// Render one term in parseable form.
+pub fn write_term(out: &mut String, term: &Term) {
+    match term {
+        Term::Literal(l) if l.dtype == LiteralType::String => {
+            out.push('\'');
+            out.push_str(&l.value.replace('\'', "''"));
+            out.push('\'');
+        }
+        Term::Literal(l) => out.push_str(&l.value),
+        Term::Concept(c) => {
+            if let Some(p) = &c.prefix {
+                out.push_str(p);
+                out.push(':');
+            }
+            out.push_str(&c.name);
+        }
+    }
+}
+
+/// Render one triple as `(s, p, o)`.
+#[must_use]
+pub fn write_triple(triple: &Triple) -> String {
+    let mut out = String::new();
+    out.push('(');
+    write_term(&mut out, &triple.subject);
+    out.push_str(", ");
+    write_term(&mut out, &triple.predicate);
+    out.push_str(", ");
+    write_term(&mut out, &triple.object);
+    out.push(')');
+    out
+}
+
+/// Serialize an entire store (prefixes, documents, triples) in a form
+/// [`parse_into`] accepts back.
+#[must_use]
+pub fn write_store(store: &TripleStore) -> String {
+    let mut out = String::new();
+    for (prefix, ns) in store.prefixes().iter() {
+        let _ = writeln!(out, "@prefix {prefix}: <{ns}> .");
+    }
+    if let Some(std_ns) = store.prefixes().resolve(None) {
+        let _ = writeln!(out, "@standard <{std_ns}> .");
+    }
+    for doc in store.documents() {
+        let _ = writeln!(out, "@document {}", doc.name);
+        for &tid in &doc.triples {
+            let triple = store.get(tid).expect("document references interned triple");
+            out.push_str(&write_triple(triple));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LiteralType;
+
+    #[test]
+    fn parse_term_variants() {
+        assert_eq!(parse_term("'OBSW001'").unwrap(), Term::literal("OBSW001"));
+        assert_eq!(
+            parse_term("Fun:accept_cmd").unwrap(),
+            Term::concept_in("Fun", "accept_cmd")
+        );
+        assert_eq!(parse_term("thing").unwrap(), Term::concept("thing"));
+        assert_eq!(
+            parse_term("42").unwrap(),
+            Term::Literal(Literal::typed("42", LiteralType::Integer))
+        );
+        assert_eq!(
+            parse_term("3.5").unwrap(),
+            Term::Literal(Literal::typed("3.5", LiteralType::Decimal))
+        );
+        assert_eq!(
+            parse_term("true").unwrap(),
+            Term::Literal(Literal::typed("true", LiteralType::Boolean))
+        );
+    }
+
+    #[test]
+    fn parse_term_concept_with_spaces() {
+        // Straight from the paper: InType:pre-launch phase
+        assert_eq!(
+            parse_term("InType:pre-launch phase").unwrap(),
+            Term::concept_in("InType", "pre-launch phase")
+        );
+    }
+
+    #[test]
+    fn parse_term_errors() {
+        assert!(parse_term("").is_err());
+        assert!(parse_term("'unterminated").is_err());
+        assert!(parse_term(":noprefix").is_err());
+        assert!(parse_term("bad prefix:name").is_err());
+    }
+
+    #[test]
+    fn quoted_literal_with_escaped_quote() {
+        let t = parse_term("'it''s'").unwrap();
+        assert_eq!(t.lexical(), "it's");
+        let mut out = String::new();
+        write_term(&mut out, &t);
+        assert_eq!(out, "'it''s'");
+    }
+
+    #[test]
+    fn parse_triple_paper_example() {
+        let t = parse_triple("('OBSW001', Fun:accept_cmd, CmdType:start-up)").unwrap();
+        assert_eq!(t.subject, Term::literal("OBSW001"));
+        assert_eq!(t.predicate, Term::concept_in("Fun", "accept_cmd"));
+        assert_eq!(t.object, Term::concept_in("CmdType", "start-up"));
+    }
+
+    #[test]
+    fn parse_triple_comma_inside_quote() {
+        let t = parse_triple("('a,b', p, 'c')").unwrap();
+        assert_eq!(t.subject.lexical(), "a,b");
+    }
+
+    #[test]
+    fn parse_triple_errors() {
+        assert!(parse_triple("not a tuple").is_err());
+        assert!(parse_triple("(a, b)").is_err());
+        assert!(parse_triple("(a, b, c, d)").is_err());
+    }
+
+    #[test]
+    fn parse_corpus_with_directives() {
+        let src = "\
+@prefix Fun: <http://example.org/fun#> .
+@standard <http://example.org/std#> .
+# the paper's running example
+@document REQ-SW-001
+('OBSW001', Fun:acquire_in, InType:pre-launch phase)
+('OBSW001', Fun:accept_cmd, CmdType:start-up)
+('OBSW001', Fun:send_msg, MsgType:power amplifier)
+";
+        let mut store = TripleStore::new();
+        let n = parse_into(&mut store, src).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(store.len(), 3);
+        assert_eq!(
+            store.prefixes().resolve(Some("Fun")),
+            Some("http://example.org/fun#")
+        );
+        assert_eq!(
+            store.prefixes().resolve(None),
+            Some("http://example.org/std#")
+        );
+        let doc = store.document_by_name("REQ-SW-001").unwrap();
+        assert_eq!(doc.len(), 3);
+    }
+
+    #[test]
+    fn parse_without_document_uses_default() {
+        let mut store = TripleStore::new();
+        parse_into(&mut store, "('A', p, 'x')\n").unwrap();
+        assert!(store.document_by_name("default").is_some());
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let mut store = TripleStore::new();
+        let err = parse_into(&mut store, "\n\n(bad\n").unwrap_err();
+        match err {
+            ModelError::Parse { line, .. } => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn resuming_a_document_appends() {
+        let src = "\
+@document A
+('s', p, 'o')
+@document B
+('s2', p, 'o2')
+@document A
+('s3', p, 'o3')
+";
+        let mut store = TripleStore::new();
+        parse_into(&mut store, src).unwrap();
+        assert_eq!(store.document_by_name("A").unwrap().len(), 2);
+        assert_eq!(store.document_by_name("B").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let src = "\
+@prefix Fun: <ns-fun> .
+@document R1
+('OBSW001', Fun:accept_cmd, CmdType:start-up)
+(concept, Fun:send_msg, 42)
+";
+        let mut store = TripleStore::new();
+        parse_into(&mut store, src).unwrap();
+        let rendered = write_store(&store);
+        let mut store2 = TripleStore::new();
+        parse_into(&mut store2, &rendered).unwrap();
+        assert_eq!(store.len(), store2.len());
+        let triples1: Vec<_> = store.iter().map(|(_, t)| t.clone()).collect();
+        let triples2: Vec<_> = store2.iter().map(|(_, t)| t.clone()).collect();
+        assert_eq!(triples1, triples2);
+    }
+}

@@ -1,0 +1,546 @@
+//! SVO extraction for the controlled requirements grammar.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use semtree_model::{Term, Triple};
+
+use crate::stem::light_stem;
+use crate::stopwords::is_stopword;
+use crate::tokenizer::{sentences, tokenize, TokenKind};
+
+/// Extraction failure for a single sentence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtractError {
+    /// No modal verb (`shall`, `must`, …) found.
+    NoModal,
+    /// Nothing usable before the modal.
+    NoSubject,
+    /// No known action verb after the modal.
+    NoVerb(String),
+    /// No object phrase after the verb.
+    NoObject,
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::NoModal => f.write_str("no modal verb (shall/must/…) in sentence"),
+            ExtractError::NoSubject => f.write_str("no subject before the modal verb"),
+            ExtractError::NoVerb(v) => write!(f, "unknown action verb '{v}'"),
+            ExtractError::NoObject => f.write_str("no object phrase after the verb"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+/// Extracts `(Actor, Fun:<verb>_<class>, <ClassType>:<parameter>)` triples
+/// from `"<Actor> shall [not] <verb> the <parameter> <class>"` sentences —
+/// the unary-function reading of requirements from the paper's §III-A.
+#[derive(Debug, Clone)]
+pub struct SvoExtractor {
+    modals: Vec<&'static str>,
+    /// stem → canonical verb.
+    verbs: HashMap<&'static str, &'static str>,
+    /// negated verb → its antonym action (`shall not accept` → `block`).
+    negations: HashMap<&'static str, &'static str>,
+    /// object-class noun → (predicate suffix, object prefix):
+    /// `command` → (`cmd`, `CmdType`).
+    classes: HashMap<&'static str, (&'static str, &'static str)>,
+}
+
+impl SvoExtractor {
+    /// The extractor configured for on-board-software requirements, with
+    /// the verb/class lexicon the synthetic corpus also uses.
+    #[must_use]
+    pub fn requirements() -> Self {
+        let verbs = [
+            "accept", "reject", "block", "allow", "send", "receive", "acquire", "release", "start",
+            "stop", "enable", "disable", "monitor", "verify", "validate", "check", "transmit",
+            "process", "store", "discard",
+        ]
+        .into_iter()
+        .map(|v| (v, v))
+        .collect();
+        let negations = [
+            ("accept", "block"),
+            ("allow", "reject"),
+            ("enable", "disable"),
+            ("start", "stop"),
+            ("send", "discard"),
+        ]
+        .into_iter()
+        .collect();
+        let classes = [
+            ("command", ("cmd", "CmdType")),
+            ("message", ("msg", "MsgType")),
+            ("input", ("in", "InType")),
+            ("output", ("out", "OutType")),
+            ("mode", ("mode", "ModeType")),
+            ("signal", ("sig", "SigType")),
+            ("telemetry", ("tm", "TmType")),
+            ("parameter", ("par", "ParType")),
+        ]
+        .into_iter()
+        .collect();
+        SvoExtractor {
+            modals: vec!["shall", "must", "will", "should"],
+            verbs,
+            negations,
+            classes,
+        }
+    }
+
+    /// Extract the first triple from one sentence (see
+    /// [`SvoExtractor::extract_sentence_all`] for conjunction handling).
+    pub fn extract_sentence(&self, sentence: &str) -> Result<Triple, ExtractError> {
+        self.extract_sentence_all(sentence).map(|mut v| v.remove(0))
+    }
+
+    /// Extract every triple a sentence asserts. The paper notes "a sentence
+    /// can include several triples": object conjunctions
+    /// (`… accept the start-up and shut-down commands`) yield one triple
+    /// per conjunct. Passive sentences
+    /// (`The start-up command shall be accepted by OBSW001`) are normalised
+    /// to their active form first.
+    pub fn extract_sentence_all(&self, sentence: &str) -> Result<Vec<Triple>, ExtractError> {
+        // Leading subordinate clause ("When in safe mode, …", "During the
+        // pre-launch phase, …") is scoped context, not part of the SVO
+        // core: drop everything up to the first comma.
+        let sentence = strip_condition_clause(sentence);
+        let tokens = tokenize(sentence);
+        let words: Vec<String> = tokens
+            .iter()
+            .filter(|t| t.kind != TokenKind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+
+        let modal_idx = words
+            .iter()
+            .position(|w| self.modals.contains(&w.to_lowercase().as_str()))
+            .ok_or(ExtractError::NoModal)?;
+
+        // Optional negation directly after the modal ("shall not …",
+        // "shall not be … by …").
+        let mut idx = modal_idx + 1;
+        let mut negated = false;
+        while idx < words.len() {
+            let lower = words[idx].to_lowercase();
+            if lower == "not" || lower == "never" {
+                negated = true;
+                idx += 1;
+            } else {
+                break;
+            }
+        }
+
+        // Passive voice: "<object> shall [not] be <participle> by <subject>".
+        let passive = words.get(idx).is_some_and(|w| w.to_lowercase() == "be");
+        let (subject_words, raw_verb, object_words): (Vec<String>, String, Vec<String>) = if passive
+        {
+            let verb_idx = idx + 1;
+            let raw_verb = words
+                .get(verb_idx)
+                .cloned()
+                .ok_or_else(|| ExtractError::NoVerb(String::new()))?;
+            let by_idx = words[verb_idx + 1..]
+                .iter()
+                .position(|w| w.to_lowercase() == "by")
+                .map(|p| p + verb_idx + 1)
+                .ok_or(ExtractError::NoSubject)?;
+            let subject = words[by_idx + 1..].to_vec();
+            let object = words[..modal_idx].to_vec();
+            (subject, raw_verb, object)
+        } else {
+            let raw_verb = words
+                .get(idx)
+                .cloned()
+                .ok_or_else(|| ExtractError::NoVerb(String::new()))?;
+            (
+                words[..modal_idx].to_vec(),
+                raw_verb,
+                words[idx + 1..].to_vec(),
+            )
+        };
+
+        // Subject conjunctions ("OBSW001 and OBSW002 shall …") assert the
+        // statement for each actor.
+        let mut subjects: Vec<String> = vec![String::new()];
+        for w in &subject_words {
+            let lower = w.to_lowercase();
+            if lower == "and" || lower == "or" {
+                subjects.push(String::new());
+            } else if !is_stopword(&lower) {
+                let cur = subjects.last_mut().expect("non-empty");
+                if !cur.is_empty() {
+                    cur.push(' ');
+                }
+                cur.push_str(w);
+            }
+        }
+        subjects.retain(|s| !s.is_empty());
+        if subjects.is_empty() {
+            return Err(ExtractError::NoSubject);
+        }
+
+        let stem = light_stem(&raw_verb);
+        // The light stemmer may leave a dropped silent `e` unrestored
+        // ("validated" → "validat"); retry lexicon lookup with it appended.
+        let with_e = format!("{stem}e");
+        let mut verb = *self
+            .verbs
+            .get(stem.as_str())
+            .or_else(|| self.verbs.get(with_e.as_str()))
+            .ok_or(ExtractError::NoVerb(raw_verb))?;
+        if negated {
+            // `shall not accept` ≡ `shall block`: fold the negation into
+            // the antonym action so the antinomy machinery sees it.
+            verb = self.negations.get(verb).copied().unwrap_or(verb);
+        }
+
+        // Object conjunctions: split on and/or *before* stopword removal,
+        // then resolve each conjunct's class noun. A class noun on the last
+        // conjunct distributes to earlier ones ("start-up and shut-down
+        // commands").
+        let mut segments: Vec<Vec<String>> = vec![Vec::new()];
+        for w in &object_words {
+            let lower = w.to_lowercase();
+            if lower == "and" || lower == "or" {
+                segments.push(Vec::new());
+            } else if !is_stopword(&lower) {
+                segments.last_mut().expect("non-empty").push(lower);
+            }
+        }
+        segments.retain(|s| !s.is_empty());
+        if segments.is_empty() {
+            return Err(ExtractError::NoObject);
+        }
+
+        // Right-to-left class inheritance.
+        type ResolvedSegment<'a> = (Vec<String>, Option<(&'a str, &'a str)>);
+        let mut resolved: Vec<ResolvedSegment<'_>> = Vec::with_capacity(segments.len());
+        let mut inherited: Option<(&str, &str)> = None;
+        for mut seg in segments.into_iter().rev() {
+            let last = light_stem(seg.last().expect("retained non-empty"));
+            if let Some(&class) = self.classes.get(last.as_str()) {
+                seg.pop();
+                inherited = Some(class);
+            }
+            resolved.push((seg, inherited));
+        }
+        resolved.reverse();
+
+        let mut out = Vec::with_capacity(resolved.len() * subjects.len());
+        for (seg, class) in resolved {
+            if seg.is_empty() {
+                continue; // a bare class noun carries no parameter
+            }
+            let object = seg.join(" ");
+            let (predicate, object_term) = match class {
+                Some((suffix, prefix)) => {
+                    (format!("{verb}_{suffix}"), Term::concept_in(prefix, object))
+                }
+                None => (verb.to_string(), Term::concept(object)),
+            };
+            for subject in &subjects {
+                out.push(Triple::new(
+                    Term::literal(subject.clone()),
+                    Term::concept_in("Fun", predicate.clone()),
+                    object_term.clone(),
+                ));
+            }
+        }
+        if out.is_empty() {
+            return Err(ExtractError::NoObject);
+        }
+        Ok(out)
+    }
+
+    /// Extract triples from whole text (unparseable sentences are skipped —
+    /// free prose around the requirements is expected).
+    #[must_use]
+    pub fn extract(&self, text: &str) -> Vec<Triple> {
+        sentences(text)
+            .into_iter()
+            .filter_map(|s| self.extract_sentence_all(s).ok())
+            .flatten()
+            .collect()
+    }
+}
+
+/// Strip a leading subordinate clause introduced by a condition keyword and
+/// terminated by a comma. Sentences without one pass through unchanged.
+fn strip_condition_clause(sentence: &str) -> &str {
+    const CONDITIONS: [&str; 6] = ["when ", "while ", "if ", "during ", "after ", "before "];
+    let trimmed = sentence.trim_start();
+    let lower = trimmed.to_lowercase();
+    if CONDITIONS.iter().any(|c| lower.starts_with(c)) {
+        if let Some(comma) = trimmed.find(',') {
+            return trimmed[comma + 1..].trim_start();
+        }
+    }
+    trimmed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex() -> SvoExtractor {
+        SvoExtractor::requirements()
+    }
+
+    #[test]
+    fn paper_example_accept_cmd() {
+        let t = ex()
+            .extract_sentence("OBSW001 shall accept the start-up command")
+            .unwrap();
+        assert_eq!(
+            t.to_string(),
+            "('OBSW001', Fun:accept_cmd, CmdType:start-up)"
+        );
+    }
+
+    #[test]
+    fn paper_example_acquire_input() {
+        let t = ex()
+            .extract_sentence("The OBSW001 shall acquire the pre-launch phase input")
+            .unwrap();
+        assert_eq!(
+            t.to_string(),
+            "('OBSW001', Fun:acquire_in, InType:pre-launch phase)"
+        );
+    }
+
+    #[test]
+    fn paper_example_send_msg() {
+        let t = ex()
+            .extract_sentence("OBSW001 shall send the power amplifier message")
+            .unwrap();
+        assert_eq!(
+            t.to_string(),
+            "('OBSW001', Fun:send_msg, MsgType:power amplifier)"
+        );
+    }
+
+    #[test]
+    fn negation_folds_to_antonym() {
+        let t = ex()
+            .extract_sentence("OBSW001 shall not accept the start-up command")
+            .unwrap();
+        assert_eq!(t.predicate, Term::concept_in("Fun", "block_cmd"));
+        // Subject and object unchanged — the inconsistency pattern.
+        assert_eq!(t.subject, Term::literal("OBSW001"));
+        assert_eq!(t.object, Term::concept_in("CmdType", "start-up"));
+    }
+
+    #[test]
+    fn inflected_verbs_are_stemmed() {
+        let t = ex()
+            .extract_sentence("The controller must accepts the shutdown command")
+            .unwrap();
+        assert_eq!(t.predicate, Term::concept_in("Fun", "accept_cmd"));
+    }
+
+    #[test]
+    fn object_without_class_noun() {
+        let t = ex()
+            .extract_sentence("OBSW002 shall monitor the battery voltage")
+            .unwrap();
+        assert_eq!(t.predicate, Term::concept_in("Fun", "monitor"));
+        assert_eq!(t.object, Term::concept("battery voltage"));
+    }
+
+    #[test]
+    fn error_cases() {
+        let e = ex();
+        assert_eq!(
+            e.extract_sentence("no modal here").unwrap_err(),
+            ExtractError::NoModal
+        );
+        assert_eq!(
+            e.extract_sentence("shall accept the command").unwrap_err(),
+            ExtractError::NoSubject
+        );
+        assert!(matches!(
+            e.extract_sentence("OBSW001 shall frobnicate the widget")
+                .unwrap_err(),
+            ExtractError::NoVerb(_)
+        ));
+        assert_eq!(
+            e.extract_sentence("OBSW001 shall accept").unwrap_err(),
+            ExtractError::NoObject
+        );
+        assert_eq!(
+            e.extract_sentence("OBSW001 shall accept the command")
+                .unwrap_err(),
+            ExtractError::NoObject // class noun alone carries no parameter
+        );
+    }
+
+    #[test]
+    fn extract_walks_sentences_and_skips_noise() {
+        let text = "Introduction text without structure. \
+                    OBSW001 shall accept the start-up command. \
+                    Some rationale follows. \
+                    OBSW001 shall send the heartbeat message.";
+        let triples = ex().extract(text);
+        assert_eq!(triples.len(), 2);
+        assert_eq!(triples[0].predicate, Term::concept_in("Fun", "accept_cmd"));
+        assert_eq!(triples[1].predicate, Term::concept_in("Fun", "send_msg"));
+    }
+
+    #[test]
+    fn multi_word_subject() {
+        let t = ex()
+            .extract_sentence("The thermal control unit shall enable the heater output")
+            .unwrap();
+        assert_eq!(t.subject, Term::literal("thermal control unit"));
+        assert_eq!(t.predicate, Term::concept_in("Fun", "enable_out"));
+    }
+
+    #[test]
+    fn subject_conjunction_asserts_for_each_actor() {
+        let ts = ex()
+            .extract_sentence_all("OBSW001 and OBSW002 shall accept the start-up command")
+            .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].subject, Term::literal("OBSW001"));
+        assert_eq!(ts[1].subject, Term::literal("OBSW002"));
+        assert!(ts
+            .iter()
+            .all(|t| t.predicate == Term::concept_in("Fun", "accept_cmd")));
+    }
+
+    #[test]
+    fn subject_and_object_conjunctions_cross_product() {
+        let ts = ex()
+            .extract_sentence_all(
+                "OBSW001 and OBSW002 shall accept the start-up and shut-down commands",
+            )
+            .unwrap();
+        assert_eq!(ts.len(), 4);
+    }
+
+    #[test]
+    fn leading_condition_clause_is_stripped() {
+        let t = ex()
+            .extract_sentence("When in safe mode, OBSW001 shall reject the reboot command")
+            .unwrap();
+        assert_eq!(t.subject, Term::literal("OBSW001"));
+        assert_eq!(t.predicate, Term::concept_in("Fun", "reject_cmd"));
+
+        let t = ex()
+            .extract_sentence(
+                "During the pre-launch phase, the PSU001 shall enable the heater output",
+            )
+            .unwrap();
+        assert_eq!(t.subject, Term::literal("PSU001"));
+    }
+
+    #[test]
+    fn condition_keyword_without_comma_is_left_alone() {
+        // "if" without a clause comma: parse proceeds (and fails on the
+        // missing modal structure rather than mangling the sentence).
+        assert!(ex().extract_sentence("if only this worked").is_err());
+        // Condition words inside the sentence are untouched.
+        let t = ex()
+            .extract_sentence("OBSW001 shall monitor the battery voltage")
+            .unwrap();
+        assert_eq!(t.predicate, Term::concept_in("Fun", "monitor"));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ExtractError::NoModal.to_string().contains("modal"));
+        assert!(ExtractError::NoVerb("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn object_conjunction_yields_one_triple_per_conjunct() {
+        // "a sentence can include several triples" — the paper, §II.
+        let ts = ex()
+            .extract_sentence_all("OBSW001 shall accept the start-up and shut-down commands")
+            .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(
+            ts[0].to_string(),
+            "('OBSW001', Fun:accept_cmd, CmdType:start-up)"
+        );
+        assert_eq!(
+            ts[1].to_string(),
+            "('OBSW001', Fun:accept_cmd, CmdType:shut-down)"
+        );
+    }
+
+    #[test]
+    fn per_conjunct_class_nouns() {
+        let ts = ex()
+            .extract_sentence_all(
+                "OBSW001 shall send the heartbeat message and the status telemetry",
+            )
+            .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].predicate, Term::concept_in("Fun", "send_msg"));
+        assert_eq!(ts[0].object, Term::concept_in("MsgType", "heartbeat"));
+        assert_eq!(ts[1].predicate, Term::concept_in("Fun", "send_tm"));
+        assert_eq!(ts[1].object, Term::concept_in("TmType", "status"));
+    }
+
+    #[test]
+    fn or_conjunction_also_splits() {
+        let ts = ex()
+            .extract_sentence_all("OBSW001 shall reject the reset or reboot commands")
+            .unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1].object, Term::concept_in("CmdType", "reboot"));
+    }
+
+    #[test]
+    fn passive_voice_is_normalised() {
+        let t = ex()
+            .extract_sentence("The start-up command shall be accepted by OBSW001")
+            .unwrap();
+        assert_eq!(
+            t.to_string(),
+            "('OBSW001', Fun:accept_cmd, CmdType:start-up)"
+        );
+    }
+
+    #[test]
+    fn negated_passive_voice() {
+        let t = ex()
+            .extract_sentence("The start-up command shall not be accepted by the OBSW001")
+            .unwrap();
+        assert_eq!(t.predicate, Term::concept_in("Fun", "block_cmd"));
+        assert_eq!(t.subject, Term::literal("OBSW001"));
+    }
+
+    #[test]
+    fn passive_without_agent_fails() {
+        assert_eq!(
+            ex().extract_sentence("The command shall be accepted")
+                .unwrap_err(),
+            ExtractError::NoSubject
+        );
+    }
+
+    #[test]
+    fn extract_flattens_conjunctions_across_sentences() {
+        let text = "OBSW001 shall accept the start-up and shut-down commands. \
+                    OBSW001 shall send the heartbeat message.";
+        let ts = ex().extract(text);
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn trailing_conjunction_of_bare_class_noun_is_skipped() {
+        // "… the start-up command and message" — the second conjunct names
+        // a class with no parameter; only the first produces a triple.
+        let ts = ex()
+            .extract_sentence_all("OBSW001 shall accept the start-up command and message")
+            .unwrap();
+        assert_eq!(ts.len(), 1);
+    }
+}

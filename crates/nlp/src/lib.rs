@@ -1,0 +1,39 @@
+//! Lightweight NLP substrate: from requirement prose to triples.
+//!
+//! The paper assumes "NLP facilities to transform a text in a set of
+//! triples can be easily exploited" and deliberately does not specify them.
+//! This crate provides the concrete facility the rest of the system uses:
+//! a tokenizer, sentence splitter, stopword list, light stemmer, and an
+//! SVO (subject–verb–object) extractor tuned to the controlled grammar of
+//! software requirements (`X shall <verb> the <parameter> <class>`).
+//!
+//! The extractor reproduces the paper's own notation: from
+//!
+//! ```text
+//! OBSW001 shall accept the start-up command.
+//! ```
+//!
+//! it derives `('OBSW001', Fun:accept_cmd, CmdType:start-up)` — exactly the
+//! resource shape of the paper's §III-A example (`Fun:acquire_in`,
+//! `InType:pre-launch phase`, `Fun:send_msg`, `MsgType:power amplifier`).
+//!
+//! # Example
+//!
+//! ```
+//! use semtree_nlp::SvoExtractor;
+//!
+//! let ex = SvoExtractor::requirements();
+//! let triples = ex.extract("OBSW001 shall accept the start-up command.");
+//! assert_eq!(triples.len(), 1);
+//! assert_eq!(triples[0].to_string(), "('OBSW001', Fun:accept_cmd, CmdType:start-up)");
+//! ```
+
+mod extract;
+mod stem;
+mod stopwords;
+mod tokenizer;
+
+pub use extract::{ExtractError, SvoExtractor};
+pub use stem::light_stem;
+pub use stopwords::is_stopword;
+pub use tokenizer::{sentences, tokenize, Token, TokenKind};

@@ -1,0 +1,129 @@
+//! A light inflectional stemmer (Porter step-1 flavour).
+//!
+//! Enough to normalise requirement verbs — `accepts`/`accepted`/
+//! `accepting` → `accept` — without the full Porter machinery the
+//! controlled grammar does not need.
+
+/// Strip common inflectional suffixes from a lowercase word.
+#[must_use]
+pub fn light_stem(word: &str) -> String {
+    let w = word.to_lowercase();
+    // -sses → -ss, -ies → -y, -s (not -ss, -us)
+    if let Some(base) = w.strip_suffix("sses") {
+        return format!("{base}ss");
+    }
+    if let Some(base) = w.strip_suffix("ies") {
+        if !base.is_empty() {
+            return format!("{base}y");
+        }
+    }
+    if w.ends_with('s') && !w.ends_with("ss") && !w.ends_with("us") && w.len() > 3 {
+        return w[..w.len() - 1].to_string();
+    }
+    // -ing / -ed with consonant-doubling and silent-e restoration.
+    for suffix in ["ing", "ed"] {
+        if let Some(base) = w.strip_suffix(suffix) {
+            if base.len() < 2 {
+                continue;
+            }
+            let chars: Vec<char> = base.chars().collect();
+            let last = chars[chars.len() - 1];
+            let prev = chars[chars.len() - 2];
+            // stopped → stop, blocked → block
+            if last == prev && matches!(last, 'b' | 'd' | 'g' | 'm' | 'n' | 'p' | 'r' | 't') {
+                return base[..base.len() - 1].to_string();
+            }
+            // Silent-e restoration: received → receive, enabling → enable,
+            // stored → store (CVC with a single vowel-consonant run).
+            let restore_e = last == 'v'
+                || (last == 'l' && !is_vowel(prev))
+                || (ends_consonant_vowel_consonant(&chars) && measure(&chars) == 1);
+            if restore_e && !base.ends_with('e') {
+                return format!("{base}e");
+            }
+            return base.to_string();
+        }
+    }
+    w
+}
+
+fn is_vowel(c: char) -> bool {
+    matches!(c, 'a' | 'e' | 'i' | 'o' | 'u')
+}
+
+/// Porter's *measure*: the number of vowel→consonant transitions.
+fn measure(chars: &[char]) -> usize {
+    let mut m = 0;
+    let mut prev_vowel = false;
+    for &c in chars {
+        let v = is_vowel(c);
+        if prev_vowel && !v {
+            m += 1;
+        }
+        prev_vowel = v;
+    }
+    m
+}
+
+fn ends_consonant_vowel_consonant(chars: &[char]) -> bool {
+    if chars.len() < 3 {
+        return false;
+    }
+    let n = chars.len();
+    !is_vowel(chars[n - 1])
+        && is_vowel(chars[n - 2])
+        && !is_vowel(chars[n - 3])
+        && !matches!(chars[n - 1], 'w' | 'x' | 'y')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plural_s() {
+        assert_eq!(light_stem("accepts"), "accept");
+        assert_eq!(light_stem("commands"), "command");
+        assert_eq!(light_stem("sends"), "send");
+    }
+
+    #[test]
+    fn s_guards() {
+        assert_eq!(light_stem("pass"), "pass");
+        assert_eq!(light_stem("status"), "status");
+        assert_eq!(light_stem("gas"), "gas"); // too short to strip
+    }
+
+    #[test]
+    fn ies_and_sses() {
+        assert_eq!(light_stem("verifies"), "verify");
+        assert_eq!(light_stem("passes"), "pass");
+    }
+
+    #[test]
+    fn ing_forms() {
+        assert_eq!(light_stem("accepting"), "accept");
+        assert_eq!(light_stem("stopping"), "stop");
+        assert_eq!(light_stem("enabling"), "enable");
+        assert_eq!(light_stem("monitoring"), "monitor");
+    }
+
+    #[test]
+    fn ed_forms() {
+        assert_eq!(light_stem("accepted"), "accept");
+        assert_eq!(light_stem("blocked"), "block");
+        assert_eq!(light_stem("received"), "receive");
+    }
+
+    #[test]
+    fn lowercases() {
+        assert_eq!(light_stem("ACCEPTS"), "accept");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(light_stem("go"), "go");
+        assert_eq!(light_stem("ed"), "ed");
+        assert_eq!(light_stem("ing"), "ing");
+    }
+}

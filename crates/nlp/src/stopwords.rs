@@ -1,0 +1,34 @@
+//! A compact English stopword list for requirement prose.
+
+/// Stopwords the extractor skips when assembling subject/object phrases.
+static STOPWORDS: &[&str] = &[
+    "a", "an", "the", "this", "that", "these", "those", "of", "in", "on", "at", "to", "from", "by",
+    "with", "and", "or", "for", "as", "is", "are", "be", "been", "was", "were", "it", "its", "any",
+    "all", "each", "every", "when", "then", "than", "so", "such", "via",
+];
+
+/// Whether `word` (matched case-insensitively) is a stopword.
+#[must_use]
+pub fn is_stopword(word: &str) -> bool {
+    let lower = word.to_lowercase();
+    STOPWORDS.contains(&lower.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn common_words_are_stopwords() {
+        for w in ["the", "a", "The", "AND", "with"] {
+            assert!(is_stopword(w), "{w}");
+        }
+    }
+
+    #[test]
+    fn content_words_are_not() {
+        for w in ["command", "OBSW001", "accept", "start-up"] {
+            assert!(!is_stopword(w), "{w}");
+        }
+    }
+}

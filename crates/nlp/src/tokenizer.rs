@@ -1,0 +1,179 @@
+//! Tokenization and sentence splitting.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Alphabetic (or hyphenated alphabetic) word, e.g. `start-up`.
+    Word,
+    /// Numeric or alphanumeric identifier, e.g. `OBSW001`, `42`.
+    Identifier,
+    /// Punctuation.
+    Punct,
+}
+
+/// One token with its original text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token text as it appeared (case preserved).
+    pub text: String,
+    /// Its lexical class.
+    pub kind: TokenKind,
+}
+
+impl Token {
+    /// Lowercased text (words are matched case-insensitively).
+    #[must_use]
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+}
+
+fn classify(text: &str) -> TokenKind {
+    let has_digit = text.chars().any(|c| c.is_ascii_digit());
+    let has_alpha = text.chars().any(char::is_alphabetic);
+    if has_digit {
+        TokenKind::Identifier
+    } else if has_alpha {
+        TokenKind::Word
+    } else {
+        TokenKind::Punct
+    }
+}
+
+/// Tokenize one sentence. Words keep internal hyphens (`start-up`,
+/// `pre-launch`); everything else splits on non-alphanumerics.
+#[must_use]
+pub fn tokenize(sentence: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = sentence.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        let joins = c.is_alphanumeric()
+            || c == '_'
+            || (c == '-'
+                && i > 0
+                && chars[i - 1].is_alphanumeric()
+                && chars.get(i + 1).copied().is_some_and(char::is_alphanumeric));
+        if joins {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                out.push(Token {
+                    kind: classify(&cur),
+                    text: std::mem::take(&mut cur),
+                });
+            }
+            if !c.is_whitespace() {
+                out.push(Token {
+                    text: c.to_string(),
+                    kind: TokenKind::Punct,
+                });
+            }
+        }
+    }
+    if !cur.is_empty() {
+        out.push(Token {
+            kind: classify(&cur),
+            text: cur,
+        });
+    }
+    out
+}
+
+/// Split text into sentences on `.`, `!`, `?` and newlines, ignoring
+/// periods inside decimal numbers (`1.5 seconds`).
+#[must_use]
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0usize;
+    for (i, &b) in bytes.iter().enumerate() {
+        let is_break = match b {
+            b'!' | b'?' | b'\n' => true,
+            b'.' => {
+                let prev_digit = i > 0 && bytes[i - 1].is_ascii_digit();
+                let next_digit = bytes.get(i + 1).is_some_and(u8::is_ascii_digit);
+                !(prev_digit && next_digit)
+            }
+            _ => false,
+        };
+        if is_break {
+            let s = text[start..i].trim();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            start = i + 1;
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_requirement_sentence() {
+        let toks = tokenize("OBSW001 shall accept the start-up command");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["OBSW001", "shall", "accept", "the", "start-up", "command"]
+        );
+        assert_eq!(toks[0].kind, TokenKind::Identifier);
+        assert_eq!(toks[1].kind, TokenKind::Word);
+        assert_eq!(toks[4].kind, TokenKind::Word);
+    }
+
+    #[test]
+    fn hyphen_only_joins_between_alphanumerics() {
+        let toks = tokenize("pre-launch - phase -x");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["pre-launch", "-", "phase", "-", "x"]);
+    }
+
+    #[test]
+    fn punctuation_is_kept_as_tokens() {
+        let toks = tokenize("stop, then go.");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["stop", ",", "then", "go", "."]);
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t ").is_empty());
+    }
+
+    #[test]
+    fn sentence_split_basic() {
+        let s = sentences("First one. Second one! Third?");
+        assert_eq!(s, vec!["First one", "Second one", "Third"]);
+    }
+
+    #[test]
+    fn sentence_split_spares_decimals() {
+        let s = sentences("Respond within 1.5 seconds. Then stop.");
+        assert_eq!(s, vec!["Respond within 1.5 seconds", "Then stop"]);
+    }
+
+    #[test]
+    fn sentence_split_on_newlines() {
+        let s = sentences("line one\nline two\n");
+        assert_eq!(s, vec!["line one", "line two"]);
+    }
+
+    #[test]
+    fn lower_helper() {
+        let t = Token {
+            text: "ShAlL".into(),
+            kind: TokenKind::Word,
+        };
+        assert_eq!(t.lower(), "shall");
+    }
+}

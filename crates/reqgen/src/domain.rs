@@ -1,0 +1,352 @@
+//! The on-board-software domain vocabulary.
+
+use std::sync::Arc;
+
+use semtree_vocab::{AntinomyTable, Taxonomy};
+
+/// Requirement function classes and their verbs. Each entry is
+/// `(category, verb, class_noun, predicate, object_prefix)`; the predicate
+/// is `verb_classabbrev` exactly as `semtree-nlp` derives it from prose.
+const FUNCTIONS: &[(&str, &str, &str, &str, &str)] = &[
+    (
+        "command_handling",
+        "accept",
+        "command",
+        "accept_cmd",
+        "CmdType",
+    ),
+    (
+        "command_handling",
+        "reject",
+        "command",
+        "reject_cmd",
+        "CmdType",
+    ),
+    (
+        "command_handling",
+        "block",
+        "command",
+        "block_cmd",
+        "CmdType",
+    ),
+    (
+        "command_handling",
+        "allow",
+        "command",
+        "allow_cmd",
+        "CmdType",
+    ),
+    ("messaging", "send", "message", "send_msg", "MsgType"),
+    ("messaging", "receive", "message", "receive_msg", "MsgType"),
+    ("messaging", "discard", "message", "discard_msg", "MsgType"),
+    ("acquisition", "acquire", "input", "acquire_in", "InType"),
+    ("acquisition", "release", "input", "release_in", "InType"),
+    ("actuation", "enable", "output", "enable_out", "OutType"),
+    ("actuation", "disable", "output", "disable_out", "OutType"),
+    ("mode_control", "start", "mode", "start_mode", "ModeType"),
+    ("mode_control", "stop", "mode", "stop_mode", "ModeType"),
+    (
+        "monitoring",
+        "monitor",
+        "parameter",
+        "monitor_par",
+        "ParType",
+    ),
+    ("monitoring", "verify", "parameter", "verify_par", "ParType"),
+    ("monitoring", "check", "parameter", "check_par", "ParType"),
+];
+
+/// Antinomic predicate pairs — the "ad-hoc requirements vocabulary" used to
+/// build target triples and define inconsistency.
+const ANTINOMIES: &[(&str, &str)] = &[
+    ("accept_cmd", "block_cmd"),
+    ("accept_cmd", "reject_cmd"),
+    ("allow_cmd", "block_cmd"),
+    ("allow_cmd", "reject_cmd"),
+    ("send_msg", "discard_msg"),
+    ("acquire_in", "release_in"),
+    ("enable_out", "disable_out"),
+    ("start_mode", "stop_mode"),
+];
+
+/// Per-class parameter values (the objects of the triples). Multi-word
+/// parameters mirror the paper's `pre-launch phase` / `power amplifier`.
+const PARAMETERS: &[(&str, &[&str])] = &[
+    (
+        "CmdType",
+        &[
+            "start-up",
+            "shut-down",
+            "reset",
+            "reboot",
+            "standby",
+            "self-test",
+            "safe-mode entry",
+            "payload activation",
+            "antenna deployment",
+            "orbit correction",
+        ],
+    ),
+    (
+        "MsgType",
+        &[
+            "power amplifier",
+            "heartbeat",
+            "telemetry frame",
+            "housekeeping report",
+            "error log",
+            "time sync",
+            "navigation fix",
+            "thermal status",
+        ],
+    ),
+    (
+        "InType",
+        &[
+            "pre-launch phase",
+            "sensor data",
+            "gyroscope reading",
+            "star tracker frame",
+            "sun sensor level",
+            "ground uplink",
+            "battery telemetry",
+        ],
+    ),
+    (
+        "OutType",
+        &[
+            "heater",
+            "reaction wheel",
+            "thruster valve",
+            "beacon transmitter",
+            "payload camera",
+            "solar array drive",
+        ],
+    ),
+    (
+        "ModeType",
+        &[
+            "nominal operation",
+            "safe hold",
+            "orbit insertion",
+            "eclipse survival",
+            "detumbling",
+            "science collection",
+        ],
+    ),
+    (
+        "ParType",
+        &[
+            "battery voltage",
+            "bus current",
+            "tank pressure",
+            "board temperature",
+            "link margin",
+            "memory usage",
+        ],
+    ),
+];
+
+/// The complete domain vocabulary: actor names, the `Fun` taxonomy with its
+/// antinomies, and one parameter taxonomy per object class.
+#[derive(Debug, Clone)]
+pub struct DomainVocabulary {
+    actors: Vec<String>,
+    fun: Arc<Taxonomy>,
+    parameters: Vec<(String, Arc<Taxonomy>)>,
+    antinomies: AntinomyTable,
+}
+
+impl DomainVocabulary {
+    /// Build the vocabulary with `actor_count` actor identifiers
+    /// (`OBSW001`, `OBSW002`, …, with PSU/TCU families mixed in).
+    ///
+    /// # Panics
+    /// Panics if `actor_count == 0`.
+    #[must_use]
+    pub fn new(actor_count: usize) -> Self {
+        assert!(actor_count > 0, "at least one actor is required");
+        let families = ["OBSW", "PSU", "TCU", "AOCS", "COMM"];
+        let actors = (0..actor_count)
+            .map(|i| {
+                format!(
+                    "{}{:03}",
+                    families[i % families.len()],
+                    i / families.len() + 1
+                )
+            })
+            .collect();
+
+        let mut fun_builder = Taxonomy::builder("Fun");
+        let mut categories: Vec<&str> = Vec::new();
+        for (cat, ..) in FUNCTIONS {
+            if !categories.contains(cat) {
+                categories.push(cat);
+                fun_builder.add(*cat, &[]);
+            }
+        }
+        for (cat, _, _, predicate, _) in FUNCTIONS {
+            fun_builder.add(*predicate, &[cat]);
+        }
+        let fun = Arc::new(
+            fun_builder
+                .build()
+                .expect("static Fun taxonomy is well-formed"),
+        );
+
+        let parameters = PARAMETERS
+            .iter()
+            .map(|(prefix, values)| {
+                let mut b = Taxonomy::builder(*prefix);
+                for v in *values {
+                    b.add(*v, &[]);
+                }
+                (
+                    (*prefix).to_string(),
+                    Arc::new(b.build().expect("static parameter taxonomy is well-formed")),
+                )
+            })
+            .collect();
+
+        let mut antinomies = AntinomyTable::new();
+        for (a, b) in ANTINOMIES {
+            antinomies.declare(*a, *b);
+        }
+
+        DomainVocabulary {
+            actors,
+            fun,
+            parameters,
+            antinomies,
+        }
+    }
+
+    /// Actor identifiers.
+    #[must_use]
+    pub fn actors(&self) -> &[String] {
+        &self.actors
+    }
+
+    /// The `Fun` predicate taxonomy.
+    #[must_use]
+    pub fn fun_taxonomy(&self) -> &Arc<Taxonomy> {
+        &self.fun
+    }
+
+    /// `(prefix, taxonomy)` for each parameter class.
+    #[must_use]
+    pub fn parameter_taxonomies(&self) -> &[(String, Arc<Taxonomy>)] {
+        &self.parameters
+    }
+
+    /// The antinomy table over `Fun` predicates.
+    #[must_use]
+    pub fn antinomies(&self) -> &AntinomyTable {
+        &self.antinomies
+    }
+
+    /// The function lexicon rows:
+    /// `(category, verb, class_noun, predicate, object_prefix)`.
+    #[must_use]
+    pub fn functions(
+        &self,
+    ) -> &'static [(
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+        &'static str,
+    )] {
+        FUNCTIONS
+    }
+
+    /// Parameter values for an object-class prefix.
+    #[must_use]
+    pub fn parameters_of(&self, prefix: &str) -> &'static [&'static str] {
+        PARAMETERS
+            .iter()
+            .find(|(p, _)| *p == prefix)
+            .map(|(_, v)| *v)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use semtree_vocab::similarity::{Similarity, SimilarityMeasure};
+
+    use super::*;
+
+    #[test]
+    fn actor_names_are_unique_and_shaped() {
+        let v = DomainVocabulary::new(25);
+        assert_eq!(v.actors().len(), 25);
+        let mut dedup = v.actors().to_vec();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 25);
+        assert!(v.actors().iter().any(|a| a.starts_with("OBSW")));
+        assert!(v.actors().iter().any(|a| a.starts_with("PSU")));
+    }
+
+    #[test]
+    fn fun_taxonomy_contains_every_predicate() {
+        let v = DomainVocabulary::new(1);
+        for (_, _, _, predicate, _) in v.functions() {
+            assert!(
+                v.fun_taxonomy().id_of(predicate).is_some(),
+                "{predicate} missing from Fun taxonomy"
+            );
+        }
+    }
+
+    #[test]
+    fn antinomic_predicates_are_close_in_the_taxonomy() {
+        // The property Fig 8 relies on: the antonym predicate is
+        // semantically *near* the original (same category), so the target
+        // triple's k-NN ring contains the real inconsistencies.
+        let v = DomainVocabulary::new(1);
+        let wp = SimilarityMeasure::WuPalmer;
+        for (a, b) in v.antinomies().iter_pairs() {
+            // Antinomic predicates are siblings (same category): WP gives
+            // 2·2/(3+3) = 2/3 in this two-level taxonomy, versus 1/3 for
+            // cross-category pairs.
+            let sim = wp.similarity(v.fun_taxonomy(), a, b).unwrap();
+            assert!(sim > 0.6, "({a},{b}) similarity {sim}");
+            let cross = wp
+                .similarity(v.fun_taxonomy(), "accept_cmd", "send_msg")
+                .unwrap();
+            assert!(sim > cross, "sibling pair must beat cross-category");
+        }
+    }
+
+    #[test]
+    fn every_antinomy_member_is_a_known_predicate() {
+        let v = DomainVocabulary::new(1);
+        for (a, b) in v.antinomies().iter_pairs() {
+            assert!(v.fun_taxonomy().id_of(a).is_some(), "{a}");
+            assert!(v.fun_taxonomy().id_of(b).is_some(), "{b}");
+        }
+    }
+
+    #[test]
+    fn parameter_taxonomies_cover_all_prefixes() {
+        let v = DomainVocabulary::new(1);
+        let prefixes: Vec<&str> = v
+            .parameter_taxonomies()
+            .iter()
+            .map(|(p, _)| p.as_str())
+            .collect();
+        for (_, _, _, _, prefix) in v.functions() {
+            assert!(prefixes.contains(prefix), "{prefix} missing");
+        }
+        assert!(!v.parameters_of("CmdType").is_empty());
+        assert!(v.parameters_of("Nope").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one actor")]
+    fn zero_actors_panics() {
+        let _ = DomainVocabulary::new(0);
+    }
+}

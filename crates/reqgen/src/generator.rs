@@ -1,0 +1,431 @@
+//! Corpus generation with seeded inconsistencies.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semtree_model::{DocumentId, Term, Triple, TripleId, TripleStore};
+
+use crate::domain::DomainVocabulary;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of documents.
+    pub documents: usize,
+    /// Requirements per document, inclusive range.
+    pub requirements_per_doc: (usize, usize),
+    /// Sentences (→ triples) per requirement, inclusive range ("a
+    /// requirement contains more than one sentence and a sentence can
+    /// include several triples").
+    pub sentences_per_requirement: (usize, usize),
+    /// Probability that a requirement additionally contradicts an earlier
+    /// triple (same subject/object, antinomic predicate).
+    pub inconsistency_rate: f64,
+    /// Probability of an extra free-prose sentence the NLP must skip.
+    pub noise_sentence_rate: f64,
+    /// Probability a statement is rendered in the passive voice
+    /// ("The start-up command shall be accepted by OBSW001").
+    pub passive_rate: f64,
+    /// Probability a statement opens with a scoped condition clause
+    /// ("When in safe hold, …") the NLP must strip.
+    pub condition_rate: f64,
+    /// Number of distinct actors.
+    pub actor_count: usize,
+    /// RNG seed (generation is fully deterministic per seed).
+    pub seed: u64,
+}
+
+impl GenConfig {
+    /// A small corpus for tests and examples (~500–800 triples).
+    #[must_use]
+    pub fn small() -> Self {
+        GenConfig {
+            documents: 20,
+            requirements_per_doc: (3, 6),
+            sentences_per_requirement: (2, 5),
+            inconsistency_rate: 0.3,
+            noise_sentence_rate: 0.2,
+            passive_rate: 0.15,
+            condition_rate: 0.1,
+            actor_count: 12,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// A medium corpus (~10k triples) for experiment shake-out runs.
+    #[must_use]
+    pub fn medium() -> Self {
+        GenConfig {
+            documents: 120,
+            requirements_per_doc: (8, 14),
+            sentences_per_requirement: (5, 9),
+            inconsistency_rate: 0.25,
+            noise_sentence_rate: 0.15,
+            passive_rate: 0.15,
+            condition_rate: 0.1,
+            actor_count: 40,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// The paper's scale: "several hundreds of documents from which about
+    /// 100,000 triples were extracted".
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        GenConfig {
+            documents: 400,
+            requirements_per_doc: (20, 30),
+            sentences_per_requirement: (8, 12),
+            inconsistency_rate: 0.25,
+            noise_sentence_rate: 0.1,
+            passive_rate: 0.15,
+            condition_rate: 0.1,
+            actor_count: 120,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Override the seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the document count.
+    #[must_use]
+    pub fn with_documents(mut self, documents: usize) -> Self {
+        self.documents = documents;
+        self
+    }
+
+    /// Override the inconsistency rate.
+    #[must_use]
+    pub fn with_inconsistency_rate(mut self, rate: f64) -> Self {
+        self.inconsistency_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+}
+
+/// One generated requirement: its prose and the triples it asserts.
+#[derive(Debug, Clone)]
+pub struct Requirement {
+    /// Requirement identifier, e.g. `REQ-004-02`.
+    pub id: String,
+    /// The document it belongs to.
+    pub doc: DocumentId,
+    /// The natural-language text (parseable by `semtree-nlp`, with
+    /// occasional free-prose noise).
+    pub text: String,
+    /// The asserted triples, in sentence order.
+    pub triples: Vec<TripleId>,
+}
+
+/// A generated corpus.
+#[derive(Debug)]
+pub struct Corpus {
+    /// All triples, interned per document.
+    pub store: TripleStore,
+    /// The requirements, in generation order.
+    pub requirements: Vec<Requirement>,
+    /// Ground-truth seeded contradictions `(earlier, contradicting)`.
+    pub seeded_inconsistencies: Vec<(TripleId, TripleId)>,
+    /// The domain vocabulary used.
+    pub domain: DomainVocabulary,
+}
+
+impl Corpus {
+    /// All distinct triples in id order (the index build set).
+    #[must_use]
+    pub fn triples(&self) -> Vec<Triple> {
+        self.store.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+/// Deterministic corpus generator.
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    config: GenConfig,
+}
+
+impl CorpusGenerator {
+    /// Create a generator.
+    #[must_use]
+    pub fn new(config: GenConfig) -> Self {
+        CorpusGenerator { config }
+    }
+
+    /// Generate the corpus.
+    #[must_use]
+    pub fn generate(&self) -> Corpus {
+        let cfg = &self.config;
+        let domain = DomainVocabulary::new(cfg.actor_count);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut store = TripleStore::new();
+        store
+            .prefixes_mut()
+            .bind("Fun", "urn:semtree:fun")
+            .expect("fresh prefix table");
+        for (prefix, _) in domain.parameter_taxonomies() {
+            store
+                .prefixes_mut()
+                .bind(
+                    prefix.clone(),
+                    format!("urn:semtree:{}", prefix.to_lowercase()),
+                )
+                .expect("fresh prefix table");
+        }
+
+        let mut requirements = Vec::new();
+        let mut seeded = Vec::new();
+        // Triples eligible as contradiction anchors: their predicate has an
+        // antonym. Stored as (id, triple, verb_row_index).
+        let mut anchors: Vec<(TripleId, Triple)> = Vec::new();
+
+        for d in 0..cfg.documents {
+            let doc = store.create_document(format!("DOC-{:03}", d + 1));
+            let n_reqs = rng.random_range(cfg.requirements_per_doc.0..=cfg.requirements_per_doc.1);
+            for r in 0..n_reqs {
+                let n_sents = rng.random_range(
+                    cfg.sentences_per_requirement.0..=cfg.sentences_per_requirement.1,
+                );
+                let mut text = String::new();
+                let mut triple_ids = Vec::new();
+
+                for _ in 0..n_sents {
+                    let passive = rng.random_bool(cfg.passive_rate);
+                    let (sentence, triple) = self.random_statement(&domain, &mut rng, passive);
+                    if rng.random_bool(cfg.condition_rate) {
+                        const CONDITIONS: [&str; 3] = [
+                            "When in safe hold, ",
+                            "During nominal operation, ",
+                            "After the separation event, ",
+                        ];
+                        text.push_str(CONDITIONS[rng.random_range(0..CONDITIONS.len())]);
+                        // Lower-case the article so the clause reads naturally.
+                        let mut rest = sentence.clone();
+                        if let Some(stripped) = rest.strip_prefix("The ") {
+                            rest = format!("the {stripped}");
+                        }
+                        text.push_str(&rest);
+                    } else {
+                        text.push_str(&sentence);
+                    }
+                    text.push(' ');
+                    let id = store.insert(doc, triple.clone());
+                    triple_ids.push(id);
+                    if domain
+                        .antinomies()
+                        .canonical_antonym(predicate_name(&triple))
+                        .is_some()
+                    {
+                        anchors.push((id, triple));
+                    }
+                }
+
+                // Contradiction injection.
+                if !anchors.is_empty() && rng.random_bool(cfg.inconsistency_rate) {
+                    let (anchor_id, anchor) = anchors[rng.random_range(0..anchors.len())].clone();
+                    let pred = predicate_name(&anchor);
+                    if let Some(antonym) = domain.antinomies().canonical_antonym(pred) {
+                        let conflicting = anchor.with_predicate(Term::concept_in("Fun", antonym));
+                        let sentence = self.statement_prose(&domain, &conflicting, false);
+                        text.push_str(&sentence);
+                        text.push(' ');
+                        let id = store.insert(doc, conflicting);
+                        triple_ids.push(id);
+                        if anchor_id != id {
+                            seeded.push((anchor_id, id));
+                        }
+                    }
+                }
+
+                // Free-prose noise the NLP must skip.
+                if rng.random_bool(cfg.noise_sentence_rate) {
+                    text.push_str("This behaviour is critical during nominal operation. ");
+                }
+
+                requirements.push(Requirement {
+                    id: format!("REQ-{:03}-{:02}", d + 1, r + 1),
+                    doc,
+                    text: text.trim_end().to_string(),
+                    triples: triple_ids,
+                });
+            }
+        }
+
+        Corpus {
+            store,
+            requirements,
+            seeded_inconsistencies: seeded,
+            domain,
+        }
+    }
+
+    /// One random requirement statement: prose + the triple it asserts.
+    fn random_statement(
+        &self,
+        domain: &DomainVocabulary,
+        rng: &mut StdRng,
+        passive: bool,
+    ) -> (String, Triple) {
+        let functions = domain.functions();
+        let (_, _, _, predicate, obj_prefix) = functions[rng.random_range(0..functions.len())];
+        let actor = &domain.actors()[rng.random_range(0..domain.actors().len())];
+        let params = domain.parameters_of(obj_prefix);
+        let param = params[rng.random_range(0..params.len())];
+        let triple = Triple::new(
+            Term::literal(actor.clone()),
+            Term::concept_in("Fun", predicate),
+            Term::concept_in(obj_prefix, param),
+        );
+        (self.statement_prose(domain, &triple, passive), triple)
+    }
+
+    /// Render a triple back into the controlled grammar (the inverse of the
+    /// `semtree-nlp` extractor).
+    fn statement_prose(&self, domain: &DomainVocabulary, triple: &Triple, passive: bool) -> String {
+        let predicate = predicate_name(triple);
+        let row = domain
+            .functions()
+            .iter()
+            .find(|(_, _, _, p, _)| *p == predicate)
+            .expect("generated predicates come from the lexicon");
+        let (_, verb, class_noun, _, _) = row;
+        if passive {
+            format!(
+                "The {} {} shall be {} by the {}.",
+                triple.object.lexical(),
+                class_noun,
+                past_participle(verb),
+                triple.subject.lexical(),
+            )
+        } else {
+            format!(
+                "The {} shall {} the {} {}.",
+                triple.subject.lexical(),
+                verb,
+                triple.object.lexical(),
+                class_noun
+            )
+        }
+    }
+}
+
+/// The regular past participle of a lexicon verb ("accept" → "accepted",
+/// "enable" → "enabled", "stop" → "stopped").
+fn past_participle(verb: &str) -> String {
+    if verb.ends_with('e') {
+        format!("{verb}d")
+    } else if verb == "stop" {
+        "stopped".to_string()
+    } else {
+        format!("{verb}ed")
+    }
+}
+
+fn predicate_name(triple: &Triple) -> &str {
+    triple.predicate.lexical()
+}
+
+#[cfg(test)]
+mod tests {
+    use semtree_nlp::SvoExtractor;
+
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = CorpusGenerator::new(GenConfig::small().with_seed(42)).generate();
+        let b = CorpusGenerator::new(GenConfig::small().with_seed(42)).generate();
+        assert_eq!(a.store.len(), b.store.len());
+        assert_eq!(a.seeded_inconsistencies, b.seeded_inconsistencies);
+        assert_eq!(a.requirements.len(), b.requirements.len());
+        let c = CorpusGenerator::new(GenConfig::small().with_seed(43)).generate();
+        assert_ne!(
+            a.requirements.first().map(|r| r.text.clone()),
+            c.requirements.first().map(|r| r.text.clone())
+        );
+    }
+
+    #[test]
+    fn sizes_respect_configuration() {
+        let cfg = GenConfig::small();
+        let corpus = CorpusGenerator::new(cfg.clone()).generate();
+        assert_eq!(corpus.store.stats().documents, cfg.documents);
+        for req in &corpus.requirements {
+            // Sentence count within range (+1 possible injected conflict).
+            assert!(req.triples.len() >= cfg.sentences_per_requirement.0);
+            assert!(req.triples.len() <= cfg.sentences_per_requirement.1 + 1);
+        }
+    }
+
+    #[test]
+    fn seeded_inconsistencies_satisfy_the_formal_rule() {
+        let corpus = CorpusGenerator::new(GenConfig::small()).generate();
+        assert!(!corpus.seeded_inconsistencies.is_empty());
+        for &(a, b) in &corpus.seeded_inconsistencies {
+            let ta = corpus.store.get(a).unwrap();
+            let tb = corpus.store.get(b).unwrap();
+            assert_eq!(ta.subject, tb.subject, "same subject");
+            assert_eq!(ta.object, tb.object, "same object");
+            assert!(
+                corpus
+                    .domain
+                    .antinomies()
+                    .are_antonyms(ta.predicate.lexical(), tb.predicate.lexical()),
+                "{} vs {}",
+                ta.predicate,
+                tb.predicate
+            );
+        }
+    }
+
+    #[test]
+    fn prose_roundtrips_through_the_nlp_extractor() {
+        let corpus = CorpusGenerator::new(GenConfig::small()).generate();
+        let extractor = SvoExtractor::requirements();
+        for req in corpus.requirements.iter().take(50) {
+            let extracted = extractor.extract(&req.text);
+            let stored: Vec<Triple> = req
+                .triples
+                .iter()
+                .map(|&id| corpus.store.get(id).unwrap().clone())
+                .collect();
+            assert_eq!(
+                extracted, stored,
+                "requirement {} text: {}",
+                req.id, req.text
+            );
+        }
+    }
+
+    #[test]
+    fn zero_inconsistency_rate_seeds_nothing() {
+        let corpus =
+            CorpusGenerator::new(GenConfig::small().with_inconsistency_rate(0.0)).generate();
+        assert!(corpus.seeded_inconsistencies.is_empty());
+    }
+
+    #[test]
+    fn triples_are_well_formed() {
+        let corpus = CorpusGenerator::new(GenConfig::small()).generate();
+        for t in corpus.triples() {
+            assert!(t.subject.is_literal());
+            let p = t.predicate.as_concept().expect("predicate is a concept");
+            assert_eq!(p.prefix.as_deref(), Some("Fun"));
+            assert!(corpus.domain.fun_taxonomy().id_of(&p.name).is_some());
+            let o = t.object.as_concept().expect("object is a concept");
+            assert!(o.prefix.is_some());
+        }
+    }
+
+    #[test]
+    fn medium_scale_generates_plausible_volume() {
+        let corpus = CorpusGenerator::new(GenConfig::medium()).generate();
+        let occurrences = corpus.store.stats().occurrences;
+        assert!(
+            (5_000..30_000).contains(&occurrences),
+            "occurrences {occurrences}"
+        );
+    }
+}

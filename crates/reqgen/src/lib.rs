@@ -1,0 +1,44 @@
+//! Synthetic requirements corpus — the stand-in for the paper's dataset.
+//!
+//! The paper evaluates on "several hundreds of documents [about on-board
+//! software systems] from which about 100,000 triples were extracted",
+//! property of CIRA, with ground truth produced by five CIRA software
+//! engineers. Neither the documents nor the annotations are public, so this
+//! crate generates the closest synthetic equivalent (see DESIGN.md §2):
+//!
+//! - [`DomainVocabulary`]: the "ad-hoc requirements vocabulary" — a `Fun`
+//!   taxonomy of unary requirement functions with an antinomy table
+//!   (`accept_cmd` ↔ `block_cmd`, …) plus per-class parameter taxonomies
+//!   (`CmdType`, `MsgType`, `InType`, …), all shaped after the paper's own
+//!   examples;
+//! - [`CorpusGenerator`]: seeds documents of multi-sentence requirements
+//!   (in both prose and triple form — the prose parses back through
+//!   `semtree-nlp`), and *injects inconsistencies* at a configurable rate:
+//!   a later requirement re-asserts an earlier one's subject and object
+//!   under an antinomic predicate;
+//! - [`GroundTruthOracle`]: applies the paper's formal inconsistency rule
+//!   (same subject ∧ same object ∧ antinomic predicates) to produce exact
+//!   ground truth, and [`AnnotatorPanel`] adds the human-annotator noise
+//!   model (per-annotator miss/false-positive rates, majority vote of 5).
+//!
+//! # Example
+//!
+//! ```
+//! use semtree_reqgen::{CorpusGenerator, GenConfig, GroundTruthOracle};
+//!
+//! let corpus = CorpusGenerator::new(GenConfig::small().with_seed(7)).generate();
+//! assert!(corpus.store.len() > 100);
+//! let oracle = GroundTruthOracle::new(&corpus);
+//! // Every seeded inconsistency is found by the formal rule.
+//! for (a, b) in &corpus.seeded_inconsistencies {
+//!     assert!(oracle.inconsistent_with(*a).contains(b));
+//! }
+//! ```
+
+mod domain;
+mod generator;
+mod oracle;
+
+pub use domain::DomainVocabulary;
+pub use generator::{Corpus, CorpusGenerator, GenConfig, Requirement};
+pub use oracle::{AnnotatorPanel, GroundTruthOracle};

@@ -1,0 +1,306 @@
+//! Ground truth: the formal inconsistency rule, plus a noisy human-panel
+//! model.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use semtree_model::{Term, Triple, TripleId};
+
+use crate::generator::Corpus;
+
+/// Applies the paper's §II definition exactly: two triples are inconsistent
+/// iff (i) same subject, (ii) same object, (iii) antinomic predicates. This
+/// replaces the (proprietary) CIRA annotator ground truth with the formal
+/// rule those annotators were applying — see DESIGN.md §2.
+pub struct GroundTruthOracle<'a> {
+    corpus: &'a Corpus,
+    /// `(subject, object)` → triple ids sharing that frame.
+    by_frame: HashMap<(Term, Term), Vec<TripleId>>,
+}
+
+impl<'a> GroundTruthOracle<'a> {
+    /// Index a corpus.
+    #[must_use]
+    pub fn new(corpus: &'a Corpus) -> Self {
+        let mut by_frame: HashMap<(Term, Term), Vec<TripleId>> = HashMap::new();
+        for (id, t) in corpus.store.iter() {
+            by_frame
+                .entry((t.subject.clone(), t.object.clone()))
+                .or_default()
+                .push(id);
+        }
+        GroundTruthOracle { corpus, by_frame }
+    }
+
+    /// Every triple inconsistent with `id`, in id order.
+    #[must_use]
+    pub fn inconsistent_with(&self, id: TripleId) -> Vec<TripleId> {
+        let Some(triple) = self.corpus.store.get(id) else {
+            return Vec::new();
+        };
+        self.inconsistent_with_triple(triple)
+    }
+
+    /// Every stored triple inconsistent with an arbitrary triple (which
+    /// need not itself be stored).
+    #[must_use]
+    pub fn inconsistent_with_triple(&self, triple: &Triple) -> Vec<TripleId> {
+        let key = (triple.subject.clone(), triple.object.clone());
+        let antinomies = self.corpus.domain.antinomies();
+        let pred = triple.predicate.lexical();
+        self.by_frame
+            .get(&key)
+            .map(|candidates| {
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&cid| {
+                        let other = self.corpus.store.get(cid).expect("indexed id");
+                        antinomies.are_antonyms(pred, other.predicate.lexical())
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// The *target (query) triple* of the evaluation: "subject and object of
+    /// the selected triple and as predicate an antinomic term". `None` when
+    /// the predicate has no antonym.
+    #[must_use]
+    pub fn target_triple(&self, id: TripleId) -> Option<Triple> {
+        let triple = self.corpus.store.get(id)?;
+        let antonym = self
+            .corpus
+            .domain
+            .antinomies()
+            .canonical_antonym(triple.predicate.lexical())?;
+        Some(triple.with_predicate(Term::concept_in("Fun", antonym)))
+    }
+
+    /// All unordered inconsistent pairs `(a, b)` with `a < b`.
+    #[must_use]
+    pub fn all_pairs(&self) -> Vec<(TripleId, TripleId)> {
+        let mut out = Vec::new();
+        for ids in self.by_frame.values() {
+            for (i, &a) in ids.iter().enumerate() {
+                for &b in &ids[i + 1..] {
+                    let ta = self.corpus.store.get(a).expect("indexed id");
+                    let tb = self.corpus.store.get(b).expect("indexed id");
+                    if self
+                        .corpus
+                        .domain
+                        .antinomies()
+                        .are_antonyms(ta.predicate.lexical(), tb.predicate.lexical())
+                    {
+                        out.push(if a < b { (a, b) } else { (b, a) });
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A panel of imperfect annotators (the paper used "5 persons working at
+/// CIRA Institute"). Each annotator starts from the formal ground truth,
+/// *misses* each true inconsistency with `miss_rate` and *adds* a spurious
+/// same-subject triple with `false_positive_rate`; the panel answer is the
+/// majority vote.
+#[derive(Debug, Clone)]
+pub struct AnnotatorPanel {
+    /// Panel size (the paper's 5).
+    pub annotators: usize,
+    /// Probability an annotator overlooks a true inconsistency.
+    pub miss_rate: f64,
+    /// Probability an annotator flags one extra spurious triple.
+    pub false_positive_rate: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnotatorPanel {
+    fn default() -> Self {
+        AnnotatorPanel {
+            annotators: 5,
+            miss_rate: 0.1,
+            false_positive_rate: 0.05,
+            seed: 0xA77,
+        }
+    }
+}
+
+impl AnnotatorPanel {
+    /// A perfectly accurate panel (equals the oracle).
+    #[must_use]
+    pub fn perfect() -> Self {
+        AnnotatorPanel {
+            annotators: 5,
+            miss_rate: 0.0,
+            false_positive_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Majority-vote annotation for the triple `id`.
+    #[must_use]
+    pub fn annotate(&self, oracle: &GroundTruthOracle<'_>, id: TripleId) -> Vec<TripleId> {
+        let truth = oracle.inconsistent_with(id);
+        let store_len = oracle.corpus.store.len();
+        let mut votes: HashMap<TripleId, usize> = HashMap::new();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ u64::from(id.0));
+        for _ in 0..self.annotators {
+            for &t in &truth {
+                if !rng.random_bool(self.miss_rate) {
+                    *votes.entry(t).or_default() += 1;
+                }
+            }
+            if store_len > 0 && rng.random_bool(self.false_positive_rate) {
+                let spurious = TripleId(rng.random_range(0..store_len) as u32);
+                if spurious != id {
+                    *votes.entry(spurious).or_default() += 1;
+                }
+            }
+        }
+        let majority = self.annotators / 2 + 1;
+        let mut out: Vec<TripleId> = votes
+            .into_iter()
+            .filter(|&(_, v)| v >= majority)
+            .map(|(t, _)| t)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generator::{CorpusGenerator, GenConfig};
+
+    use super::*;
+
+    fn corpus() -> Corpus {
+        CorpusGenerator::new(GenConfig::small()).generate()
+    }
+
+    #[test]
+    fn oracle_finds_every_seeded_inconsistency() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        assert!(!c.seeded_inconsistencies.is_empty());
+        for &(a, b) in &c.seeded_inconsistencies {
+            assert!(oracle.inconsistent_with(a).contains(&b), "{a} vs {b}");
+            assert!(oracle.inconsistent_with(b).contains(&a), "symmetry");
+        }
+    }
+
+    #[test]
+    fn oracle_relation_is_symmetric_and_irreflexive() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        for (id, _) in c.store.iter().take(200) {
+            let inc = oracle.inconsistent_with(id);
+            assert!(!inc.contains(&id), "irreflexive");
+            for other in inc {
+                assert!(
+                    oracle.inconsistent_with(other).contains(&id),
+                    "symmetric ({id}, {other})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_cover_seeded_and_are_deduplicated() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        let pairs = oracle.all_pairs();
+        let mut sorted = pairs.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pairs.len());
+        for &(a, b) in &c.seeded_inconsistencies {
+            let key = if a < b { (a, b) } else { (b, a) };
+            assert!(pairs.contains(&key));
+        }
+    }
+
+    #[test]
+    fn target_triple_swaps_predicate_only() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        let (anchor, _) = c.seeded_inconsistencies[0];
+        let original = c.store.get(anchor).unwrap();
+        let target = oracle.target_triple(anchor).expect("anchor has an antonym");
+        assert_eq!(target.subject, original.subject);
+        assert_eq!(target.object, original.object);
+        assert!(c
+            .domain
+            .antinomies()
+            .are_antonyms(target.predicate.lexical(), original.predicate.lexical()));
+    }
+
+    #[test]
+    fn querying_with_target_triple_finds_the_contradictions() {
+        // The heart of the case study: the target triple's inconsistency
+        // set (computed on the *selected* triple) matches what the formal
+        // rule returns for the antinomic query.
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        let (anchor, conflict) = c.seeded_inconsistencies[0];
+        let target = oracle.target_triple(anchor).unwrap();
+        // Triples matching the target's frame under antinomy of the target
+        // predicate include the anchor itself; the conflicting triple is in
+        // the anchor's set.
+        assert!(oracle.inconsistent_with(anchor).contains(&conflict));
+        let of_target = oracle.inconsistent_with_triple(&target);
+        assert!(of_target.contains(&anchor));
+    }
+
+    #[test]
+    fn unknown_triple_yields_empty() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        assert!(oracle.inconsistent_with(TripleId(u32::MAX)).is_empty());
+    }
+
+    #[test]
+    fn perfect_panel_equals_oracle() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        let panel = AnnotatorPanel::perfect();
+        for &(a, _) in c.seeded_inconsistencies.iter().take(10) {
+            assert_eq!(panel.annotate(&oracle, a), oracle.inconsistent_with(a));
+        }
+    }
+
+    #[test]
+    fn noisy_panel_is_deterministic_and_mostly_right() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        let panel = AnnotatorPanel::default();
+        let (a, _) = c.seeded_inconsistencies[0];
+        let v1 = panel.annotate(&oracle, a);
+        let v2 = panel.annotate(&oracle, a);
+        assert_eq!(v1, v2, "deterministic per seed");
+        // With miss_rate 0.1 and majority vote, true findings survive.
+        let truth = oracle.inconsistent_with(a);
+        let kept = truth.iter().filter(|t| v1.contains(t)).count();
+        assert!(kept * 2 >= truth.len(), "majority keeps most truth");
+    }
+
+    #[test]
+    fn all_miss_panel_returns_nothing() {
+        let c = corpus();
+        let oracle = GroundTruthOracle::new(&c);
+        let panel = AnnotatorPanel {
+            annotators: 5,
+            miss_rate: 1.0,
+            false_positive_rate: 0.0,
+            seed: 1,
+        };
+        let (a, _) = c.seeded_inconsistencies[0];
+        assert!(panel.annotate(&oracle, a).is_empty());
+    }
+}

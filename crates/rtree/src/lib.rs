@@ -1,0 +1,33 @@
+//! R-tree baseline for SemTree's index-structure choice.
+//!
+//! The paper (§III-B) surveys "R-tree, Kd-tree, X-tree, SS-tree, M-tree,
+//! Quadtree, etc." and picks the KD-tree for bulk-loading efficiency,
+//! density adaptivity and in-memory simplicity. This crate provides the
+//! closest classical competitor so that the choice can be *measured*
+//! (`repro -- ablation_structure`):
+//!
+//! - **STR bulk loading** (Sort-Tile-Recursive, Leutenegger et al. 1997) —
+//!   the standard packed construction;
+//! - **dynamic insertion** with least-enlargement descent and Guttman's
+//!   quadratic node split;
+//! - **best-first k-NN** over a priority queue of minimum MBR distances
+//!   (Hjaltason & Samet) — exact;
+//! - **range search** by MBR/ball intersection — exact.
+//!
+//! # Example
+//!
+//! ```
+//! use semtree_rtree::RTree;
+//!
+//! let points: Vec<(Vec<f64>, u32)> =
+//!     (0..100).map(|i| (vec![f64::from(i % 10), f64::from(i / 10)], i as u32)).collect();
+//! let tree = RTree::bulk_load(2, points);
+//! let hits = tree.knn(&[3.2, 4.9], 3);
+//! assert_eq!(hits[0].payload, 53);
+//! ```
+
+mod mbr;
+mod tree;
+
+pub use mbr::Mbr;
+pub use tree::{RNeighbor, RTree};

@@ -1,0 +1,145 @@
+//! Minimum bounding rectangles.
+
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned minimum bounding rectangle in `R^k`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mbr {
+    /// Per-dimension lower bounds.
+    pub min: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub max: Vec<f64>,
+}
+
+impl Mbr {
+    /// The degenerate rectangle covering a single point.
+    #[must_use]
+    pub fn point(coords: &[f64]) -> Self {
+        Mbr {
+            min: coords.to_vec(),
+            max: coords.to_vec(),
+        }
+    }
+
+    /// Dimensionality.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Grow to cover another rectangle.
+    pub fn union_with(&mut self, other: &Mbr) {
+        for d in 0..self.min.len() {
+            self.min[d] = self.min[d].min(other.min[d]);
+            self.max[d] = self.max[d].max(other.max[d]);
+        }
+    }
+
+    /// The union of two rectangles.
+    #[must_use]
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Hyper-volume (product of side lengths).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .map(|(lo, hi)| hi - lo)
+            .product()
+    }
+
+    /// How much the area grows if `other` is merged in — Guttman's
+    /// least-enlargement criterion.
+    #[must_use]
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Squared minimum distance from a point to this rectangle (0 inside).
+    #[must_use]
+    pub fn min_dist2(&self, point: &[f64]) -> f64 {
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(point)
+            .map(|((lo, hi), p)| {
+                let d = if p < lo {
+                    lo - p
+                } else if p > hi {
+                    p - hi
+                } else {
+                    0.0
+                };
+                d * d
+            })
+            .sum()
+    }
+
+    /// Whether a ball of `radius` around `point` intersects this rectangle.
+    #[must_use]
+    pub fn intersects_ball(&self, point: &[f64], radius: f64) -> bool {
+        self.min_dist2(point) <= radius * radius
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_rect_has_zero_area() {
+        let m = Mbr::point(&[1.0, 2.0]);
+        assert_eq!(m.area(), 0.0);
+        assert_eq!(m.dims(), 2);
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Mbr::point(&[0.0, 0.0]);
+        let b = Mbr::point(&[2.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u.min, vec![0.0, 0.0]);
+        assert_eq!(u.max, vec![2.0, 3.0]);
+        assert_eq!(u.area(), 6.0);
+    }
+
+    #[test]
+    fn enlargement_is_zero_for_contained() {
+        let big = Mbr {
+            min: vec![0.0, 0.0],
+            max: vec![10.0, 10.0],
+        };
+        let inside = Mbr::point(&[5.0, 5.0]);
+        assert_eq!(big.enlargement(&inside), 0.0);
+        let outside = Mbr::point(&[20.0, 5.0]);
+        assert!(big.enlargement(&outside) > 0.0);
+    }
+
+    #[test]
+    fn min_dist2_inside_edge_outside() {
+        let m = Mbr {
+            min: vec![0.0, 0.0],
+            max: vec![4.0, 4.0],
+        };
+        assert_eq!(m.min_dist2(&[2.0, 2.0]), 0.0);
+        assert_eq!(m.min_dist2(&[4.0, 4.0]), 0.0);
+        assert_eq!(m.min_dist2(&[7.0, 4.0]), 9.0);
+        assert_eq!(m.min_dist2(&[7.0, 8.0]), 9.0 + 16.0);
+    }
+
+    #[test]
+    fn ball_intersection() {
+        let m = Mbr {
+            min: vec![0.0],
+            max: vec![1.0],
+        };
+        assert!(m.intersects_ball(&[2.0], 1.0));
+        assert!(!m.intersects_ball(&[2.0], 0.9));
+        assert!(m.intersects_ball(&[0.5], 0.0));
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the vocabulary substrate.
+
+use std::fmt;
+
+/// Errors produced by taxonomy construction and similarity queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VocabError {
+    /// A concept name was referenced but never added.
+    UnknownConcept(String),
+    /// A concept was added twice.
+    DuplicateConcept(String),
+    /// The IS-A edges contain a cycle reachable from this concept.
+    Cycle(String),
+    /// A parent was referenced before being defined and never defined later.
+    UnknownParent {
+        /// The concept declaring the parent.
+        concept: String,
+        /// The missing parent name.
+        parent: String,
+    },
+}
+
+impl fmt::Display for VocabError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VocabError::UnknownConcept(c) => write!(f, "unknown concept '{c}'"),
+            VocabError::DuplicateConcept(c) => write!(f, "concept '{c}' added twice"),
+            VocabError::Cycle(c) => write!(f, "IS-A cycle involving concept '{c}'"),
+            VocabError::UnknownParent { concept, parent } => {
+                write!(f, "concept '{concept}' names unknown parent '{parent}'")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VocabError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(VocabError::UnknownConcept("x".into())
+            .to_string()
+            .contains("unknown"));
+        assert!(VocabError::DuplicateConcept("x".into())
+            .to_string()
+            .contains("twice"));
+        assert!(VocabError::Cycle("x".into()).to_string().contains("cycle"));
+        assert!(VocabError::UnknownParent {
+            concept: "a".into(),
+            parent: "b".into()
+        }
+        .to_string()
+        .contains("parent"));
+    }
+}

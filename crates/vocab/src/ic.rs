@@ -1,0 +1,186 @@
+//! Corpus-based information content (Resnik 1995).
+//!
+//! The paper cites Resnik's "information-based measure" for semantic
+//! similarity. Resnik's original IC is *corpus-based*: `IC(c) = −log p(c)`
+//! where `p(c)` is the probability of encountering concept `c` **or any of
+//! its descendants** in a corpus. [`crate::Taxonomy::information_content`]
+//! provides the intrinsic (structure-only) approximation used when no
+//! corpus is available; this module provides the faithful corpus-based
+//! variant, fed by concept occurrence counts (e.g. how often each
+//! predicate appears across the requirement triples).
+
+use crate::error::VocabError;
+use crate::taxonomy::{ConceptId, Taxonomy};
+
+/// Corpus-based information content over one taxonomy.
+///
+/// Counts are Laplace-smoothed (+1 per concept) so unseen concepts keep a
+/// finite IC, then propagated to every ancestor; probabilities are masses
+/// relative to the root. IC values are normalised to `[0, 1]` by the
+/// maximum observed IC, so they can replace the intrinsic IC in
+/// Resnik/Lin-style similarities directly.
+#[derive(Debug, Clone)]
+pub struct CorpusIc {
+    /// Normalised IC per concept id.
+    ic: Vec<f64>,
+}
+
+impl CorpusIc {
+    /// Build from `(concept name, occurrence count)` pairs. Names missing
+    /// from the taxonomy are an error (they signal a vocabulary mismatch);
+    /// taxonomy concepts absent from `counts` get the smoothing count only.
+    pub fn from_counts<'a>(
+        taxonomy: &Taxonomy,
+        counts: impl IntoIterator<Item = (&'a str, u64)>,
+    ) -> Result<Self, VocabError> {
+        // Laplace smoothing: every concept starts at 1.
+        let mut mass = vec![1.0f64; taxonomy.len()];
+        for (name, count) in counts {
+            let id = taxonomy.require(name)?;
+            mass[id.index()] += count as f64;
+        }
+        // Propagate each concept's own mass to all its ancestors (the
+        // probability of a concept includes its descendants). `ancestors`
+        // includes self, so add to ancestors excluding self.
+        let own: Vec<f64> = mass.clone();
+        for (id, _) in taxonomy.iter() {
+            for anc in taxonomy.ancestors(id) {
+                if anc != id {
+                    mass[anc.index()] += own[id.index()];
+                }
+            }
+        }
+        let total = mass[taxonomy.root().index()];
+        let raw: Vec<f64> = mass
+            .iter()
+            .map(|&m| {
+                let p = (m / total).clamp(f64::MIN_POSITIVE, 1.0);
+                -p.ln()
+            })
+            .collect();
+        let max = raw.iter().copied().fold(0.0f64, f64::max);
+        let ic = if max <= 0.0 {
+            vec![0.0; raw.len()]
+        } else {
+            raw.into_iter().map(|v| v / max).collect()
+        };
+        Ok(CorpusIc { ic })
+    }
+
+    /// Normalised information content of a concept, in `[0, 1]` (the root
+    /// is always 0).
+    #[must_use]
+    pub fn ic(&self, id: ConceptId) -> f64 {
+        self.ic[id.index()]
+    }
+
+    /// Resnik similarity under corpus IC: `IC(lcs(a, b))`.
+    #[must_use]
+    pub fn resnik(&self, taxonomy: &Taxonomy, a: ConceptId, b: ConceptId) -> f64 {
+        self.ic(taxonomy.lcs(a, b))
+    }
+
+    /// Lin similarity under corpus IC: `2·IC(lcs) / (IC(a) + IC(b))`
+    /// (1 for identical concepts, 0 when both ICs vanish).
+    #[must_use]
+    pub fn lin(&self, taxonomy: &Taxonomy, a: ConceptId, b: ConceptId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let denom = self.ic(a) + self.ic(b);
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        2.0 * self.resnik(taxonomy, a, b) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root → vehicle → {car → {suv, sedan}, bike}; root → animal → dog
+    fn sample() -> Taxonomy {
+        let mut b = Taxonomy::builder("test");
+        b.add("vehicle", &[]);
+        b.add("car", &["vehicle"]);
+        b.add("suv", &["car"]);
+        b.add("sedan", &["car"]);
+        b.add("bike", &["vehicle"]);
+        b.add("animal", &["root"]);
+        b.add("dog", &["animal"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn root_ic_is_zero_and_rare_leaves_score_high() {
+        let t = sample();
+        let ic = CorpusIc::from_counts(&t, [("suv", 1u64), ("sedan", 100), ("dog", 100)]).unwrap();
+        assert_eq!(ic.ic(t.root()), 0.0);
+        let suv = ic.ic(t.id_of("suv").unwrap());
+        let sedan = ic.ic(t.id_of("sedan").unwrap());
+        assert!(
+            suv > sedan,
+            "rarer concept carries more information: {suv} vs {sedan}"
+        );
+        assert!((0.0..=1.0).contains(&suv));
+    }
+
+    #[test]
+    fn frequent_parents_score_lower_than_children() {
+        let t = sample();
+        let ic = CorpusIc::from_counts(&t, [("suv", 50u64), ("sedan", 50), ("bike", 50)]).unwrap();
+        let car = ic.ic(t.id_of("car").unwrap());
+        let suv = ic.ic(t.id_of("suv").unwrap());
+        let vehicle = ic.ic(t.id_of("vehicle").unwrap());
+        assert!(suv > car, "{suv} vs {car}");
+        assert!(car > vehicle, "{car} vs {vehicle}");
+    }
+
+    #[test]
+    fn resnik_and_lin_behave_like_similarities() {
+        let t = sample();
+        let ic = CorpusIc::from_counts(&t, [("suv", 10u64), ("sedan", 10), ("dog", 10)]).unwrap();
+        let suv = t.id_of("suv").unwrap();
+        let sedan = t.id_of("sedan").unwrap();
+        let dog = t.id_of("dog").unwrap();
+
+        let siblings = ic.resnik(&t, suv, sedan);
+        let strangers = ic.resnik(&t, suv, dog);
+        assert!(siblings > strangers, "{siblings} vs {strangers}");
+        assert_eq!(strangers, 0.0, "LCS of strangers is the root");
+
+        assert_eq!(ic.lin(&t, suv, suv), 1.0);
+        let lin_sib = ic.lin(&t, suv, sedan);
+        let lin_far = ic.lin(&t, suv, dog);
+        assert!(lin_sib > lin_far);
+        assert!((0.0..=1.0).contains(&lin_sib));
+    }
+
+    #[test]
+    fn unknown_concept_in_counts_errors() {
+        let t = sample();
+        assert!(matches!(
+            CorpusIc::from_counts(&t, [("ghost", 5u64)]),
+            Err(VocabError::UnknownConcept(_))
+        ));
+    }
+
+    #[test]
+    fn empty_counts_degrade_to_structure_only() {
+        let t = sample();
+        let ic = CorpusIc::from_counts(&t, std::iter::empty::<(&str, u64)>()).unwrap();
+        // With uniform smoothing, deeper/rarer-by-structure concepts still
+        // score higher than broad ones.
+        assert!(ic.ic(t.id_of("suv").unwrap()) > ic.ic(t.id_of("vehicle").unwrap()));
+        assert_eq!(ic.ic(t.root()), 0.0);
+    }
+
+    #[test]
+    fn single_node_taxonomy_is_all_zero() {
+        let t = Taxonomy::builder("solo").build().unwrap();
+        let ic = CorpusIc::from_counts(&t, std::iter::empty::<(&str, u64)>()).unwrap();
+        assert_eq!(ic.ic(t.root()), 0.0);
+        assert_eq!(ic.lin(&t, t.root(), t.root()), 1.0);
+    }
+}

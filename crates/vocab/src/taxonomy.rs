@@ -1,0 +1,540 @@
+//! IS-A concept taxonomies (rooted DAGs).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::VocabError;
+
+/// Dense identifier of a concept within one [`Taxonomy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// The id as a usable index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The reserved name of the implicit root concept.
+pub const ROOT_NAME: &str = "root";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    name: String,
+    parents: Vec<ConceptId>,
+    children: Vec<ConceptId>,
+    /// 1-based depth: `depth(root) == 1`, children of the root have depth 2,
+    /// and a multi-parent node takes the *shortest* root path (the
+    /// convention under which Wu & Palmer is usually stated for DAGs).
+    depth: u32,
+    /// Number of descendants, self included (for intrinsic information
+    /// content).
+    subtree: u32,
+}
+
+/// A rooted IS-A DAG over named concepts.
+///
+/// Every taxonomy has an implicit root named [`ROOT_NAME`]; a concept whose
+/// declared parent list mentions `"root"` (or is empty) hangs directly under
+/// it. Multiple parents are allowed (it is a DAG, not a tree), matching the
+/// "ontologies, taxonomies or vocabularies" the paper delegates to.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Taxonomy {
+    name: String,
+    nodes: Vec<Node>,
+    index: HashMap<String, ConceptId>,
+    max_depth: u32,
+}
+
+/// Incremental construction of a [`Taxonomy`]; parents may be named before
+/// they are defined, and validation happens in [`TaxonomyBuilder::build`].
+#[derive(Debug, Clone)]
+pub struct TaxonomyBuilder {
+    name: String,
+    declared: Vec<(String, Vec<String>)>,
+    seen: HashSet<String>,
+}
+
+impl Taxonomy {
+    /// Start building a taxonomy called `name` (the vocabulary prefix it
+    /// serves, e.g. `"Fun"`).
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> TaxonomyBuilder {
+        TaxonomyBuilder {
+            name: name.into(),
+            declared: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// The taxonomy's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Id of the implicit root.
+    #[must_use]
+    pub fn root(&self) -> ConceptId {
+        ConceptId(0)
+    }
+
+    /// Look a concept up by name.
+    #[must_use]
+    pub fn id_of(&self, name: &str) -> Option<ConceptId> {
+        self.index.get(name).copied()
+    }
+
+    /// Look a concept up by name, erroring when absent.
+    pub fn require(&self, name: &str) -> Result<ConceptId, VocabError> {
+        self.id_of(name)
+            .ok_or_else(|| VocabError::UnknownConcept(name.to_string()))
+    }
+
+    /// Concept name for an id.
+    #[must_use]
+    pub fn concept_name(&self, id: ConceptId) -> &str {
+        &self.nodes[id.index()].name
+    }
+
+    /// 1-based depth (`depth(root) == 1`).
+    #[must_use]
+    pub fn depth(&self, id: ConceptId) -> u32 {
+        self.nodes[id.index()].depth
+    }
+
+    /// Deepest depth present in the taxonomy.
+    #[must_use]
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Direct parents.
+    #[must_use]
+    pub fn parents(&self, id: ConceptId) -> &[ConceptId] {
+        &self.nodes[id.index()].parents
+    }
+
+    /// Direct children.
+    #[must_use]
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        &self.nodes[id.index()].children
+    }
+
+    /// Number of concepts, root included.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Iterate `(id, name)` pairs in id order, root first.
+    pub fn iter(&self) -> impl Iterator<Item = (ConceptId, &str)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ConceptId(i as u32), n.name.as_str()))
+    }
+
+    /// Descendant count, self included.
+    #[must_use]
+    pub fn subtree_size(&self, id: ConceptId) -> u32 {
+        self.nodes[id.index()].subtree
+    }
+
+    /// All ancestors of `id`, self included.
+    #[must_use]
+    pub fn ancestors(&self, id: ConceptId) -> HashSet<ConceptId> {
+        let mut out = HashSet::new();
+        let mut queue = VecDeque::from([id]);
+        while let Some(n) = queue.pop_front() {
+            if out.insert(n) {
+                queue.extend(self.nodes[n.index()].parents.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Whether `ancestor` subsumes `descendant` (reflexive).
+    #[must_use]
+    pub fn subsumes(&self, ancestor: ConceptId, descendant: ConceptId) -> bool {
+        self.ancestors(descendant).contains(&ancestor)
+    }
+
+    /// Lowest common subsumer: the common ancestor of maximum depth
+    /// (ties broken towards the smaller id for determinism).
+    #[must_use]
+    pub fn lcs(&self, a: ConceptId, b: ConceptId) -> ConceptId {
+        let anc_a = self.ancestors(a);
+        let anc_b = self.ancestors(b);
+        anc_a
+            .intersection(&anc_b)
+            .copied()
+            .max_by_key(|&c| (self.depth(c), std::cmp::Reverse(c)))
+            .expect("root is a common ancestor of every pair")
+    }
+
+    /// Length (in edges) of the shortest path between `a` and `b` that goes
+    /// through a common subsumer, using shortest-root-path depths:
+    /// `depth(a) + depth(b) − 2·depth(lcs)`.
+    #[must_use]
+    pub fn path_length(&self, a: ConceptId, b: ConceptId) -> u32 {
+        let lcs = self.lcs(a, b);
+        self.depth(a) + self.depth(b) - 2 * self.depth(lcs)
+    }
+
+    /// Render the IS-A DAG in Graphviz DOT syntax (edges point from child
+    /// to parent), for documentation and debugging of domain vocabularies.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph \"{}\" {{", self.name);
+        let _ = writeln!(out, "  rankdir=BT;");
+        for (id, name) in self.iter() {
+            let _ = writeln!(out, "  n{} [label=\"{}\"];", id.0, name);
+        }
+        for (id, _) in self.iter() {
+            for parent in self.parents(id) {
+                let _ = writeln!(out, "  n{} -> n{};", id.0, parent.0);
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Intrinsic information content (Seco et al.):
+    /// `IC(c) = 1 − ln(subtree(c)) / ln(N)`, so the root has IC 0 and each
+    /// leaf has IC 1. Falls back to 0 for a single-node taxonomy.
+    #[must_use]
+    pub fn information_content(&self, id: ConceptId) -> f64 {
+        let n = self.nodes.len() as f64;
+        if n <= 1.0 {
+            return 0.0;
+        }
+        1.0 - (f64::from(self.subtree_size(id)).ln() / n.ln())
+    }
+}
+
+impl TaxonomyBuilder {
+    /// Declare a concept with its parent names. An empty parent list (or a
+    /// mention of `"root"`) attaches the concept to the implicit root.
+    pub fn add(&mut self, name: impl Into<String>, parents: &[&str]) -> &mut Self {
+        let name = name.into();
+        self.seen.insert(name.clone());
+        self.declared
+            .push((name, parents.iter().map(|s| (*s).to_string()).collect()));
+        self
+    }
+
+    /// Convenience: declare a whole chain `a IS-A b IS-A c …` at once, where
+    /// the *last* element hangs under the root.
+    pub fn add_chain(&mut self, chain: &[&str]) -> &mut Self {
+        for window in chain.windows(2) {
+            if !self.seen.contains(window[0]) {
+                self.add(window[0], &[window[1]]);
+            }
+        }
+        if let Some(last) = chain.last() {
+            if !self.seen.contains(*last) {
+                self.add(*last, &[]);
+            }
+        }
+        self
+    }
+
+    /// Validate and freeze the taxonomy.
+    pub fn build(&self) -> Result<Taxonomy, VocabError> {
+        let mut nodes = vec![Node {
+            name: ROOT_NAME.to_string(),
+            parents: Vec::new(),
+            children: Vec::new(),
+            depth: 1,
+            subtree: 1,
+        }];
+        let mut index = HashMap::from([(ROOT_NAME.to_string(), ConceptId(0))]);
+
+        for (name, _) in &self.declared {
+            if name == ROOT_NAME {
+                return Err(VocabError::DuplicateConcept(ROOT_NAME.to_string()));
+            }
+            let id = ConceptId(nodes.len() as u32);
+            if index.insert(name.clone(), id).is_some() {
+                return Err(VocabError::DuplicateConcept(name.clone()));
+            }
+            nodes.push(Node {
+                name: name.clone(),
+                parents: Vec::new(),
+                children: Vec::new(),
+                depth: 0,
+                subtree: 1,
+            });
+        }
+
+        for (name, parents) in &self.declared {
+            let id = index[name];
+            let mut resolved: Vec<ConceptId> = Vec::with_capacity(parents.len().max(1));
+            if parents.is_empty() {
+                resolved.push(ConceptId(0));
+            }
+            for p in parents {
+                let pid = *index.get(p).ok_or_else(|| VocabError::UnknownParent {
+                    concept: name.clone(),
+                    parent: p.clone(),
+                })?;
+                if !resolved.contains(&pid) {
+                    resolved.push(pid);
+                }
+            }
+            for &pid in &resolved {
+                nodes[pid.index()].children.push(id);
+            }
+            nodes[id.index()].parents = resolved;
+        }
+
+        // Depths via BFS from the root; any node not reached is on a cycle
+        // (or hangs off one), since every acyclic node chains up to the root.
+        let mut queue = VecDeque::from([ConceptId(0)]);
+        let mut visited = vec![false; nodes.len()];
+        visited[0] = true;
+        while let Some(n) = queue.pop_front() {
+            let d = nodes[n.index()].depth;
+            let children = nodes[n.index()].children.clone();
+            for c in children {
+                if !visited[c.index()] {
+                    visited[c.index()] = true;
+                    nodes[c.index()].depth = d + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+        if let Some(i) = visited.iter().position(|v| !v) {
+            return Err(VocabError::Cycle(nodes[i].name.clone()));
+        }
+
+        // Descendant counts: count each node once per ancestor, via a
+        // reverse-BFS from every node (N is small for vocabularies; keep it
+        // simple and obviously correct).
+        let mut subtree = vec![0u32; nodes.len()];
+        for start in 0..nodes.len() {
+            let mut seen = HashSet::new();
+            let mut q = VecDeque::from([ConceptId(start as u32)]);
+            while let Some(n) = q.pop_front() {
+                if seen.insert(n) {
+                    subtree[n.index()] += 1;
+                    q.extend(nodes[n.index()].parents.iter().copied());
+                }
+            }
+        }
+        for (node, st) in nodes.iter_mut().zip(subtree) {
+            node.subtree = st;
+        }
+
+        let max_depth = nodes.iter().map(|n| n.depth).max().unwrap_or(1);
+        Ok(Taxonomy {
+            name: self.name.clone(),
+            nodes,
+            index,
+            max_depth,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// root → vehicle → {car → {suv, sedan}, bike}; root → animal → dog
+    fn sample() -> Taxonomy {
+        let mut b = Taxonomy::builder("test");
+        b.add("vehicle", &[]);
+        b.add("car", &["vehicle"]);
+        b.add("suv", &["car"]);
+        b.add("sedan", &["car"]);
+        b.add("bike", &["vehicle"]);
+        b.add("animal", &["root"]);
+        b.add("dog", &["animal"]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn depths_are_shortest_root_paths() {
+        let t = sample();
+        assert_eq!(t.depth(t.root()), 1);
+        assert_eq!(t.depth(t.id_of("vehicle").unwrap()), 2);
+        assert_eq!(t.depth(t.id_of("car").unwrap()), 3);
+        assert_eq!(t.depth(t.id_of("suv").unwrap()), 4);
+        assert_eq!(t.max_depth(), 4);
+    }
+
+    #[test]
+    fn lcs_finds_deepest_common_ancestor() {
+        let t = sample();
+        let suv = t.id_of("suv").unwrap();
+        let sedan = t.id_of("sedan").unwrap();
+        let bike = t.id_of("bike").unwrap();
+        let dog = t.id_of("dog").unwrap();
+        assert_eq!(t.concept_name(t.lcs(suv, sedan)), "car");
+        assert_eq!(t.concept_name(t.lcs(suv, bike)), "vehicle");
+        assert_eq!(t.concept_name(t.lcs(suv, dog)), "root");
+        // Reflexive: lcs(x, x) = x.
+        assert_eq!(t.lcs(suv, suv), suv);
+        // lcs(ancestor, descendant) = ancestor.
+        let car = t.id_of("car").unwrap();
+        assert_eq!(t.lcs(car, suv), car);
+    }
+
+    #[test]
+    fn path_lengths() {
+        let t = sample();
+        let suv = t.id_of("suv").unwrap();
+        let sedan = t.id_of("sedan").unwrap();
+        let dog = t.id_of("dog").unwrap();
+        assert_eq!(t.path_length(suv, suv), 0);
+        assert_eq!(t.path_length(suv, sedan), 2);
+        assert_eq!(t.path_length(suv, dog), 5);
+    }
+
+    #[test]
+    fn subsumption() {
+        let t = sample();
+        let car = t.id_of("car").unwrap();
+        let suv = t.id_of("suv").unwrap();
+        assert!(t.subsumes(car, suv));
+        assert!(!t.subsumes(suv, car));
+        assert!(t.subsumes(t.root(), suv));
+        assert!(t.subsumes(suv, suv));
+    }
+
+    #[test]
+    fn subtree_sizes_and_ic() {
+        let t = sample();
+        assert_eq!(t.subtree_size(t.root()), t.len() as u32);
+        assert_eq!(t.subtree_size(t.id_of("car").unwrap()), 3);
+        assert_eq!(t.subtree_size(t.id_of("suv").unwrap()), 1);
+        assert_eq!(t.information_content(t.root()), 0.0);
+        assert!((t.information_content(t.id_of("suv").unwrap()) - 1.0).abs() < 1e-12);
+        let ic_car = t.information_content(t.id_of("car").unwrap());
+        assert!(ic_car > 0.0 && ic_car < 1.0);
+    }
+
+    #[test]
+    fn multi_parent_dag() {
+        let mut b = Taxonomy::builder("dag");
+        b.add("a", &[]);
+        b.add("b", &[]);
+        b.add("c", &["a", "b"]);
+        let t = b.build().unwrap();
+        let c = t.id_of("c").unwrap();
+        assert_eq!(t.parents(c).len(), 2);
+        assert_eq!(t.depth(c), 3);
+        // c is counted once in each parent's subtree.
+        assert_eq!(t.subtree_size(t.id_of("a").unwrap()), 2);
+        assert_eq!(t.subtree_size(t.id_of("b").unwrap()), 2);
+        assert_eq!(t.subtree_size(t.root()), 4);
+    }
+
+    #[test]
+    fn duplicate_concept_rejected() {
+        let mut b = Taxonomy::builder("dup");
+        b.add("a", &[]);
+        b.add("a", &[]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            VocabError::DuplicateConcept("a".into())
+        );
+    }
+
+    #[test]
+    fn redeclaring_root_rejected() {
+        let mut b = Taxonomy::builder("dup");
+        b.add("root", &[]);
+        assert!(matches!(b.build(), Err(VocabError::DuplicateConcept(_))));
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut b = Taxonomy::builder("bad");
+        b.add("a", &["ghost"]);
+        assert_eq!(
+            b.build().unwrap_err(),
+            VocabError::UnknownParent {
+                concept: "a".into(),
+                parent: "ghost".into()
+            }
+        );
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut b = Taxonomy::builder("cyc");
+        b.add("a", &["b"]);
+        b.add("b", &["a"]);
+        assert!(matches!(b.build(), Err(VocabError::Cycle(_))));
+    }
+
+    #[test]
+    fn add_chain_builds_is_a_chain() {
+        let mut b = Taxonomy::builder("chain");
+        b.add_chain(&["suv", "car", "vehicle"]);
+        b.add_chain(&["sedan", "car", "vehicle"]); // shared suffix tolerated
+        let t = b.build().unwrap();
+        assert_eq!(t.depth(t.id_of("suv").unwrap()), 4);
+        assert_eq!(
+            t.concept_name(t.lcs(t.id_of("suv").unwrap(), t.id_of("sedan").unwrap())),
+            "car"
+        );
+    }
+
+    #[test]
+    fn require_errors_on_missing() {
+        let t = sample();
+        assert!(t.require("car").is_ok());
+        assert_eq!(
+            t.require("nope").unwrap_err(),
+            VocabError::UnknownConcept("nope".into())
+        );
+    }
+
+    #[test]
+    fn iter_and_len() {
+        let t = sample();
+        assert_eq!(t.len(), 8); // 7 concepts + root
+        assert!(!t.is_empty());
+        assert_eq!(t.iter().count(), 8);
+        assert_eq!(t.iter().next().unwrap().1, ROOT_NAME);
+        let empty = Taxonomy::builder("e").build().unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let t = sample();
+        let dot = t.to_dot();
+        assert!(dot.starts_with("digraph \"test\""));
+        assert!(dot.contains("label=\"car\""));
+        assert!(dot.contains("label=\"root\""));
+        // suv (leaf) has exactly one outgoing IS-A edge.
+        let suv = t.id_of("suv").unwrap();
+        let edge = format!("n{} -> ", suv.0);
+        assert_eq!(dot.matches(&edge).count(), 1);
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn duplicate_parent_mentions_collapse() {
+        let mut b = Taxonomy::builder("dp");
+        b.add("a", &[]);
+        b.add("c", &["a", "a"]);
+        let t = b.build().unwrap();
+        assert_eq!(t.parents(t.id_of("c").unwrap()).len(), 1);
+    }
+}

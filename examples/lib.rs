@@ -1,0 +1,26 @@
+//! Shared helpers for the SemTree examples.
+
+use std::sync::Arc;
+
+use semtree_core::{SemTree, SemTreeBuilder};
+use semtree_reqgen::Corpus;
+use semtree_vocab::wordnet;
+
+/// Wire a builder up with a generated corpus's full vocabulary set: the
+/// `Fun` taxonomy, every parameter-class taxonomy, and the miniature
+/// general-purpose taxonomy as the standard vocabulary.
+#[must_use]
+pub fn builder_for_corpus(corpus: &Corpus) -> SemTreeBuilder {
+    let mut builder = SemTree::builder()
+        .register_standard(Arc::new(wordnet::mini_taxonomy()))
+        .register_vocabulary("Fun", Arc::clone(corpus.domain.fun_taxonomy()));
+    for (prefix, tax) in corpus.domain.parameter_taxonomies() {
+        builder = builder.register_vocabulary(prefix.clone(), Arc::clone(tax));
+    }
+    builder
+}
+
+/// Stage every document of a corpus into the builder.
+pub fn stage_corpus(builder: &mut SemTreeBuilder, corpus: &Corpus) {
+    builder.add_store(&corpus.store);
+}

@@ -1,0 +1,89 @@
+//! Quickstart: index a handful of requirement documents and query them.
+//!
+//! ```sh
+//! cargo run -p semtree-examples --bin quickstart
+//! ```
+
+use std::sync::Arc;
+
+use semtree_core::{AntinomyTable, InconsistencyFinder, SemTree, Term, Triple};
+use semtree_vocab::wordnet;
+
+fn main() {
+    // 1. Build the index straight from document text: the NLP pipeline
+    //    turns each "X shall <verb> the <param> <class>" sentence into an
+    //    RDF-style triple.
+    let mut builder = SemTree::builder()
+        .dimensions(4)
+        .bucket_size(8)
+        .register_standard(Arc::new(wordnet::mini_taxonomy()));
+
+    let docs = [
+        (
+            "REQ-OBSW-001",
+            "The OBSW001 shall accept the start-up command. \
+             The OBSW001 shall acquire the pre-launch phase input. \
+             The OBSW001 shall send the power amplifier message.",
+        ),
+        (
+            "REQ-OBSW-002",
+            "The OBSW001 shall block the start-up command. \
+             The OBSW001 shall monitor the battery voltage parameter.",
+        ),
+        (
+            "REQ-PSU-001",
+            "The PSU001 shall enable the heater output. \
+             The PSU001 shall verify the bus current parameter.",
+        ),
+    ];
+    for (name, text) in docs {
+        let n = builder.add_document_text(name, text);
+        println!("ingested {name}: {n} triples");
+    }
+    let index = builder.build().expect("non-empty corpus");
+    println!("\nindexed {} distinct triples\n", index.len());
+
+    // 2. Query by example: what is semantically close to "OBSW001 accepts
+    //    start-up"?
+    let query = Triple::new(
+        Term::literal("OBSW001"),
+        Term::concept_in("Fun", "accept_cmd"),
+        Term::concept_in("CmdType", "start-up"),
+    );
+    println!("k-NN around {query}:");
+    for hit in index.knn(&query, 3) {
+        println!("  d={:.4}  {}", hit.embedded_distance, hit.triple);
+    }
+
+    // 3. The case study: find contradictions of the same requirement. The
+    //    finder builds the target triple (antinomic predicate) and asks the
+    //    index for its neighbourhood.
+    let mut antinomies = AntinomyTable::new();
+    antinomies.declare("accept_cmd", "block_cmd");
+    antinomies.declare("enable_out", "disable_out");
+    let finder = InconsistencyFinder::new(&index, antinomies);
+
+    println!("\ninconsistency candidates for {query}:");
+    let hits = finder
+        .candidates(&query, 2)
+        .expect("predicate has an antonym");
+    for hit in &hits {
+        println!("  d={:.4}  {}", hit.embedded_distance, hit.triple);
+    }
+    let confirmed = finder
+        .confirmed(&query, 3)
+        .expect("predicate has an antonym");
+    println!("\nconfirmed by the formal rule (same subject/object + antinomy):");
+    for hit in &confirmed {
+        println!("  {}", hit.triple);
+    }
+    assert!(
+        confirmed
+            .iter()
+            .any(|h| h.triple.predicate.lexical() == "block_cmd"),
+        "the planted contradiction must be confirmed"
+    );
+
+    index.shutdown();
+    println!("\nok");
+}

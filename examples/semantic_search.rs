@@ -1,0 +1,84 @@
+//! Semantic search: query-by-example over a mixed knowledge base, showing
+//! how taxonomy distance (not string overlap) drives the ranking, and how
+//! refinement re-ranks by the true Eq. 1 distance.
+//!
+//! ```sh
+//! cargo run -p semtree-examples --bin semantic_search
+//! ```
+
+use std::sync::Arc;
+
+use semtree_core::{QueryOptions, SemTree, Term, Triple, Weights};
+use semtree_vocab::wordnet;
+
+fn t(s: &str, p: &str, o: &str) -> Triple {
+    Triple::new(Term::literal(s), Term::concept(p), Term::concept(o))
+}
+
+fn main() {
+    // A small knowledge base over the standard taxonomy: facts about which
+    // device performs which action on which artefact.
+    let facts = vec![
+        t("GroundStation", "send", "telemetry_frame"),
+        t("GroundStation", "receive", "telemetry_frame"),
+        t("Satellite", "send", "message"),
+        t("Satellite", "acquire", "signal"),
+        t("Satellite", "release", "signal"),
+        t("Lander", "start", "process"),
+        t("Lander", "stop", "process"),
+        t("Rover", "monitor", "sensor"),
+        t("Rover", "check", "actuator"),
+        t("Orbiter", "enable", "antenna"),
+        t("Orbiter", "disable", "antenna"),
+        t("Probe", "validate", "command"),
+    ];
+
+    // Weight the predicate higher: we are searching for *actions*.
+    let mut builder = SemTree::builder()
+        .dimensions(5)
+        .bucket_size(4)
+        .weights(Weights::predicate_heavy())
+        .register_standard(Arc::new(wordnet::mini_taxonomy()));
+    builder.add_triples("knowledge-base", facts);
+    let index = builder.build().expect("non-empty corpus");
+
+    // "Who transmits communications?" — no literal word overlap with
+    // ('Satellite', send, message) is needed: `send` and `receive` share
+    // the `transfer` parent, `telemetry_frame` IS-A `message`.
+    let query = t("Satellite", "send", "telemetry_frame");
+    println!("query: {query}\n");
+
+    println!("embedded-space ranking:");
+    for hit in index.knn(&query, 5) {
+        println!("  d={:.4}  {}", hit.embedded_distance, hit.triple);
+    }
+
+    println!("\nrefined ranking (true Eq. 1 distance):");
+    for hit in index.knn_with(&query, 5, QueryOptions::refined()) {
+        println!(
+            "  d={:.4}  {}",
+            hit.semantic_distance.expect("refined"),
+            hit.triple
+        );
+    }
+
+    // Semantic range query: everything within 0.35 of the example.
+    println!("\nwithin semantic radius 0.35:");
+    for hit in index.range_semantic(&query, 0.35, 2.0) {
+        println!(
+            "  d={:.4}  {}",
+            hit.semantic_distance.expect("refined"),
+            hit.triple
+        );
+    }
+
+    let top = index.knn_with(&query, 1, QueryOptions::refined());
+    assert_eq!(
+        top[0].triple.predicate.lexical(),
+        "send",
+        "the same-action fact must rank first"
+    );
+
+    index.shutdown();
+    println!("\nok");
+}

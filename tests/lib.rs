@@ -1,0 +1,4 @@
+//! Shared fixtures for the cross-crate integration tests.
+//!
+//! The actual tests live in the sibling `*.rs` files declared as `[[test]]`
+//! targets in this package's manifest.

@@ -1,0 +1,262 @@
+//! Cross-crate property-based tests (proptest).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use semtree_cluster::CostModel;
+use semtree_dist::{DistConfig, DistSemTree};
+use semtree_distance::{TripleDistance, VocabularyRegistry, Weights};
+use semtree_fastmap::FastMap;
+use semtree_kdtree::{KdConfig, KdTree};
+use semtree_model::{turtle, Term, Triple};
+use semtree_rtree::RTree;
+use semtree_vocab::wordnet;
+
+fn euclid(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Strategy for terms: literals, standard concepts or prefixed concepts.
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[A-Za-z0-9 _-]{1,12}".prop_map(Term::literal),
+        prop_oneof![
+            Just("accept"),
+            Just("reject"),
+            Just("send"),
+            Just("receive"),
+            Just("start"),
+            Just("stop"),
+            Just("monitor"),
+            Just("command"),
+            Just("message"),
+            Just("device")
+        ]
+        .prop_map(Term::concept),
+        ("[A-Z][a-z]{1,6}", "[a-z_-]{1,10}").prop_map(|(p, n)| Term::concept_in(p, n)),
+    ]
+}
+
+fn triple_strategy() -> impl Strategy<Value = Triple> {
+    (term_strategy(), term_strategy(), term_strategy()).prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+fn distance() -> TripleDistance {
+    let mut reg = VocabularyRegistry::new();
+    reg.register_standard(Arc::new(wordnet::mini_taxonomy()));
+    TripleDistance::new(Weights::default(), Arc::new(reg))
+}
+
+proptest! {
+    /// Eq. 1 stays in [0,1], is symmetric, and vanishes on identity.
+    #[test]
+    fn triple_distance_pseudo_metric(a in triple_strategy(), b in triple_strategy()) {
+        let d = distance();
+        let dab = d.distance(&a, &b);
+        let dba = d.distance(&b, &a);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&dab), "range: {dab}");
+        prop_assert!((dab - dba).abs() < 1e-12, "symmetry");
+        prop_assert!(d.distance(&a, &a).abs() < 1e-12, "identity");
+    }
+
+    /// Turtle serialization round-trips arbitrary triples, as long as the
+    /// lexical forms avoid the tuple meta-characters.
+    #[test]
+    fn turtle_roundtrip(t in triple_strategy()) {
+        let rendered = turtle::write_triple(&t);
+        let reparsed = turtle::parse_triple(&rendered);
+        // Concepts whose names parse as another term kind (numeric names,
+        // names with commas) are not round-trippable by design; only check
+        // when parsing succeeds.
+        if let Ok(back) = reparsed {
+            let rerendered = turtle::write_triple(&back);
+            prop_assert_eq!(rendered, rerendered, "stable after one round");
+        }
+    }
+
+    /// KD-tree k-NN agrees with brute force on random point sets.
+    #[test]
+    fn kdtree_knn_exact(
+        points in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 3),
+            1..120
+        ),
+        query in prop::collection::vec(-100.0f64..100.0, 3),
+        k in 1usize..8,
+    ) {
+        let data: Vec<(Vec<f64>, u32)> =
+            points.iter().cloned().zip(0u32..).collect();
+        let tree = KdTree::bulk_load(KdConfig::new(3).with_bucket_size(4), data);
+        let got = tree.knn(&query, k);
+        let mut brute: Vec<f64> = points.iter().map(|p| euclid(p, &query)).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let want = &brute[..k.min(points.len())];
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(want) {
+            prop_assert!((g.dist - w).abs() < 1e-9, "{} vs {}", g.dist, w);
+        }
+    }
+
+    /// KD-tree range search returns exactly the brute-force ball.
+    #[test]
+    fn kdtree_range_exact(
+        points in prop::collection::vec(
+            prop::collection::vec(-50.0f64..50.0, 2),
+            1..120
+        ),
+        query in prop::collection::vec(-50.0f64..50.0, 2),
+        radius in 0.0f64..60.0,
+    ) {
+        let data: Vec<(Vec<f64>, u32)> =
+            points.iter().cloned().zip(0u32..).collect();
+        let tree = KdTree::bulk_load(KdConfig::new(2).with_bucket_size(4), data);
+        let got = tree.range(&query, radius);
+        let want = points.iter().filter(|p| euclid(p, &query) <= radius).count();
+        prop_assert_eq!(got.len(), want);
+        for hit in got {
+            prop_assert!(hit.dist <= radius + 1e-12);
+        }
+    }
+
+    /// Dynamic insertion and bulk loading retrieve the same neighbours.
+    #[test]
+    fn dynamic_equals_bulk(
+        points in prop::collection::vec(
+            prop::collection::vec(-10.0f64..10.0, 2),
+            2..80
+        ),
+        query in prop::collection::vec(-10.0f64..10.0, 2),
+    ) {
+        let data: Vec<(Vec<f64>, u32)> =
+            points.iter().cloned().zip(0u32..).collect();
+        let bulk = KdTree::bulk_load(KdConfig::new(2).with_bucket_size(4), data.clone());
+        let mut dynamic = KdTree::new(KdConfig::new(2).with_bucket_size(4));
+        for (p, i) in &data {
+            dynamic.insert(p, *i);
+        }
+        let a = bulk.knn(&query, 3);
+        let b = dynamic.knn(&query, 3);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.dist - y.dist).abs() < 1e-9);
+        }
+    }
+
+    /// FastMap never expands distances when the input really is Euclidean.
+    #[test]
+    fn fastmap_contractive_on_euclidean(
+        points in prop::collection::vec(
+            prop::collection::vec(-5.0f64..5.0, 4),
+            2..40
+        ),
+    ) {
+        let d = |i: usize, j: usize| euclid(&points[i], &points[j]);
+        let emb = FastMap::new(2).with_seed(7).embed(points.len(), &d);
+        for i in 0..points.len() {
+            for j in 0..points.len() {
+                prop_assert!(emb.embedded_distance(i, j) <= d(i, j) + 1e-6);
+            }
+        }
+    }
+
+    /// Out-of-sample projection of an in-sample object reproduces its
+    /// build coordinates.
+    #[test]
+    fn fastmap_projection_consistency(
+        points in prop::collection::vec(
+            prop::collection::vec(-5.0f64..5.0, 3),
+            3..40
+        ),
+        pick in 0usize..1000,
+    ) {
+        let d = |i: usize, j: usize| euclid(&points[i], &points[j]);
+        let emb = FastMap::new(2).with_seed(3).embed(points.len(), &d);
+        let idx = pick % points.len();
+        let projected = emb.project_with(&|p| d(idx, p));
+        for (a, b) in projected.iter().zip(emb.point(idx)) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The distributed tree answers exactly like the sequential KD-tree
+    /// for every partition count the paper evaluates.
+    #[test]
+    fn distributed_matches_sequential(
+        points in prop::collection::vec(
+            prop::collection::vec(-20.0f64..20.0, 2),
+            8..60
+        ),
+        query in prop::collection::vec(-20.0f64..20.0, 2),
+        m_idx in 0usize..3,
+    ) {
+        let m = [1usize, 3, 5][m_idx];
+        let data: Vec<(Vec<f64>, u32)> =
+            points.iter().cloned().zip(0u32..).collect();
+        let seq = KdTree::bulk_load(KdConfig::new(2).with_bucket_size(4), data);
+
+        let dist = DistSemTree::with_fanout(
+            DistConfig::new(2).with_bucket_size(4).with_max_partitions(8),
+            CostModel::zero(),
+            m,
+            &points,
+        );
+        for (i, p) in points.iter().enumerate() {
+            dist.insert(p, i as u64);
+        }
+
+        let a = seq.knn(&query, 5);
+        let b = dist.knn(&query, 5);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.dist - y.dist).abs() < 1e-9, "m={}: {} vs {}", m, x.dist, y.dist);
+        }
+
+        let ra = seq.range(&query, 10.0);
+        let rb = dist.range(&query, 10.0);
+        prop_assert_eq!(ra.len(), rb.len());
+
+        prop_assert_eq!(dist.verify(), Vec::<String>::new());
+        dist.shutdown();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// KD-tree and R-tree agree exactly on every query — two independent
+    /// implementations cross-validating each other.
+    #[test]
+    fn kdtree_and_rtree_agree(
+        points in prop::collection::vec(
+            prop::collection::vec(-50.0f64..50.0, 3),
+            1..150
+        ),
+        query in prop::collection::vec(-50.0f64..50.0, 3),
+        k in 1usize..8,
+        radius in 0.0f64..80.0,
+    ) {
+        let data: Vec<(Vec<f64>, u32)> =
+            points.iter().cloned().zip(0u32..).collect();
+        let kd = KdTree::bulk_load(KdConfig::new(3).with_bucket_size(4), data.clone());
+        let rt = RTree::bulk_load(3, data);
+
+        let a = kd.knn(&query, k);
+        let b = rt.knn(&query, k);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x.dist - y.dist).abs() < 1e-9, "{} vs {}", x.dist, y.dist);
+        }
+
+        let ra = kd.range(&query, radius);
+        let rb = rt.range(&query, radius);
+        prop_assert_eq!(ra.len(), rb.len());
+    }
+}
