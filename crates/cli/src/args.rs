@@ -16,6 +16,12 @@ pub enum Command {
     Audit,
     /// `semtree stats` — partition statistics of a saved index.
     Stats,
+    /// `semtree serve` — host a multi-process deployment's coordinator.
+    Serve,
+    /// `semtree worker` — join a deployment and host partitions.
+    Worker,
+    /// `semtree net-query` — query a running `serve` process over TCP.
+    NetQuery,
     /// `semtree help`.
     Help,
 }
@@ -65,6 +71,9 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
         Some("query") => Command::Query,
         Some("audit") => Command::Audit,
         Some("stats") => Command::Stats,
+        Some("serve") => Command::Serve,
+        Some("worker") => Command::Worker,
+        Some("net-query") => Command::NetQuery,
         Some("help" | "--help" | "-h") => Command::Help,
         Some(other) => return Err(ArgsError::UnknownCommand(other.to_string())),
     };
@@ -148,6 +157,26 @@ COMMANDS:
                  -k N              neighbourhood size        [default 10]
     stats      partition statistics of a saved index
                  --index FILE      saved index               (required)
+    serve      host a multi-process deployment's coordinator (TCP)
+                 --cluster-port P  worker-join port          [default 0 = ephemeral]
+                 --client-port P   query port                [default 0 = ephemeral]
+                 --workers N       workers to wait for       [default 2]
+                 --partitions M    1 or ≥3 partitions        [default 3]
+                 --dims K          point dimensionality      [default 2]
+                 --bucket B        KD-tree bucket size       [default 32]
+                 --capacity C      max points per partition  [default unlimited]
+                 --sample N        fan-out sample size       [default 256]
+                 --seed S          fan-out sample seed       [default 42]
+    worker     join a deployment and host partitions until shutdown
+                 --join ADDR       the coordinator's cluster-addr (required)
+    net-query  one operation against a running serve process
+                 --addr ADDR       the coordinator's client-addr (required)
+                 --op OP           insert | knn | range | stats |
+                                   verify | metrics | shutdown [default stats]
+                 --point X,Y,...   query/insert point
+                 --payload N       insert payload            [default 0]
+                 -k N              neighbours                [default 5]
+                 --radius D        range radius
     help       this text
 "
 }
@@ -208,7 +237,16 @@ mod tests {
 
     #[test]
     fn usage_mentions_every_command() {
-        for c in ["generate", "index", "query", "audit", "stats"] {
+        for c in [
+            "generate",
+            "index",
+            "query",
+            "audit",
+            "stats",
+            "serve",
+            "worker",
+            "net-query",
+        ] {
             assert!(usage().contains(c), "{c}");
         }
     }

@@ -20,6 +20,9 @@ pub fn run(parsed: &ParsedArgs) -> Result<String, String> {
         Command::Query => query(parsed),
         Command::Audit => audit(parsed),
         Command::Stats => stats(parsed),
+        Command::Serve => crate::net::serve(parsed),
+        Command::Worker => crate::net::worker(parsed),
+        Command::NetQuery => crate::net::net_query(parsed),
     }
 }
 

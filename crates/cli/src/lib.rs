@@ -16,8 +16,10 @@
 
 mod args;
 mod commands;
+mod net;
 mod registry;
 
 pub use args::{parse_args, Command, ParsedArgs};
 pub use commands::run;
+pub use net::demo_sample;
 pub use registry::standard_distance;

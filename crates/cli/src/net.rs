@@ -1,0 +1,245 @@
+//! Multi-process deployment commands: `serve`, `worker`, `net-query`.
+//!
+//! These run the distributed tree over real TCP (`semtree-net`) on raw
+//! vector points — the transport demo, separate from the semantic
+//! `index`/`query` pipeline. A deployment is one `serve` process plus
+//! `--workers` many `worker` processes; `net-query` is the client.
+//!
+//! `serve` prints two machine-readable lines before blocking:
+//!
+//! ```text
+//! cluster-addr: 127.0.0.1:40001   (workers join here)
+//! client-addr: 127.0.0.1:40002    (net-query connects here)
+//! ```
+
+use std::io::Write as _;
+use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::time::Duration;
+
+use semtree_cluster::CostModel;
+use semtree_dist::{
+    build_tree, join_cluster, serve_clients, serve_cluster, CapacityPolicy, DistConfig, NetClient,
+};
+
+use crate::args::ParsedArgs;
+
+/// Deterministic sample used to choose the fan-out splits: `n` points in
+/// `[0, 100)^dims` from a splitmix64 stream. Exposed so a client process
+/// can reconstruct the exact reference tree the server built.
+#[must_use]
+pub fn demo_sample(dims: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            (0..dims)
+                .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn parse_addr(text: &str) -> Result<SocketAddr, String> {
+    text.parse()
+        .map_err(|e| format!("invalid address '{text}': {e}"))
+}
+
+fn parse_point(text: &str) -> Result<Vec<f64>, String> {
+    text.split(',')
+        .map(|c| {
+            c.trim()
+                .parse()
+                .map_err(|e| format!("invalid coordinate '{c}': {e}"))
+        })
+        .collect()
+}
+
+fn parse_config(parsed: &ParsedArgs) -> Result<DistConfig, String> {
+    let dims = parsed.get_usize("dims", 2)?;
+    let bucket = parsed.get_usize("bucket", 32)?;
+    let partitions = parsed.get_usize("partitions", 3)?;
+    let max_partitions = parsed.get_usize("max-partitions", partitions.max(64))?;
+    let mut config = DistConfig::new(dims)
+        .with_bucket_size(bucket)
+        .with_max_partitions(max_partitions);
+    if let Some(cap) = parsed.get("capacity") {
+        let cap: usize = cap
+            .parse()
+            .map_err(|e| format!("invalid --capacity value '{cap}': {e}"))?;
+        config = config.with_capacity(CapacityPolicy::MaxPoints(cap));
+    }
+    Ok(config)
+}
+
+/// `semtree serve`: host the coordinator — root partition, worker
+/// membership, and the client query port. Blocks until a client sends
+/// a shutdown request, then tears the whole deployment down.
+pub fn serve(parsed: &ParsedArgs) -> Result<String, String> {
+    let cluster_port = parsed.get_usize("cluster-port", 0)? as u16;
+    let client_port = parsed.get_usize("client-port", 0)? as u16;
+    let workers = parsed.get_usize("workers", 2)?;
+    let partitions = parsed.get_usize("partitions", 3)?;
+    let sample_size = parsed.get_usize("sample", 256)?;
+    let seed = parsed.get_u64("seed", 42)?;
+    let timeout = Duration::from_secs(parsed.get_u64("timeout", 30)?);
+    let config = parse_config(parsed)?;
+
+    let fabric = serve_cluster(
+        SocketAddr::from((Ipv4Addr::LOCALHOST, cluster_port)),
+        &config,
+        CostModel::zero(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("cluster-addr: {}", fabric.listen_addr());
+    let _ = std::io::stdout().flush();
+
+    fabric
+        .wait_for_workers(workers, timeout)
+        .map_err(|e| e.to_string())?;
+    println!("workers-joined: {workers}");
+
+    let sample = demo_sample(config.dims(), sample_size, seed);
+    let tree = build_tree(&fabric, config, CostModel::zero(), partitions, &sample)
+        .map_err(|e| e.to_string())?;
+
+    let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, client_port))
+        .map_err(|e| format!("cannot bind client port: {e}"))?;
+    println!(
+        "client-addr: {}",
+        listener.local_addr().map_err(|e| e.to_string())?
+    );
+    let _ = std::io::stdout().flush();
+
+    serve_clients(&listener, &tree).map_err(|e| e.to_string())?;
+    let inserted = tree.len();
+    tree.shutdown();
+    Ok(format!(
+        "served {partitions} partitions across {workers} workers; \
+         {inserted} points inserted; shut down\n"
+    ))
+}
+
+/// `semtree worker`: join a deployment and host partitions until the
+/// coordinator shuts down.
+pub fn worker(parsed: &ParsedArgs) -> Result<String, String> {
+    let addr = parse_addr(parsed.require("join")?)?;
+    let timeout = Duration::from_secs(parsed.get_u64("timeout", 30)?);
+    let handle = join_cluster(addr, CostModel::zero(), timeout).map_err(|e| e.to_string())?;
+    println!(
+        "worker: process {} listening on {}",
+        handle.process_index(),
+        handle.listen_addr()
+    );
+    let _ = std::io::stdout().flush();
+    handle.run_until_shutdown();
+    Ok("worker: shut down\n".to_string())
+}
+
+/// `semtree net-query`: one operation against a `serve` process.
+pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
+    let addr = parse_addr(parsed.require("addr")?)?;
+    let timeout = Duration::from_secs(parsed.get_u64("timeout", 10)?);
+    let mut client = NetClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+    let op = parsed.get("op").unwrap_or("stats");
+    match op {
+        "insert" => {
+            let point = parse_point(parsed.require("point")?)?;
+            let payload = parsed.get_u64("payload", 0)?;
+            client.insert(&point, payload).map_err(|e| e.to_string())?;
+            Ok(format!("inserted {point:?} (payload {payload})\n"))
+        }
+        "knn" => {
+            let point = parse_point(parsed.require("point")?)?;
+            let k = parsed.get_usize("k", 5)?;
+            let hits = client.knn(&point, k).map_err(|e| e.to_string())?;
+            let mut out = format!("{k}-NN around {point:?}:\n");
+            for (dist, payload) in hits {
+                out.push_str(&format!("  d={dist:.4}  payload={payload}\n"));
+            }
+            Ok(out)
+        }
+        "range" => {
+            let point = parse_point(parsed.require("point")?)?;
+            let radius: f64 = {
+                let r = parsed.require("radius")?;
+                r.parse()
+                    .map_err(|e| format!("invalid --radius value '{r}': {e}"))?
+            };
+            let hits = client.range(&point, radius).map_err(|e| e.to_string())?;
+            let mut out = format!("range {radius} around {point:?}: {} hits\n", hits.len());
+            for (dist, payload) in hits {
+                out.push_str(&format!("  d={dist:.4}  payload={payload}\n"));
+            }
+            Ok(out)
+        }
+        "stats" => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            let mut out = format!("{} partitions:\n", stats.len());
+            for (pid, p) in stats {
+                out.push_str(&format!(
+                    "  partition {pid}: {} points, {} leaves, {} routing nodes ({} edge), links → {:?}\n",
+                    p.points, p.leaves, p.routing, p.edge_nodes, p.remote_children
+                ));
+            }
+            Ok(out)
+        }
+        "verify" => {
+            let violations = client.verify().map_err(|e| e.to_string())?;
+            if violations.is_empty() {
+                Ok("healthy\n".to_string())
+            } else {
+                Ok(violations
+                    .into_iter()
+                    .map(|v| format!("violation: {v}\n"))
+                    .collect())
+            }
+        }
+        "metrics" => {
+            let (messages, bytes, spawned) = client.metrics().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "messages: {messages}\nbytes: {bytes}\nspawned-nodes: {spawned}\n"
+            ))
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            Ok("deployment shut down\n".to_string())
+        }
+        other => Err(format!(
+            "unknown --op '{other}' (insert, knn, range, stats, verify, metrics, shutdown)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_sample_is_deterministic_and_in_range() {
+        let a = demo_sample(3, 50, 7);
+        let b = demo_sample(3, 50, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+        for p in &a {
+            assert_eq!(p.len(), 3);
+            for &c in p {
+                assert!((0.0..100.0).contains(&c));
+            }
+        }
+        assert_ne!(demo_sample(3, 50, 8), a, "seed changes the sample");
+    }
+
+    #[test]
+    fn point_and_addr_parsing() {
+        assert_eq!(parse_point("1.0, 2.5,3").unwrap(), vec![1.0, 2.5, 3.0]);
+        assert!(parse_point("1.0,x").is_err());
+        assert!(parse_addr("127.0.0.1:9000").is_ok());
+        assert!(parse_addr("not-an-addr").is_err());
+    }
+}

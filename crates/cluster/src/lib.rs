@@ -1,28 +1,34 @@
-//! Simulated distributed runtime — the stand-in for the paper's cluster.
+//! Distributed runtime for SemTree — pluggable cluster fabric.
 //!
 //! The paper runs SemTree on "a cluster having 8 processors with 8 GB RAM
 //! (compute nodes)" and moves between partitions "by a proper communication
 //! protocol (in our implementation based on MPJ libraries)". This crate
-//! reproduces that execution model in-process:
+//! reproduces that execution model behind a pluggable [`Transport`]:
 //!
 //! - a [`Cluster`] owns a set of **compute nodes**, each a dedicated OS
 //!   thread processing one request at a time (like a single-threaded MPJ
 //!   rank);
-//! - nodes exchange **typed request/response messages** over channels; a
-//!   handler can [`NodeCtx::call`] another node (blocking, like a
-//!   synchronous MPI send/recv pair) or [`NodeCtx::call_many`] several in
-//!   parallel (the paper's "the navigation is performed in a parallel
-//!   way" at partition borders);
-//! - a [`CostModel`] optionally injects per-message latency and per-byte
-//!   transfer delay so the interconnect cost is tunable, and
-//!   [`ClusterMetrics`] account every message and byte either way;
-//! - handlers can spawn **new compute nodes at runtime**
-//!   ([`NodeCtx::spawn`]), which is how the build-partition algorithm
-//!   creates partitions on demand.
+//! - nodes exchange **typed request/response messages**; a handler can
+//!   [`NodeCtx::call`] another node (blocking, like a synchronous MPI
+//!   send/recv pair) or [`NodeCtx::call_many`] several in parallel (the
+//!   paper's "the navigation is performed in a parallel way" at partition
+//!   borders);
+//! - the default backend is the in-process [`ChannelFabric`]: channels
+//!   between threads, with a [`CostModel`] optionally injecting
+//!   per-message latency and per-byte transfer delay, and
+//!   [`ClusterMetrics`] accounting every message and byte either way;
+//! - `semtree-net` provides a second backend over real TCP sockets, so
+//!   the same partition actors run unchanged across OS processes;
+//! - handlers can create **new compute nodes at runtime**
+//!   ([`NodeCtx::spawn_member`]), which is how the build-partition
+//!   algorithm creates partitions on demand — on a remote process when a
+//!   network transport is routing.
 //!
 //! Requests in SemTree always flow *down* the partition tree and responses
 //! back *up*, so the blocking-call model cannot deadlock (see
-//! `semtree-dist`).
+//! `semtree-dist`). Failures — unknown or shut-down nodes, dead peers,
+//! network errors — surface as typed [`ClusterError`]s rather than
+//! panics.
 //!
 //! # Example
 //!
@@ -38,7 +44,7 @@
 //!
 //! let cluster = Cluster::new(CostModel::zero());
 //! let node = cluster.spawn(Doubler);
-//! assert_eq!(cluster.call(node, 21), 42);
+//! assert_eq!(cluster.call(node, 21), Ok(42));
 //! assert_eq!(cluster.metrics().messages, 2); // request + response
 //! cluster.shutdown();
 //! ```
@@ -46,7 +52,12 @@
 mod cost;
 mod metrics;
 mod runtime;
+mod transport;
 
 pub use cost::CostModel;
 pub use metrics::{ClusterMetrics, MetricsSnapshot};
-pub use runtime::{Cluster, ComputeNodeId, Handler, NodeCtx, Wire};
+pub use runtime::{ChannelFabric, Cluster, Handler, NodeCtx};
+pub use transport::{
+    BoxHandler, ClusterError, ComputeNodeId, DynHandler, NodeFactory, ReplyHandle, ReplySlot,
+    Transport, Wire, PROCESS_STRIDE_BITS,
+};

@@ -30,7 +30,9 @@ impl ClusterMetrics {
         Arc::new(ClusterMetrics::default())
     }
 
-    pub(crate) fn record_message(&self, bytes: usize, delay_nanos: u64) {
+    /// Account one delivered message of `bytes` payload (transports —
+    /// in-process and network — call this for every message they carry).
+    pub fn record_message(&self, bytes: usize, delay_nanos: u64) {
         self.messages.fetch_add(1, Ordering::Relaxed);
         self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         self.simulated_delay_nanos

@@ -1,52 +1,15 @@
-//! Compute nodes, the message fabric, and blocking calls.
+//! Compute nodes, the in-process channel fabric, and blocking calls.
 
-use std::sync::Arc;
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, RwLock, Weak};
 use std::thread::JoinHandle;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::{Mutex, RwLock};
 
 use crate::cost::CostModel;
 use crate::metrics::{ClusterMetrics, MetricsSnapshot};
-
-/// Identifier of a compute node within one [`Cluster`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ComputeNodeId(pub u32);
-
-impl ComputeNodeId {
-    /// The id as a usable index.
-    #[must_use]
-    pub fn index(self) -> usize {
-        self.0 as usize
-    }
-}
-
-/// Approximate on-the-wire payload size, used for byte accounting and the
-/// per-byte component of the [`CostModel`]. Implement it on protocol types;
-/// the default (0 bytes) still counts messages, just not volume.
-pub trait Wire {
-    /// Serialized size estimate in bytes.
-    fn wire_size(&self) -> usize {
-        0
-    }
-}
-
-impl Wire for () {}
-impl Wire for u64 {
-    fn wire_size(&self) -> usize {
-        8
-    }
-}
-impl Wire for Vec<f64> {
-    fn wire_size(&self) -> usize {
-        8 * self.len()
-    }
-}
-impl Wire for String {
-    fn wire_size(&self) -> usize {
-        self.len()
-    }
-}
+use crate::transport::{
+    BoxHandler, ClusterError, ComputeNodeId, NodeFactory, ReplyHandle, Transport, Wire,
+    PROCESS_STRIDE_BITS,
+};
 
 /// A compute node's request handler: single-threaded, owns its state, may
 /// call other nodes or spawn new ones through the [`NodeCtx`].
@@ -60,66 +23,233 @@ pub trait Handler: Send + 'static {
     fn handle(&mut self, ctx: &NodeCtx<Self::Req, Self::Resp>, req: Self::Req) -> Self::Resp;
 }
 
-struct Envelope<Req, Resp> {
-    req: Req,
-    reply: Sender<Resp>,
+impl<H: Handler> crate::transport::DynHandler<H::Req, H::Resp> for H {
+    fn handle_dyn(&mut self, ctx: &NodeCtx<H::Req, H::Resp>, req: H::Req) -> H::Resp {
+        self.handle(ctx, req)
+    }
 }
 
-/// Shared interconnect: node registry + metrics + cost model.
-struct Fabric<Req, Resp> {
-    nodes: RwLock<Vec<Sender<Envelope<Req, Resp>>>>,
+struct Envelope<Req, Resp> {
+    req: Req,
+    reply: crate::transport::ReplySlot<Resp>,
+}
+
+/// A live node's inbox sender; `None` once the node has shut down.
+type NodeSlot<Req, Resp> = Option<Sender<Envelope<Req, Resp>>>;
+
+/// The in-process fabric: compute nodes as threads exchanging typed
+/// messages over channels, with simulated interconnect cost. This is the
+/// paper-faithful simulation backend and the default [`Transport`]; the
+/// TCP backend in `semtree-net` composes one of these per process for
+/// its locally hosted nodes.
+pub struct ChannelFabric<Req, Resp> {
+    /// Index of the process this fabric represents (0 when standalone).
+    process_index: u32,
+    /// Local node slots; a `None` slot is a node that has shut down.
+    nodes: RwLock<Vec<NodeSlot<Req, Resp>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     metrics: Arc<ClusterMetrics>,
     cost: CostModel,
+    /// The composite transport node calls route through. Empty (or dead)
+    /// means "route through this fabric itself" — the standalone case.
+    /// `semtree-net` points this at its TCP fabric so a node's call to a
+    /// remote partition leaves the process.
+    router: RwLock<Weak<dyn Transport<Req, Resp>>>,
+    factory: RwLock<Option<Arc<NodeFactory<Req, Resp>>>>,
+    self_weak: Weak<ChannelFabric<Req, Resp>>,
 }
 
-impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Fabric<Req, Resp> {
+impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req, Resp> {
+    /// An empty fabric for one process of a deployment.
+    #[must_use]
+    pub fn new(cost: CostModel, process_index: u32) -> Arc<Self> {
+        Arc::new_cyclic(|self_weak| ChannelFabric {
+            process_index,
+            nodes: RwLock::new(Vec::new()),
+            handles: Mutex::new(Vec::new()),
+            metrics: ClusterMetrics::new(),
+            cost,
+            router: RwLock::new(
+                Weak::<ChannelFabric<Req, Resp>>::new() as Weak<dyn Transport<Req, Resp>>
+            ),
+            factory: RwLock::new(None),
+            self_weak: Weak::clone(self_weak),
+        })
+    }
+
+    /// Route node-initiated traffic through `router` instead of this
+    /// fabric alone (set by a composite transport wrapping this one).
+    pub fn set_router(&self, router: Weak<dyn Transport<Req, Resp>>) {
+        *self.router.write().expect("router lock") = router;
+    }
+
+    /// The transport node calls go through: the installed router if it is
+    /// alive, otherwise this fabric itself.
+    fn route(&self) -> Arc<dyn Transport<Req, Resp>> {
+        if let Some(router) = self.router.read().expect("router lock").upgrade() {
+            return router;
+        }
+        self.self_weak.upgrade().expect("fabric outlives its nodes")
+    }
+
+    /// The metrics sink, shared so a composite transport accounts its
+    /// network frames into the same counters.
+    #[must_use]
+    pub fn metrics_handle(&self) -> Arc<ClusterMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Index of the process this fabric represents.
+    #[must_use]
+    pub fn process_index(&self) -> u32 {
+        self.process_index
+    }
+
+    /// The installed node factory, if any.
+    fn factory(&self) -> Result<Arc<NodeFactory<Req, Resp>>, ClusterError> {
+        self.factory
+            .read()
+            .expect("factory lock")
+            .clone()
+            .ok_or_else(|| ClusterError::SpawnFailed("no node factory installed".into()))
+    }
+
     /// Record a message; the transit delay is *not* slept here — it is
-    /// slept on the receiving side (`deliver_delay`), so that fan-out
-    /// messages travel concurrently like non-blocking MPI sends.
+    /// slept on the receiving side, so that fan-out messages travel
+    /// concurrently like non-blocking MPI sends.
     fn record(&self, bytes: usize) -> std::time::Duration {
         let delay = self.cost.delay_for(bytes);
         self.metrics.record_message(bytes, delay.as_nanos() as u64);
         delay
     }
 
-    fn send(&self, target: ComputeNodeId, req: Req) -> Receiver<Resp> {
+    fn spawn_boxed(
+        &self,
+        mut handler: BoxHandler<Req, Resp>,
+    ) -> Result<ComputeNodeId, ClusterError> {
+        let (tx, rx) = channel::<Envelope<Req, Resp>>();
+        let id = {
+            let mut nodes = self.nodes.write().expect("nodes lock");
+            if nodes.len() >= 1 << PROCESS_STRIDE_BITS {
+                return Err(ClusterError::SpawnFailed(format!(
+                    "process {} is full ({} nodes)",
+                    self.process_index,
+                    nodes.len()
+                )));
+            }
+            let id = ComputeNodeId::from_parts(self.process_index, nodes.len() as u32);
+            nodes.push(Some(tx));
+            id
+        };
+        self.metrics.record_spawn();
+        let ctx = NodeCtx {
+            id,
+            fabric: self.self_weak.upgrade().expect("fabric alive during spawn"),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("compute-node-{}", id.0))
+            .spawn(move || {
+                while let Ok(env) = rx.recv() {
+                    // Sleep the request's transit delay on arrival: this is
+                    // where the simulated interconnect latency materialises,
+                    // and concurrent senders overlap their delays.
+                    let in_delay = ctx.fabric.cost.delay_for(env.req.wire_size());
+                    if !in_delay.is_zero() {
+                        std::thread::sleep(in_delay);
+                    }
+                    let resp = handler.handle_dyn(&ctx, env.req);
+                    // The response's transit delay is paid before it is handed
+                    // back, again on this thread so parallel responders overlap.
+                    let out_delay = ctx.fabric.record(resp.wire_size());
+                    if !out_delay.is_zero() {
+                        std::thread::sleep(out_delay);
+                    }
+                    env.reply.fill(Ok(resp));
+                }
+            })
+            .map_err(|e| ClusterError::SpawnFailed(e.to_string()))?;
+        self.handles.lock().expect("handles lock").push(handle);
+        Ok(id)
+    }
+}
+
+impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Transport<Req, Resp>
+    for ChannelFabric<Req, Resp>
+{
+    fn send(&self, target: ComputeNodeId, req: Req) -> Result<ReplyHandle<Resp>, ClusterError> {
+        if target.process() != self.process_index {
+            // A remote id can only reach a bare channel fabric when no
+            // composite transport is routing — i.e. the node is unknown
+            // by construction.
+            return Err(ClusterError::UnknownNode(target));
+        }
         let sender = {
-            let nodes = self.nodes.read();
-            nodes
-                .get(target.index())
-                .unwrap_or_else(|| panic!("unknown compute node {target:?}"))
-                .clone()
+            let nodes = self.nodes.read().expect("nodes lock");
+            match nodes.get(target.local_index()) {
+                Some(Some(tx)) => tx.clone(),
+                // Never existed, or existed and was shut down.
+                _ => return Err(ClusterError::UnknownNode(target)),
+            }
         };
         self.record(req.wire_size());
-        let (reply_tx, reply_rx) = unbounded();
+        let (slot, handle) = ReplyHandle::pair(target);
         sender
-            .send(Envelope {
-                req,
-                reply: reply_tx,
-            })
-            .expect("target compute node is alive");
-        reply_rx
+            .send(Envelope { req, reply: slot })
+            .map_err(|_| ClusterError::NodeDied(target))?;
+        Ok(handle)
     }
 
-    fn receive(&self, rx: &Receiver<Resp>) -> Resp {
-        // The responder already slept the response's transit delay before
-        // replying; nothing further to charge here.
-        rx.recv().expect("compute node answered before exiting")
+    fn spawn_handler(&self, handler: BoxHandler<Req, Resp>) -> Result<ComputeNodeId, ClusterError> {
+        self.spawn_boxed(handler)
     }
 
-    fn call(&self, target: ComputeNodeId, req: Req) -> Resp {
-        let rx = self.send(target, req);
-        self.receive(&rx)
+    fn spawn_member(&self) -> Result<ComputeNodeId, ClusterError> {
+        let factory = self.factory()?;
+        self.spawn_boxed(factory())
+    }
+
+    fn set_node_factory(&self, factory: Box<NodeFactory<Req, Resp>>) {
+        *self.factory.write().expect("factory lock") = Some(Arc::from(factory));
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes
+            .read()
+            .expect("nodes lock")
+            .iter()
+            .filter(|slot| slot.is_some())
+            .count()
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+
+    fn shutdown(&self) {
+        // Dropping the senders ends each node's receive loop...
+        for slot in self.nodes.write().expect("nodes lock").iter_mut() {
+            *slot = None;
+        }
+        // ...then join. (Node threads hold the fabric Arc but never their
+        // own JoinHandle, so joining here cannot self-deadlock.)
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        for h in handles {
+            let _ = h.join();
+        }
     }
 }
 
 /// The capabilities a handler has while processing a request: identify
-/// itself, call other nodes (blocking), fan out in parallel, and spawn new
-/// compute nodes.
+/// itself, call other nodes (blocking), fan out in parallel, and create
+/// new compute nodes.
 pub struct NodeCtx<Req, Resp> {
     id: ComputeNodeId,
-    fabric: Arc<Fabric<Req, Resp>>,
+    fabric: Arc<ChannelFabric<Req, Resp>>,
 }
 
 impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> NodeCtx<Req, Resp> {
@@ -129,142 +259,133 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> NodeCtx<Req, Resp>
         self.id
     }
 
-    /// Synchronous request to another node (MPI-style send + recv).
+    /// Synchronous request to another node (MPI-style send + recv),
+    /// possibly in another process when a network transport is routing.
     ///
     /// SemTree request flows are strictly parent → child in the partition
     /// tree, so blocking here cannot deadlock.
-    pub fn call(&self, target: ComputeNodeId, req: Req) -> Resp {
+    pub fn call(&self, target: ComputeNodeId, req: Req) -> Result<Resp, ClusterError> {
         assert_ne!(
             target, self.id,
             "a node must not call itself (would deadlock)"
         );
-        self.fabric.call(target, req)
+        self.fabric.route().send(target, req)?.wait()
     }
 
     /// Fan a set of requests out and wait for every response ("the
     /// navigation is performed in a parallel way"): all targets process
-    /// concurrently on their own threads.
-    pub fn call_many(&self, calls: Vec<(ComputeNodeId, Req)>) -> Vec<Resp> {
-        let receivers: Vec<Receiver<Resp>> = calls
+    /// concurrently. The first failure wins; remaining responses are
+    /// discarded.
+    pub fn call_many(&self, calls: Vec<(ComputeNodeId, Req)>) -> Result<Vec<Resp>, ClusterError> {
+        let route = self.fabric.route();
+        let handles = calls
             .into_iter()
             .map(|(target, req)| {
                 assert_ne!(target, self.id, "a node must not call itself");
-                self.fabric.send(target, req)
+                route.send(target, req)
             })
-            .collect();
-        receivers.iter().map(|rx| self.fabric.receive(rx)).collect()
+            .collect::<Result<Vec<_>, _>>()?;
+        handles.into_iter().map(ReplyHandle::wait).collect()
     }
 
-    /// Spawn a new compute node at runtime (build-partition support).
+    /// Start a node running `handler` in this process (tests and
+    /// special-purpose roots; partitions use
+    /// [`spawn_member`](NodeCtx::spawn_member)).
     pub fn spawn<H>(&self, handler: H) -> ComputeNodeId
     where
         H: Handler<Req = Req, Resp = Resp>,
     {
-        spawn_node(&self.fabric, handler)
+        self.fabric
+            .spawn_boxed(Box::new(handler))
+            .expect("spawning a compute node thread succeeds")
+    }
+
+    /// Create a new member node via the installed factory, placed by the
+    /// routing transport — on another process under `semtree-net`.
+    pub fn spawn_member(&self) -> Result<ComputeNodeId, ClusterError> {
+        self.fabric.route().spawn_member()
     }
 }
 
-fn spawn_node<Req, Resp, H>(fabric: &Arc<Fabric<Req, Resp>>, mut handler: H) -> ComputeNodeId
-where
-    Req: Wire + Send + 'static,
-    Resp: Wire + Send + 'static,
-    H: Handler<Req = Req, Resp = Resp>,
-{
-    let (tx, rx) = unbounded::<Envelope<Req, Resp>>();
-    let id = {
-        let mut nodes = fabric.nodes.write();
-        let id = ComputeNodeId(u32::try_from(nodes.len()).expect("node count fits u32"));
-        nodes.push(tx);
-        id
-    };
-    fabric.metrics.record_spawn();
-    let ctx = NodeCtx {
-        id,
-        fabric: Arc::clone(fabric),
-    };
-    let handle = std::thread::Builder::new()
-        .name(format!("compute-node-{}", id.0))
-        .spawn(move || {
-            while let Ok(env) = rx.recv() {
-                // Sleep the request's transit delay on arrival: this is
-                // where the simulated interconnect latency materialises,
-                // and concurrent senders overlap their delays.
-                let in_delay = ctx.fabric.cost.delay_for(env.req.wire_size());
-                if !in_delay.is_zero() {
-                    std::thread::sleep(in_delay);
-                }
-                let resp = handler.handle(&ctx, env.req);
-                // The response's transit delay is paid before it is handed
-                // back, again on this thread so parallel responders overlap.
-                let out_delay = ctx.fabric.record(resp.wire_size());
-                if !out_delay.is_zero() {
-                    std::thread::sleep(out_delay);
-                }
-                // A client that gave up waiting is not an error.
-                let _ = env.reply.send(resp);
-            }
-        })
-        .expect("spawning a compute node thread succeeds");
-    fabric.handles.lock().push(handle);
-    id
-}
-
-/// A set of simulated compute nodes connected by a message fabric.
+/// A set of compute nodes connected by a message fabric.
+///
+/// Typed by one [`Handler`] implementation `H`; backed by a pluggable
+/// [`Transport`] — the in-process channel fabric by default.
 pub struct Cluster<H: Handler> {
-    fabric: Arc<Fabric<H::Req, H::Resp>>,
+    local: Arc<ChannelFabric<H::Req, H::Resp>>,
+    transport: Arc<dyn Transport<H::Req, H::Resp>>,
 }
 
 impl<H: Handler> Cluster<H> {
-    /// Create an empty cluster with the given interconnect cost model.
+    /// Create an empty single-process cluster with the given simulated
+    /// interconnect cost model.
     #[must_use]
     pub fn new(cost: CostModel) -> Self {
-        Cluster {
-            fabric: Arc::new(Fabric {
-                nodes: RwLock::new(Vec::new()),
-                handles: Mutex::new(Vec::new()),
-                metrics: ClusterMetrics::new(),
-                cost,
-            }),
-        }
+        let local = ChannelFabric::new(cost, 0);
+        let transport: Arc<dyn Transport<H::Req, H::Resp>> = Arc::clone(&local) as _;
+        Cluster { local, transport }
     }
 
-    /// Start a compute node running `handler`; returns its id.
+    /// Wrap an existing fabric pair: `local` hosts this process's nodes,
+    /// `transport` routes the deployment (they are the same object for a
+    /// single-process cluster; `semtree-net` passes its TCP fabric).
+    #[must_use]
+    pub fn from_parts(
+        local: Arc<ChannelFabric<H::Req, H::Resp>>,
+        transport: Arc<dyn Transport<H::Req, H::Resp>>,
+    ) -> Self {
+        Cluster { local, transport }
+    }
+
+    /// Start a compute node running `handler` in this process.
     pub fn spawn(&self, handler: H) -> ComputeNodeId {
-        spawn_node(&self.fabric, handler)
+        self.local
+            .spawn_boxed(Box::new(handler))
+            .expect("spawning a compute node thread succeeds")
+    }
+
+    /// Create a member node via the installed node factory, placed by the
+    /// transport (possibly on a remote process).
+    pub fn spawn_member(&self) -> Result<ComputeNodeId, ClusterError> {
+        self.transport.spawn_member()
+    }
+
+    /// Install the factory used for member spawns.
+    pub fn set_node_factory(&self, factory: Box<NodeFactory<H::Req, H::Resp>>) {
+        self.transport.set_node_factory(factory);
     }
 
     /// Blocking request from outside the cluster (the "client").
-    pub fn call(&self, target: ComputeNodeId, req: H::Req) -> H::Resp {
-        self.fabric.call(target, req)
+    pub fn call(&self, target: ComputeNodeId, req: H::Req) -> Result<H::Resp, ClusterError> {
+        self.transport.send(target, req)?.wait()
     }
 
-    /// Number of live compute nodes.
+    /// Number of compute nodes hosted by this process.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.fabric.nodes.read().len()
+        self.transport.node_count()
     }
 
     /// Current metrics snapshot.
     #[must_use]
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.fabric.metrics.snapshot()
+        self.transport.metrics()
     }
 
     /// Reset metrics counters (between experiment phases).
     pub fn reset_metrics(&self) {
-        self.fabric.metrics.reset();
+        self.transport.reset_metrics();
+    }
+
+    /// The transport this cluster routes through.
+    #[must_use]
+    pub fn transport(&self) -> Arc<dyn Transport<H::Req, H::Resp>> {
+        Arc::clone(&self.transport)
     }
 
     /// Stop every node and join its thread.
     pub fn shutdown(self) {
-        // Dropping the senders ends each node's receive loop...
-        self.fabric.nodes.write().clear();
-        // ...then join. (Node threads hold the fabric Arc but never their
-        // own JoinHandle, so joining here cannot self-deadlock.)
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.fabric.handles.lock());
-        for h in handles {
-            let _ = h.join();
-        }
+        self.transport.shutdown();
     }
 }
 
@@ -287,7 +408,7 @@ mod tests {
     fn echo_roundtrip() {
         let cluster = Cluster::new(CostModel::zero());
         let node = cluster.spawn(Echo);
-        assert_eq!(cluster.call(node, 7), 7);
+        assert_eq!(cluster.call(node, 7), Ok(7));
         assert_eq!(cluster.node_count(), 1);
         cluster.shutdown();
     }
@@ -296,7 +417,7 @@ mod tests {
     fn metrics_count_request_and_response() {
         let cluster = Cluster::new(CostModel::zero());
         let node = cluster.spawn(Echo);
-        cluster.call(node, 1);
+        cluster.call(node, 1).unwrap();
         let m = cluster.metrics();
         assert_eq!(m.messages, 2); // request + response
         assert_eq!(m.bytes, 16);
@@ -315,7 +436,7 @@ mod tests {
         type Resp = u64;
         fn handle(&mut self, ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
             match self.next {
-                Some(next) => ctx.call(next, req + 1),
+                Some(next) => ctx.call(next, req + 1).expect("chain hop"),
                 None => req,
             }
         }
@@ -327,7 +448,7 @@ mod tests {
         let tail = cluster.spawn(Chain { next: None });
         let mid = cluster.spawn(Chain { next: Some(tail) });
         let head = cluster.spawn(Chain { next: Some(mid) });
-        assert_eq!(cluster.call(head, 0), 2); // two hops increment twice
+        assert_eq!(cluster.call(head, 0), Ok(2)); // two hops increment twice
         assert_eq!(cluster.metrics().messages, 6); // 3 calls × (req+resp)
         cluster.shutdown();
     }
@@ -352,6 +473,7 @@ mod tests {
         type Resp = u64;
         fn handle(&mut self, ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
             ctx.call_many(vec![(self.a, req), (self.b, req)])
+                .expect("fan-out")
                 .into_iter()
                 .sum()
         }
@@ -359,11 +481,8 @@ mod tests {
 
     #[test]
     fn call_many_runs_targets_in_parallel() {
-        // This needs distinct handler types per node: wrap in one enum-free
-        // cluster by spawning Sleeper-compatible handlers. Handler is a
-        // trait, so all nodes share Req/Resp but can differ in type — the
-        // cluster is typed by ONE handler type H, so express the mix with
-        // a single enum handler instead.
+        // The cluster is typed by ONE handler type H, so express the mix
+        // of node behaviours with a single enum handler.
         enum Mixed {
             Sleep(Sleeper),
             Fan(FanOut),
@@ -383,7 +502,7 @@ mod tests {
         let b = cluster.spawn(Mixed::Sleep(Sleeper));
         let fan = cluster.spawn(Mixed::Fan(FanOut { a, b }));
         let start = Instant::now();
-        assert_eq!(cluster.call(fan, 5), 10);
+        assert_eq!(cluster.call(fan, 5), Ok(10));
         let elapsed = start.elapsed();
         assert!(
             elapsed < Duration::from_millis(115),
@@ -406,6 +525,7 @@ mod tests {
                 child.0.into()
             } else {
                 ctx.call(self.child.expect("child spawned first"), 0)
+                    .expect("child answers")
             }
         }
     }
@@ -415,11 +535,11 @@ mod tests {
         let cluster = Cluster::new(CostModel::zero());
         let root = cluster.spawn(Spawner { child: None });
         assert_eq!(cluster.node_count(), 1);
-        let child_id = cluster.call(root, 0);
+        let child_id = cluster.call(root, 0).unwrap();
         assert_eq!(cluster.node_count(), 2);
         assert_eq!(child_id, 1);
         // The dynamically spawned child is reachable through the parent.
-        let grandchild = cluster.call(root, 1);
+        let grandchild = cluster.call(root, 1).unwrap();
         assert_eq!(grandchild, 2);
         assert_eq!(cluster.node_count(), 3);
         cluster.shutdown();
@@ -433,7 +553,7 @@ mod tests {
         });
         let node = cluster.spawn(Echo);
         let start = Instant::now();
-        cluster.call(node, 1);
+        cluster.call(node, 1).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(20)); // req + resp
         let m = cluster.metrics();
         assert!(m.simulated_delay_nanos >= 20_000_000);
@@ -441,10 +561,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown compute node")]
-    fn calling_unknown_node_panics() {
+    fn calling_unknown_node_is_a_typed_error() {
         let cluster: Cluster<Echo> = Cluster::new(CostModel::zero());
-        let _ = cluster.call(ComputeNodeId(5), 1);
+        assert_eq!(
+            cluster.call(ComputeNodeId(5), 1),
+            Err(ClusterError::UnknownNode(ComputeNodeId(5)))
+        );
+        // Ids owned by another process are equally unknown to a bare
+        // channel fabric.
+        let foreign = ComputeNodeId::from_parts(2, 0);
+        assert_eq!(
+            cluster.call(foreign, 1),
+            Err(ClusterError::UnknownNode(foreign))
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_fail_gracefully() {
+        let cluster: Cluster<Echo> = Cluster::new(CostModel::zero());
+        let node = cluster.spawn(Echo);
+        let transport = cluster.transport();
+        cluster.shutdown();
+        match transport.send(node, 1) {
+            Err(ClusterError::UnknownNode(id)) => assert_eq!(id, node),
+            other => panic!("expected UnknownNode, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn member_spawns_use_the_installed_factory() {
+        let cluster: Cluster<Echo> = Cluster::new(CostModel::zero());
+        // Without a factory, member spawns fail with a typed error.
+        match cluster.spawn_member() {
+            Err(ClusterError::SpawnFailed(msg)) => assert!(msg.contains("factory"), "{msg}"),
+            other => panic!("expected SpawnFailed, got {other:?}"),
+        }
+        cluster.set_node_factory(Box::new(|| Box::new(Echo)));
+        let member = cluster.spawn_member().unwrap();
+        assert_eq!(cluster.call(member, 3), Ok(3));
+        assert_eq!(cluster.node_count(), 1);
+        cluster.shutdown();
     }
 
     #[test]

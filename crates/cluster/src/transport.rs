@@ -1,0 +1,256 @@
+//! The pluggable fabric boundary: node identity, wire accounting, typed
+//! errors, reply handles, and the [`Transport`] trait that both the
+//! in-process channel fabric and `semtree-net`'s TCP fabric implement.
+
+use std::fmt;
+use std::sync::mpsc;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Bits of a [`ComputeNodeId`] reserved for the per-process node index.
+///
+/// Node ids are globally unique across a deployment: the high bits carry
+/// the owning *process index* (0 = coordinator) and the low
+/// `PROCESS_STRIDE_BITS` bits the node's slot within that process. The
+/// single-process fabric uses process 0, so ids count 0, 1, 2, … exactly
+/// as they did before the fabric became pluggable.
+pub const PROCESS_STRIDE_BITS: u32 = 16;
+
+/// Identifier of a compute node, unique across every process of a
+/// deployment (see [`PROCESS_STRIDE_BITS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComputeNodeId(pub u32);
+
+impl ComputeNodeId {
+    /// Compose an id from an owning process index and a local slot.
+    #[must_use]
+    pub fn from_parts(process: u32, local_index: u32) -> Self {
+        assert!(
+            process < (1 << (32 - PROCESS_STRIDE_BITS)),
+            "process index {process} out of range"
+        );
+        assert!(
+            local_index < (1 << PROCESS_STRIDE_BITS),
+            "local node index {local_index} out of range"
+        );
+        ComputeNodeId((process << PROCESS_STRIDE_BITS) | local_index)
+    }
+
+    /// Index of the process hosting this node (0 = coordinator).
+    #[must_use]
+    pub fn process(self) -> u32 {
+        self.0 >> PROCESS_STRIDE_BITS
+    }
+
+    /// The node's slot within its owning process.
+    #[must_use]
+    pub fn local_index(self) -> usize {
+        (self.0 & ((1 << PROCESS_STRIDE_BITS) - 1)) as usize
+    }
+
+    /// The raw id as a usable index (kept for single-process callers).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Exact encoded payload size in bytes, used for byte accounting and the
+/// per-byte component of the cost model. For protocol types this must
+/// match the length of the `semtree-net` binary encoding of the value
+/// (frame length prefix excluded); the default (0 bytes) still counts
+/// messages, just not volume.
+pub trait Wire {
+    /// Encoded size in bytes.
+    fn wire_size(&self) -> usize {
+        0
+    }
+}
+
+impl Wire for () {}
+impl Wire for u64 {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+impl Wire for Vec<f64> {
+    // u64 length prefix + fixed 8-byte elements.
+    fn wire_size(&self) -> usize {
+        8 + 8 * self.len()
+    }
+}
+impl Wire for String {
+    // u64 length prefix + UTF-8 bytes.
+    fn wire_size(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+/// Why a cluster operation failed. Carried across process boundaries by
+/// `semtree-net`, so query paths degrade to errors instead of panics when
+/// a partition is unknown, shut down, or unreachable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The target node id is not (or no longer) registered.
+    UnknownNode(ComputeNodeId),
+    /// The target node existed but its thread is gone (panicked or
+    /// shut down) before answering.
+    NodeDied(ComputeNodeId),
+    /// A network-level failure: connect, frame I/O, or decode.
+    Net(String),
+    /// A new member node could not be created.
+    SpawnFailed(String),
+    /// The remote process reported a failure while handling the request.
+    Remote(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::UnknownNode(id) => write!(f, "unknown compute node {id:?}"),
+            ClusterError::NodeDied(id) => write!(f, "compute node {id:?} died before answering"),
+            ClusterError::Net(msg) => write!(f, "network transport error: {msg}"),
+            ClusterError::SpawnFailed(msg) => write!(f, "could not spawn compute node: {msg}"),
+            ClusterError::Remote(msg) => write!(f, "remote handler error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The response side of one in-flight request.
+///
+/// Produced by [`Transport::send`]; [`wait`](ReplyHandle::wait) blocks
+/// until the responder fills the matching [`ReplySlot`]. Holding several
+/// handles before waiting is how fan-out travels in parallel.
+pub struct ReplyHandle<Resp> {
+    rx: mpsc::Receiver<Result<Resp, ClusterError>>,
+    target: ComputeNodeId,
+}
+
+/// The responder side of one in-flight request.
+pub struct ReplySlot<Resp> {
+    tx: mpsc::Sender<Result<Resp, ClusterError>>,
+}
+
+impl<Resp> ReplyHandle<Resp> {
+    /// A connected slot/handle pair for a request addressed to `target`.
+    #[must_use]
+    pub fn pair(target: ComputeNodeId) -> (ReplySlot<Resp>, Self) {
+        let (tx, rx) = mpsc::channel();
+        (ReplySlot { tx }, ReplyHandle { rx, target })
+    }
+
+    /// Block until the response (or a typed failure) arrives. A dropped
+    /// [`ReplySlot`] — responder thread gone, connection torn down —
+    /// surfaces as [`ClusterError::NodeDied`].
+    pub fn wait(self) -> Result<Resp, ClusterError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(ClusterError::NodeDied(self.target)))
+    }
+}
+
+impl<Resp> ReplySlot<Resp> {
+    /// Deliver the outcome. A receiver that gave up waiting is not an
+    /// error.
+    pub fn fill(self, outcome: Result<Resp, ClusterError>) {
+        let _ = self.tx.send(outcome);
+    }
+}
+
+/// Object-safe form of [`Handler`](crate::Handler): what a transport
+/// actually runs on a node thread. Blanket-implemented for every
+/// `Handler`, so callers keep writing plain handlers.
+pub trait DynHandler<Req, Resp>: Send {
+    /// Process one request to completion.
+    fn handle_dyn(&mut self, ctx: &crate::NodeCtx<Req, Resp>, req: Req) -> Resp;
+}
+
+/// A boxed, type-erased node handler.
+pub type BoxHandler<Req, Resp> = Box<dyn DynHandler<Req, Resp> + 'static>;
+
+/// Builds the handler for a dynamically created member node
+/// ([`Transport::spawn_member`]). Every process of a deployment installs
+/// the same factory, which is what lets a remote process materialise a
+/// fresh partition without shipping code or state.
+pub type NodeFactory<Req, Resp> = dyn Fn() -> BoxHandler<Req, Resp> + Send + Sync + 'static;
+
+/// A cluster fabric: routes requests to compute nodes and creates new
+/// ones. Implemented by the in-process channel fabric (the default, and
+/// the paper-faithful simulation) and by `semtree-net`'s TCP fabric
+/// (real multi-process deployment). Object-safe so running systems can
+/// hold `Arc<dyn Transport<_, _>>`.
+pub trait Transport<Req, Resp>: Send + Sync {
+    /// Dispatch `req` to `target`, returning a handle to await the
+    /// response. Sending is non-blocking; the transit cost (simulated
+    /// or real) is paid on the responder's side.
+    fn send(&self, target: ComputeNodeId, req: Req) -> Result<ReplyHandle<Resp>, ClusterError>;
+
+    /// Start a node running `handler` in *this* process.
+    fn spawn_handler(&self, handler: BoxHandler<Req, Resp>) -> Result<ComputeNodeId, ClusterError>;
+
+    /// Create a new member node somewhere in the deployment using the
+    /// installed node factory — on a remote process when the transport
+    /// spans several (build-partition's "allocate a fresh partition").
+    fn spawn_member(&self) -> Result<ComputeNodeId, ClusterError>;
+
+    /// Install the factory used by [`spawn_member`](Transport::spawn_member).
+    fn set_node_factory(&self, factory: Box<NodeFactory<Req, Resp>>);
+
+    /// Number of live compute nodes hosted by *this* process.
+    fn node_count(&self) -> usize;
+
+    /// Current metrics snapshot (messages, bytes, spawns, delay).
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Reset metrics counters (between experiment phases).
+    fn reset_metrics(&self);
+
+    /// Stop every locally hosted node and release transport resources.
+    fn shutdown(&self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_parts() {
+        let id = ComputeNodeId::from_parts(3, 17);
+        assert_eq!(id.process(), 3);
+        assert_eq!(id.local_index(), 17);
+        assert_eq!(id.0, (3 << PROCESS_STRIDE_BITS) | 17);
+        // Single-process ids keep counting from zero.
+        assert_eq!(ComputeNodeId::from_parts(0, 5), ComputeNodeId(5));
+    }
+
+    #[test]
+    fn reply_pair_delivers_and_maps_drop_to_node_died() {
+        let target = ComputeNodeId(9);
+        let (slot, handle) = ReplyHandle::<u64>::pair(target);
+        slot.fill(Ok(77));
+        assert_eq!(handle.wait(), Ok(77));
+
+        let (slot, handle) = ReplyHandle::<u64>::pair(target);
+        drop(slot);
+        assert_eq!(handle.wait(), Err(ClusterError::NodeDied(target)));
+    }
+
+    #[test]
+    fn errors_display_their_cause() {
+        let msg = ClusterError::UnknownNode(ComputeNodeId(4)).to_string();
+        assert!(msg.contains("unknown"), "{msg}");
+        assert!(ClusterError::Net("refused".into())
+            .to_string()
+            .contains("refused"));
+    }
+
+    #[test]
+    fn wire_sizes_match_codec_layout() {
+        assert_eq!(7u64.wire_size(), 8);
+        assert_eq!(vec![1.0f64, 2.0].wire_size(), 8 + 16);
+        assert_eq!(String::from("abc").wire_size(), 8 + 3);
+        assert_eq!(().wire_size(), 0);
+    }
+}

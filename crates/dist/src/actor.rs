@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use semtree_cluster::{ComputeNodeId, Handler, NodeCtx};
+use semtree_cluster::{ClusterError, ComputeNodeId, Handler, NodeCtx};
 
 use crate::proto::{Req, Resp};
 use crate::store::{KnnState, LocalNodeId, PartitionStore, RemoteOps};
@@ -36,8 +36,11 @@ impl PartitionActor {
 
     /// The build-partition algorithm (§III-B.2): while the resource
     /// condition fires and compute nodes remain, move the biggest leaf to a
-    /// newly created partition and link it.
-    fn enforce_capacity(&mut self, ctx: &NodeCtx<Req, Resp>) {
+    /// newly created partition and link it. The new partition is placed by
+    /// the transport — on another OS process under `semtree-net`. If the
+    /// transfer fails the leaf is restored in place, so an error never
+    /// loses points.
+    fn enforce_capacity(&mut self, ctx: &NodeCtx<Req, Resp>) -> Result<(), ClusterError> {
         while self.shared.capacity.exceeded(self.store.points()) {
             let Some(candidate) = self.store.eviction_candidate() else {
                 break; // nothing evictable (root leaf only)
@@ -46,14 +49,46 @@ impl PartitionActor {
                 break; // no compute node available to host a new partition
             }
             let (bucket, depth) = self.store.detach_leaf(candidate);
-            let new_partition = ctx.spawn(PartitionActor::fresh(Arc::clone(&self.shared)));
-            let bucket: Vec<(Vec<f64>, u64)> =
-                bucket.into_iter().map(|(c, p)| (c.into_vec(), p)).collect();
-            let resp = ctx.call(new_partition, Req::AdoptLeaf { bucket, depth });
-            debug_assert_eq!(resp, Resp::Done);
+            let new_partition = match ctx.spawn_member() {
+                Ok(id) => id,
+                Err(e) => {
+                    self.store.restore_leaf(candidate, bucket);
+                    self.shared.release_partition();
+                    return Err(e);
+                }
+            };
+            let wire_bucket: Vec<(Vec<f64>, u64)> =
+                bucket.iter().map(|(c, p)| (c.to_vec(), *p)).collect();
+            match ctx.call(
+                new_partition,
+                Req::AdoptLeaf {
+                    bucket: wire_bucket,
+                    depth,
+                },
+            ) {
+                Ok(Resp::Done) => {}
+                Ok(Resp::Error(msg)) => {
+                    self.store.restore_leaf(candidate, bucket);
+                    self.shared.release_partition();
+                    return Err(ClusterError::Remote(msg));
+                }
+                Ok(other) => {
+                    self.store.restore_leaf(candidate, bucket);
+                    self.shared.release_partition();
+                    return Err(ClusterError::Remote(format!(
+                        "unexpected AdoptLeaf reply {other:?}"
+                    )));
+                }
+                Err(e) => {
+                    self.store.restore_leaf(candidate, bucket);
+                    self.shared.release_partition();
+                    return Err(e);
+                }
+            }
             self.store
                 .relink_to_partition(candidate, new_partition, LocalNodeId(0));
         }
+        Ok(())
     }
 }
 
@@ -63,25 +98,39 @@ struct FabricRemote<'a> {
 }
 
 impl FabricRemote<'_> {
-    fn expect_candidates(resp: Resp) -> Vec<(f64, u64)> {
+    fn expect_candidates(resp: Resp) -> Result<Vec<(f64, u64)>, ClusterError> {
         match resp {
-            Resp::Candidates(c) => c,
-            other => panic!("expected candidates, got {other:?}"),
+            Resp::Candidates(c) => Ok(c),
+            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+            other => Err(ClusterError::Remote(format!(
+                "expected candidates, got {other:?}"
+            ))),
         }
     }
 }
 
 impl RemoteOps for FabricRemote<'_> {
-    fn insert(&self, partition: ComputeNodeId, node: LocalNodeId, point: &[f64], payload: u64) {
-        let resp = self.ctx.call(
+    fn insert(
+        &self,
+        partition: ComputeNodeId,
+        node: LocalNodeId,
+        point: &[f64],
+        payload: u64,
+    ) -> Result<(), ClusterError> {
+        match self.ctx.call(
             partition,
             Req::Insert {
                 node,
                 point: point.to_vec(),
                 payload,
             },
-        );
-        debug_assert_eq!(resp, Resp::Done);
+        )? {
+            Resp::Done => Ok(()),
+            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+            other => Err(ClusterError::Remote(format!(
+                "expected done, got {other:?}"
+            ))),
+        }
     }
 
     fn knn(
@@ -91,7 +140,7 @@ impl RemoteOps for FabricRemote<'_> {
         point: &[f64],
         k: usize,
         worst: Option<f64>,
-    ) -> Vec<(f64, u64)> {
+    ) -> Result<Vec<(f64, u64)>, ClusterError> {
         Self::expect_candidates(self.ctx.call(
             partition,
             Req::Knn {
@@ -100,7 +149,7 @@ impl RemoteOps for FabricRemote<'_> {
                 k,
                 worst,
             },
-        ))
+        )?)
     }
 
     fn range(
@@ -109,7 +158,7 @@ impl RemoteOps for FabricRemote<'_> {
         node: LocalNodeId,
         point: &[f64],
         radius: f64,
-    ) -> Vec<(f64, u64)> {
+    ) -> Result<Vec<(f64, u64)>, ClusterError> {
         Self::expect_candidates(self.ctx.call(
             partition,
             Req::Range {
@@ -117,7 +166,7 @@ impl RemoteOps for FabricRemote<'_> {
                 point: point.to_vec(),
                 radius,
             },
-        ))
+        )?)
     }
 
     fn range_parallel(
@@ -125,7 +174,7 @@ impl RemoteOps for FabricRemote<'_> {
         targets: [(ComputeNodeId, LocalNodeId); 2],
         point: &[f64],
         radius: f64,
-    ) -> [Vec<(f64, u64)>; 2] {
+    ) -> Result<[Vec<(f64, u64)>; 2], ClusterError> {
         let calls = targets
             .iter()
             .map(|&(partition, node)| {
@@ -139,10 +188,10 @@ impl RemoteOps for FabricRemote<'_> {
                 )
             })
             .collect();
-        let mut resps = self.ctx.call_many(calls).into_iter();
-        let a = Self::expect_candidates(resps.next().expect("two responses"));
-        let b = Self::expect_candidates(resps.next().expect("two responses"));
-        [a, b]
+        let mut resps = self.ctx.call_many(calls)?.into_iter();
+        let a = Self::expect_candidates(resps.next().expect("two responses"))?;
+        let b = Self::expect_candidates(resps.next().expect("two responses"))?;
+        Ok([a, b])
     }
 }
 
@@ -157,13 +206,21 @@ impl Handler for PartitionActor {
                 node,
                 point,
                 payload,
-            } => {
-                let stored_here = self.store.insert(node, &point, payload, &remote);
-                if stored_here {
-                    self.enforce_capacity(ctx);
+            } => match self.store.insert(node, &point, payload, &remote) {
+                Ok(stored_here) => {
+                    if stored_here {
+                        if let Err(e) = self.enforce_capacity(ctx) {
+                            // The point is stored; the failed build-partition
+                            // left the tree intact (leaf restored) but the
+                            // client should know capacity could not be
+                            // enforced.
+                            return Resp::Error(format!("build-partition failed: {e}"));
+                        }
+                    }
+                    Resp::Done
                 }
-                Resp::Done
-            }
+                Err(e) => Resp::Error(e.to_string()),
+            },
             Req::Knn {
                 node,
                 point,
@@ -171,8 +228,10 @@ impl Handler for PartitionActor {
                 worst,
             } => {
                 let mut state = KnnState::new(k, worst);
-                self.store.knn(node, &point, &mut state, &remote);
-                Resp::Candidates(state.into_candidates())
+                match self.store.knn(node, &point, &mut state, &remote) {
+                    Ok(()) => Resp::Candidates(state.into_candidates()),
+                    Err(e) => Resp::Error(e.to_string()),
+                }
             }
             Req::Range {
                 node,
@@ -180,8 +239,10 @@ impl Handler for PartitionActor {
                 radius,
             } => {
                 let mut out = Vec::new();
-                self.store.range(node, &point, radius, &mut out, &remote);
-                Resp::Candidates(out)
+                match self.store.range(node, &point, radius, &mut out, &remote) {
+                    Ok(()) => Resp::Candidates(out),
+                    Err(e) => Resp::Error(e.to_string()),
+                }
             }
             Req::AdoptLeaf { bucket, depth } => {
                 let bucket = bucket

@@ -1,0 +1,777 @@
+//! Multi-process deployment over `semtree-net`: coordinator/worker
+//! bootstrap, the wire form of the shared configuration, and the
+//! client-port protocol.
+//!
+//! A deployment is one **coordinator** process (hosts the root partition
+//! and answers clients) plus any number of **worker** processes (host
+//! the data partitions spawned by fan-out construction and
+//! build-partition). The coordinator ships its [`DistConfig`] to every
+//! joining worker inside the membership handshake, so all processes
+//! build identical partition state from the same parameters.
+//!
+//! Partition budgeting across processes is approximate: each process
+//! tracks its own count against `max_partitions`, so a deployment of
+//! `P` processes can host up to `P × max_partitions` partitions in the
+//! worst case. The budget is a resource guard, not a correctness
+//! invariant — the paper's resource condition is per-node anyway.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use semtree_cluster::{ClusterError, CostModel, Transport};
+use semtree_kdtree::SplitRule;
+use semtree_net::{
+    decode_exact, dial_with_timeout, read_frame, write_frame, Decode, DecodeError, Encode,
+    NetFabric,
+};
+
+use crate::actor::PartitionActor;
+use crate::proto::{PartitionStats, Req, Resp};
+use crate::tree::{CapacityPolicy, DistConfig, DistSemTree, SharedConfig};
+
+/// The [`NetFabric`] instantiated for the SemTree partition protocol.
+pub type DistFabric = NetFabric<Req, Resp>;
+
+/// Anything that can go wrong while bootstrapping a deployment.
+#[derive(Debug)]
+pub enum DeployError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The coordinator's config blob did not decode.
+    Decode(DecodeError),
+    /// The configuration cannot be deployed (e.g. a dynamic capacity
+    /// policy, which cannot cross the wire).
+    Config(String),
+    /// A cluster operation failed.
+    Cluster(ClusterError),
+}
+
+impl std::fmt::Display for DeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeployError::Io(e) => write!(f, "i/o: {e}"),
+            DeployError::Decode(e) => write!(f, "config decode: {e}"),
+            DeployError::Config(msg) => write!(f, "config: {msg}"),
+            DeployError::Cluster(e) => write!(f, "cluster: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+impl From<io::Error> for DeployError {
+    fn from(e: io::Error) -> Self {
+        DeployError::Io(e)
+    }
+}
+impl From<DecodeError> for DeployError {
+    fn from(e: DecodeError) -> Self {
+        DeployError::Decode(e)
+    }
+}
+impl From<ClusterError> for DeployError {
+    fn from(e: ClusterError) -> Self {
+        DeployError::Cluster(e)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The deployable subset of DistConfig, and its wire form
+// ----------------------------------------------------------------------
+
+/// The subset of [`DistConfig`] that can cross the wire. A
+/// [`CapacityPolicy::Dynamic`] closure cannot be serialised, so only
+/// `Unlimited` (`max_points: None`) and `MaxPoints` survive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetDeployConfig {
+    /// Point dimensionality.
+    pub dims: usize,
+    /// Leaf bucket capacity `Bs`.
+    pub bucket_size: usize,
+    /// Per-process cap on partitions.
+    pub max_partitions: usize,
+    /// Leaf split rule.
+    pub split_rule: SplitRule,
+    /// Per-partition point cap, `None` = unlimited.
+    pub max_points: Option<u64>,
+}
+
+impl NetDeployConfig {
+    /// Extract the deployable parameters from a [`DistConfig`].
+    ///
+    /// # Errors
+    /// Fails for [`CapacityPolicy::Dynamic`] — closures cannot cross
+    /// process boundaries.
+    pub fn from_config(config: &DistConfig) -> Result<Self, DeployError> {
+        let max_points = match &config.capacity {
+            CapacityPolicy::Unlimited => None,
+            CapacityPolicy::MaxPoints(n) => Some(*n as u64),
+            CapacityPolicy::Dynamic(_) => {
+                return Err(DeployError::Config(
+                    "a dynamic capacity policy cannot be deployed over the network; \
+                     use CapacityPolicy::MaxPoints or Unlimited"
+                        .into(),
+                ))
+            }
+        };
+        Ok(NetDeployConfig {
+            dims: config.dims,
+            bucket_size: config.bucket_size,
+            max_partitions: config.max_partitions,
+            split_rule: config.split_rule,
+            max_points,
+        })
+    }
+
+    /// Rebuild the [`DistConfig`] on the receiving process.
+    #[must_use]
+    pub fn to_config(&self) -> DistConfig {
+        let capacity = match self.max_points {
+            None => CapacityPolicy::Unlimited,
+            Some(n) => CapacityPolicy::MaxPoints(n as usize),
+        };
+        DistConfig::new(self.dims)
+            .with_bucket_size(self.bucket_size)
+            .with_max_partitions(self.max_partitions)
+            .with_split_rule(self.split_rule)
+            .with_capacity(capacity)
+    }
+}
+
+fn split_rule_tag(rule: SplitRule) -> u8 {
+    match rule {
+        SplitRule::Cycle => 0,
+        SplitRule::WidestSpread => 1,
+        SplitRule::DegenerateMin => 2,
+    }
+}
+
+fn split_rule_from_tag(tag: u8) -> Result<SplitRule, DecodeError> {
+    match tag {
+        0 => Ok(SplitRule::Cycle),
+        1 => Ok(SplitRule::WidestSpread),
+        2 => Ok(SplitRule::DegenerateMin),
+        other => Err(DecodeError::new(format!("bad SplitRule tag {other}"))),
+    }
+}
+
+impl Encode for NetDeployConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dims.encode(out);
+        self.bucket_size.encode(out);
+        self.max_partitions.encode(out);
+        split_rule_tag(self.split_rule).encode(out);
+        self.max_points.encode(out);
+    }
+}
+
+impl Decode for NetDeployConfig {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(NetDeployConfig {
+            dims: usize::decode(buf)?,
+            bucket_size: usize::decode(buf)?,
+            max_partitions: usize::decode(buf)?,
+            split_rule: split_rule_from_tag(u8::decode(buf)?)?,
+            max_points: Option::decode(buf)?,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Coordinator / worker bootstrap
+// ----------------------------------------------------------------------
+
+/// Start the coordinator's cluster fabric: bind `listen`, embed the
+/// deployable form of `config` in the membership handshake, and accept
+/// workers.
+///
+/// # Errors
+/// Fails when the config cannot be deployed or the listener cannot bind.
+pub fn serve_cluster(
+    listen: SocketAddr,
+    config: &DistConfig,
+    cost: CostModel,
+) -> Result<Arc<DistFabric>, DeployError> {
+    let blob = NetDeployConfig::from_config(config)?.to_bytes();
+    Ok(DistFabric::coordinator(listen, blob, cost)?)
+}
+
+/// Build the distributed tree over an established coordinator fabric:
+/// the root partition lives on the coordinator, data partitions are
+/// placed round-robin on the joined workers.
+///
+/// # Errors
+/// Fails when a data partition cannot be spawned or seeded.
+pub fn build_tree(
+    fabric: &Arc<DistFabric>,
+    config: DistConfig,
+    cost: CostModel,
+    partitions: usize,
+    sample: &[Vec<f64>],
+) -> Result<DistSemTree, ClusterError> {
+    DistSemTree::over_transport(
+        fabric.local_fabric(),
+        Arc::clone(fabric) as Arc<dyn Transport<Req, Resp>>,
+        config,
+        cost,
+        partitions,
+        sample,
+    )
+}
+
+/// A joined worker process: hosts partitions on request until the
+/// coordinator shuts the deployment down.
+pub struct WorkerHandle {
+    fabric: Arc<DistFabric>,
+    config: DistConfig,
+}
+
+/// Join a deployment as a worker: dial the coordinator, decode the
+/// shipped configuration, and install the partition factory so
+/// coordinator-initiated spawns land here.
+///
+/// # Errors
+/// Fails when the coordinator is unreachable or its config is corrupt.
+pub fn join_cluster(
+    coordinator: SocketAddr,
+    cost: CostModel,
+    timeout: Duration,
+) -> Result<WorkerHandle, DeployError> {
+    let (fabric, blob) = DistFabric::join(coordinator, cost, timeout)?;
+    let net_config: NetDeployConfig = decode_exact(&blob)?;
+    let config = net_config.to_config();
+    let shared = SharedConfig::new(&config);
+    fabric.local_fabric().set_node_factory(Box::new(move || {
+        Box::new(PartitionActor::fresh(Arc::clone(&shared)))
+    }));
+    Ok(WorkerHandle { fabric, config })
+}
+
+impl WorkerHandle {
+    /// This worker's assigned process index (≥ 1).
+    #[must_use]
+    pub fn process_index(&self) -> u32 {
+        self.fabric.process_index()
+    }
+
+    /// The address this worker accepts mesh connections on.
+    #[must_use]
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.fabric.listen_addr()
+    }
+
+    /// The configuration the coordinator shipped.
+    #[must_use]
+    pub fn config(&self) -> &DistConfig {
+        &self.config
+    }
+
+    /// The underlying fabric (metrics, node counts).
+    #[must_use]
+    pub fn fabric(&self) -> Arc<DistFabric> {
+        Arc::clone(&self.fabric)
+    }
+
+    /// Block until the coordinator broadcasts shutdown, then stop the
+    /// locally hosted partitions.
+    pub fn run_until_shutdown(self) {
+        self.fabric.wait_for_shutdown();
+        self.fabric.shutdown();
+    }
+}
+
+// ----------------------------------------------------------------------
+// Client-port protocol
+// ----------------------------------------------------------------------
+
+/// A request on the coordinator's client port.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientReq {
+    /// Insert one point.
+    Insert {
+        /// Query-space coordinates.
+        point: Vec<f64>,
+        /// Opaque payload.
+        payload: u64,
+    },
+    /// k-nearest query.
+    Knn {
+        /// Query point.
+        point: Vec<f64>,
+        /// Result count.
+        k: usize,
+    },
+    /// Range query (inclusive radius).
+    Range {
+        /// Query point.
+        point: Vec<f64>,
+        /// Radius.
+        radius: f64,
+    },
+    /// Per-partition statistics, root first.
+    Stats,
+    /// Structural invariants + point conservation.
+    Verify,
+    /// Interconnect metrics (messages, bytes, spawns).
+    Metrics,
+    /// Tear the whole deployment down.
+    Shutdown,
+}
+
+/// The coordinator's answer to a [`ClientReq`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientResp {
+    /// Acknowledgement (insert, shutdown).
+    Done,
+    /// `(distance, payload)` pairs, closest first.
+    Neighbors(Vec<(f64, u64)>),
+    /// `(partition id, stats)` pairs, root first.
+    Stats(Vec<(u32, PartitionStats)>),
+    /// Invariant violations (empty = healthy).
+    Violations(Vec<String>),
+    /// Interconnect counters.
+    Metrics {
+        /// Requests delivered.
+        messages: u64,
+        /// Bytes carried (exact encoded frame bytes under TCP).
+        bytes: u64,
+        /// Compute nodes spawned.
+        spawned_nodes: u64,
+    },
+    /// The request failed.
+    Error(String),
+}
+
+impl Encode for ClientReq {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientReq::Insert { point, payload } => {
+                out.push(0);
+                point.encode(out);
+                payload.encode(out);
+            }
+            ClientReq::Knn { point, k } => {
+                out.push(1);
+                point.encode(out);
+                k.encode(out);
+            }
+            ClientReq::Range { point, radius } => {
+                out.push(2);
+                point.encode(out);
+                radius.encode(out);
+            }
+            ClientReq::Stats => out.push(3),
+            ClientReq::Verify => out.push(4),
+            ClientReq::Metrics => out.push(5),
+            ClientReq::Shutdown => out.push(6),
+        }
+    }
+}
+
+impl Decode for ClientReq {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ClientReq::Insert {
+                point: Vec::decode(buf)?,
+                payload: u64::decode(buf)?,
+            }),
+            1 => Ok(ClientReq::Knn {
+                point: Vec::decode(buf)?,
+                k: usize::decode(buf)?,
+            }),
+            2 => Ok(ClientReq::Range {
+                point: Vec::decode(buf)?,
+                radius: f64::decode(buf)?,
+            }),
+            3 => Ok(ClientReq::Stats),
+            4 => Ok(ClientReq::Verify),
+            5 => Ok(ClientReq::Metrics),
+            6 => Ok(ClientReq::Shutdown),
+            other => Err(DecodeError::new(format!("bad ClientReq tag {other}"))),
+        }
+    }
+}
+
+impl Encode for ClientResp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ClientResp::Done => out.push(0),
+            ClientResp::Neighbors(n) => {
+                out.push(1);
+                n.encode(out);
+            }
+            ClientResp::Stats(s) => {
+                out.push(2);
+                s.encode(out);
+            }
+            ClientResp::Violations(v) => {
+                out.push(3);
+                v.encode(out);
+            }
+            ClientResp::Metrics {
+                messages,
+                bytes,
+                spawned_nodes,
+            } => {
+                out.push(4);
+                messages.encode(out);
+                bytes.encode(out);
+                spawned_nodes.encode(out);
+            }
+            ClientResp::Error(msg) => {
+                out.push(5);
+                msg.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ClientResp {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ClientResp::Done),
+            1 => Ok(ClientResp::Neighbors(Vec::decode(buf)?)),
+            2 => Ok(ClientResp::Stats(Vec::decode(buf)?)),
+            3 => Ok(ClientResp::Violations(Vec::decode(buf)?)),
+            4 => Ok(ClientResp::Metrics {
+                messages: u64::decode(buf)?,
+                bytes: u64::decode(buf)?,
+                spawned_nodes: u64::decode(buf)?,
+            }),
+            5 => Ok(ClientResp::Error(String::decode(buf)?)),
+            other => Err(DecodeError::new(format!("bad ClientResp tag {other}"))),
+        }
+    }
+}
+
+/// A remote client is untrusted input: a wrong-dimension point must be
+/// rejected here, before it reaches a partition actor (where it would
+/// kill the node and with it the whole deployment).
+fn dims_mismatch(tree: &DistSemTree, point: &[f64]) -> Option<ClientResp> {
+    (point.len() != tree.dims()).then(|| {
+        ClientResp::Error(format!(
+            "point has {} dimensions, the index expects {}",
+            point.len(),
+            tree.dims()
+        ))
+    })
+}
+
+fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
+    match req {
+        ClientReq::Insert { point, payload } => {
+            if let Some(err) = dims_mismatch(tree, &point) {
+                return err;
+            }
+            match tree.try_insert(&point, payload) {
+                Ok(()) => ClientResp::Done,
+                Err(e) => ClientResp::Error(e.to_string()),
+            }
+        }
+        ClientReq::Knn { point, k } => {
+            if let Some(err) = dims_mismatch(tree, &point) {
+                return err;
+            }
+            match tree.try_knn(&point, k) {
+                Ok(hits) => {
+                    ClientResp::Neighbors(hits.into_iter().map(|n| (n.dist, n.payload)).collect())
+                }
+                Err(e) => ClientResp::Error(e.to_string()),
+            }
+        }
+        ClientReq::Range { point, radius } => {
+            if let Some(err) = dims_mismatch(tree, &point) {
+                return err;
+            }
+            match tree.try_range(&point, radius) {
+                Ok(hits) => {
+                    ClientResp::Neighbors(hits.into_iter().map(|n| (n.dist, n.payload)).collect())
+                }
+                Err(e) => ClientResp::Error(e.to_string()),
+            }
+        }
+        ClientReq::Stats => match tree.try_global_stats() {
+            Ok(stats) => ClientResp::Stats(stats.partitions),
+            Err(e) => ClientResp::Error(e.to_string()),
+        },
+        ClientReq::Verify => ClientResp::Violations(tree.verify()),
+        ClientReq::Metrics => {
+            let m = tree.metrics();
+            ClientResp::Metrics {
+                messages: m.messages,
+                bytes: m.bytes,
+                spawned_nodes: m.spawned_nodes,
+            }
+        }
+        ClientReq::Shutdown => ClientResp::Done,
+    }
+}
+
+/// Serve client connections sequentially until one sends
+/// [`ClientReq::Shutdown`] (acknowledged with [`ClientResp::Done`]
+/// before returning). The caller then shuts the tree down.
+///
+/// # Errors
+/// Fails when the listener itself breaks; per-connection errors just
+/// drop that connection.
+pub fn serve_clients(listener: &TcpListener, tree: &DistSemTree) -> io::Result<()> {
+    loop {
+        let (mut stream, _) = listener.accept()?;
+        stream.set_nodelay(true).ok();
+        // A read failure just means the client went away.
+        while let Ok(Some(payload)) = read_frame(&mut stream) {
+            let req: ClientReq = match decode_exact(&payload) {
+                Ok(req) => req,
+                Err(e) => {
+                    let resp = ClientResp::Error(format!("bad request: {e}"));
+                    let _ = write_frame(&mut stream, &resp.to_bytes());
+                    break;
+                }
+            };
+            let shutdown = req == ClientReq::Shutdown;
+            let resp = answer(tree, req);
+            if write_frame(&mut stream, &resp.to_bytes()).is_err() {
+                break;
+            }
+            if shutdown {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// A blocking client of the coordinator's query port.
+pub struct NetClient {
+    stream: TcpStream,
+}
+
+impl NetClient {
+    /// Dial the coordinator's client port, retrying until `timeout`.
+    ///
+    /// # Errors
+    /// Fails when the port never comes up.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        Ok(NetClient {
+            stream: dial_with_timeout(addr, timeout)?,
+        })
+    }
+
+    fn call(&mut self, req: &ClientReq) -> io::Result<ClientResp> {
+        write_frame(&mut self.stream, &req.to_bytes())?;
+        let payload = read_frame(&mut self.stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        decode_exact(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn expect_neighbors(resp: ClientResp) -> io::Result<Vec<(f64, u64)>> {
+        match resp {
+            ClientResp::Neighbors(n) => Ok(n),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Insert one point.
+    ///
+    /// # Errors
+    /// Propagates transport and server-side failures.
+    pub fn insert(&mut self, point: &[f64], payload: u64) -> io::Result<()> {
+        match self.call(&ClientReq::Insert {
+            point: point.to_vec(),
+            payload,
+        })? {
+            ClientResp::Done => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// k-nearest query; `(distance, payload)` pairs closest first.
+    ///
+    /// # Errors
+    /// Propagates transport and server-side failures.
+    pub fn knn(&mut self, point: &[f64], k: usize) -> io::Result<Vec<(f64, u64)>> {
+        Self::expect_neighbors(self.call(&ClientReq::Knn {
+            point: point.to_vec(),
+            k,
+        })?)
+    }
+
+    /// Range query; `(distance, payload)` pairs closest first.
+    ///
+    /// # Errors
+    /// Propagates transport and server-side failures.
+    pub fn range(&mut self, point: &[f64], radius: f64) -> io::Result<Vec<(f64, u64)>> {
+        Self::expect_neighbors(self.call(&ClientReq::Range {
+            point: point.to_vec(),
+            radius,
+        })?)
+    }
+
+    /// Per-partition statistics, root first.
+    ///
+    /// # Errors
+    /// Propagates transport and server-side failures.
+    pub fn stats(&mut self) -> io::Result<Vec<(u32, PartitionStats)>> {
+        match self.call(&ClientReq::Stats)? {
+            ClientResp::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Structural verification; empty = healthy.
+    ///
+    /// # Errors
+    /// Propagates transport and server-side failures.
+    pub fn verify(&mut self) -> io::Result<Vec<String>> {
+        match self.call(&ClientReq::Verify)? {
+            ClientResp::Violations(v) => Ok(v),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Interconnect counters `(messages, bytes, spawned_nodes)`.
+    ///
+    /// # Errors
+    /// Propagates transport and server-side failures.
+    pub fn metrics(&mut self) -> io::Result<(u64, u64, u64)> {
+        match self.call(&ClientReq::Metrics)? {
+            ClientResp::Metrics {
+                messages,
+                bytes,
+                spawned_nodes,
+            } => Ok((messages, bytes, spawned_nodes)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ask the coordinator to tear the deployment down.
+    ///
+    /// # Errors
+    /// Propagates transport failures.
+    pub fn shutdown(mut self) -> io::Result<()> {
+        match self.call(&ClientReq::Shutdown)? {
+            ClientResp::Done => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &ClientResp) -> io::Error {
+    match resp {
+        ClientResp::Error(msg) => io::Error::other(msg.clone()),
+        other => io::Error::other(format!("unexpected reply {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deploy_config_round_trips() {
+        let config = DistConfig::new(4)
+            .with_bucket_size(16)
+            .with_max_partitions(9)
+            .with_split_rule(SplitRule::DegenerateMin)
+            .with_capacity(CapacityPolicy::MaxPoints(500));
+        let net = NetDeployConfig::from_config(&config).unwrap();
+        let back: NetDeployConfig = decode_exact(&net.to_bytes()).unwrap();
+        assert_eq!(back, net);
+        let rebuilt = back.to_config();
+        assert_eq!(rebuilt.dims(), 4);
+        assert_eq!(rebuilt.bucket_size(), 16);
+    }
+
+    #[test]
+    fn wrong_dimension_requests_are_rejected_not_fatal() {
+        let tree = DistSemTree::single(DistConfig::new(2), semtree_cluster::CostModel::zero());
+        for req in [
+            ClientReq::Insert {
+                point: vec![1.0, 2.0, 3.0],
+                payload: 0,
+            },
+            ClientReq::Knn {
+                point: vec![1.0],
+                k: 3,
+            },
+            ClientReq::Range {
+                point: vec![],
+                radius: 1.0,
+            },
+        ] {
+            assert!(
+                matches!(answer(&tree, req), ClientResp::Error(msg) if msg.contains("dimensions")),
+                "wrong-dimension request must come back as a typed error"
+            );
+        }
+        // The tree survived every bad request.
+        tree.insert(&[1.0, 2.0], 7);
+        assert_eq!(tree.knn(&[1.0, 2.0], 1)[0].payload, 7);
+        tree.shutdown();
+    }
+
+    #[test]
+    fn dynamic_capacity_cannot_be_deployed() {
+        let config = DistConfig::new(2)
+            .with_capacity(CapacityPolicy::Dynamic(Arc::new(|points| points > 10)));
+        match NetDeployConfig::from_config(&config) {
+            Err(DeployError::Config(msg)) => assert!(msg.contains("dynamic")),
+            other => panic!("expected Config error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn client_protocol_round_trips() {
+        let reqs = [
+            ClientReq::Insert {
+                point: vec![1.0, 2.0],
+                payload: 7,
+            },
+            ClientReq::Knn {
+                point: vec![0.0],
+                k: 5,
+            },
+            ClientReq::Range {
+                point: vec![3.0],
+                radius: 1.5,
+            },
+            ClientReq::Stats,
+            ClientReq::Verify,
+            ClientReq::Metrics,
+            ClientReq::Shutdown,
+        ];
+        for req in reqs {
+            let back: ClientReq = decode_exact(&req.to_bytes()).unwrap();
+            assert_eq!(back, req);
+        }
+        let resps = [
+            ClientResp::Done,
+            ClientResp::Neighbors(vec![(0.5, 9)]),
+            ClientResp::Stats(vec![(0, PartitionStats::default())]),
+            ClientResp::Violations(vec!["broken".into()]),
+            ClientResp::Metrics {
+                messages: 3,
+                bytes: 120,
+                spawned_nodes: 2,
+            },
+            ClientResp::Error("nope".into()),
+        ];
+        for resp in resps {
+            let back: ClientResp = decode_exact(&resp.to_bytes()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn split_rule_tags_are_stable() {
+        for rule in [
+            SplitRule::Cycle,
+            SplitRule::WidestSpread,
+            SplitRule::DegenerateMin,
+        ] {
+            assert_eq!(split_rule_from_tag(split_rule_tag(rule)).unwrap(), rule);
+        }
+        assert!(split_rule_from_tag(9).is_err());
+    }
+}

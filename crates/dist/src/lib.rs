@@ -60,10 +60,15 @@
 //! ```
 
 mod actor;
+mod deploy;
 mod proto;
 mod store;
 mod tree;
 
+pub use deploy::{
+    build_tree, join_cluster, serve_clients, serve_cluster, ClientReq, ClientResp, DeployError,
+    DistFabric, NetClient, NetDeployConfig, WorkerHandle,
+};
 pub use proto::{PartitionStats, Req, Resp};
 pub use semtree_kdtree::Neighbor;
 pub use store::LocalNodeId;

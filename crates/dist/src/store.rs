@@ -1,14 +1,13 @@
 //! Partition-local tree fragment: nodes, buckets and remote links.
 
-use semtree_cluster::ComputeNodeId;
+use semtree_cluster::{ClusterError, ComputeNodeId};
 use semtree_kdtree::SplitRule;
-use serde::{Deserialize, Serialize};
 
 use crate::proto::PartitionStats;
 
 /// Identifier of a node inside one partition's arena; each partition's
 /// sub-tree root is node 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LocalNodeId(pub u32);
 
 impl LocalNodeId {
@@ -57,9 +56,17 @@ pub(crate) struct PNode {
 }
 
 /// Every remote operation a partition-local traversal may need; the actor
-/// implements it with real messages, tests with mocks.
+/// implements it with real messages, tests with mocks. Each operation can
+/// fail — the far partition may be gone, or the network may drop the
+/// connection — and the failure propagates back up the traversal.
 pub(crate) trait RemoteOps {
-    fn insert(&self, partition: ComputeNodeId, node: LocalNodeId, point: &[f64], payload: u64);
+    fn insert(
+        &self,
+        partition: ComputeNodeId,
+        node: LocalNodeId,
+        point: &[f64],
+        payload: u64,
+    ) -> Result<(), ClusterError>;
     fn knn(
         &self,
         partition: ComputeNodeId,
@@ -67,14 +74,14 @@ pub(crate) trait RemoteOps {
         point: &[f64],
         k: usize,
         worst: Option<f64>,
-    ) -> Vec<(f64, u64)>;
+    ) -> Result<Vec<(f64, u64)>, ClusterError>;
     fn range(
         &self,
         partition: ComputeNodeId,
         node: LocalNodeId,
         point: &[f64],
         radius: f64,
-    ) -> Vec<(f64, u64)>;
+    ) -> Result<Vec<(f64, u64)>, ClusterError>;
     /// Parallel variant for border nodes whose two children are both
     /// remote (§III-B.4: "the navigation is performed in a parallel way").
     fn range_parallel(
@@ -82,7 +89,7 @@ pub(crate) trait RemoteOps {
         targets: [(ComputeNodeId, LocalNodeId); 2],
         point: &[f64],
         radius: f64,
-    ) -> [Vec<(f64, u64)>; 2];
+    ) -> Result<[Vec<(f64, u64)>; 2], ClusterError>;
 }
 
 /// Result-set state for a k-nearest traversal: bounded max-heap plus the
@@ -267,15 +274,15 @@ impl PartitionStore {
     // Insertion (§III-B.1)
     // ------------------------------------------------------------------
 
-    /// Insert starting at `start`; returns `true` when the point landed in
-    /// this partition, `false` when it was forwarded to another.
+    /// Insert starting at `start`; returns `Ok(true)` when the point landed
+    /// in this partition, `Ok(false)` when it was forwarded to another.
     pub(crate) fn insert(
         &mut self,
         start: LocalNodeId,
         point: &[f64],
         payload: u64,
         remote: &dyn RemoteOps,
-    ) -> bool {
+    ) -> Result<bool, ClusterError> {
         assert_eq!(point.len(), self.dims, "dimensionality mismatch");
         let mut node = start;
         loop {
@@ -295,8 +302,8 @@ impl PartitionStore {
                     match child {
                         Child::Local(next) => node = next,
                         Child::Remote { partition, node } => {
-                            remote.insert(partition, node, point, payload);
-                            return false;
+                            remote.insert(partition, node, point, payload)?;
+                            return Ok(false);
                         }
                     }
                 }
@@ -307,7 +314,7 @@ impl PartitionStore {
         }
         self.points += 1;
         self.maybe_split(node);
-        true
+        Ok(true)
     }
 
     fn maybe_split(&mut self, leaf: LocalNodeId) {
@@ -357,7 +364,7 @@ impl PartitionStore {
         point: &[f64],
         state: &mut KnnState,
         remote: &dyn RemoteOps,
-    ) {
+    ) -> Result<(), ClusterError> {
         assert_eq!(point.len(), self.dims, "dimensionality mismatch");
         // Explicit stack: the far-side descend condition is evaluated only
         // after the near side finished (classic backtracking), and deep
@@ -382,7 +389,7 @@ impl PartitionStore {
                 Child::Remote { partition, node } => {
                     // Cross the border: ship the query and the current
                     // worst distance, merge the partial result set back.
-                    let hits = remote.knn(partition, node, point, state.k, state.bound());
+                    let hits = remote.knn(partition, node, point, state.k, state.bound())?;
                     for (d, p) in hits {
                         state.offer(d, p);
                     }
@@ -414,6 +421,7 @@ impl PartitionStore {
                 },
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -427,14 +435,14 @@ impl PartitionStore {
         radius: f64,
         out: &mut Vec<(f64, u64)>,
         remote: &dyn RemoteOps,
-    ) {
+    ) -> Result<(), ClusterError> {
         assert_eq!(point.len(), self.dims, "dimensionality mismatch");
         assert!(radius >= 0.0, "radius must be non-negative");
         let mut stack = vec![Child::Local(start)];
         while let Some(child) = stack.pop() {
             match child {
                 Child::Remote { partition, node } => {
-                    out.extend(remote.range(partition, node, point, radius));
+                    out.extend(remote.range(partition, node, point, radius)?);
                 }
                 Child::Local(id) => match &self.nodes[id.index()].kind {
                     PNodeKind::Leaf { bucket } => {
@@ -467,7 +475,7 @@ impl PartitionStore {
                             ) = (*left, *right)
                             {
                                 let [l, r] =
-                                    remote.range_parallel([(lp, ln), (rp, rn)], point, radius);
+                                    remote.range_parallel([(lp, ln), (rp, rn)], point, radius)?;
                                 out.extend(l);
                                 out.extend(r);
                             } else {
@@ -483,6 +491,7 @@ impl PartitionStore {
                 },
             }
         }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -515,6 +524,14 @@ impl PartitionStore {
         };
         self.points -= bucket.len();
         (bucket, depth)
+    }
+
+    /// Undo a [`detach_leaf`](PartitionStore::detach_leaf): put the bucket
+    /// back when the transfer to the new partition failed, so no points
+    /// are lost.
+    pub(crate) fn restore_leaf(&mut self, id: LocalNodeId, bucket: Bucket) {
+        self.points += bucket.len();
+        self.nodes[id.index()].kind = PNodeKind::Leaf { bucket };
     }
 
     /// Point the evicted leaf's parent at the new partition ("a link
@@ -713,7 +730,13 @@ pub(crate) mod testutil {
     pub(crate) struct NoRemote;
 
     impl RemoteOps for NoRemote {
-        fn insert(&self, _: ComputeNodeId, _: LocalNodeId, _: &[f64], _: u64) {
+        fn insert(
+            &self,
+            _: ComputeNodeId,
+            _: LocalNodeId,
+            _: &[f64],
+            _: u64,
+        ) -> Result<(), ClusterError> {
             panic!("unexpected remote insert");
         }
         fn knn(
@@ -723,10 +746,16 @@ pub(crate) mod testutil {
             _: &[f64],
             _: usize,
             _: Option<f64>,
-        ) -> Vec<(f64, u64)> {
+        ) -> Result<Vec<(f64, u64)>, ClusterError> {
             panic!("unexpected remote knn");
         }
-        fn range(&self, _: ComputeNodeId, _: LocalNodeId, _: &[f64], _: f64) -> Vec<(f64, u64)> {
+        fn range(
+            &self,
+            _: ComputeNodeId,
+            _: LocalNodeId,
+            _: &[f64],
+            _: f64,
+        ) -> Result<Vec<(f64, u64)>, ClusterError> {
             panic!("unexpected remote range");
         }
         fn range_parallel(
@@ -734,7 +763,7 @@ pub(crate) mod testutil {
             _: [(ComputeNodeId, LocalNodeId); 2],
             _: &[f64],
             _: f64,
-        ) -> [Vec<(f64, u64)>; 2] {
+        ) -> Result<[Vec<(f64, u64)>; 2], ClusterError> {
             panic!("unexpected remote range_parallel");
         }
     }
@@ -752,7 +781,7 @@ mod tests {
     fn fill_grid(s: &mut PartitionStore, n: usize) {
         for i in 0..n {
             let p = [(i % 10) as f64, (i / 10) as f64];
-            assert!(s.insert(LocalNodeId(0), &p, i as u64, &NoRemote));
+            assert!(s.insert(LocalNodeId(0), &p, i as u64, &NoRemote).unwrap());
         }
     }
 
@@ -774,7 +803,7 @@ mod tests {
         fill_grid(&mut s, 100);
         let q = [3.2, 4.9];
         let mut state = KnnState::new(5, None);
-        s.knn(LocalNodeId(0), &q, &mut state, &NoRemote);
+        s.knn(LocalNodeId(0), &q, &mut state, &NoRemote).unwrap();
         let got = state.into_candidates();
 
         let mut brute: Vec<(f64, u64)> = (0..100u64)
@@ -796,7 +825,8 @@ mod tests {
         fill_grid(&mut s, 100);
         let q = [5.0, 5.0];
         let mut out = Vec::new();
-        s.range(LocalNodeId(0), &q, 2.5, &mut out, &NoRemote);
+        s.range(LocalNodeId(0), &q, 2.5, &mut out, &NoRemote)
+            .unwrap();
         let brute = (0..100u64)
             .filter(|&i| {
                 let p = [(i % 10) as f64, (i / 10) as f64];
@@ -856,6 +886,18 @@ mod tests {
     }
 
     #[test]
+    fn restore_leaf_undoes_a_detach() {
+        let mut s = store(4);
+        fill_grid(&mut s, 60);
+        let cand = s.eviction_candidate().unwrap();
+        let before = s.points();
+        let (bucket, _) = s.detach_leaf(cand);
+        s.restore_leaf(cand, bucket);
+        assert_eq!(s.points(), before);
+        assert_eq!(s.verify(), Vec::<String>::new());
+    }
+
+    #[test]
     fn adopted_oversized_bucket_splits_on_arrival() {
         let bucket: Vec<(Box<[f64]>, u64)> = (0..20)
             .map(|i| (vec![i as f64, 0.0].into_boxed_slice(), i as u64))
@@ -871,8 +913,15 @@ mod tests {
         use std::cell::RefCell;
         struct Recorder(RefCell<Vec<u64>>);
         impl RemoteOps for Recorder {
-            fn insert(&self, _: ComputeNodeId, _: LocalNodeId, _: &[f64], payload: u64) {
+            fn insert(
+                &self,
+                _: ComputeNodeId,
+                _: LocalNodeId,
+                _: &[f64],
+                payload: u64,
+            ) -> Result<(), ClusterError> {
                 self.0.borrow_mut().push(payload);
+                Ok(())
             }
             fn knn(
                 &self,
@@ -881,8 +930,8 @@ mod tests {
                 _: &[f64],
                 _: usize,
                 _: Option<f64>,
-            ) -> Vec<(f64, u64)> {
-                vec![]
+            ) -> Result<Vec<(f64, u64)>, ClusterError> {
+                Ok(vec![])
             }
             fn range(
                 &self,
@@ -890,16 +939,16 @@ mod tests {
                 _: LocalNodeId,
                 _: &[f64],
                 _: f64,
-            ) -> Vec<(f64, u64)> {
-                vec![]
+            ) -> Result<Vec<(f64, u64)>, ClusterError> {
+                Ok(vec![])
             }
             fn range_parallel(
                 &self,
                 _: [(ComputeNodeId, LocalNodeId); 2],
                 _: &[f64],
                 _: f64,
-            ) -> [Vec<(f64, u64)>; 2] {
-                [vec![], vec![]]
+            ) -> Result<[Vec<(f64, u64)>; 2], ClusterError> {
+                Ok([vec![], vec![]])
             }
         }
 
@@ -918,8 +967,8 @@ mod tests {
         s.set_parent(left, LocalNodeId(0), true);
 
         let rec = Recorder(RefCell::new(Vec::new()));
-        assert!(s.insert(LocalNodeId(0), &[1.0, 0.0], 10, &rec)); // local side
-        assert!(!s.insert(LocalNodeId(0), &[9.0, 0.0], 11, &rec)); // forwarded
+        assert!(s.insert(LocalNodeId(0), &[1.0, 0.0], 10, &rec).unwrap()); // local side
+        assert!(!s.insert(LocalNodeId(0), &[9.0, 0.0], 11, &rec).unwrap()); // forwarded
         assert_eq!(*rec.0.borrow(), vec![11]);
         assert_eq!(s.points(), 1);
     }

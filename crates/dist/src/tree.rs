@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use semtree_cluster::{Cluster, ComputeNodeId, CostModel};
+use semtree_cluster::{ChannelFabric, Cluster, ClusterError, ComputeNodeId, CostModel, Transport};
 use semtree_kdtree::{Neighbor, SplitRule};
 
 use crate::actor::PartitionActor;
@@ -134,7 +134,7 @@ pub(crate) struct SharedConfig {
 }
 
 impl SharedConfig {
-    fn new(config: &DistConfig) -> Arc<Self> {
+    pub(crate) fn new(config: &DistConfig) -> Arc<Self> {
         Arc::new(SharedConfig {
             dims: config.dims,
             bucket_size: config.bucket_size,
@@ -153,6 +153,12 @@ impl SharedConfig {
                 (cur < self.max_partitions).then_some(cur + 1)
             })
             .is_ok()
+    }
+
+    /// Return a previously reserved slot (a build-partition transfer
+    /// failed after reserving).
+    pub(crate) fn release_partition(&self) {
+        self.partitions.fetch_sub(1, Ordering::SeqCst);
     }
 
     fn partition_count(&self) -> usize {
@@ -213,17 +219,8 @@ impl DistSemTree {
     /// Single-partition tree (the sequential baseline, "1 partition").
     #[must_use]
     pub fn single(config: DistConfig, cost: CostModel) -> Self {
-        let shared = SharedConfig::new(&config);
-        assert!(shared.try_reserve_partition());
-        let cluster = Cluster::new(cost);
-        let root = cluster.spawn(PartitionActor::fresh(Arc::clone(&shared)));
-        DistSemTree {
-            cluster,
-            root,
-            shared,
-            inserted: AtomicU64::new(0),
-            cost,
-        }
+        DistSemTree::build_on(Cluster::new(cost), config, cost, 1, &[])
+            .expect("in-process construction cannot fail")
     }
 
     /// `partitions`-partition tree: one pure-routing root partition whose
@@ -241,9 +238,62 @@ impl DistSemTree {
         partitions: usize,
         sample: &[Vec<f64>],
     ) -> Self {
+        DistSemTree::build_on(Cluster::new(cost), config, cost, partitions, sample)
+            .expect("in-process construction cannot fail")
+    }
+
+    /// Build over an explicit [`Transport`] — `local` hosts this process's
+    /// nodes (the root partition always lives here), `transport` routes
+    /// and *places* the data partitions: under `semtree-net` they land on
+    /// worker processes, round-robin.
+    ///
+    /// # Errors
+    /// Fails when a data partition cannot be spawned or seeded — e.g. no
+    /// worker process is reachable.
+    ///
+    /// # Panics
+    /// Panics on the same configuration errors as
+    /// [`with_fanout`](DistSemTree::with_fanout).
+    pub fn over_transport(
+        local: Arc<ChannelFabric<Req, Resp>>,
+        transport: Arc<dyn Transport<Req, Resp>>,
+        config: DistConfig,
+        cost: CostModel,
+        partitions: usize,
+        sample: &[Vec<f64>],
+    ) -> Result<Self, ClusterError> {
+        DistSemTree::build_on(
+            Cluster::from_parts(local, transport),
+            config,
+            cost,
+            partitions,
+            sample,
+        )
+    }
+
+    /// Shared construction path: install the member factory, then spawn
+    /// the root locally and the data partitions through the transport.
+    fn build_on(
+        cluster: Cluster<PartitionActor>,
+        config: DistConfig,
+        cost: CostModel,
+        partitions: usize,
+        sample: &[Vec<f64>],
+    ) -> Result<Self, ClusterError> {
         assert!(partitions > 0, "at least one partition is required");
+        let shared = SharedConfig::new(&config);
+        install_member_factory(&cluster, &shared);
+
         if partitions == 1 {
-            return DistSemTree::single(config, cost);
+            assert!(shared.try_reserve_partition());
+            let root = cluster.spawn(PartitionActor::fresh(Arc::clone(&shared)));
+            return Ok(DistSemTree {
+                cluster,
+                root,
+                shared,
+                inserted: AtomicU64::new(0),
+                cost,
+            });
         }
         assert!(
             partitions >= 3,
@@ -262,9 +312,6 @@ impl DistSemTree {
             assert_eq!(p.len(), config.dims, "sample dimensionality mismatch");
         }
 
-        let shared = SharedConfig::new(&config);
-        let cluster = Cluster::new(cost);
-
         // Data partitions are spawned as the recursion reaches its leaves;
         // the root's routing tree is assembled in a local store whose first
         // pushed node (the routing root) becomes node 0.
@@ -278,7 +325,7 @@ impl DistSemTree {
             partitions - 1,
             0,
             config.dims,
-        );
+        )?;
         match root_child {
             Child::Local(id) => debug_assert_eq!(id, LocalNodeId(0)),
             Child::Remote { .. } => unreachable!("fan-out of ≥2 leaves roots locally"),
@@ -286,33 +333,56 @@ impl DistSemTree {
 
         assert!(shared.try_reserve_partition()); // the root partition itself
         let root = cluster.spawn(PartitionActor::with_store(store, Arc::clone(&shared)));
-        DistSemTree {
+        Ok(DistSemTree {
             cluster,
             root,
             shared,
             inserted: AtomicU64::new(0),
             cost,
-        }
+        })
     }
 
     /// Insert a point via the distributed insertion algorithm, starting
     /// "from the root node of the root partition".
-    pub fn insert(&self, point: &[f64], payload: u64) {
-        let resp = self.cluster.call(
+    ///
+    /// # Errors
+    /// Fails when the target partition is unreachable (dead node, network
+    /// fault) or reports a failure of its own.
+    pub fn try_insert(&self, point: &[f64], payload: u64) -> Result<(), ClusterError> {
+        match self.cluster.call(
             self.root,
             Req::Insert {
                 node: LocalNodeId(0),
                 point: point.to_vec(),
                 payload,
             },
-        );
-        debug_assert_eq!(resp, Resp::Done);
-        self.inserted.fetch_add(1, Ordering::Relaxed);
+        )? {
+            Resp::Done => {
+                self.inserted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+            other => Err(ClusterError::Remote(format!(
+                "expected done, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Infallible [`try_insert`](DistSemTree::try_insert) for healthy
+    /// clusters.
+    ///
+    /// # Panics
+    /// Panics when the insert fails.
+    pub fn insert(&self, point: &[f64], payload: u64) {
+        self.try_insert(point, payload)
+            .expect("distributed insert failed");
     }
 
     /// Distributed k-nearest query; hits come back closest first.
-    #[must_use]
-    pub fn knn(&self, point: &[f64], k: usize) -> Vec<Neighbor<u64>> {
+    ///
+    /// # Errors
+    /// Fails when any partition the search must visit is unreachable.
+    pub fn try_knn(&self, point: &[f64], k: usize) -> Result<Vec<Neighbor<u64>>, ClusterError> {
         match self.cluster.call(
             self.root,
             Req::Knn {
@@ -321,18 +391,36 @@ impl DistSemTree {
                 k,
                 worst: None,
             },
-        ) {
-            Resp::Candidates(c) => c
+        )? {
+            Resp::Candidates(c) => Ok(c
                 .into_iter()
                 .map(|(dist, payload)| Neighbor { dist, payload })
-                .collect(),
-            other => panic!("expected candidates, got {other:?}"),
+                .collect()),
+            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+            other => Err(ClusterError::Remote(format!(
+                "expected candidates, got {other:?}"
+            ))),
         }
     }
 
-    /// Distributed range query (inclusive radius); hits closest first.
+    /// Infallible [`try_knn`](DistSemTree::try_knn) for healthy clusters.
+    ///
+    /// # Panics
+    /// Panics when the query fails.
     #[must_use]
-    pub fn range(&self, point: &[f64], radius: f64) -> Vec<Neighbor<u64>> {
+    pub fn knn(&self, point: &[f64], k: usize) -> Vec<Neighbor<u64>> {
+        self.try_knn(point, k).expect("distributed knn failed")
+    }
+
+    /// Distributed range query (inclusive radius); hits closest first.
+    ///
+    /// # Errors
+    /// Fails when any partition the search must visit is unreachable.
+    pub fn try_range(
+        &self,
+        point: &[f64],
+        radius: f64,
+    ) -> Result<Vec<Neighbor<u64>>, ClusterError> {
         match self.cluster.call(
             self.root,
             Req::Range {
@@ -340,17 +428,31 @@ impl DistSemTree {
                 point: point.to_vec(),
                 radius,
             },
-        ) {
+        )? {
             Resp::Candidates(c) => {
                 let mut out: Vec<Neighbor<u64>> = c
                     .into_iter()
                     .map(|(dist, payload)| Neighbor { dist, payload })
                     .collect();
                 out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite distances"));
-                out
+                Ok(out)
             }
-            other => panic!("expected candidates, got {other:?}"),
+            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+            other => Err(ClusterError::Remote(format!(
+                "expected candidates, got {other:?}"
+            ))),
         }
+    }
+
+    /// Infallible [`try_range`](DistSemTree::try_range) for healthy
+    /// clusters.
+    ///
+    /// # Panics
+    /// Panics when the query fails.
+    #[must_use]
+    pub fn range(&self, point: &[f64], radius: f64) -> Vec<Neighbor<u64>> {
+        self.try_range(point, radius)
+            .expect("distributed range failed")
     }
 
     /// Number of points inserted through this facade.
@@ -371,6 +473,12 @@ impl DistSemTree {
         self.shared.partition_count()
     }
 
+    /// The point dimensionality this tree was configured with.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.shared.dims
+    }
+
     /// Interconnect metrics (messages, bytes, spawns, simulated delay).
     #[must_use]
     pub fn metrics(&self) -> semtree_cluster::MetricsSnapshot {
@@ -383,8 +491,10 @@ impl DistSemTree {
     }
 
     /// Walk the partition tree and gather per-partition statistics.
-    #[must_use]
-    pub fn global_stats(&self) -> GlobalStats {
+    ///
+    /// # Errors
+    /// Fails when any partition in the walk is unreachable.
+    pub fn try_global_stats(&self) -> Result<GlobalStats, ClusterError> {
         let mut out = GlobalStats::default();
         let mut queue = std::collections::VecDeque::from([self.root]);
         let mut seen = std::collections::HashSet::new();
@@ -392,15 +502,29 @@ impl DistSemTree {
             if !seen.insert(pid) {
                 continue;
             }
-            match self.cluster.call(pid, Req::Stats) {
+            match self.cluster.call(pid, Req::Stats)? {
                 Resp::Stats(stats) => {
                     queue.extend(stats.remote_children_ids());
                     out.partitions.push((pid.0, stats));
                 }
-                other => panic!("expected stats, got {other:?}"),
+                Resp::Error(msg) => return Err(ClusterError::Remote(msg)),
+                other => {
+                    return Err(ClusterError::Remote(format!(
+                        "expected stats, got {other:?}"
+                    )))
+                }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Infallible [`try_global_stats`](DistSemTree::try_global_stats).
+    ///
+    /// # Panics
+    /// Panics when any partition is unreachable.
+    #[must_use]
+    pub fn global_stats(&self) -> GlobalStats {
+        self.try_global_stats().expect("partition walk failed")
     }
 
     /// Check every partition's structural invariants plus cross-partition
@@ -409,13 +533,19 @@ impl DistSemTree {
     #[must_use]
     pub fn verify(&self) -> Vec<String> {
         let mut violations = Vec::new();
-        let stats = self.global_stats();
+        let stats = match self.try_global_stats() {
+            Ok(stats) => stats,
+            Err(e) => return vec![format!("partition walk failed: {e}")],
+        };
         for &(pid, _) in &stats.partitions {
             match self.cluster.call(ComputeNodeId(pid), Req::Verify) {
-                Resp::Violations(v) => {
+                Ok(Resp::Violations(v)) => {
                     violations.extend(v.into_iter().map(|m| format!("partition {pid}: {m}")))
                 }
-                other => violations.push(format!("partition {pid}: bad verify reply {other:?}")),
+                Ok(other) => {
+                    violations.push(format!("partition {pid}: bad verify reply {other:?}"))
+                }
+                Err(e) => violations.push(format!("partition {pid}: unreachable: {e}")),
             }
         }
         let total = stats.total_points();
@@ -429,17 +559,33 @@ impl DistSemTree {
     }
 
     /// Export every stored point, in partition BFS order.
-    #[must_use]
-    pub fn export_points(&self) -> Vec<(Vec<f64>, u64)> {
-        let stats = self.global_stats();
+    ///
+    /// # Errors
+    /// Fails when any partition is unreachable.
+    pub fn try_export_points(&self) -> Result<Vec<(Vec<f64>, u64)>, ClusterError> {
+        let stats = self.try_global_stats()?;
         let mut out = Vec::with_capacity(self.len());
         for &(pid, _) in &stats.partitions {
-            match self.cluster.call(ComputeNodeId(pid), Req::Export) {
+            match self.cluster.call(ComputeNodeId(pid), Req::Export)? {
                 Resp::Points(pts) => out.extend(pts),
-                other => panic!("expected points, got {other:?}"),
+                Resp::Error(msg) => return Err(ClusterError::Remote(msg)),
+                other => {
+                    return Err(ClusterError::Remote(format!(
+                        "expected points, got {other:?}"
+                    )))
+                }
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Infallible [`try_export_points`](DistSemTree::try_export_points).
+    ///
+    /// # Panics
+    /// Panics when any partition is unreachable.
+    #[must_use]
+    pub fn export_points(&self) -> Vec<(Vec<f64>, u64)> {
+        self.try_export_points().expect("export failed")
     }
 
     /// Rebuild this tree balanced across exactly `partitions` partitions —
@@ -479,8 +625,21 @@ impl DistSemTree {
     }
 }
 
+/// Install the factory the transport uses for member spawns: every new
+/// member is a fresh partition actor sharing this process's config.
+pub(crate) fn install_member_factory(
+    cluster: &Cluster<PartitionActor>,
+    shared: &Arc<SharedConfig>,
+) {
+    let shared = Arc::clone(shared);
+    cluster.set_node_factory(Box::new(move || {
+        Box::new(PartitionActor::fresh(Arc::clone(&shared)))
+    }));
+}
+
 /// Recursive fan-out construction: a routing tree over `target_leaves`
-/// regions; each region leaf becomes a freshly spawned data partition.
+/// regions; each region leaf becomes a freshly spawned data partition,
+/// placed by the transport (a remote process under `semtree-net`).
 fn build_fanout(
     cluster: &Cluster<PartitionActor>,
     shared: &Arc<SharedConfig>,
@@ -489,22 +648,35 @@ fn build_fanout(
     target_leaves: usize,
     depth: u32,
     dims: usize,
-) -> Child {
+) -> Result<Child, ClusterError> {
     if target_leaves <= 1 {
         assert!(shared.try_reserve_partition(), "partition budget exhausted");
-        let pid = cluster.spawn(PartitionActor::fresh(Arc::clone(shared)));
-        let resp = cluster.call(
+        let pid = match cluster.spawn_member() {
+            Ok(pid) => pid,
+            Err(e) => {
+                shared.release_partition();
+                return Err(e);
+            }
+        };
+        match cluster.call(
             pid,
             Req::AdoptLeaf {
                 bucket: Vec::new(),
                 depth,
             },
-        );
-        debug_assert_eq!(resp, Resp::Done);
-        return Child::Remote {
+        )? {
+            Resp::Done => {}
+            Resp::Error(msg) => return Err(ClusterError::Remote(msg)),
+            other => {
+                return Err(ClusterError::Remote(format!(
+                    "unexpected AdoptLeaf reply {other:?}"
+                )))
+            }
+        }
+        return Ok(Child::Remote {
             partition: pid,
             node: LocalNodeId(0),
-        };
+        });
     }
     let dim = depth as usize % dims;
     sample.sort_by(|a, b| a[dim].partial_cmp(&b[dim]).expect("finite coordinates"));
@@ -534,7 +706,7 @@ fn build_fanout(
         left_target,
         depth + 1,
         dims,
-    );
+    )?;
     let right = build_fanout(
         cluster,
         shared,
@@ -543,7 +715,7 @@ fn build_fanout(
         right_target,
         depth + 1,
         dims,
-    );
+    )?;
     if let Child::Local(id) = left {
         store.set_parent(id, node, true);
     }
@@ -551,7 +723,7 @@ fn build_fanout(
         store.set_parent(id, node, false);
     }
     store.patch_routing_children(node, left, right);
-    Child::Local(node)
+    Ok(Child::Local(node))
 }
 
 #[cfg(test)]

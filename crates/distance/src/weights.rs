@@ -2,14 +2,12 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 const EPS: f64 = 1e-9;
 
 /// Weights `(α, β, γ)` for the subject, predicate and object sub-distances.
 /// Invariants (validated at construction): each weight is non-negative and
 /// they sum to 1, exactly as the paper requires (`α+β+γ = 1`).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Weights {
     alpha: f64,
     beta: f64,

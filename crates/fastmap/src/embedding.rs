@@ -2,14 +2,13 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Number of farthest-point hops in `choose-distant-objects` (the constant
 /// the original paper uses).
 const PIVOT_HOPS: usize = 5;
 
 /// One pivot pair: the two objects spanning a FastMap axis.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PivotPair {
     /// Index of the first pivot in the build set.
     pub a: usize,
@@ -123,7 +122,7 @@ impl FastMap {
 
 /// The result of a FastMap run: per-object coordinates plus the pivot pairs
 /// needed to project out-of-sample objects.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Embedding {
     n: usize,
     k: usize,

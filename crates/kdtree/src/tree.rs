@@ -1,9 +1,7 @@
 //! Tree structure, dynamic insertion and bulk loading.
 
-use serde::{Deserialize, Serialize};
-
 /// Identifier of a node in the tree arena; the root is always node 0.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -15,7 +13,7 @@ impl NodeId {
 }
 
 /// How a leaf picks its split dimension (`Sr`) when it overflows.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SplitRule {
     /// Cycle through the dimensions by depth (`depth mod k`) — "as in the
     /// standard Kd-Tree" the paper navigates by.
@@ -35,7 +33,7 @@ pub enum SplitRule {
 }
 
 /// Tree configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct KdConfig {
     dims: usize,
     bucket_size: usize,
@@ -95,13 +93,13 @@ impl KdConfig {
     }
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Entry<P> {
     pub(crate) coords: Box<[f64]>,
     pub(crate) payload: P,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) enum NodeKind<P> {
     /// Internal node carrying the split index `Sr` and split value `Sv`.
     Routing {
@@ -114,14 +112,14 @@ pub(crate) enum NodeKind<P> {
     Leaf { bucket: Vec<Entry<P>> },
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub(crate) struct Node<P> {
     pub(crate) kind: NodeKind<P>,
     pub(crate) depth: u32,
 }
 
 /// A bucketed KD-tree with payloads of type `P`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KdTree<P> {
     config: KdConfig,
     pub(crate) nodes: Vec<Node<P>>,

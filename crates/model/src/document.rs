@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::triple::TripleId;
 
 /// Dense identifier of a document inside a [`crate::TripleStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DocumentId(pub u32);
 
 impl DocumentId {
@@ -25,7 +23,7 @@ impl fmt::Display for DocumentId {
 }
 
 /// Optional descriptive metadata for a document.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DocumentMeta {
     /// Source system or corpus the document came from.
     pub source: Option<String>,
@@ -38,7 +36,7 @@ pub struct DocumentMeta {
 /// A document: an external name plus the triples extracted from it, in
 /// extraction order (the paper notes "the order of the triples reflects the
 /// temporal sequence of the requirement elements").
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Document {
     /// The store-assigned id.
     pub id: DocumentId,

@@ -3,14 +3,12 @@
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::ModelError;
 
 /// A table of vocabulary prefixes, mirroring the paper's "the notation
 /// `X:x` expresses that the meaning of the concept `x` can be found by using
 /// the prefix `X`. If `X` is not specified, we use a standard vocabulary."
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PrefixTable {
     bindings: BTreeMap<Arc<str>, Arc<str>>,
     standard: Option<Arc<str>>,

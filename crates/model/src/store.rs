@@ -2,15 +2,13 @@
 
 use std::collections::HashMap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::document::{Document, DocumentId};
 use crate::error::ModelError;
 use crate::prefix::PrefixTable;
 use crate::triple::{Triple, TripleId, TriplePattern};
 
 /// Aggregate counts over a [`TripleStore`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
     /// Distinct triples interned.
     pub triples: usize,

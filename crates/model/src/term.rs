@@ -3,14 +3,12 @@
 use std::fmt;
 use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
-
 /// The type tag of a [`Literal`].
 ///
 /// The paper's distance definition (§III-A) requires knowing whether two
 /// triple elements are "literals/constants *of the same type*": string
 /// distances only apply within one literal type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum LiteralType {
     /// Free text / identifiers, e.g. `'OBSW001'`.
     String,
@@ -65,7 +63,7 @@ impl fmt::Display for LiteralType {
 }
 
 /// A typed constant, e.g. `'OBSW001'` or `42`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Literal {
     /// The lexical form.
     pub value: Arc<str>,
@@ -103,7 +101,7 @@ impl fmt::Display for Literal {
 
 /// A vocabulary concept, written `Prefix:name` in the paper's notation
 /// (`Fun:accept_cmd`). A missing prefix means "use a standard vocabulary".
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Concept {
     /// Vocabulary prefix, `None` for the standard vocabulary.
     pub prefix: Option<Arc<str>>,
@@ -151,7 +149,7 @@ impl fmt::Display for Concept {
 }
 
 /// A triple element: either a typed [`Literal`] or a vocabulary [`Concept`].
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Term {
     /// A typed constant.
     Literal(Literal),

@@ -2,12 +2,10 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::term::Term;
 
 /// Dense identifier of a triple inside a [`crate::TripleStore`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TripleId(pub u32);
 
 impl TripleId {
@@ -27,7 +25,7 @@ impl fmt::Display for TripleId {
 /// The three positions of a triple. The paper projects a triple `tk` on its
 /// subject (`tkˢ`), predicate (`tkᵖ`) and object (`tkᵒ`); [`TripleRole`]
 /// names those projections.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TripleRole {
     /// The subject projection.
     Subject,
@@ -47,7 +45,7 @@ impl TripleRole {
 }
 
 /// An RDF-style statement relating a subject to an object via a predicate.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Triple {
     /// The subject (the paper's *Actor*: software component or device).
     pub subject: Term,
@@ -102,7 +100,7 @@ impl fmt::Display for Triple {
 /// The paper motivates "various pattern queries" (§I, discussing \[7\]); the
 /// store supports them directly for exact matching, while approximate
 /// matching goes through the index.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TriplePattern {
     /// Required subject, or `None` for any.
     pub subject: Option<Term>,

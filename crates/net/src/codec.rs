@@ -1,0 +1,338 @@
+//! Hand-rolled binary wire codec (no external dependencies).
+//!
+//! Layout rules, chosen so encoded sizes are trivially computable:
+//!
+//! - fixed-width integers and floats are **little-endian**, at their
+//!   natural width; `usize` travels as `u64`;
+//! - `bool` is one byte (0 or 1);
+//! - enum values start with a **one-byte variant tag**, then the
+//!   variant's fields in declaration order;
+//! - sequences (`Vec<T>`, `String`, `Box<[f64]>`) carry a `u64` element
+//!   count followed by the elements;
+//! - `Option<T>` is a one-byte tag (0 = `None`, 1 = `Some`) followed by
+//!   the value when present;
+//! - structs and tuples are their fields in order, with no framing.
+//!
+//! Every protocol type's `Wire::wire_size` must equal the length
+//! produced here — `semtree-dist` has a test asserting exactly that, so
+//! the simulated cluster's byte accounting and the real TCP fabric's
+//! frames can never drift apart.
+
+use std::fmt;
+
+/// Decoding failed: truncated input, bad tag, or malformed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl DecodeError {
+    /// A decode error with the given message (for downstream [`Decode`]
+    /// implementations).
+    pub fn new(msg: impl Into<String>) -> Self {
+        DecodeError(msg.into())
+    }
+}
+
+/// Serialize a value into the wire format.
+pub trait Encode {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Length of the encoding in bytes (default: encode and measure;
+    /// protocol types compute it arithmetically via `Wire::wire_size`).
+    fn encoded_len(&self) -> usize {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf.len()
+    }
+
+    /// The complete encoding as a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+/// Deserialize a value from the wire format. `buf` is advanced past the
+/// consumed bytes so fields decode in sequence.
+pub trait Decode: Sized {
+    /// Read one value from the front of `buf`.
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError>;
+}
+
+/// Decode a value that must consume the entire buffer.
+pub fn decode_exact<T: Decode>(mut buf: &[u8]) -> Result<T, DecodeError> {
+    let value = T::decode(&mut buf)?;
+    if buf.is_empty() {
+        Ok(value)
+    } else {
+        Err(DecodeError::new(format!(
+            "{} trailing bytes after value",
+            buf.len()
+        )))
+    }
+}
+
+pub(crate) fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], DecodeError> {
+    if buf.len() < n {
+        return Err(DecodeError::new(format!(
+            "need {n} bytes, have {}",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! fixed_width {
+    ($($t:ty => $n:expr),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn encoded_len(&self) -> usize { $n }
+        }
+        impl Decode for $t {
+            fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+                let bytes = take(buf, $n)?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("exact slice")))
+            }
+        }
+    )*};
+}
+fixed_width!(u8 => 1, u16 => 2, u32 => 4, u64 => 8, i64 => 8, f64 => 8);
+
+impl Encode for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn encoded_len(&self) -> usize {
+        8
+    }
+}
+
+impl Decode for usize {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let v = u64::decode(buf)?;
+        usize::try_from(v).map_err(|_| DecodeError::new("u64 does not fit usize"))
+    }
+}
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn encoded_len(&self) -> usize {
+        1
+    }
+}
+
+impl Decode for bool {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(DecodeError::new(format!("bad bool byte {other}"))),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn encoded_len(&self) -> usize {
+        8 + self.len()
+    }
+}
+
+impl Decode for String {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = usize::decode(buf)?;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::new("invalid UTF-8 string"))
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        8 + self.iter().map(Encode::encoded_len).sum::<usize>()
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        let len = usize::decode(buf)?;
+        // Sanity bound: a non-empty element is ≥1 byte, so `len` beyond
+        // the remaining buffer is malformed, not just huge.
+        if len > buf.len() && len > 0 {
+            return Err(DecodeError::new(format!(
+                "sequence length {len} exceeds remaining {} bytes",
+                buf.len()
+            )));
+        }
+        let mut items = Vec::with_capacity(len);
+        for _ in 0..len {
+            items.push(T::decode(buf)?);
+        }
+        Ok(items)
+    }
+}
+
+impl Encode for Box<[f64]> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self.iter() {
+            v.encode(out);
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 8 * self.len()
+    }
+}
+
+impl Decode for Box<[f64]> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(Vec::<f64>::decode(buf)?.into_boxed_slice())
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Encode::encoded_len)
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            other => Err(DecodeError::new(format!("bad option tag {other}"))),
+        }
+    }
+}
+
+macro_rules! tuple_codec {
+    ($(($($t:ident / $idx:tt),+))*) => {$(
+        impl<$($t: Encode),+> Encode for ($($t,)+) {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$idx.encode(out);)+
+            }
+            fn encoded_len(&self) -> usize {
+                0 $(+ self.$idx.encoded_len())+
+            }
+        }
+        impl<$($t: Decode),+> Decode for ($($t,)+) {
+            fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+                Ok(($($t::decode(buf)?,)+))
+            }
+        }
+    )*};
+}
+tuple_codec! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(
+            bytes.len(),
+            value.encoded_len(),
+            "encoded_len for {value:?}"
+        );
+        let back: T = decode_exact(&bytes).expect("round trip");
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(513u16);
+        round_trip(70_000u32);
+        round_trip(u64::MAX);
+        round_trip(-42i64);
+        round_trip(3.5f64);
+        round_trip(true);
+        round_trip(12345usize);
+    }
+
+    #[test]
+    fn compounds_round_trip() {
+        round_trip(String::from("hello wire"));
+        round_trip(String::new());
+        round_trip(vec![1.0f64, -2.5, f64::MAX]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(7u64));
+        round_trip(Option::<u64>::None);
+        round_trip((3u32, String::from("x")));
+        round_trip(vec![(vec![1.0f64, 2.0], 9u64), (vec![], 0)]);
+        round_trip(vec![1.0f64, 2.0].into_boxed_slice());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let bytes = vec![5u64, 6].to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(decode_exact::<Vec<u64>>(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u64.to_bytes();
+        bytes.push(0);
+        assert!(decode_exact::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected() {
+        // A claimed 2^60-element vector must fail fast, not allocate.
+        let mut bytes = Vec::new();
+        (1u64 << 60).encode(&mut bytes);
+        assert!(decode_exact::<Vec<u64>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn layout_is_stable() {
+        // Little-endian, u64 length prefixes, 1-byte option tags: these
+        // exact bytes are the cross-process contract.
+        assert_eq!(258u16.to_bytes(), [2, 1]);
+        assert_eq!(
+            String::from("ab").to_bytes(),
+            [2, 0, 0, 0, 0, 0, 0, 0, b'a', b'b']
+        );
+        assert_eq!(Some(1u8).to_bytes(), [1, 1]);
+    }
+}

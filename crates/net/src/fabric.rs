@@ -1,0 +1,812 @@
+//! [`NetFabric`]: the TCP implementation of the cluster [`Transport`].
+//!
+//! One `NetFabric` per OS process. Process 0 (the **coordinator**)
+//! listens for joining **workers**; every process hosts its own nodes on
+//! an in-process [`ChannelFabric`] and routes cross-process traffic over
+//! framed TCP connections carrying [`NetMsg`] payloads. Workers learn of
+//! each other through the coordinator (`Welcome` / `PeerJoined`) and dial
+//! peers lazily on first use, forming a mesh only where the partition
+//! tree actually crosses process boundaries.
+//!
+//! Threading model: one accept-loop thread per process, one reader
+//! thread per established connection, and one short-lived thread per
+//! incoming request (the request blocks on a local node, which may
+//! itself call further processes). Node handlers never run on reader
+//! threads, so readers always drain and the blocking parent→child call
+//! discipline of `semtree-dist` cannot deadlock across processes.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
+use std::time::{Duration, Instant};
+
+use semtree_cluster::{
+    BoxHandler, ChannelFabric, ClusterError, ClusterMetrics, ComputeNodeId, CostModel,
+    MetricsSnapshot, NodeFactory, ReplyHandle, ReplySlot, Transport, Wire,
+};
+
+use crate::codec::{decode_exact, Decode, Encode};
+use crate::frame::{dial_with_timeout, frame_overhead, read_frame, write_frame};
+use crate::msg::{decode_error, encode_error, NetMsg};
+
+/// How long a lazy peer dial keeps retrying before giving up.
+const DIAL_TIMEOUT: Duration = Duration::from_secs(10);
+
+enum Pending<Resp> {
+    /// An in-flight request awaiting a `Response`.
+    Call(ReplySlot<Resp>),
+    /// An in-flight remote spawn awaiting a `Spawned`.
+    Spawn(mpsc::Sender<Result<ComputeNodeId, ClusterError>>),
+}
+
+/// One established connection to a peer process.
+struct Conn<Resp> {
+    peer: u32,
+    writer: Mutex<TcpStream>,
+    pending: Mutex<HashMap<u64, Pending<Resp>>>,
+}
+
+impl<Resp> Conn<Resp> {
+    fn write_payload(&self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut *self.writer.lock().expect("conn writer lock"), payload)
+    }
+
+    fn take_pending(&self, call_id: u64) -> Option<Pending<Resp>> {
+        self.pending
+            .lock()
+            .expect("conn pending lock")
+            .remove(&call_id)
+    }
+
+    /// Fail every in-flight operation (connection lost).
+    fn fail_all(&self, err: &ClusterError) {
+        let drained: Vec<Pending<Resp>> = {
+            let mut pending = self.pending.lock().expect("conn pending lock");
+            pending.drain().map(|(_, p)| p).collect()
+        };
+        for p in drained {
+            match p {
+                Pending::Call(slot) => slot.fill(Err(err.clone())),
+                Pending::Spawn(tx) => {
+                    let _ = tx.send(Err(err.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// TCP-backed cluster fabric (see module docs).
+pub struct NetFabric<Req, Resp>
+where
+    Req: Encode + Decode + Wire + Send + 'static,
+    Resp: Encode + Decode + Wire + Send + 'static,
+{
+    local: Arc<ChannelFabric<Req, Resp>>,
+    process_index: u32,
+    listen_addr: SocketAddr,
+    /// Known peer listener addresses by process index (never includes
+    /// this process).
+    peers: RwLock<HashMap<u32, SocketAddr>>,
+    conns: Mutex<HashMap<u32, Arc<Conn<Resp>>>>,
+    next_call_id: AtomicU64,
+    /// Coordinator only: the next index handed to a joining worker.
+    next_worker_index: AtomicU64,
+    /// Round-robin cursor for member-spawn placement.
+    spawn_rr: AtomicUsize,
+    metrics: Arc<ClusterMetrics>,
+    shutting_down: AtomicBool,
+    shutdown_tx: mpsc::Sender<()>,
+    shutdown_rx: Mutex<Option<mpsc::Receiver<()>>>,
+    /// Coordinator only: the opaque config blob shipped in `Welcome`.
+    config: Vec<u8>,
+    self_weak: Weak<NetFabric<Req, Resp>>,
+}
+
+impl<Req, Resp> NetFabric<Req, Resp>
+where
+    Req: Encode + Decode + Wire + Send + 'static,
+    Resp: Encode + Decode + Wire + Send + 'static,
+{
+    /// Start the coordinator (process 0): bind `listen` and accept
+    /// joining workers. `config` is an opaque blob delivered verbatim to
+    /// every worker in its `Welcome` (the application's deployment
+    /// parameters).
+    pub fn coordinator(
+        listen: SocketAddr,
+        config: Vec<u8>,
+        cost: CostModel,
+    ) -> io::Result<Arc<Self>> {
+        let listener = TcpListener::bind(listen)?;
+        let listen_addr = listener.local_addr()?;
+        let fabric = Self::build(ChannelFabric::new(cost, 0), 0, listen_addr, config);
+        fabric.start_accept_loop(listener);
+        Ok(fabric)
+    }
+
+    /// Join a deployment as a worker: dial the coordinator, receive an
+    /// assigned process index plus the coordinator's config blob, and
+    /// start accepting mesh connections from sibling workers.
+    pub fn join(
+        coordinator: SocketAddr,
+        cost: CostModel,
+        timeout: Duration,
+    ) -> io::Result<(Arc<Self>, Vec<u8>)> {
+        // Bind the mesh listener first so its port can ride in the Hello.
+        let listener = TcpListener::bind((Ipv4Addr::UNSPECIFIED, 0))?;
+        let listen_addr = listener.local_addr()?;
+
+        let mut stream = dial_with_timeout(coordinator, timeout)?;
+        let hello: NetMsg<Req, Resp> = NetMsg::Hello {
+            process_index: NetMsg::<Req, Resp>::UNASSIGNED,
+            listen_port: listen_addr.port(),
+        };
+        write_frame(&mut stream, &hello.to_bytes())?;
+        let payload = read_frame(&mut stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "coordinator hung up"))?;
+        let welcome: NetMsg<Req, Resp> = decode_exact(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let NetMsg::Welcome {
+            assigned_index,
+            peers,
+            config,
+        } = welcome
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected Welcome from coordinator",
+            ));
+        };
+
+        let fabric = Self::build(
+            ChannelFabric::new(cost, assigned_index),
+            assigned_index,
+            listen_addr,
+            Vec::new(),
+        );
+        {
+            let mut map = fabric.peers.write().expect("peers lock");
+            map.insert(0, coordinator);
+            for (index, addr) in peers {
+                if let Ok(parsed) = addr.parse() {
+                    map.insert(index, parsed);
+                }
+            }
+        }
+        fabric.register_conn(0, stream)?;
+        fabric.start_accept_loop(listener);
+        Ok((fabric, config))
+    }
+
+    fn build(
+        local: Arc<ChannelFabric<Req, Resp>>,
+        process_index: u32,
+        listen_addr: SocketAddr,
+        config: Vec<u8>,
+    ) -> Arc<Self> {
+        let metrics = local.metrics_handle();
+        let (shutdown_tx, shutdown_rx) = mpsc::channel();
+        let fabric = Arc::new_cyclic(|self_weak: &Weak<NetFabric<Req, Resp>>| NetFabric {
+            local,
+            process_index,
+            listen_addr,
+            peers: RwLock::new(HashMap::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_call_id: AtomicU64::new(1),
+            next_worker_index: AtomicU64::new(1),
+            spawn_rr: AtomicUsize::new(0),
+            metrics,
+            shutting_down: AtomicBool::new(false),
+            shutdown_tx,
+            shutdown_rx: Mutex::new(Some(shutdown_rx)),
+            config,
+            self_weak: Weak::clone(self_weak),
+        });
+        // Node-initiated calls must route through this fabric so they can
+        // leave the process.
+        let router: Weak<dyn Transport<Req, Resp>> = fabric.self_weak.clone();
+        fabric.local.set_router(router);
+        fabric
+    }
+
+    /// The address this process accepts cluster connections on (with the
+    /// actual port when bound to port 0).
+    #[must_use]
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// This process's index in the deployment (0 = coordinator).
+    #[must_use]
+    pub fn process_index(&self) -> u32 {
+        self.process_index
+    }
+
+    /// Number of known peer processes (coordinator: joined workers).
+    #[must_use]
+    pub fn peer_count(&self) -> usize {
+        self.peers.read().expect("peers lock").len()
+    }
+
+    /// The in-process fabric hosting this process's nodes.
+    #[must_use]
+    pub fn local_fabric(&self) -> Arc<ChannelFabric<Req, Resp>> {
+        Arc::clone(&self.local)
+    }
+
+    /// Block until `n` workers have joined, or fail after `timeout`.
+    pub fn wait_for_workers(&self, n: usize, timeout: Duration) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + timeout;
+        while self.peer_count() < n {
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Net(format!(
+                    "only {} of {n} workers joined within {timeout:?}",
+                    self.peer_count()
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        Ok(())
+    }
+
+    /// Block until this process is told to shut down (a `Shutdown` frame
+    /// arrives or [`Transport::shutdown`] is called locally). Worker
+    /// main loops park here.
+    pub fn wait_for_shutdown(&self) {
+        let rx = self.shutdown_rx.lock().expect("shutdown lock").take();
+        if let Some(rx) = rx {
+            let _ = rx.recv();
+        }
+    }
+
+    fn start_accept_loop(self: &Arc<Self>, listener: TcpListener) {
+        let weak = Arc::downgrade(self);
+        std::thread::Builder::new()
+            .name(format!("net-accept-{}", self.process_index))
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    let Some(fabric) = weak.upgrade() else { break };
+                    if fabric.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(stream) = stream {
+                        fabric.handle_incoming(stream);
+                    }
+                }
+            })
+            .expect("spawning the accept loop succeeds");
+    }
+
+    /// Handshake a fresh inbound connection on its own thread (the first
+    /// frame identifies the dialer).
+    fn handle_incoming(self: &Arc<Self>, mut stream: TcpStream) {
+        let weak = Arc::downgrade(self);
+        std::thread::spawn(move || {
+            let Ok(Some(payload)) = read_frame(&mut stream) else {
+                return;
+            };
+            let Ok(msg) = decode_exact::<NetMsg<Req, Resp>>(&payload) else {
+                return;
+            };
+            let NetMsg::Hello {
+                process_index,
+                listen_port,
+            } = msg
+            else {
+                return;
+            };
+            let Some(fabric) = weak.upgrade() else { return };
+            let peer_ip = stream
+                .peer_addr()
+                .map(|a| a.ip())
+                .unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
+            let peer_listen = SocketAddr::new(peer_ip, listen_port);
+            if process_index == NetMsg::<Req, Resp>::UNASSIGNED {
+                fabric.admit_worker(stream, peer_listen);
+            } else {
+                // Mesh connection from an already-assigned sibling.
+                fabric
+                    .peers
+                    .write()
+                    .expect("peers lock")
+                    .insert(process_index, peer_listen);
+                let _ = fabric.register_conn(process_index, stream);
+            }
+        });
+    }
+
+    /// Coordinator path: assign an index, welcome the worker, tell the
+    /// others.
+    fn admit_worker(self: &Arc<Self>, stream: TcpStream, peer_listen: SocketAddr) {
+        let assigned = self.next_worker_index.fetch_add(1, Ordering::SeqCst) as u32;
+        let existing: Vec<(u32, String)> = {
+            let peers = self.peers.read().expect("peers lock");
+            peers
+                .iter()
+                .map(|(&index, addr)| (index, addr.to_string()))
+                .collect()
+        };
+        // Existing workers learn the newcomer's address for lazy dialing.
+        let joined: NetMsg<Req, Resp> = NetMsg::PeerJoined {
+            index: assigned,
+            addr: peer_listen.to_string(),
+        };
+        let joined_bytes = joined.to_bytes();
+        let conns: Vec<Arc<Conn<Resp>>> = self
+            .conns
+            .lock()
+            .expect("conns lock")
+            .values()
+            .cloned()
+            .collect();
+        for conn in conns {
+            let _ = self.write_recorded(&conn, &joined_bytes);
+        }
+        // The route and connection must exist before the Welcome goes out:
+        // the worker treats Welcome as "joined", and the coordinator may
+        // be asked to reach it the moment `join` returns.
+        self.peers
+            .write()
+            .expect("peers lock")
+            .insert(assigned, peer_listen);
+        let Ok(conn) = self.register_conn(assigned, stream) else {
+            return;
+        };
+        let welcome: NetMsg<Req, Resp> = NetMsg::Welcome {
+            assigned_index: assigned,
+            peers: existing,
+            config: self.config.clone(),
+        };
+        let _ = self.write_recorded(&conn, &welcome.to_bytes());
+    }
+
+    /// Adopt an established socket as the connection to `peer`: start its
+    /// reader thread and make it available for sends.
+    fn register_conn(
+        self: &Arc<Self>,
+        peer: u32,
+        stream: TcpStream,
+    ) -> io::Result<Arc<Conn<Resp>>> {
+        stream.set_nodelay(true).ok();
+        let reader_stream = stream.try_clone()?;
+        let conn = Arc::new(Conn {
+            peer,
+            writer: Mutex::new(stream),
+            pending: Mutex::new(HashMap::new()),
+        });
+        self.conns
+            .lock()
+            .expect("conns lock")
+            .insert(peer, Arc::clone(&conn));
+        let weak = Arc::downgrade(self);
+        let reader_conn = Arc::clone(&conn);
+        std::thread::Builder::new()
+            .name(format!("net-reader-{}-from-{peer}", self.process_index))
+            .spawn(move || Self::read_loop(&weak, &reader_conn, reader_stream))
+            .expect("spawning a connection reader succeeds");
+        Ok(conn)
+    }
+
+    fn read_loop(weak: &Weak<Self>, conn: &Arc<Conn<Resp>>, mut stream: TcpStream) {
+        while let Ok(Some(payload)) = read_frame(&mut stream) {
+            let Some(fabric) = weak.upgrade() else { break };
+            fabric
+                .metrics
+                .record_message(frame_overhead(payload.len()), 0);
+            if !fabric.dispatch(conn, &payload) {
+                break;
+            }
+        }
+        conn.fail_all(&ClusterError::Net(format!(
+            "connection to process {} closed",
+            conn.peer
+        )));
+    }
+
+    /// Handle one inbound frame. Returns `false` when the reader should
+    /// stop (corrupt stream or shutdown).
+    fn dispatch(self: &Arc<Self>, conn: &Arc<Conn<Resp>>, payload: &[u8]) -> bool {
+        let msg: NetMsg<Req, Resp> = match decode_exact(payload) {
+            Ok(msg) => msg,
+            // A corrupt frame desynchronises the stream; tear it down.
+            Err(_) => return false,
+        };
+        match msg {
+            NetMsg::Request {
+                call_id,
+                target,
+                body,
+            } => {
+                let fabric = Arc::clone(self);
+                let conn = Arc::clone(conn);
+                // Request handling blocks on a local node (which may call
+                // further processes), so it must not occupy the reader.
+                std::thread::spawn(move || {
+                    let result = fabric
+                        .local
+                        .send(ComputeNodeId(target), body)
+                        .and_then(ReplyHandle::wait);
+                    let reply: NetMsg<Req, Resp> = match result {
+                        Ok(body) => NetMsg::Response { call_id, body },
+                        Err(err) => {
+                            let (code, node, message) = encode_error(&err);
+                            NetMsg::Error {
+                                call_id,
+                                code,
+                                node,
+                                message,
+                            }
+                        }
+                    };
+                    let _ = fabric.write_recorded(&conn, &reply.to_bytes());
+                });
+            }
+            NetMsg::Response { call_id, body } => {
+                if let Some(Pending::Call(slot)) = conn.take_pending(call_id) {
+                    slot.fill(Ok(body));
+                }
+            }
+            NetMsg::SpawnFresh { call_id } => {
+                let fabric = Arc::clone(self);
+                let conn = Arc::clone(conn);
+                std::thread::spawn(move || {
+                    // A spawn can arrive moments after this process joined,
+                    // before its application code installed the node
+                    // factory; wait briefly for it rather than failing the
+                    // coordinator's build-partition.
+                    let spawned = {
+                        let deadline = Instant::now() + Duration::from_secs(2);
+                        loop {
+                            match fabric.local.spawn_member() {
+                                Err(ClusterError::SpawnFailed(msg))
+                                    if msg.contains("no node factory")
+                                        && Instant::now() < deadline =>
+                                {
+                                    std::thread::sleep(Duration::from_millis(10));
+                                }
+                                other => break other,
+                            }
+                        }
+                    };
+                    let reply: NetMsg<Req, Resp> = match spawned {
+                        Ok(node) => NetMsg::Spawned {
+                            call_id,
+                            node: node.0,
+                        },
+                        Err(err) => {
+                            let (code, node, message) = encode_error(&err);
+                            NetMsg::Error {
+                                call_id,
+                                code,
+                                node,
+                                message,
+                            }
+                        }
+                    };
+                    let _ = fabric.write_recorded(&conn, &reply.to_bytes());
+                });
+            }
+            NetMsg::Spawned { call_id, node } => {
+                if let Some(Pending::Spawn(tx)) = conn.take_pending(call_id) {
+                    let _ = tx.send(Ok(ComputeNodeId(node)));
+                }
+            }
+            NetMsg::Error {
+                call_id,
+                code,
+                node,
+                message,
+            } => {
+                let err = decode_error(code, node, message);
+                match conn.take_pending(call_id) {
+                    Some(Pending::Call(slot)) => slot.fill(Err(err)),
+                    Some(Pending::Spawn(tx)) => {
+                        let _ = tx.send(Err(err));
+                    }
+                    None => {}
+                }
+            }
+            NetMsg::PeerJoined { index, addr } => {
+                if let Ok(parsed) = addr.parse() {
+                    self.peers
+                        .write()
+                        .expect("peers lock")
+                        .insert(index, parsed);
+                }
+            }
+            NetMsg::Shutdown => {
+                // Only notify: the process's main loop performs the actual
+                // teardown by calling `shutdown` itself.
+                let _ = self.shutdown_tx.send(());
+                return false;
+            }
+            // Handshake frames are never valid mid-stream.
+            NetMsg::Hello { .. } | NetMsg::Welcome { .. } => return false,
+        }
+        true
+    }
+
+    /// Write one frame, accounting its actual on-the-wire size.
+    fn write_recorded(&self, conn: &Conn<Resp>, payload: &[u8]) -> Result<(), ClusterError> {
+        self.metrics
+            .record_message(frame_overhead(payload.len()), 0);
+        conn.write_payload(payload)
+            .map_err(|e| ClusterError::Net(format!("write to process {}: {e}", conn.peer)))
+    }
+
+    /// The connection to `peer`, dialing it lazily if needed.
+    fn conn_to(self: &Arc<Self>, peer: u32) -> Result<Arc<Conn<Resp>>, ClusterError> {
+        if let Some(conn) = self.conns.lock().expect("conns lock").get(&peer) {
+            return Ok(Arc::clone(conn));
+        }
+        let addr = *self
+            .peers
+            .read()
+            .expect("peers lock")
+            .get(&peer)
+            .ok_or_else(|| ClusterError::Net(format!("no route to process {peer}")))?;
+        let mut stream =
+            dial_with_timeout(addr, DIAL_TIMEOUT).map_err(|e| ClusterError::Net(e.to_string()))?;
+        let hello: NetMsg<Req, Resp> = NetMsg::Hello {
+            process_index: self.process_index,
+            listen_port: self.listen_addr.port(),
+        };
+        self.metrics
+            .record_message(frame_overhead(hello.to_bytes().len()), 0);
+        write_frame(&mut stream, &hello.to_bytes())
+            .map_err(|e| ClusterError::Net(e.to_string()))?;
+        self.register_conn(peer, stream)
+            .map_err(|e| ClusterError::Net(e.to_string()))
+    }
+
+    /// Worker process indices eligible for member placement: every known
+    /// worker peer, plus this process itself when it is a worker.
+    fn placement_candidates(&self) -> Vec<u32> {
+        let mut workers: Vec<u32> = self
+            .peers
+            .read()
+            .expect("peers lock")
+            .keys()
+            .copied()
+            .filter(|&index| index >= 1)
+            .collect();
+        if self.process_index >= 1 {
+            workers.push(self.process_index);
+        }
+        workers.sort_unstable();
+        workers
+    }
+
+    fn spawn_on(self: &Arc<Self>, peer: u32) -> Result<ComputeNodeId, ClusterError> {
+        let conn = self.conn_to(peer)?;
+        let call_id = self.next_call_id.fetch_add(1, Ordering::SeqCst);
+        let (tx, rx) = mpsc::channel();
+        conn.pending
+            .lock()
+            .expect("conn pending lock")
+            .insert(call_id, Pending::Spawn(tx));
+        let msg: NetMsg<Req, Resp> = NetMsg::SpawnFresh { call_id };
+        if let Err(err) = self.write_recorded(&conn, &msg.to_bytes()) {
+            conn.take_pending(call_id);
+            return Err(err);
+        }
+        rx.recv().unwrap_or_else(|_| {
+            Err(ClusterError::Net(format!(
+                "process {peer} gone during spawn"
+            )))
+        })
+    }
+}
+
+impl<Req, Resp> Transport<Req, Resp> for NetFabric<Req, Resp>
+where
+    Req: Encode + Decode + Wire + Send + 'static,
+    Resp: Encode + Decode + Wire + Send + 'static,
+{
+    fn send(&self, target: ComputeNodeId, req: Req) -> Result<ReplyHandle<Resp>, ClusterError> {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            return Err(ClusterError::Net("fabric is shutting down".into()));
+        }
+        if target.process() == self.process_index {
+            return self.local.send(target, req);
+        }
+        let this = self.self_weak.upgrade().expect("fabric alive during send");
+        let conn = this.conn_to(target.process())?;
+        let call_id = self.next_call_id.fetch_add(1, Ordering::SeqCst);
+        let (slot, handle) = ReplyHandle::pair(target);
+        conn.pending
+            .lock()
+            .expect("conn pending lock")
+            .insert(call_id, Pending::Call(slot));
+        let msg: NetMsg<Req, Resp> = NetMsg::Request {
+            call_id,
+            target: target.0,
+            body: req,
+        };
+        if let Err(err) = self.write_recorded(&conn, &msg.to_bytes()) {
+            conn.take_pending(call_id);
+            return Err(err);
+        }
+        Ok(handle)
+    }
+
+    fn spawn_handler(&self, handler: BoxHandler<Req, Resp>) -> Result<ComputeNodeId, ClusterError> {
+        self.local.spawn_handler(handler)
+    }
+
+    fn spawn_member(&self) -> Result<ComputeNodeId, ClusterError> {
+        let candidates = self.placement_candidates();
+        if candidates.is_empty() {
+            // No workers: everything lives on the coordinator (degenerate
+            // single-process deployment).
+            return self.local.spawn_member();
+        }
+        let pick = candidates[self.spawn_rr.fetch_add(1, Ordering::SeqCst) % candidates.len()];
+        if pick == self.process_index {
+            self.local.spawn_member()
+        } else {
+            let this = self.self_weak.upgrade().expect("fabric alive during spawn");
+            this.spawn_on(pick)
+        }
+    }
+
+    fn set_node_factory(&self, factory: Box<NodeFactory<Req, Resp>>) {
+        self.local.set_node_factory(factory);
+    }
+
+    fn node_count(&self) -> usize {
+        self.local.node_count()
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    fn reset_metrics(&self) {
+        self.metrics.reset();
+    }
+
+    fn shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The coordinator owns deployment lifetime: tell every peer.
+        if self.process_index == 0 {
+            let msg: NetMsg<Req, Resp> = NetMsg::Shutdown;
+            let bytes = msg.to_bytes();
+            let conns: Vec<Arc<Conn<Resp>>> = self
+                .conns
+                .lock()
+                .expect("conns lock")
+                .values()
+                .cloned()
+                .collect();
+            for conn in conns {
+                let _ = conn.write_payload(&bytes);
+            }
+        }
+        // Dropping connections first closes writer sockets: readers see
+        // EOF and fail any in-flight calls, which unblocks local nodes
+        // waiting on remote responses so they can be joined below.
+        self.conns.lock().expect("conns lock").clear();
+        self.local.shutdown();
+        let _ = self.shutdown_tx.send(());
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.listen_addr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semtree_cluster::{Cluster, Handler, NodeCtx};
+
+    struct Echo;
+    impl Handler for Echo {
+        type Req = u64;
+        type Resp = u64;
+        fn handle(&mut self, _ctx: &NodeCtx<u64, u64>, req: u64) -> u64 {
+            req * 2
+        }
+    }
+
+    fn loopback() -> SocketAddr {
+        SocketAddr::new(IpAddr::V4(Ipv4Addr::LOCALHOST), 0)
+    }
+
+    #[test]
+    fn coordinator_and_worker_exchange_requests() {
+        let coord =
+            NetFabric::<u64, u64>::coordinator(loopback(), vec![9, 9], CostModel::zero()).unwrap();
+        let (worker, config) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        assert_eq!(config, vec![9, 9]);
+        assert_eq!(worker.process_index(), 1);
+
+        // A node hosted by the worker, called from the coordinator side.
+        let node = worker.spawn_handler(Box::new(Echo)).unwrap();
+        assert_eq!(node.process(), 1);
+        let cluster: Cluster<Echo> =
+            Cluster::from_parts(coord.local_fabric(), Arc::clone(&coord) as _);
+        assert_eq!(cluster.call(node, 21), Ok(42));
+
+        // Actual frame bytes were accounted on both sides.
+        assert!(coord.metrics().bytes > 0);
+        assert!(worker.metrics().bytes > 0);
+
+        cluster.shutdown();
+        worker.wait_for_shutdown();
+        worker.shutdown();
+    }
+
+    #[test]
+    fn remote_errors_come_back_typed() {
+        let coord =
+            NetFabric::<u64, u64>::coordinator(loopback(), Vec::new(), CostModel::zero()).unwrap();
+        let (worker, _) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        // No such node on the worker: the failure crosses the wire typed.
+        let ghost = ComputeNodeId::from_parts(1, 7);
+        let outcome = coord.send(ghost, 1).and_then(ReplyHandle::wait);
+        assert_eq!(outcome, Err(ClusterError::UnknownNode(ghost)));
+        coord.shutdown();
+        worker.wait_for_shutdown();
+        worker.shutdown();
+    }
+
+    #[test]
+    fn member_spawns_round_robin_across_workers() {
+        let coord =
+            NetFabric::<u64, u64>::coordinator(loopback(), Vec::new(), CostModel::zero()).unwrap();
+        let (w1, _) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        let (w2, _) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        coord.wait_for_workers(2, DIAL_TIMEOUT).unwrap();
+        for fabric in [&coord, &w1, &w2] {
+            fabric.set_node_factory(Box::new(|| Box::new(Echo)));
+        }
+        let spawned: Vec<ComputeNodeId> = (0..4).map(|_| coord.spawn_member().unwrap()).collect();
+        let owners: Vec<u32> = spawned.iter().map(|id| id.process()).collect();
+        assert_eq!(owners, vec![1, 2, 1, 2], "round-robin over workers only");
+        // Every spawned member is reachable from the coordinator.
+        for id in spawned {
+            assert_eq!(coord.send(id, 3).and_then(ReplyHandle::wait), Ok(6));
+        }
+        coord.shutdown();
+        for worker in [w1, w2] {
+            worker.wait_for_shutdown();
+            worker.shutdown();
+        }
+    }
+
+    #[test]
+    fn workers_dial_each_other_lazily() {
+        let coord =
+            NetFabric::<u64, u64>::coordinator(loopback(), Vec::new(), CostModel::zero()).unwrap();
+        let (w1, _) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        let (w2, _) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        coord.wait_for_workers(2, DIAL_TIMEOUT).unwrap();
+        let on_w2 = w2.spawn_handler(Box::new(Echo)).unwrap();
+        // w1 has never talked to w2; the PeerJoined broadcast lets it dial.
+        let deadline = Instant::now() + DIAL_TIMEOUT;
+        while w1.peer_count() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(w1.send(on_w2, 8).and_then(ReplyHandle::wait), Ok(16));
+        coord.shutdown();
+        for worker in [w1, w2] {
+            worker.wait_for_shutdown();
+            worker.shutdown();
+        }
+    }
+}

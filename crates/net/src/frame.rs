@@ -1,0 +1,118 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Every message travels as a **u32 big-endian length prefix** followed
+//! by that many payload bytes (the codec encoding of one `NetMsg`). The
+//! prefix is network byte order by convention; payload bytes are the
+//! little-endian codec format.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a single frame; anything larger is treated as a
+/// corrupted or hostile stream rather than allocated.
+pub const MAX_FRAME_LEN: usize = 256 * 1024 * 1024;
+
+/// Write one frame (length prefix + payload) and flush it.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Read one complete frame's payload. `Ok(None)` means the peer closed
+/// the stream cleanly at a frame boundary.
+pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    match stream.read_exact(&mut prefix) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds maximum {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Total on-the-wire size of a frame carrying `payload_len` body bytes.
+#[must_use]
+pub fn frame_overhead(payload_len: usize) -> usize {
+    4 + payload_len
+}
+
+/// Connect to `addr`, retrying until `timeout` elapses — covers the
+/// race where a worker dials a peer whose listener is still coming up.
+pub fn dial_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream.set_nodelay(true).ok();
+                return Ok(stream);
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        e.kind(),
+                        format!("connect to {addr} timed out after {timeout:?}: {e}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[7u8; 300]).unwrap();
+
+        let mut reader: &[u8] = &wire;
+        assert_eq!(
+            read_frame(&mut reader).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut reader).unwrap().unwrap().len(), 300);
+        // Clean close at a frame boundary.
+        assert_eq!(read_frame(&mut reader).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut reader: &[u8] = &wire;
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let wire = u32::MAX.to_be_bytes();
+        let mut reader: &[u8] = &wire;
+        assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn overhead_accounts_for_the_prefix() {
+        assert_eq!(frame_overhead(0), 4);
+        assert_eq!(frame_overhead(100), 104);
+    }
+}

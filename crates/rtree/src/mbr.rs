@@ -1,9 +1,7 @@
 //! Minimum bounding rectangles.
 
-use serde::{Deserialize, Serialize};
-
 /// An axis-aligned minimum bounding rectangle in `R^k`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Mbr {
     /// Per-dimension lower bounds.
     pub min: Vec<f64>,

@@ -3,8 +3,6 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use serde::{Deserialize, Serialize};
-
 use crate::mbr::Mbr;
 
 /// Maximum children per node (Guttman's `M`).
@@ -21,14 +19,14 @@ pub struct RNeighbor<P> {
     pub payload: P,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 enum Node<P> {
     Leaf { entries: Vec<(Box<[f64]>, P)> },
     Internal { children: Vec<(Mbr, usize)> },
 }
 
 /// An in-memory R-tree over `R^k` points with payloads `P`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RTree<P> {
     dims: usize,
     nodes: Vec<Node<P>>,

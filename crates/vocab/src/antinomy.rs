@@ -8,10 +8,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use serde::{Deserialize, Serialize};
-
 /// A symmetric antonym relation over concept names.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct AntinomyTable {
     pairs: BTreeMap<String, BTreeSet<String>>,
 }

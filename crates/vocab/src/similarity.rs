@@ -7,8 +7,6 @@
 //! normalised so that similarity ∈ [0, 1] and
 //! `distance = 1 − similarity`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::VocabError;
 use crate::taxonomy::{ConceptId, Taxonomy};
 
@@ -29,7 +27,7 @@ pub trait Similarity {
 }
 
 /// The concrete similarity measures.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum SimilarityMeasure {
     /// Wu & Palmer (1994): `2·depth(lcs) / (depth(a) + depth(b))`.
     /// The measure the paper names explicitly; the default.

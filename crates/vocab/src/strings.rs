@@ -5,8 +5,6 @@
 //! Levenshtein)". Levenshtein is the default; the rest of the classic
 //! family is provided so deployments can swap measures per literal type.
 
-use serde::{Deserialize, Serialize};
-
 /// Raw Levenshtein edit distance (unit costs), in `O(|a|·|b|)` time and
 /// `O(min(|a|,|b|))` space.
 #[must_use]
@@ -159,7 +157,7 @@ pub fn bigram_dice(a: &str, b: &str) -> f64 {
 }
 
 /// Normalised string *distance* measures, all mapping into `[0, 1]`.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub enum StringMeasure {
     /// `levenshtein(a,b) / max(|a|,|b|)` — the paper's named choice.
     #[default]

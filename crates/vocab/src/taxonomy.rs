@@ -2,12 +2,10 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
-use serde::{Deserialize, Serialize};
-
 use crate::error::VocabError;
 
 /// Dense identifier of a concept within one [`Taxonomy`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConceptId(pub u32);
 
 impl ConceptId {
@@ -21,7 +19,7 @@ impl ConceptId {
 /// The reserved name of the implicit root concept.
 pub const ROOT_NAME: &str = "root";
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 struct Node {
     name: String,
     parents: Vec<ConceptId>,
@@ -41,7 +39,7 @@ struct Node {
 /// declared parent list mentions `"root"` (or is empty) hangs directly under
 /// it. Multiple parents are allowed (it is a DAG, not a tree), matching the
 /// "ontologies, taxonomies or vocabularies" the paper delegates to.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Taxonomy {
     name: String,
     nodes: Vec<Node>,

@@ -1,0 +1,123 @@
+//! Transport parity: the same distributed tree built over the in-process
+//! channel fabric and over loopback TCP (three `NetFabric`s in one
+//! process) must answer every query identically.
+
+use std::time::Duration;
+
+use semtree_cluster::{CostModel, Transport};
+use semtree_dist::{
+    build_tree, join_cluster, serve_cluster, CapacityPolicy, DistConfig, DistSemTree,
+};
+
+fn sample_points(dims: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            (0..dims)
+                .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0)
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn channel_and_tcp_fabrics_agree_on_every_query() {
+    let dims = 2;
+    let config = DistConfig::new(dims)
+        .with_bucket_size(8)
+        .with_max_partitions(16)
+        .with_capacity(CapacityPolicy::MaxPoints(120));
+    let sample = sample_points(dims, 64, 3);
+    let points = sample_points(dims, 250, 77);
+
+    // TCP deployment: a coordinator fabric plus two "worker processes"
+    // living in this same test process, joined over 127.0.0.1.
+    let fabric = serve_cluster("127.0.0.1:0".parse().unwrap(), &config, CostModel::zero())
+        .expect("coordinator");
+    let workers: Vec<_> = (0..2)
+        .map(|_| {
+            join_cluster(
+                fabric.listen_addr(),
+                CostModel::zero(),
+                Duration::from_secs(10),
+            )
+            .expect("worker join")
+        })
+        .collect();
+    fabric
+        .wait_for_workers(2, Duration::from_secs(10))
+        .expect("workers joined");
+    let tcp_tree =
+        build_tree(&fabric, config.clone(), CostModel::zero(), 3, &sample).expect("tcp tree");
+
+    // The in-process reference over the default channel fabric.
+    let channel_tree = DistSemTree::with_fanout(config, CostModel::zero(), 3, &sample);
+
+    for (payload, point) in points.iter().enumerate() {
+        tcp_tree.insert(point, payload as u64);
+        channel_tree.insert(point, payload as u64);
+    }
+
+    for query in points.iter().step_by(17) {
+        let tcp: Vec<(f64, u64)> = tcp_tree
+            .knn(query, 9)
+            .into_iter()
+            .map(|n| (n.dist, n.payload))
+            .collect();
+        let channel: Vec<(f64, u64)> = channel_tree
+            .knn(query, 9)
+            .into_iter()
+            .map(|n| (n.dist, n.payload))
+            .collect();
+        assert_eq!(tcp, channel, "knn around {query:?}");
+
+        let tcp: Vec<(f64, u64)> = tcp_tree
+            .range(query, 12.5)
+            .into_iter()
+            .map(|n| (n.dist, n.payload))
+            .collect();
+        let channel: Vec<(f64, u64)> = channel_tree
+            .range(query, 12.5)
+            .into_iter()
+            .map(|n| (n.dist, n.payload))
+            .collect();
+        assert_eq!(tcp, channel, "range around {query:?}");
+    }
+
+    // Point conservation holds on both sides, and the capacity policy
+    // forced build-partition over the wire (partitions beyond the fan-out).
+    assert_eq!(tcp_tree.verify(), Vec::<String>::new());
+    assert_eq!(channel_tree.verify(), Vec::<String>::new());
+    let tcp_stats = tcp_tree.global_stats();
+    let channel_stats = channel_tree.global_stats();
+    assert_eq!(tcp_stats.total_points(), points.len());
+    assert_eq!(
+        tcp_stats.partition_count(),
+        channel_stats.partition_count(),
+        "build-partition must fire identically on both transports"
+    );
+    assert!(tcp_stats.partition_count() > 3, "capacity policy fired");
+
+    // TCP metrics account real encoded frame bytes.
+    let metrics = fabric.local_fabric().metrics();
+    assert!(metrics.messages > 0);
+    assert!(metrics.bytes > 0);
+
+    // Coordinator-initiated shutdown reaches the worker fabrics.
+    let waiters: Vec<_> = workers
+        .into_iter()
+        .map(|w| std::thread::spawn(move || w.run_until_shutdown()))
+        .collect();
+    tcp_tree.shutdown();
+    for w in waiters {
+        w.join().expect("worker shut down cleanly");
+    }
+    channel_tree.shutdown();
+}

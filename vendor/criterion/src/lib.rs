@@ -1,0 +1,193 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this local path
+//! dependency keeps the workspace's `[[bench]]` targets compiling and
+//! running. It is a plain wall-clock harness: each `iter` closure is
+//! warmed up, then timed over `sample_size` samples, and a median/mean
+//! line is printed per benchmark id. No statistics beyond that — the
+//! `repro` binary remains the canonical experiment runner.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (real criterion has its own).
+pub use std::hint::black_box;
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function_id: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// New id from a function name and a displayable parameter.
+    pub fn new(function_id: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            function_id: function_id.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.function_id, self.parameter)
+    }
+}
+
+/// Passed to the measured closure; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-sample durations for the enclosing benchmark.
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample after one untimed warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn run_one(&mut self, id: String, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            durations: Vec::new(),
+        };
+        f(&mut b);
+        let line = summarize(&self.name, &id, &b.durations);
+        println!("{line}");
+        self.criterion.reports.push(line);
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        self.run_one(id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a plain closure.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        self.run_one(id.to_string(), f);
+        self
+    }
+
+    /// End the group (printing happened per benchmark).
+    pub fn finish(&mut self) {}
+}
+
+fn summarize(group: &str, id: &str, durations: &[Duration]) -> String {
+    if durations.is_empty() {
+        return format!("{group}/{id}: no samples");
+    }
+    let mut sorted = durations.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    format!(
+        "{group}/{id}: median {median:?}, mean {mean:?} over {} samples",
+        sorted.len()
+    )
+}
+
+/// The harness entry point handed to every bench function.
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<String>,
+}
+
+impl Criterion {
+    /// Start a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Declare the benchmark functions of one bench target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce the bench target's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        let mut calls = 0usize;
+        g.bench_with_input(BenchmarkId::new("f", 1), &2usize, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+        assert!(c.reports[0].starts_with("g/f/1:"));
+    }
+
+    #[test]
+    fn summarize_handles_empty() {
+        assert!(summarize("g", "id", &[]).contains("no samples"));
+    }
+}

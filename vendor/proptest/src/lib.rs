@@ -1,0 +1,501 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container cannot reach crates.io, so this local path
+//! dependency implements the strategy/macro surface the workspace's
+//! property tests actually use: the [`proptest!`] macro (with optional
+//! `#![proptest_config(..)]`), [`Strategy`] with `prop_map`, [`Just`],
+//! [`prop_oneof!`], numeric range strategies, a regex-subset string
+//! strategy, and `prop::collection::vec`.
+//!
+//! Differences from the real crate, by design:
+//! - cases are generated from a seed derived from the test's module path
+//!   and case index, so runs are **deterministic** across machines;
+//! - there is **no shrinking** — a failing case reports its index and
+//!   re-panics;
+//! - the default case count is 64 (not 256) to keep `cargo test` brisk.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases to run per property.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// How many generated inputs each property is checked against.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run each property against `cases` generated inputs.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case generator (SplitMix64 stream).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    x: u64,
+}
+
+impl TestRng {
+    /// RNG for one (test name, case index) pair.
+    #[must_use]
+    pub fn for_case(test_path: &str, case: u32) -> Self {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            x: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next uniform 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.x = self.x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice between equally-weighted alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `options`.
+    #[must_use]
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                let span = (end - start) as u64 + 1;
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+// ---------------------------------------------------------------------
+// Regex-subset string strategy
+// ---------------------------------------------------------------------
+
+enum Atom {
+    /// `.` — any printable ASCII character.
+    Any,
+    /// `[...]` — explicit characters and `a-z` ranges.
+    Class(Vec<char>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the subset of regex syntax the workspace's strategies use:
+/// sequences of `.` or `[class]` atoms, each with an optional `{n}` /
+/// `{m,n}` repetition. Anything else panics with a clear message.
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"))
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j], chars[j + 2]);
+                        assert!(lo <= hi, "bad class range in {pattern:?}");
+                        set.extend((lo..=hi).filter(char::is_ascii));
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                assert!(!set.is_empty(), "empty class in {pattern:?}");
+                i = close + 1;
+                Atom::Class(set)
+            }
+            other => panic!("unsupported pattern atom {other:?} in {pattern:?}"),
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repeat lower bound"),
+                    n.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "bad repetition in {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse_pattern(self) {
+            let count = piece.min + rng.below(piece.max - piece.min + 1);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Any => {
+                        // Printable ASCII, space through tilde.
+                        let c = 32 + rng.below(95) as u8;
+                        out.push(c as char);
+                    }
+                    Atom::Class(set) => out.push(set[rng.below(set.len())]),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count bound for [`vec`]: a fixed size or a range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` with a size in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy from an element strategy and a size (or size range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max - self.size.min + 1;
+            let len = self.size.min + (rng.next_u64() % span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the workspace's `use proptest::prelude::*;` pulls in.
+pub mod prelude {
+    /// The `prop::` path used by `prop::collection::vec`.
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert inside a property (maps to a plain panic; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategy arms sharing a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    // The internal arm must precede the public catch-all: a catch-all
+    // listed first would also match `@with_config ...` re-invocations and
+    // wrap them again, recursing forever.
+    (@with_config ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(
+                        &($strategy),
+                        &mut __proptest_rng,
+                    );)*
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| $body),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest: {} failed on deterministic case {case}/{}",
+                            stringify!($name),
+                            config.cases,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn pattern_strategy_respects_class_and_length() {
+        let mut rng = TestRng::for_case("pattern", 0);
+        for case in 0..200 {
+            let mut r = TestRng::for_case("pattern", case);
+            let s = Strategy::generate(&"[a-c]{0,8}", &mut r);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+        let fixed = Strategy::generate(&"[A-Z][a-z]{1,6}", &mut rng);
+        assert!((2..=7).contains(&fixed.len()), "{fixed:?}");
+        assert!(fixed.chars().next().unwrap().is_ascii_uppercase());
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let a = Strategy::generate(&(0.0f64..1.0), &mut TestRng::for_case("t", 3));
+        let b = Strategy::generate(&(0.0f64..1.0), &mut TestRng::for_case("t", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_and_runs(
+            v in prop::collection::vec(0usize..10, 1..5),
+            x in 1usize..4,
+            s in ".{0,6}",
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!((1..4).contains(&x));
+            prop_assert!(s.len() <= 6);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(t in prop_oneof![Just(1u32), Just(2u32)].prop_map(|x| x * 10)) {
+            prop_assert!(t == 10 || t == 20);
+        }
+    }
+}
