@@ -22,6 +22,8 @@ pub enum Command {
     Worker,
     /// `semtree net-query` — query a running `serve` process over TCP.
     NetQuery,
+    /// `semtree recover` — inspect and replay a write-ahead log offline.
+    Recover,
     /// `semtree help`.
     Help,
 }
@@ -74,6 +76,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
         Some("serve") => Command::Serve,
         Some("worker") => Command::Worker,
         Some("net-query") => Command::NetQuery,
+        Some("recover") => Command::Recover,
         Some("help" | "--help" | "-h") => Command::Help,
         Some(other) => return Err(ArgsError::UnknownCommand(other.to_string())),
     };
@@ -167,8 +170,12 @@ COMMANDS:
                  --capacity C      max points per partition  [default unlimited]
                  --sample N        fan-out sample size       [default 256]
                  --seed S          fan-out sample seed       [default 42]
+                 --wal-dir DIR     write-ahead log directory (durability on)
     worker     join a deployment and host partitions until shutdown
                  --join ADDR       the coordinator's cluster-addr (required)
+                 --wal-dir DIR     write-ahead log directory; a worker
+                                   restarted with the same DIR recovers its
+                                   partitions and rejoins under its old routes
     net-query  one operation against a running serve process
                  --addr ADDR       the coordinator's client-addr (required)
                  --op OP           insert | knn | range | stats |
@@ -177,6 +184,8 @@ COMMANDS:
                  --payload N       insert payload            [default 0]
                  -k N              neighbours                [default 5]
                  --radius D        range radius
+    recover    inspect and replay a write-ahead log offline (read-only)
+                 --wal-dir DIR     write-ahead log directory (required)
     help       this text
 "
 }
@@ -246,6 +255,7 @@ mod tests {
             "serve",
             "worker",
             "net-query",
+            "recover",
         ] {
             assert!(usage().contains(c), "{c}");
         }

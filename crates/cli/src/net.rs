@@ -14,11 +14,13 @@
 
 use std::io::Write as _;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener};
+use std::path::Path;
 use std::time::Duration;
 
 use semtree_cluster::CostModel;
 use semtree_dist::{
-    build_tree, join_cluster, serve_clients, serve_cluster, CapacityPolicy, DistConfig, NetClient,
+    build_tree, build_tree_durable, inspect_wal, join_cluster, join_cluster_durable, serve_clients,
+    serve_cluster, CapacityPolicy, DistConfig, NetClient,
 };
 
 use crate::args::ParsedArgs;
@@ -105,8 +107,19 @@ pub fn serve(parsed: &ParsedArgs) -> Result<String, String> {
     println!("workers-joined: {workers}");
 
     let sample = demo_sample(config.dims(), sample_size, seed);
-    let tree = build_tree(&fabric, config, CostModel::zero(), partitions, &sample)
-        .map_err(|e| e.to_string())?;
+    let tree = match parsed.get("wal-dir") {
+        Some(dir) => build_tree_durable(
+            &fabric,
+            config,
+            CostModel::zero(),
+            partitions,
+            &sample,
+            Path::new(dir),
+        )
+        .map_err(|e| e.to_string())?,
+        None => build_tree(&fabric, config, CostModel::zero(), partitions, &sample)
+            .map_err(|e| e.to_string())?,
+    };
 
     let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, client_port))
         .map_err(|e| format!("cannot bind client port: {e}"))?;
@@ -130,15 +143,52 @@ pub fn serve(parsed: &ParsedArgs) -> Result<String, String> {
 pub fn worker(parsed: &ParsedArgs) -> Result<String, String> {
     let addr = parse_addr(parsed.require("join")?)?;
     let timeout = Duration::from_secs(parsed.get_u64("timeout", 30)?);
-    let handle = join_cluster(addr, CostModel::zero(), timeout).map_err(|e| e.to_string())?;
+    let handle = match parsed.get("wal-dir") {
+        Some(dir) => join_cluster_durable(addr, CostModel::zero(), timeout, Path::new(dir))
+            .map_err(|e| e.to_string())?,
+        None => join_cluster(addr, CostModel::zero(), timeout).map_err(|e| e.to_string())?,
+    };
     println!(
         "worker: process {} listening on {}",
         handle.process_index(),
         handle.listen_addr()
     );
+    let recovered = handle.recovered_partitions();
+    if !recovered.is_empty() {
+        // Machine-readable: restart orchestration waits for this line
+        // before resuming the workload.
+        println!(
+            "recovered-partitions: {}",
+            recovered
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+    }
     let _ = std::io::stdout().flush();
     handle.run_until_shutdown();
     Ok("worker: shut down\n".to_string())
+}
+
+/// `semtree recover`: offline, read-only inspect-and-replay of a WAL
+/// directory — verifies every checksum and reports what a restarted
+/// worker would recover.
+pub fn recover(parsed: &ParsedArgs) -> Result<String, String> {
+    let dir = parsed.require("wal-dir")?;
+    let inspection = inspect_wal(Path::new(dir))?;
+    let mut out = inspection.report.to_string();
+    out.push_str(&format!(
+        "replayed: {} partitions\n",
+        inspection.partitions.len()
+    ));
+    for (pid, p) in &inspection.partitions {
+        out.push_str(&format!(
+            "  partition {pid}: {} points, {} leaves, {} routing nodes ({} edge), links → {:?}\n",
+            p.points, p.leaves, p.routing, p.edge_nodes, p.remote_children
+        ));
+    }
+    Ok(out)
 }
 
 /// `semtree net-query`: one operation against a `serve` process.
@@ -201,9 +251,11 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
             }
         }
         "metrics" => {
-            let (messages, bytes, spawned) = client.metrics().map_err(|e| e.to_string())?;
+            let (messages, bytes, response_bytes, spawned) =
+                client.metrics().map_err(|e| e.to_string())?;
             Ok(format!(
-                "messages: {messages}\nbytes: {bytes}\nspawned-nodes: {spawned}\n"
+                "messages: {messages}\nbytes: {bytes}\nresponse-bytes: {response_bytes}\n\
+                 spawned-nodes: {spawned}\n"
             ))
         }
         "shutdown" => {

@@ -1,0 +1,206 @@
+//! The durability headline: `kill -9` a worker process mid-workload,
+//! restart it against the same `--wal-dir`, and require the recovered
+//! cluster's k-NN answers to be **byte-identical** to an uncrashed
+//! in-process reference over the same insertion history.
+
+use std::io::{BufRead, BufReader, Lines};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use semtree_cli::demo_sample;
+use semtree_cluster::CostModel;
+use semtree_dist::{CapacityPolicy, DistConfig, DistSemTree, NetClient};
+
+const DIMS: usize = 2;
+const BUCKET: usize = 8;
+const PARTITIONS: usize = 3;
+const SAMPLE_SIZE: usize = 64;
+const SEED: u64 = 11;
+const CAPACITY: usize = 70;
+
+/// Kills the spawned processes when the test panics mid-way.
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn(args: &[&str]) -> (Child, Lines<BufReader<ChildStdout>>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_semtree"))
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn semtree");
+    let stdout = child.stdout.take().expect("piped stdout");
+    (child, BufReader::new(stdout).lines())
+}
+
+fn expect_line(lines: &mut Lines<BufReader<ChildStdout>>, prefix: &str) -> String {
+    for line in lines {
+        let line = line.expect("child stdout");
+        if let Some(rest) = line.strip_prefix(prefix) {
+            return rest.trim().to_string();
+        }
+    }
+    panic!("child exited before printing '{prefix}'");
+}
+
+/// WAL location: `SEMTREE_FAULT_WAL_DIR` when set (CI uploads it as an
+/// artifact on failure), a per-process temp dir otherwise.
+fn wal_dir() -> PathBuf {
+    match std::env::var_os("SEMTREE_FAULT_WAL_DIR") {
+        Some(dir) => PathBuf::from(dir),
+        None => std::env::temp_dir().join(format!("semtree-fault-wal-{}", std::process::id())),
+    }
+}
+
+#[test]
+fn sigkilled_worker_recovers_and_serves_identical_results() {
+    let wal = wal_dir();
+    let _ = std::fs::remove_dir_all(&wal);
+    let wal_arg = wal.to_string_lossy().into_owned();
+
+    let (serve, mut serve_lines) = spawn(&[
+        "serve",
+        "--workers",
+        "1",
+        "--partitions",
+        &PARTITIONS.to_string(),
+        "--dims",
+        &DIMS.to_string(),
+        "--bucket",
+        &BUCKET.to_string(),
+        "--capacity",
+        &CAPACITY.to_string(),
+        "--sample",
+        &SAMPLE_SIZE.to_string(),
+        "--seed",
+        &SEED.to_string(),
+    ]);
+    let mut reaper = Reaper(vec![serve]);
+
+    let cluster_addr = expect_line(&mut serve_lines, "cluster-addr:");
+    let (worker, mut worker_lines) =
+        spawn(&["worker", "--join", &cluster_addr, "--wal-dir", &wal_arg]);
+    reaper.0.push(worker);
+    expect_line(&mut worker_lines, "worker: process");
+    std::thread::spawn(move || for _ in worker_lines.by_ref() {});
+
+    let client_addr: SocketAddr = expect_line(&mut serve_lines, "client-addr:")
+        .parse()
+        .expect("client address");
+    std::thread::spawn(move || for _ in serve_lines.by_ref() {});
+
+    // The uncrashed reference: same config, fan-out sample, and insertion
+    // order — the recovered cluster must match it bit for bit.
+    let config = DistConfig::new(DIMS)
+        .with_bucket_size(BUCKET)
+        .with_max_partitions(PARTITIONS.max(64))
+        .with_capacity(CapacityPolicy::MaxPoints(CAPACITY));
+    let sample = demo_sample(DIMS, SAMPLE_SIZE, SEED);
+    let reference = DistSemTree::with_fanout(config, CostModel::zero(), PARTITIONS, &sample);
+
+    let mut client = NetClient::connect(client_addr, Duration::from_secs(10)).expect("connect");
+    let points: Vec<(Vec<f64>, u64)> = demo_sample(DIMS, 260, SEED ^ 0xfau64)
+        .into_iter()
+        .zip(0..)
+        .collect();
+    let (batch1, batch2) = points.split_at(160);
+
+    for (point, payload) in batch1 {
+        client.insert(point, *payload).expect("pre-crash insert");
+        reference.insert(point, *payload);
+    }
+
+    // SIGKILL the worker at a quiescent point: every acknowledged insert
+    // is already in its WAL, and nothing is in flight.
+    let worker = &mut reaper.0[1];
+    worker.kill().expect("SIGKILL worker");
+    worker.wait().expect("reap worker");
+
+    // Restart it against the same WAL directory. It must replay its
+    // partitions and rejoin under its old process index and routes.
+    let (revived, mut revived_lines) =
+        spawn(&["worker", "--join", &cluster_addr, "--wal-dir", &wal_arg]);
+    reaper.0.push(revived);
+    let recovered = expect_line(&mut revived_lines, "recovered-partitions:");
+    assert!(
+        !recovered.is_empty(),
+        "restarted worker must report recovered partitions"
+    );
+    std::thread::spawn(move || for _ in revived_lines.by_ref() {});
+
+    // The coordinator evicts its dead connection during the rejoin
+    // handshake; retry the first post-restart insert until the revived
+    // routes answer.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let (first_point, first_payload) = &batch2[0];
+    loop {
+        match client.insert(first_point, *first_payload) {
+            Ok(()) => break,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "insert never recovered: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+                client = NetClient::connect(client_addr, Duration::from_secs(10))
+                    .expect("reconnect client");
+            }
+        }
+    }
+    reference.insert(first_point, *first_payload);
+    for (point, payload) in &batch2[1..] {
+        client.insert(point, *payload).expect("post-crash insert");
+        reference.insert(point, *payload);
+    }
+
+    // Byte-identical k-NN across the crash: exact f64 distances, exact
+    // payloads, exact order.
+    for (query, _) in points.iter().step_by(17) {
+        let got = client.knn(query, 9).expect("net knn");
+        let want: Vec<(f64, u64)> = reference
+            .knn(query, 9)
+            .into_iter()
+            .map(|n| (n.dist, n.payload))
+            .collect();
+        assert_eq!(got, want, "knn around {query:?}");
+    }
+
+    let stats = client.stats().expect("net stats");
+    assert_eq!(
+        stats.iter().map(|(_, p)| p.points).sum::<usize>(),
+        points.len(),
+        "no acknowledged point may be lost across the crash"
+    );
+    assert_eq!(client.verify().expect("net verify"), Vec::<String>::new());
+
+    // The offline inspector agrees with what the live recovery rebuilt.
+    let report = Command::new(env!("CARGO_BIN_EXE_semtree"))
+        .args(["recover", "--wal-dir", &wal_arg])
+        .output()
+        .expect("run semtree recover");
+    assert!(
+        report.status.success(),
+        "recover exited with {}",
+        report.status
+    );
+    let report = String::from_utf8_lossy(&report.stdout);
+    assert!(report.contains("process-index: 1"), "{report}");
+    assert!(report.contains("replayed:"), "{report}");
+
+    client.shutdown().expect("net shutdown");
+    // Child 1 is the SIGKILLed worker (already reaped); the coordinator
+    // and the revived worker must exit cleanly.
+    for child in &mut reaper.0 {
+        let _ = child.wait();
+    }
+    reaper.0.clear();
+    reference.shutdown();
+    let _ = std::fs::remove_dir_all(&wal);
+}

@@ -140,11 +140,15 @@ fn coordinator_and_two_worker_processes_serve_identical_results() {
 
     assert_eq!(client.verify().expect("net verify"), Vec::<String>::new());
 
-    let (messages, bytes, _spawned) = client.metrics().expect("net metrics");
+    let (messages, bytes, response_bytes, _spawned) = client.metrics().expect("net metrics");
     assert!(messages > 0);
     assert!(
         bytes > messages * 4,
         "byte count must reflect actual encoded frames, got {bytes} over {messages} messages"
+    );
+    assert!(
+        response_bytes > 0,
+        "the k-NN answers must have been metered on the way back"
     );
 
     client.shutdown().expect("net shutdown");

@@ -8,6 +8,7 @@ use std::sync::Arc;
 pub struct ClusterMetrics {
     messages: AtomicU64,
     bytes: AtomicU64,
+    response_bytes: AtomicU64,
     spawned_nodes: AtomicU64,
     simulated_delay_nanos: AtomicU64,
 }
@@ -19,6 +20,8 @@ pub struct MetricsSnapshot {
     pub messages: u64,
     /// Total payload bytes carried by those requests.
     pub bytes: u64,
+    /// Total payload bytes carried by the responses coming back.
+    pub response_bytes: u64,
     /// Compute nodes spawned.
     pub spawned_nodes: u64,
     /// Total injected interconnect delay, in nanoseconds.
@@ -39,6 +42,14 @@ impl ClusterMetrics {
             .fetch_add(delay_nanos, Ordering::Relaxed);
     }
 
+    /// Account the payload bytes of one response travelling back to its
+    /// caller. Responses are not counted as messages — `messages` stays
+    /// the request count — so this is a pure byte-volume counter.
+    pub fn record_response_bytes(&self, bytes: usize) {
+        self.response_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_spawn(&self) {
         self.spawned_nodes.fetch_add(1, Ordering::Relaxed);
     }
@@ -55,6 +66,12 @@ impl ClusterMetrics {
         self.bytes.load(Ordering::Relaxed)
     }
 
+    /// Response payload bytes carried so far.
+    #[must_use]
+    pub fn response_bytes(&self) -> u64 {
+        self.response_bytes.load(Ordering::Relaxed)
+    }
+
     /// Nodes spawned so far.
     #[must_use]
     pub fn spawned_nodes(&self) -> u64 {
@@ -67,6 +84,7 @@ impl ClusterMetrics {
         MetricsSnapshot {
             messages: self.messages.load(Ordering::Relaxed),
             bytes: self.bytes.load(Ordering::Relaxed),
+            response_bytes: self.response_bytes.load(Ordering::Relaxed),
             spawned_nodes: self.spawned_nodes.load(Ordering::Relaxed),
             simulated_delay_nanos: self.simulated_delay_nanos.load(Ordering::Relaxed),
         }
@@ -76,6 +94,7 @@ impl ClusterMetrics {
     pub fn reset(&self) {
         self.messages.store(0, Ordering::Relaxed);
         self.bytes.store(0, Ordering::Relaxed);
+        self.response_bytes.store(0, Ordering::Relaxed);
         self.spawned_nodes.store(0, Ordering::Relaxed);
         self.simulated_delay_nanos.store(0, Ordering::Relaxed);
     }
@@ -90,18 +109,30 @@ mod tests {
         let m = ClusterMetrics::new();
         m.record_message(100, 5);
         m.record_message(50, 10);
+        m.record_response_bytes(30);
         m.record_spawn();
         let s = m.snapshot();
         assert_eq!(s.messages, 2);
         assert_eq!(s.bytes, 150);
+        assert_eq!(s.response_bytes, 30);
         assert_eq!(s.spawned_nodes, 1);
         assert_eq!(s.simulated_delay_nanos, 15);
+    }
+
+    #[test]
+    fn response_bytes_do_not_count_as_messages() {
+        let m = ClusterMetrics::new();
+        m.record_response_bytes(64);
+        assert_eq!(m.messages(), 0);
+        assert_eq!(m.bytes(), 0);
+        assert_eq!(m.response_bytes(), 64);
     }
 
     #[test]
     fn reset_zeroes_everything() {
         let m = ClusterMetrics::new();
         m.record_message(1, 1);
+        m.record_response_bytes(2);
         m.record_spawn();
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());

@@ -160,7 +160,9 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req,
                     let resp = handler.handle_dyn(&ctx, env.req);
                     // The response's transit delay is paid before it is handed
                     // back, again on this thread so parallel responders overlap.
-                    let out_delay = ctx.fabric.record(resp.wire_size());
+                    let resp_size = resp.wire_size();
+                    let out_delay = ctx.fabric.record(resp_size);
+                    ctx.fabric.metrics.record_response_bytes(resp_size);
                     if !out_delay.is_zero() {
                         std::thread::sleep(out_delay);
                     }
@@ -421,6 +423,7 @@ mod tests {
         let m = cluster.metrics();
         assert_eq!(m.messages, 2); // request + response
         assert_eq!(m.bytes, 16);
+        assert_eq!(m.response_bytes, 8); // the echoed u64 coming back
         assert_eq!(m.spawned_nodes, 1);
         cluster.reset_metrics();
         assert_eq!(cluster.metrics().messages, 0);

@@ -85,8 +85,33 @@ impl PartitionActor {
                     return Err(e);
                 }
             }
+            // Write-ahead of the relink: a crash between the two replays
+            // the migration from the log, so the remote link survives.
+            // (The adoption itself is durable in the *target* process's
+            // WAL via its PartitionCreate record.)
+            if let Some(wal) = &self.shared.wal {
+                wal.log_migration(ctx.node_id(), candidate, new_partition, LocalNodeId(0))
+                    .map_err(|e| ClusterError::Remote(format!("wal append failed: {e}")))?;
+            }
             self.store
                 .relink_to_partition(candidate, new_partition, LocalNodeId(0));
+        }
+        Ok(())
+    }
+
+    /// Snapshot this partition's store when the WAL says enough history
+    /// piled up; log failures surface as actor errors.
+    fn maybe_snapshot(
+        &self,
+        ctx: &NodeCtx<Req, Resp>,
+        snapshot_due: bool,
+    ) -> Result<(), ClusterError> {
+        if !snapshot_due {
+            return Ok(());
+        }
+        if let Some(wal) = &self.shared.wal {
+            wal.snapshot_image(ctx.node_id(), &self.store.to_image())
+                .map_err(|e| ClusterError::Remote(format!("wal snapshot failed: {e}")))?;
         }
         Ok(())
     }
@@ -206,21 +231,47 @@ impl Handler for PartitionActor {
                 node,
                 point,
                 payload,
-            } => match self.store.insert(node, &point, payload, &remote) {
-                Ok(stored_here) => {
-                    if stored_here {
-                        if let Err(e) = self.enforce_capacity(ctx) {
-                            // The point is stored; the failed build-partition
-                            // left the tree intact (leaf restored) but the
-                            // client should know capacity could not be
-                            // enforced.
-                            return Resp::Error(format!("build-partition failed: {e}"));
-                        }
+            } => {
+                // Write-ahead: the record hits the log before the store.
+                // If navigation forwards the point to another partition
+                // the record stays behind as a no-op on replay (the
+                // receiving partition logs its own copy on arrival).
+                let mut due = false;
+                if let Some(wal) = &self.shared.wal {
+                    match wal.log_insert(ctx.node_id(), node, &point, payload) {
+                        Ok(d) => due = d,
+                        Err(e) => return Resp::Error(format!("wal append failed: {e}")),
                     }
-                    Resp::Done
                 }
-                Err(e) => Resp::Error(e.to_string()),
-            },
+                let mut splits = Vec::new();
+                match self
+                    .store
+                    .insert_logged(node, &point, payload, &remote, &mut splits)
+                {
+                    Ok(stored_here) => {
+                        if let Some(wal) = &self.shared.wal {
+                            match wal.log_splits(ctx.node_id(), &splits) {
+                                Ok(d) => due |= d,
+                                Err(e) => return Resp::Error(format!("wal append failed: {e}")),
+                            }
+                        }
+                        if let Err(e) = self.maybe_snapshot(ctx, due) {
+                            return Resp::Error(e.to_string());
+                        }
+                        if stored_here {
+                            if let Err(e) = self.enforce_capacity(ctx) {
+                                // The point is stored; the failed
+                                // build-partition left the tree intact (leaf
+                                // restored) but the client should know
+                                // capacity could not be enforced.
+                                return Resp::Error(format!("build-partition failed: {e}"));
+                            }
+                        }
+                        Resp::Done
+                    }
+                    Err(e) => Resp::Error(e.to_string()),
+                }
+            }
             Req::Knn {
                 node,
                 point,
@@ -245,17 +296,36 @@ impl Handler for PartitionActor {
                 }
             }
             Req::AdoptLeaf { bucket, depth } => {
+                // Write-ahead of this partition's birth; the splits the
+                // adopted bucket triggers are logged right after, so the
+                // replayed arena is id-for-id identical.
+                if let Some(wal) = &self.shared.wal {
+                    if let Err(e) = wal.log_create(ctx.node_id(), depth, &bucket) {
+                        return Resp::Error(format!("wal append failed: {e}"));
+                    }
+                }
                 let bucket = bucket
                     .into_iter()
                     .map(|(c, p)| (c.into_boxed_slice(), p))
                     .collect();
-                self.store = PartitionStore::new_leaf_with_rule(
+                let mut splits = Vec::new();
+                self.store = PartitionStore::new_leaf_logged(
                     self.shared.dims,
                     self.shared.bucket_size,
                     self.shared.split_rule,
                     bucket,
                     depth,
+                    &mut splits,
                 );
+                if let Some(wal) = &self.shared.wal {
+                    let due = match wal.log_splits(ctx.node_id(), &splits) {
+                        Ok(due) => due,
+                        Err(e) => return Resp::Error(format!("wal append failed: {e}")),
+                    };
+                    if let Err(e) = self.maybe_snapshot(ctx, due) {
+                        return Resp::Error(e.to_string());
+                    }
+                }
                 Resp::Done
             }
             Req::Stats => Resp::Stats(self.store.stats()),

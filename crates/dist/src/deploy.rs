@@ -15,20 +15,25 @@
 //! worst case. The budget is a resource guard, not a correctness
 //! invariant — the paper's resource condition is per-node anyway.
 
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
-use semtree_cluster::{ClusterError, CostModel, Transport};
+use semtree_cluster::{ClusterError, ComputeNodeId, CostModel, Transport};
 use semtree_kdtree::SplitRule;
 use semtree_net::{
     decode_exact, dial_with_timeout, read_frame, write_frame, Decode, DecodeError, Encode,
     NetFabric,
 };
+use semtree_wal::{Wal, WalError, WalOptions};
 
 use crate::actor::PartitionActor;
 use crate::proto::{PartitionStats, Req, Resp};
+use crate::recovery::{replay_stores, WalHandle};
+use crate::store::PartitionStore;
 use crate::tree::{CapacityPolicy, DistConfig, DistSemTree, SharedConfig};
 
 /// The [`NetFabric`] instantiated for the SemTree partition protocol.
@@ -46,6 +51,8 @@ pub enum DeployError {
     Config(String),
     /// A cluster operation failed.
     Cluster(ClusterError),
+    /// The write-ahead log could not be created, appended, or replayed.
+    Wal(WalError),
 }
 
 impl std::fmt::Display for DeployError {
@@ -55,6 +62,7 @@ impl std::fmt::Display for DeployError {
             DeployError::Decode(e) => write!(f, "config decode: {e}"),
             DeployError::Config(msg) => write!(f, "config: {msg}"),
             DeployError::Cluster(e) => write!(f, "cluster: {e}"),
+            DeployError::Wal(e) => write!(f, "wal: {e}"),
         }
     }
 }
@@ -74,6 +82,11 @@ impl From<DecodeError> for DeployError {
 impl From<ClusterError> for DeployError {
     fn from(e: ClusterError) -> Self {
         DeployError::Cluster(e)
+    }
+}
+impl From<WalError> for DeployError {
+    fn from(e: WalError) -> Self {
+        DeployError::Wal(e)
     }
 }
 
@@ -140,7 +153,7 @@ impl NetDeployConfig {
     }
 }
 
-fn split_rule_tag(rule: SplitRule) -> u8 {
+pub(crate) fn split_rule_tag(rule: SplitRule) -> u8 {
     match rule {
         SplitRule::Cycle => 0,
         SplitRule::WidestSpread => 1,
@@ -148,7 +161,7 @@ fn split_rule_tag(rule: SplitRule) -> u8 {
     }
 }
 
-fn split_rule_from_tag(tag: u8) -> Result<SplitRule, DecodeError> {
+pub(crate) fn split_rule_from_tag(tag: u8) -> Result<SplitRule, DecodeError> {
     match tag {
         0 => Ok(SplitRule::Cycle),
         1 => Ok(SplitRule::WidestSpread),
@@ -221,11 +234,52 @@ pub fn build_tree(
     )
 }
 
+/// [`build_tree`] with durability: every mutation of the coordinator's
+/// partitions is written ahead to a WAL under `wal_dir`, and their state
+/// is periodically snapshotted there.
+///
+/// The coordinator owns the routing tree and the cluster membership, so
+/// *restarting* it is not supported — `wal_dir` must not already hold a
+/// log. (Worker restarts are the supported crash-recovery path; see
+/// [`join_cluster_durable`].)
+///
+/// # Errors
+/// Fails when the config cannot be deployed, `wal_dir` already holds a
+/// WAL, or a data partition cannot be spawned or seeded.
+pub fn build_tree_durable(
+    fabric: &Arc<DistFabric>,
+    config: DistConfig,
+    cost: CostModel,
+    partitions: usize,
+    sample: &[Vec<f64>],
+    wal_dir: &Path,
+) -> Result<DistSemTree, DeployError> {
+    if Wal::exists(wal_dir) {
+        return Err(DeployError::Config(format!(
+            "{} already holds a write-ahead log; coordinator restart is not \
+             supported — point --wal-dir at a fresh directory",
+            wal_dir.display()
+        )));
+    }
+    let blob = NetDeployConfig::from_config(&config)?.to_bytes();
+    let wal = Wal::create(wal_dir, 0, &blob, WalOptions::default())?;
+    Ok(DistSemTree::over_transport_with_wal(
+        fabric.local_fabric(),
+        Arc::clone(fabric) as Arc<dyn Transport<Req, Resp>>,
+        config,
+        cost,
+        partitions,
+        sample,
+        Some(WalHandle::new(wal)),
+    )?)
+}
+
 /// A joined worker process: hosts partitions on request until the
 /// coordinator shuts the deployment down.
 pub struct WorkerHandle {
     fabric: Arc<DistFabric>,
     config: DistConfig,
+    recovered: Vec<u32>,
 }
 
 /// Join a deployment as a worker: dial the coordinator, decode the
@@ -246,7 +300,131 @@ pub fn join_cluster(
     fabric.local_fabric().set_node_factory(Box::new(move || {
         Box::new(PartitionActor::fresh(Arc::clone(&shared)))
     }));
-    Ok(WorkerHandle { fabric, config })
+    Ok(WorkerHandle {
+        fabric,
+        config,
+        recovered: Vec::new(),
+    })
+}
+
+/// [`join_cluster`] with durability: partition mutations are written
+/// ahead to a WAL under `wal_dir`, and if that directory already holds a
+/// log from a previous run, the worker **recovers** — it replays
+/// snapshot + tail into the exact partition stores it hosted before the
+/// crash, rejoins the coordinator under its old process index, and
+/// resumes serving its old routes.
+///
+/// Recovery re-spawns partitions in ascending local index so every
+/// recovered partition keeps its pre-crash [`ComputeNodeId`]; gaps
+/// (indices spawned before the crash but never seeded) are filled with
+/// empty placeholder partitions. Each recovered partition is then
+/// re-snapshotted and the log compacted, so the next restart replays a
+/// short tail.
+///
+/// # Errors
+/// Fails when the coordinator is unreachable, refuses the rejoin, or the
+/// WAL is corrupt or does not replay cleanly.
+pub fn join_cluster_durable(
+    coordinator: SocketAddr,
+    cost: CostModel,
+    timeout: Duration,
+    wal_dir: &Path,
+) -> Result<WorkerHandle, DeployError> {
+    if !Wal::exists(wal_dir) {
+        // First boot: join fresh, then persist the coordinator's config
+        // blob in the manifest so recovery can rebuild stores without it.
+        let (fabric, blob) = DistFabric::join(coordinator, cost, timeout)?;
+        let net_config: NetDeployConfig = decode_exact(&blob)?;
+        let config = net_config.to_config();
+        let wal = Wal::create(
+            wal_dir,
+            fabric.process_index(),
+            &blob,
+            WalOptions::default(),
+        )?;
+        let shared = SharedConfig::new_with_wal(&config, Some(WalHandle::new(wal)));
+        let factory_shared = Arc::clone(&shared);
+        fabric.local_fabric().set_node_factory(Box::new(move || {
+            Box::new(PartitionActor::fresh(Arc::clone(&factory_shared)))
+        }));
+        return Ok(WorkerHandle {
+            fabric,
+            config,
+            recovered: Vec::new(),
+        });
+    }
+
+    // Restart: replay the log into partition stores *before* touching the
+    // network, so a corrupt WAL fails fast without a half-joined worker.
+    let (wal, state) = Wal::resume(wal_dir, WalOptions::default())?;
+    let net_config: NetDeployConfig = decode_exact(&state.config)?;
+    let config = net_config.to_config();
+    let mut stores: BTreeMap<u32, PartitionStore> = replay_stores(&state)
+        .map_err(DeployError::Config)?
+        .into_iter()
+        .collect();
+    for &partition in stores.keys() {
+        let owner = ComputeNodeId(partition).process();
+        if owner != state.process_index {
+            return Err(DeployError::Config(format!(
+                "wal records partition {partition} owned by process {owner}, \
+                 but the log belongs to process {}",
+                state.process_index
+            )));
+        }
+    }
+    let recovered: Vec<u32> = stores.keys().copied().collect();
+
+    let fabric = DistFabric::rejoin(coordinator, cost, timeout, state.process_index, &recovered)?;
+    let handle = WalHandle::new(wal);
+    let shared = SharedConfig::new_with_wal(&config, Some(Arc::clone(&handle)));
+
+    // Re-spawn in ascending local index: the local fabric assigns indices
+    // sequentially, so this reproduces every pre-crash partition id.
+    // Placeholders fill indices the crash left without replayable state.
+    let local = fabric.local_fabric();
+    let top = stores
+        .keys()
+        .map(|&p| ComputeNodeId(p).local_index())
+        .max()
+        .unwrap_or(0);
+    let mut images = Vec::new();
+    for local_index in 0..=top {
+        let expected = ComputeNodeId::from_parts(state.process_index, local_index as u32);
+        let actor = match stores.remove(&expected.0) {
+            Some(store) => {
+                images.push((expected, store.to_image()));
+                shared.try_reserve_partition();
+                PartitionActor::with_store(store, Arc::clone(&shared))
+            }
+            None => PartitionActor::fresh(Arc::clone(&shared)),
+        };
+        let spawned = local.spawn_handler(Box::new(actor))?;
+        if spawned != expected {
+            return Err(DeployError::Config(format!(
+                "recovery re-spawn produced node {} where the log expects {} \
+                 — was the fabric already hosting nodes?",
+                spawned.0, expected.0
+            )));
+        }
+    }
+    let factory_shared = Arc::clone(&shared);
+    local.set_node_factory(Box::new(move || {
+        Box::new(PartitionActor::fresh(Arc::clone(&factory_shared)))
+    }));
+
+    // Fold the replayed history into fresh snapshots and drop the
+    // segments they supersede: the next restart replays almost nothing.
+    for (partition, image) in images {
+        handle.snapshot_image(partition, &image)?;
+    }
+    handle.compact()?;
+
+    Ok(WorkerHandle {
+        fabric,
+        config,
+        recovered,
+    })
 }
 
 impl WorkerHandle {
@@ -272,6 +450,13 @@ impl WorkerHandle {
     #[must_use]
     pub fn fabric(&self) -> Arc<DistFabric> {
         Arc::clone(&self.fabric)
+    }
+
+    /// Raw ids of the partitions crash recovery rebuilt from the WAL
+    /// (empty on a fresh join).
+    #[must_use]
+    pub fn recovered_partitions(&self) -> &[u32] {
+        &self.recovered
     }
 
     /// Block until the coordinator broadcasts shutdown, then stop the
@@ -337,6 +522,8 @@ pub enum ClientResp {
         messages: u64,
         /// Bytes carried (exact encoded frame bytes under TCP).
         bytes: u64,
+        /// Response payload bytes travelling back to callers.
+        response_bytes: u64,
         /// Compute nodes spawned.
         spawned_nodes: u64,
     },
@@ -413,11 +600,13 @@ impl Encode for ClientResp {
             ClientResp::Metrics {
                 messages,
                 bytes,
+                response_bytes,
                 spawned_nodes,
             } => {
                 out.push(4);
                 messages.encode(out);
                 bytes.encode(out);
+                response_bytes.encode(out);
                 spawned_nodes.encode(out);
             }
             ClientResp::Error(msg) => {
@@ -438,6 +627,7 @@ impl Decode for ClientResp {
             4 => Ok(ClientResp::Metrics {
                 messages: u64::decode(buf)?,
                 bytes: u64::decode(buf)?,
+                response_bytes: u64::decode(buf)?,
                 spawned_nodes: u64::decode(buf)?,
             }),
             5 => Ok(ClientResp::Error(String::decode(buf)?)),
@@ -502,6 +692,7 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
             ClientResp::Metrics {
                 messages: m.messages,
                 bytes: m.bytes,
+                response_bytes: m.response_bytes,
                 spawned_nodes: m.spawned_nodes,
             }
         }
@@ -630,17 +821,19 @@ impl NetClient {
         }
     }
 
-    /// Interconnect counters `(messages, bytes, spawned_nodes)`.
+    /// Interconnect counters `(messages, bytes, response_bytes,
+    /// spawned_nodes)`.
     ///
     /// # Errors
     /// Propagates transport and server-side failures.
-    pub fn metrics(&mut self) -> io::Result<(u64, u64, u64)> {
+    pub fn metrics(&mut self) -> io::Result<(u64, u64, u64, u64)> {
         match self.call(&ClientReq::Metrics)? {
             ClientResp::Metrics {
                 messages,
                 bytes,
+                response_bytes,
                 spawned_nodes,
-            } => Ok((messages, bytes, spawned_nodes)),
+            } => Ok((messages, bytes, response_bytes, spawned_nodes)),
             other => Err(unexpected(&other)),
         }
     }
@@ -753,6 +946,7 @@ mod tests {
             ClientResp::Metrics {
                 messages: 3,
                 bytes: 120,
+                response_bytes: 48,
                 spawned_nodes: 2,
             },
             ClientResp::Error("nope".into()),

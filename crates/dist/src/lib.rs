@@ -62,14 +62,17 @@
 mod actor;
 mod deploy;
 mod proto;
+mod recovery;
 mod store;
 mod tree;
 
 pub use deploy::{
-    build_tree, join_cluster, serve_clients, serve_cluster, ClientReq, ClientResp, DeployError,
-    DistFabric, NetClient, NetDeployConfig, WorkerHandle,
+    build_tree, build_tree_durable, join_cluster, join_cluster_durable, serve_clients,
+    serve_cluster, ClientReq, ClientResp, DeployError, DistFabric, NetClient, NetDeployConfig,
+    WorkerHandle,
 };
 pub use proto::{PartitionStats, Req, Resp};
+pub use recovery::{inspect_wal, WalInspection};
 pub use semtree_kdtree::Neighbor;
 pub use store::LocalNodeId;
 pub use tree::{CapacityPolicy, DistConfig, DistSemTree, GlobalStats};

@@ -2,7 +2,9 @@
 
 use semtree_cluster::{ClusterError, ComputeNodeId};
 use semtree_kdtree::SplitRule;
+use semtree_net::{Decode, DecodeError, Encode};
 
+use crate::deploy::{split_rule_from_tag, split_rule_tag};
 use crate::proto::PartitionStats;
 
 /// Identifier of a node inside one partition's arena; each partition's
@@ -32,6 +34,19 @@ pub(crate) enum Child {
 
 /// A leaf's stored points: `(coordinates, payload)` pairs.
 pub(crate) type Bucket = Vec<(Box<[f64]>, u64)>;
+
+/// One leaf split, in the exact form the WAL logs it: the leaf that
+/// became a routing node, the chosen plane, and the arena ids handed to
+/// the two children. Replay re-applies the event verbatim instead of
+/// re-deriving the split, so a recovered arena is id-for-id identical.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct SplitEvent {
+    pub(crate) leaf: LocalNodeId,
+    pub(crate) split_dim: usize,
+    pub(crate) split_val: f64,
+    pub(crate) left: LocalNodeId,
+    pub(crate) right: LocalNodeId,
+}
 
 #[derive(Debug, Clone)]
 pub(crate) enum PNodeKind {
@@ -208,8 +223,44 @@ impl PartitionStore {
         bucket: Bucket,
         depth: u32,
     ) -> Self {
+        Self::new_leaf_logged(
+            dims,
+            bucket_size,
+            split_rule,
+            bucket,
+            depth,
+            &mut Vec::new(),
+        )
+    }
+
+    /// [`new_leaf_with_rule`](PartitionStore::new_leaf_with_rule) that
+    /// also reports the splits the adopted bucket triggered, so the
+    /// actor can write them to the WAL.
+    pub(crate) fn new_leaf_logged(
+        dims: usize,
+        bucket_size: usize,
+        split_rule: SplitRule,
+        bucket: Bucket,
+        depth: u32,
+        splits: &mut Vec<SplitEvent>,
+    ) -> Self {
+        let mut store = Self::raw_leaf(dims, bucket_size, split_rule, bucket, depth);
+        // An adopted bucket may already exceed the bucket size.
+        store.maybe_split(LocalNodeId(0), splits);
+        store
+    }
+
+    /// A single-leaf store with **no** capacity check — the replay base:
+    /// splits are applied from the log, never derived.
+    pub(crate) fn raw_leaf(
+        dims: usize,
+        bucket_size: usize,
+        split_rule: SplitRule,
+        bucket: Bucket,
+        depth: u32,
+    ) -> Self {
         let points = bucket.len();
-        let mut store = PartitionStore {
+        PartitionStore {
             dims,
             bucket_size,
             split_rule,
@@ -219,10 +270,7 @@ impl PartitionStore {
                 parent: None,
             }],
             points,
-        };
-        // An adopted bucket may already exceed the bucket size.
-        store.maybe_split(LocalNodeId(0));
-        store
+        }
     }
 
     /// An arena with no nodes yet: the fan-out builder pushes the routing
@@ -276,6 +324,10 @@ impl PartitionStore {
 
     /// Insert starting at `start`; returns `Ok(true)` when the point landed
     /// in this partition, `Ok(false)` when it was forwarded to another.
+    /// Convenience for tests — production inserts go through
+    /// [`insert_logged`](PartitionStore::insert_logged) so splits reach
+    /// the WAL.
+    #[cfg(test)]
     pub(crate) fn insert(
         &mut self,
         start: LocalNodeId,
@@ -283,11 +335,46 @@ impl PartitionStore {
         payload: u64,
         remote: &dyn RemoteOps,
     ) -> Result<bool, ClusterError> {
+        self.insert_logged(start, point, payload, remote, &mut Vec::new())
+    }
+
+    /// [`insert`](PartitionStore::insert) that also reports any splits
+    /// it triggered, so the actor can write them to the WAL.
+    pub(crate) fn insert_logged(
+        &mut self,
+        start: LocalNodeId,
+        point: &[f64],
+        payload: u64,
+        remote: &dyn RemoteOps,
+        splits: &mut Vec<SplitEvent>,
+    ) -> Result<bool, ClusterError> {
         assert_eq!(point.len(), self.dims, "dimensionality mismatch");
+        let node = match self.navigate(start, point) {
+            Ok(leaf) => leaf,
+            Err((partition, node)) => {
+                remote.insert(partition, node, point, payload)?;
+                return Ok(false);
+            }
+        };
+        if let PNodeKind::Leaf { bucket } = &mut self.nodes[node.index()].kind {
+            bucket.push((point.into(), payload));
+        }
+        self.points += 1;
+        self.maybe_split(node, splits);
+        Ok(true)
+    }
+
+    /// Walk from `start` to the leaf that owns `point`, or to the remote
+    /// child the point must be forwarded to.
+    fn navigate(
+        &self,
+        start: LocalNodeId,
+        point: &[f64],
+    ) -> Result<LocalNodeId, (ComputeNodeId, LocalNodeId)> {
         let mut node = start;
         loop {
             match &self.nodes[node.index()].kind {
-                PNodeKind::Leaf { .. } => break,
+                PNodeKind::Leaf { .. } => return Ok(node),
                 PNodeKind::Routing {
                     split_dim,
                     split_val,
@@ -301,23 +388,100 @@ impl PartitionStore {
                     };
                     match child {
                         Child::Local(next) => node = next,
-                        Child::Remote { partition, node } => {
-                            remote.insert(partition, node, point, payload)?;
-                            return Ok(false);
-                        }
+                        Child::Remote { partition, node } => return Err((partition, node)),
                     }
                 }
             }
         }
-        if let PNodeKind::Leaf { bucket } = &mut self.nodes[node.index()].kind {
+    }
+
+    /// Re-apply a logged [`PointInsert`](semtree_wal::WalRecord): same
+    /// navigation, same bucket push, but **no** split — splits replay
+    /// from their own records. Returns `false` (a no-op) when navigation
+    /// reaches a remote child: the live insert was forwarded and logged
+    /// by the partition that actually stored it.
+    pub(crate) fn replay_insert(
+        &mut self,
+        start: LocalNodeId,
+        point: &[f64],
+        payload: u64,
+    ) -> bool {
+        if point.len() != self.dims {
+            return false;
+        }
+        let Ok(leaf) = self.navigate(start, point) else {
+            return false;
+        };
+        if let PNodeKind::Leaf { bucket } = &mut self.nodes[leaf.index()].kind {
             bucket.push((point.into(), payload));
         }
         self.points += 1;
-        self.maybe_split(node);
-        Ok(true)
+        true
     }
 
-    fn maybe_split(&mut self, leaf: LocalNodeId) {
+    /// Re-apply a logged [`SplitEvent`] verbatim. Fails when the log and
+    /// the store disagree — a corrupt or out-of-order WAL.
+    pub(crate) fn apply_split(&mut self, event: &SplitEvent) -> Result<(), String> {
+        let leaf = event.leaf;
+        if leaf.index() >= self.nodes.len() {
+            return Err(format!("split of unknown node {}", leaf.0));
+        }
+        let depth = self.nodes[leaf.index()].depth;
+        let PNodeKind::Leaf { bucket } = std::mem::replace(
+            &mut self.nodes[leaf.index()].kind,
+            PNodeKind::Leaf { bucket: Vec::new() },
+        ) else {
+            return Err(format!("split of routing node {}", leaf.0));
+        };
+        let (lb, rb): (Vec<_>, Vec<_>) = bucket
+            .into_iter()
+            .partition(|(c, _)| c[event.split_dim] <= event.split_val);
+        let left = self.push_node(PNodeKind::Leaf { bucket: lb }, depth + 1);
+        let right = self.push_node(PNodeKind::Leaf { bucket: rb }, depth + 1);
+        if left != event.left || right != event.right {
+            return Err(format!(
+                "split of node {} allocated children {}/{}, log says {}/{}",
+                leaf.0, left.0, right.0, event.left.0, event.right.0
+            ));
+        }
+        self.set_parent(left, leaf, true);
+        self.set_parent(right, leaf, false);
+        self.nodes[leaf.index()].kind = PNodeKind::Routing {
+            split_dim: event.split_dim,
+            split_val: event.split_val,
+            left: Child::Local(left),
+            right: Child::Local(right),
+        };
+        Ok(())
+    }
+
+    /// Re-apply a logged leaf migration: drop the evicted leaf's bucket
+    /// and point its parent at the partition that adopted it.
+    pub(crate) fn apply_migration(
+        &mut self,
+        evicted: LocalNodeId,
+        partition: ComputeNodeId,
+        remote_node: LocalNodeId,
+    ) -> Result<(), String> {
+        if evicted.index() >= self.nodes.len() {
+            return Err(format!("migration of unknown node {}", evicted.0));
+        }
+        let PNodeKind::Leaf { bucket } = std::mem::replace(
+            &mut self.nodes[evicted.index()].kind,
+            PNodeKind::Leaf { bucket: Vec::new() },
+        ) else {
+            return Err(format!("migration of routing node {}", evicted.0));
+        };
+        if self.nodes[evicted.index()].parent.is_none() {
+            self.nodes[evicted.index()].kind = PNodeKind::Leaf { bucket };
+            return Err("migration of the partition root".to_string());
+        }
+        self.points -= bucket.len();
+        self.relink_to_partition(evicted, partition, remote_node);
+        Ok(())
+    }
+
+    fn maybe_split(&mut self, leaf: LocalNodeId, splits: &mut Vec<SplitEvent>) {
         let depth = self.nodes[leaf.index()].depth;
         let over = match &self.nodes[leaf.index()].kind {
             PNodeKind::Leaf { bucket } => bucket.len() > self.bucket_size,
@@ -350,8 +514,15 @@ impl PartitionStore {
             left: Child::Local(left),
             right: Child::Local(right),
         };
-        self.maybe_split(left);
-        self.maybe_split(right);
+        splits.push(SplitEvent {
+            leaf,
+            split_dim,
+            split_val,
+            left,
+            right,
+        });
+        self.maybe_split(left, splits);
+        self.maybe_split(right, splits);
     }
 
     // ------------------------------------------------------------------
@@ -685,6 +856,258 @@ impl PartitionStore {
         }
         s.remote_children.sort_unstable();
         s
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot images (semtree-wal)
+    // ------------------------------------------------------------------
+
+    /// Serialize the whole store — arena order, parents, remote links,
+    /// point counter — into the codec-friendly [`StoreImage`] the WAL
+    /// stores as a per-partition snapshot blob.
+    pub(crate) fn to_image(&self) -> StoreImage {
+        StoreImage {
+            dims: self.dims,
+            bucket_size: self.bucket_size,
+            split_rule: split_rule_tag(self.split_rule),
+            points: self.points,
+            nodes: self
+                .nodes
+                .iter()
+                .map(|node| NodeImage {
+                    depth: node.depth,
+                    parent: node.parent.map(|(p, is_left)| (p.0, is_left)),
+                    kind: match &node.kind {
+                        PNodeKind::Leaf { bucket } => NodeKindImage::Leaf {
+                            bucket: bucket.iter().map(|(c, p)| (c.to_vec(), *p)).collect(),
+                        },
+                        PNodeKind::Routing {
+                            split_dim,
+                            split_val,
+                            left,
+                            right,
+                        } => NodeKindImage::Routing {
+                            split_dim: *split_dim,
+                            split_val: *split_val,
+                            left: ChildImage::from_child(*left),
+                            right: ChildImage::from_child(*right),
+                        },
+                    },
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a store from a snapshot image — the exact inverse of
+    /// [`to_image`](PartitionStore::to_image).
+    pub(crate) fn from_image(image: &StoreImage) -> Result<Self, String> {
+        let split_rule =
+            split_rule_from_tag(image.split_rule).map_err(|e| format!("snapshot image: {e}"))?;
+        let nodes = image
+            .nodes
+            .iter()
+            .map(|node| PNode {
+                depth: node.depth,
+                parent: node.parent.map(|(p, is_left)| (LocalNodeId(p), is_left)),
+                kind: match &node.kind {
+                    NodeKindImage::Leaf { bucket } => PNodeKind::Leaf {
+                        bucket: bucket
+                            .iter()
+                            .map(|(c, p)| (c.clone().into_boxed_slice(), *p))
+                            .collect(),
+                    },
+                    NodeKindImage::Routing {
+                        split_dim,
+                        split_val,
+                        left,
+                        right,
+                    } => PNodeKind::Routing {
+                        split_dim: *split_dim,
+                        split_val: *split_val,
+                        left: left.to_child(),
+                        right: right.to_child(),
+                    },
+                },
+            })
+            .collect();
+        Ok(PartitionStore {
+            dims: image.dims,
+            bucket_size: image.bucket_size,
+            split_rule,
+            nodes,
+            points: image.points,
+        })
+    }
+}
+
+/// Codec-serializable twin of a [`PartitionStore`]: what a WAL snapshot
+/// blob contains, and what the structural recovery tests compare
+/// (`PartialEq` covers arena order, depths, parent backlinks, remote
+/// links and the point counter — not just query answers).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StoreImage {
+    pub(crate) dims: usize,
+    pub(crate) bucket_size: usize,
+    /// Wire tag of the split rule (see `deploy::split_rule_tag`).
+    pub(crate) split_rule: u8,
+    pub(crate) points: usize,
+    pub(crate) nodes: Vec<NodeImage>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct NodeImage {
+    pub(crate) kind: NodeKindImage,
+    pub(crate) depth: u32,
+    pub(crate) parent: Option<(u32, bool)>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum NodeKindImage {
+    Routing {
+        split_dim: usize,
+        split_val: f64,
+        left: ChildImage,
+        right: ChildImage,
+    },
+    Leaf {
+        bucket: Vec<(Vec<f64>, u64)>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ChildImage {
+    Local(u32),
+    Remote { partition: u32, node: u32 },
+}
+
+impl ChildImage {
+    fn from_child(child: Child) -> Self {
+        match child {
+            Child::Local(id) => ChildImage::Local(id.0),
+            Child::Remote { partition, node } => ChildImage::Remote {
+                partition: partition.0,
+                node: node.0,
+            },
+        }
+    }
+
+    fn to_child(self) -> Child {
+        match self {
+            ChildImage::Local(id) => Child::Local(LocalNodeId(id)),
+            ChildImage::Remote { partition, node } => Child::Remote {
+                partition: ComputeNodeId(partition),
+                node: LocalNodeId(node),
+            },
+        }
+    }
+}
+
+impl Encode for StoreImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dims.encode(out);
+        self.bucket_size.encode(out);
+        self.split_rule.encode(out);
+        self.points.encode(out);
+        self.nodes.encode(out);
+    }
+}
+
+impl Decode for StoreImage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(StoreImage {
+            dims: usize::decode(buf)?,
+            bucket_size: usize::decode(buf)?,
+            split_rule: u8::decode(buf)?,
+            points: usize::decode(buf)?,
+            nodes: Vec::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for NodeImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.kind.encode(out);
+        self.depth.encode(out);
+        self.parent.encode(out);
+    }
+}
+
+impl Decode for NodeImage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        Ok(NodeImage {
+            kind: NodeKindImage::decode(buf)?,
+            depth: u32::decode(buf)?,
+            parent: Option::decode(buf)?,
+        })
+    }
+}
+
+impl Encode for NodeKindImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NodeKindImage::Routing {
+                split_dim,
+                split_val,
+                left,
+                right,
+            } => {
+                out.push(0);
+                split_dim.encode(out);
+                split_val.encode(out);
+                left.encode(out);
+                right.encode(out);
+            }
+            NodeKindImage::Leaf { bucket } => {
+                out.push(1);
+                bucket.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for NodeKindImage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(NodeKindImage::Routing {
+                split_dim: usize::decode(buf)?,
+                split_val: f64::decode(buf)?,
+                left: ChildImage::decode(buf)?,
+                right: ChildImage::decode(buf)?,
+            }),
+            1 => Ok(NodeKindImage::Leaf {
+                bucket: Vec::decode(buf)?,
+            }),
+            other => Err(DecodeError::new(format!("bad NodeKindImage tag {other}"))),
+        }
+    }
+}
+
+impl Encode for ChildImage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ChildImage::Local(id) => {
+                out.push(0);
+                id.encode(out);
+            }
+            ChildImage::Remote { partition, node } => {
+                out.push(1);
+                partition.encode(out);
+                node.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ChildImage {
+    fn decode(buf: &mut &[u8]) -> Result<Self, DecodeError> {
+        match u8::decode(buf)? {
+            0 => Ok(ChildImage::Local(u32::decode(buf)?)),
+            1 => Ok(ChildImage::Remote {
+                partition: u32::decode(buf)?,
+                node: u32::decode(buf)?,
+            }),
+            other => Err(DecodeError::new(format!("bad ChildImage tag {other}"))),
+        }
     }
 }
 

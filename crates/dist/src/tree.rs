@@ -9,6 +9,7 @@ use semtree_kdtree::{Neighbor, SplitRule};
 
 use crate::actor::PartitionActor;
 use crate::proto::{PartitionStats, Req, Resp};
+use crate::recovery::WalHandle;
 use crate::store::{Child, LocalNodeId, PNodeKind, PartitionStore};
 
 /// The per-partition *resource condition* of the insertion algorithm: "the
@@ -130,17 +131,24 @@ pub(crate) struct SharedConfig {
     pub(crate) split_rule: SplitRule,
     pub(crate) capacity: CapacityPolicy,
     pub(crate) max_partitions: usize,
+    /// The process-wide WAL, `None` when running without durability.
+    pub(crate) wal: Option<Arc<WalHandle>>,
     partitions: AtomicUsize,
 }
 
 impl SharedConfig {
     pub(crate) fn new(config: &DistConfig) -> Arc<Self> {
+        Self::new_with_wal(config, None)
+    }
+
+    pub(crate) fn new_with_wal(config: &DistConfig, wal: Option<Arc<WalHandle>>) -> Arc<Self> {
         Arc::new(SharedConfig {
             dims: config.dims,
             bucket_size: config.bucket_size,
             split_rule: config.split_rule,
             capacity: config.capacity.clone(),
             max_partitions: config.max_partitions,
+            wal,
             partitions: AtomicUsize::new(0),
         })
     }
@@ -262,12 +270,30 @@ impl DistSemTree {
         partitions: usize,
         sample: &[Vec<f64>],
     ) -> Result<Self, ClusterError> {
-        DistSemTree::build_on(
+        DistSemTree::over_transport_with_wal(
+            local, transport, config, cost, partitions, sample, None,
+        )
+    }
+
+    /// [`over_transport`](DistSemTree::over_transport) with a WAL: the
+    /// locally hosted partitions (at least the root) log every mutation
+    /// and snapshot their initial state.
+    pub(crate) fn over_transport_with_wal(
+        local: Arc<ChannelFabric<Req, Resp>>,
+        transport: Arc<dyn Transport<Req, Resp>>,
+        config: DistConfig,
+        cost: CostModel,
+        partitions: usize,
+        sample: &[Vec<f64>],
+        wal: Option<Arc<WalHandle>>,
+    ) -> Result<Self, ClusterError> {
+        DistSemTree::build_on_with_wal(
             Cluster::from_parts(local, transport),
             config,
             cost,
             partitions,
             sample,
+            wal,
         )
     }
 
@@ -280,13 +306,35 @@ impl DistSemTree {
         partitions: usize,
         sample: &[Vec<f64>],
     ) -> Result<Self, ClusterError> {
+        DistSemTree::build_on_with_wal(cluster, config, cost, partitions, sample, None)
+    }
+
+    pub(crate) fn build_on_with_wal(
+        cluster: Cluster<PartitionActor>,
+        config: DistConfig,
+        cost: CostModel,
+        partitions: usize,
+        sample: &[Vec<f64>],
+        wal: Option<Arc<WalHandle>>,
+    ) -> Result<Self, ClusterError> {
         assert!(partitions > 0, "at least one partition is required");
-        let shared = SharedConfig::new(&config);
+        let shared = SharedConfig::new_with_wal(&config, wal);
         install_member_factory(&cluster, &shared);
 
         if partitions == 1 {
             assert!(shared.try_reserve_partition());
-            let root = cluster.spawn(PartitionActor::fresh(Arc::clone(&shared)));
+            // Build the root store explicitly so its initial image can be
+            // snapshotted once the spawn assigns the partition id.
+            let store = PartitionStore::new_leaf_with_rule(
+                config.dims,
+                config.bucket_size,
+                config.split_rule,
+                Vec::new(),
+                0,
+            );
+            let image = shared.wal.as_ref().map(|_| store.to_image());
+            let root = cluster.spawn(PartitionActor::with_store(store, Arc::clone(&shared)));
+            snapshot_initial(&shared, root, image)?;
             return Ok(DistSemTree {
                 cluster,
                 root,
@@ -332,7 +380,9 @@ impl DistSemTree {
         }
 
         assert!(shared.try_reserve_partition()); // the root partition itself
+        let image = shared.wal.as_ref().map(|_| store.to_image());
         let root = cluster.spawn(PartitionActor::with_store(store, Arc::clone(&shared)));
+        snapshot_initial(&shared, root, image)?;
         Ok(DistSemTree {
             cluster,
             root,
@@ -623,6 +673,20 @@ impl DistSemTree {
     pub fn shutdown(self) {
         self.cluster.shutdown();
     }
+}
+
+/// Write a just-spawned local partition's initial image to the WAL, now
+/// that the spawn has assigned its partition id.
+fn snapshot_initial(
+    shared: &Arc<SharedConfig>,
+    partition: ComputeNodeId,
+    image: Option<crate::store::StoreImage>,
+) -> Result<(), ClusterError> {
+    if let (Some(wal), Some(image)) = (shared.wal.as_ref(), image) {
+        wal.snapshot_image(partition, &image)
+            .map_err(|e| ClusterError::Remote(format!("wal snapshot failed: {e}")))?;
+    }
+    Ok(())
 }
 
 /// Install the factory the transport uses for member spawns: every new

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock, Weak};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, Weak};
 use std::time::{Duration, Instant};
 
 use semtree_cluster::{
@@ -95,6 +95,11 @@ where
     next_worker_index: AtomicU64,
     /// Round-robin cursor for member-spawn placement.
     spawn_rr: AtomicUsize,
+    /// Bumped (under the mutex) whenever the peer set changes, so
+    /// [`wait_for_workers`](Self::wait_for_workers) can block on the
+    /// condvar instead of polling.
+    membership: Mutex<u64>,
+    membership_cv: Condvar,
     metrics: Arc<ClusterMetrics>,
     shutting_down: AtomicBool,
     shutdown_tx: mpsc::Sender<()>,
@@ -179,6 +184,79 @@ where
         Ok((fabric, config))
     }
 
+    /// Rejoin a deployment as a **restarted** worker: dial the
+    /// coordinator and ask to resume under the previously assigned
+    /// `process_index`, presenting the raw ids of the `partitions`
+    /// recovered from local durable state. The coordinator replaces its
+    /// stale route and connection for that index and re-announces the
+    /// worker to its siblings, so traffic to the old partition ids flows
+    /// again once the caller has re-spawned them on the local fabric.
+    ///
+    /// # Errors
+    /// Fails when the coordinator is unreachable or refuses the rejoin
+    /// (unknown index, index 0, or a partition owned by another process)
+    /// — a refusal surfaces as the coordinator hanging up.
+    pub fn rejoin(
+        coordinator: SocketAddr,
+        cost: CostModel,
+        timeout: Duration,
+        process_index: u32,
+        partitions: &[u32],
+    ) -> io::Result<Arc<Self>> {
+        let listener = TcpListener::bind((Ipv4Addr::UNSPECIFIED, 0))?;
+        let listen_addr = listener.local_addr()?;
+
+        let mut stream = dial_with_timeout(coordinator, timeout)?;
+        let rejoin: NetMsg<Req, Resp> = NetMsg::Rejoin {
+            process_index,
+            listen_port: listen_addr.port(),
+            partitions: partitions.to_vec(),
+        };
+        write_frame(&mut stream, &rejoin.to_bytes())?;
+        let payload = read_frame(&mut stream)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "coordinator hung up"))?;
+        let welcome: NetMsg<Req, Resp> = decode_exact(&payload)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let NetMsg::Welcome {
+            assigned_index,
+            peers,
+            config: _,
+        } = welcome
+        else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected Welcome from coordinator",
+            ));
+        };
+        if assigned_index != process_index {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "asked to rejoin as process {process_index}, coordinator says {assigned_index}"
+                ),
+            ));
+        }
+
+        let fabric = Self::build(
+            ChannelFabric::new(cost, process_index),
+            process_index,
+            listen_addr,
+            Vec::new(),
+        );
+        {
+            let mut map = fabric.peers.write().expect("peers lock");
+            map.insert(0, coordinator);
+            for (index, addr) in peers {
+                if let Ok(parsed) = addr.parse() {
+                    map.insert(index, parsed);
+                }
+            }
+        }
+        fabric.register_conn(0, stream)?;
+        fabric.start_accept_loop(listener);
+        Ok(fabric)
+    }
+
     fn build(
         local: Arc<ChannelFabric<Req, Resp>>,
         process_index: u32,
@@ -196,6 +274,8 @@ where
             next_call_id: AtomicU64::new(1),
             next_worker_index: AtomicU64::new(1),
             spawn_rr: AtomicUsize::new(0),
+            membership: Mutex::new(0),
+            membership_cv: Condvar::new(),
             metrics,
             shutting_down: AtomicBool::new(false),
             shutdown_tx,
@@ -236,18 +316,36 @@ where
     }
 
     /// Block until `n` workers have joined, or fail after `timeout`.
+    /// Joins wake this immediately via the membership condvar; the
+    /// timeout is honored exactly rather than at poll granularity.
     pub fn wait_for_workers(&self, n: usize, timeout: Duration) -> Result<(), ClusterError> {
         let deadline = Instant::now() + timeout;
-        while self.peer_count() < n {
-            if Instant::now() >= deadline {
+        let mut generation = self.membership.lock().expect("membership lock");
+        loop {
+            if self.peer_count() >= n {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
                 return Err(ClusterError::Net(format!(
                     "only {} of {n} workers joined within {timeout:?}",
                     self.peer_count()
                 )));
             }
-            std::thread::sleep(Duration::from_millis(20));
+            generation = self
+                .membership_cv
+                .wait_timeout(generation, deadline - now)
+                .expect("membership lock")
+                .0;
         }
-        Ok(())
+    }
+
+    /// Wake every [`wait_for_workers`](Self::wait_for_workers) after a
+    /// peer-set change. Callers must NOT hold the `peers` lock: the
+    /// waiter reads it while holding the membership mutex.
+    fn notify_membership(&self) {
+        *self.membership.lock().expect("membership lock") += 1;
+        self.membership_cv.notify_all();
     }
 
     /// Block until this process is told to shut down (a `Shutdown` frame
@@ -289,29 +387,41 @@ where
             let Ok(msg) = decode_exact::<NetMsg<Req, Resp>>(&payload) else {
                 return;
             };
-            let NetMsg::Hello {
-                process_index,
-                listen_port,
-            } = msg
-            else {
-                return;
-            };
             let Some(fabric) = weak.upgrade() else { return };
             let peer_ip = stream
                 .peer_addr()
                 .map(|a| a.ip())
                 .unwrap_or(IpAddr::V4(Ipv4Addr::LOCALHOST));
-            let peer_listen = SocketAddr::new(peer_ip, listen_port);
-            if process_index == NetMsg::<Req, Resp>::UNASSIGNED {
-                fabric.admit_worker(stream, peer_listen);
-            } else {
-                // Mesh connection from an already-assigned sibling.
-                fabric
-                    .peers
-                    .write()
-                    .expect("peers lock")
-                    .insert(process_index, peer_listen);
-                let _ = fabric.register_conn(process_index, stream);
+            match msg {
+                NetMsg::Hello {
+                    process_index,
+                    listen_port,
+                } => {
+                    let peer_listen = SocketAddr::new(peer_ip, listen_port);
+                    if process_index == NetMsg::<Req, Resp>::UNASSIGNED {
+                        fabric.admit_worker(stream, peer_listen);
+                    } else {
+                        // Mesh connection from an already-assigned sibling.
+                        fabric
+                            .peers
+                            .write()
+                            .expect("peers lock")
+                            .insert(process_index, peer_listen);
+                        fabric.notify_membership();
+                        let _ = fabric.register_conn(process_index, stream);
+                    }
+                }
+                NetMsg::Rejoin {
+                    process_index,
+                    listen_port,
+                    partitions,
+                } => {
+                    let peer_listen = SocketAddr::new(peer_ip, listen_port);
+                    fabric.readmit_worker(stream, peer_listen, process_index, &partitions);
+                }
+                // Anything else as a first frame is a protocol violation;
+                // dropping the socket tells the dialer.
+                _ => {}
             }
         });
     }
@@ -350,11 +460,83 @@ where
             .write()
             .expect("peers lock")
             .insert(assigned, peer_listen);
+        self.notify_membership();
         let Ok(conn) = self.register_conn(assigned, stream) else {
             return;
         };
         let welcome: NetMsg<Req, Resp> = NetMsg::Welcome {
             assigned_index: assigned,
+            peers: existing,
+            config: self.config.clone(),
+        };
+        let _ = self.write_recorded(&conn, &welcome.to_bytes());
+    }
+
+    /// Coordinator path for a **restarted** worker: validate that the
+    /// claimed index was really assigned in this deployment and that the
+    /// presented partitions belong to it, then swap in the fresh route
+    /// and connection and welcome it back under its old index. Invalid
+    /// claims just drop the socket.
+    fn readmit_worker(
+        self: &Arc<Self>,
+        stream: TcpStream,
+        peer_listen: SocketAddr,
+        process_index: u32,
+        partitions: &[u32],
+    ) {
+        if self.process_index != 0
+            || process_index == 0
+            || u64::from(process_index) >= self.next_worker_index.load(Ordering::SeqCst)
+        {
+            return;
+        }
+        if partitions
+            .iter()
+            .any(|&p| ComputeNodeId(p).process() != process_index)
+        {
+            return;
+        }
+        // Drop the dead connection so nothing writes into the old socket;
+        // the replacement is registered below under the same index.
+        self.conns
+            .lock()
+            .expect("conns lock")
+            .remove(&process_index);
+        let existing: Vec<(u32, String)> = {
+            let peers = self.peers.read().expect("peers lock");
+            peers
+                .iter()
+                .filter(|&(&index, _)| index != process_index)
+                .map(|(&index, addr)| (index, addr.to_string()))
+                .collect()
+        };
+        // Siblings replace their stale route with the new listener (their
+        // lazily-dialed connection to the old incarnation died with it).
+        let joined: NetMsg<Req, Resp> = NetMsg::PeerJoined {
+            index: process_index,
+            addr: peer_listen.to_string(),
+        };
+        let joined_bytes = joined.to_bytes();
+        let conns: Vec<Arc<Conn<Resp>>> = self
+            .conns
+            .lock()
+            .expect("conns lock")
+            .values()
+            .cloned()
+            .collect();
+        for conn in conns {
+            let _ = self.write_recorded(&conn, &joined_bytes);
+        }
+        self.peers
+            .write()
+            .expect("peers lock")
+            .insert(process_index, peer_listen);
+        self.notify_membership();
+        let Ok(conn) = self.register_conn(process_index, stream) else {
+            return;
+        };
+        let welcome: NetMsg<Req, Resp> = NetMsg::Welcome {
+            assigned_index: process_index,
             peers: existing,
             config: self.config.clone(),
         };
@@ -398,6 +580,15 @@ where
                 break;
             }
         }
+        // Evict this connection so the next send re-dials (a restarted
+        // peer listens on a new port) — but only if the map still holds
+        // *this* connection, not a replacement registered by a rejoin.
+        if let Some(fabric) = weak.upgrade() {
+            let mut conns = fabric.conns.lock().expect("conns lock");
+            if conns.get(&conn.peer).is_some_and(|c| Arc::ptr_eq(c, conn)) {
+                conns.remove(&conn.peer);
+            }
+        }
         conn.fail_all(&ClusterError::Net(format!(
             "connection to process {} closed",
             conn.peer
@@ -439,10 +630,12 @@ where
                             }
                         }
                     };
-                    let _ = fabric.write_recorded(&conn, &reply.to_bytes());
+                    let _ = fabric.write_recorded_response(&conn, &reply.to_bytes());
                 });
             }
             NetMsg::Response { call_id, body } => {
+                self.metrics
+                    .record_response_bytes(frame_overhead(payload.len()));
                 if let Some(Pending::Call(slot)) = conn.take_pending(call_id) {
                     slot.fill(Ok(body));
                 }
@@ -484,10 +677,12 @@ where
                             }
                         }
                     };
-                    let _ = fabric.write_recorded(&conn, &reply.to_bytes());
+                    let _ = fabric.write_recorded_response(&conn, &reply.to_bytes());
                 });
             }
             NetMsg::Spawned { call_id, node } => {
+                self.metrics
+                    .record_response_bytes(frame_overhead(payload.len()));
                 if let Some(Pending::Spawn(tx)) = conn.take_pending(call_id) {
                     let _ = tx.send(Ok(ComputeNodeId(node)));
                 }
@@ -498,6 +693,8 @@ where
                 node,
                 message,
             } => {
+                self.metrics
+                    .record_response_bytes(frame_overhead(payload.len()));
                 let err = decode_error(code, node, message);
                 match conn.take_pending(call_id) {
                     Some(Pending::Call(slot)) => slot.fill(Err(err)),
@@ -509,10 +706,14 @@ where
             }
             NetMsg::PeerJoined { index, addr } => {
                 if let Ok(parsed) = addr.parse() {
+                    // A re-announced index means that peer restarted: any
+                    // cached connection to its old incarnation is dead.
+                    self.conns.lock().expect("conns lock").remove(&index);
                     self.peers
                         .write()
                         .expect("peers lock")
                         .insert(index, parsed);
+                    self.notify_membership();
                 }
             }
             NetMsg::Shutdown => {
@@ -522,7 +723,7 @@ where
                 return false;
             }
             // Handshake frames are never valid mid-stream.
-            NetMsg::Hello { .. } | NetMsg::Welcome { .. } => return false,
+            NetMsg::Hello { .. } | NetMsg::Welcome { .. } | NetMsg::Rejoin { .. } => return false,
         }
         true
     }
@@ -533,6 +734,18 @@ where
             .record_message(frame_overhead(payload.len()), 0);
         conn.write_payload(payload)
             .map_err(|e| ClusterError::Net(format!("write to process {}: {e}", conn.peer)))
+    }
+
+    /// [`write_recorded`](Self::write_recorded) for frames answering a
+    /// request: also feeds the response-bytes counter.
+    fn write_recorded_response(
+        &self,
+        conn: &Conn<Resp>,
+        payload: &[u8],
+    ) -> Result<(), ClusterError> {
+        self.metrics
+            .record_response_bytes(frame_overhead(payload.len()));
+        self.write_recorded(conn, payload)
     }
 
     /// The connection to `peer`, dialing it lazily if needed.
@@ -732,11 +945,104 @@ mod tests {
             Cluster::from_parts(coord.local_fabric(), Arc::clone(&coord) as _);
         assert_eq!(cluster.call(node, 21), Ok(42));
 
-        // Actual frame bytes were accounted on both sides.
+        // Actual frame bytes were accounted on both sides, and the reply
+        // leg also fed the response-bytes counter on each.
         assert!(coord.metrics().bytes > 0);
         assert!(worker.metrics().bytes > 0);
+        assert!(coord.metrics().response_bytes > 0);
+        assert!(worker.metrics().response_bytes > 0);
+        assert!(coord.metrics().response_bytes < coord.metrics().bytes);
 
         cluster.shutdown();
+        worker.wait_for_shutdown();
+        worker.shutdown();
+    }
+
+    #[test]
+    fn wait_for_workers_honors_its_timeout_without_polling_slack() {
+        let coord =
+            NetFabric::<u64, u64>::coordinator(loopback(), Vec::new(), CostModel::zero()).unwrap();
+        let start = Instant::now();
+        let err = coord
+            .wait_for_workers(1, Duration::from_millis(150))
+            .unwrap_err();
+        let waited = start.elapsed();
+        assert!(matches!(err, ClusterError::Net(_)));
+        assert!(
+            waited >= Duration::from_millis(150),
+            "returned early: {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(2),
+            "overshot wildly: {waited:?}"
+        );
+        coord.shutdown();
+    }
+
+    #[test]
+    fn restarted_worker_rejoins_under_its_old_index() {
+        let coord =
+            NetFabric::<u64, u64>::coordinator(loopback(), vec![7], CostModel::zero()).unwrap();
+        let (worker, _) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        assert_eq!(worker.process_index(), 1);
+        let node = worker.spawn_handler(Box::new(Echo)).unwrap();
+        assert_eq!(coord.send(node, 2).and_then(ReplyHandle::wait), Ok(4));
+
+        // Crash: sockets close without a goodbye frame.
+        drop(worker);
+
+        let revived = NetFabric::<u64, u64>::rejoin(
+            coord.listen_addr(),
+            CostModel::zero(),
+            DIAL_TIMEOUT,
+            1,
+            &[1 << 16],
+        )
+        .unwrap();
+        assert_eq!(revived.process_index(), 1);
+        // The local fabric re-assigns the same id the crashed run had.
+        let renode = revived.spawn_handler(Box::new(Echo)).unwrap();
+        assert_eq!(renode, node);
+        // The coordinator reaches the revived worker over the new socket.
+        assert_eq!(coord.send(node, 21).and_then(ReplyHandle::wait), Ok(42));
+
+        coord.shutdown();
+        revived.wait_for_shutdown();
+        revived.shutdown();
+    }
+
+    #[test]
+    fn bogus_rejoin_claims_are_refused() {
+        let coord =
+            NetFabric::<u64, u64>::coordinator(loopback(), Vec::new(), CostModel::zero()).unwrap();
+        let (worker, _) =
+            NetFabric::<u64, u64>::join(coord.listen_addr(), CostModel::zero(), DIAL_TIMEOUT)
+                .unwrap();
+        let node = worker.spawn_handler(Box::new(Echo)).unwrap();
+        // Index 0 is the coordinator, index 7 was never assigned, and the
+        // third claim presents a partition owned by another process.
+        for (index, partitions) in [(0u32, vec![]), (7, vec![]), (1, vec![5 << 16])] {
+            let err = match NetFabric::<u64, u64>::rejoin(
+                coord.listen_addr(),
+                CostModel::zero(),
+                Duration::from_secs(2),
+                index,
+                &partitions,
+            ) {
+                Ok(_) => panic!("claim index={index} partitions={partitions:?} was admitted"),
+                Err(e) => e,
+            };
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::UnexpectedEof,
+                "claim index={index} partitions={partitions:?} must be hung up on"
+            );
+        }
+        // The refused impostors did not disturb the legitimate worker.
+        assert_eq!(coord.send(node, 5).and_then(ReplyHandle::wait), Ok(10));
+        coord.shutdown();
         worker.wait_for_shutdown();
         worker.shutdown();
     }

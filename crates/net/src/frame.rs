@@ -23,13 +23,25 @@ pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> io::Result<()> {
 }
 
 /// Read one complete frame's payload. `Ok(None)` means the peer closed
-/// the stream cleanly at a frame boundary.
+/// the stream cleanly at a frame boundary — EOF anywhere *inside* a
+/// frame (even mid-prefix) is an [`io::ErrorKind::UnexpectedEof`] error,
+/// never mistaken for a clean close.
 pub fn read_frame(stream: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     let mut prefix = [0u8; 4];
-    match stream.read_exact(&mut prefix) {
-        Ok(()) => {}
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    let mut filled = 0;
+    while filled < prefix.len() {
+        match stream.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-prefix",
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     let len = u32::from_be_bytes(prefix) as usize;
     if len > MAX_FRAME_LEN {
@@ -104,10 +116,96 @@ mod tests {
     }
 
     #[test]
+    fn every_truncation_point_is_an_error_not_a_wrong_frame() {
+        // Cutting the stream anywhere inside a frame — in the prefix or
+        // in the payload — must surface as an error, never as a short or
+        // phantom frame.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &[0xAB; 32]).unwrap();
+        for cut in 1..wire.len() {
+            let mut reader: &[u8] = &wire[..cut];
+            assert!(
+                read_frame(&mut reader).is_err(),
+                "truncation at byte {cut} must error"
+            );
+        }
+    }
+
+    #[test]
     fn oversized_length_prefix_is_rejected() {
         let wire = u32::MAX.to_be_bytes();
         let mut reader: &[u8] = &wire;
         assert!(read_frame(&mut reader).is_err());
+    }
+
+    #[test]
+    fn length_exactly_at_the_maximum_is_accepted() {
+        // MAX_FRAME_LEN itself is legal; only strictly larger prefixes
+        // are hostile. Don't materialise a 256 MiB buffer — hand the
+        // reader the prefix plus a zero reader and expect it to fail on
+        // missing payload, *not* on the length check.
+        let len = u32::try_from(MAX_FRAME_LEN).unwrap();
+        let mut wire = len.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 8]); // far short of the payload
+        let mut reader: &[u8] = &wire;
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn length_one_past_the_maximum_is_rejected_without_allocating() {
+        let len = u32::try_from(MAX_FRAME_LEN + 1).unwrap();
+        let wire = len.to_be_bytes();
+        let mut reader: &[u8] = &wire;
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds maximum"));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn any_payload_round_trips(payload in prop::collection::vec(0u8..=255u8, 0..2048)) {
+                let mut wire = Vec::new();
+                write_frame(&mut wire, &payload).unwrap();
+                prop_assert_eq!(wire.len(), frame_overhead(payload.len()));
+                let mut reader: &[u8] = &wire;
+                prop_assert_eq!(read_frame(&mut reader).unwrap(), Some(payload));
+                prop_assert_eq!(read_frame(&mut reader).unwrap(), None);
+            }
+
+            #[test]
+            fn frame_sequences_round_trip_in_order(
+                payloads in prop::collection::vec(prop::collection::vec(0u8..=255u8, 0..256), 1..12)
+            ) {
+                let mut wire = Vec::new();
+                for p in &payloads {
+                    write_frame(&mut wire, p).unwrap();
+                }
+                let mut reader: &[u8] = &wire;
+                for p in &payloads {
+                    prop_assert_eq!(read_frame(&mut reader).unwrap().as_deref(), Some(p.as_slice()));
+                }
+                prop_assert_eq!(read_frame(&mut reader).unwrap(), None);
+            }
+
+            #[test]
+            fn truncating_a_frame_anywhere_errors(
+                payload in prop::collection::vec(0u8..=255u8, 1..512),
+                cut_fraction in 0.0f64..1.0
+            ) {
+                let mut wire = Vec::new();
+                write_frame(&mut wire, &payload).unwrap();
+                // Cut strictly inside the frame: [1, len-1].
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let cut = 1 + ((wire.len() - 2) as f64 * cut_fraction) as usize;
+                let mut reader: &[u8] = &wire[..cut];
+                prop_assert!(read_frame(&mut reader).is_err());
+            }
+        }
     }
 
     #[test]

@@ -79,6 +79,18 @@ pub enum NetMsg<Req, Resp> {
     },
     /// Tear the deployment down; receivers stop their local nodes.
     Shutdown,
+    /// First frame from a **restarted** worker re-dialling the
+    /// coordinator: it already holds an assigned index and recovered
+    /// partition state, and asks to resume serving its old routes (the
+    /// coordinator answers `Welcome` echoing the old index back).
+    Rejoin {
+        /// The index this worker held before it crashed (≥ 1).
+        process_index: u32,
+        /// Port the worker's *new* listener accepts mesh connections on.
+        listen_port: u16,
+        /// Raw node ids of the partitions the worker recovered.
+        partitions: Vec<u32>,
+    },
 }
 
 impl<Req, Resp> NetMsg<Req, Resp> {
@@ -176,6 +188,16 @@ impl<Req: Encode, Resp: Encode> Encode for NetMsg<Req, Resp> {
                 message.encode(out);
             }
             NetMsg::Shutdown => out.push(8),
+            NetMsg::Rejoin {
+                process_index,
+                listen_port,
+                partitions,
+            } => {
+                out.push(9);
+                process_index.encode(out);
+                listen_port.encode(out);
+                partitions.encode(out);
+            }
         }
     }
 }
@@ -222,6 +244,11 @@ impl<Req: Decode, Resp: Decode> Decode for NetMsg<Req, Resp> {
                 message: String::decode(buf)?,
             }),
             8 => Ok(NetMsg::Shutdown),
+            9 => Ok(NetMsg::Rejoin {
+                process_index: u32::decode(buf)?,
+                listen_port: u16::decode(buf)?,
+                partitions: Vec::decode(buf)?,
+            }),
             other => Err(DecodeError::new(format!("bad NetMsg tag {other}"))),
         }
     }
@@ -276,6 +303,11 @@ mod tests {
             message: String::new(),
         });
         round_trip(NetMsg::Shutdown);
+        round_trip(NetMsg::Rejoin {
+            process_index: 2,
+            listen_port: 4078,
+            partitions: vec![2 << 16, (2 << 16) | 1],
+        });
     }
 
     #[test]

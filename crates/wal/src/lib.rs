@@ -1,0 +1,292 @@
+//! Durable partition state for the distributed SemTree — beyond the paper.
+//!
+//! The paper's cluster keeps every partition's KD-subtree in worker
+//! memory only; a single process death loses the partition and forces a
+//! full rebuild. This crate is the durability layer underneath
+//! `semtree-dist`: a **segmented, append-only, CRC-checksummed
+//! write-ahead log** of logical partition events (partition-create,
+//! point-insert, leaf-split, leaf-migration), **per-partition
+//! snapshots** that truncate the log via segment compaction, and the
+//! read-side scan a recovery manager replays to reconstruct the exact
+//! partition stores a killed worker was holding.
+//!
+//! The crate deliberately knows nothing about KD-trees: records carry
+//! local node ids and raw points, snapshots carry an opaque store image
+//! blob. `semtree-dist` owns both interpretations, so the dependency
+//! arrow stays `dist → wal → net` (the WAL reuses the TCP fabric's
+//! little-endian [`Encode`]/[`Decode`] codec — one byte-layout contract
+//! across the wire *and* the disk).
+//!
+//! ```
+//! use semtree_wal::{Wal, WalOptions, WalRecord};
+//!
+//! let dir = std::env::temp_dir().join("semtree-wal-doc");
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let wal = Wal::create(&dir, 1, b"config", WalOptions::default()).unwrap();
+//! wal.append(&WalRecord::PointInsert {
+//!     partition: 0x0001_0000,
+//!     node: 0,
+//!     point: vec![1.0, 2.0],
+//!     payload: 42,
+//! })
+//! .unwrap();
+//! drop(wal);
+//!
+//! let state = Wal::load(&dir).unwrap();
+//! assert_eq!(state.tail.len(), 1);
+//! assert_eq!(state.next_lsn, 2);
+//! ```
+
+mod crc32;
+mod log;
+mod record;
+
+pub use crc32::crc32;
+pub use log::{
+    Appended, PartitionReport, Snapshot, Wal, WalError, WalOptions, WalReport, WalState,
+};
+pub use record::WalRecord;
+pub use semtree_net::{Decode, Encode};
+
+#[cfg(test)]
+mod tests {
+    use std::path::PathBuf;
+
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("semtree-wal-tests")
+            .join(format!("{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn insert(partition: u32, payload: u64) -> WalRecord {
+        WalRecord::PointInsert {
+            partition,
+            node: 0,
+            point: vec![payload as f64, -1.0],
+            payload,
+        }
+    }
+
+    #[test]
+    fn append_load_round_trips_records_in_lsn_order() {
+        let dir = tmpdir("round-trip");
+        let wal = Wal::create(&dir, 2, b"cfg", WalOptions::default()).unwrap();
+        for i in 0..10 {
+            let appended = wal.append(&insert(0x0002_0000, i)).unwrap();
+            assert_eq!(appended.lsn, i + 1);
+        }
+        drop(wal);
+
+        let state = Wal::load(&dir).unwrap();
+        assert_eq!(state.process_index, 2);
+        assert_eq!(state.config, b"cfg");
+        assert!(!state.torn_tail);
+        assert_eq!(state.next_lsn, 11);
+        let lsns: Vec<u64> = state.tail.iter().map(|&(lsn, _)| lsn).collect();
+        assert_eq!(lsns, (1..=10).collect::<Vec<_>>());
+        assert_eq!(state.tail[3].1, insert(0x0002_0000, 3));
+    }
+
+    #[test]
+    fn create_refuses_to_overwrite_an_existing_wal() {
+        let dir = tmpdir("no-overwrite");
+        Wal::create(&dir, 1, b"", WalOptions::default()).unwrap();
+        assert!(Wal::exists(&dir));
+        let err = Wal::create(&dir, 1, b"", WalOptions::default()).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn resume_continues_lsns_in_a_new_segment() {
+        let dir = tmpdir("resume");
+        let wal = Wal::create(&dir, 1, b"cfg", WalOptions::default()).unwrap();
+        for i in 0..5 {
+            wal.append(&insert(7, i)).unwrap();
+        }
+        drop(wal);
+
+        let (wal, state) = Wal::resume(&dir, WalOptions::default()).unwrap();
+        assert_eq!(state.next_lsn, 6);
+        assert_eq!(wal.append(&insert(7, 99)).unwrap().lsn, 6);
+        drop(wal);
+
+        let state = Wal::load(&dir).unwrap();
+        assert_eq!(state.tail.len(), 6);
+        assert_eq!(state.tail.last().unwrap().0, 6);
+    }
+
+    #[test]
+    fn snapshots_cover_the_tail_and_compaction_reclaims_segments() {
+        let dir = tmpdir("compact");
+        // Tiny segments: every record seals one.
+        let options = WalOptions {
+            segment_bytes: 1,
+            snapshot_every: 4,
+        };
+        let wal = Wal::create(&dir, 1, b"", options).unwrap();
+        let mut due = false;
+        for i in 0..4 {
+            due = wal.append(&insert(7, i)).unwrap().snapshot_due;
+        }
+        assert!(due, "4th record must trip snapshot_every = 4");
+        let covered = wal.snapshot(7, b"store-image").unwrap();
+        assert_eq!(covered, 4);
+
+        // All four sealed segments held only covered records of
+        // partition 7 — compaction (run inside snapshot) removed them.
+        let state = Wal::load(&dir).unwrap();
+        assert_eq!(state.tail.len(), 0, "covered segments were deleted");
+        assert_eq!(state.snapshots[&7].blob, b"store-image");
+        assert_eq!(state.snapshots[&7].lsn, 4);
+        assert_eq!(state.next_lsn, 5, "lsn clock survives compaction");
+
+        // New appends land after the snapshot and stay live.
+        wal.append(&insert(7, 100)).unwrap();
+        drop(wal);
+        let state = Wal::load(&dir).unwrap();
+        assert_eq!(state.live_tail().count(), 1);
+        assert!(state.covered(7, 4));
+        assert!(!state.covered(7, 5));
+    }
+
+    #[test]
+    fn segments_with_uncovered_partitions_survive_compaction() {
+        let dir = tmpdir("mixed-compact");
+        let options = WalOptions {
+            segment_bytes: 1,
+            snapshot_every: u64::MAX,
+        };
+        let wal = Wal::create(&dir, 1, b"", options).unwrap();
+        wal.append(&insert(7, 0)).unwrap();
+        wal.append(&insert(8, 1)).unwrap();
+        wal.snapshot(7, b"seven").unwrap();
+
+        let state = Wal::load(&dir).unwrap();
+        let live: Vec<u32> = state
+            .live_tail()
+            .map(|(_, record)| record.partition())
+            .collect();
+        assert_eq!(live, [8], "partition 8's segment must survive");
+        drop(wal);
+    }
+
+    #[test]
+    fn a_torn_final_record_is_tolerated_and_flagged() {
+        let dir = tmpdir("torn");
+        let wal = Wal::create(&dir, 1, b"", WalOptions::default()).unwrap();
+        for i in 0..3 {
+            wal.append(&insert(7, i)).unwrap();
+        }
+        drop(wal);
+
+        // Chop bytes off the single segment's tail — a crash mid-write.
+        let seg = std::fs::read_dir(dir.join("segments"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 5]).unwrap();
+
+        let state = Wal::load(&dir).unwrap();
+        assert!(state.torn_tail);
+        assert_eq!(state.tail.len(), 2, "intact prefix records survive");
+        assert_eq!(state.next_lsn, 3);
+
+        // Resume starts a fresh segment; the torn tail stays behind but
+        // appends keep working.
+        let (wal, _) = Wal::resume(&dir, WalOptions::default()).unwrap();
+        assert_eq!(wal.append(&insert(7, 9)).unwrap().lsn, 3);
+    }
+
+    #[test]
+    fn corruption_in_an_interior_segment_is_an_error() {
+        let dir = tmpdir("interior-corrupt");
+        let options = WalOptions {
+            segment_bytes: 1,
+            snapshot_every: u64::MAX,
+        };
+        let wal = Wal::create(&dir, 1, b"", options).unwrap();
+        wal.append(&insert(7, 0)).unwrap();
+        wal.append(&insert(7, 1)).unwrap();
+        drop(wal);
+
+        // Flip a payload byte in the FIRST segment (not the newest).
+        let mut paths: Vec<_> = std::fs::read_dir(dir.join("segments"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        paths.sort();
+        let mut bytes = std::fs::read(&paths[0]).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&paths[0], &bytes).unwrap();
+
+        let err = Wal::load(&dir).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn snapshot_files_with_bad_checksums_are_rejected() {
+        let dir = tmpdir("snap-corrupt");
+        let wal = Wal::create(&dir, 1, b"", WalOptions::default()).unwrap();
+        wal.append(&insert(7, 0)).unwrap();
+        wal.snapshot(7, b"image").unwrap();
+        drop(wal);
+
+        let snap = dir.join("snapshots").join("part-7.snap");
+        let mut bytes = std::fs::read(&snap).unwrap();
+        bytes[8] ^= 0x01;
+        std::fs::write(&snap, &bytes).unwrap();
+
+        let err = Wal::load(&dir).unwrap_err();
+        assert!(matches!(err, WalError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn inspect_summarises_partitions_and_kinds() {
+        let dir = tmpdir("inspect");
+        let wal = Wal::create(&dir, 3, b"", WalOptions::default()).unwrap();
+        wal.append(&WalRecord::PartitionCreate {
+            partition: 7,
+            depth: 1,
+            bucket: vec![(vec![0.0], 0)],
+        })
+        .unwrap();
+        wal.append(&insert(7, 1)).unwrap();
+        wal.append(&insert(7, 2)).unwrap();
+        wal.append(&WalRecord::LeafSplit {
+            partition: 7,
+            leaf: 0,
+            split_dim: 0,
+            split_val: 1.0,
+            left: 1,
+            right: 2,
+        })
+        .unwrap();
+        wal.append(&WalRecord::LeafMigration {
+            partition: 7,
+            evicted: 2,
+            target_partition: 9,
+            target_node: 0,
+        })
+        .unwrap();
+        drop(wal);
+
+        let report = Wal::inspect(&dir).unwrap();
+        assert_eq!(report.process_index, 3);
+        assert_eq!(report.records, 5);
+        assert_eq!(report.live_records, 5);
+        assert_eq!(report.partitions.len(), 1);
+        let p = &report.partitions[0];
+        assert_eq!((p.creates, p.inserts, p.splits, p.migrations), (1, 2, 1, 1));
+        let text = report.to_string();
+        assert!(text.contains("process-index: 3"), "{text}");
+        assert!(text.contains("1 creates, 2 inserts"), "{text}");
+    }
+}
