@@ -1,0 +1,190 @@
+//! `check.allow`: the justified-exception burndown list.
+//!
+//! Format, one entry per line:
+//!
+//! ```text
+//! # comment
+//! <path> <rule> <count> -- <justification>
+//! ```
+//!
+//! An entry suppresses exactly `count` findings of `rule` in `path` and
+//! MUST carry a justification. The count is exact in both directions:
+//! more findings than allowed fails the gate (a regression), fewer also
+//! fails (the entry is stale and must be shrunk so the burndown only
+//! ever goes down).
+
+use std::collections::HashMap;
+
+use crate::rules::Finding;
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Workspace-relative path the entry covers.
+    pub path: String,
+    /// Rule identifier the entry suppresses.
+    pub rule: String,
+    /// Exact number of findings this entry accounts for.
+    pub count: usize,
+    /// Why these sites are acceptable (mandatory).
+    pub justification: String,
+    /// 1-indexed line in `check.allow`, for diagnostics.
+    pub line: u32,
+}
+
+/// Parse `check.allow` content. Malformed lines are hard errors — a lint
+/// gate with a silently-ignored allowlist is worse than none.
+pub fn parse(source: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let text = raw.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let (head, justification) = text.split_once("--").ok_or_else(|| {
+            format!("check.allow:{line}: entry has no `-- justification` clause: `{text}`")
+        })?;
+        let justification = justification.trim();
+        if justification.is_empty() {
+            return Err(format!(
+                "check.allow:{line}: empty justification — every exception must say why"
+            ));
+        }
+        let fields: Vec<&str> = head.split_whitespace().collect();
+        let [path, rule, count] = fields[..] else {
+            return Err(format!(
+                "check.allow:{line}: expected `<path> <rule> <count> -- <why>`, got `{text}`"
+            ));
+        };
+        let count: usize = count.parse().map_err(|_| {
+            format!("check.allow:{line}: count `{count}` is not a non-negative integer")
+        })?;
+        if count == 0 {
+            return Err(format!(
+                "check.allow:{line}: count 0 — delete the entry instead"
+            ));
+        }
+        entries.push(AllowEntry {
+            path: path.to_string(),
+            rule: rule.to_string(),
+            count,
+            justification: justification.to_string(),
+            line,
+        });
+    }
+    Ok(entries)
+}
+
+/// Apply the allowlist: findings fully covered by an exact-count entry
+/// are suppressed; everything else — uncovered findings, exceeded
+/// counts, and stale entries — comes back as diagnostics.
+pub fn apply(entries: &[AllowEntry], findings: Vec<Finding>) -> Vec<Finding> {
+    let mut by_key: HashMap<(String, String), Vec<Finding>> = HashMap::new();
+    for f in findings {
+        by_key
+            .entry((f.path.clone(), f.rule.to_string()))
+            .or_default()
+            .push(f);
+    }
+    let mut out = Vec::new();
+    for entry in entries {
+        let key = (entry.path.clone(), entry.rule.clone());
+        let actual = by_key.get(&key).map_or(0, Vec::len);
+        match actual.cmp(&entry.count) {
+            std::cmp::Ordering::Equal => {
+                by_key.remove(&key);
+            }
+            std::cmp::Ordering::Greater => {
+                // Regression: surface only the overflow is impossible to
+                // attribute, so surface all of them plus the context.
+                let mut fs = by_key.remove(&key).unwrap_or_default();
+                let line = fs.first().map_or(1, |f| f.line);
+                out.append(&mut fs);
+                out.push(Finding {
+                    path: entry.path.clone(),
+                    line,
+                    rule: "allowlist",
+                    message: format!(
+                        "{} findings of `{}` but check.allow:{} only allows {} — \
+                         new violations were introduced",
+                        actual, entry.rule, entry.line, entry.count
+                    ),
+                });
+            }
+            std::cmp::Ordering::Less => {
+                by_key.remove(&key);
+                out.push(Finding {
+                    path: entry.path.clone(),
+                    line: 1,
+                    rule: "allowlist",
+                    message: format!(
+                        "check.allow:{} allows {} findings of `{}` but only {} remain — \
+                         shrink the entry so the burndown is monotone",
+                        entry.line, entry.count, entry.rule, actual
+                    ),
+                });
+            }
+        }
+    }
+    // Whatever has no entry at all stays a finding.
+    let mut rest: Vec<Finding> = by_key.into_values().flatten().collect();
+    out.append(&mut rest);
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(path: &str, line: u32) -> Finding {
+        Finding {
+            path: path.to_string(),
+            line,
+            rule: "no-panics",
+            message: "x".to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_requires_justification_and_exact_shape() {
+        assert!(parse("a.rs no-panics 2 -- thread spawn is infallible here").is_ok());
+        assert!(parse("a.rs no-panics 2").is_err());
+        assert!(parse("a.rs no-panics 2 --   ").is_err());
+        assert!(parse("a.rs no-panics -- why").is_err());
+        assert!(parse("a.rs no-panics 0 -- why").is_err());
+        assert!(parse("# comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn exact_count_suppresses() {
+        let entries = parse("a.rs no-panics 2 -- fine").unwrap();
+        let out = apply(&entries, vec![finding("a.rs", 1), finding("a.rs", 2)]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn exceeded_count_fails_with_context() {
+        let entries = parse("a.rs no-panics 1 -- fine").unwrap();
+        let out = apply(&entries, vec![finding("a.rs", 1), finding("a.rs", 2)]);
+        assert!(out.iter().any(|f| f.rule == "allowlist"
+            && f.message.contains("2 findings")
+            && f.message.contains("only allows 1")));
+    }
+
+    #[test]
+    fn stale_count_fails() {
+        let entries = parse("a.rs no-panics 3 -- fine").unwrap();
+        let out = apply(&entries, vec![finding("a.rs", 1)]);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].message.contains("shrink the entry"));
+    }
+
+    #[test]
+    fn uncovered_findings_pass_through() {
+        let out = apply(&[], vec![finding("b.rs", 9)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].path, "b.rs");
+    }
+}

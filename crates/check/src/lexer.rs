@@ -1,0 +1,416 @@
+//! A minimal Rust lexer: just enough to walk identifiers and
+//! punctuation with accurate line numbers while never being fooled by
+//! comments, strings (including raw strings), char literals, or
+//! lifetimes.
+//!
+//! This is NOT a full Rust tokenizer — numbers come out as opaque
+//! `Other` tokens and multi-character operators are emitted as single
+//! punctuation characters — but every rule in this crate only needs
+//! identifier/punct sequences, so the simplification is safe: the
+//! failure mode of a richer grammar (mis-nesting, macro expansion) is
+//! exactly what a lint gate must not depend on.
+
+/// One lexical token with the 1-indexed line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: Kind,
+    /// The token text (single char for punctuation).
+    pub text: String,
+    /// 1-indexed source line.
+    pub line: u32,
+}
+
+/// Token classification (only what the rules consume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation character (`{`, `.`, `!`, ...).
+    Punct,
+    /// A lifetime (`'a`) — kept distinct so it never reads as a char.
+    Lifetime,
+    /// Literals and anything else the rules don't care about.
+    Other,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == Kind::Ident && self.text == text
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Tokenize `source`, dropping comments and string/char literal
+/// contents (literals become single `Other` tokens).
+pub fn lex(source: &str) -> Vec<Tok> {
+    let bytes = source.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let bump_lines = |slice: &[u8]| slice.iter().filter(|&&b| b == b'\n').count() as u32;
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                // Line comment (incl. doc comments): to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting like Rust's.
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += bump_lines(&bytes[start..i]);
+            }
+            b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')) => {
+                // Raw string r"..." or r#"..."# (any number of #).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while bytes.get(j) == Some(&b'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&b'"') {
+                    j += 1;
+                    'scan: while j < bytes.len() {
+                        if bytes[j] == b'"' {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while seen < hashes && bytes.get(k) == Some(&b'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            if seen == hashes {
+                                j = k;
+                                break 'scan;
+                            }
+                        }
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: Kind::Other,
+                        text: String::from("\"raw\""),
+                        line,
+                    });
+                    line += bump_lines(&bytes[start..j]);
+                    i = j;
+                } else {
+                    // Just an identifier starting with r.
+                    let (tok, next) = lex_ident(source, i, line);
+                    toks.push(tok);
+                    i = next;
+                }
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Other,
+                    text: String::from("\"str\""),
+                    line,
+                });
+                line += bump_lines(&bytes[start..i.min(bytes.len())]);
+            }
+            b'\'' => {
+                // Lifetime ('a, 'static) vs char literal ('x', '\n').
+                // A lifetime is ' followed by ident chars with NO
+                // closing quote right after them.
+                let mut j = i + 1;
+                if bytes.get(j) == Some(&b'\\') {
+                    // Escaped char literal.
+                    j += 2;
+                    while j < bytes.len() && bytes[j] != b'\'' {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: Kind::Other,
+                        text: String::from("'c'"),
+                        line,
+                    });
+                    i = (j + 1).min(bytes.len());
+                } else {
+                    let ident_start = j;
+                    while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    if j > ident_start && bytes.get(j) == Some(&b'\'') {
+                        // 'x' — a char literal.
+                        toks.push(Tok {
+                            kind: Kind::Other,
+                            text: String::from("'c'"),
+                            line,
+                        });
+                        i = j + 1;
+                    } else if j > ident_start {
+                        // 'ident — a lifetime.
+                        toks.push(Tok {
+                            kind: Kind::Lifetime,
+                            text: source[i..j].to_string(),
+                            line,
+                        });
+                        i = j;
+                    } else {
+                        // Stray quote; emit as punct and move on.
+                        toks.push(Tok {
+                            kind: Kind::Punct,
+                            text: String::from("'"),
+                            line,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+            b'_' | b'a'..=b'z' | b'A'..=b'Z' => {
+                let (tok, next) = lex_ident(source, i, line);
+                toks.push(tok);
+                i = next;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'.')
+                {
+                    // Stop a float's dot from eating a method call
+                    // (`1.max(2)`): only consume '.' when followed by a
+                    // digit.
+                    if bytes[i] == b'.' && !bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Other,
+                    text: source[start..i].to_string(),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: Kind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+fn lex_ident(source: &str, start: usize, line: u32) -> (Tok, usize) {
+    let bytes = source.as_bytes();
+    let mut i = start;
+    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+        i += 1;
+    }
+    (
+        Tok {
+            kind: Kind::Ident,
+            text: source[start..i].to_string(),
+            line,
+        },
+        i,
+    )
+}
+
+/// For each token, whether it lives inside test-only code: a
+/// `#[cfg(test)]` item (usually `mod tests { ... }`) or a `#[test]`
+/// function. Returns a mask parallel to `toks`.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            // Consume a run of attributes, remembering whether any of
+            // them marks the item as test-only.
+            let attr_start = i;
+            let mut test_attr = false;
+            while i < toks.len()
+                && toks[i].is_punct('#')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('['))
+            {
+                let close = match matching_bracket(toks, i + 1) {
+                    Some(c) => c,
+                    None => return mask,
+                };
+                test_attr |= attr_is_test(&toks[i + 2..close]);
+                i = close + 1;
+            }
+            if !test_attr {
+                continue;
+            }
+            // Mark the attributed item: everything to its closing brace
+            // (or trailing semicolon for brace-less items).
+            let mut j = i;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            let end = if j < toks.len() && toks[j].is_punct('{') {
+                matching_brace(toks, j).unwrap_or(toks.len() - 1)
+            } else {
+                j.min(toks.len() - 1)
+            };
+            for m in &mut mask[attr_start..=end] {
+                *m = true;
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// Does the attribute body (tokens between `#[` and `]`) mark a test
+/// item? Matches `test`, `cfg(test)`, and `cfg(any(..., test, ...))`.
+fn attr_is_test(body: &[Tok]) -> bool {
+    if body.len() == 1 && body[0].is_ident("test") {
+        return true;
+    }
+    if body.first().is_some_and(|t| t.is_ident("cfg")) {
+        return body.iter().any(|t| t.is_ident("test"));
+    }
+    false
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('[') {
+            depth += 1;
+        } else if t.is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+pub fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_never_produce_idents() {
+        let toks = lex(r##"
+            // unwrap() in a comment
+            /* panic! in /* a nested */ block */
+            let s = "unwrap() in a string";
+            let r = r#"expect( in a raw string"#;
+            let c = 'u';
+            "##);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(!toks.iter().any(|t| t.is_ident("panic")));
+        assert!(!toks.iter().any(|t| t.is_ident("expect")));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let toks = lex("fn f<'a>(x: &'a str) { x.unwrap(); }");
+        assert!(toks.iter().any(|t| t.kind == Kind::Lifetime));
+        assert!(toks.iter().any(|t| t.is_ident("unwrap")));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let toks = lex("a\n/* b\nc */\nd");
+        let d = toks.iter().find(|t| t.is_ident("d")).unwrap();
+        assert_eq!(d.line, 4);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_masked() {
+        let src = r#"
+            fn prod() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t() { y.unwrap(); }
+            }
+        "#;
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_fns_with_stacked_attributes_are_masked() {
+        let src = r#"
+            #[allow(dead_code)]
+            #[test]
+            fn t() { y.unwrap(); }
+            fn prod() { x.unwrap(); }
+        "#;
+        let toks = lex(src);
+        let mask = test_mask(&toks);
+        let unwraps: Vec<bool> = toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &m)| m)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+}

@@ -1,0 +1,196 @@
+//! `semtree-check`: the workspace invariant lint gate.
+//!
+//! A zero-dependency static checker run in CI as
+//! `cargo run -p semtree-check`. It lexes every production source file
+//! in `crates/*/src` and enforces:
+//!
+//! 1. **no-panics** — no `.unwrap()`, `.expect()`, or `panic!` outside
+//!    test code. Known-justified sites live in `check.allow` with a
+//!    mandatory justification and an exact count that can only shrink.
+//! 2. **lock-order** — lock acquisitions follow the declared hierarchy
+//!    (`cluster → dist → net → wal`; see [`rules::LOCK_RANKS`]): while
+//!    a guard of rank *r* is live, only ranks > *r* may be taken.
+//! 3. **codec-coverage** — every `NetMsg` wire variant appears in the
+//!    codec round-trip suite (`crates/net/tests/codec_roundtrip.rs`).
+//! 4. **no-boxed-errors** — no `Box<dyn Error>` in `pub` APIs; public
+//!    surfaces expose typed error enums.
+//!
+//! The rules are deliberately lexical: no macro expansion, no type
+//! information. That keeps the checker dependency-free, fast, and
+//! byte-for-byte deterministic — and the invariants it enforces are
+//! chosen to be decidable at that level. The deeper properties (actual
+//! deadlock freedom, flush-before-apply under every interleaving) are
+//! verified dynamically by the `semtree-conc` model suite; this gate
+//! keeps the static shape of the code inside what that model covers.
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rules::Finding;
+
+/// Result of checking a workspace.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Surviving diagnostics (after the allowlist); empty means pass.
+    pub findings: Vec<Finding>,
+    /// Production files scanned.
+    pub files_checked: usize,
+}
+
+impl Outcome {
+    /// Did the gate pass?
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Errors from the check driver itself (I/O, malformed allowlist) —
+/// distinct from lint findings.
+#[derive(Debug)]
+pub enum CheckError {
+    /// Filesystem problem walking or reading the workspace.
+    Io(PathBuf, std::io::Error),
+    /// `check.allow` is malformed.
+    Allowlist(String),
+    /// The workspace layout is not what the checker expects.
+    Layout(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Io(path, e) => write!(f, "{}: {e}", path.display()),
+            CheckError::Allowlist(msg) => write!(f, "{msg}"),
+            CheckError::Layout(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// A production source file queued for checking.
+struct SourceFile {
+    /// Workspace-relative path (diagnostics use this).
+    rel: String,
+    /// Crate directory name under `crates/` (for the lock-rank table).
+    crate_name: String,
+    source: String,
+}
+
+/// Check the workspace rooted at `root` (the directory containing
+/// `crates/` and `check.allow`).
+pub fn check_workspace(root: &Path) -> Result<Outcome, CheckError> {
+    let files = collect_sources(root)?;
+    let mut findings = Vec::new();
+
+    for file in &files {
+        let toks = lexer::lex(&file.source);
+        findings.extend(rules::no_panics(&file.rel, &toks));
+        findings.extend(rules::lock_order(&file.crate_name, &file.rel, &toks));
+        findings.extend(rules::no_boxed_errors(&file.rel, &toks));
+    }
+
+    // Rule 3 is a two-file property: msg.rs variants vs the round-trip
+    // suite.
+    let msg_rel = "crates/net/src/msg.rs";
+    let test_rel = "crates/net/tests/codec_roundtrip.rs";
+    let msg_src = files
+        .iter()
+        .find(|f| f.rel == msg_rel)
+        .map(|f| f.source.clone())
+        .ok_or_else(|| CheckError::Layout(format!("{msg_rel} not found")))?;
+    let test_src = match fs::read_to_string(root.join(test_rel)) {
+        Ok(s) => s,
+        Err(e) => return Err(CheckError::Io(root.join(test_rel), e)),
+    };
+    findings.extend(rules::codec_coverage(
+        msg_rel,
+        &lexer::lex(&msg_src),
+        test_rel,
+        &lexer::lex(&test_src),
+    ));
+
+    // Burn the allowlist down against the raw findings.
+    let allow_path = root.join("check.allow");
+    let entries = if allow_path.exists() {
+        let src = fs::read_to_string(&allow_path).map_err(|e| CheckError::Io(allow_path, e))?;
+        allow::parse(&src).map_err(CheckError::Allowlist)?
+    } else {
+        Vec::new()
+    };
+    let findings = allow::apply(&entries, findings);
+
+    Ok(Outcome {
+        findings,
+        files_checked: files.len(),
+    })
+}
+
+/// Every `.rs` file under `crates/*/src`, recursively. Integration
+/// `tests/` directories are excluded by construction (they are siblings
+/// of `src`), and in-file `#[cfg(test)]` code is masked by the lexer.
+fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, CheckError> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    let entries = fs::read_dir(&crates_dir).map_err(|e| CheckError::Io(crates_dir.clone(), e))?;
+    let mut crate_dirs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    if crate_dirs.is_empty() {
+        return Err(CheckError::Layout(format!(
+            "no crates found under {}",
+            crates_dir.display()
+        )));
+    }
+    for crate_dir in crate_dirs {
+        let crate_name = crate_dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        walk_rs(&src, &mut |path| {
+            let source =
+                fs::read_to_string(path).map_err(|e| CheckError::Io(path.to_path_buf(), e))?;
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(SourceFile {
+                rel,
+                crate_name: crate_name.clone(),
+                source,
+            });
+            Ok(())
+        })?;
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk_rs(
+    dir: &Path,
+    visit: &mut impl FnMut(&Path) -> Result<(), CheckError>,
+) -> Result<(), CheckError> {
+    let entries = fs::read_dir(dir).map_err(|e| CheckError::Io(dir.to_path_buf(), e))?;
+    let mut paths: Vec<PathBuf> = entries.filter_map(Result::ok).map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            walk_rs(&path, visit)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            visit(&path)?;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! CLI driver: `cargo run -p semtree-check [--root DIR]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 driver error (I/O, malformed
+//! allowlist, unexpected layout).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = workspace_root();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("semtree-check: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "semtree-check: workspace invariant lint gate\n\
+                     \n\
+                     usage: cargo run -p semtree-check [-- --root DIR]\n\
+                     \n\
+                     Rules: no-panics, lock-order, codec-coverage, no-boxed-errors.\n\
+                     Justified exceptions live in check.allow (exact counts, burndown-only)."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("semtree-check: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match semtree_check::check_workspace(&root) {
+        Ok(outcome) if outcome.is_clean() => {
+            println!(
+                "semtree-check: {} files clean (no-panics, lock-order, codec-coverage, \
+                 no-boxed-errors)",
+                outcome.files_checked
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(outcome) => {
+            for finding in &outcome.findings {
+                eprintln!("{finding}");
+            }
+            eprintln!(
+                "semtree-check: {} violation(s) across {} files",
+                outcome.findings.len(),
+                outcome.files_checked
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("semtree-check: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root: this crate's manifest dir is `crates/check`, two
+/// levels below it. Falls back to the current directory (correct when
+/// invoked from the workspace root without cargo).
+fn workspace_root() -> PathBuf {
+    match std::env::var_os("CARGO_MANIFEST_DIR") {
+        Some(dir) => {
+            let manifest = PathBuf::from(dir);
+            manifest
+                .parent()
+                .and_then(|p| p.parent())
+                .map(PathBuf::from)
+                .unwrap_or(manifest)
+        }
+        None => PathBuf::from("."),
+    }
+}

@@ -1,0 +1,151 @@
+//! [`MembershipGate`]: a generation-counting Condvar gate with a
+//! deadline, generic over the concurrency shim so the model checker can
+//! exhaustively explore its handshake.
+//!
+//! The gate replaces ad-hoc `Mutex<u64>` + `Condvar` pairs. Its one
+//! invariant is *no lost wakeup*: [`notify`](MembershipGate::notify)
+//! bumps the generation **under the gate mutex**, and
+//! [`wait_until`](MembershipGate::wait_until) re-checks its predicate
+//! under that same mutex before every park — so a membership change can
+//! never slip between the predicate check and the wait. Spurious
+//! wakeups are harmless (the predicate loop re-checks) and a worker
+//! that never arrives surfaces as a typed [`GateElapsed`] instead of a
+//! hang.
+
+use semtree_conc::shim::{Shim, StdShim};
+
+/// A bounded wait on the gate expired before its predicate held.
+///
+/// Carries how long the waiter actually waited, so callers can build a
+/// precise timeout error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateElapsed {
+    /// Nanoseconds between entering the wait and giving up.
+    pub waited_nanos: u64,
+}
+
+/// Generation-counting rendezvous point (see module docs).
+#[derive(Debug)]
+pub struct MembershipGate<S: Shim = StdShim> {
+    generation: S::Mutex<u64>,
+    cv: S::Condvar,
+}
+
+impl<S: Shim> Default for MembershipGate<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: Shim> MembershipGate<S> {
+    /// A fresh gate at generation zero.
+    #[must_use]
+    pub fn new() -> Self {
+        MembershipGate {
+            generation: S::mutex(0),
+            cv: S::condvar(),
+        }
+    }
+
+    /// Announce a membership change: bump the generation (under the
+    /// mutex — this ordering is what makes wakeups impossible to lose)
+    /// and wake every waiter.
+    pub fn notify(&self) {
+        *S::lock(&self.generation) += 1;
+        S::notify_all(&self.cv);
+    }
+
+    /// Current generation (diagnostics only).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        *S::lock(&self.generation)
+    }
+
+    /// Block until `ready()` returns `true` or `timeout_nanos` elapse.
+    ///
+    /// The predicate runs with the gate mutex held, once on entry and
+    /// once after every wakeup (notified, timed out, or spurious), so
+    /// it must be cheap and must not touch the gate itself. Any lock it
+    /// takes must rank *above* the gate in the workspace lock
+    /// hierarchy.
+    ///
+    /// # Errors
+    /// Returns [`GateElapsed`] when the deadline passes while the
+    /// predicate still fails; the predicate's final state was checked
+    /// at (or after) the deadline, so a `Err` is a definitive timeout,
+    /// not a race.
+    pub fn wait_until<P>(&self, timeout_nanos: u64, mut ready: P) -> Result<(), GateElapsed>
+    where
+        P: FnMut() -> bool,
+    {
+        let start = S::now_nanos();
+        let deadline = start.saturating_add(timeout_nanos);
+        let mut generation = S::lock(&self.generation);
+        loop {
+            if ready() {
+                return Ok(());
+            }
+            let now = S::now_nanos();
+            if now >= deadline {
+                return Err(GateElapsed {
+                    waited_nanos: now.saturating_sub(start),
+                });
+            }
+            let (guard, _timed_out) =
+                S::wait_timeout(&self.cv, generation, &self.generation, deadline - now);
+            generation = guard;
+            // A timed-out wakeup still re-checks the predicate: the
+            // notification may have raced the expiry, and the predicate
+            // is the single source of truth.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn wait_returns_once_the_predicate_holds() {
+        let gate = Arc::new(MembershipGate::<StdShim>::new());
+        let count = Arc::new(AtomicUsize::new(0));
+        let (g2, c2) = (Arc::clone(&gate), Arc::clone(&count));
+        let joiner = std::thread::spawn(move || {
+            for _ in 0..3 {
+                c2.fetch_add(1, Ordering::SeqCst);
+                g2.notify();
+            }
+        });
+        let result = gate.wait_until(u64::from(u32::MAX) * 1_000, || {
+            count.load(Ordering::SeqCst) >= 3
+        });
+        assert_eq!(result, Ok(()));
+        joiner.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_with_the_elapsed_duration() {
+        let gate = MembershipGate::<StdShim>::new();
+        let err = gate
+            .wait_until(2_000_000, || false)
+            .expect_err("predicate never holds");
+        assert!(err.waited_nanos >= 2_000_000);
+    }
+
+    #[test]
+    fn predicate_already_true_returns_immediately() {
+        let gate = MembershipGate::<StdShim>::new();
+        assert_eq!(gate.wait_until(0, || true), Ok(()));
+    }
+
+    #[test]
+    fn generation_counts_notifies() {
+        let gate = MembershipGate::<StdShim>::new();
+        assert_eq!(gate.generation(), 0);
+        gate.notify();
+        gate.notify();
+        assert_eq!(gate.generation(), 2);
+    }
+}

@@ -50,12 +50,14 @@
 //! ```
 
 mod cost;
+mod gate;
 mod metrics;
 mod runtime;
 mod transport;
 
 pub use cost::CostModel;
-pub use metrics::{ClusterMetrics, MetricsSnapshot};
+pub use gate::{GateElapsed, MembershipGate};
+pub use metrics::{ClusterMetrics, ClusterMetricsG, MetricsSnapshot};
 pub use runtime::{ChannelFabric, Cluster, Handler, NodeCtx};
 pub use transport::{
     BoxHandler, ClusterError, ComputeNodeId, DynHandler, NodeFactory, ReplyHandle, ReplySlot,

@@ -1,16 +1,32 @@
 //! Message and byte accounting.
+//!
+//! The counters are generic over the concurrency shim
+//! ([`semtree_conc::shim::Shim`]) so the model checker can explore
+//! concurrent `record_*` / `snapshot` interleavings exhaustively;
+//! production code uses the [`ClusterMetrics`] alias over real atomics.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared, thread-safe counters over a [`crate::Cluster`]'s lifetime.
-#[derive(Debug, Default)]
-pub struct ClusterMetrics {
-    messages: AtomicU64,
-    bytes: AtomicU64,
-    response_bytes: AtomicU64,
-    spawned_nodes: AtomicU64,
-    simulated_delay_nanos: AtomicU64,
+use semtree_conc::shim::{Shim, StdShim};
+
+/// Shared, thread-safe counters over a [`crate::Cluster`]'s lifetime,
+/// generic over the concurrency shim.
+#[derive(Debug)]
+pub struct ClusterMetricsG<S: Shim = StdShim> {
+    messages: S::AtomicU64,
+    bytes: S::AtomicU64,
+    response_bytes: S::AtomicU64,
+    spawned_nodes: S::AtomicU64,
+    simulated_delay_nanos: S::AtomicU64,
+}
+
+/// The production metrics type: real relaxed atomics.
+pub type ClusterMetrics = ClusterMetricsG<StdShim>;
+
+impl<S: Shim> Default for ClusterMetricsG<S> {
+    fn default() -> Self {
+        Self::new_in()
+    }
 }
 
 /// A point-in-time copy of [`ClusterMetrics`].
@@ -32,71 +48,88 @@ impl ClusterMetrics {
     pub(crate) fn new() -> Arc<Self> {
         Arc::new(ClusterMetrics::default())
     }
+}
+
+impl<S: Shim> ClusterMetricsG<S> {
+    /// Fresh zeroed counters under shim `S` (model tests construct
+    /// these inside an execution; production uses
+    /// [`ClusterMetrics::default`]).
+    #[must_use]
+    pub fn new_in() -> Self {
+        ClusterMetricsG {
+            messages: S::atomic_u64(0),
+            bytes: S::atomic_u64(0),
+            response_bytes: S::atomic_u64(0),
+            spawned_nodes: S::atomic_u64(0),
+            simulated_delay_nanos: S::atomic_u64(0),
+        }
+    }
 
     /// Account one delivered message of `bytes` payload (transports —
     /// in-process and network — call this for every message they carry).
     pub fn record_message(&self, bytes: usize, delay_nanos: u64) {
-        self.messages.fetch_add(1, Ordering::Relaxed);
-        self.bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.simulated_delay_nanos
-            .fetch_add(delay_nanos, Ordering::Relaxed);
+        S::fetch_add(&self.messages, 1);
+        S::fetch_add(&self.bytes, bytes as u64);
+        S::fetch_add(&self.simulated_delay_nanos, delay_nanos);
     }
 
     /// Account the payload bytes of one response travelling back to its
     /// caller. Responses are not counted as messages — `messages` stays
     /// the request count — so this is a pure byte-volume counter.
     pub fn record_response_bytes(&self, bytes: usize) {
-        self.response_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
+        S::fetch_add(&self.response_bytes, bytes as u64);
     }
 
-    pub(crate) fn record_spawn(&self) {
-        self.spawned_nodes.fetch_add(1, Ordering::Relaxed);
+    /// Account one spawned compute node. Public so model tests can
+    /// drive it; production callers live in this crate and
+    /// `semtree-net`.
+    pub fn record_spawn(&self) {
+        S::fetch_add(&self.spawned_nodes, 1);
     }
 
     /// Requests delivered so far.
     #[must_use]
     pub fn messages(&self) -> u64 {
-        self.messages.load(Ordering::Relaxed)
+        S::load(&self.messages)
     }
 
     /// Payload bytes carried so far.
     #[must_use]
     pub fn bytes(&self) -> u64 {
-        self.bytes.load(Ordering::Relaxed)
+        S::load(&self.bytes)
     }
 
     /// Response payload bytes carried so far.
     #[must_use]
     pub fn response_bytes(&self) -> u64 {
-        self.response_bytes.load(Ordering::Relaxed)
+        S::load(&self.response_bytes)
     }
 
     /// Nodes spawned so far.
     #[must_use]
     pub fn spawned_nodes(&self) -> u64 {
-        self.spawned_nodes.load(Ordering::Relaxed)
+        S::load(&self.spawned_nodes)
     }
 
     /// Copy all counters.
     #[must_use]
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            messages: self.messages.load(Ordering::Relaxed),
-            bytes: self.bytes.load(Ordering::Relaxed),
-            response_bytes: self.response_bytes.load(Ordering::Relaxed),
-            spawned_nodes: self.spawned_nodes.load(Ordering::Relaxed),
-            simulated_delay_nanos: self.simulated_delay_nanos.load(Ordering::Relaxed),
+            messages: S::load(&self.messages),
+            bytes: S::load(&self.bytes),
+            response_bytes: S::load(&self.response_bytes),
+            spawned_nodes: S::load(&self.spawned_nodes),
+            simulated_delay_nanos: S::load(&self.simulated_delay_nanos),
         }
     }
 
     /// Reset every counter to zero (between experiment runs).
     pub fn reset(&self) {
-        self.messages.store(0, Ordering::Relaxed);
-        self.bytes.store(0, Ordering::Relaxed);
-        self.response_bytes.store(0, Ordering::Relaxed);
-        self.spawned_nodes.store(0, Ordering::Relaxed);
-        self.simulated_delay_nanos.store(0, Ordering::Relaxed);
+        S::store(&self.messages, 0);
+        S::store(&self.bytes, 0);
+        S::store(&self.response_bytes, 0);
+        S::store(&self.spawned_nodes, 0);
+        S::store(&self.simulated_delay_nanos, 0);
     }
 }
 

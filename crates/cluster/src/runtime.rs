@@ -1,8 +1,10 @@
 //! Compute nodes, the in-process channel fabric, and blocking calls.
 
 use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Mutex, RwLock, Weak};
+use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
+
+use semtree_conc::sync::{Mutex, RwLock};
 
 use crate::cost::CostModel;
 use crate::metrics::{ClusterMetrics, MetricsSnapshot};
@@ -80,16 +82,19 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req,
     /// Route node-initiated traffic through `router` instead of this
     /// fabric alone (set by a composite transport wrapping this one).
     pub fn set_router(&self, router: Weak<dyn Transport<Req, Resp>>) {
-        *self.router.write().expect("router lock") = router;
+        *self.router.write() = router;
     }
 
     /// The transport node calls go through: the installed router if it is
     /// alive, otherwise this fabric itself.
-    fn route(&self) -> Arc<dyn Transport<Req, Resp>> {
-        if let Some(router) = self.router.read().expect("router lock").upgrade() {
-            return router;
+    fn route(&self) -> Result<Arc<dyn Transport<Req, Resp>>, ClusterError> {
+        if let Some(router) = self.router.read().upgrade() {
+            return Ok(router);
         }
-        self.self_weak.upgrade().expect("fabric outlives its nodes")
+        self.self_weak
+            .upgrade()
+            .map(|fabric| fabric as Arc<dyn Transport<Req, Resp>>)
+            .ok_or_else(|| ClusterError::Net("channel fabric shut down".into()))
     }
 
     /// The metrics sink, shared so a composite transport accounts its
@@ -109,7 +114,6 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req,
     fn factory(&self) -> Result<Arc<NodeFactory<Req, Resp>>, ClusterError> {
         self.factory
             .read()
-            .expect("factory lock")
             .clone()
             .ok_or_else(|| ClusterError::SpawnFailed("no node factory installed".into()))
     }
@@ -129,7 +133,7 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req,
     ) -> Result<ComputeNodeId, ClusterError> {
         let (tx, rx) = channel::<Envelope<Req, Resp>>();
         let id = {
-            let mut nodes = self.nodes.write().expect("nodes lock");
+            let mut nodes = self.nodes.write();
             if nodes.len() >= 1 << PROCESS_STRIDE_BITS {
                 return Err(ClusterError::SpawnFailed(format!(
                     "process {} is full ({} nodes)",
@@ -142,10 +146,10 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req,
             id
         };
         self.metrics.record_spawn();
-        let ctx = NodeCtx {
-            id,
-            fabric: self.self_weak.upgrade().expect("fabric alive during spawn"),
-        };
+        let fabric = self.self_weak.upgrade().ok_or_else(|| {
+            ClusterError::SpawnFailed("channel fabric shut down mid-spawn".into())
+        })?;
+        let ctx = NodeCtx { id, fabric };
         let handle = std::thread::Builder::new()
             .name(format!("compute-node-{}", id.0))
             .spawn(move || {
@@ -170,7 +174,7 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req,
                 }
             })
             .map_err(|e| ClusterError::SpawnFailed(e.to_string()))?;
-        self.handles.lock().expect("handles lock").push(handle);
+        self.handles.lock().push(handle);
         Ok(id)
     }
 }
@@ -186,7 +190,7 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Transport<Req, Res
             return Err(ClusterError::UnknownNode(target));
         }
         let sender = {
-            let nodes = self.nodes.read().expect("nodes lock");
+            let nodes = self.nodes.read();
             match nodes.get(target.local_index()) {
                 Some(Some(tx)) => tx.clone(),
                 // Never existed, or existed and was shut down.
@@ -211,13 +215,12 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Transport<Req, Res
     }
 
     fn set_node_factory(&self, factory: Box<NodeFactory<Req, Resp>>) {
-        *self.factory.write().expect("factory lock") = Some(Arc::from(factory));
+        *self.factory.write() = Some(Arc::from(factory));
     }
 
     fn node_count(&self) -> usize {
         self.nodes
             .read()
-            .expect("nodes lock")
             .iter()
             .filter(|slot| slot.is_some())
             .count()
@@ -233,13 +236,12 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Transport<Req, Res
 
     fn shutdown(&self) {
         // Dropping the senders ends each node's receive loop...
-        for slot in self.nodes.write().expect("nodes lock").iter_mut() {
+        for slot in self.nodes.write().iter_mut() {
             *slot = None;
         }
         // ...then join. (Node threads hold the fabric Arc but never their
         // own JoinHandle, so joining here cannot self-deadlock.)
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.handles.lock().expect("handles lock"));
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handles.lock());
         for h in handles {
             let _ = h.join();
         }
@@ -271,7 +273,7 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> NodeCtx<Req, Resp>
             target, self.id,
             "a node must not call itself (would deadlock)"
         );
-        self.fabric.route().send(target, req)?.wait()
+        self.fabric.route()?.send(target, req)?.wait()
     }
 
     /// Fan a set of requests out and wait for every response ("the
@@ -279,7 +281,7 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> NodeCtx<Req, Resp>
     /// concurrently. The first failure wins; remaining responses are
     /// discarded.
     pub fn call_many(&self, calls: Vec<(ComputeNodeId, Req)>) -> Result<Vec<Resp>, ClusterError> {
-        let route = self.fabric.route();
+        let route = self.fabric.route()?;
         let handles = calls
             .into_iter()
             .map(|(target, req)| {
@@ -305,7 +307,7 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> NodeCtx<Req, Resp>
     /// Create a new member node via the installed factory, placed by the
     /// routing transport — on another process under `semtree-net`.
     pub fn spawn_member(&self) -> Result<ComputeNodeId, ClusterError> {
-        self.fabric.route().spawn_member()
+        self.fabric.route()?.spawn_member()
     }
 }
 

@@ -102,6 +102,9 @@ pub enum ClusterError {
     SpawnFailed(String),
     /// The remote process reported a failure while handling the request.
     Remote(String),
+    /// A bounded wait (e.g. for workers to join) expired before its
+    /// condition held.
+    Timeout(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -112,6 +115,7 @@ impl fmt::Display for ClusterError {
             ClusterError::Net(msg) => write!(f, "network transport error: {msg}"),
             ClusterError::SpawnFailed(msg) => write!(f, "could not spawn compute node: {msg}"),
             ClusterError::Remote(msg) => write!(f, "remote handler error: {msg}"),
+            ClusterError::Timeout(msg) => write!(f, "timed out: {msg}"),
         }
     }
 }

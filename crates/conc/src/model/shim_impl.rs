@@ -1,0 +1,312 @@
+//! The [`ModelShim`] primitives: every operation is a schedule point.
+
+use std::ops::{Deref, DerefMut};
+use std::panic::panic_any;
+use std::sync::{Arc, PoisonError};
+
+use super::{current, op, Execution, ModelAbort, Status};
+use crate::shim::Shim;
+
+/// Shim whose primitives run under the deterministic scheduler. Only
+/// usable inside [`crate::explore`] executions; any operation outside
+/// one panics with a clear message.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelShim;
+
+/// Scheduler-mediated mutex. The inner `std` mutex is pure storage —
+/// ownership is granted by the scheduler, so it is never contended.
+#[derive(Debug)]
+pub struct ModelMutex<T> {
+    id: u64,
+    storage: std::sync::Mutex<T>,
+}
+
+/// Guard for [`ModelMutex`]; releasing it wakes scheduler-blocked
+/// waiters.
+pub struct ModelGuard<'a, T: Send + 'static> {
+    mutex: &'a ModelMutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+/// Scheduler-mediated condition variable (an id; all state lives in the
+/// execution).
+#[derive(Debug)]
+pub struct ModelCondvar {
+    id: u64,
+}
+
+/// Atomic counter whose every access is a schedule point.
+#[derive(Debug)]
+pub struct ModelAtomicU64 {
+    id: u64,
+    value: std::sync::atomic::AtomicU64,
+}
+
+/// Join handle for a model-managed thread.
+#[derive(Debug)]
+pub struct ModelJoinHandle<T> {
+    tid: usize,
+    slot: Arc<std::sync::Mutex<Option<T>>>,
+}
+
+impl<T: Send + 'static> ModelMutex<T> {
+    fn model_lock(&self) -> ModelGuard<'_, T> {
+        let (exec, tid) = current();
+        exec.schedule_point(tid, op::YIELD, self.id);
+        let mut st = exec.lock_state();
+        loop {
+            if st.aborting {
+                drop(st);
+                panic_any(ModelAbort);
+            }
+            if let std::collections::hash_map::Entry::Vacant(slot) = st.mutex_owners.entry(self.id)
+            {
+                slot.insert(tid);
+                Execution::record(&mut st, tid, op::ACQUIRE, self.id);
+                break;
+            }
+            st = exec.yield_to_scheduler(st, tid, Status::BlockedMutex(self.id));
+        }
+        drop(st);
+        ModelGuard {
+            mutex: self,
+            inner: Some(self.storage.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
+    }
+}
+
+impl<T: Send + 'static> Deref for ModelGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("model guard used after release")
+    }
+}
+
+impl<T: Send + 'static> DerefMut for ModelGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("model guard used after release")
+    }
+}
+
+impl<T: Send + 'static> Drop for ModelGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.inner.take().is_none() {
+            return; // released by a condvar wait
+        }
+        // Never panic out of a Drop: tolerate a missing execution (the
+        // thread-local is cleared only after every guard is gone in
+        // well-formed tests, but a leaked guard must not abort).
+        let Some((exec, tid)) = super::CURRENT.with(|c| c.borrow().clone()) else {
+            return;
+        };
+        let mut st = exec.lock_state();
+        st.mutex_owners.remove(&self.mutex.id);
+        Execution::record(&mut st, tid, op::RELEASE, self.mutex.id);
+        let id = self.mutex.id;
+        for t in &mut st.threads {
+            if t.status == Status::BlockedMutex(id) {
+                t.status = Status::Runnable;
+            }
+        }
+    }
+}
+
+impl ModelCondvar {
+    /// Shared body of `wait` / `wait_timeout`.
+    fn model_wait<'a, T: Send + 'static>(
+        &self,
+        mut guard: ModelGuard<'a, T>,
+        mutex: &'a ModelMutex<T>,
+        timeout_nanos: Option<u64>,
+    ) -> (ModelGuard<'a, T>, bool) {
+        let (exec, tid) = current();
+        drop(guard.inner.take()); // storage guard first, then scheduler release
+        let mut st = exec.lock_state();
+        if st.aborting {
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        if guard.mutex.id != mutex.id || st.mutex_owners.get(&mutex.id) != Some(&tid) {
+            exec.fail(
+                &mut st,
+                "condvar wait without holding the paired mutex".to_string(),
+            );
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        st.mutex_owners.remove(&mutex.id);
+        let mid = mutex.id;
+        for t in &mut st.threads {
+            if t.status == Status::BlockedMutex(mid) {
+                t.status = Status::Runnable;
+            }
+        }
+        Execution::record(&mut st, tid, op::WAIT, self.id);
+        let deadline = timeout_nanos.map(|n| st.clock.saturating_add(n));
+        let mut st = exec.yield_to_scheduler(
+            st,
+            tid,
+            Status::BlockedCondvar {
+                cv: self.id,
+                deadline,
+            },
+        );
+        let timed_out = st.threads[tid].wake_timed_out;
+        st.threads[tid].wake_timed_out = false;
+        Execution::record(&mut st, tid, op::WAKE, self.id);
+        drop(st);
+        (mutex.model_lock(), timed_out)
+    }
+
+    fn model_notify(&self, all: bool) {
+        let (exec, tid) = current();
+        exec.schedule_point(tid, op::NOTIFY, self.id);
+        let mut st = exec.lock_state();
+        for t in &mut st.threads {
+            if let Status::BlockedCondvar { cv, .. } = t.status {
+                if cv == self.id {
+                    t.status = Status::Runnable;
+                    t.wake_timed_out = false;
+                    if !all {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ModelAtomicU64 {
+    fn touch(&self) -> usize {
+        let (exec, tid) = current();
+        exec.schedule_point(tid, op::ATOMIC, self.id);
+        tid
+    }
+}
+
+impl Shim for ModelShim {
+    type Mutex<T: Send + 'static> = ModelMutex<T>;
+    type Guard<'a, T: Send + 'static> = ModelGuard<'a, T>;
+    type Condvar = ModelCondvar;
+    type AtomicU64 = ModelAtomicU64;
+    type JoinHandle<T: Send + 'static> = ModelJoinHandle<T>;
+
+    fn mutex<T: Send + 'static>(value: T) -> Self::Mutex<T> {
+        let (exec, _) = current();
+        ModelMutex {
+            id: exec.alloc_object_id(),
+            storage: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn lock<T: Send + 'static>(mutex: &Self::Mutex<T>) -> Self::Guard<'_, T> {
+        mutex.model_lock()
+    }
+
+    fn condvar() -> Self::Condvar {
+        let (exec, _) = current();
+        ModelCondvar {
+            id: exec.alloc_object_id(),
+        }
+    }
+
+    fn wait<'a, T: Send + 'static>(
+        cv: &Self::Condvar,
+        guard: Self::Guard<'a, T>,
+        mutex: &'a Self::Mutex<T>,
+    ) -> Self::Guard<'a, T> {
+        cv.model_wait(guard, mutex, None).0
+    }
+
+    fn wait_timeout<'a, T: Send + 'static>(
+        cv: &Self::Condvar,
+        guard: Self::Guard<'a, T>,
+        mutex: &'a Self::Mutex<T>,
+        timeout_nanos: u64,
+    ) -> (Self::Guard<'a, T>, bool) {
+        cv.model_wait(guard, mutex, Some(timeout_nanos))
+    }
+
+    fn notify_all(cv: &Self::Condvar) {
+        cv.model_notify(true);
+    }
+
+    fn notify_one(cv: &Self::Condvar) {
+        cv.model_notify(false);
+    }
+
+    fn atomic_u64(value: u64) -> Self::AtomicU64 {
+        let (exec, _) = current();
+        ModelAtomicU64 {
+            id: exec.alloc_object_id(),
+            value: std::sync::atomic::AtomicU64::new(value),
+        }
+    }
+
+    fn fetch_add(atomic: &Self::AtomicU64, value: u64) -> u64 {
+        atomic.touch();
+        atomic
+            .value
+            .fetch_add(value, std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn load(atomic: &Self::AtomicU64) -> u64 {
+        atomic.touch();
+        atomic.value.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn store(atomic: &Self::AtomicU64, value: u64) {
+        atomic.touch();
+        atomic
+            .value
+            .store(value, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    fn now_nanos() -> u64 {
+        let (exec, _) = current();
+        let st = exec.lock_state();
+        st.clock
+    }
+
+    fn spawn<F, T>(f: F) -> Self::JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, tid) = current();
+        exec.schedule_point(tid, op::SPAWN, 0);
+        let slot = Arc::new(std::sync::Mutex::new(None));
+        let out = Arc::clone(&slot);
+        let child = exec.spawn_managed(move || {
+            let value = f();
+            *out.lock().unwrap_or_else(PoisonError::into_inner) = Some(value);
+        });
+        ModelJoinHandle { tid: child, slot }
+    }
+
+    fn join<T: Send + 'static>(handle: Self::JoinHandle<T>) -> T {
+        let (exec, tid) = current();
+        exec.schedule_point(tid, op::JOIN, handle.tid as u64);
+        let st = exec.lock_state();
+        if st.aborting {
+            drop(st);
+            panic_any(ModelAbort);
+        }
+        if st.threads[handle.tid].status == Status::Finished {
+            drop(st);
+        } else {
+            drop(exec.yield_to_scheduler(st, tid, Status::BlockedJoin(handle.tid)));
+        }
+        match handle
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            Some(value) => value,
+            // The child panicked; the failure is already recorded and
+            // the execution is aborting — unwind this thread too.
+            None => panic_any(ModelAbort),
+        }
+    }
+}

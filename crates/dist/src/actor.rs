@@ -85,16 +85,26 @@ impl PartitionActor {
                     return Err(e);
                 }
             }
-            // Write-ahead of the relink: a crash between the two replays
-            // the migration from the log, so the remote link survives.
-            // (The adoption itself is durable in the *target* process's
-            // WAL via its PartitionCreate record.)
+            // Write-ahead of the relink: the relink runs as the apply
+            // half of the flushed migration record, so a crash between
+            // the two replays the migration from the log and the remote
+            // link survives. (The adoption itself is durable in the
+            // *target* process's WAL via its PartitionCreate record.)
+            let store = &mut self.store;
             if let Some(wal) = &self.shared.wal {
-                wal.log_migration(ctx.node_id(), candidate, new_partition, LocalNodeId(0))
-                    .map_err(|e| ClusterError::Remote(format!("wal append failed: {e}")))?;
+                wal.apply_migration(
+                    ctx.node_id(),
+                    candidate,
+                    new_partition,
+                    LocalNodeId(0),
+                    || {
+                        store.relink_to_partition(candidate, new_partition, LocalNodeId(0));
+                    },
+                )
+                .map_err(|e| ClusterError::Remote(format!("wal append failed: {e}")))?;
+            } else {
+                store.relink_to_partition(candidate, new_partition, LocalNodeId(0));
             }
-            self.store
-                .relink_to_partition(candidate, new_partition, LocalNodeId(0));
         }
         Ok(())
     }
@@ -232,22 +242,29 @@ impl Handler for PartitionActor {
                 point,
                 payload,
             } => {
-                // Write-ahead: the record hits the log before the store.
-                // If navigation forwards the point to another partition
-                // the record stays behind as a no-op on replay (the
-                // receiving partition logs its own copy on arrival).
+                // Write-ahead: `apply_insert` flushes the record before
+                // running the store mutation, so the mutation can never
+                // outrun its log entry. If navigation forwards the point
+                // to another partition the record stays behind as a
+                // no-op on replay (the receiving partition logs its own
+                // copy on arrival).
                 let mut due = false;
-                if let Some(wal) = &self.shared.wal {
-                    match wal.log_insert(ctx.node_id(), node, &point, payload) {
-                        Ok(d) => due = d,
+                let store = &mut self.store;
+                let mut splits = Vec::new();
+                let inserted = if let Some(wal) = &self.shared.wal {
+                    match wal.apply_insert(ctx.node_id(), node, &point, payload, || {
+                        store.insert_logged(node, &point, payload, &remote, &mut splits)
+                    }) {
+                        Ok((d, inserted)) => {
+                            due = d;
+                            inserted
+                        }
                         Err(e) => return Resp::Error(format!("wal append failed: {e}")),
                     }
-                }
-                let mut splits = Vec::new();
-                match self
-                    .store
-                    .insert_logged(node, &point, payload, &remote, &mut splits)
-                {
+                } else {
+                    store.insert_logged(node, &point, payload, &remote, &mut splits)
+                };
+                match inserted {
                     Ok(stored_here) => {
                         if let Some(wal) = &self.shared.wal {
                             match wal.log_splits(ctx.node_id(), &splits) {
@@ -296,28 +313,33 @@ impl Handler for PartitionActor {
                 }
             }
             Req::AdoptLeaf { bucket, depth } => {
-                // Write-ahead of this partition's birth; the splits the
-                // adopted bucket triggers are logged right after, so the
-                // replayed arena is id-for-id identical.
-                if let Some(wal) = &self.shared.wal {
-                    if let Err(e) = wal.log_create(ctx.node_id(), depth, &bucket) {
-                        return Resp::Error(format!("wal append failed: {e}"));
-                    }
-                }
-                let bucket = bucket
-                    .into_iter()
-                    .map(|(c, p)| (c.into_boxed_slice(), p))
-                    .collect();
+                // Write-ahead of this partition's birth: the store is
+                // built only after the PartitionCreate record is
+                // flushed. The splits the adopted bucket triggers are
+                // logged right after, so the replayed arena is
+                // id-for-id identical.
+                let shared = &self.shared;
                 let mut splits = Vec::new();
-                self.store = PartitionStore::new_leaf_logged(
-                    self.shared.dims,
-                    self.shared.bucket_size,
-                    self.shared.split_rule,
-                    bucket,
-                    depth,
-                    &mut splits,
-                );
-                if let Some(wal) = &self.shared.wal {
+                let mut build = || {
+                    let bucket = bucket
+                        .iter()
+                        .map(|(c, p)| (c.clone().into_boxed_slice(), *p))
+                        .collect();
+                    PartitionStore::new_leaf_logged(
+                        shared.dims,
+                        shared.bucket_size,
+                        shared.split_rule,
+                        bucket,
+                        depth,
+                        &mut splits,
+                    )
+                };
+                if let Some(wal) = &shared.wal {
+                    let store = match wal.apply_create(ctx.node_id(), depth, &bucket, build) {
+                        Ok((_, store)) => store,
+                        Err(e) => return Resp::Error(format!("wal append failed: {e}")),
+                    };
+                    self.store = store;
                     let due = match wal.log_splits(ctx.node_id(), &splits) {
                         Ok(due) => due,
                         Err(e) => return Resp::Error(format!("wal append failed: {e}")),
@@ -325,6 +347,8 @@ impl Handler for PartitionActor {
                     if let Err(e) = self.maybe_snapshot(ctx, due) {
                         return Resp::Error(e.to_string());
                     }
+                } else {
+                    self.store = build();
                 }
                 Resp::Done
             }

@@ -14,45 +14,56 @@ use std::sync::Arc;
 
 use semtree_cluster::ComputeNodeId;
 use semtree_net::decode_exact;
-use semtree_wal::{Wal, WalError, WalRecord, WalReport, WalState};
+use semtree_wal::{SequencedLog, Wal, WalError, WalRecord, WalReport, WalState};
 
 use crate::deploy::NetDeployConfig;
 use crate::proto::PartitionStats;
 use crate::store::{LocalNodeId, PartitionStore, SplitEvent, StoreImage};
 
 /// Shared write side of the WAL: every partition actor of a process logs
-/// through one of these. Appends are serialized by the [`Wal`]'s
-/// internal lock; each append is flushed to the OS before it returns, so
-/// a `SIGKILL` can lose at most the record being written (which recovery
-/// tolerates as a torn tail).
+/// through one of these. Appends are serialized by the wrapping
+/// [`SequencedLog`], which flushes each record before the paired state
+/// mutation is allowed to run (`apply_*` below) — so a `SIGKILL` can
+/// lose at most the record being written (which recovery tolerates as a
+/// torn tail), and can never lose a record whose mutation was applied.
 pub(crate) struct WalHandle {
-    wal: Wal,
+    log: SequencedLog<Wal>,
 }
 
 impl WalHandle {
     pub(crate) fn new(wal: Wal) -> Arc<Self> {
-        Arc::new(WalHandle { wal })
+        Arc::new(WalHandle {
+            log: SequencedLog::new(wal),
+        })
     }
 
-    /// Log a point landing in (or being routed through) `partition`.
-    /// Returns whether the partition is due for a snapshot.
-    pub(crate) fn log_insert(
+    /// Log a point landing in (or being routed through) `partition`,
+    /// then — only after the record is flushed — run `apply` (the store
+    /// mutation). Returns whether the partition is due for a snapshot,
+    /// plus `apply`'s result.
+    pub(crate) fn apply_insert<T>(
         &self,
         partition: ComputeNodeId,
         node: LocalNodeId,
         point: &[f64],
         payload: u64,
-    ) -> Result<bool, WalError> {
-        let appended = self.wal.append(&WalRecord::PointInsert {
-            partition: partition.0,
-            node: node.0,
-            point: point.to_vec(),
-            payload,
-        })?;
-        Ok(appended.snapshot_due)
+        apply: impl FnOnce() -> T,
+    ) -> Result<(bool, T), WalError> {
+        let (appended, out) = self.log.apply_after_flush(
+            &WalRecord::PointInsert {
+                partition: partition.0,
+                node: node.0,
+                point: point.to_vec(),
+                payload,
+            },
+            |_| apply(),
+        )?;
+        Ok((appended.snapshot_due, out))
     }
 
-    /// Log the splits an insert or adoption triggered, in order.
+    /// Log the splits an insert or adoption triggered, in order. (The
+    /// splits are *produced by* an already-applied mutation, so there is
+    /// no apply half here; replay derives the arena ids from these.)
     pub(crate) fn log_splits(
         &self,
         partition: ComputeNodeId,
@@ -60,7 +71,7 @@ impl WalHandle {
     ) -> Result<bool, WalError> {
         let mut due = false;
         for s in splits {
-            let appended = self.wal.append(&WalRecord::LeafSplit {
+            let appended = self.log.append(&WalRecord::LeafSplit {
                 partition: partition.0,
                 leaf: s.leaf.0,
                 split_dim: s.split_dim,
@@ -73,36 +84,47 @@ impl WalHandle {
         Ok(due)
     }
 
-    /// Log a partition coming into existence with an adopted bucket.
-    pub(crate) fn log_create(
+    /// Log a partition coming into existence with an adopted bucket,
+    /// then — only after the record is flushed — run `apply` (building
+    /// the store).
+    pub(crate) fn apply_create<T>(
         &self,
         partition: ComputeNodeId,
         depth: u32,
         bucket: &[(Vec<f64>, u64)],
-    ) -> Result<bool, WalError> {
-        let appended = self.wal.append(&WalRecord::PartitionCreate {
-            partition: partition.0,
-            depth: depth as usize,
-            bucket: bucket.to_vec(),
-        })?;
-        Ok(appended.snapshot_due)
+        apply: impl FnOnce() -> T,
+    ) -> Result<(bool, T), WalError> {
+        let (appended, out) = self.log.apply_after_flush(
+            &WalRecord::PartitionCreate {
+                partition: partition.0,
+                depth: depth as usize,
+                bucket: bucket.to_vec(),
+            },
+            |_| apply(),
+        )?;
+        Ok((appended.snapshot_due, out))
     }
 
-    /// Log a leaf being evicted to a freshly built partition.
-    pub(crate) fn log_migration(
+    /// Log a leaf being evicted to a freshly built partition, then —
+    /// only after the record is flushed — run `apply` (the relink).
+    pub(crate) fn apply_migration<T>(
         &self,
         partition: ComputeNodeId,
         evicted: LocalNodeId,
         target_partition: ComputeNodeId,
         target_node: LocalNodeId,
-    ) -> Result<bool, WalError> {
-        let appended = self.wal.append(&WalRecord::LeafMigration {
-            partition: partition.0,
-            evicted: evicted.0,
-            target_partition: target_partition.0,
-            target_node: target_node.0,
-        })?;
-        Ok(appended.snapshot_due)
+        apply: impl FnOnce() -> T,
+    ) -> Result<(bool, T), WalError> {
+        let (appended, out) = self.log.apply_after_flush(
+            &WalRecord::LeafMigration {
+                partition: partition.0,
+                evicted: evicted.0,
+                target_partition: target_partition.0,
+                target_node: target_node.0,
+            },
+            |_| apply(),
+        )?;
+        Ok((appended.snapshot_due, out))
     }
 
     /// Snapshot one partition's full store image, superseding its log
@@ -113,20 +135,21 @@ impl WalHandle {
         image: &StoreImage,
     ) -> Result<(), WalError> {
         use semtree_net::Encode as _;
-        self.wal.snapshot(partition.0, &image.to_bytes())?;
+        self.log
+            .with_sink(|wal| wal.snapshot(partition.0, &image.to_bytes()))?;
         Ok(())
     }
 
     /// Delete sealed segments fully covered by snapshots.
     pub(crate) fn compact(&self) -> Result<usize, WalError> {
-        self.wal.compact()
+        self.log.with_sink(|wal| wal.compact())
     }
 }
 
 impl std::fmt::Debug for WalHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("WalHandle")
-            .field("dir", &self.wal.dir())
+            .field("dir", &self.log.with_sink(|wal| wal.dir().to_path_buf()))
             .finish()
     }
 }

@@ -1,7 +1,7 @@
 //! Memoization wrapper for index-keyed distance oracles.
 
+use semtree_conc::sync::Mutex;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Memoizes a symmetric `f(i, j)` distance over object indices.
 ///
@@ -34,22 +34,22 @@ impl<F: Fn(usize, usize) -> f64> MemoizedDistance<F> {
         } else {
             (j as u32, i as u32)
         };
-        if let Some(&d) = self.cache.lock().unwrap().get(&key) {
+        if let Some(&d) = self.cache.lock().get(&key) {
             return d;
         }
         let d = (self.inner)(i, j);
-        self.cache.lock().unwrap().insert(key, d);
+        self.cache.lock().insert(key, d);
         d
     }
 
     /// Number of cached pairs.
     pub fn cached_pairs(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache.lock().len()
     }
 
     /// Drop all cached entries.
     pub fn clear(&self) {
-        self.cache.lock().unwrap().clear();
+        self.cache.lock().clear();
     }
 }
 

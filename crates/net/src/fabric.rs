@@ -19,16 +19,18 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{IpAddr, Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock, Weak};
+use std::sync::{mpsc, Arc, Weak};
 use std::time::{Duration, Instant};
 
 use semtree_cluster::{
     BoxHandler, ChannelFabric, ClusterError, ClusterMetrics, ComputeNodeId, CostModel,
-    MetricsSnapshot, NodeFactory, ReplyHandle, ReplySlot, Transport, Wire,
+    MembershipGate, MetricsSnapshot, NodeFactory, ReplyHandle, ReplySlot, Transport, Wire,
 };
+use semtree_conc::sync::Mutex;
 
 use crate::codec::{decode_exact, Decode, Encode};
 use crate::frame::{dial_with_timeout, frame_overhead, read_frame, write_frame};
+use crate::mesh::ConnRegistry;
 use crate::msg::{decode_error, encode_error, NetMsg};
 
 /// How long a lazy peer dial keeps retrying before giving up.
@@ -50,20 +52,17 @@ struct Conn<Resp> {
 
 impl<Resp> Conn<Resp> {
     fn write_payload(&self, payload: &[u8]) -> io::Result<()> {
-        write_frame(&mut *self.writer.lock().expect("conn writer lock"), payload)
+        write_frame(&mut *self.writer.lock(), payload)
     }
 
     fn take_pending(&self, call_id: u64) -> Option<Pending<Resp>> {
-        self.pending
-            .lock()
-            .expect("conn pending lock")
-            .remove(&call_id)
+        self.pending.lock().remove(&call_id)
     }
 
     /// Fail every in-flight operation (connection lost).
     fn fail_all(&self, err: &ClusterError) {
         let drained: Vec<Pending<Resp>> = {
-            let mut pending = self.pending.lock().expect("conn pending lock");
+            let mut pending = self.pending.lock();
             pending.drain().map(|(_, p)| p).collect()
         };
         for p in drained {
@@ -88,18 +87,17 @@ where
     listen_addr: SocketAddr,
     /// Known peer listener addresses by process index (never includes
     /// this process).
-    peers: RwLock<HashMap<u32, SocketAddr>>,
-    conns: Mutex<HashMap<u32, Arc<Conn<Resp>>>>,
+    peers: semtree_conc::sync::RwLock<HashMap<u32, SocketAddr>>,
+    conns: ConnRegistry<Arc<Conn<Resp>>>,
     next_call_id: AtomicU64,
     /// Coordinator only: the next index handed to a joining worker.
     next_worker_index: AtomicU64,
     /// Round-robin cursor for member-spawn placement.
     spawn_rr: AtomicUsize,
-    /// Bumped (under the mutex) whenever the peer set changes, so
+    /// Notified whenever the peer set changes, so
     /// [`wait_for_workers`](Self::wait_for_workers) can block on the
-    /// condvar instead of polling.
-    membership: Mutex<u64>,
-    membership_cv: Condvar,
+    /// gate instead of polling.
+    membership: MembershipGate,
     metrics: Arc<ClusterMetrics>,
     shutting_down: AtomicBool,
     shutdown_tx: mpsc::Sender<()>,
@@ -126,7 +124,7 @@ where
         let listener = TcpListener::bind(listen)?;
         let listen_addr = listener.local_addr()?;
         let fabric = Self::build(ChannelFabric::new(cost, 0), 0, listen_addr, config);
-        fabric.start_accept_loop(listener);
+        fabric.start_accept_loop(listener)?;
         Ok(fabric)
     }
 
@@ -171,7 +169,7 @@ where
             Vec::new(),
         );
         {
-            let mut map = fabric.peers.write().expect("peers lock");
+            let mut map = fabric.peers.write();
             map.insert(0, coordinator);
             for (index, addr) in peers {
                 if let Ok(parsed) = addr.parse() {
@@ -180,7 +178,7 @@ where
             }
         }
         fabric.register_conn(0, stream)?;
-        fabric.start_accept_loop(listener);
+        fabric.start_accept_loop(listener)?;
         Ok((fabric, config))
     }
 
@@ -244,7 +242,7 @@ where
             Vec::new(),
         );
         {
-            let mut map = fabric.peers.write().expect("peers lock");
+            let mut map = fabric.peers.write();
             map.insert(0, coordinator);
             for (index, addr) in peers {
                 if let Ok(parsed) = addr.parse() {
@@ -253,7 +251,7 @@ where
             }
         }
         fabric.register_conn(0, stream)?;
-        fabric.start_accept_loop(listener);
+        fabric.start_accept_loop(listener)?;
         Ok(fabric)
     }
 
@@ -269,13 +267,12 @@ where
             local,
             process_index,
             listen_addr,
-            peers: RwLock::new(HashMap::new()),
-            conns: Mutex::new(HashMap::new()),
+            peers: semtree_conc::sync::RwLock::new(HashMap::new()),
+            conns: ConnRegistry::new(),
             next_call_id: AtomicU64::new(1),
             next_worker_index: AtomicU64::new(1),
             spawn_rr: AtomicUsize::new(0),
-            membership: Mutex::new(0),
-            membership_cv: Condvar::new(),
+            membership: MembershipGate::new(),
             metrics,
             shutting_down: AtomicBool::new(false),
             shutdown_tx,
@@ -306,7 +303,7 @@ where
     /// Number of known peer processes (coordinator: joined workers).
     #[must_use]
     pub fn peer_count(&self) -> usize {
-        self.peers.read().expect("peers lock").len()
+        self.peers.read().len()
     }
 
     /// The in-process fabric hosting this process's nodes.
@@ -315,50 +312,43 @@ where
         Arc::clone(&self.local)
     }
 
-    /// Block until `n` workers have joined, or fail after `timeout`.
-    /// Joins wake this immediately via the membership condvar; the
-    /// timeout is honored exactly rather than at poll granularity.
+    /// Block until `n` workers have joined, or fail after `timeout`
+    /// with a typed [`ClusterError::Timeout`]. Joins wake this
+    /// immediately via the membership gate; the predicate loop inside
+    /// [`MembershipGate::wait_until`] makes the wait immune to spurious
+    /// wakeups, and the deadline is honored exactly rather than at poll
+    /// granularity.
     pub fn wait_for_workers(&self, n: usize, timeout: Duration) -> Result<(), ClusterError> {
-        let deadline = Instant::now() + timeout;
-        let mut generation = self.membership.lock().expect("membership lock");
-        loop {
-            if self.peer_count() >= n {
-                return Ok(());
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return Err(ClusterError::Net(format!(
+        let timeout_nanos = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        self.membership
+            .wait_until(timeout_nanos, || self.peer_count() >= n)
+            .map_err(|_elapsed| {
+                ClusterError::Timeout(format!(
                     "only {} of {n} workers joined within {timeout:?}",
                     self.peer_count()
-                )));
-            }
-            generation = self
-                .membership_cv
-                .wait_timeout(generation, deadline - now)
-                .expect("membership lock")
-                .0;
-        }
+                ))
+            })
     }
 
     /// Wake every [`wait_for_workers`](Self::wait_for_workers) after a
     /// peer-set change. Callers must NOT hold the `peers` lock: the
-    /// waiter reads it while holding the membership mutex.
+    /// waiter's predicate reads it while holding the gate mutex
+    /// (membership ranks below peers in the lock hierarchy).
     fn notify_membership(&self) {
-        *self.membership.lock().expect("membership lock") += 1;
-        self.membership_cv.notify_all();
+        self.membership.notify();
     }
 
     /// Block until this process is told to shut down (a `Shutdown` frame
     /// arrives or [`Transport::shutdown`] is called locally). Worker
     /// main loops park here.
     pub fn wait_for_shutdown(&self) {
-        let rx = self.shutdown_rx.lock().expect("shutdown lock").take();
+        let rx = self.shutdown_rx.lock().take();
         if let Some(rx) = rx {
             let _ = rx.recv();
         }
     }
 
-    fn start_accept_loop(self: &Arc<Self>, listener: TcpListener) {
+    fn start_accept_loop(self: &Arc<Self>, listener: TcpListener) -> io::Result<()> {
         let weak = Arc::downgrade(self);
         std::thread::Builder::new()
             .name(format!("net-accept-{}", self.process_index))
@@ -372,8 +362,8 @@ where
                         fabric.handle_incoming(stream);
                     }
                 }
-            })
-            .expect("spawning the accept loop succeeds");
+            })?;
+        Ok(())
     }
 
     /// Handshake a fresh inbound connection on its own thread (the first
@@ -402,11 +392,7 @@ where
                         fabric.admit_worker(stream, peer_listen);
                     } else {
                         // Mesh connection from an already-assigned sibling.
-                        fabric
-                            .peers
-                            .write()
-                            .expect("peers lock")
-                            .insert(process_index, peer_listen);
+                        fabric.peers.write().insert(process_index, peer_listen);
                         fabric.notify_membership();
                         let _ = fabric.register_conn(process_index, stream);
                     }
@@ -431,7 +417,7 @@ where
     fn admit_worker(self: &Arc<Self>, stream: TcpStream, peer_listen: SocketAddr) {
         let assigned = self.next_worker_index.fetch_add(1, Ordering::SeqCst) as u32;
         let existing: Vec<(u32, String)> = {
-            let peers = self.peers.read().expect("peers lock");
+            let peers = self.peers.read();
             peers
                 .iter()
                 .map(|(&index, addr)| (index, addr.to_string()))
@@ -443,23 +429,13 @@ where
             addr: peer_listen.to_string(),
         };
         let joined_bytes = joined.to_bytes();
-        let conns: Vec<Arc<Conn<Resp>>> = self
-            .conns
-            .lock()
-            .expect("conns lock")
-            .values()
-            .cloned()
-            .collect();
-        for conn in conns {
+        for conn in self.conns.values() {
             let _ = self.write_recorded(&conn, &joined_bytes);
         }
         // The route and connection must exist before the Welcome goes out:
         // the worker treats Welcome as "joined", and the coordinator may
         // be asked to reach it the moment `join` returns.
-        self.peers
-            .write()
-            .expect("peers lock")
-            .insert(assigned, peer_listen);
+        self.peers.write().insert(assigned, peer_listen);
         self.notify_membership();
         let Ok(conn) = self.register_conn(assigned, stream) else {
             return;
@@ -498,12 +474,9 @@ where
         }
         // Drop the dead connection so nothing writes into the old socket;
         // the replacement is registered below under the same index.
-        self.conns
-            .lock()
-            .expect("conns lock")
-            .remove(&process_index);
+        self.conns.remove(process_index);
         let existing: Vec<(u32, String)> = {
-            let peers = self.peers.read().expect("peers lock");
+            let peers = self.peers.read();
             peers
                 .iter()
                 .filter(|&(&index, _)| index != process_index)
@@ -517,20 +490,10 @@ where
             addr: peer_listen.to_string(),
         };
         let joined_bytes = joined.to_bytes();
-        let conns: Vec<Arc<Conn<Resp>>> = self
-            .conns
-            .lock()
-            .expect("conns lock")
-            .values()
-            .cloned()
-            .collect();
-        for conn in conns {
+        for conn in self.conns.values() {
             let _ = self.write_recorded(&conn, &joined_bytes);
         }
-        self.peers
-            .write()
-            .expect("peers lock")
-            .insert(process_index, peer_listen);
+        self.peers.write().insert(process_index, peer_listen);
         self.notify_membership();
         let Ok(conn) = self.register_conn(process_index, stream) else {
             return;
@@ -557,16 +520,12 @@ where
             writer: Mutex::new(stream),
             pending: Mutex::new(HashMap::new()),
         });
-        self.conns
-            .lock()
-            .expect("conns lock")
-            .insert(peer, Arc::clone(&conn));
+        self.conns.insert(peer, Arc::clone(&conn));
         let weak = Arc::downgrade(self);
         let reader_conn = Arc::clone(&conn);
         std::thread::Builder::new()
             .name(format!("net-reader-{}-from-{peer}", self.process_index))
-            .spawn(move || Self::read_loop(&weak, &reader_conn, reader_stream))
-            .expect("spawning a connection reader succeeds");
+            .spawn(move || Self::read_loop(&weak, &reader_conn, reader_stream))?;
         Ok(conn)
     }
 
@@ -584,10 +543,7 @@ where
         // peer listens on a new port) — but only if the map still holds
         // *this* connection, not a replacement registered by a rejoin.
         if let Some(fabric) = weak.upgrade() {
-            let mut conns = fabric.conns.lock().expect("conns lock");
-            if conns.get(&conn.peer).is_some_and(|c| Arc::ptr_eq(c, conn)) {
-                conns.remove(&conn.peer);
-            }
+            fabric.conns.evict_if(conn.peer, |c| Arc::ptr_eq(c, conn));
         }
         conn.fail_all(&ClusterError::Net(format!(
             "connection to process {} closed",
@@ -708,11 +664,8 @@ where
                 if let Ok(parsed) = addr.parse() {
                     // A re-announced index means that peer restarted: any
                     // cached connection to its old incarnation is dead.
-                    self.conns.lock().expect("conns lock").remove(&index);
-                    self.peers
-                        .write()
-                        .expect("peers lock")
-                        .insert(index, parsed);
+                    self.conns.remove(index);
+                    self.peers.write().insert(index, parsed);
                     self.notify_membership();
                 }
             }
@@ -750,13 +703,12 @@ where
 
     /// The connection to `peer`, dialing it lazily if needed.
     fn conn_to(self: &Arc<Self>, peer: u32) -> Result<Arc<Conn<Resp>>, ClusterError> {
-        if let Some(conn) = self.conns.lock().expect("conns lock").get(&peer) {
-            return Ok(Arc::clone(conn));
+        if let Some(conn) = self.conns.get(peer) {
+            return Ok(conn);
         }
         let addr = *self
             .peers
             .read()
-            .expect("peers lock")
             .get(&peer)
             .ok_or_else(|| ClusterError::Net(format!("no route to process {peer}")))?;
         let mut stream =
@@ -779,7 +731,6 @@ where
         let mut workers: Vec<u32> = self
             .peers
             .read()
-            .expect("peers lock")
             .keys()
             .copied()
             .filter(|&index| index >= 1)
@@ -795,10 +746,7 @@ where
         let conn = self.conn_to(peer)?;
         let call_id = self.next_call_id.fetch_add(1, Ordering::SeqCst);
         let (tx, rx) = mpsc::channel();
-        conn.pending
-            .lock()
-            .expect("conn pending lock")
-            .insert(call_id, Pending::Spawn(tx));
+        conn.pending.lock().insert(call_id, Pending::Spawn(tx));
         let msg: NetMsg<Req, Resp> = NetMsg::SpawnFresh { call_id };
         if let Err(err) = self.write_recorded(&conn, &msg.to_bytes()) {
             conn.take_pending(call_id);
@@ -824,14 +772,14 @@ where
         if target.process() == self.process_index {
             return self.local.send(target, req);
         }
-        let this = self.self_weak.upgrade().expect("fabric alive during send");
+        let this = self
+            .self_weak
+            .upgrade()
+            .ok_or_else(|| ClusterError::Net("fabric is shutting down".into()))?;
         let conn = this.conn_to(target.process())?;
         let call_id = self.next_call_id.fetch_add(1, Ordering::SeqCst);
         let (slot, handle) = ReplyHandle::pair(target);
-        conn.pending
-            .lock()
-            .expect("conn pending lock")
-            .insert(call_id, Pending::Call(slot));
+        conn.pending.lock().insert(call_id, Pending::Call(slot));
         let msg: NetMsg<Req, Resp> = NetMsg::Request {
             call_id,
             target: target.0,
@@ -859,7 +807,10 @@ where
         if pick == self.process_index {
             self.local.spawn_member()
         } else {
-            let this = self.self_weak.upgrade().expect("fabric alive during spawn");
+            let this = self
+                .self_weak
+                .upgrade()
+                .ok_or_else(|| ClusterError::Net("fabric is shutting down".into()))?;
             this.spawn_on(pick)
         }
     }
@@ -888,21 +839,14 @@ where
         if self.process_index == 0 {
             let msg: NetMsg<Req, Resp> = NetMsg::Shutdown;
             let bytes = msg.to_bytes();
-            let conns: Vec<Arc<Conn<Resp>>> = self
-                .conns
-                .lock()
-                .expect("conns lock")
-                .values()
-                .cloned()
-                .collect();
-            for conn in conns {
+            for conn in self.conns.values() {
                 let _ = conn.write_payload(&bytes);
             }
         }
         // Dropping connections first closes writer sockets: readers see
         // EOF and fail any in-flight calls, which unblocks local nodes
         // waiting on remote responses so they can be joined below.
-        self.conns.lock().expect("conns lock").clear();
+        drop(self.conns.clear());
         self.local.shutdown();
         let _ = self.shutdown_tx.send(());
         // Unblock the accept loop with a throwaway connection.
@@ -967,7 +911,7 @@ mod tests {
             .wait_for_workers(1, Duration::from_millis(150))
             .unwrap_err();
         let waited = start.elapsed();
-        assert!(matches!(err, ClusterError::Net(_)));
+        assert!(matches!(err, ClusterError::Timeout(_)), "{err:?}");
         assert!(
             waited >= Duration::from_millis(150),
             "returned early: {waited:?}"

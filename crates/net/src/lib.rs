@@ -23,9 +23,11 @@
 mod codec;
 mod fabric;
 mod frame;
+mod mesh;
 mod msg;
 
 pub use codec::{decode_exact, Decode, DecodeError, Encode};
 pub use fabric::NetFabric;
 pub use frame::{dial_with_timeout, frame_overhead, read_frame, write_frame, MAX_FRAME_LEN};
+pub use mesh::ConnRegistry;
 pub use msg::{decode_error, encode_error, NetMsg};

@@ -1,0 +1,155 @@
+//! [`ConnRegistry`]: the lazy peer-mesh connection table, generic over
+//! the concurrency shim so the model checker can explore its
+//! connect/accept/evict races.
+//!
+//! The registry holds at most one live connection per peer index. Three
+//! actors mutate it concurrently:
+//!
+//! - a **dialer** inserting the connection it just established,
+//! - an **acceptor** inserting a connection the peer dialed to us,
+//! - a dying **reader thread** evicting the connection it was draining.
+//!
+//! The race that matters: a reader noticing EOF on a *stale* connection
+//! must not evict the *replacement* a rejoin just registered. Eviction
+//! therefore goes through [`evict_if`](ConnRegistry::evict_if), which
+//! re-checks identity under the lock — the model test
+//! `mesh_connect_race` proves no interleaving can drop a fresh
+//! connection.
+
+use std::collections::HashMap;
+
+use semtree_conc::shim::{Shim, StdShim};
+
+/// One-connection-per-peer table (see module docs).
+#[derive(Debug)]
+pub struct ConnRegistry<C, S: Shim = StdShim>
+where
+    C: Clone + Send + 'static,
+{
+    conns: S::Mutex<HashMap<u32, C>>,
+}
+
+impl<C, S: Shim> Default for ConnRegistry<C, S>
+where
+    C: Clone + Send + 'static,
+{
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<C, S: Shim> ConnRegistry<C, S>
+where
+    C: Clone + Send + 'static,
+{
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        ConnRegistry {
+            conns: S::mutex(HashMap::new()),
+        }
+    }
+
+    /// The current connection to `peer`, if any.
+    #[must_use]
+    pub fn get(&self, peer: u32) -> Option<C> {
+        S::lock(&self.conns).get(&peer).cloned()
+    }
+
+    /// Install `conn` as the connection to `peer`, replacing (and
+    /// returning) any previous one.
+    pub fn insert(&self, peer: u32, conn: C) -> Option<C> {
+        S::lock(&self.conns).insert(peer, conn)
+    }
+
+    /// Drop the connection to `peer` unconditionally (rejoin paths that
+    /// know the old incarnation is dead).
+    pub fn remove(&self, peer: u32) -> Option<C> {
+        S::lock(&self.conns).remove(&peer)
+    }
+
+    /// Evict the connection to `peer` **only if** `is_same` says the
+    /// registered one is the caller's. The check runs under the lock,
+    /// so a replacement registered concurrently can never be evicted by
+    /// a reader that was draining its predecessor. Returns whether an
+    /// eviction happened.
+    pub fn evict_if<F>(&self, peer: u32, is_same: F) -> bool
+    where
+        F: FnOnce(&C) -> bool,
+    {
+        let mut conns = S::lock(&self.conns);
+        if conns.get(&peer).is_some_and(is_same) {
+            conns.remove(&peer);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Snapshot of every live connection (broadcast paths).
+    #[must_use]
+    pub fn values(&self) -> Vec<C> {
+        S::lock(&self.conns).values().cloned().collect()
+    }
+
+    /// Drop every connection, returning them so the caller can close
+    /// sockets outside the lock.
+    pub fn clear(&self) -> Vec<C> {
+        S::lock(&self.conns).drain().map(|(_, c)| c).collect()
+    }
+
+    /// Number of live connections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        S::lock(&self.conns).len()
+    }
+
+    /// Whether the registry holds no connections.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_get_remove() {
+        let reg: ConnRegistry<Arc<u32>> = ConnRegistry::new();
+        assert!(reg.is_empty());
+        assert!(reg.insert(1, Arc::new(10)).is_none());
+        assert_eq!(reg.get(1).as_deref(), Some(&10));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.remove(1).as_deref(), Some(&10));
+        assert!(reg.get(1).is_none());
+    }
+
+    #[test]
+    fn evict_if_spares_a_replacement() {
+        let reg: ConnRegistry<Arc<u32>> = ConnRegistry::new();
+        let old = Arc::new(1);
+        reg.insert(7, Arc::clone(&old));
+        let fresh = Arc::new(2);
+        reg.insert(7, Arc::clone(&fresh));
+        // A reader still holding `old` must not evict `fresh`.
+        assert!(!reg.evict_if(7, |c| Arc::ptr_eq(c, &old)));
+        assert_eq!(reg.get(7).as_deref(), Some(&2));
+        // The owner of `fresh` may evict it.
+        assert!(reg.evict_if(7, |c| Arc::ptr_eq(c, &fresh)));
+        assert!(reg.get(7).is_none());
+    }
+
+    #[test]
+    fn clear_returns_everything() {
+        let reg: ConnRegistry<Arc<u32>> = ConnRegistry::new();
+        reg.insert(1, Arc::new(1));
+        reg.insert(2, Arc::new(2));
+        let mut drained: Vec<u32> = reg.clear().into_iter().map(|c| *c).collect();
+        drained.sort_unstable();
+        assert_eq!(drained, vec![1, 2]);
+        assert!(reg.is_empty());
+    }
+}

@@ -107,6 +107,7 @@ pub fn encode_error(err: &ClusterError) -> (u8, u32, String) {
         ClusterError::Net(msg) => (2, 0, msg.clone()),
         ClusterError::SpawnFailed(msg) => (3, 0, msg.clone()),
         ClusterError::Remote(msg) => (4, 0, msg.clone()),
+        ClusterError::Timeout(msg) => (5, 0, msg.clone()),
     }
 }
 
@@ -120,6 +121,7 @@ pub fn decode_error(code: u8, node: u32, message: String) -> ClusterError {
         2 => ClusterError::Net(message),
         3 => ClusterError::SpawnFailed(message),
         4 => ClusterError::Remote(message),
+        5 => ClusterError::Timeout(message),
         other => ClusterError::Remote(format!("unknown error code {other}: {message}")),
     }
 }
@@ -318,6 +320,7 @@ mod tests {
             ClusterError::Net("connection reset".into()),
             ClusterError::SpawnFailed("process full".into()),
             ClusterError::Remote("handler failure".into()),
+            ClusterError::Timeout("membership wait expired".into()),
         ];
         for err in errors {
             let (code, node, message) = encode_error(&err);

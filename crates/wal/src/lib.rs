@@ -39,12 +39,14 @@
 
 mod crc32;
 mod log;
+mod ordering;
 mod record;
 
 pub use crc32::crc32;
 pub use log::{
     Appended, PartitionReport, Snapshot, Wal, WalError, WalOptions, WalReport, WalState,
 };
+pub use ordering::{RecordSink, SequencedLog};
 pub use record::WalRecord;
 pub use semtree_net::{Decode, Encode};
 

@@ -32,7 +32,8 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+
+use semtree_conc::sync::Mutex;
 
 use semtree_net::{decode_exact, Decode, DecodeError, Encode};
 
@@ -345,8 +346,27 @@ impl Wal {
 
     /// Append one record. The frame is written and flushed before this
     /// returns — callers apply the state change *after* logging it.
+    /// (`semtree_wal::SequencedLog` wraps the staged halves of this —
+    /// [`Wal::stage_mut`] / [`Wal::flush_mut`] — to make that
+    /// flush-before-apply ordering structural.)
     pub fn append(&self, record: &WalRecord) -> Result<Appended, WalError> {
-        let mut inner = self.inner.lock().expect("wal lock");
+        let mut inner = self.inner.lock();
+        let appended = Self::stage_in(&self.options, &mut inner, record)?;
+        inner.file.flush()?;
+        if inner.segment_written >= self.options.segment_bytes {
+            Self::seal_in(&self.dir, &mut inner)?;
+        }
+        Ok(appended)
+    }
+
+    /// Frame `record`, assign it the next LSN, and write it to the
+    /// current segment — withOUT flushing. The record is not durable
+    /// until the next flush.
+    fn stage_in(
+        options: &WalOptions,
+        inner: &mut Inner,
+        record: &WalRecord,
+    ) -> Result<Appended, WalError> {
         let lsn = inner.next_lsn;
         inner.next_lsn += 1;
 
@@ -359,7 +379,6 @@ impl Wal {
         frame.extend_from_slice(&payload);
 
         inner.file.write_all(&frame)?;
-        inner.file.flush()?;
         inner.segment_written += frame.len() as u64;
 
         let partition = record.partition();
@@ -367,19 +386,40 @@ impl Wal {
         *top = (*top).max(lsn);
         let since = inner.since_snapshot.entry(partition).or_insert(0);
         *since += 1;
-        let snapshot_due = *since >= self.options.snapshot_every;
-
-        if inner.segment_written >= self.options.segment_bytes {
-            self.seal(&mut inner)?;
-        }
+        let snapshot_due = *since >= options.snapshot_every;
         Ok(Appended { lsn, snapshot_due })
+    }
+
+    /// Stage one record through exclusive access (the
+    /// [`RecordSink`](crate::RecordSink) write half — no lock taken, the
+    /// caller serializes).
+    pub(crate) fn stage_mut(&mut self, record: &WalRecord) -> Result<Appended, WalError> {
+        let Wal { options, inner, .. } = self;
+        Self::stage_in(options, inner.get_mut(), record)
+    }
+
+    /// Flush everything staged so far and rotate the segment if it grew
+    /// past the limit (the [`RecordSink`](crate::RecordSink) flush half).
+    pub(crate) fn flush_mut(&mut self) -> Result<(), WalError> {
+        let Wal {
+            dir,
+            options,
+            inner,
+            ..
+        } = self;
+        let inner = inner.get_mut();
+        inner.file.flush()?;
+        if inner.segment_written >= options.segment_bytes {
+            Self::seal_in(dir, inner)?;
+        }
+        Ok(())
     }
 
     /// Persist a snapshot of `partition` covering everything appended so
     /// far, then reclaim any segments it makes fully dead. Returns the
     /// covered LSN.
     pub fn snapshot(&self, partition: u32, blob: &[u8]) -> Result<u64, WalError> {
-        let mut inner = self.inner.lock().expect("wal lock");
+        let mut inner = self.inner.lock();
         let lsn = inner.next_lsn - 1;
 
         let mut body = Vec::new();
@@ -401,7 +441,7 @@ impl Wal {
                 .iter()
                 .all(|(p, &top)| inner.snapshot_lsn.get(p).copied().unwrap_or(0) >= top);
         if current_dead {
-            self.seal(&mut inner)?;
+            Self::seal_in(&self.dir, &mut inner)?;
         }
         self.compact_locked(&mut inner)?;
         Ok(lsn)
@@ -410,14 +450,14 @@ impl Wal {
     /// Delete every sealed segment whose records are all covered by
     /// snapshots. Returns how many segment files were removed.
     pub fn compact(&self) -> Result<usize, WalError> {
-        let mut inner = self.inner.lock().expect("wal lock");
+        let mut inner = self.inner.lock();
         self.compact_locked(&mut inner)
     }
 
     /// `sync_data` the current segment (rotation and snapshots already
     /// sync what they seal/write).
     pub fn sync(&self) -> Result<(), WalError> {
-        let inner = self.inner.lock().expect("wal lock");
+        let inner = self.inner.lock();
         inner.file.sync_data()?;
         Ok(())
     }
@@ -437,14 +477,14 @@ impl Wal {
         WalReport::from_state(dir, &Wal::load(dir)?)
     }
 
-    fn seal(&self, inner: &mut Inner) -> Result<(), WalError> {
+    fn seal_in(dir: &Path, inner: &mut Inner) -> Result<(), WalError> {
         inner.file.sync_data()?;
         let coverage = std::mem::take(&mut inner.current_coverage);
         let sealed_index = inner.segment_index;
         inner.sealed.insert(sealed_index, coverage);
         inner.segment_index += 1;
         inner.segment_written = 0;
-        inner.file = open_segment(&self.dir, inner.segment_index)?;
+        inner.file = open_segment(dir, inner.segment_index)?;
         Ok(())
     }
 

@@ -1,0 +1,209 @@
+//! Flush-before-apply ordering for the log: [`SequencedLog`].
+//!
+//! The WAL's durability contract is that a state mutation may only be
+//! applied **after** the record describing it is flushed. The `Wal`
+//! manager honors that internally (its `append` flushes before
+//! returning), but nothing used to stop a caller from mutating first and
+//! logging second. [`SequencedLog`] makes the ordering structural:
+//! [`apply_after_flush`](SequencedLog::apply_after_flush) runs the apply
+//! closure only once the record's flush has returned, and publishes the
+//! durable watermark through
+//! [`flushed_lsn`](SequencedLog::flushed_lsn).
+//!
+//! The type is generic over the concurrency shim
+//! ([`semtree_conc::shim::Shim`]) and over the [`RecordSink`] the
+//! records land in, so the model checker can exhaustively explore
+//! concurrent append/apply/read interleavings against an in-memory sink
+//! and assert that no interleaving observes an applied mutation whose
+//! record is not yet durable (`wal_order` in `semtree-conc`'s model
+//! suite). Production code uses the [`Wal`] sink over real files.
+//!
+//! # Lock hierarchy
+//!
+//! The sequencer's sink mutex ranks *above* the `Wal`'s internal state
+//! mutex (`wal.ordering.sink` → `wal.log.inner`): sink calls forwarded
+//! to [`Wal::snapshot`] / [`Wal::compact`] via
+//! [`with_sink`](SequencedLog::with_sink) acquire the inner lock while
+//! the sink lock is held, in rank order.
+
+use semtree_conc::shim::{Shim, StdShim};
+
+use crate::log::{Appended, Wal, WalError};
+use crate::record::WalRecord;
+
+/// Where sequenced records land: an append-only destination with a
+/// staged write half and an explicit flush half.
+///
+/// `stage` assigns the record its LSN and buffers it; the record is not
+/// durable until the next `flush` returns. [`SequencedLog`] is the only
+/// intended caller and always pairs the two under one lock.
+pub trait RecordSink: Send + 'static {
+    /// Sink failure type (I/O for the real log).
+    type Error: std::fmt::Debug;
+
+    /// Buffer `record` in log order and assign its LSN.
+    fn stage(&mut self, record: &WalRecord) -> Result<Appended, Self::Error>;
+
+    /// Make every staged record durable.
+    fn flush(&mut self) -> Result<(), Self::Error>;
+}
+
+impl RecordSink for Wal {
+    type Error = WalError;
+
+    fn stage(&mut self, record: &WalRecord) -> Result<Appended, WalError> {
+        self.stage_mut(record)
+    }
+
+    fn flush(&mut self) -> Result<(), WalError> {
+        self.flush_mut()
+    }
+}
+
+/// Serializes appends to a [`RecordSink`] and guarantees
+/// flush-before-apply (see module docs).
+#[derive(Debug)]
+pub struct SequencedLog<W: RecordSink, S: Shim = StdShim> {
+    sink: S::Mutex<W>,
+    /// Highest LSN whose flush has completed; published after the flush
+    /// returns, so readers never observe a watermark ahead of the disk.
+    flushed_lsn: S::AtomicU64,
+}
+
+impl<W: RecordSink, S: Shim> SequencedLog<W, S> {
+    /// Wrap `sink`; no record has been flushed through this sequencer
+    /// yet, so the watermark starts at zero.
+    pub fn new(sink: W) -> Self {
+        SequencedLog {
+            sink: S::mutex(sink),
+            flushed_lsn: S::atomic_u64(0),
+        }
+    }
+
+    /// Append one record: stage, flush, then publish the watermark.
+    /// When this returns `Ok`, the record is durable.
+    pub fn append(&self, record: &WalRecord) -> Result<Appended, W::Error> {
+        let mut sink = S::lock(&self.sink);
+        let appended = sink.stage(record)?;
+        sink.flush()?;
+        S::store(&self.flushed_lsn, appended.lsn);
+        Ok(appended)
+    }
+
+    /// Append `record` and, only after its flush has completed, run
+    /// `apply` (the state mutation the record describes). The closure
+    /// runs outside the sink lock — the record is already durable, so
+    /// the mutation cannot outrun it no matter how threads interleave.
+    pub fn apply_after_flush<T>(
+        &self,
+        record: &WalRecord,
+        apply: impl FnOnce(Appended) -> T,
+    ) -> Result<(Appended, T), W::Error> {
+        let appended = self.append(record)?;
+        debug_assert!(self.flushed_lsn() >= appended.lsn);
+        Ok((appended, apply(appended)))
+    }
+
+    /// Highest LSN known durable. Monotone; readable without the sink
+    /// lock.
+    pub fn flushed_lsn(&self) -> u64 {
+        S::load(&self.flushed_lsn)
+    }
+
+    /// Run `f` with exclusive access to the sink (snapshot, compaction,
+    /// sync — operations beyond the append path).
+    pub fn with_sink<R>(&self, f: impl FnOnce(&mut W) -> R) -> R {
+        f(&mut S::lock(&self.sink))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-memory sink: records staged into a buffer, moved to `durable`
+    /// on flush.
+    #[derive(Default)]
+    struct MemSink {
+        next_lsn: u64,
+        staged: Vec<(u64, WalRecord)>,
+        durable: Vec<(u64, WalRecord)>,
+    }
+
+    impl RecordSink for MemSink {
+        type Error = std::convert::Infallible;
+
+        fn stage(&mut self, record: &WalRecord) -> Result<Appended, Self::Error> {
+            self.next_lsn += 1;
+            self.staged.push((self.next_lsn, record.clone()));
+            Ok(Appended {
+                lsn: self.next_lsn,
+                snapshot_due: false,
+            })
+        }
+
+        fn flush(&mut self) -> Result<(), Self::Error> {
+            self.durable.append(&mut self.staged);
+            Ok(())
+        }
+    }
+
+    fn insert(payload: u64) -> WalRecord {
+        WalRecord::PointInsert {
+            partition: 7,
+            node: 0,
+            point: vec![payload as f64],
+            payload,
+        }
+    }
+
+    #[test]
+    fn append_publishes_the_watermark_after_flush() {
+        let log: SequencedLog<MemSink> = SequencedLog::new(MemSink::default());
+        assert_eq!(log.flushed_lsn(), 0);
+        let a = log.append(&insert(1)).unwrap();
+        assert_eq!(a.lsn, 1);
+        assert_eq!(log.flushed_lsn(), 1);
+        log.with_sink(|sink| {
+            assert!(sink.staged.is_empty(), "append must flush what it stages");
+            assert_eq!(sink.durable.len(), 1);
+        });
+    }
+
+    #[test]
+    fn apply_runs_only_once_the_record_is_durable() {
+        let log: SequencedLog<MemSink> = SequencedLog::new(MemSink::default());
+        let (appended, seen) = log
+            .apply_after_flush(&insert(9), |a| {
+                // At apply time the watermark must already cover us.
+                (log.flushed_lsn(), a.lsn)
+            })
+            .unwrap();
+        assert_eq!(appended.lsn, 1);
+        assert_eq!(seen, (1, 1));
+    }
+
+    #[test]
+    fn lsns_are_contiguous_across_threads() {
+        let log: std::sync::Arc<SequencedLog<MemSink>> =
+            std::sync::Arc::new(SequencedLog::new(MemSink::default()));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let log = std::sync::Arc::clone(&log);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        log.append(&insert(t * 100 + i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(log.flushed_lsn(), 100);
+        log.with_sink(|sink| {
+            let lsns: Vec<u64> = sink.durable.iter().map(|&(lsn, _)| lsn).collect();
+            assert_eq!(lsns, (1..=100).collect::<Vec<_>>());
+        });
+    }
+}

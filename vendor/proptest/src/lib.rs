@@ -8,13 +8,42 @@
 //! strategy, and `prop::collection::vec`.
 //!
 //! Differences from the real crate, by design:
-//! - cases are generated from a seed derived from the test's module path
-//!   and case index, so runs are **deterministic** across machines;
+//! - cases are generated from a seed derived from the test's module path,
+//!   case index, and a process-wide base seed
+//!   (`SEMTREE_PROPTEST_SEED`, default 0), so runs are **deterministic**
+//!   across machines and failures replay from the echoed seed;
 //! - there is **no shrinking** — a failing case reports its index and
 //!   re-panics;
 //! - the default case count is 64 (not 256) to keep `cargo test` brisk.
 
 use std::ops::{Range, RangeInclusive};
+use std::sync::OnceLock;
+
+/// Base seed for every property test in the process, read once from the
+/// `SEMTREE_PROPTEST_SEED` environment variable (decimal or `0x`-prefixed
+/// hex). The default of 0 reproduces the historical per-test streams
+/// byte for byte; any other value derives a fresh deterministic family
+/// of streams. Failing cases echo the active seed so
+/// `SEMTREE_PROPTEST_SEED=<seed> cargo test <name>` replays them.
+pub fn base_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| match std::env::var("SEMTREE_PROPTEST_SEED") {
+        Ok(raw) => parse_seed(&raw).unwrap_or_else(|| {
+            eprintln!("proptest: ignoring unparseable SEMTREE_PROPTEST_SEED={raw:?}");
+            0
+        }),
+        Err(_) => 0,
+    })
+}
+
+fn parse_seed(raw: &str) -> Option<u64> {
+    let raw = raw.trim();
+    if let Some(hex) = raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        raw.parse().ok()
+    }
+}
 
 /// Number of cases to run per property.
 #[derive(Debug, Clone, Copy)]
@@ -44,17 +73,26 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// RNG for one (test name, case index) pair.
+    /// RNG for one (test name, case index) pair under the process-wide
+    /// [`base_seed`].
     #[must_use]
     pub fn for_case(test_path: &str, case: u32) -> Self {
-        // FNV-1a over the path, mixed with the case index.
+        Self::for_case_seeded(test_path, case, base_seed())
+    }
+
+    /// RNG for one (test name, case index, base seed) triple. A base
+    /// seed of 0 reproduces the historical streams exactly.
+    #[must_use]
+    pub fn for_case_seeded(test_path: &str, case: u32, seed: u64) -> Self {
+        // FNV-1a over the path, mixed with the case index and seed.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         for b in test_path.bytes() {
             h ^= u64::from(b);
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         TestRng {
-            x: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            x: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                ^ seed.wrapping_mul(0xBF58_476D_1CE4_E5B9),
         }
     }
 
@@ -430,9 +468,13 @@ macro_rules! proptest {
                     );
                     if let Err(payload) = outcome {
                         eprintln!(
-                            "proptest: {} failed on deterministic case {case}/{}",
+                            "proptest: {} failed on deterministic case {case}/{} \
+                             (base seed {seed}); replay with \
+                             SEMTREE_PROPTEST_SEED={seed} cargo test {}",
                             stringify!($name),
                             config.cases,
+                            stringify!($name),
+                            seed = $crate::base_seed(),
                         );
                         ::std::panic::resume_unwind(payload);
                     }
@@ -457,6 +499,42 @@ macro_rules! proptest {
 mod tests {
     use super::prelude::*;
     use super::TestRng;
+
+    #[test]
+    fn zero_base_seed_reproduces_the_historical_stream() {
+        let mut legacy = TestRng::for_case_seeded("some::test", 3, 0);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in "some::test".bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut manual = TestRng {
+            x: h ^ 3u64.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        };
+        for _ in 0..16 {
+            assert_eq!(legacy.next_u64(), manual.next_u64());
+        }
+    }
+
+    #[test]
+    fn base_seed_selects_distinct_but_deterministic_streams() {
+        let draw = |seed| {
+            let mut r = TestRng::for_case_seeded("some::test", 0, seed);
+            (0..4).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(42), draw(42), "same seed must replay identically");
+        assert_ne!(draw(42), draw(43), "different seeds must diverge");
+        assert_ne!(draw(42), draw(0));
+    }
+
+    #[test]
+    fn seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(super::parse_seed("123"), Some(123));
+        assert_eq!(super::parse_seed(" 0xABc "), Some(0xABC));
+        assert_eq!(super::parse_seed("0Xff"), Some(0xFF));
+        assert_eq!(super::parse_seed("nope"), None);
+        assert_eq!(super::parse_seed(""), None);
+    }
 
     #[test]
     fn pattern_strategy_respects_class_and_length() {
