@@ -31,9 +31,9 @@ impl std::fmt::Display for Finding {
 
 /// The declared lock hierarchy. Locks must be acquired in strictly
 /// ascending rank within a function; the ordering across crates is
-/// `cluster → dist → net → wal` (see DESIGN.md §"Concurrency model &
-/// verification"). Ranks are spaced so new locks can slot in without
-/// renumbering.
+/// `cluster → dist → net → wal → par` (see DESIGN.md §"Concurrency
+/// model & verification"). Ranks are spaced so new locks can slot in
+/// without renumbering.
 pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     // crates/cluster
     ("cluster", "nodes", 10),
@@ -50,8 +50,13 @@ pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     // crates/wal
     ("wal", "sink", 40),
     ("wal", "inner", 41),
+    // crates/par — leaf locks: pool internals never call back into
+    // ranked subsystems while holding a deque or result-buffer lock.
+    ("par", "deques", 50),
+    ("par", "parts", 51),
+    ("par", "feed", 52),
     // crates/distance
-    ("distance", "cache", 60),
+    ("distance", "shards", 60),
 ];
 
 fn rank_of(crate_name: &str, field: &str) -> Option<u32> {
@@ -236,7 +241,7 @@ pub fn lock_order(crate_name: &str, path: &str, toks: &[Tok]) -> Vec<Finding> {
                             message: format!(
                                 "acquired `{}` (rank {}) while holding `{}` (rank {}, \
                                  taken at line {}) — the hierarchy requires strictly \
-                                 ascending ranks (cluster → dist → net → wal)",
+                                 ascending ranks (cluster → dist → net → wal → par)",
                                 acq.field, acq.rank, g.field, g.rank, g.line
                             ),
                         });

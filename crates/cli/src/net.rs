@@ -62,6 +62,12 @@ fn parse_point(text: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
+/// Parse a semicolon-separated list of comma-separated points:
+/// `"1,2;3,4"` → `[[1.0, 2.0], [3.0, 4.0]]`.
+fn parse_points(text: &str) -> Result<Vec<Vec<f64>>, String> {
+    text.split(';').map(parse_point).collect()
+}
+
 fn parse_config(parsed: &ParsedArgs) -> Result<DistConfig, String> {
     let dims = parsed.get_usize("dims", 2)?;
     let bucket = parsed.get_usize("bucket", 32)?;
@@ -214,6 +220,19 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
             }
             Ok(out)
         }
+        "knn-batch" => {
+            let points = parse_points(parsed.require("points")?)?;
+            let k = parsed.get_usize("k", 5)?;
+            let batches = client.knn_batch(&points, k).map_err(|e| e.to_string())?;
+            let mut out = format!("{k}-NN batch of {} queries:\n", points.len());
+            for (point, hits) in points.iter().zip(batches) {
+                out.push_str(&format!("query {point:?}:\n"));
+                for (dist, payload) in hits {
+                    out.push_str(&format!("  d={dist:.4}  payload={payload}\n"));
+                }
+            }
+            Ok(out)
+        }
         "range" => {
             let point = parse_point(parsed.require("point")?)?;
             let radius: f64 = {
@@ -263,7 +282,8 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
             Ok("deployment shut down\n".to_string())
         }
         other => Err(format!(
-            "unknown --op '{other}' (insert, knn, range, stats, verify, metrics, shutdown)"
+            "unknown --op '{other}' (insert, knn, knn-batch, range, stats, verify, metrics, \
+             shutdown)"
         )),
     }
 }
@@ -293,5 +313,15 @@ mod tests {
         assert!(parse_point("1.0,x").is_err());
         assert!(parse_addr("127.0.0.1:9000").is_ok());
         assert!(parse_addr("not-an-addr").is_err());
+    }
+
+    #[test]
+    fn points_parsing() {
+        assert_eq!(
+            parse_points("1,2; 3,4").unwrap(),
+            vec![vec![1.0, 2.0], vec![3.0, 4.0]]
+        );
+        assert_eq!(parse_points("5.5,6").unwrap(), vec![vec![5.5, 6.0]]);
+        assert!(parse_points("1,2;bad").is_err());
     }
 }

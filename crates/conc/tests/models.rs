@@ -23,7 +23,9 @@ use semtree_cluster::{ClusterMetricsG, MembershipGate};
 use semtree_conc::explore::{explore, explore_random, replay, Options};
 use semtree_conc::model::ModelShim;
 use semtree_conc::shim::Shim;
+use semtree_distance::MemoizedDistance;
 use semtree_net::ConnRegistry;
+use semtree_par::ChunkedQueue;
 use semtree_wal::{Appended, RecordSink, SequencedLog, WalRecord};
 
 /// Acceptance floor: every target must explore at least this many
@@ -67,6 +69,18 @@ const TARGETS: &[Target] = &[
         name: "wal_order",
         what: "SequencedLog append-flush-apply: no mutation applied before its record is durable",
         body: wal_order,
+        spurious_budget: 0,
+    },
+    Target {
+        name: "par_steal_join",
+        what: "ChunkedQueue steal/join: every chunk claimed exactly once, drain is a join barrier",
+        body: par_steal_join,
+        spurious_budget: 0,
+    },
+    Target {
+        name: "memo_shard_race",
+        what: "Sharded MemoizedDistance: racing readers agree, symmetric pairs share one entry",
+        body: memo_shard_race,
         spurious_budget: 0,
     },
 ];
@@ -315,6 +329,83 @@ fn wal_order() {
     assert_eq!(lsns, vec![1, 2], "LSNs must be contiguous and unique");
     assert_eq!(log.flushed_lsn(), 2);
     assert_eq!(durable.load(Ordering::SeqCst), 2);
+}
+
+// ---------------------------------------------------------------------
+// Target 5: the work-stealing pool's chunk queue.
+// ---------------------------------------------------------------------
+
+/// Two workers drain a three-chunk queue: worker 1 owns one chunk and
+/// must steal the rest from worker 0's deque while worker 0 pops its
+/// own front. No interleaving may claim a chunk twice, lose one, or
+/// leave the queue undrained after both workers exit — the exactly-once
+/// claim is what makes the pool's drained-queue join sound.
+fn par_steal_join() {
+    // 6 items, chunk size 2, 2 workers → chunks 0..3 dealt round-robin.
+    let queue = Arc::new(ChunkedQueue::<ModelShim>::new(6, 2, 2));
+    // Bitmask of claimed chunk indices; fetch_add doubles as a
+    // double-claim detector (the old value must not contain the bit).
+    let seen = Arc::new(ModelShim::atomic_u64(0));
+
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            let queue = Arc::clone(&queue);
+            let seen = Arc::clone(&seen);
+            ModelShim::spawn(move || {
+                let mut claimed = 0u64;
+                while let Some(chunk) = queue.claim(w) {
+                    assert!(
+                        chunk.start < chunk.end && chunk.end <= 6,
+                        "bad chunk bounds"
+                    );
+                    let prev = ModelShim::fetch_add(&seen, 1 << chunk.index);
+                    assert_eq!(prev & (1 << chunk.index), 0, "chunk claimed twice");
+                    claimed += 1;
+                }
+                claimed
+            })
+        })
+        .collect();
+
+    let total: u64 = workers.into_iter().map(ModelShim::join).sum();
+    assert_eq!(total, 3, "a chunk was lost or duplicated");
+    assert_eq!(ModelShim::load(&seen), 0b111, "claimed set is not 0..3");
+    assert!(queue.is_drained(), "drained queue is the join condition");
+    assert_eq!(queue.claimed(), 3);
+}
+
+// ---------------------------------------------------------------------
+// Target 6: the lock-sharded distance cache.
+// ---------------------------------------------------------------------
+
+/// Three readers race the same sharded cache, two of them asking for
+/// the same pair in opposite argument orders. Every interleaving must
+/// return the inner function's value, collapse the symmetric pair to a
+/// single cache entry, and leave the shards consistent for later reads
+/// — the benign compute-twice race may never produce two entries or a
+/// wrong value.
+fn memo_shard_race() {
+    let memo = Arc::new(MemoizedDistance::<_, ModelShim>::new_in(
+        |i: usize, j: usize| (i.min(j) * 10 + i.max(j)) as f64,
+        1, // two shards, so racing pairs can land on the same lock
+    ));
+
+    let workers: Vec<_> = [(0usize, 1usize), (1, 0), (0, 2)]
+        .into_iter()
+        .map(|(i, j)| {
+            let memo = Arc::clone(&memo);
+            ModelShim::spawn(move || memo.distance(i, j))
+        })
+        .collect();
+    let vals: Vec<f64> = workers.into_iter().map(ModelShim::join).collect();
+
+    assert_eq!(vals[0], 1.0, "distance(0,1)");
+    assert_eq!(vals[1], 1.0, "distance(1,0) must agree with distance(0,1)");
+    assert_eq!(vals[2], 2.0, "distance(0,2)");
+    // The two argument orders of the racing pair share one key.
+    assert_eq!(memo.cached_pairs(), 2, "symmetric pair cached twice");
+    assert_eq!(memo.distance(0, 1), 1.0, "cache left inconsistent");
+    assert_eq!(memo.shard_count(), 2);
 }
 
 // ---------------------------------------------------------------------

@@ -3,16 +3,20 @@
 use std::sync::Arc;
 
 use semtree_cluster::{ClusterError, ComputeNodeId, Handler, NodeCtx};
+use semtree_par::Pool;
 
 use crate::proto::{Req, Resp};
 use crate::store::{KnnState, LocalNodeId, PartitionStore, RemoteOps};
 use crate::tree::SharedConfig;
 
 /// Hosts one partition of the SemTree and speaks the [`Req`]/[`Resp`]
-/// protocol. Single-threaded per partition, like one MPJ rank.
+/// protocol. Single-threaded per partition, like one MPJ rank — except
+/// for [`Req::KnnBatch`], whose queries fan out over `pool` when the
+/// partition has no remote links.
 pub(crate) struct PartitionActor {
     store: PartitionStore,
     shared: Arc<SharedConfig>,
+    pool: Pool,
 }
 
 impl PartitionActor {
@@ -26,12 +30,20 @@ impl PartitionActor {
             Vec::new(),
             0,
         );
-        PartitionActor { store, shared }
+        PartitionActor {
+            store,
+            shared,
+            pool: Pool::new(),
+        }
     }
 
     /// A partition with a pre-built store (the fan-out root).
     pub(crate) fn with_store(store: PartitionStore, shared: Arc<SharedConfig>) -> Self {
-        PartitionActor { store, shared }
+        PartitionActor {
+            store,
+            shared,
+            pool: Pool::new(),
+        }
     }
 
     /// The build-partition algorithm (§III-B.2): while the resource
@@ -124,6 +136,62 @@ impl PartitionActor {
                 .map_err(|e| ClusterError::Remote(format!("wal snapshot failed: {e}")))?;
         }
         Ok(())
+    }
+}
+
+/// [`RemoteOps`] stub for partitions with no remote links: a traversal
+/// there can never cross a border, so the batched k-NN worker threads
+/// need no (non-`Sync`) message fabric behind them. Any call is a logic
+/// error and surfaces as a remote failure rather than a panic.
+struct NoRemote;
+
+impl NoRemote {
+    fn bug<T>() -> Result<T, ClusterError> {
+        Err(ClusterError::Remote(
+            "remote operation reached during a local-only batch".into(),
+        ))
+    }
+}
+
+impl RemoteOps for NoRemote {
+    fn insert(
+        &self,
+        _partition: ComputeNodeId,
+        _node: LocalNodeId,
+        _point: &[f64],
+        _payload: u64,
+    ) -> Result<(), ClusterError> {
+        Self::bug()
+    }
+
+    fn knn(
+        &self,
+        _partition: ComputeNodeId,
+        _node: LocalNodeId,
+        _point: &[f64],
+        _k: usize,
+        _worst: Option<f64>,
+    ) -> Result<Vec<(f64, u64)>, ClusterError> {
+        Self::bug()
+    }
+
+    fn range(
+        &self,
+        _partition: ComputeNodeId,
+        _node: LocalNodeId,
+        _point: &[f64],
+        _radius: f64,
+    ) -> Result<Vec<(f64, u64)>, ClusterError> {
+        Self::bug()
+    }
+
+    fn range_parallel(
+        &self,
+        _targets: [(ComputeNodeId, LocalNodeId); 2],
+        _point: &[f64],
+        _radius: f64,
+    ) -> Result<[Vec<(f64, u64)>; 2], ClusterError> {
+        Self::bug()
     }
 }
 
@@ -351,6 +419,43 @@ impl Handler for PartitionActor {
                     self.store = build();
                 }
                 Resp::Done
+            }
+            Req::KnnBatch { node, points, k } => {
+                if self.store.has_remote_children() {
+                    // Border partition: traversals may cross into other
+                    // partitions, and the fabric context is single-threaded
+                    // — answer the batch sequentially. It still collapses
+                    // the client's round trips into one.
+                    let mut batches = Vec::with_capacity(points.len());
+                    for point in &points {
+                        let mut state = KnnState::new(k, None);
+                        match self.store.knn(node, point, &mut state, &remote) {
+                            Ok(()) => batches.push(state.into_candidates()),
+                            Err(e) => return Resp::Error(e.to_string()),
+                        }
+                    }
+                    Resp::CandidateBatches(batches)
+                } else {
+                    // Fully local partition: fan the queries out over the
+                    // worker pool. Each query's answer is identical to the
+                    // sequential path.
+                    let store = &self.store;
+                    let results = self.pool.map(points.len(), &|i| {
+                        let mut state = KnnState::new(k, None);
+                        store
+                            .knn(node, &points[i], &mut state, &NoRemote)
+                            .map(|()| state.into_candidates())
+                            .map_err(|e| e.to_string())
+                    });
+                    let mut batches = Vec::with_capacity(results.len());
+                    for r in results {
+                        match r {
+                            Ok(c) => batches.push(c),
+                            Err(e) => return Resp::Error(e),
+                        }
+                    }
+                    Resp::CandidateBatches(batches)
+                }
             }
             Req::Stats => Resp::Stats(self.store.stats()),
             Req::Verify => Resp::Violations(self.store.verify()),

@@ -503,6 +503,14 @@ pub enum ClientReq {
     Metrics,
     /// Tear the whole deployment down.
     Shutdown,
+    /// Batched k-nearest query: all of `points` answered in one round
+    /// trip, fanned out over the serving partitions' worker pools.
+    KnnBatch {
+        /// Query points.
+        points: Vec<Vec<f64>>,
+        /// Result count per query.
+        k: usize,
+    },
 }
 
 /// The coordinator's answer to a [`ClientReq`].
@@ -529,6 +537,9 @@ pub enum ClientResp {
     },
     /// The request failed.
     Error(String),
+    /// One neighbor list per query of a [`ClientReq::KnnBatch`], in
+    /// query order, each closest first.
+    NeighborBatches(Vec<Vec<(f64, u64)>>),
 }
 
 impl Encode for ClientReq {
@@ -553,6 +564,11 @@ impl Encode for ClientReq {
             ClientReq::Verify => out.push(4),
             ClientReq::Metrics => out.push(5),
             ClientReq::Shutdown => out.push(6),
+            ClientReq::KnnBatch { points, k } => {
+                out.push(7);
+                points.encode(out);
+                k.encode(out);
+            }
         }
     }
 }
@@ -576,6 +592,10 @@ impl Decode for ClientReq {
             4 => Ok(ClientReq::Verify),
             5 => Ok(ClientReq::Metrics),
             6 => Ok(ClientReq::Shutdown),
+            7 => Ok(ClientReq::KnnBatch {
+                points: Vec::decode(buf)?,
+                k: usize::decode(buf)?,
+            }),
             other => Err(DecodeError::new(format!("bad ClientReq tag {other}"))),
         }
     }
@@ -613,6 +633,10 @@ impl Encode for ClientResp {
                 out.push(5);
                 msg.encode(out);
             }
+            ClientResp::NeighborBatches(b) => {
+                out.push(6);
+                b.encode(out);
+            }
         }
     }
 }
@@ -631,6 +655,7 @@ impl Decode for ClientResp {
                 spawned_nodes: u64::decode(buf)?,
             }),
             5 => Ok(ClientResp::Error(String::decode(buf)?)),
+            6 => Ok(ClientResp::NeighborBatches(Vec::decode(buf)?)),
             other => Err(DecodeError::new(format!("bad ClientResp tag {other}"))),
         }
     }
@@ -697,6 +722,22 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
             }
         }
         ClientReq::Shutdown => ClientResp::Done,
+        ClientReq::KnnBatch { points, k } => {
+            for point in &points {
+                if let Some(err) = dims_mismatch(tree, point) {
+                    return err;
+                }
+            }
+            match tree.try_knn_batch(&points, k) {
+                Ok(batches) => ClientResp::NeighborBatches(
+                    batches
+                        .into_iter()
+                        .map(|hits| hits.into_iter().map(|n| (n.dist, n.payload)).collect())
+                        .collect(),
+                ),
+                Err(e) => ClientResp::Error(e.to_string()),
+            }
+        }
     }
 }
 
@@ -786,6 +827,24 @@ impl NetClient {
             point: point.to_vec(),
             k,
         })?)
+    }
+
+    /// Batched k-nearest query: the whole batch travels as one frame
+    /// and comes back as one frame, so `points.len()` queries cost a
+    /// single network round trip. Answers are in query order, each
+    /// closest first — identical to issuing [`NetClient::knn`] per
+    /// point.
+    ///
+    /// # Errors
+    /// Propagates transport and server-side failures.
+    pub fn knn_batch(&mut self, points: &[Vec<f64>], k: usize) -> io::Result<Vec<Vec<(f64, u64)>>> {
+        match self.call(&ClientReq::KnnBatch {
+            points: points.to_vec(),
+            k,
+        })? {
+            ClientResp::NeighborBatches(b) => Ok(b),
+            other => Err(unexpected(&other)),
+        }
     }
 
     /// Range query; `(distance, payload)` pairs closest first.
@@ -933,6 +992,10 @@ mod tests {
             ClientReq::Verify,
             ClientReq::Metrics,
             ClientReq::Shutdown,
+            ClientReq::KnnBatch {
+                points: vec![vec![1.0, 2.0], vec![]],
+                k: 3,
+            },
         ];
         for req in reqs {
             let back: ClientReq = decode_exact(&req.to_bytes()).unwrap();
@@ -950,6 +1013,7 @@ mod tests {
                 spawned_nodes: 2,
             },
             ClientResp::Error("nope".into()),
+            ClientResp::NeighborBatches(vec![vec![(0.5, 9), (1.0, 2)], vec![]]),
         ];
         for resp in resps {
             let back: ClientResp = decode_exact(&resp.to_bytes()).unwrap();

@@ -63,6 +63,18 @@ pub enum Req {
     /// Export every point stored in this partition's local leaves (not
     /// following remote links) — the building block of repartitioning.
     Export,
+    /// Batched k-nearest search: answer every query in `points` against
+    /// the sub-tree rooted at `node` in one round trip. The serving
+    /// partition may fan the batch out over its worker pool; answers come
+    /// back as [`Resp::CandidateBatches`] in query order.
+    KnnBatch {
+        /// Root of the receiving sub-tree.
+        node: LocalNodeId,
+        /// Query points, one batch entry per point.
+        points: Vec<Vec<f64>>,
+        /// Number of points `K` per query.
+        k: usize,
+    },
 }
 
 /// Responses.
@@ -83,6 +95,9 @@ pub enum Resp {
     /// so failures propagate across process boundaries instead of
     /// panicking the server.
     Error(String),
+    /// One candidate list per query of a [`Req::KnnBatch`], in query
+    /// order.
+    CandidateBatches(Vec<Vec<(f64, u64)>>),
 }
 
 /// Per-partition statistics, including the outgoing partition links so a
@@ -193,6 +208,12 @@ impl Encode for Req {
             Req::Stats => out.push(4),
             Req::Verify => out.push(5),
             Req::Export => out.push(6),
+            Req::KnnBatch { node, points, k } => {
+                out.push(7);
+                node.encode(out);
+                points.encode(out);
+                k.encode(out);
+            }
         }
     }
 }
@@ -223,6 +244,11 @@ impl Decode for Req {
             4 => Ok(Req::Stats),
             5 => Ok(Req::Verify),
             6 => Ok(Req::Export),
+            7 => Ok(Req::KnnBatch {
+                node: LocalNodeId::decode(buf)?,
+                points: Vec::decode(buf)?,
+                k: usize::decode(buf)?,
+            }),
             other => Err(DecodeError::new(format!("bad Req tag {other}"))),
         }
     }
@@ -252,6 +278,10 @@ impl Encode for Resp {
                 out.push(5);
                 msg.encode(out);
             }
+            Resp::CandidateBatches(b) => {
+                out.push(6);
+                b.encode(out);
+            }
         }
     }
 }
@@ -265,6 +295,7 @@ impl Decode for Resp {
             3 => Ok(Resp::Violations(Vec::decode(buf)?)),
             4 => Ok(Resp::Points(Vec::decode(buf)?)),
             5 => Ok(Resp::Error(String::decode(buf)?)),
+            6 => Ok(Resp::CandidateBatches(Vec::decode(buf)?)),
             other => Err(DecodeError::new(format!("bad Resp tag {other}"))),
         }
     }
@@ -288,6 +319,9 @@ impl Wire for Req {
                 1 + 8 + bucket.iter().map(|(p, _)| 16 + 8 * p.len()).sum::<usize>() + 4
             }
             Req::Stats | Req::Verify | Req::Export => 1,
+            Req::KnnBatch { points, .. } => {
+                1 + 4 + 8 + points.iter().map(|p| 8 + 8 * p.len()).sum::<usize>() + 8
+            }
         }
     }
 }
@@ -301,6 +335,7 @@ impl Wire for Resp {
             Resp::Violations(v) => 1 + 8 + v.iter().map(|m| 8 + m.len()).sum::<usize>(),
             Resp::Points(pts) => 1 + 8 + pts.iter().map(|(c, _)| 16 + 8 * c.len()).sum::<usize>(),
             Resp::Error(msg) => 1 + 8 + msg.len(),
+            Resp::CandidateBatches(b) => 1 + 8 + b.iter().map(|c| 8 + 16 * c.len()).sum::<usize>(),
         }
     }
 }
@@ -349,6 +384,16 @@ mod tests {
             Req::Stats,
             Req::Verify,
             Req::Export,
+            Req::KnnBatch {
+                node: LocalNodeId(2),
+                points: vec![vec![1.0, 2.0], vec![], vec![3.0, 4.0, 5.0]],
+                k: 4,
+            },
+            Req::KnnBatch {
+                node: LocalNodeId(0),
+                points: vec![],
+                k: 1,
+            },
         ]
     }
 
@@ -370,6 +415,8 @@ mod tests {
             Resp::Points(vec![(vec![1.0], 1), (vec![2.0, 3.0], 2)]),
             Resp::Error("partition 131072 unreachable".into()),
             Resp::Error(String::new()),
+            Resp::CandidateBatches(vec![]),
+            Resp::CandidateBatches(vec![vec![(0.5, 1), (1.5, 2)], vec![], vec![(2.5, 3)]]),
         ]
     }
 

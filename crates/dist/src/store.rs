@@ -671,6 +671,19 @@ impl PartitionStore {
 
     /// The largest leaf that is not the partition root (the "leaf node
     /// candidate `Lc`" of Figure 2), if any.
+    /// Whether any routing node links to a remote partition. A partition
+    /// with no remote links can answer whole traversals without touching
+    /// the message fabric — which is what lets a batched k-NN fan out
+    /// over worker threads.
+    pub(crate) fn has_remote_children(&self) -> bool {
+        self.nodes.iter().any(|n| match &n.kind {
+            PNodeKind::Routing { left, right, .. } => {
+                matches!(left, Child::Remote { .. }) || matches!(right, Child::Remote { .. })
+            }
+            PNodeKind::Leaf { .. } => false,
+        })
+    }
+
     pub(crate) fn eviction_candidate(&self) -> Option<LocalNodeId> {
         self.reachable_nodes()
             .into_iter()

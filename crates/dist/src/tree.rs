@@ -462,6 +462,42 @@ impl DistSemTree {
         self.try_knn(point, k).expect("distributed knn failed")
     }
 
+    /// Batched distributed k-nearest query: every query in `points` is
+    /// answered in one round trip to the root partition, which fans
+    /// fully-local batches out over its worker pool. Answers come back
+    /// in query order, each closest first — identical to issuing
+    /// [`try_knn`](DistSemTree::try_knn) per query.
+    ///
+    /// # Errors
+    /// Fails when any partition a search must visit is unreachable.
+    pub fn try_knn_batch(
+        &self,
+        points: &[Vec<f64>],
+        k: usize,
+    ) -> Result<Vec<Vec<Neighbor<u64>>>, ClusterError> {
+        match self.cluster.call(
+            self.root,
+            Req::KnnBatch {
+                node: LocalNodeId(0),
+                points: points.to_vec(),
+                k,
+            },
+        )? {
+            Resp::CandidateBatches(b) => Ok(b
+                .into_iter()
+                .map(|c| {
+                    c.into_iter()
+                        .map(|(dist, payload)| Neighbor { dist, payload })
+                        .collect()
+                })
+                .collect()),
+            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+            other => Err(ClusterError::Remote(format!(
+                "expected candidate batches, got {other:?}"
+            ))),
+        }
+    }
+
     /// Distributed range query (inclusive radius); hits closest first.
     ///
     /// # Errors
@@ -890,6 +926,41 @@ mod tests {
                 })
                 .count();
             assert_eq!(got_range.len(), want_range, "M={m}");
+            tree.shutdown();
+        }
+    }
+
+    #[test]
+    fn knn_batch_matches_per_query_knn_on_single_and_partitioned_trees() {
+        let points = grid(400);
+        let queries: Vec<Vec<f64>> = (0..25)
+            .map(|i| vec![f64::from(i), f64::from(i % 9)])
+            .collect();
+        let sample: Vec<Vec<f64>> = points.iter().map(|(c, _)| c.clone()).take(100).collect();
+        for m in [1usize, 5] {
+            let tree = DistSemTree::with_fanout(
+                DistConfig::new(2)
+                    .with_bucket_size(8)
+                    .with_max_partitions(16),
+                CostModel::zero(),
+                m,
+                &sample,
+            );
+            for (c, p) in &points {
+                tree.insert(c, *p);
+            }
+            let batches = tree.try_knn_batch(&queries, 6).expect("batch succeeds");
+            assert_eq!(batches.len(), queries.len());
+            for (q, batch) in queries.iter().zip(&batches) {
+                let single = tree.knn(q, 6);
+                assert_eq!(batch.len(), single.len(), "M={m}");
+                for (b, s) in batch.iter().zip(&single) {
+                    assert_eq!(b.dist.to_bits(), s.dist.to_bits(), "M={m}");
+                    assert_eq!(b.payload, s.payload, "M={m}");
+                }
+            }
+            // Empty batch round-trips cleanly.
+            assert!(tree.try_knn_batch(&[], 3).expect("empty batch").is_empty());
             tree.shutdown();
         }
     }

@@ -2,6 +2,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use semtree_par::Pool;
 
 /// Number of farthest-point hops in `choose-distant-objects` (the constant
 /// the original paper uses).
@@ -18,11 +19,15 @@ pub struct PivotPair {
     pub d_ab: f64,
 }
 
-/// FastMap configuration: target dimensionality and RNG seed.
+/// FastMap configuration: target dimensionality, RNG seed, and worker
+/// count for the parallel scans.
 #[derive(Debug, Clone, Copy)]
 pub struct FastMap {
     k: usize,
     seed: u64,
+    /// Worker count for the distance scans; `0` means "size to the
+    /// machine". The output is byte-identical for every value.
+    threads: usize,
 }
 
 impl FastMap {
@@ -36,6 +41,7 @@ impl FastMap {
         FastMap {
             k,
             seed: 0x5EED_FA57,
+            threads: 0,
         }
     }
 
@@ -46,6 +52,16 @@ impl FastMap {
         self
     }
 
+    /// Fix the worker count for the parallel pivot scans and coordinate
+    /// columns (`0` = one worker per hardware thread, the default).
+    /// Thread count never changes the embedding: the parallel schedule
+    /// reproduces the sequential result bit-for-bit.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Target dimensionality.
     #[must_use]
     pub fn dimensions(&self) -> usize {
@@ -53,9 +69,20 @@ impl FastMap {
     }
 
     /// Run FastMap over `n` objects with distance oracle `dist`
-    /// (symmetric, non-negative, `dist(i,i) = 0`).
+    /// (symmetric, non-negative, `dist(i,i) = 0`). The oracle must be
+    /// `Sync`: per-axis pivot scans and coordinate columns are computed
+    /// by the `semtree-par` work-stealing pool, which calls `dist`
+    /// concurrently on disjoint object ranges.
     #[must_use]
-    pub fn embed(&self, n: usize, dist: &dyn Fn(usize, usize) -> f64) -> Embedding {
+    pub fn embed<F>(&self, n: usize, dist: &F) -> Embedding
+    where
+        F: Fn(usize, usize) -> f64 + Sync,
+    {
+        let pool = if self.threads == 0 {
+            Pool::new()
+        } else {
+            Pool::sequential().with_threads(self.threads)
+        };
         let mut coords = vec![0.0f64; n * self.k];
         let mut pivots = Vec::with_capacity(self.k);
         let mut rng = StdRng::seed_from_u64(self.seed);
@@ -80,16 +107,30 @@ impl FastMap {
             };
 
             // choose-distant-objects: start random, hop to the farthest.
+            // The parallel argmax replicates `Iterator::max_by` exactly:
+            // within a chunk the later index wins ties (`>=`), and chunk
+            // results combine in ascending order with the later chunk
+            // winning ties, so the reduction returns the *last* maximal
+            // index — the same object the sequential scan picks.
             let mut a = rng.random_range(0..n);
             let mut b = a;
             for _ in 0..PIVOT_HOPS {
-                let far = (0..n)
-                    .max_by(|&x, &y| {
-                        proj2(b, x, &coords)
-                            .partial_cmp(&proj2(b, y, &coords))
-                            .expect("distances are finite")
-                    })
-                    .expect("n >= 2");
+                let far = pool
+                    .reduce(
+                        n,
+                        &|start, end| {
+                            let mut best = (start, proj2(b, start, &coords));
+                            for x in start + 1..end {
+                                let key = proj2(b, x, &coords);
+                                if key >= best.1 {
+                                    best = (x, key);
+                                }
+                            }
+                            best
+                        },
+                        &|acc, next| if next.1 >= acc.1 { next } else { acc },
+                    )
+                    .map_or(b, |(idx, _)| idx);
                 if far == a {
                     break;
                 }
@@ -104,8 +145,10 @@ impl FastMap {
             }
             let d_ab = d_ab2.sqrt();
 
-            for i in 0..n {
-                let x = (proj2(a, i, &coords) + d_ab2 - proj2(b, i, &coords)) / (2.0 * d_ab);
+            let column = pool.map(n, &|i| {
+                (proj2(a, i, &coords) + d_ab2 - proj2(b, i, &coords)) / (2.0 * d_ab)
+            });
+            for (i, x) in column.into_iter().enumerate() {
                 coords[i * self.k + h] = x;
             }
             pivots.push(PivotPair { a, b, d_ab });
@@ -167,7 +210,7 @@ impl Embedding {
     /// Euclidean distance between two embedded objects.
     #[must_use]
     pub fn embedded_distance(&self, i: usize, j: usize) -> f64 {
-        euclidean(self.point(i), self.point(j))
+        semtree_par::metric::euclidean(self.point(i), self.point(j))
     }
 
     /// Project an out-of-sample object into the embedding.
@@ -240,17 +283,6 @@ impl Embedding {
         self.coords.extend_from_slice(coords);
         self.n += 1;
     }
-}
-
-/// Plain Euclidean distance between equal-length coordinate slices.
-#[must_use]
-pub(crate) fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
 }
 
 #[cfg(test)]
@@ -356,6 +388,26 @@ mod tests {
         let lo = emb.point(3)[0].min(emb.point(4)[0]);
         let hi = emb.point(3)[0].max(emb.point(4)[0]);
         assert!(q[0] > lo && q[0] < hi, "{q:?} not within ({lo}, {hi})");
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_embedding() {
+        let seq = FastMap::new(3)
+            .with_seed(6)
+            .with_threads(1)
+            .embed(40, &line_dist);
+        for threads in [2, 3, 8] {
+            let par = FastMap::new(3)
+                .with_seed(6)
+                .with_threads(threads)
+                .embed(40, &line_dist);
+            for i in 0..40 {
+                for (x, y) in par.point(i).iter().zip(seq.point(i)) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "threads={threads} object {i}");
+                }
+            }
+            assert_eq!(par.pivots(), seq.pivots(), "threads={threads}");
+        }
     }
 
     #[test]

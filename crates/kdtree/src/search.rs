@@ -3,6 +3,12 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use semtree_par::metric::euclidean_sq;
+use semtree_par::Pool;
+// The single shared Euclidean implementation; this crate's former
+// private copy is gone.
+pub(crate) use semtree_par::metric::euclidean;
+
 use crate::tree::{KdTree, NodeId, NodeKind};
 
 /// One search hit.
@@ -25,14 +31,17 @@ pub struct SearchStats {
 }
 
 /// Max-heap item so the `BinaryHeap` evicts the *farthest* candidate.
+/// Ordered by **squared** distance — monotone in the true distance, so
+/// no `sqrt` runs inside the search loop; the root is taken once per
+/// result at materialization.
 struct HeapItem<P> {
-    dist: f64,
+    dist_sq: f64,
     payload: P,
 }
 
 impl<P> PartialEq for HeapItem<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.dist == other.dist
+        self.dist_sq == other.dist_sq
     }
 }
 impl<P> Eq for HeapItem<P> {}
@@ -43,18 +52,10 @@ impl<P> PartialOrd for HeapItem<P> {
 }
 impl<P> Ord for HeapItem<P> {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist
-            .partial_cmp(&other.dist)
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
             .expect("distances are finite")
     }
-}
-
-pub(crate) fn euclidean(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y) * (x - y))
-        .sum::<f64>()
-        .sqrt()
 }
 
 impl<P: Clone> KdTree<P> {
@@ -84,7 +85,7 @@ impl<P: Clone> KdTree<P> {
             .into_sorted_vec()
             .into_iter()
             .map(|h| Neighbor {
-                dist: h.dist,
+                dist: h.dist_sq.sqrt(),
                 payload: h.payload,
             })
             .collect();
@@ -110,17 +111,20 @@ impl<P: Clone> KdTree<P> {
             /// *after* the near side has been searched.
             CheckFar {
                 far: NodeId,
-                plane_dist: f64,
+                plane_dist_sq: f64,
             },
         }
         let mut stack = vec![Task::Visit(NodeId(0))];
         while let Some(task) = stack.pop() {
             match task {
-                Task::CheckFar { far, plane_dist } => {
+                Task::CheckFar { far, plane_dist_sq } => {
                     // The paper's disjunction: Rs not full, or the
-                    // hyperplane distance |P[SI] − Sv| beats the worst.
-                    let must =
-                        heap.len() < k || heap.peek().is_some_and(|worst| plane_dist < worst.dist);
+                    // hyperplane distance |P[SI] − Sv| beats the worst
+                    // (compared in squared space, which preserves order).
+                    let must = heap.len() < k
+                        || heap
+                            .peek()
+                            .is_some_and(|worst| plane_dist_sq < worst.dist_sq);
                     if must {
                         stack.push(Task::Visit(far));
                     }
@@ -131,17 +135,17 @@ impl<P: Clone> KdTree<P> {
                         NodeKind::Leaf { bucket } => {
                             for e in bucket {
                                 stats.distance_evals += 1;
-                                let d = euclidean(&e.coords, query);
+                                let d_sq = euclidean_sq(&e.coords, query);
                                 if heap.len() < k {
                                     heap.push(HeapItem {
-                                        dist: d,
+                                        dist_sq: d_sq,
                                         payload: e.payload.clone(),
                                     });
                                 } else if let Some(top) = heap.peek() {
-                                    if d < top.dist {
+                                    if d_sq < top.dist_sq {
                                         heap.pop();
                                         heap.push(HeapItem {
-                                            dist: d,
+                                            dist_sq: d_sq,
                                             payload: e.payload.clone(),
                                         });
                                     }
@@ -162,7 +166,7 @@ impl<P: Clone> KdTree<P> {
                             };
                             stack.push(Task::CheckFar {
                                 far,
-                                plane_dist: delta.abs(),
+                                plane_dist_sq: delta * delta,
                             });
                             stack.push(Task::Visit(near));
                         }
@@ -244,6 +248,19 @@ impl<P: Clone> KdTree<P> {
     #[must_use]
     pub fn nearest(&self, query: &[f64]) -> Option<Neighbor<P>> {
         self.knn(query, 1).into_iter().next()
+    }
+
+    /// Answer a batch of k-NN queries, fanning the batch out over
+    /// `pool`'s workers. Output order matches `queries`, and each entry
+    /// is byte-identical to what [`KdTree::knn`] returns for that query
+    /// — the per-query search is untouched, only the batch dimension is
+    /// parallel.
+    #[must_use]
+    pub fn knn_batch(&self, queries: &[Vec<f64>], k: usize, pool: &Pool) -> Vec<Vec<Neighbor<P>>>
+    where
+        P: Send + Sync,
+    {
+        pool.map(queries.len(), &|i| self.knn(&queries[i], k))
     }
 }
 
@@ -436,6 +453,39 @@ mod tests {
     fn negative_radius_panics() {
         let tree: KdTree<u32> = KdTree::new(KdConfig::new(1));
         let _ = tree.range(&[0.0], -1.0);
+    }
+
+    #[test]
+    fn knn_batch_is_bitwise_identical_to_sequential_knn() {
+        let points = random_points(400, 3, 29);
+        let tree = KdTree::bulk_load(KdConfig::new(3).with_bucket_size(8), points);
+        let mut rng = StdRng::seed_from_u64(31);
+        let queries: Vec<Vec<f64>> = (0..40)
+            .map(|_| (0..3).map(|_| rng.random_range(0.0..100.0)).collect())
+            .collect();
+        let want: Vec<Vec<Neighbor<u32>>> = queries.iter().map(|q| tree.knn(q, 5)).collect();
+        for threads in [1usize, 2, 3, 8] {
+            let pool = Pool::sequential().with_threads(threads);
+            let got = tree.knn_batch(&queries, 5, &pool);
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.len(), w.len(), "threads={threads}");
+                for (gn, wn) in g.iter().zip(w) {
+                    assert_eq!(gn.dist.to_bits(), wn.dist.to_bits(), "threads={threads}");
+                    assert_eq!(gn.payload, wn.payload, "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knn_batch_empty_batch_and_empty_tree() {
+        let pool = Pool::sequential().with_threads(4);
+        let tree: KdTree<u32> = KdTree::new(KdConfig::new(2));
+        assert!(tree.knn_batch(&[], 3, &pool).is_empty());
+        let hits = tree.knn_batch(&[vec![0.0, 0.0]], 3, &pool);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].is_empty());
     }
 
     #[test]

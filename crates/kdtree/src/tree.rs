@@ -1,5 +1,7 @@
 //! Tree structure, dynamic insertion and bulk loading.
 
+use semtree_par::Pool;
+
 /// Identifier of a node in the tree arena; the root is always node 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct NodeId(pub u32);
@@ -292,25 +294,7 @@ impl<P: Clone> KdTree<P> {
     /// Pick `(Sr, Sv)` for a bucket; `None` when no dimension separates the
     /// points. `Sv` is chosen so both sides are non-empty.
     fn choose_split(&self, bucket: &[Entry<P>], depth: u32) -> Option<(usize, f64)> {
-        let dims = self.config.dims;
-        let preferred = match self.config.split_rule {
-            SplitRule::Cycle | SplitRule::DegenerateMin => depth as usize % dims,
-            SplitRule::WidestSpread => widest_dim(bucket, dims),
-        };
-        let degenerate = self.config.split_rule == SplitRule::DegenerateMin;
-        // Try the preferred dimension first, then the rest.
-        for offset in 0..dims {
-            let dim = (preferred + offset) % dims;
-            let val = if degenerate {
-                min_split_value(bucket, dim)
-            } else {
-                split_value(bucket, dim)
-            };
-            if let Some(val) = val {
-                return Some((dim, val));
-            }
-        }
-        None
+        choose_split_at(&self.config, bucket, depth)
     }
 
     /// Balanced bulk-load: recursive median construction, the paper's
@@ -374,6 +358,102 @@ impl<P: Clone> KdTree<P> {
         self.build_recursive(right, right_bucket, depth + 1);
     }
 
+    /// [`KdTree::bulk_load`] with the recursive median construction fanned
+    /// out over `pool`'s workers. The resulting tree is **identical** to
+    /// the sequential bulk-load — same arena layout, node numbering, split
+    /// choices and bucket order — because the top of the tree is split
+    /// sequentially into independent sub-tree tasks whose results are
+    /// flattened back in exactly the order [`KdTree::bulk_load`] would
+    /// have allocated them.
+    #[must_use]
+    pub fn bulk_load_par(config: KdConfig, points: Vec<(Vec<f64>, P)>, pool: &Pool) -> Self
+    where
+        P: Send,
+    {
+        if pool.threads() <= 1 {
+            return Self::bulk_load(config, points);
+        }
+        for (coords, _) in &points {
+            assert_eq!(coords.len(), config.dims, "dimensionality mismatch");
+        }
+        let len = points.len();
+        let entries: Vec<Entry<P>> = points
+            .into_iter()
+            .map(|(coords, payload)| Entry {
+                coords: coords.into(),
+                payload,
+            })
+            .collect();
+        // Split sequentially for the first few levels — enough to hand
+        // every worker a handful of independent sub-trees.
+        let levels = (pool.threads() * 4).next_power_of_two().trailing_zeros();
+        let mut tasks: Vec<(Vec<Entry<P>>, u32)> = Vec::new();
+        let top = skeleton(&config, entries, 0, levels, &mut tasks);
+        let built = pool.map_vec(tasks, &|(sub, depth)| build_subtree(&config, sub, depth));
+        let mut built: Vec<Option<BuildNode<P>>> = built.into_iter().map(Some).collect();
+        let mut tree = KdTree {
+            config,
+            nodes: Vec::new(),
+            len,
+        };
+        tree.nodes.push(Node {
+            kind: NodeKind::Leaf { bucket: Vec::new() },
+            depth: 0,
+        });
+        tree.flatten_built(NodeId(0), top, 0, &mut built);
+        tree
+    }
+
+    /// Write a linked [`BuildNode`] sub-tree into the arena at `node`,
+    /// allocating children in `build_recursive`'s exact order (left at
+    /// `len`, right at `len + 1`, then the left sub-tree in full before
+    /// the right) so the parallel build is arena-identical.
+    fn flatten_built(
+        &mut self,
+        node: NodeId,
+        built: BuildNode<P>,
+        depth: u32,
+        tasks: &mut [Option<BuildNode<P>>],
+    ) {
+        self.nodes[node.index()].depth = depth;
+        match built {
+            BuildNode::Leaf(bucket) => {
+                self.nodes[node.index()].kind = NodeKind::Leaf { bucket };
+            }
+            BuildNode::Task(i) => {
+                let Some(sub) = tasks[i].take() else {
+                    unreachable!("each pool-built sub-tree is flattened exactly once");
+                };
+                self.flatten_built(node, sub, depth, tasks);
+            }
+            BuildNode::Split {
+                split_dim,
+                split_val,
+                children,
+            } => {
+                let (l, r) = *children;
+                let left = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Node {
+                    kind: NodeKind::Leaf { bucket: Vec::new() },
+                    depth: depth + 1,
+                });
+                let right = NodeId(self.nodes.len() as u32);
+                self.nodes.push(Node {
+                    kind: NodeKind::Leaf { bucket: Vec::new() },
+                    depth: depth + 1,
+                });
+                self.nodes[node.index()].kind = NodeKind::Routing {
+                    split_dim,
+                    split_val,
+                    left,
+                    right,
+                };
+                self.flatten_built(left, l, depth + 1, tasks);
+                self.flatten_built(right, r, depth + 1, tasks);
+            }
+        }
+    }
+
     /// Totally unbalanced ("chain") construction: points are inserted in
     /// lexicographic coordinate order under the [`SplitRule::DegenerateMin`]
     /// rule, so every split peels off only the minimum-valued points and
@@ -422,6 +502,100 @@ impl<P: Clone> KdTree<P> {
             })
             .map(|e| (e.coords.as_ref(), &e.payload))
     }
+}
+
+/// Sub-tree representation for the parallel bulk-load: workers build
+/// linked sub-trees independently, and the flatten pass writes them into
+/// the arena in the sequential allocation order.
+enum BuildNode<P> {
+    Leaf(Vec<Entry<P>>),
+    Split {
+        split_dim: usize,
+        split_val: f64,
+        children: Box<(BuildNode<P>, BuildNode<P>)>,
+    },
+    /// Placeholder for a sub-tree built by a pool worker; the index keys
+    /// into the built-task vector during flattening.
+    Task(usize),
+}
+
+/// Split sequentially for `levels` levels, recording each unfinished
+/// sub-tree as a task. Split decisions are exactly `build_recursive`'s.
+fn skeleton<P>(
+    config: &KdConfig,
+    entries: Vec<Entry<P>>,
+    depth: u32,
+    levels: u32,
+    tasks: &mut Vec<(Vec<Entry<P>>, u32)>,
+) -> BuildNode<P> {
+    if entries.len() <= config.bucket_size {
+        return BuildNode::Leaf(entries);
+    }
+    if levels == 0 {
+        tasks.push((entries, depth));
+        return BuildNode::Task(tasks.len() - 1);
+    }
+    let Some((split_dim, split_val)) = choose_split_at(config, &entries, depth) else {
+        return BuildNode::Leaf(entries);
+    };
+    let (left, right): (Vec<_>, Vec<_>) = entries
+        .into_iter()
+        .partition(|e| e.coords[split_dim] <= split_val);
+    BuildNode::Split {
+        split_dim,
+        split_val,
+        children: Box::new((
+            skeleton(config, left, depth + 1, levels - 1, tasks),
+            skeleton(config, right, depth + 1, levels - 1, tasks),
+        )),
+    }
+}
+
+/// Sequentially build one sub-tree as a linked structure, mirroring
+/// `build_recursive`'s decisions exactly.
+fn build_subtree<P>(config: &KdConfig, entries: Vec<Entry<P>>, depth: u32) -> BuildNode<P> {
+    if entries.len() <= config.bucket_size {
+        return BuildNode::Leaf(entries);
+    }
+    let Some((split_dim, split_val)) = choose_split_at(config, &entries, depth) else {
+        return BuildNode::Leaf(entries);
+    };
+    let (left, right): (Vec<_>, Vec<_>) = entries
+        .into_iter()
+        .partition(|e| e.coords[split_dim] <= split_val);
+    BuildNode::Split {
+        split_dim,
+        split_val,
+        children: Box::new((
+            build_subtree(config, left, depth + 1),
+            build_subtree(config, right, depth + 1),
+        )),
+    }
+}
+
+/// Pick `(Sr, Sv)` for a bucket under `config`; `None` when no dimension
+/// separates the points. Shared by the sequential and parallel builders
+/// so both make byte-identical split decisions.
+fn choose_split_at<P>(config: &KdConfig, bucket: &[Entry<P>], depth: u32) -> Option<(usize, f64)> {
+    let dims = config.dims;
+    let preferred = match config.split_rule {
+        SplitRule::Cycle | SplitRule::DegenerateMin => depth as usize % dims,
+        SplitRule::WidestSpread => widest_dim(bucket, dims),
+    };
+    let degenerate = config.split_rule == SplitRule::DegenerateMin;
+    // Try the preferred dimension first, then the rest.
+    for offset in 0..dims {
+        let dim = (preferred + offset) % dims;
+        let val = if degenerate {
+            min_split_value(bucket, dim)
+        } else {
+            split_value(bucket, dim)
+        };
+        if let Some(val) = val {
+            return Some((dim, val));
+        }
+    }
+    None
 }
 
 fn widest_dim<P>(bucket: &[Entry<P>], dims: usize) -> usize {
@@ -677,6 +851,40 @@ mod tests {
         let mut t: KdTree<u32> = KdTree::new(KdConfig::new(2));
         t.rebalance();
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn bulk_load_par_is_arena_identical_to_sequential() {
+        // Varied shapes: grids, duplicate-heavy data, every split rule.
+        type Case = (KdConfig, Vec<(Vec<f64>, u32)>);
+        let cases: Vec<Case> = vec![
+            (KdConfig::new(2).with_bucket_size(4), grid(256)),
+            (KdConfig::new(2).with_bucket_size(1), grid(100)),
+            (
+                KdConfig::new(2)
+                    .with_bucket_size(4)
+                    .with_split_rule(SplitRule::WidestSpread),
+                grid(200),
+            ),
+            (
+                KdConfig::new(1).with_bucket_size(4),
+                (0..300).map(|i| (vec![(i % 7) as f64], i as u32)).collect(),
+            ),
+            (KdConfig::new(3).with_bucket_size(8), Vec::new()),
+        ];
+        for (config, pts) in cases {
+            let seq = KdTree::bulk_load(config, pts.clone());
+            for threads in [1usize, 2, 3, 8] {
+                let pool = Pool::sequential().with_threads(threads);
+                let par = KdTree::bulk_load_par(config, pts.clone(), &pool);
+                assert_eq!(par.len(), seq.len());
+                assert_eq!(
+                    format!("{:?}", par.nodes),
+                    format!("{:?}", seq.nodes),
+                    "arena differs at threads={threads} for {config:?}"
+                );
+            }
+        }
     }
 
     #[test]

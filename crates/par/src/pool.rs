@@ -1,0 +1,303 @@
+//! The production pool: scoped workers driving a [`ChunkedQueue`].
+//!
+//! A [`Pool`] is pure configuration (a thread count) — workers are
+//! spawned per call with `std::thread::scope`, so closures may borrow
+//! from the caller's stack and there is no global executor to shut
+//! down. Every primitive is **deterministic**: whatever the steal
+//! schedule, `map` reassembles per-chunk outputs by start index and
+//! `reduce` combines per-chunk folds in ascending chunk order, so for a
+//! pure `f` (and a chunk-compatible fold/combine pair) the output is
+//! bit-identical to the sequential path for any thread count.
+
+use crate::queue::ChunkedQueue;
+use semtree_conc::sync::Mutex;
+
+/// How many chunks each worker nominally receives; the surplus beyond 1
+/// is what gives idle workers something to steal.
+const CHUNKS_PER_WORKER: usize = 4;
+
+fn chunk_size(items: usize, workers: usize) -> usize {
+    items.div_ceil(workers * CHUNKS_PER_WORKER).max(1)
+}
+
+/// A scoped work-stealing thread pool.
+///
+/// `Pool` is `Clone` and cheap to pass around; `threads == 1` (or a
+/// job too small to split) runs inline on the caller's thread with no
+/// spawning at all, which is also the reference path the parallel
+/// schedules are required to reproduce bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool sized to the machine (`std::thread::available_parallelism`).
+    #[must_use]
+    pub fn new() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Pool { threads }
+    }
+
+    /// A single-threaded pool: every primitive runs inline.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Pool { threads: 1 }
+    }
+
+    /// Override the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn workers_for(&self, items: usize) -> usize {
+        self.threads.min(items).max(1)
+    }
+
+    /// Run `body(start, end)` over disjoint chunks covering `0..items`.
+    ///
+    /// `body` must be safe to call concurrently on disjoint ranges; the
+    /// union of all calls covers every index exactly once.
+    pub fn for_each_chunk<F>(&self, items: usize, body: &F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let workers = self.workers_for(items);
+        if workers <= 1 {
+            if items > 0 {
+                body(0, items);
+            }
+            return;
+        }
+        let queue: ChunkedQueue = ChunkedQueue::new(items, chunk_size(items, workers), workers);
+        let run = |w: usize| {
+            while let Some(c) = queue.claim(w) {
+                body(c.start, c.end);
+            }
+        };
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let run = &run;
+                scope.spawn(move || run(w));
+            }
+            run(0);
+        });
+    }
+
+    /// `f(i)` for every `i in 0..items`, collected in index order.
+    ///
+    /// For a pure `f` the result is identical to
+    /// `(0..items).map(f).collect()` for any thread count.
+    pub fn map<T, F>(&self, items: usize, f: &F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.workers_for(items);
+        if workers <= 1 {
+            return (0..items).map(f).collect();
+        }
+        let queue: ChunkedQueue = ChunkedQueue::new(items, chunk_size(items, workers), workers);
+        let parts = Mutex::new(Vec::new());
+        let run = |w: usize| {
+            while let Some(c) = queue.claim(w) {
+                let mut vals = Vec::with_capacity(c.end - c.start);
+                for i in c.start..c.end {
+                    vals.push(f(i));
+                }
+                parts.lock().push((c.start, vals));
+            }
+        };
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let run = &run;
+                scope.spawn(move || run(w));
+            }
+            run(0);
+        });
+        let mut parts = std::mem::take(&mut *parts.lock());
+        parts.sort_unstable_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(items);
+        for (_, vals) in parts {
+            out.extend(vals);
+        }
+        out
+    }
+
+    /// Fold disjoint chunks of `0..items` with `fold(start, end)` and
+    /// combine the per-chunk results **in ascending chunk order**.
+    ///
+    /// Returns `None` only when `items == 0`. The result is identical to
+    /// `fold(0, items)` for any thread count **provided** the pair is
+    /// chunk-compatible: `combine(fold(a, m), fold(m, b)) == fold(a, b)`
+    /// for all `a <= m <= b` — true of sums, min/max scans with a fixed
+    /// tie-break direction, and similar associative folds.
+    pub fn reduce<T, F, C>(&self, items: usize, fold: &F, combine: &C) -> Option<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+        C: Fn(T, T) -> T + Sync,
+    {
+        if items == 0 {
+            return None;
+        }
+        let workers = self.workers_for(items);
+        if workers <= 1 {
+            return Some(fold(0, items));
+        }
+        let queue: ChunkedQueue = ChunkedQueue::new(items, chunk_size(items, workers), workers);
+        let parts = Mutex::new(Vec::new());
+        let run = |w: usize| {
+            while let Some(c) = queue.claim(w) {
+                let val = fold(c.start, c.end);
+                parts.lock().push((c.index, val));
+            }
+        };
+        std::thread::scope(|scope| {
+            for w in 1..workers {
+                let run = &run;
+                scope.spawn(move || run(w));
+            }
+            run(0);
+        });
+        let mut parts = std::mem::take(&mut *parts.lock());
+        parts.sort_unstable_by_key(|&(index, _)| index);
+        parts.into_iter().map(|(_, val)| val).reduce(combine)
+    }
+
+    /// `f` applied to every owned item, collected in input order.
+    ///
+    /// Unlike [`Pool::map`] this hands each worker *ownership* of its
+    /// items (needed when the work consumes them, e.g. bulk tree
+    /// construction over entry buckets). Items are dealt one at a time
+    /// from a shared feed rather than chunked — callers use this for
+    /// coarse-grained tasks where per-item dispatch cost is noise.
+    pub fn map_vec<I, T, F>(&self, items: Vec<I>, f: &F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(I) -> T + Sync,
+    {
+        let workers = self.workers_for(items.len());
+        if workers <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let total = items.len();
+        let feed = Mutex::new(items.into_iter().enumerate());
+        let parts = Mutex::new(Vec::with_capacity(total));
+        let run = || loop {
+            let next = feed.lock().next();
+            match next {
+                Some((i, item)) => {
+                    let val = f(item);
+                    parts.lock().push((i, val));
+                }
+                None => break,
+            }
+        };
+        std::thread::scope(|scope| {
+            let run = &run;
+            for _ in 1..workers {
+                scope.spawn(run);
+            }
+            run();
+        });
+        let mut parts = std::mem::take(&mut *parts.lock());
+        parts.sort_unstable_by_key(|&(i, _)| i);
+        parts.into_iter().map(|(_, val)| val).collect()
+    }
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Pool::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_matches_sequential_for_every_thread_count() {
+        let f = |i: usize| (i as f64).sin() * i as f64;
+        let expected: Vec<f64> = (0..500).map(f).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::sequential().with_threads(threads);
+            let got = pool.map(500, &f);
+            assert_eq!(got.len(), expected.len());
+            for (a, b) in got.iter().zip(&expected) {
+                assert_eq!(a.to_bits(), b.to_bits(), "bit-identical across schedules");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_covers_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..333).map(|_| AtomicUsize::new(0)).collect();
+        let pool = Pool::sequential().with_threads(4);
+        pool.for_each_chunk(333, &|start, end| {
+            for h in &hits[start..end] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn reduce_reproduces_the_sequential_fold() {
+        // Last-maximal argmax — the fold FastMap's pivot scan uses.
+        let key = |i: usize| f64::from((i % 97) as u32);
+        let fold = |start: usize, end: usize| {
+            let mut best = (start, key(start));
+            for i in start + 1..end {
+                if key(i) >= best.1 {
+                    best = (i, key(i));
+                }
+            }
+            best
+        };
+        let combine = |a: (usize, f64), b: (usize, f64)| if b.1 >= a.1 { b } else { a };
+        let seq = Pool::sequential().reduce(1000, &fold, &combine);
+        for threads in [2, 3, 8] {
+            let pool = Pool::sequential().with_threads(threads);
+            assert_eq!(pool.reduce(1000, &fold, &combine), seq);
+        }
+        assert_eq!(Pool::new().reduce(0, &fold, &combine), None);
+    }
+
+    #[test]
+    fn map_vec_consumes_items_in_order() {
+        let items: Vec<String> = (0..64).map(|i| format!("item-{i}")).collect();
+        let expected: Vec<usize> = items.iter().map(String::len).collect();
+        for threads in [1, 4] {
+            let pool = Pool::sequential().with_threads(threads);
+            let got = pool.map_vec(items.clone(), &|s: String| s.len());
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_jobs_run_inline() {
+        let pool = Pool::sequential().with_threads(8);
+        assert_eq!(pool.map(0, &|i| i), Vec::<usize>::new());
+        assert_eq!(pool.map(1, &|i| i * 2), vec![0]);
+        pool.for_each_chunk(0, &|_, _| unreachable!("no chunks for an empty job"));
+    }
+
+    #[test]
+    fn pool_defaults_to_machine_parallelism() {
+        assert!(Pool::new().threads() >= 1);
+        assert_eq!(Pool::sequential().threads(), 1);
+        assert_eq!(Pool::default().threads(), Pool::new().threads());
+    }
+}

@@ -91,6 +91,24 @@ fn channel_and_tcp_fabrics_agree_on_every_query() {
         assert_eq!(tcp, channel, "range around {query:?}");
     }
 
+    // A batched k-NN over TCP answers exactly like per-query k-NN over
+    // the channel fabric — the batch path changes round trips, not
+    // results.
+    let batch_queries: Vec<Vec<f64>> = points.iter().step_by(17).cloned().collect();
+    let batches = tcp_tree
+        .try_knn_batch(&batch_queries, 9)
+        .expect("batched knn");
+    assert_eq!(batches.len(), batch_queries.len());
+    for (query, batch) in batch_queries.iter().zip(&batches) {
+        let channel: Vec<(f64, u64)> = channel_tree
+            .knn(query, 9)
+            .into_iter()
+            .map(|n| (n.dist, n.payload))
+            .collect();
+        let tcp: Vec<(f64, u64)> = batch.iter().map(|n| (n.dist, n.payload)).collect();
+        assert_eq!(tcp, channel, "knn batch around {query:?}");
+    }
+
     // Point conservation holds on both sides, and the capacity policy
     // forced build-partition over the wire (partitions beyond the fan-out).
     assert_eq!(tcp_tree.verify(), Vec::<String>::new());
