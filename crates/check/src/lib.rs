@@ -8,7 +8,8 @@
 //!    test code. Known-justified sites live in `check.allow` with a
 //!    mandatory justification and an exact count that can only shrink.
 //! 2. **lock-order** — lock acquisitions follow the declared hierarchy
-//!    (`cluster → dist → net → wal`; see [`rules::LOCK_RANKS`]): while
+//!    (`cluster → dist → net → wal → par → reactor`; see
+//!    [`rules::LOCK_RANKS`]): while
 //!    a guard of rank *r* is live, only ranks > *r* may be taken.
 //! 3. **codec-coverage** — every `NetMsg` wire variant appears in the
 //!    codec round-trip suite (`crates/net/tests/codec_roundtrip.rs`).

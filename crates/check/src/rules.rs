@@ -31,9 +31,9 @@ impl std::fmt::Display for Finding {
 
 /// The declared lock hierarchy. Locks must be acquired in strictly
 /// ascending rank within a function; the ordering across crates is
-/// `cluster → dist → net → wal → par` (see DESIGN.md §"Concurrency
-/// model & verification"). Ranks are spaced so new locks can slot in
-/// without renumbering.
+/// `cluster → dist → net → wal → par → reactor` (see DESIGN.md
+/// §"Concurrency model & verification"). Ranks are spaced so new locks
+/// can slot in without renumbering.
 pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     // crates/cluster
     ("cluster", "nodes", 10),
@@ -57,6 +57,11 @@ pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     ("par", "feed", 52),
     // crates/distance
     ("distance", "shards", 60),
+    // crates/reactor — the serving fabric's locks rank below everything
+    // else: executors call into the tree (and through it every ranked
+    // subsystem) only while holding *no* reactor lock.
+    ("reactor", "inner", 70),
+    ("reactor", "completions", 71),
 ];
 
 fn rank_of(crate_name: &str, field: &str) -> Option<u32> {
@@ -241,7 +246,7 @@ pub fn lock_order(crate_name: &str, path: &str, toks: &[Tok]) -> Vec<Finding> {
                             message: format!(
                                 "acquired `{}` (rank {}) while holding `{}` (rank {}, \
                                  taken at line {}) — the hierarchy requires strictly \
-                                 ascending ranks (cluster → dist → net → wal → par)",
+                                 ascending ranks (cluster → dist → net → wal → par → reactor)",
                                 acq.field, acq.rank, g.field, g.rank, g.line
                             ),
                         });

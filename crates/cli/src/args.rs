@@ -22,6 +22,9 @@ pub enum Command {
     Worker,
     /// `semtree net-query` — query a running `serve` process over TCP.
     NetQuery,
+    /// `semtree loadgen` — pipelined load generator against a `serve`
+    /// process, reporting QPS and latency quantiles.
+    Loadgen,
     /// `semtree recover` — inspect and replay a write-ahead log offline.
     Recover,
     /// `semtree help`.
@@ -76,6 +79,7 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
         Some("serve") => Command::Serve,
         Some("worker") => Command::Worker,
         Some("net-query") => Command::NetQuery,
+        Some("loadgen") => Command::Loadgen,
         Some("recover") => Command::Recover,
         Some("help" | "--help" | "-h") => Command::Help,
         Some(other) => return Err(ArgsError::UnknownCommand(other.to_string())),
@@ -171,6 +175,9 @@ COMMANDS:
                  --sample N        fan-out sample size       [default 256]
                  --seed S          fan-out sample seed       [default 42]
                  --wal-dir DIR     write-ahead log directory (durability on)
+                 --serve-workers N reactor executor threads  [default 4]
+                 --serve-queue N   global in-flight bound    [default 1024]
+                 --serve-depth N   per-connection pipeline   [default 64]
     worker     join a deployment and host partitions until shutdown
                  --join ADDR       the coordinator's cluster-addr (required)
                  --wal-dir DIR     write-ahead log directory; a worker
@@ -184,6 +191,19 @@ COMMANDS:
                  --payload N       insert payload            [default 0]
                  -k N              neighbours                [default 5]
                  --radius D        range radius
+    loadgen    pipelined load generator against a running serve process
+                 --addr ADDR       the coordinator's client-addr (required)
+                 --op OP           knn | knn-batch           [default knn]
+                 --connections C   concurrent connections    [default 1]
+                 --depth D         in-flight per connection  [default 8]
+                 --requests N      total requests            [default 1000]
+                 -k N              neighbours per query      [default 5]
+                 --batch B         points per knn-batch      [default 8]
+                 --dims K          query dimensionality      [default 2]
+                 --preload N       points inserted first     [default 0]
+                 --seed S          query stream seed         [default 42]
+                 --label L         name in the JSON record   [default loadgen]
+                 --json FILE       append the run to a JSON array file
     recover    inspect and replay a write-ahead log offline (read-only)
                  --wal-dir DIR     write-ahead log directory (required)
     help       this text
@@ -255,6 +275,7 @@ mod tests {
             "serve",
             "worker",
             "net-query",
+            "loadgen",
             "recover",
         ] {
             assert!(usage().contains(c), "{c}");

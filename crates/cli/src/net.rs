@@ -12,15 +12,17 @@
 //! client-addr: 127.0.0.1:40002    (net-query connects here)
 //! ```
 
-use std::io::Write as _;
+use std::collections::VecDeque;
+use std::io::{self, Write as _};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener};
 use std::path::Path;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use semtree_cluster::CostModel;
+use semtree_cluster::{CostModel, LatencyHistogram, LatencySnapshot};
 use semtree_dist::{
-    build_tree, build_tree_durable, inspect_wal, join_cluster, join_cluster_durable, serve_clients,
-    serve_cluster, CapacityPolicy, DistConfig, NetClient,
+    build_tree, build_tree_durable, inspect_wal, join_cluster, join_cluster_durable,
+    serve_clients_with, serve_cluster, CapacityPolicy, ClientResp, DistConfig, NetClient,
+    PendingReply, PipelinedClient, ServeOptions,
 };
 
 use crate::args::ParsedArgs;
@@ -135,7 +137,13 @@ pub fn serve(parsed: &ParsedArgs) -> Result<String, String> {
     );
     let _ = std::io::stdout().flush();
 
-    serve_clients(&listener, &tree).map_err(|e| e.to_string())?;
+    let defaults = ServeOptions::default();
+    let options = ServeOptions {
+        executors: parsed.get_usize("serve-workers", defaults.executors)?,
+        global_depth: parsed.get_usize("serve-queue", defaults.global_depth)?,
+        per_conn_depth: parsed.get_usize("serve-depth", defaults.per_conn_depth)?,
+    };
+    serve_clients_with(&listener, &tree, &options).map_err(|e| e.to_string())?;
     let inserted = tree.len();
     tree.shutdown();
     Ok(format!(
@@ -270,11 +278,18 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
             }
         }
         "metrics" => {
-            let (messages, bytes, response_bytes, spawned) =
-                client.metrics().map_err(|e| e.to_string())?;
+            let m = client.metrics().map_err(|e| e.to_string())?;
             Ok(format!(
-                "messages: {messages}\nbytes: {bytes}\nresponse-bytes: {response_bytes}\n\
-                 spawned-nodes: {spawned}\n"
+                "messages: {}\nbytes: {}\nresponse-bytes: {}\nspawned-nodes: {}\n\
+                 latency-count: {}\np50-us: {:.1}\np99-us: {:.1}\np999-us: {:.1}\n",
+                m.messages,
+                m.bytes,
+                m.response_bytes,
+                m.spawned_nodes,
+                m.latency_count,
+                m.p50_nanos as f64 / 1000.0,
+                m.p99_nanos as f64 / 1000.0,
+                m.p999_nanos as f64 / 1000.0,
             ))
         }
         "shutdown" => {
@@ -286,6 +301,230 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
              shutdown)"
         )),
     }
+}
+
+/// One connection thread's tally.
+#[derive(Default)]
+struct ConnReport {
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    latency: LatencySnapshot,
+}
+
+/// Settle one in-flight reply into the tally. Only successful answers
+/// count toward throughput and latency; sheds and failures are tallied
+/// separately.
+fn settle(
+    started: Instant,
+    outcome: io::Result<ClientResp>,
+    hist: &LatencyHistogram,
+    report: &mut ConnReport,
+) {
+    match outcome {
+        Ok(ClientResp::Overloaded) => report.shed += 1,
+        Ok(ClientResp::Error(_)) | Err(_) => report.errors += 1,
+        Ok(_) => {
+            report.completed += 1;
+            let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            hist.record(nanos);
+        }
+    }
+}
+
+/// Settle every reply in `window` that has already arrived, in arrival
+/// order rather than submission order. Returns how many were settled.
+/// The server completes out of order, so FIFO settling would leave
+/// finished replies occupying window slots — and the pipeline stalled —
+/// while the oldest request is still running.
+fn harvest_ready(
+    window: &mut VecDeque<(Instant, PendingReply)>,
+    hist: &LatencyHistogram,
+    report: &mut ConnReport,
+) -> usize {
+    let mut settled = 0;
+    let mut i = 0;
+    while i < window.len() {
+        match window[i].1.try_take() {
+            Some(outcome) => {
+                let Some((started, _)) = window.remove(i) else {
+                    break;
+                };
+                settle(started, outcome, hist, report);
+                settled += 1;
+            }
+            None => i += 1,
+        }
+    }
+    settled
+}
+
+/// Drive `count` requests through one pipelined connection, keeping at
+/// most `depth` in flight.
+#[allow(clippy::too_many_arguments)]
+fn drive_connection(
+    addr: SocketAddr,
+    timeout: Duration,
+    op: &str,
+    count: usize,
+    depth: usize,
+    k: usize,
+    batch: usize,
+    pool: &[Vec<f64>],
+) -> Result<ConnReport, String> {
+    let mut client = PipelinedClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+    let hist = LatencyHistogram::new_in();
+    let mut report = ConnReport::default();
+    let mut window: VecDeque<(Instant, PendingReply)> = VecDeque::new();
+    for i in 0..count {
+        while window.len() >= depth {
+            // Prefer replies that already arrived; only when none are
+            // ready does the thread block on the oldest one.
+            if harvest_ready(&mut window, &hist, &mut report) > 0 {
+                continue;
+            }
+            let Some((started, pending)) = window.pop_front() else {
+                break;
+            };
+            settle(
+                started,
+                pending.wait_timeout(Duration::from_secs(30)),
+                &hist,
+                &mut report,
+            );
+        }
+        let point = &pool[i % pool.len()];
+        let started = Instant::now();
+        let submitted = if op == "knn-batch" {
+            let points: Vec<Vec<f64>> = (0..batch)
+                .map(|j| pool[(i + j) % pool.len()].clone())
+                .collect();
+            client.knn_batch(&points, k)
+        } else {
+            client.knn(point, k)
+        };
+        match submitted {
+            Ok(pending) => window.push_back((started, pending)),
+            Err(e) => return Err(format!("submit failed after {i} requests: {e}")),
+        }
+    }
+    for (started, pending) in window {
+        settle(
+            started,
+            pending.wait_timeout(Duration::from_secs(30)),
+            &hist,
+            &mut report,
+        );
+    }
+    report.latency = hist.snapshot();
+    Ok(report)
+}
+
+/// Append one record to a JSON array file, creating it if needed. The
+/// file stays valid JSON after every append.
+fn append_json_record(path: &str, record: &str) -> Result<(), String> {
+    let fresh = format!("[\n  {record}\n]\n");
+    let content = match std::fs::read_to_string(path) {
+        Err(_) => fresh,
+        Ok(text) if text.trim().is_empty() => fresh,
+        Ok(text) => {
+            let head = text
+                .trim_end()
+                .strip_suffix(']')
+                .ok_or_else(|| format!("{path} is not a JSON array"))?
+                .trim_end()
+                .to_string();
+            if head.ends_with('[') {
+                format!("{head}\n  {record}\n]\n")
+            } else {
+                format!("{head},\n  {record}\n]\n")
+            }
+        }
+    };
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// `semtree loadgen`: sustained pipelined load against a running
+/// `serve` process — C connections × D in-flight requests each —
+/// reporting throughput and client-observed latency quantiles.
+pub fn loadgen(parsed: &ParsedArgs) -> Result<String, String> {
+    let addr = parse_addr(parsed.require("addr")?)?;
+    let timeout = Duration::from_secs(parsed.get_u64("timeout", 10)?);
+    let connections = parsed.get_usize("connections", 1)?.max(1);
+    let depth = parsed.get_usize("depth", 8)?.max(1);
+    let requests = parsed.get_usize("requests", 1000)?;
+    let k = parsed.get_usize("k", 5)?;
+    let batch = parsed.get_usize("batch", 8)?.max(1);
+    let dims = parsed.get_usize("dims", 2)?;
+    let preload = parsed.get_usize("preload", 0)?;
+    let seed = parsed.get_u64("seed", 42)?;
+    let label = parsed.get("label").unwrap_or("loadgen").to_string();
+    let op = parsed.get("op").unwrap_or("knn").to_string();
+    if op != "knn" && op != "knn-batch" {
+        return Err(format!("unknown --op '{op}' (knn, knn-batch)"));
+    }
+
+    if preload > 0 {
+        let mut client = NetClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+        for (i, point) in demo_sample(dims, preload, seed ^ 0x5EED).iter().enumerate() {
+            client
+                .insert(point, i as u64)
+                .map_err(|e| format!("preload insert {i} failed: {e}"))?;
+        }
+    }
+
+    let pool = demo_sample(dims, 256, seed);
+    let started = Instant::now();
+    let reports: Vec<Result<ConnReport, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|c| {
+                let count = requests / connections + usize::from(c < requests % connections);
+                let (op, pool) = (&op, &pool);
+                scope.spawn(move || {
+                    drive_connection(addr, timeout, op, count, depth, k, batch, pool)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(result) => result,
+                Err(_) => Err("connection thread panicked".to_string()),
+            })
+            .collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut total = ConnReport::default();
+    for report in reports {
+        let report = report?;
+        total.completed += report.completed;
+        total.shed += report.shed;
+        total.errors += report.errors;
+        total.latency.merge(&report.latency);
+    }
+    let qps = total.completed as f64 / elapsed.as_secs_f64().max(1e-9);
+    let p50_us = total.latency.p50_nanos() as f64 / 1000.0;
+    let p99_us = total.latency.p99_nanos() as f64 / 1000.0;
+    let p999_us = total.latency.p999_nanos() as f64 / 1000.0;
+
+    if let Some(path) = parsed.get("json") {
+        let record = format!(
+            "{{\"name\": \"{label}\", \"op\": \"{op}\", \"connections\": {connections}, \
+             \"depth\": {depth}, \"requests\": {requests}, \"qps\": {qps:.1}, \
+             \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \"p999_us\": {p999_us:.1}, \
+             \"shed\": {}, \"errors\": {}}}",
+            total.shed, total.errors
+        );
+        append_json_record(path, &record)?;
+    }
+
+    Ok(format!(
+        "op: {op}\nconnections: {connections}\ndepth: {depth}\nrequests: {requests}\n\
+         completed: {}\nqps: {qps:.1}\np50-us: {p50_us:.1}\np99-us: {p99_us:.1}\n\
+         p999-us: {p999_us:.1}\nshed: {}\nerrors: {}\n",
+        total.completed, total.shed, total.errors
+    ))
 }
 
 #[cfg(test)]

@@ -11,7 +11,9 @@ use std::time::{Duration, Instant};
 
 use semtree_cli::demo_sample;
 use semtree_cluster::CostModel;
-use semtree_dist::{CapacityPolicy, DistConfig, DistSemTree, NetClient};
+use semtree_dist::{
+    CapacityPolicy, ClientResp, DistConfig, DistSemTree, NetClient, PipelinedClient,
+};
 
 const DIMS: usize = 2;
 const BUCKET: usize = 8;
@@ -54,17 +56,20 @@ fn expect_line(lines: &mut Lines<BufReader<ChildStdout>>, prefix: &str) -> Strin
 }
 
 /// WAL location: `SEMTREE_FAULT_WAL_DIR` when set (CI uploads it as an
-/// artifact on failure), a per-process temp dir otherwise.
-fn wal_dir() -> PathBuf {
-    match std::env::var_os("SEMTREE_FAULT_WAL_DIR") {
+/// artifact on failure), a per-process temp dir otherwise. Each test
+/// gets its own `label` subdirectory so concurrently running tests
+/// never clean up each other's WALs.
+fn wal_dir(label: &str) -> PathBuf {
+    let base = match std::env::var_os("SEMTREE_FAULT_WAL_DIR") {
         Some(dir) => PathBuf::from(dir),
         None => std::env::temp_dir().join(format!("semtree-fault-wal-{}", std::process::id())),
-    }
+    };
+    base.join(label)
 }
 
 #[test]
 fn sigkilled_worker_recovers_and_serves_identical_results() {
-    let wal = wal_dir();
+    let wal = wal_dir("sigkill");
     let _ = std::fs::remove_dir_all(&wal);
     let wal_arg = wal.to_string_lossy().into_owned();
 
@@ -197,6 +202,160 @@ fn sigkilled_worker_recovers_and_serves_identical_results() {
     client.shutdown().expect("net shutdown");
     // Child 1 is the SIGKILLed worker (already reaped); the coordinator
     // and the revived worker must exit cleanly.
+    for child in &mut reaper.0 {
+        let _ = child.wait();
+    }
+    reaper.0.clear();
+    reference.shutdown();
+    let _ = std::fs::remove_dir_all(&wal);
+}
+
+/// SIGKILL a worker while a pipelined client has a window of requests
+/// in flight: every outstanding reply must resolve as a typed answer or
+/// error (never a hang), and after the worker rejoins from its WAL the
+/// same pipelined connection must produce byte-identical k-NN results.
+#[test]
+fn sigkill_with_pipelined_requests_in_flight_yields_typed_errors_then_recovers() {
+    let wal = wal_dir("pipelined");
+    let _ = std::fs::remove_dir_all(&wal);
+    let wal_arg = wal.to_string_lossy().into_owned();
+
+    let (serve, mut serve_lines) = spawn(&[
+        "serve",
+        "--workers",
+        "1",
+        "--partitions",
+        &PARTITIONS.to_string(),
+        "--dims",
+        &DIMS.to_string(),
+        "--bucket",
+        &BUCKET.to_string(),
+        "--capacity",
+        &CAPACITY.to_string(),
+        "--sample",
+        &SAMPLE_SIZE.to_string(),
+        "--seed",
+        &SEED.to_string(),
+    ]);
+    let mut reaper = Reaper(vec![serve]);
+
+    let cluster_addr = expect_line(&mut serve_lines, "cluster-addr:");
+    let (worker, mut worker_lines) =
+        spawn(&["worker", "--join", &cluster_addr, "--wal-dir", &wal_arg]);
+    reaper.0.push(worker);
+    expect_line(&mut worker_lines, "worker: process");
+    std::thread::spawn(move || for _ in worker_lines.by_ref() {});
+
+    let client_addr: SocketAddr = expect_line(&mut serve_lines, "client-addr:")
+        .parse()
+        .expect("client address");
+    std::thread::spawn(move || for _ in serve_lines.by_ref() {});
+
+    let config = DistConfig::new(DIMS)
+        .with_bucket_size(BUCKET)
+        .with_max_partitions(PARTITIONS.max(64))
+        .with_capacity(CapacityPolicy::MaxPoints(CAPACITY));
+    let sample = demo_sample(DIMS, SAMPLE_SIZE, SEED);
+    let reference = DistSemTree::with_fanout(config, CostModel::zero(), PARTITIONS, &sample);
+
+    let mut seeder = NetClient::connect(client_addr, Duration::from_secs(10)).expect("connect");
+    let points: Vec<(Vec<f64>, u64)> = demo_sample(DIMS, 160, SEED ^ 0xb0u64)
+        .into_iter()
+        .zip(0..)
+        .collect();
+    for (point, payload) in &points {
+        seeder.insert(point, *payload).expect("seed insert");
+        reference.insert(point, *payload);
+    }
+
+    let queries = demo_sample(DIMS, 24, SEED ^ 0xc1u64);
+    let expected: Vec<Vec<(f64, u64)>> = queries
+        .iter()
+        .map(|q| {
+            reference
+                .knn(q, 9)
+                .into_iter()
+                .map(|n| (n.dist, n.payload))
+                .collect()
+        })
+        .collect();
+
+    // Fill the pipeline, then SIGKILL the worker with the window still
+    // in flight. Eight requests is enough depth to prove typed-error
+    // delivery; each one routed to the dead worker can cost an executor
+    // a full dial timeout, so a deeper window only slows the test.
+    let mut pipelined =
+        PipelinedClient::connect(client_addr, Duration::from_secs(10)).expect("pipelined connect");
+    let in_flight = 8;
+    let pending: Vec<_> = queries
+        .iter()
+        .take(in_flight)
+        .map(|q| pipelined.knn(q, 9).expect("submit"))
+        .collect();
+    let worker = &mut reaper.0[1];
+    worker.kill().expect("SIGKILL worker");
+    worker.wait().expect("reap worker");
+
+    // Every in-flight request resolves — as its answer (raced ahead of
+    // the kill) or a typed error — within the deadline. No hangs, no
+    // mis-correlated replies.
+    for (i, reply) in pending.into_iter().enumerate() {
+        match reply.wait_timeout(Duration::from_secs(30)) {
+            Ok(ClientResp::Neighbors(got)) => {
+                assert_eq!(got, expected[i], "a reply answered someone else's query");
+            }
+            Ok(ClientResp::Error(_)) | Err(_) => {}
+            Ok(other) => panic!("query {i}: unexpected reply {other:?}"),
+        }
+    }
+
+    // Revive the worker from its WAL; it must rejoin under its old
+    // routes.
+    let (revived, mut revived_lines) =
+        spawn(&["worker", "--join", &cluster_addr, "--wal-dir", &wal_arg]);
+    reaper.0.push(revived);
+    let recovered = expect_line(&mut revived_lines, "recovered-partitions:");
+    assert!(
+        !recovered.is_empty(),
+        "revived worker must recover from WAL"
+    );
+    std::thread::spawn(move || for _ in revived_lines.by_ref() {});
+
+    // Poll over a fresh pipelined connection until the revived routes
+    // answer again (each failed probe can burn a full dial timeout, so
+    // the deadline is generous).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let mut pipelined = loop {
+        let mut candidate = PipelinedClient::connect(client_addr, Duration::from_secs(10))
+            .expect("pipelined reconnect");
+        let probe = candidate
+            .knn(&queries[0], 9)
+            .and_then(|p| p.wait_timeout(Duration::from_secs(10)));
+        match probe {
+            Ok(ClientResp::Neighbors(got)) if got == expected[0] => break candidate,
+            outcome => {
+                assert!(
+                    Instant::now() < deadline,
+                    "pipelined knn never recovered: {outcome:?}"
+                );
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    };
+
+    // Byte-identical answers across the crash, over one pipelined
+    // window.
+    let replies: Vec<_> = queries
+        .iter()
+        .map(|q| pipelined.knn(q, 9).expect("post-recovery submit"))
+        .collect();
+    for (i, reply) in replies.into_iter().enumerate() {
+        let got = reply.wait_neighbors().expect("post-recovery reply");
+        assert_eq!(got, expected[i], "knn around {:?}", queries[i]);
+    }
+    drop(pipelined);
+
+    seeder.shutdown().expect("net shutdown");
     for child in &mut reaper.0 {
         let _ = child.wait();
     }

@@ -140,16 +140,22 @@ fn coordinator_and_two_worker_processes_serve_identical_results() {
 
     assert_eq!(client.verify().expect("net verify"), Vec::<String>::new());
 
-    let (messages, bytes, response_bytes, _spawned) = client.metrics().expect("net metrics");
+    let metrics = client.metrics().expect("net metrics");
+    let (messages, bytes) = (metrics.messages, metrics.bytes);
     assert!(messages > 0);
     assert!(
         bytes > messages * 4,
         "byte count must reflect actual encoded frames, got {bytes} over {messages} messages"
     );
     assert!(
-        response_bytes > 0,
+        metrics.response_bytes > 0,
         "the k-NN answers must have been metered on the way back"
     );
+    assert!(
+        metrics.latency_count > 0,
+        "served requests must land in the latency histogram"
+    );
+    assert!(metrics.p99_nanos >= metrics.p50_nanos);
 
     client.shutdown().expect("net shutdown");
     for child in &mut reaper.0 {

@@ -57,7 +57,10 @@ mod transport;
 
 pub use cost::CostModel;
 pub use gate::{GateElapsed, MembershipGate};
-pub use metrics::{ClusterMetrics, ClusterMetricsG, MetricsSnapshot};
+pub use metrics::{
+    latency_bucket_floor, latency_bucket_index, ClusterMetrics, ClusterMetricsG, LatencyHistogram,
+    LatencyHistogramG, LatencySnapshot, MetricsSnapshot, LATENCY_BUCKETS,
+};
 pub use runtime::{ChannelFabric, Cluster, Handler, NodeCtx};
 pub use transport::{
     BoxHandler, ClusterError, ComputeNodeId, DynHandler, NodeFactory, ReplyHandle, ReplySlot,

@@ -5,9 +5,180 @@
 //! concurrent `record_*` / `snapshot` interleavings exhaustively;
 //! production code uses the [`ClusterMetrics`] alias over real atomics.
 
+use std::fmt;
 use std::sync::Arc;
 
 use semtree_conc::shim::{Shim, StdShim};
+
+/// Number of fixed log-spaced buckets in a [`LatencyHistogramG`].
+///
+/// Indices 0–15 are exact nanosecond values; from 16 on, every power of
+/// two is split into 4 sub-buckets (±12.5% resolution), which covers the
+/// full `u64` nanosecond range in exactly 256 buckets.
+pub const LATENCY_BUCKETS: usize = 256;
+
+/// Bucket index for a latency of `nanos` nanoseconds.
+#[must_use]
+pub fn latency_bucket_index(nanos: u64) -> usize {
+    if nanos < 16 {
+        nanos as usize
+    } else {
+        let msb = 63 - nanos.leading_zeros() as usize;
+        let sub = ((nanos >> (msb - 2)) & 3) as usize;
+        16 + (msb - 4) * 4 + sub
+    }
+}
+
+/// Lower bound (in nanoseconds) of bucket `index` — the value reported
+/// for every sample that landed in it, so quantiles are conservative
+/// (never over-report).
+#[must_use]
+pub fn latency_bucket_floor(index: usize) -> u64 {
+    if index < 16 {
+        index as u64
+    } else {
+        let msb = 4 + (index - 16) / 4;
+        let sub = ((index - 16) % 4) as u64;
+        (1u64 << msb) + sub * (1u64 << (msb - 2))
+    }
+}
+
+/// Lock-free per-request latency histogram with fixed log-spaced
+/// buckets, generic over the concurrency shim so the model checker can
+/// drive it. Recording is one relaxed `fetch_add`; snapshots copy the
+/// bucket array without stopping writers.
+pub struct LatencyHistogramG<S: Shim = StdShim> {
+    buckets: [S::AtomicU64; LATENCY_BUCKETS],
+}
+
+/// The production latency histogram: real relaxed atomics.
+pub type LatencyHistogram = LatencyHistogramG<StdShim>;
+
+impl<S: Shim> fmt::Debug for LatencyHistogramG<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.snapshot().fmt(f)
+    }
+}
+
+impl<S: Shim> Default for LatencyHistogramG<S> {
+    fn default() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<S: Shim> LatencyHistogramG<S> {
+    /// Fresh zeroed histogram under shim `S`.
+    #[must_use]
+    pub fn new_in() -> Self {
+        LatencyHistogramG {
+            buckets: std::array::from_fn(|_| S::atomic_u64(0)),
+        }
+    }
+
+    /// Account one request that took `nanos` nanoseconds.
+    pub fn record(&self, nanos: u64) {
+        S::fetch_add(&self.buckets[latency_bucket_index(nanos)], 1);
+    }
+
+    /// Copy the bucket counts. Concurrent recording may land a sample
+    /// between bucket reads; each sample is either fully in or fully out
+    /// of the snapshot (single increment), never torn.
+    #[must_use]
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let buckets: [u64; LATENCY_BUCKETS] = std::array::from_fn(|i| S::load(&self.buckets[i]));
+        LatencySnapshot {
+            count: buckets.iter().sum(),
+            buckets,
+        }
+    }
+
+    /// Zero every bucket (between experiment phases).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            S::store(b, 0);
+        }
+    }
+}
+
+/// A point-in-time copy of a [`LatencyHistogramG`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct LatencySnapshot {
+    /// Total samples recorded.
+    pub count: u64,
+    /// Per-bucket sample counts (see [`latency_bucket_floor`] for the
+    /// value each bucket represents).
+    pub buckets: [u64; LATENCY_BUCKETS],
+}
+
+impl Default for LatencySnapshot {
+    fn default() -> Self {
+        LatencySnapshot {
+            count: 0,
+            buckets: [0; LATENCY_BUCKETS],
+        }
+    }
+}
+
+impl fmt::Debug for LatencySnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LatencySnapshot")
+            .field("count", &self.count)
+            .field("p50_nanos", &self.p50_nanos())
+            .field("p99_nanos", &self.p99_nanos())
+            .field("p999_nanos", &self.p999_nanos())
+            .finish()
+    }
+}
+
+impl LatencySnapshot {
+    /// The latency (bucket lower bound, nanoseconds) at quantile `q` in
+    /// `[0, 1]`: the smallest bucket such that at least `ceil(q * count)`
+    /// samples are at or below it. Zero when no samples were recorded.
+    #[must_use]
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        #[allow(clippy::cast_possible_truncation)]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return latency_bucket_floor(i);
+            }
+        }
+        latency_bucket_floor(LATENCY_BUCKETS - 1)
+    }
+
+    /// Median request latency in nanoseconds.
+    #[must_use]
+    pub fn p50_nanos(&self) -> u64 {
+        self.quantile_nanos(0.50)
+    }
+
+    /// 99th-percentile request latency in nanoseconds.
+    #[must_use]
+    pub fn p99_nanos(&self) -> u64 {
+        self.quantile_nanos(0.99)
+    }
+
+    /// 99.9th-percentile request latency in nanoseconds.
+    #[must_use]
+    pub fn p999_nanos(&self) -> u64 {
+        self.quantile_nanos(0.999)
+    }
+
+    /// Merge another snapshot into this one (for aggregating
+    /// per-connection histograms in load generators).
+    pub fn merge(&mut self, other: &LatencySnapshot) {
+        self.count += other.count;
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+}
 
 /// Shared, thread-safe counters over a [`crate::Cluster`]'s lifetime,
 /// generic over the concurrency shim.
@@ -18,6 +189,7 @@ pub struct ClusterMetricsG<S: Shim = StdShim> {
     response_bytes: S::AtomicU64,
     spawned_nodes: S::AtomicU64,
     simulated_delay_nanos: S::AtomicU64,
+    request_latency: LatencyHistogramG<S>,
 }
 
 /// The production metrics type: real relaxed atomics.
@@ -42,6 +214,8 @@ pub struct MetricsSnapshot {
     pub spawned_nodes: u64,
     /// Total injected interconnect delay, in nanoseconds.
     pub simulated_delay_nanos: u64,
+    /// Per-request serving latency distribution.
+    pub latency: LatencySnapshot,
 }
 
 impl ClusterMetrics {
@@ -62,6 +236,7 @@ impl<S: Shim> ClusterMetricsG<S> {
             response_bytes: S::atomic_u64(0),
             spawned_nodes: S::atomic_u64(0),
             simulated_delay_nanos: S::atomic_u64(0),
+            request_latency: LatencyHistogramG::new_in(),
         }
     }
 
@@ -85,6 +260,13 @@ impl<S: Shim> ClusterMetricsG<S> {
     /// `semtree-net`.
     pub fn record_spawn(&self) {
         S::fetch_add(&self.spawned_nodes, 1);
+    }
+
+    /// Account one served request that took `nanos` nanoseconds end to
+    /// end (dispatch to reply). Both the thread-per-connection fabric
+    /// and the event-driven reactor feed this histogram.
+    pub fn record_latency(&self, nanos: u64) {
+        self.request_latency.record(nanos);
     }
 
     /// Requests delivered so far.
@@ -120,6 +302,7 @@ impl<S: Shim> ClusterMetricsG<S> {
             response_bytes: S::load(&self.response_bytes),
             spawned_nodes: S::load(&self.spawned_nodes),
             simulated_delay_nanos: S::load(&self.simulated_delay_nanos),
+            latency: self.request_latency.snapshot(),
         }
     }
 
@@ -130,6 +313,7 @@ impl<S: Shim> ClusterMetricsG<S> {
         S::store(&self.response_bytes, 0);
         S::store(&self.spawned_nodes, 0);
         S::store(&self.simulated_delay_nanos, 0);
+        self.request_latency.reset();
     }
 }
 
@@ -178,5 +362,89 @@ mod tests {
         assert_eq!(m.messages(), 1);
         assert_eq!(m.bytes(), 7);
         assert_eq!(m.spawned_nodes(), 0);
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_covers_u64() {
+        // Exact buckets below 16.
+        for n in 0..16u64 {
+            assert_eq!(latency_bucket_index(n), n as usize);
+        }
+        // Monotone over exponentially spaced probes, max index is 255.
+        let mut last = 0;
+        for shift in 0..64 {
+            for off in [0u64, 1] {
+                let n = (1u64 << shift).saturating_add(off);
+                let idx = latency_bucket_index(n);
+                assert!(idx >= last, "bucket index regressed at {n}");
+                assert!(idx < LATENCY_BUCKETS);
+                last = idx;
+            }
+        }
+        assert_eq!(latency_bucket_index(u64::MAX), LATENCY_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_floor_inverts_index() {
+        for idx in 0..LATENCY_BUCKETS {
+            let floor = latency_bucket_floor(idx);
+            assert_eq!(
+                latency_bucket_index(floor),
+                idx,
+                "floor {floor} of bucket {idx} maps back"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_conservative_lower_bounds() {
+        let h = LatencyHistogram::default();
+        // 99 fast samples at 1µs, one slow at ~1ms.
+        for _ in 0..99 {
+            h.record(1_000);
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        let p50 = s.p50_nanos();
+        assert!((875..=1_000).contains(&p50), "p50 {p50}");
+        // p99 rank = 99 of 100 — still in the fast bucket.
+        assert!(s.p99_nanos() <= 1_000);
+        // p999 rank = 100 — the slow sample, within bucket resolution.
+        let p999 = s.p999_nanos();
+        assert!(
+            (875_000..=1_000_000).contains(&p999),
+            "p999 {p999} should be within 12.5% below 1ms"
+        );
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero_quantiles() {
+        let s = LatencySnapshot::default();
+        assert_eq!(s.p50_nanos(), 0);
+        assert_eq!(s.p999_nanos(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates_counts() {
+        let a = LatencyHistogram::default();
+        let b = LatencyHistogram::default();
+        a.record(10);
+        b.record(10);
+        b.record(1 << 20);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count, 3);
+        assert_eq!(merged.buckets[latency_bucket_index(10)], 2);
+    }
+
+    #[test]
+    fn metrics_snapshot_carries_latency() {
+        let m = ClusterMetrics::new();
+        m.record_latency(500);
+        let s = m.snapshot();
+        assert_eq!(s.latency.count, 1);
+        m.reset();
+        assert_eq!(m.snapshot().latency.count, 0);
     }
 }

@@ -1,5 +1,6 @@
 //! Compute nodes, the in-process channel fabric, and blocking calls.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
@@ -7,6 +8,7 @@ use std::thread::JoinHandle;
 use semtree_conc::sync::{Mutex, RwLock};
 
 use crate::cost::CostModel;
+use crate::gate::MembershipGate;
 use crate::metrics::{ClusterMetrics, MetricsSnapshot};
 use crate::transport::{
     BoxHandler, ClusterError, ComputeNodeId, NodeFactory, ReplyHandle, Transport, Wire,
@@ -58,6 +60,12 @@ pub struct ChannelFabric<Req, Resp> {
     /// remote partition leaves the process.
     router: RwLock<Weak<dyn Transport<Req, Resp>>>,
     factory: RwLock<Option<Arc<NodeFactory<Req, Resp>>>>,
+    /// Flipped (and `factory_gate` notified) once a node factory is
+    /// installed, so spawn retries can wait on a condvar instead of
+    /// polling. The gate predicate reads only this atomic — never the
+    /// `factory` lock — keeping the lock order acyclic.
+    factory_installed: AtomicBool,
+    factory_gate: MembershipGate,
     self_weak: Weak<ChannelFabric<Req, Resp>>,
 }
 
@@ -75,8 +83,29 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> ChannelFabric<Req,
                 Weak::<ChannelFabric<Req, Resp>>::new() as Weak<dyn Transport<Req, Resp>>
             ),
             factory: RwLock::new(None),
+            factory_installed: AtomicBool::new(false),
+            factory_gate: MembershipGate::new(),
             self_weak: Weak::clone(self_weak),
         })
+    }
+
+    /// Block until a node factory has been installed via
+    /// [`Transport::set_node_factory`], or `timeout` elapses. Returns
+    /// `true` when a factory is available. Remote spawn handlers use
+    /// this to ride out the startup race where a `SpawnFresh` frame
+    /// arrives before the worker finishes installing its factory —
+    /// without sleep-polling.
+    #[must_use]
+    pub fn wait_for_node_factory(&self, timeout: std::time::Duration) -> bool {
+        if self.factory_installed.load(Ordering::Acquire) {
+            return true;
+        }
+        let timeout_nanos = u64::try_from(timeout.as_nanos()).unwrap_or(u64::MAX);
+        self.factory_gate
+            .wait_until(timeout_nanos, || {
+                self.factory_installed.load(Ordering::Acquire)
+            })
+            .is_ok()
     }
 
     /// Route node-initiated traffic through `router` instead of this
@@ -216,6 +245,12 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Transport<Req, Res
 
     fn set_node_factory(&self, factory: Box<NodeFactory<Req, Resp>>) {
         *self.factory.write() = Some(Arc::from(factory));
+        self.factory_installed.store(true, Ordering::Release);
+        self.factory_gate.notify();
+    }
+
+    fn record_request_latency(&self, nanos: u64) {
+        self.metrics.record_latency(nanos);
     }
 
     fn node_count(&self) -> usize {
@@ -379,6 +414,21 @@ impl<H: Handler> Cluster<H> {
     /// Reset metrics counters (between experiment phases).
     pub fn reset_metrics(&self) {
         self.transport.reset_metrics();
+    }
+
+    /// Account one served client request (`nanos` end-to-end) into the
+    /// transport's latency histogram.
+    pub fn record_request_latency(&self, nanos: u64) {
+        self.transport.record_request_latency(nanos);
+    }
+
+    /// The shared metrics sink. The local fabric's counters are the
+    /// deployment's counters: composite transports (`semtree-net`)
+    /// account into the same `Arc`, and serving fabrics record request
+    /// latency through it.
+    #[must_use]
+    pub fn metrics_handle(&self) -> Arc<ClusterMetrics> {
+        self.local.metrics_handle()
     }
 
     /// The transport this cluster routes through.

@@ -26,6 +26,7 @@ use semtree_conc::shim::Shim;
 use semtree_distance::MemoizedDistance;
 use semtree_net::ConnRegistry;
 use semtree_par::ChunkedQueue;
+use semtree_reactor::{Push, ServeQueue};
 use semtree_wal::{Appended, RecordSink, SequencedLog, WalRecord};
 
 /// Acceptance floor: every target must explore at least this many
@@ -82,6 +83,12 @@ const TARGETS: &[Target] = &[
         what: "Sharded MemoizedDistance: racing readers agree, symmetric pairs share one entry",
         body: memo_shard_race,
         spurious_budget: 0,
+    },
+    Target {
+        name: "reactor_queue_close",
+        what: "ServeQueue admit/complete vs connection close: slots released exactly once, no underflow",
+        body: reactor_queue_close,
+        spurious_budget: 1,
     },
 ];
 
@@ -406,6 +413,82 @@ fn memo_shard_race() {
     assert_eq!(memo.cached_pairs(), 2, "symmetric pair cached twice");
     assert_eq!(memo.distance(0, 1), 1.0, "cache left inconsistent");
     assert_eq!(memo.shard_count(), 2);
+}
+
+// ---------------------------------------------------------------------
+// Target 7: the reactor's bounded admission queue.
+// ---------------------------------------------------------------------
+
+/// Two connections race a one-slot global queue against a single
+/// executor, and each connection closes while its jobs may still be in
+/// flight — the queue-full / connection-close race from the serving
+/// fabric. No interleaving may release a slot twice (underflow), leak
+/// one (global count must drain to zero), or lose track of a push
+/// (granted + shed covers every attempt).
+fn reactor_queue_close() {
+    let queue: Arc<ServeQueue<u32, ModelShim>> = Arc::new(ServeQueue::new(1));
+    let granted = Arc::new(ModelShim::atomic_u64(0));
+
+    let producers: Vec<_> = [7u64, 8]
+        .into_iter()
+        .map(|conn| {
+            let queue = Arc::clone(&queue);
+            let granted = Arc::clone(&granted);
+            ModelShim::spawn(move || {
+                let mut shed = 0u64;
+                for job in 0..2u32 {
+                    match queue.push(conn, job) {
+                        Push::Granted => {
+                            ModelShim::fetch_add(&granted, 1);
+                        }
+                        Push::GlobalFull => shed += 1,
+                        Push::Closed => panic!("queue closed while still serving"),
+                    }
+                }
+                // The connection goes away with its jobs possibly still
+                // queued or executing.
+                queue.close_conn(conn);
+                shed
+            })
+        })
+        .collect();
+
+    let executor = {
+        let queue = Arc::clone(&queue);
+        ModelShim::spawn(move || {
+            let mut completed = 0u64;
+            while let Some((conn, _job)) = queue.pop() {
+                // Completion may land before or after close_conn; the
+                // global slot must be released exactly once either way.
+                queue.complete(conn);
+                completed += 1;
+            }
+            completed
+        })
+    };
+
+    let shed: u64 = producers.into_iter().map(ModelShim::join).sum();
+    queue.shutdown();
+    let completed = ModelShim::join(executor);
+
+    assert!(!queue.underflowed(), "a slot release underflowed");
+    assert_eq!(
+        queue.global_in_flight(),
+        0,
+        "admitted slots failed to drain"
+    );
+    assert_eq!(
+        ModelShim::load(&granted),
+        completed,
+        "every granted job must complete exactly once"
+    );
+    assert_eq!(
+        ModelShim::load(&granted) + shed,
+        4,
+        "every push attempt must be either granted or shed"
+    );
+    assert_eq!(queue.conn_in_flight(7), 0, "closed conn 7 kept accounting");
+    assert_eq!(queue.conn_in_flight(8), 0, "closed conn 8 kept accounting");
 }
 
 // ---------------------------------------------------------------------

@@ -15,18 +15,18 @@
 //! worst case. The budget is a resource guard, not a correctness
 //! invariant — the paper's resource condition is per-node anyway.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use semtree_cluster::{ClusterError, ComputeNodeId, CostModel, Transport};
 use semtree_kdtree::SplitRule;
 use semtree_net::{
-    decode_exact, dial_with_timeout, read_frame, write_frame, Decode, DecodeError, Encode,
-    NetFabric,
+    decode_exact, dial_with_timeout, encode_frame_v2, read_frame, split_frame_v2, write_frame,
+    Decode, DecodeError, Encode, NetFabric,
 };
 use semtree_wal::{Wal, WalError, WalOptions};
 
@@ -534,12 +534,23 @@ pub enum ClientResp {
         response_bytes: u64,
         /// Compute nodes spawned.
         spawned_nodes: u64,
+        /// Client requests with recorded end-to-end latency.
+        latency_count: u64,
+        /// Median request latency (nanoseconds, conservative bucket floor).
+        p50_nanos: u64,
+        /// 99th-percentile request latency (nanoseconds).
+        p99_nanos: u64,
+        /// 99.9th-percentile request latency (nanoseconds).
+        p999_nanos: u64,
     },
     /// The request failed.
     Error(String),
     /// One neighbor list per query of a [`ClientReq::KnnBatch`], in
     /// query order, each closest first.
     NeighborBatches(Vec<Vec<(f64, u64)>>),
+    /// The serving fabric's global request queue is full; retry later.
+    /// The request was **not** executed.
+    Overloaded,
 }
 
 impl Encode for ClientReq {
@@ -622,12 +633,20 @@ impl Encode for ClientResp {
                 bytes,
                 response_bytes,
                 spawned_nodes,
+                latency_count,
+                p50_nanos,
+                p99_nanos,
+                p999_nanos,
             } => {
                 out.push(4);
                 messages.encode(out);
                 bytes.encode(out);
                 response_bytes.encode(out);
                 spawned_nodes.encode(out);
+                latency_count.encode(out);
+                p50_nanos.encode(out);
+                p99_nanos.encode(out);
+                p999_nanos.encode(out);
             }
             ClientResp::Error(msg) => {
                 out.push(5);
@@ -637,6 +656,7 @@ impl Encode for ClientResp {
                 out.push(6);
                 b.encode(out);
             }
+            ClientResp::Overloaded => out.push(7),
         }
     }
 }
@@ -653,9 +673,14 @@ impl Decode for ClientResp {
                 bytes: u64::decode(buf)?,
                 response_bytes: u64::decode(buf)?,
                 spawned_nodes: u64::decode(buf)?,
+                latency_count: u64::decode(buf)?,
+                p50_nanos: u64::decode(buf)?,
+                p99_nanos: u64::decode(buf)?,
+                p999_nanos: u64::decode(buf)?,
             }),
             5 => Ok(ClientResp::Error(String::decode(buf)?)),
             6 => Ok(ClientResp::NeighborBatches(Vec::decode(buf)?)),
+            7 => Ok(ClientResp::Overloaded),
             other => Err(DecodeError::new(format!("bad ClientResp tag {other}"))),
         }
     }
@@ -719,6 +744,10 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
                 bytes: m.bytes,
                 response_bytes: m.response_bytes,
                 spawned_nodes: m.spawned_nodes,
+                latency_count: m.latency.count,
+                p50_nanos: m.latency.p50_nanos(),
+                p99_nanos: m.latency.p99_nanos(),
+                p999_nanos: m.latency.p999_nanos(),
             }
         }
         ClientReq::Shutdown => ClientResp::Done,
@@ -741,37 +770,116 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
     }
 }
 
-/// Serve client connections sequentially until one sends
+/// Tunables for the reactor-backed client serving loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Executor threads running [`ClientReq`]s against the tree.
+    pub executors: usize,
+    /// Global in-flight bound; beyond it requests are shed with
+    /// [`ClientResp::Overloaded`].
+    pub global_depth: usize,
+    /// Per-connection pipeline depth; beyond it the reactor stops
+    /// reading that socket (backpressure, nothing is shed).
+    pub per_conn_depth: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        let d = semtree_reactor::ReactorConfig::default();
+        ServeOptions {
+            executors: d.executors,
+            global_depth: d.global_depth,
+            per_conn_depth: d.per_conn_depth,
+        }
+    }
+}
+
+/// [`semtree_reactor::Service`] adapter: decodes [`ClientReq`] frames,
+/// answers them against the tree, encodes [`ClientResp`] frames.
+struct TreeService<'a> {
+    tree: &'a DistSemTree,
+}
+
+impl semtree_reactor::Service for TreeService<'_> {
+    fn call(&self, request: &[u8]) -> semtree_reactor::ServiceReply {
+        let req: ClientReq = match decode_exact(request) {
+            Ok(req) => req,
+            Err(e) => {
+                return semtree_reactor::ServiceReply {
+                    payload: ClientResp::Error(format!("bad request: {e}")).to_bytes(),
+                    shutdown: false,
+                };
+            }
+        };
+        let shutdown = req == ClientReq::Shutdown;
+        semtree_reactor::ServiceReply {
+            payload: answer(self.tree, req).to_bytes(),
+            shutdown,
+        }
+    }
+
+    fn overloaded(&self) -> Vec<u8> {
+        ClientResp::Overloaded.to_bytes()
+    }
+}
+
+/// Serve client connections on the event-driven reactor until one sends
 /// [`ClientReq::Shutdown`] (acknowledged with [`ClientResp::Done`]
 /// before returning). The caller then shuts the tree down.
+///
+/// Connections are multiplexed: v1 frames get sequential replies, v2
+/// frames ([`semtree_net::FRAME_V2`]) are pipelined with out-of-order
+/// completion. Request latency is recorded into the tree's shared
+/// metrics histogram.
 ///
 /// # Errors
 /// Fails when the listener itself breaks; per-connection errors just
 /// drop that connection.
 pub fn serve_clients(listener: &TcpListener, tree: &DistSemTree) -> io::Result<()> {
-    loop {
-        let (mut stream, _) = listener.accept()?;
-        stream.set_nodelay(true).ok();
-        // A read failure just means the client went away.
-        while let Ok(Some(payload)) = read_frame(&mut stream) {
-            let req: ClientReq = match decode_exact(&payload) {
-                Ok(req) => req,
-                Err(e) => {
-                    let resp = ClientResp::Error(format!("bad request: {e}"));
-                    let _ = write_frame(&mut stream, &resp.to_bytes());
-                    break;
-                }
-            };
-            let shutdown = req == ClientReq::Shutdown;
-            let resp = answer(tree, req);
-            if write_frame(&mut stream, &resp.to_bytes()).is_err() {
-                break;
-            }
-            if shutdown {
-                return Ok(());
-            }
-        }
-    }
+    serve_clients_with(listener, tree, &ServeOptions::default())
+}
+
+/// [`serve_clients`] with explicit queue depths and executor count.
+///
+/// # Errors
+/// Same as [`serve_clients`].
+pub fn serve_clients_with(
+    listener: &TcpListener,
+    tree: &DistSemTree,
+    options: &ServeOptions,
+) -> io::Result<()> {
+    let config = semtree_reactor::ReactorConfig {
+        executors: options.executors,
+        global_depth: options.global_depth,
+        per_conn_depth: options.per_conn_depth,
+        metrics: Some(tree.metrics_handle()),
+    };
+    let service = TreeService { tree };
+    semtree_reactor::serve(listener, &service, &config)?;
+    Ok(())
+}
+
+/// Deployment-wide counters as reported over the client port by
+/// [`NetClient::metrics`]: interconnect traffic plus the coordinator's
+/// request-latency histogram quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClientMetrics {
+    /// Requests delivered across the interconnect.
+    pub messages: u64,
+    /// Bytes carried (exact encoded frame bytes under TCP).
+    pub bytes: u64,
+    /// Response payload bytes travelling back to callers.
+    pub response_bytes: u64,
+    /// Compute nodes spawned.
+    pub spawned_nodes: u64,
+    /// Client requests with recorded end-to-end latency.
+    pub latency_count: u64,
+    /// Median request latency in nanoseconds (conservative bucket floor).
+    pub p50_nanos: u64,
+    /// 99th-percentile request latency in nanoseconds.
+    pub p99_nanos: u64,
+    /// 99.9th-percentile request latency in nanoseconds.
+    pub p999_nanos: u64,
 }
 
 /// A blocking client of the coordinator's query port.
@@ -880,19 +988,31 @@ impl NetClient {
         }
     }
 
-    /// Interconnect counters `(messages, bytes, response_bytes,
-    /// spawned_nodes)`.
+    /// Interconnect counters and serving-latency quantiles.
     ///
     /// # Errors
     /// Propagates transport and server-side failures.
-    pub fn metrics(&mut self) -> io::Result<(u64, u64, u64, u64)> {
+    pub fn metrics(&mut self) -> io::Result<ClientMetrics> {
         match self.call(&ClientReq::Metrics)? {
             ClientResp::Metrics {
                 messages,
                 bytes,
                 response_bytes,
                 spawned_nodes,
-            } => Ok((messages, bytes, response_bytes, spawned_nodes)),
+                latency_count,
+                p50_nanos,
+                p99_nanos,
+                p999_nanos,
+            } => Ok(ClientMetrics {
+                messages,
+                bytes,
+                response_bytes,
+                spawned_nodes,
+                latency_count,
+                p50_nanos,
+                p99_nanos,
+                p999_nanos,
+            }),
             other => Err(unexpected(&other)),
         }
     }
@@ -912,7 +1032,251 @@ impl NetClient {
 fn unexpected(resp: &ClientResp) -> io::Error {
     match resp {
         ClientResp::Error(msg) => io::Error::other(msg.clone()),
+        ClientResp::Overloaded => io::Error::new(
+            io::ErrorKind::WouldBlock,
+            "server shed the request (queue full)",
+        ),
         other => io::Error::other(format!("unexpected reply {other:?}")),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Pipelined client
+// ----------------------------------------------------------------------
+
+/// Correlation-id waiters shared between submitters and the demux
+/// reader thread.
+struct Inflight {
+    waiters: HashMap<u64, mpsc::Sender<io::Result<ClientResp>>>,
+    /// Why the connection became unusable, once it has.
+    dead: Option<String>,
+}
+
+fn lock_inflight(inflight: &Mutex<Inflight>) -> std::sync::MutexGuard<'_, Inflight> {
+    inflight
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn dead_conn(reason: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::BrokenPipe, reason.to_string())
+}
+
+/// One in-flight request submitted on a [`PipelinedClient`].
+pub struct PendingReply {
+    rx: mpsc::Receiver<io::Result<ClientResp>>,
+}
+
+impl PendingReply {
+    /// Block until the response arrives (or the connection dies).
+    ///
+    /// # Errors
+    /// Transport failures, decode failures, and connection loss all
+    /// surface as typed [`io::Error`]s — never a hang.
+    pub fn wait(self) -> io::Result<ClientResp> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(dead_conn("pipelined connection closed before reply")),
+        }
+    }
+
+    /// [`wait`](Self::wait) with an upper bound; `TimedOut` when it
+    /// elapses with the request still in flight.
+    ///
+    /// # Errors
+    /// Same as [`wait`](Self::wait), plus [`io::ErrorKind::TimedOut`].
+    pub fn wait_timeout(self, timeout: Duration) -> io::Result<ClientResp> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "pipelined reply still in flight",
+            )),
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                Err(dead_conn("pipelined connection closed before reply"))
+            }
+        }
+    }
+
+    /// Non-blocking probe: `Some` with the settled outcome when the
+    /// reply (or the connection's death) has already arrived, `None`
+    /// while it is still in flight. Lets a caller holding a window of
+    /// pending replies harvest completions in arrival order instead of
+    /// submission order — under pipelining the two routinely differ.
+    pub fn try_take(&self) -> Option<io::Result<ClientResp>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                Some(Err(dead_conn("pipelined connection closed before reply")))
+            }
+        }
+    }
+
+    /// Wait and unwrap a [`ClientResp::Neighbors`] reply.
+    ///
+    /// # Errors
+    /// Same as [`wait`](Self::wait); a non-`Neighbors` reply (including
+    /// [`ClientResp::Overloaded`]) is a typed error.
+    pub fn wait_neighbors(self) -> io::Result<Vec<(f64, u64)>> {
+        match self.wait()? {
+            ClientResp::Neighbors(n) => Ok(n),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Wait and unwrap a [`ClientResp::NeighborBatches`] reply.
+    ///
+    /// # Errors
+    /// Same as [`wait_neighbors`](Self::wait_neighbors).
+    pub fn wait_batches(self) -> io::Result<Vec<Vec<(f64, u64)>>> {
+        match self.wait()? {
+            ClientResp::NeighborBatches(b) => Ok(b),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+/// A pipelined client of the coordinator's query port: many requests in
+/// flight over **one** connection, each tagged with a v2 correlation id
+/// and completed out of order by a demux reader thread.
+///
+/// Submitting returns a [`PendingReply`] immediately; the answer is
+/// claimed later with [`PendingReply::wait`]. Compared to a pool of
+/// [`NetClient`]s, one pipelined connection keeps the server's executor
+/// pool busy without paying a round trip per request.
+pub struct PipelinedClient {
+    writer: TcpStream,
+    inflight: Arc<Mutex<Inflight>>,
+    next_corr: u64,
+    reader: Option<std::thread::JoinHandle<()>>,
+}
+
+impl PipelinedClient {
+    /// Dial the coordinator's client port, retrying until `timeout`,
+    /// and start the demux reader.
+    ///
+    /// # Errors
+    /// Fails when the port never comes up.
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<Self> {
+        let writer = dial_with_timeout(addr, timeout)?;
+        let reader_stream = writer.try_clone()?;
+        let inflight = Arc::new(Mutex::new(Inflight {
+            waiters: HashMap::new(),
+            dead: None,
+        }));
+        let reader_inflight = Arc::clone(&inflight);
+        let reader = std::thread::spawn(move || demux_replies(reader_stream, &reader_inflight));
+        Ok(PipelinedClient {
+            writer,
+            inflight,
+            next_corr: 0,
+            reader: Some(reader),
+        })
+    }
+
+    /// Requests submitted so far (also the next correlation id).
+    #[must_use]
+    pub fn submitted(&self) -> u64 {
+        self.next_corr
+    }
+
+    /// Submit one request without waiting for its reply.
+    ///
+    /// # Errors
+    /// Fails fast when the connection is already dead or the write
+    /// fails; the returned [`PendingReply`] then never existed.
+    pub fn submit(&mut self, req: &ClientReq) -> io::Result<PendingReply> {
+        let corr = self.next_corr;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = lock_inflight(&self.inflight);
+            if let Some(reason) = &st.dead {
+                return Err(dead_conn(reason));
+            }
+            st.waiters.insert(corr, tx);
+        }
+        self.next_corr += 1;
+        if let Err(e) = write_frame(&mut self.writer, &encode_frame_v2(corr, &req.to_bytes())) {
+            lock_inflight(&self.inflight).waiters.remove(&corr);
+            return Err(e);
+        }
+        Ok(PendingReply { rx })
+    }
+
+    /// Submit a k-nearest query; claim it with
+    /// [`PendingReply::wait_neighbors`].
+    ///
+    /// # Errors
+    /// Same as [`submit`](Self::submit).
+    pub fn knn(&mut self, point: &[f64], k: usize) -> io::Result<PendingReply> {
+        self.submit(&ClientReq::Knn {
+            point: point.to_vec(),
+            k,
+        })
+    }
+
+    /// Submit a batched k-nearest query; claim it with
+    /// [`PendingReply::wait_batches`].
+    ///
+    /// # Errors
+    /// Same as [`submit`](Self::submit).
+    pub fn knn_batch(&mut self, points: &[Vec<f64>], k: usize) -> io::Result<PendingReply> {
+        self.submit(&ClientReq::KnnBatch {
+            points: points.to_vec(),
+            k,
+        })
+    }
+
+    /// Submit one insert; claim the [`ClientResp::Done`] with
+    /// [`PendingReply::wait`].
+    ///
+    /// # Errors
+    /// Same as [`submit`](Self::submit).
+    pub fn insert(&mut self, point: &[f64], payload: u64) -> io::Result<PendingReply> {
+        self.submit(&ClientReq::Insert {
+            point: point.to_vec(),
+            payload,
+        })
+    }
+}
+
+impl Drop for PipelinedClient {
+    fn drop(&mut self) {
+        let _ = self.writer.shutdown(std::net::Shutdown::Both);
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+/// Reader-thread body: route each v2 reply to its waiter; on any
+/// protocol violation or transport failure, fail every outstanding
+/// waiter with a typed error and mark the connection dead.
+fn demux_replies(mut stream: TcpStream, inflight: &Mutex<Inflight>) {
+    let failure = loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => break "server closed the pipelined connection".to_string(),
+            Err(e) => break format!("pipelined read failed: {e}"),
+        };
+        let (corr, body) = match split_frame_v2(&payload) {
+            Ok(Some(pair)) => pair,
+            Ok(None) => break "unpipelined (v1) reply on a pipelined connection".to_string(),
+            Err(e) => break format!("malformed pipelined reply: {e}"),
+        };
+        let result = decode_exact::<ClientResp>(body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+        match lock_inflight(inflight).waiters.remove(&corr) {
+            // A dropped PendingReply just discards its answer.
+            Some(tx) => drop(tx.send(result)),
+            None => break format!("reply with unknown correlation id {corr}"),
+        }
+    };
+    let mut st = lock_inflight(inflight);
+    st.dead = Some(failure.clone());
+    for (_, tx) in st.waiters.drain() {
+        let _ = tx.send(Err(dead_conn(&failure)));
     }
 }
 
@@ -1011,9 +1375,14 @@ mod tests {
                 bytes: 120,
                 response_bytes: 48,
                 spawned_nodes: 2,
+                latency_count: 17,
+                p50_nanos: 2_048,
+                p99_nanos: 65_536,
+                p999_nanos: 131_072,
             },
             ClientResp::Error("nope".into()),
             ClientResp::NeighborBatches(vec![vec![(0.5, 9), (1.0, 2)], vec![]]),
+            ClientResp::Overloaded,
         ];
         for resp in resps {
             let back: ClientResp = decode_exact(&resp.to_bytes()).unwrap();

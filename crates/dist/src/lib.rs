@@ -68,7 +68,8 @@ mod tree;
 
 pub use deploy::{
     build_tree, build_tree_durable, join_cluster, join_cluster_durable, serve_clients,
-    serve_cluster, ClientReq, ClientResp, DeployError, DistFabric, NetClient, NetDeployConfig,
+    serve_clients_with, serve_cluster, ClientMetrics, ClientReq, ClientResp, DeployError,
+    DistFabric, NetClient, NetDeployConfig, PendingReply, PipelinedClient, ServeOptions,
     WorkerHandle,
 };
 pub use proto::{PartitionStats, Req, Resp};

@@ -571,6 +571,13 @@ impl DistSemTree {
         self.cluster.metrics()
     }
 
+    /// The live metrics sink, shared with serving fabrics so request
+    /// latency lands in the same snapshot as interconnect counters.
+    #[must_use]
+    pub fn metrics_handle(&self) -> Arc<semtree_cluster::ClusterMetrics> {
+        self.cluster.metrics_handle()
+    }
+
     /// Reset interconnect metrics between experiment phases.
     pub fn reset_metrics(&self) {
         self.cluster.reset_metrics();

@@ -570,10 +570,13 @@ where
                 // Request handling blocks on a local node (which may call
                 // further processes), so it must not occupy the reader.
                 std::thread::spawn(move || {
+                    let started = Instant::now();
                     let result = fabric
                         .local
                         .send(ComputeNodeId(target), body)
                         .and_then(ReplyHandle::wait);
+                    let elapsed = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    fabric.metrics.record_latency(elapsed);
                     let reply: NetMsg<Req, Resp> = match result {
                         Ok(body) => NetMsg::Response { call_id, body },
                         Err(err) => {
@@ -602,22 +605,11 @@ where
                 std::thread::spawn(move || {
                     // A spawn can arrive moments after this process joined,
                     // before its application code installed the node
-                    // factory; wait briefly for it rather than failing the
-                    // coordinator's build-partition.
-                    let spawned = {
-                        let deadline = Instant::now() + Duration::from_secs(2);
-                        loop {
-                            match fabric.local.spawn_member() {
-                                Err(ClusterError::SpawnFailed(msg))
-                                    if msg.contains("no node factory")
-                                        && Instant::now() < deadline =>
-                                {
-                                    std::thread::sleep(Duration::from_millis(10));
-                                }
-                                other => break other,
-                            }
-                        }
-                    };
+                    // factory; wait on the factory gate (condvar, no
+                    // polling) rather than failing the coordinator's
+                    // build-partition.
+                    let _ = fabric.local.wait_for_node_factory(Duration::from_secs(2));
+                    let spawned = fabric.local.spawn_member();
                     let reply: NetMsg<Req, Resp> = match spawned {
                         Ok(node) => NetMsg::Spawned {
                             call_id,
@@ -829,6 +821,10 @@ where
 
     fn reset_metrics(&self) {
         self.metrics.reset();
+    }
+
+    fn record_request_latency(&self, nanos: u64) {
+        self.metrics.record_latency(nanos);
     }
 
     fn shutdown(&self) {
@@ -1047,11 +1043,9 @@ mod tests {
                 .unwrap();
         coord.wait_for_workers(2, DIAL_TIMEOUT).unwrap();
         let on_w2 = w2.spawn_handler(Box::new(Echo)).unwrap();
-        // w1 has never talked to w2; the PeerJoined broadcast lets it dial.
-        let deadline = Instant::now() + DIAL_TIMEOUT;
-        while w1.peer_count() < 2 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        // w1 has never talked to w2; the PeerJoined broadcast lets it
+        // dial. Wait on the membership gate instead of sleep-polling.
+        w1.wait_for_workers(2, DIAL_TIMEOUT).unwrap();
         assert_eq!(w1.send(on_w2, 8).and_then(ReplyHandle::wait), Ok(16));
         coord.shutdown();
         for worker in [w1, w2] {

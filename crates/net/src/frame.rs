@@ -61,10 +61,68 @@ pub fn frame_overhead(payload_len: usize) -> usize {
     4 + payload_len
 }
 
+/// Magic first payload byte of a **v2 (pipelined) frame**: the payload
+/// is `[0xC2][u64 LE correlation id][body]` instead of a bare body.
+///
+/// The value is unambiguous against every v1 payload in the protocol:
+/// v1 payloads start with a codec enum tag, and no protocol enum has
+/// more than a handful of variants — nowhere near `0xC2`.
+pub const FRAME_V2: u8 = 0xC2;
+
+/// Payload bytes beyond the body in a v2 frame (magic + correlation id).
+pub const FRAME_V2_HEADER_LEN: usize = 9;
+
+/// Build a v2 payload: magic byte, correlation id, body. Framing (the
+/// u32 length prefix) is unchanged — pass the result to [`write_frame`],
+/// and [`MAX_FRAME_LEN`] applies to the whole payload including this
+/// header.
+#[must_use]
+pub fn encode_frame_v2(corr_id: u64, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(FRAME_V2_HEADER_LEN + body.len());
+    payload.push(FRAME_V2);
+    payload.extend_from_slice(&corr_id.to_le_bytes());
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Split a frame payload that may be v2. Returns `Ok(Some((corr_id,
+/// body)))` for a well-formed v2 payload, `Ok(None)` when the payload is
+/// v1 (no magic byte — including the empty payload), and an
+/// [`io::ErrorKind::InvalidData`] error when the magic byte is present
+/// but the header is truncated.
+pub fn split_frame_v2(payload: &[u8]) -> io::Result<Option<(u64, &[u8])>> {
+    match payload.first() {
+        Some(&FRAME_V2) => {
+            if payload.len() < FRAME_V2_HEADER_LEN {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "v2 frame header truncated: {} of {FRAME_V2_HEADER_LEN} bytes",
+                        payload.len()
+                    ),
+                ));
+            }
+            let mut corr = [0u8; 8];
+            corr.copy_from_slice(&payload[1..FRAME_V2_HEADER_LEN]);
+            Ok(Some((
+                u64::from_le_bytes(corr),
+                &payload[FRAME_V2_HEADER_LEN..],
+            )))
+        }
+        _ => Ok(None),
+    }
+}
+
 /// Connect to `addr`, retrying until `timeout` elapses — covers the
 /// race where a worker dials a peer whose listener is still coming up.
+///
+/// Retries back off exponentially (1ms doubling to a 50ms cap), each
+/// sleep clamped to the remaining deadline, so a listener that comes up
+/// quickly is dialled within a millisecond or two instead of a fixed
+/// 50ms poll.
 pub fn dial_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
     let deadline = Instant::now() + timeout;
+    let mut backoff = Duration::from_millis(1);
     loop {
         match TcpStream::connect(addr) {
             Ok(stream) => {
@@ -72,13 +130,15 @@ pub fn dial_with_timeout(addr: SocketAddr, timeout: Duration) -> io::Result<TcpS
                 return Ok(stream);
             }
             Err(e) => {
-                if Instant::now() >= deadline {
+                let now = Instant::now();
+                if now >= deadline {
                     return Err(io::Error::new(
                         e.kind(),
                         format!("connect to {addr} timed out after {timeout:?}: {e}"),
                     ));
                 }
-                std::thread::sleep(Duration::from_millis(50));
+                std::thread::sleep(backoff.min(deadline - now));
+                backoff = (backoff * 2).min(Duration::from_millis(50));
             }
         }
     }
@@ -212,5 +272,43 @@ mod tests {
     fn overhead_accounts_for_the_prefix() {
         assert_eq!(frame_overhead(0), 4);
         assert_eq!(frame_overhead(100), 104);
+    }
+
+    #[test]
+    fn v2_payload_round_trips() {
+        let payload = encode_frame_v2(0xDEAD_BEEF_1234_5678, b"body bytes");
+        assert_eq!(payload.len(), FRAME_V2_HEADER_LEN + 10);
+        let (corr, body) = split_frame_v2(&payload).unwrap().expect("v2");
+        assert_eq!(corr, 0xDEAD_BEEF_1234_5678);
+        assert_eq!(body, b"body bytes");
+    }
+
+    #[test]
+    fn v1_payloads_pass_through_split_unscathed() {
+        // Every ClientReq/NetMsg tag is tiny — far below 0xC2.
+        for first in [0u8, 1, 7, 9] {
+            assert_eq!(split_frame_v2(&[first, 1, 2, 3]).unwrap(), None);
+        }
+        assert_eq!(split_frame_v2(&[]).unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_v2_header_is_invalid_data() {
+        for len in 1..FRAME_V2_HEADER_LEN {
+            let mut payload = encode_frame_v2(42, b"x");
+            payload.truncate(len);
+            let err = split_frame_v2(&payload).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "truncated at {len}");
+        }
+    }
+
+    #[test]
+    fn v2_header_layout_is_stable() {
+        // [0xC2][corr u64 LE][body] — the cross-process contract.
+        let payload = encode_frame_v2(0x0102_0304_0506_0708, &[0xAA]);
+        assert_eq!(
+            payload,
+            [0xC2, 0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, 0xAA]
+        );
     }
 }

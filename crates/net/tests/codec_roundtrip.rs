@@ -205,3 +205,140 @@ fn truncation_is_rejected_for_every_variant() {
         }
     }
 }
+
+/// Codec behaviour under pipelining: v2 (correlated) frames interleaved
+/// on one byte stream, delivered through partial reads, with the
+/// correlation id surviving exactly.
+mod frame_v2_pipelining {
+    use std::io::{self, Read};
+
+    use proptest::prelude::*;
+    use semtree_net::{
+        encode_frame_v2, read_frame, split_frame_v2, write_frame, FRAME_V2, FRAME_V2_HEADER_LEN,
+        MAX_FRAME_LEN,
+    };
+
+    /// A reader that hands out at most `chunk` bytes per call —
+    /// simulates a socket delivering partial reads mid-frame.
+    struct Dribble<'a> {
+        wire: &'a [u8],
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl Read for Dribble<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.chunk).min(self.wire.len() - self.pos);
+            buf[..n].copy_from_slice(&self.wire[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn header_is_exactly_nine_bytes() {
+        // The v2 header (tag + correlation id) counts toward the frame
+        // length, so MAX_FRAME_LEN bounds body + 9, not just the body.
+        assert_eq!(FRAME_V2_HEADER_LEN, 9);
+        for (corr, body) in [(0u64, &b""[..]), (u64::MAX, &b"payload"[..])] {
+            let payload = encode_frame_v2(corr, body);
+            assert_eq!(payload.len(), FRAME_V2_HEADER_LEN + body.len());
+            assert_eq!(payload[0], FRAME_V2);
+        }
+    }
+
+    #[test]
+    fn interleaved_v1_and_v2_frames_keep_their_identities() {
+        // One wire carrying a v1 frame between v2 frames with extreme
+        // correlation ids — each frame comes back tagged correctly.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &encode_frame_v2(u64::MAX, b"last-id")).unwrap();
+        write_frame(&mut wire, b"plain v1 payload").unwrap();
+        write_frame(&mut wire, &encode_frame_v2(0, b"zero-id")).unwrap();
+
+        let mut reader = Dribble {
+            wire: &wire,
+            pos: 0,
+            chunk: 3,
+        };
+        let first = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(
+            split_frame_v2(&first).unwrap(),
+            Some((u64::MAX, &b"last-id"[..]))
+        );
+        let second = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(split_frame_v2(&second).unwrap(), None, "v1 passes through");
+        assert_eq!(second, b"plain v1 payload");
+        let third = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(split_frame_v2(&third).unwrap(), Some((0, &b"zero-id"[..])));
+    }
+
+    #[test]
+    fn demux_detects_a_correlation_id_mismatch() {
+        // A demuxing client holds the set of ids it issued; a reply
+        // whose id is not in that set must be detectable (the client
+        // then fails the connection rather than mis-delivering).
+        let issued: std::collections::HashSet<u64> = [1, 2, 3].into();
+        let reply = encode_frame_v2(42, b"stray");
+        let (corr, _body) = split_frame_v2(&reply).unwrap().unwrap();
+        assert!(
+            !issued.contains(&corr),
+            "a stray id must not match any issued request"
+        );
+    }
+
+    #[test]
+    fn oversized_v2_frame_is_rejected_before_its_body_arrives() {
+        // MAX_FRAME_LEN caps the whole payload including the 9-byte v2
+        // header, so the largest legal body is MAX_FRAME_LEN - 9. A
+        // prefix claiming one byte more is rejected from the prefix
+        // alone — the reader never waits for (or allocates) the body.
+        let len = u32::try_from(MAX_FRAME_LEN + 1).unwrap();
+        let mut wire = len.to_be_bytes().to_vec();
+        wire.push(FRAME_V2); // the body never arrives
+        let mut reader: &[u8] = &wire;
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    proptest! {
+        /// Any sequence of v2 frames, written on one stream and read
+        /// back through arbitrary partial-read chunk sizes, yields the
+        /// same (id, body) pairs in order.
+        #[test]
+        fn pipelined_frames_survive_arbitrary_chunking(
+            frames in prop::collection::vec(
+                (0u64..u64::MAX, prop::collection::vec(0u8..=255u8, 0..64)),
+                1..8,
+            ),
+            chunk in 1usize..16,
+        ) {
+            let mut wire = Vec::new();
+            for (corr, body) in &frames {
+                write_frame(&mut wire, &encode_frame_v2(*corr, body)).unwrap();
+            }
+            let mut reader = Dribble { wire: &wire, pos: 0, chunk };
+            for (corr, body) in &frames {
+                let payload = read_frame(&mut reader).unwrap().unwrap();
+                let (got_corr, got_body) = split_frame_v2(&payload).unwrap().unwrap();
+                prop_assert_eq!(got_corr, *corr);
+                prop_assert_eq!(got_body, &body[..]);
+            }
+            prop_assert!(read_frame(&mut reader).unwrap().is_none(), "wire drained");
+        }
+
+        /// The 9-byte header alone round-trips every correlation id;
+        /// truncating into the header is always InvalidData, never a
+        /// misparse.
+        #[test]
+        fn header_truncation_never_misparses(corr in 0u64..u64::MAX, cut in 1usize..9) {
+            let payload = encode_frame_v2(corr, b"");
+            prop_assert_eq!(
+                split_frame_v2(&payload).unwrap(),
+                Some((corr, &b""[..]))
+            );
+            let err = split_frame_v2(&payload[..cut]).unwrap_err();
+            prop_assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        }
+    }
+}

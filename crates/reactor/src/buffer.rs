@@ -1,0 +1,258 @@
+//! Per-connection read/write buffers over the length-prefixed framing.
+//!
+//! Non-blocking sockets deliver bytes in arbitrary chunks, so the
+//! reactor accumulates them here: [`FrameReader`] re-assembles complete
+//! `[u32 BE length][payload]` frames out of whatever arrived, and
+//! [`WriteQueue`] tracks partially written responses so a `WouldBlock`
+//! mid-frame resumes at the right offset. Both are pure in-memory state
+//! machines, unit-testable without sockets.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+use semtree_net::MAX_FRAME_LEN;
+
+/// Incremental parser for length-prefixed frames.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Append bytes read off the socket.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix space before growing.
+        if self.pos > 0 && (self.pos >= 4096 || self.pos == self.buf.len()) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Is a complete frame available to [`next_frame`](Self::next_frame)?
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidData`] when the buffered length prefix
+    /// exceeds [`MAX_FRAME_LEN`] — the stream is hostile or corrupt and
+    /// the connection should be dropped.
+    pub fn has_frame(&self) -> io::Result<bool> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(false);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame length {len} exceeds maximum {MAX_FRAME_LEN}"),
+            ));
+        }
+        Ok(avail.len() >= 4 + len)
+    }
+
+    /// Consume and return the next complete frame's payload, or `None`
+    /// when more bytes are needed.
+    ///
+    /// # Errors
+    /// Same as [`has_frame`](Self::has_frame).
+    pub fn next_frame(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if !self.has_frame()? {
+            return Ok(None);
+        }
+        let avail = &self.buf[self.pos..];
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        let payload = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(payload))
+    }
+}
+
+/// Outbound frames with partial-write resumption.
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    queue: VecDeque<Vec<u8>>,
+    /// Bytes of the front buffer already written to the socket.
+    offset: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        WriteQueue::default()
+    }
+
+    /// Queue one frame (length prefix is prepended here).
+    ///
+    /// # Errors
+    /// [`io::ErrorKind::InvalidInput`] when `payload` exceeds the u32
+    /// length-prefix range.
+    pub fn push_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        let len = u32::try_from(payload.len())
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame exceeds u32 length"))?;
+        let mut framed = Vec::with_capacity(4 + payload.len());
+        framed.extend_from_slice(&len.to_be_bytes());
+        framed.extend_from_slice(payload);
+        self.queue.push_back(framed);
+        Ok(())
+    }
+
+    /// Nothing left to write?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Bytes queued but not yet written.
+    #[must_use]
+    pub fn pending_bytes(&self) -> usize {
+        self.queue.iter().map(Vec::len).sum::<usize>() - self.offset
+    }
+
+    /// Write as much as the socket will take without blocking. Returns
+    /// once the queue is drained or the write would block.
+    ///
+    /// # Errors
+    /// Propagates socket errors other than `WouldBlock`/`Interrupted`;
+    /// a zero-length write surfaces as [`io::ErrorKind::WriteZero`].
+    pub fn write_to(&mut self, stream: &mut impl Write) -> io::Result<()> {
+        while let Some(front) = self.queue.front() {
+            match stream.write(&front[self.offset..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.offset += n;
+                    if self.offset == front.len() {
+                        self.queue.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn framed(payload: &[u8]) -> Vec<u8> {
+        let mut out = (u32::try_from(payload.len()).unwrap())
+            .to_be_bytes()
+            .to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
+    #[test]
+    fn reader_reassembles_frames_from_byte_dribble() {
+        let mut wire = framed(b"first");
+        wire.extend(framed(b""));
+        wire.extend(framed(&[9u8; 300]));
+        let mut reader = FrameReader::new();
+        let mut got = Vec::new();
+        for chunk in wire.chunks(3) {
+            reader.extend(chunk);
+            while let Some(frame) = reader.next_frame().unwrap() {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], b"first");
+        assert_eq!(got[1], b"");
+        assert_eq!(got[2].len(), 300);
+        assert_eq!(reader.buffered(), 0);
+    }
+
+    #[test]
+    fn reader_rejects_hostile_length_without_buffering_it() {
+        let mut reader = FrameReader::new();
+        reader.extend(&u32::MAX.to_be_bytes());
+        assert!(reader.has_frame().is_err());
+        assert!(reader.next_frame().is_err());
+    }
+
+    #[test]
+    fn reader_accepts_length_exactly_at_the_maximum() {
+        let mut reader = FrameReader::new();
+        reader.extend(&(u32::try_from(MAX_FRAME_LEN).unwrap()).to_be_bytes());
+        // Not an error — just incomplete until 256 MiB arrive.
+        assert!(!reader.has_frame().unwrap());
+    }
+
+    #[test]
+    fn reader_reclaims_consumed_space() {
+        let mut reader = FrameReader::new();
+        for _ in 0..100 {
+            reader.extend(&framed(&[7u8; 128]));
+            assert_eq!(reader.next_frame().unwrap().unwrap(), [7u8; 128]);
+        }
+        assert_eq!(reader.buffered(), 0);
+        // The internal buffer cannot have accumulated all 100 frames.
+        assert!(reader.buf.len() < 2 * (4 + 128 + 4096));
+    }
+
+    /// A writer that accepts at most `cap` bytes per call, then blocks.
+    struct Throttled {
+        sink: Vec<u8>,
+        cap: usize,
+        calls_until_block: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.calls_until_block == 0 {
+                self.calls_until_block = 1;
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "throttled"));
+            }
+            self.calls_until_block -= 1;
+            let n = buf.len().min(self.cap);
+            self.sink.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_resumes_partial_writes_across_would_block() {
+        let mut wq = WriteQueue::new();
+        wq.push_frame(b"hello pipelined world").unwrap();
+        wq.push_frame(b"second frame").unwrap();
+        let mut sink = Throttled {
+            sink: Vec::new(),
+            cap: 5,
+            calls_until_block: 2,
+        };
+        while !wq.is_empty() {
+            wq.write_to(&mut sink).unwrap();
+            sink.calls_until_block = 2;
+        }
+        let mut expected = framed(b"hello pipelined world");
+        expected.extend(framed(b"second frame"));
+        assert_eq!(sink.sink, expected);
+        assert_eq!(wq.pending_bytes(), 0);
+    }
+}

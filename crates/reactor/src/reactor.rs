@@ -1,0 +1,411 @@
+//! The readiness loop: accept, buffer, admit, execute, reply.
+//!
+//! One reactor thread multiplexes every client connection with
+//! `poll(2)` (via [`crate::sys`]); a small pool of executor threads
+//! runs the [`Service`] on admitted requests. Responses flow back
+//! through a completion list and a self-wake socket, so out-of-order
+//! completion under pipelining is the natural case — each v2 frame
+//! carries its correlation id home.
+//!
+//! Connection lifecycle: `Accepted → Reading ⇄ Backpressured → Draining
+//! → Closed`. *Backpressured* means the connection's in-flight count
+//! reached the per-connection bound: the reactor stops polling the
+//! socket for readability (already-buffered bytes stay buffered) until
+//! a completion frees a slot. Admission against a full **global** bound
+//! instead sheds the request: the service's typed `overloaded` response
+//! is queued immediately, and the client sees backpressure as latency,
+//! never as a silent stall.
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use semtree_cluster::ClusterMetrics;
+use semtree_conc::sync::Mutex;
+use semtree_net::{encode_frame_v2, split_frame_v2};
+
+use crate::buffer::{FrameReader, WriteQueue};
+use crate::queue::{Push, ServeQueue};
+use crate::sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLOUT};
+
+/// What a [`Service`] returns for one request.
+#[derive(Debug)]
+pub struct ServiceReply {
+    /// Encoded response body (framed and correlated by the reactor).
+    pub payload: Vec<u8>,
+    /// `true` when this request asked the server to stop: the reply is
+    /// still delivered, then the reactor drains and returns.
+    pub shutdown: bool,
+}
+
+/// The application behind the reactor: decodes a request body, produces
+/// an encoded response. Called concurrently from executor threads.
+pub trait Service: Sync {
+    /// Handle one request body (the frame payload minus the v2 header).
+    fn call(&self, request: &[u8]) -> ServiceReply;
+
+    /// The encoded "overloaded, retry later" response sent when the
+    /// global queue is full and the request is shed without running.
+    fn overloaded(&self) -> Vec<u8>;
+}
+
+/// Tunables for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Executor threads running the service (≥ 1).
+    pub executors: usize,
+    /// Global bound on admitted-but-uncompleted requests; admission
+    /// beyond it sheds with the service's `overloaded` reply.
+    pub global_depth: usize,
+    /// Per-connection bound; a connection at the bound stops being
+    /// read (backpressure) until a completion frees a slot.
+    pub per_conn_depth: usize,
+    /// Sink for per-request serving latency (dispatch → reply ready).
+    pub metrics: Option<Arc<ClusterMetrics>>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            executors: 4,
+            global_depth: 1024,
+            per_conn_depth: 64,
+            metrics: None,
+        }
+    }
+}
+
+/// What happened over one [`serve`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorReport {
+    /// Requests admitted, executed, and answered.
+    pub served: u64,
+    /// Requests shed with an `overloaded` response.
+    pub shed: u64,
+}
+
+/// One admitted request travelling to an executor.
+struct Job {
+    /// Correlation id for v2 frames; `None` for a v1 (sequential)
+    /// client, whose reply goes back uncorrelated.
+    corr: Option<u64>,
+    body: Vec<u8>,
+    admitted: Instant,
+}
+
+/// One finished response travelling back to the reactor.
+struct Completion {
+    conn: u64,
+    /// Full reply payload (v2 header already prepended when required).
+    payload: Vec<u8>,
+    shutdown: bool,
+}
+
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: WriteQueue,
+}
+
+/// Everything the loop and the executors share by reference.
+struct Shared<'a, SVC: Service> {
+    service: &'a SVC,
+    config: &'a ReactorConfig,
+    queue: ServeQueue<Job>,
+    completions: Mutex<Vec<Completion>>,
+    wake_tx: UnixStream,
+    stopping: AtomicBool,
+    served: AtomicU64,
+}
+
+impl<SVC: Service> Shared<'_, SVC> {
+    /// Poke the reactor's wake socket; a full pipe means a wake is
+    /// already pending, so `WouldBlock` is success.
+    fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+
+    /// Executor body: run jobs until the queue shuts down.
+    fn run_executor(&self) {
+        while let Some((conn, job)) = self.queue.pop() {
+            let reply = self.service.call(&job.body);
+            let elapsed = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if let Some(metrics) = &self.config.metrics {
+                metrics.record_latency(elapsed);
+            }
+            self.served.fetch_add(1, Ordering::Relaxed);
+            let payload = match job.corr {
+                Some(corr) => encode_frame_v2(corr, &reply.payload),
+                None => reply.payload,
+            };
+            if reply.shutdown {
+                self.stopping.store(true, Ordering::SeqCst);
+            }
+            {
+                let mut completions = self.completions.lock();
+                completions.push(Completion {
+                    conn,
+                    payload,
+                    shutdown: reply.shutdown,
+                });
+            }
+            self.queue.complete(conn);
+            self.wake();
+        }
+    }
+}
+
+/// Serve clients on `listener` until a request's [`ServiceReply`] sets
+/// `shutdown`. Executor threads are scoped, so `service` only needs
+/// `Sync`, not `'static`.
+///
+/// # Errors
+/// Fatal socket-layer failures (listener, `poll(2)`, or the wake pipe);
+/// per-connection errors close that connection only.
+pub fn serve<SVC: Service>(
+    listener: &TcpListener,
+    service: &SVC,
+    config: &ReactorConfig,
+) -> io::Result<ReactorReport> {
+    listener.set_nonblocking(true)?;
+    let (wake_rx, wake_tx) = UnixStream::pair()?;
+    wake_rx.set_nonblocking(true)?;
+    wake_tx.set_nonblocking(true)?;
+    let shared = Shared {
+        service,
+        config,
+        queue: ServeQueue::new(config.global_depth),
+        completions: Mutex::new(Vec::new()),
+        wake_tx,
+        stopping: AtomicBool::new(false),
+        served: AtomicU64::new(0),
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..config.executors.max(1) {
+            scope.spawn(|| shared.run_executor());
+        }
+        let result = event_loop(listener, &wake_rx, &shared);
+        shared.queue.shutdown();
+        result
+    })
+}
+
+#[allow(clippy::too_many_lines)]
+fn event_loop<SVC: Service>(
+    listener: &TcpListener,
+    wake_rx: &UnixStream,
+    shared: &Shared<'_, SVC>,
+) -> io::Result<ReactorReport> {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_conn_id: u64 = 0;
+    let mut shed: u64 = 0;
+    let mut scratch = vec![0u8; 64 * 1024];
+    // Index of the connection that asked for shutdown; its reply must
+    // flush before the loop exits.
+    let mut drain_deadline: Option<Instant> = None;
+
+    loop {
+        let stopping = shared.stopping.load(Ordering::SeqCst);
+        // ---- build the poll set: waker, listener, then connections.
+        let mut fds = Vec::with_capacity(2 + conns.len());
+        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
+        fds.push(PollFd::new(
+            listener.as_raw_fd(),
+            if stopping { 0 } else { POLLIN },
+        ));
+        for conn in &conns {
+            let mut events = 0i16;
+            let backpressured =
+                shared.queue.conn_in_flight(conn.id) >= shared.config.per_conn_depth;
+            if !stopping && !backpressured {
+                events |= POLLIN;
+            }
+            if !conn.writer.is_empty() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+        }
+        poll_fds(&mut fds, 50)?;
+        // Snapshot readiness by connection id now: accepts and closes
+        // below reshuffle `conns`, and ids stay valid where indices
+        // would not.
+        let ready: Vec<(u64, i16)> = conns
+            .iter()
+            .zip(fds.iter().skip(2))
+            .map(|(c, f)| (c.id, f.revents))
+            .collect();
+
+        // ---- drain the waker.
+        if fds[0].has(POLLIN) {
+            while matches!((&*wake_rx).read(&mut scratch), Ok(n) if n > 0) {}
+        }
+
+        // ---- accept new connections.
+        if fds[1].has(POLLIN) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _addr)) => {
+                        stream.set_nonblocking(true)?;
+                        stream.set_nodelay(true).ok();
+                        let id = next_conn_id;
+                        next_conn_id += 1;
+                        conns.push(Conn {
+                            id,
+                            stream,
+                            reader: FrameReader::new(),
+                            writer: WriteQueue::new(),
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+
+        // ---- deliver finished responses into write queues.
+        let finished: Vec<Completion> = std::mem::take(&mut *shared.completions.lock());
+        for completion in finished {
+            // A completion for a vanished connection is dropped: its
+            // queue slot was already released by the executor.
+            let push_failed = match conns.iter_mut().find(|c| c.id == completion.conn) {
+                Some(conn) => conn.writer.push_frame(&completion.payload).is_err(),
+                None => false,
+            };
+            if push_failed {
+                // Response exceeds the frame format: nothing valid can
+                // be sent; drop the connection.
+                close_conn(shared, &mut conns, completion.conn);
+            }
+            if completion.shutdown && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + std::time::Duration::from_secs(5));
+            }
+        }
+
+        // ---- per-connection I/O, by id (closes may remove entries).
+        for (conn_id, revents) in ready {
+            let mut dead = revents & (POLLERR | POLLHUP) != 0 && revents & POLLIN == 0;
+            if !dead && revents & POLLIN != 0 && !stopping {
+                dead = read_ready(&mut conns, conn_id, &mut scratch);
+            }
+            // Admit whatever is buffered (also after completions freed
+            // slots with no new socket readiness).
+            if !dead && !stopping {
+                dead = pump_conn(shared, &mut conns, conn_id, &mut shed);
+            }
+            if !dead {
+                dead = write_ready(&mut conns, conn_id);
+            }
+            if dead {
+                close_conn(shared, &mut conns, conn_id);
+            }
+        }
+
+        // ---- shutdown: once requested, wait for in-flight work, then
+        // flush every writer before returning.
+        if stopping {
+            let idle = shared.queue.global_in_flight() == 0;
+            let flushed =
+                conns.iter().all(|c| c.writer.is_empty()) && shared.completions.lock().is_empty();
+            let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
+            if (idle && flushed) || expired {
+                return Ok(ReactorReport {
+                    served: shared.served.load(Ordering::Relaxed),
+                    shed,
+                });
+            }
+        }
+    }
+}
+
+/// Read until `WouldBlock`, buffering into the connection's
+/// [`FrameReader`]. Returns `true` when the connection died.
+fn read_ready(conns: &mut [Conn], conn_id: u64, scratch: &mut [u8]) -> bool {
+    let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) else {
+        return false;
+    };
+    loop {
+        match conn.stream.read(scratch) {
+            // EOF: the client is gone. Frames it already pipelined are
+            // moot — nobody is reading replies — so drop the connection.
+            Ok(0) => return true,
+            Ok(n) => conn.reader.extend(&scratch[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return true,
+        }
+    }
+}
+
+/// Parse and admit buffered frames while the connection has pipeline
+/// slots. Returns `true` when the connection died (corrupt stream).
+fn pump_conn<SVC: Service>(
+    shared: &Shared<'_, SVC>,
+    conns: &mut [Conn],
+    conn_id: u64,
+    shed: &mut u64,
+) -> bool {
+    let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) else {
+        return false;
+    };
+    loop {
+        // Backpressure: leave complete frames buffered while the
+        // connection is at its pipeline bound.
+        if shared.queue.conn_in_flight(conn_id) >= shared.config.per_conn_depth {
+            return false;
+        }
+        let payload = match conn.reader.next_frame() {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return false,
+            // Hostile length prefix — the stream is unrecoverable.
+            Err(_) => return true,
+        };
+        let (corr, body) = match split_frame_v2(&payload) {
+            Ok(Some((corr, body))) => (Some(corr), body.to_vec()),
+            Ok(None) => (None, payload),
+            // Truncated v2 header — desynchronised stream.
+            Err(_) => return true,
+        };
+        let job = Job {
+            corr,
+            body,
+            admitted: Instant::now(),
+        };
+        match shared.queue.push(conn_id, job) {
+            Push::Granted => {}
+            Push::GlobalFull => {
+                *shed += 1;
+                let reply = shared.service.overloaded();
+                let framed = match corr {
+                    Some(corr) => encode_frame_v2(corr, &reply),
+                    None => reply,
+                };
+                if conn.writer.push_frame(&framed).is_err() {
+                    return true;
+                }
+            }
+            Push::Closed => return true,
+        }
+    }
+}
+
+/// Flush the connection's write queue. Returns `true` when it died.
+fn write_ready(conns: &mut [Conn], conn_id: u64) -> bool {
+    let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) else {
+        return false;
+    };
+    if conn.writer.is_empty() {
+        return false;
+    }
+    conn.writer.write_to(&mut conn.stream).is_err()
+}
+
+fn close_conn<SVC: Service>(shared: &Shared<'_, SVC>, conns: &mut Vec<Conn>, conn_id: u64) {
+    shared.queue.close_conn(conn_id);
+    conns.retain(|c| c.id != conn_id);
+}

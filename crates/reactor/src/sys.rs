@@ -1,0 +1,119 @@
+//! The one raw syscall the reactor needs: `poll(2)`.
+//!
+//! The workspace is dependency-free, so readiness notification cannot
+//! come from `mio`/`libc`; instead this module declares the `poll`
+//! symbol (part of every libc the workspace can link against) and wraps
+//! it in a safe, `EINTR`-retrying function over a `#[repr(C)]` fd set.
+//! This is the only module in the workspace allowed to contain `unsafe`
+//! — everything above it works with safe [`poll`] calls on
+//! [`PollFd`] slices.
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable data (or a pending accept on a listener).
+pub const POLLIN: i16 = 0x001;
+/// Writable without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition on the fd (always reported, need not be requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (always reported, need not be requested).
+pub const POLLHUP: i16 = 0x010;
+
+/// One entry of a `poll(2)` fd set, layout-identical to libc's
+/// `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN` / `POLLOUT` bits).
+    pub events: i16,
+    /// Returned events, filled by the kernel.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events`.
+    #[must_use]
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Did the kernel report any of `bits` for this entry?
+    #[must_use]
+    pub fn has(&self, bits: i16) -> bool {
+        self.revents & bits != 0
+    }
+}
+
+extern "C" {
+    // `nfds_t` is `unsigned long` on every Linux ABI this workspace
+    // targets; `timeout` is milliseconds (-1 = infinite).
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+}
+
+/// Block until at least one entry in `fds` is ready or `timeout_ms`
+/// elapses (`-1` waits forever). Returns the number of ready entries
+/// (zero on timeout) and retries transparently on `EINTR`.
+///
+/// # Errors
+/// Any `poll(2)` failure other than `EINTR` (e.g. `EINVAL` for an
+/// oversized set) is returned as the corresponding [`io::Error`].
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd-layout structs; the kernel writes only the
+        // `revents` field of the `fds.len()` entries passed.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_times_out_on_a_silent_socket() {
+        let (a, _b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(ready, 0);
+        assert!(!fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn poll_reports_readable_after_a_write() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        b.write_all(&[1]).unwrap();
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].has(POLLIN));
+    }
+
+    #[test]
+    fn poll_reports_hangup_on_a_closed_peer() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(b);
+        let mut fds = [PollFd::new(a.as_raw_fd(), POLLIN)];
+        let ready = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].has(POLLIN | POLLHUP));
+    }
+}

@@ -1,0 +1,210 @@
+//! Serving-fabric integration: the reactor-backed client port under
+//! pipelining, mixed v1/v2 clients, and deliberate overload.
+//!
+//! A real `DistSemTree` is served over loopback TCP by
+//! `serve_clients_with`; clients drive it with the pipelined
+//! (correlation-id) protocol and assert answers are byte-identical to
+//! querying the tree directly — out-of-order completion must never
+//! mis-deliver a reply.
+
+use std::net::TcpListener;
+use std::time::Duration;
+
+use semtree_cluster::CostModel;
+use semtree_dist::{
+    serve_clients_with, ClientReq, ClientResp, DistConfig, DistSemTree, NetClient, PipelinedClient,
+    ServeOptions,
+};
+
+fn sample_points(dims: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    (0..n)
+        .map(|_| {
+            (0..dims)
+                .map(|_| (next() >> 11) as f64 / (1u64 << 53) as f64 * 100.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// A populated single-process tree plus the expected k-NN answer for
+/// each query, computed directly (no network) before serving starts.
+fn tree_with_reference(
+    n_points: usize,
+    queries: &[Vec<f64>],
+    k: usize,
+) -> (DistSemTree, Vec<Vec<(f64, u64)>>) {
+    let config = DistConfig::new(2)
+        .with_bucket_size(16)
+        .with_max_partitions(16);
+    let tree = DistSemTree::single(config, CostModel::zero());
+    for (i, p) in sample_points(2, n_points, 11).iter().enumerate() {
+        tree.insert(p, i as u64);
+    }
+    let expected: Vec<Vec<(f64, u64)>> = queries
+        .iter()
+        .map(|q| {
+            tree.knn(q, k)
+                .into_iter()
+                .map(|h| (h.dist, h.payload))
+                .collect()
+        })
+        .collect();
+    (tree, expected)
+}
+
+/// Serve `tree` on an ephemeral port in a background thread; returns
+/// the address and the join handle (which yields the tree back once a
+/// shutdown request lands).
+fn spawn_server(
+    tree: DistSemTree,
+    options: ServeOptions,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<DistSemTree>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || {
+        serve_clients_with(&listener, &tree, &options).expect("serve");
+        tree
+    });
+    (addr, handle)
+}
+
+fn shutdown(addr: std::net::SocketAddr, handle: std::thread::JoinHandle<DistSemTree>) {
+    let client = NetClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    client.shutdown().expect("shutdown");
+    let tree = handle.join().expect("server thread");
+    tree.shutdown();
+}
+
+#[test]
+fn pipelined_replies_complete_out_of_order_but_never_mismatched() {
+    let k = 4;
+    let queries = sample_points(2, 48, 23);
+    let (tree, expected) = tree_with_reference(600, &queries, k);
+    let (addr, handle) = spawn_server(tree, ServeOptions::default());
+
+    // Interleave cheap single-point queries with expensive batched ones
+    // on ONE connection, all in flight at once: completions come back
+    // out of order, and every reply must still match ITS query.
+    let mut client = PipelinedClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    let batch_all: Vec<Vec<f64>> = queries.clone();
+    let mut pending = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        if i % 5 == 0 {
+            pending.push((None, client.knn_batch(&batch_all, k).expect("submit batch")));
+        }
+        pending.push((Some(i), client.knn(q, k).expect("submit knn")));
+    }
+    assert!(client.submitted() > queries.len() as u64);
+    for (which, reply) in pending {
+        match which {
+            Some(i) => {
+                let got = reply.wait_neighbors().expect("knn reply");
+                assert_eq!(got, expected[i], "query {i} got someone else's answer");
+            }
+            None => {
+                let got = reply.wait_batches().expect("batch reply");
+                assert_eq!(got, expected, "batched answers must match the reference");
+            }
+        }
+    }
+
+    // A v1 (sequential) client shares the same port and still agrees.
+    let mut v1 = NetClient::connect(addr, Duration::from_secs(5)).expect("v1 connect");
+    for (i, q) in queries.iter().take(8).enumerate() {
+        assert_eq!(v1.knn(q, k).expect("v1 knn"), expected[i]);
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn queue_overflow_sheds_typed_overloaded_replies() {
+    let k = 8;
+    let queries = sample_points(2, 8, 31);
+    let (tree, _) = tree_with_reference(3_000, &queries, k);
+    // One executor, one admission slot: a pipelined burst of expensive
+    // batch queries MUST overflow the global queue.
+    let options = ServeOptions {
+        executors: 1,
+        global_depth: 1,
+        per_conn_depth: 64,
+    };
+    let (addr, handle) = spawn_server(tree, options);
+
+    let mut client = PipelinedClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    let heavy: Vec<Vec<f64>> = sample_points(2, 512, 47);
+    let burst = 48;
+    let pending: Vec<_> = (0..burst)
+        .map(|_| client.knn_batch(&heavy, k).expect("submit"))
+        .collect();
+
+    let mut served = 0u32;
+    let mut shed = 0u32;
+    for reply in pending {
+        match reply.wait().expect("reply") {
+            ClientResp::NeighborBatches(batches) => {
+                assert_eq!(batches.len(), heavy.len());
+                served += 1;
+            }
+            ClientResp::Overloaded => shed += 1,
+            other => panic!("unexpected reply under overload: {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, burst);
+    assert!(served >= 1, "admitted requests must still be answered");
+    assert!(
+        shed >= 1,
+        "a 48-deep burst through a 1-slot queue must shed (served {served})"
+    );
+
+    // The shed connection is still usable for regular traffic.
+    let q = &queries[0];
+    let again = client.knn(q, k).expect("post-shed submit");
+    assert!(again.wait_neighbors().is_ok() || shed == burst);
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn metrics_over_the_wire_report_latency_quantiles() {
+    let k = 3;
+    let queries = sample_points(2, 32, 53);
+    let (tree, _) = tree_with_reference(400, &queries, k);
+    let (addr, handle) = spawn_server(tree, ServeOptions::default());
+
+    let mut client = PipelinedClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    let pending: Vec<_> = queries
+        .iter()
+        .map(|q| client.knn(q, k).expect("submit"))
+        .collect();
+    for reply in pending {
+        reply.wait_neighbors().expect("knn reply");
+    }
+    let metrics = client.submit(&ClientReq::Metrics).expect("submit metrics");
+    match metrics.wait().expect("metrics reply") {
+        ClientResp::Metrics {
+            latency_count,
+            p50_nanos,
+            p99_nanos,
+            ..
+        } => {
+            assert!(
+                latency_count >= queries.len() as u64,
+                "every served request must be recorded, got {latency_count}"
+            );
+            assert!(p50_nanos > 0, "median latency cannot be zero nanoseconds");
+            assert!(p99_nanos >= p50_nanos, "quantiles must be monotone");
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
+
+    shutdown(addr, handle);
+}
