@@ -1,0 +1,371 @@
+//! Crash-recovery benchmark over the columnar storage engine.
+//!
+//! Builds a durable distributed tree on the embedded reqgen corpus
+//! (the real FastMap pipeline, not uniform noise), lets snapshots and
+//! compaction happen organically, SIGKILLs the writer mid-flight, and
+//! measures what a cold restart sees: bytes on disk, recovery
+//! wall-time, and recovered structure — once for the columnar format
+//! and once for the legacy verbatim layout, same workload.
+//!
+//! ```text
+//! cargo run --release -p semtree-bench --bin recovery -- \
+//!     --points 3000 --json BENCH_PR7.json
+//! ```
+//!
+//! The process re-execs itself (`--child DIR FORMAT N SEED`) as the
+//! victim writer so the kill is a real `SIGKILL` across a process
+//! boundary, exactly like the fault-injection tests.
+
+use std::io::BufRead as _;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use semtree_bench::{occurrence_points, BUCKET, DIMS};
+use semtree_cluster::CostModel;
+use semtree_dist::{build_local_durable, inspect_wal, DistConfig, WalInspection, WalOptions};
+
+/// Data partitions the workload spreads over (1 root + 3 data).
+const PARTITIONS: usize = 4;
+
+fn config() -> DistConfig {
+    DistConfig::new(DIMS)
+        .with_bucket_size(BUCKET)
+        .with_max_partitions(PARTITIONS * 2)
+}
+
+fn wal_options(columnar: bool) -> WalOptions {
+    WalOptions {
+        // Small segments and a tight cadence so sealing, snapshots and
+        // compaction all fire many times within the run.
+        segment_bytes: 64 * 1024,
+        snapshot_every: 512,
+        columnar,
+    }
+}
+
+/// The victim writer: build the durable tree, insert the whole corpus,
+/// report readiness, then idle until the parent kills the process.
+fn run_child(dir: &Path, columnar: bool, documents: usize, seed: u64) {
+    let pts = occurrence_points(documents, seed);
+    let sample: Vec<Vec<f64>> = pts.iter().take(1024).cloned().collect();
+    let tree = build_local_durable(
+        config(),
+        CostModel::zero(),
+        PARTITIONS,
+        &sample,
+        dir,
+        wal_options(columnar),
+    )
+    .expect("build durable tree");
+    for (i, p) in pts.iter().enumerate() {
+        tree.insert(p, i as u64);
+    }
+    println!("ready: {} points", tree.len());
+    // No shutdown, no flush beyond the WAL's own: the parent SIGKILLs
+    // this process while the tree is live.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// One measured crash-and-recover cycle.
+struct RunResult {
+    format: &'static str,
+    points: usize,
+    segment_disk_bytes: u64,
+    /// Sealed (cold) segment bytes — everything except the hot tail,
+    /// which stays row-oriented by design in both formats.
+    sealed_disk_bytes: u64,
+    snapshot_disk_bytes: u64,
+    recovery_ms: f64,
+    snapshot_ratio: f64,
+}
+
+impl RunResult {
+    fn disk_bytes(&self) -> u64 {
+        self.segment_disk_bytes + self.snapshot_disk_bytes
+    }
+
+    /// Snapshots + compacted (sealed) WAL: the bytes the columnar
+    /// engine owns, excluding the row-oriented hot tail both formats
+    /// share.
+    fn cold_bytes(&self) -> u64 {
+        self.sealed_disk_bytes + self.snapshot_disk_bytes
+    }
+}
+
+/// Sealed segment bytes in `dir`: every segment file except the
+/// highest-indexed one (the hot tail a writer appends to).
+fn sealed_bytes(dir: &Path) -> u64 {
+    let mut files: Vec<(String, u64)> = std::fs::read_dir(dir.join("segments"))
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter_map(|e| {
+                    let len = e.metadata().ok()?.len();
+                    Some((e.file_name().to_string_lossy().into_owned(), len))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files.pop();
+    files.into_iter().map(|(_, len)| len).sum()
+}
+
+fn measure(
+    dir: &Path,
+    inspection: &WalInspection,
+    format: &'static str,
+    recovery_ms: f64,
+) -> RunResult {
+    let points = inspection
+        .partitions
+        .iter()
+        .map(|(_, p)| p.points)
+        .sum::<usize>();
+    // Aggregate decoded/stored over every snapshot in the directory.
+    let (stored, decoded) = inspection
+        .compression
+        .iter()
+        .fold((0usize, 0usize), |(s, d), c| {
+            (s + c.stored_bytes, d + c.decoded_bytes)
+        });
+    let snapshot_ratio = if stored == 0 {
+        1.0
+    } else {
+        decoded as f64 / stored as f64
+    };
+    RunResult {
+        format,
+        points,
+        segment_disk_bytes: inspection.report.segment_disk_bytes,
+        sealed_disk_bytes: sealed_bytes(dir),
+        snapshot_disk_bytes: inspection.report.snapshot_disk_bytes,
+        recovery_ms,
+        snapshot_ratio,
+    }
+}
+
+/// Spawn the victim writer, wait until the corpus is fully inserted,
+/// SIGKILL it, then time a cold recovery of the directory.
+fn crash_and_recover(dir: &Path, columnar: bool, documents: usize, seed: u64) -> RunResult {
+    let exe = std::env::current_exe().expect("current exe");
+    let mut child = Command::new(exe)
+        .arg("--child")
+        .arg(dir)
+        .arg(if columnar { "columnar" } else { "legacy" })
+        .arg(documents.to_string())
+        .arg(seed.to_string())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn victim writer");
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let ready = lines
+        .next()
+        .expect("child reported readiness")
+        .expect("child stdout readable");
+    assert!(
+        ready.starts_with("ready:"),
+        "unexpected child line: {ready}"
+    );
+    child.kill().expect("SIGKILL victim");
+    let _ = child.wait();
+
+    let started = Instant::now();
+    let inspection = inspect_wal(dir).expect("recover killed directory");
+    let recovery_ms = started.elapsed().as_secs_f64() * 1000.0;
+    measure(
+        dir,
+        &inspection,
+        if columnar { "columnar" } else { "verbatim" },
+        recovery_ms,
+    )
+}
+
+/// Append one record to a JSON array file, creating it if needed.
+fn append_json_record(path: &str, record: &str) {
+    let fresh = format!("[\n  {record}\n]\n");
+    let content = match std::fs::read_to_string(path) {
+        Err(_) => fresh,
+        Ok(text) if text.trim().is_empty() => fresh,
+        Ok(text) => {
+            let head = text
+                .trim_end()
+                .strip_suffix(']')
+                .unwrap_or_else(|| panic!("{path} is not a JSON array"))
+                .trim_end()
+                .to_string();
+            if head.ends_with('[') {
+                format!("{head}\n  {record}\n]\n")
+            } else {
+                format!("{head},\n  {record}\n]\n")
+            }
+        }
+    };
+    std::fs::write(path, content).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "semtree-recovery-bench-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--child") {
+        let dir = PathBuf::from(&args[1]);
+        let columnar = args[2] == "columnar";
+        let points: usize = args[3].parse().expect("point count");
+        let seed: u64 = args[4].parse().expect("seed");
+        run_child(&dir, columnar, points, seed);
+        return;
+    }
+
+    let mut documents = 200usize;
+    let mut seed = 42u64;
+    let mut json: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--docs" => {
+                documents = iter
+                    .next()
+                    .expect("--docs N")
+                    .parse()
+                    .expect("document count");
+            }
+            "--seed" => seed = iter.next().expect("--seed S").parse().expect("seed"),
+            "--json" => json = iter.next().cloned(),
+            other => panic!("unknown option '{other}' (--docs, --seed, --json)"),
+        }
+    }
+
+    println!(
+        "corpus: {documents} reqgen documents (seed {seed}), embedded occurrence stream, \
+         {PARTITIONS} partitions"
+    );
+    let columnar_dir = scratch("columnar");
+    let legacy_dir = scratch("legacy");
+    let col = crash_and_recover(&columnar_dir, true, documents, seed);
+    let row = crash_and_recover(&legacy_dir, false, documents, seed);
+
+    assert_eq!(
+        col.points, row.points,
+        "formats recovered different corpora"
+    );
+    assert!(col.points > 0, "recovery lost the corpus");
+    let disk_ratio = row.disk_bytes() as f64 / col.disk_bytes() as f64;
+    let cold_ratio = row.cold_bytes() as f64 / col.cold_bytes() as f64;
+
+    for r in [&col, &row] {
+        println!(
+            "{:>9}: {} points, {} segment bytes ({} sealed) + {} snapshot bytes on disk, \
+             snapshot ratio {:.2}x, recovery {:.1} ms",
+            r.format,
+            r.points,
+            r.segment_disk_bytes,
+            r.sealed_disk_bytes,
+            r.snapshot_disk_bytes,
+            r.snapshot_ratio,
+            r.recovery_ms
+        );
+    }
+    println!("whole-directory ratio (verbatim / columnar): {disk_ratio:.2}x");
+    println!("snapshots + sealed WAL ratio (verbatim / columnar): {cold_ratio:.2}x");
+
+    if let Some(path) = json {
+        let record = format!(
+            "{{\"name\": \"recovery-columnar-vs-verbatim\", \"documents\": {documents}, \
+             \"points\": {}, \"partitions\": {PARTITIONS}, \
+             \"columnar_disk_bytes\": {}, \"verbatim_disk_bytes\": {}, \
+             \"disk_ratio\": {disk_ratio:.2}, \"cold_ratio\": {cold_ratio:.2}, \
+             \"columnar_snapshot_ratio\": {:.2}, \
+             \"columnar_recovery_ms\": {:.1}, \"verbatim_recovery_ms\": {:.1}}}",
+            col.points,
+            col.disk_bytes(),
+            row.disk_bytes(),
+            col.snapshot_ratio,
+            col.recovery_ms,
+            row.recovery_ms
+        );
+        append_json_record(&path, &record);
+        println!("appended to {path}");
+    }
+
+    std::fs::remove_dir_all(&columnar_dir).ok();
+    std::fs::remove_dir_all(&legacy_dir).ok();
+
+    assert!(
+        cold_ratio >= 5.0,
+        "columnar snapshots + sealed WAL must be >= 5x smaller (got {cold_ratio:.2}x)"
+    );
+    assert!(
+        col.recovery_ms <= row.recovery_ms * 1.5,
+        "columnar recovery must not be slower ({:.1} ms vs {:.1} ms)",
+        col.recovery_ms,
+        row.recovery_ms
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// In-process (no SIGKILL) version of the measurement: same corpus
+    /// through both formats, recovered cold — the 5x floor the CI
+    /// recovery-bench job enforces end-to-end.
+    #[test]
+    fn columnar_directory_is_5x_smaller_and_recovers_the_same_corpus() {
+        let pts = occurrence_points(150, 7);
+        let n = pts.len();
+        let sample: Vec<Vec<f64>> = pts.iter().take(256).cloned().collect();
+        let mut results = Vec::new();
+        for columnar in [true, false] {
+            let dir = scratch(if columnar { "test-col" } else { "test-row" });
+            let tree = build_local_durable(
+                config(),
+                CostModel::zero(),
+                PARTITIONS,
+                &sample,
+                &dir,
+                wal_options(columnar),
+            )
+            .expect("build");
+            for (i, p) in pts.iter().enumerate() {
+                tree.insert(p, i as u64);
+            }
+            tree.shutdown();
+            let started = Instant::now();
+            let inspection = inspect_wal(&dir).expect("inspect");
+            let ms = started.elapsed().as_secs_f64() * 1000.0;
+            results.push(measure(
+                &dir,
+                &inspection,
+                if columnar { "columnar" } else { "verbatim" },
+                ms,
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+        }
+        let (col, row) = (&results[0], &results[1]);
+        assert_eq!(col.points, n);
+        assert_eq!(row.points, n);
+        let cold_ratio = row.cold_bytes() as f64 / col.cold_bytes() as f64;
+        assert!(
+            cold_ratio >= 5.0,
+            "snapshots + sealed WAL ratio {cold_ratio:.2}x below the 5x floor \
+             ({} vs {} bytes)",
+            row.cold_bytes(),
+            col.cold_bytes()
+        );
+        assert!(col.snapshot_ratio >= 5.0, "{:.2}", col.snapshot_ratio);
+        let whole = row.disk_bytes() as f64 / col.disk_bytes() as f64;
+        assert!(whole > 1.5, "whole-directory ratio {whole:.2}x");
+    }
+}

@@ -16,7 +16,7 @@ use semtree_dist::{DistConfig, DistSemTree};
 use semtree_distance::{MemoizedDistance, TripleDistance, VocabularyRegistry, Weights};
 use semtree_fastmap::{Embedding, FastMap};
 use semtree_model::{Term, Triple};
-use semtree_reqgen::DomainVocabulary;
+use semtree_reqgen::{CorpusGenerator, DomainVocabulary, GenConfig};
 use semtree_vocab::wordnet;
 
 /// The FastMap dimensionality every efficiency experiment uses.
@@ -94,6 +94,25 @@ pub fn semantic_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
     let triples = distinct_triples(n, seed);
     let embedding = embed_triples(&triples, DIMS, seed);
     embedding.iter().map(|(_, p)| p.to_vec()).collect()
+}
+
+/// The reqgen corpus as the index actually ingests it: one embedded
+/// point per `(document, triple)` occurrence, in document extraction
+/// order. The corpus re-asserts the same triples across documents, so
+/// the stream repeats a modest palette of distinct embedded points —
+/// the occurrence-heavy distribution the paper's extraction pipeline
+/// produces (and the shape columnar storage compresses best).
+#[must_use]
+pub fn occurrence_points(documents: usize, seed: u64) -> Vec<Vec<f64>> {
+    let config = GenConfig::small().with_documents(documents).with_seed(seed);
+    let store = CorpusGenerator::new(config).generate().store;
+    let triples: Vec<Triple> = store.iter().map(|(_, t)| t.clone()).collect();
+    let embedding = embed_triples(&triples, DIMS, seed);
+    store
+        .documents()
+        .flat_map(|doc| doc.triples.iter())
+        .map(|id| embedding.point(id.index()).to_vec())
+        .collect()
 }
 
 /// Build a distributed tree over `m` partitions and insert every point in
@@ -200,6 +219,30 @@ mod tests {
         let ps = semantic_points(100, 3);
         assert_eq!(ps.len(), 100);
         assert!(ps.iter().all(|p| p.len() == DIMS));
+    }
+
+    #[test]
+    fn occurrence_points_repeat_a_distinct_palette() {
+        let pts = occurrence_points(80, 9);
+        assert_eq!(pts, occurrence_points(80, 9), "deterministic per seed");
+        assert!(
+            pts.len() >= 100,
+            "corpus yields a real stream: {}",
+            pts.len()
+        );
+        assert!(pts.iter().all(|p| p.len() == DIMS));
+        let mut distinct: Vec<Vec<u64>> = pts
+            .iter()
+            .map(|p| p.iter().map(|c| c.to_bits()).collect())
+            .collect();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() * 2 < pts.len(),
+            "occurrences repeat triples: {} distinct of {}",
+            distinct.len(),
+            pts.len()
+        );
     }
 
     #[test]

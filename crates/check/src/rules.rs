@@ -50,6 +50,9 @@ pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     // crates/wal
     ("wal", "sink", 40),
     ("wal", "inner", 41),
+    // crates/colz holds no locks at all: every codec is a pure function
+    // over byte slices, so the crate is a lock-free leaf of the
+    // hierarchy — it may be called with any rank held.
     // crates/par — leaf locks: pool internals never call back into
     // ranked subsystems while holding a deque or result-buffer lock.
     ("par", "deques", 50),

@@ -66,6 +66,17 @@ impl fmt::Display for ArgsError {
 
 impl std::error::Error for ArgsError {}
 
+/// Whether `--key` is a valueless boolean flag for this command. Every
+/// other option takes a value; flags are enumerated per command so the
+/// same name can be a flag here and a valued option elsewhere (`recover
+/// --json` toggles JSON output, `loadgen --json FILE` names a file).
+fn is_flag(command: &Command, key: &str) -> bool {
+    match command {
+        Command::Recover => matches!(key, "stats" | "json"),
+        _ => false,
+    }
+}
+
 /// Parse an argument vector (without the program name).
 pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
     let mut iter = args.iter();
@@ -94,6 +105,10 @@ pub fn parse_args(args: &[String]) -> Result<ParsedArgs, ArgsError> {
         } else {
             return Err(ArgsError::Unexpected(arg.clone()));
         };
+        if is_flag(&command, key) {
+            options.insert(key.to_string(), "true".to_string());
+            continue;
+        }
         let value = iter
             .next()
             .ok_or_else(|| ArgsError::MissingValue(key.to_string()))?;
@@ -107,6 +122,12 @@ impl ParsedArgs {
     #[must_use]
     pub fn get(&self, key: &str) -> Option<&str> {
         self.options.get(key).map(String::as_str)
+    }
+
+    /// Whether a boolean flag was given.
+    #[must_use]
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
     }
 
     /// A required string option, with a usage error otherwise.
@@ -206,6 +227,10 @@ COMMANDS:
                  --json FILE       append the run to a JSON array file
     recover    inspect and replay a write-ahead log offline (read-only)
                  --wal-dir DIR     write-ahead log directory (required)
+                 --stats           per-partition snapshot compression:
+                                   on-disk vs decoded bytes and the ratio
+                 --json            machine-readable report on stdout
+                                   (implies --stats)
     help       this text
 "
 }
@@ -245,6 +270,22 @@ mod tests {
             parse_args(&v(&["query", "stray"])).unwrap_err(),
             ArgsError::Unexpected(_)
         ));
+    }
+
+    #[test]
+    fn recover_flags_take_no_value() {
+        let p = parse_args(&v(&["recover", "--wal-dir", "d", "--stats", "--json"])).unwrap();
+        assert_eq!(p.command, Command::Recover);
+        assert_eq!(p.get("wal-dir"), Some("d"));
+        assert!(p.flag("stats") && p.flag("json"));
+        assert!(!p.flag("quiet"));
+        // The same name stays a valued option for other commands.
+        assert!(matches!(
+            parse_args(&v(&["loadgen", "--json"])).unwrap_err(),
+            ArgsError::MissingValue(_)
+        ));
+        let p = parse_args(&v(&["loadgen", "--json", "out.json"])).unwrap();
+        assert_eq!(p.get("json"), Some("out.json"));
     }
 
     #[test]

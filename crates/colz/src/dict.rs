@@ -1,0 +1,233 @@
+//! Per-partition term dictionary: byte-string interning with a
+//! sorted-id remap and front-coded term storage.
+//!
+//! A stream of (heavily repeated) byte terms encodes as:
+//!
+//! ```text
+//! n_terms        varint          distinct terms, sorted ascending
+//! terms[n]       lcp varint ·    shared prefix with the previous term
+//!                suffix_len ·    remaining bytes
+//!                suffix bytes
+//! n_occurrences  varint
+//! ids[n_occ]     varint          index into the sorted dictionary
+//! ```
+//!
+//! Sorting the dictionary makes ids stable across re-encodes (the
+//! "sorted-id remap"), maximizes shared prefixes for the front coding,
+//! and lets the decoder verify strict ordering — an unsorted or
+//! duplicated dictionary is rejected as corrupt.
+
+use crate::varint::{len_u64, read_u64, write_u64};
+use crate::{check_count, ColumnCodec, ColzError};
+
+/// The term-dictionary codec. Items are raw byte terms; the encoded
+/// form stores each distinct term once.
+pub struct TermDict;
+
+/// Longest common prefix of two byte strings.
+fn lcp(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Sorted distinct terms and the id stream for `items`.
+fn intern(items: &[Vec<u8>]) -> (Vec<&[u8]>, Vec<u64>) {
+    let mut terms: Vec<&[u8]> = items.iter().map(Vec::as_slice).collect();
+    terms.sort_unstable();
+    terms.dedup();
+    let ids = items
+        .iter()
+        .map(|item| {
+            // Always present: `terms` is exactly the distinct items.
+            terms
+                .binary_search(&item.as_slice())
+                .map(|i| i as u64)
+                .unwrap_or_default()
+        })
+        .collect();
+    (terms, ids)
+}
+
+impl ColumnCodec for TermDict {
+    type Item = Vec<u8>;
+
+    fn encode(items: &[Vec<u8>], out: &mut Vec<u8>) {
+        let (terms, ids) = intern(items);
+        write_u64(terms.len() as u64, out);
+        let mut prev: &[u8] = &[];
+        for term in &terms {
+            let shared = lcp(prev, term);
+            write_u64(shared as u64, out);
+            write_u64((term.len() - shared) as u64, out);
+            out.extend_from_slice(&term[shared..]);
+            prev = term;
+        }
+        write_u64(ids.len() as u64, out);
+        for id in ids {
+            write_u64(id, out);
+        }
+    }
+
+    fn encoded_len(items: &[Vec<u8>]) -> usize {
+        let (terms, ids) = intern(items);
+        let mut total = len_u64(terms.len() as u64);
+        let mut prev: &[u8] = &[];
+        for term in &terms {
+            let shared = lcp(prev, term);
+            total += len_u64(shared as u64) + len_u64((term.len() - shared) as u64);
+            total += term.len() - shared;
+            prev = term;
+        }
+        total += len_u64(ids.len() as u64);
+        total += ids.iter().map(|&id| len_u64(id)).sum::<usize>();
+        total
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Vec<Vec<u8>>, ColzError> {
+        let n_terms = check_count(read_u64(buf)?, 16, buf.len())?;
+        let mut terms: Vec<Vec<u8>> = Vec::with_capacity(n_terms);
+        for _ in 0..n_terms {
+            let shared = usize::try_from(read_u64(buf)?).map_err(|_| ColzError::Corrupt {
+                context: "term prefix length overflows usize",
+            })?;
+            let suffix_len = usize::try_from(read_u64(buf)?).map_err(|_| ColzError::Corrupt {
+                context: "term suffix length overflows usize",
+            })?;
+            let prev: &[u8] = terms.last().map(Vec::as_slice).unwrap_or_default();
+            if shared > prev.len() {
+                return Err(ColzError::Corrupt {
+                    context: "term shares more prefix than the previous term has",
+                });
+            }
+            if suffix_len > buf.len() {
+                return Err(ColzError::Truncated {
+                    context: "term suffix",
+                });
+            }
+            let mut term = Vec::with_capacity(shared + suffix_len);
+            term.extend_from_slice(&prev[..shared]);
+            term.extend_from_slice(&buf[..suffix_len]);
+            *buf = &buf[suffix_len..];
+            if let Some(last) = terms.last() {
+                if *last >= term {
+                    return Err(ColzError::Corrupt {
+                        context: "dictionary terms not strictly sorted",
+                    });
+                }
+            }
+            terms.push(term);
+        }
+        let n_occ = check_count(read_u64(buf)?, 8, buf.len())?;
+        let mut items = Vec::with_capacity(n_occ);
+        for _ in 0..n_occ {
+            let id = read_u64(buf)?;
+            let term =
+                usize::try_from(id)
+                    .ok()
+                    .and_then(|i| terms.get(i))
+                    .ok_or(ColzError::Corrupt {
+                        context: "term id out of dictionary range",
+                    })?;
+            items.push(term.clone());
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_column_exact, encode_column};
+
+    fn terms(items: &[&str]) -> Vec<Vec<u8>> {
+        items.iter().map(|s| s.as_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn round_trips_with_exact_size() {
+        let items = terms(&[
+            "semantic", "semtree", "semantic", "query", "semtree", "semtree", "",
+        ]);
+        let bytes = encode_column::<TermDict>(&items);
+        assert_eq!(bytes.len(), TermDict::encoded_len(&items));
+        assert_eq!(decode_column_exact::<TermDict>(&bytes).unwrap(), items);
+    }
+
+    #[test]
+    fn repetition_compresses_below_verbatim() {
+        let items: Vec<Vec<u8>> = (0..1000)
+            .map(|i| format!("http://example.org/term/{}", i % 8).into_bytes())
+            .collect();
+        let verbatim: usize = items.iter().map(|t| 8 + t.len()).sum();
+        let bytes = encode_column::<TermDict>(&items);
+        assert!(
+            bytes.len() * 10 < verbatim,
+            "dict {} vs verbatim {verbatim}",
+            bytes.len()
+        );
+        assert_eq!(decode_column_exact::<TermDict>(&bytes).unwrap(), items);
+    }
+
+    #[test]
+    fn front_coding_exploits_shared_prefixes() {
+        let items = terms(&["prefix/aaaa", "prefix/aaab", "prefix/aaac"]);
+        let bytes = encode_column::<TermDict>(&items);
+        // 3 terms share "prefix/aaa": only the first stores it.
+        let stored_bytes: usize = bytes.len();
+        assert!(stored_bytes < 11 * 3, "got {stored_bytes}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_ids_and_unsorted_dicts() {
+        let items = terms(&["a", "b"]);
+        let bytes = encode_column::<TermDict>(&items);
+        // Corrupt the last id (occurrence of "b" = id 1) to 0x7f.
+        let mut bad = bytes.clone();
+        *bad.last_mut().unwrap() = 0x7f;
+        assert!(matches!(
+            decode_column_exact::<TermDict>(&bad),
+            Err(ColzError::Corrupt { .. })
+        ));
+        // Hand-build an unsorted dictionary: terms "b" then "a".
+        let mut wire = Vec::new();
+        write_u64(2, &mut wire); // n_terms
+        write_u64(0, &mut wire);
+        write_u64(1, &mut wire);
+        wire.push(b'b');
+        write_u64(0, &mut wire);
+        write_u64(1, &mut wire);
+        wire.push(b'a');
+        write_u64(0, &mut wire); // no occurrences
+        assert!(matches!(
+            decode_column_exact::<TermDict>(&wire),
+            Err(ColzError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let items = terms(&["alpha", "alps", "beta", "alpha"]);
+        let bytes = encode_column::<TermDict>(&items);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_column_exact::<TermDict>(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_prefix_longer_than_previous_term() {
+        let mut wire = Vec::new();
+        write_u64(2, &mut wire); // n_terms
+        write_u64(0, &mut wire); // term 0: lcp 0
+        write_u64(1, &mut wire); // len 1
+        wire.push(b'x');
+        write_u64(9, &mut wire); // term 1: lcp 9 > len("x")
+        write_u64(0, &mut wire);
+        write_u64(0, &mut wire);
+        assert!(matches!(
+            decode_column_exact::<TermDict>(&wire),
+            Err(ColzError::Corrupt { .. })
+        ));
+    }
+}

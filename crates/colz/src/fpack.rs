@@ -1,0 +1,451 @@
+//! Bit-packed f64 point columns.
+//!
+//! The primary layout is XOR-of-previous with leading/trailing-zero
+//! window headers (the Gorilla/TSZ scheme): each value is XORed with
+//! its predecessor and only the meaningful bits of the XOR are stored,
+//! reusing the previous window when it still fits. That wins on
+//! smoothly-varying series but barely compresses columns whose values
+//! repeat from a small set — exactly what FastMap coordinates built
+//! from a small vocabulary look like. So [`F64Column`] is adaptive: it
+//! also sizes a value-dictionary layout (sorted distinct bit patterns
+//! via delta+varint, one varint id per value) and emits whichever is
+//! smaller, tagged by a mode byte:
+//!
+//! ```text
+//! count     varint
+//! mode      1 byte            0 = XOR bit-pack, 1 = value dictionary
+//! body_len  varint
+//! body      body_len bytes
+//! ```
+//!
+//! Values round-trip bit-exactly (including NaN payloads and -0.0).
+
+use crate::varint::{len_u64, read_u64, write_u64};
+use crate::DeltaColumn;
+use crate::{check_count, ColumnCodec, ColzError};
+
+/// Mode byte: XOR-of-previous bit packing.
+const MODE_XOR: u8 = 0;
+/// Mode byte: sorted value dictionary + varint ids.
+const MODE_DICT: u8 = 1;
+
+// ---------------------------------------------------------------------
+// Bit-level sinks and sources.
+// ---------------------------------------------------------------------
+
+/// Destination for a bit stream: a real byte buffer or a pure counter,
+/// so encode and exact-size accounting share one code path.
+trait BitSink {
+    /// Append the low `n` bits of `value`, most significant first.
+    fn put(&mut self, value: u64, n: u32);
+}
+
+/// Packs bits MSB-first into bytes.
+struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final partial byte (0..8; 0 means byte-aligned).
+    used: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter {
+            bytes: Vec::new(),
+            used: 0,
+        }
+    }
+
+    /// The padded byte stream.
+    fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl BitSink for BitWriter {
+    fn put(&mut self, value: u64, n: u32) {
+        let mut left = n;
+        while left > 0 {
+            if self.used == 0 {
+                self.bytes.push(0);
+            }
+            let room = 8 - self.used;
+            let take = room.min(left);
+            let shifted = (value >> (left - take)) as u8 & ((1u16 << take) - 1) as u8;
+            if let Some(last) = self.bytes.last_mut() {
+                *last |= shifted << (room - take);
+            }
+            self.used = (self.used + take) % 8;
+            left -= take;
+        }
+    }
+}
+
+/// Counts bits without materializing them.
+struct BitCounter {
+    bits: usize,
+}
+
+impl BitSink for BitCounter {
+    fn put(&mut self, _value: u64, n: u32) {
+        self.bits += n as usize;
+    }
+}
+
+/// Reads bits MSB-first from a byte slice; running out is `Truncated`.
+struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos_bits: 0 }
+    }
+
+    fn take(&mut self, n: u32) -> Result<u64, ColzError> {
+        let mut value: u64 = 0;
+        for _ in 0..n {
+            let byte = self
+                .bytes
+                .get(self.pos_bits / 8)
+                .ok_or(ColzError::Truncated {
+                    context: "xor bit stream",
+                })?;
+            let bit = (byte >> (7 - (self.pos_bits % 8))) & 1;
+            value = (value << 1) | u64::from(bit);
+            self.pos_bits += 1;
+        }
+        Ok(value)
+    }
+}
+
+// ---------------------------------------------------------------------
+// XOR bit-packing (mode 0).
+// ---------------------------------------------------------------------
+
+/// Stream the XOR encoding of `items` into `sink`.
+fn xor_encode(items: &[f64], sink: &mut impl BitSink) {
+    let mut prev_bits: u64 = 0;
+    // An impossible window (leading + trailing > 64) forces the first
+    // non-zero XOR to write a fresh header.
+    let mut win_leading: u32 = 65;
+    let mut win_trailing: u32 = 65;
+    for (i, &v) in items.iter().enumerate() {
+        let bits = v.to_bits();
+        if i == 0 {
+            sink.put(bits, 64);
+            prev_bits = bits;
+            continue;
+        }
+        let xor = bits ^ prev_bits;
+        prev_bits = bits;
+        if xor == 0 {
+            sink.put(0, 1);
+            continue;
+        }
+        sink.put(1, 1);
+        let leading = xor.leading_zeros().min(63);
+        let trailing = xor.trailing_zeros();
+        if leading >= win_leading && trailing >= win_trailing {
+            // Fits the previous window: reuse it.
+            let meaningful = 64 - win_leading - win_trailing;
+            sink.put(0, 1);
+            sink.put(xor >> win_trailing, meaningful);
+        } else {
+            // New window: 6 bits leading, 6 bits (meaningful - 1).
+            let meaningful = 64 - leading - trailing;
+            sink.put(1, 1);
+            sink.put(u64::from(leading), 6);
+            sink.put(u64::from(meaningful - 1), 6);
+            sink.put(xor >> trailing, meaningful);
+            win_leading = leading;
+            win_trailing = trailing;
+        }
+    }
+}
+
+/// Exact byte size of the XOR body for `items`.
+fn xor_body_len(items: &[f64]) -> usize {
+    let mut counter = BitCounter { bits: 0 };
+    xor_encode(items, &mut counter);
+    counter.bits.div_ceil(8)
+}
+
+/// Decode `count` values from an XOR body.
+fn xor_decode(body: &[u8], count: usize) -> Result<Vec<f64>, ColzError> {
+    let mut reader = BitReader::new(body);
+    let mut items = Vec::with_capacity(count);
+    let mut prev_bits: u64 = 0;
+    let mut win_leading: u32 = 65;
+    let mut win_trailing: u32 = 65;
+    for i in 0..count {
+        if i == 0 {
+            prev_bits = reader.take(64)?;
+            items.push(f64::from_bits(prev_bits));
+            continue;
+        }
+        if reader.take(1)? == 0 {
+            items.push(f64::from_bits(prev_bits));
+            continue;
+        }
+        if reader.take(1)? == 1 {
+            let leading = reader.take(6)? as u32;
+            let meaningful = reader.take(6)? as u32 + 1;
+            if leading + meaningful > 64 {
+                return Err(ColzError::Corrupt {
+                    context: "xor window exceeds 64 bits",
+                });
+            }
+            win_leading = leading;
+            win_trailing = 64 - leading - meaningful;
+        } else if win_leading + win_trailing > 64 {
+            return Err(ColzError::Corrupt {
+                context: "xor window reused before one was defined",
+            });
+        }
+        let meaningful = 64 - win_leading - win_trailing;
+        let xor = reader.take(meaningful)? << win_trailing;
+        prev_bits ^= xor;
+        items.push(f64::from_bits(prev_bits));
+    }
+    // The body must be exactly the consumed bits rounded up to a byte:
+    // whole trailing bytes of garbage are corruption, not padding.
+    if reader.pos_bits.div_ceil(8) != body.len() {
+        return Err(ColzError::Corrupt {
+            context: "xor body longer than its bit stream",
+        });
+    }
+    Ok(items)
+}
+
+// ---------------------------------------------------------------------
+// Value dictionary (mode 1).
+// ---------------------------------------------------------------------
+
+/// Sorted distinct bit patterns and the id stream for `items`.
+fn dict_intern(items: &[f64]) -> (Vec<u64>, Vec<u64>) {
+    let mut patterns: Vec<u64> = items.iter().map(|v| v.to_bits()).collect();
+    patterns.sort_unstable();
+    patterns.dedup();
+    let ids = items
+        .iter()
+        .map(|v| {
+            patterns
+                .binary_search(&v.to_bits())
+                .map(|i| i as u64)
+                .unwrap_or_default()
+        })
+        .collect();
+    (patterns, ids)
+}
+
+/// Exact byte size of the dictionary body for `items`.
+fn dict_body_len(items: &[f64]) -> usize {
+    let (patterns, ids) = dict_intern(items);
+    DeltaColumn::encoded_len(&patterns) + ids.iter().map(|&id| len_u64(id)).sum::<usize>()
+}
+
+/// Append the dictionary body for `items` to `out`.
+fn dict_encode(items: &[f64], out: &mut Vec<u8>) {
+    let (patterns, ids) = dict_intern(items);
+    DeltaColumn::encode(&patterns, out);
+    for id in ids {
+        write_u64(id, out);
+    }
+}
+
+/// Decode `count` values from a dictionary body.
+fn dict_decode(mut body: &[u8], count: usize) -> Result<Vec<f64>, ColzError> {
+    let patterns = DeltaColumn::decode(&mut body)?;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = read_u64(&mut body)?;
+        let pattern = usize::try_from(id)
+            .ok()
+            .and_then(|i| patterns.get(i))
+            .ok_or(ColzError::Corrupt {
+                context: "f64 dictionary id out of range",
+            })?;
+        items.push(f64::from_bits(*pattern));
+    }
+    if body.is_empty() {
+        Ok(items)
+    } else {
+        Err(ColzError::Corrupt {
+            context: "trailing bytes in f64 dictionary body",
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// The adaptive column.
+// ---------------------------------------------------------------------
+
+/// Adaptive bit-packed f64 column: XOR-of-previous bit packing or a
+/// sorted value dictionary, whichever is smaller for the block.
+pub struct F64Column;
+
+/// Pick the smaller mode for `items`; returns `(mode, body_len)`.
+fn choose_mode(items: &[f64]) -> (u8, usize) {
+    let xor = xor_body_len(items);
+    let dict = dict_body_len(items);
+    if dict < xor {
+        (MODE_DICT, dict)
+    } else {
+        (MODE_XOR, xor)
+    }
+}
+
+impl ColumnCodec for F64Column {
+    type Item = f64;
+
+    fn encode(items: &[f64], out: &mut Vec<u8>) {
+        let (mode, body_len) = choose_mode(items);
+        write_u64(items.len() as u64, out);
+        out.push(mode);
+        write_u64(body_len as u64, out);
+        if mode == MODE_DICT {
+            dict_encode(items, out);
+        } else {
+            let mut writer = BitWriter::new();
+            xor_encode(items, &mut writer);
+            out.extend_from_slice(&writer.finish());
+        }
+    }
+
+    fn encoded_len(items: &[f64]) -> usize {
+        let (_, body_len) = choose_mode(items);
+        len_u64(items.len() as u64) + 1 + len_u64(body_len as u64) + body_len
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Vec<f64>, ColzError> {
+        // Every value costs >= 1 bit in XOR mode and >= 1 bit
+        // (amortized) in dictionary mode; the real guard is body_len.
+        let count = check_count(read_u64(buf)?, 1, buf.len())?;
+        let (&mode, rest) = buf.split_first().ok_or(ColzError::Truncated {
+            context: "f64 column mode byte",
+        })?;
+        *buf = rest;
+        let body_len = usize::try_from(read_u64(buf)?).map_err(|_| ColzError::Corrupt {
+            context: "f64 column body length overflows usize",
+        })?;
+        if body_len > buf.len() {
+            return Err(ColzError::Truncated {
+                context: "f64 column body",
+            });
+        }
+        let body = &buf[..body_len];
+        *buf = &buf[body_len..];
+        match mode {
+            MODE_XOR => {
+                if count == 0 && !body.is_empty() {
+                    return Err(ColzError::Corrupt {
+                        context: "nonempty xor body for empty column",
+                    });
+                }
+                xor_decode(body, count)
+            }
+            MODE_DICT => dict_decode(body, count),
+            _ => Err(ColzError::Corrupt {
+                context: "unknown f64 column mode",
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_column_exact, encode_column};
+
+    fn round_trip(items: &[f64]) {
+        let bytes = encode_column::<F64Column>(items);
+        assert_eq!(bytes.len(), F64Column::encoded_len(items), "exact size");
+        let back = decode_column_exact::<F64Column>(&bytes).unwrap();
+        assert_eq!(back.len(), items.len());
+        for (a, b) in items.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "bit-exact round trip");
+        }
+    }
+
+    #[test]
+    fn round_trips_edge_values() {
+        round_trip(&[]);
+        round_trip(&[0.0]);
+        round_trip(&[
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            f64::MIN,
+            f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE,
+            f64::EPSILON,
+        ]);
+    }
+
+    #[test]
+    fn constant_series_packs_to_a_bit_per_value() {
+        let items = vec![42.5f64; 1000];
+        let bytes = encode_column::<F64Column>(&items);
+        // 8000 verbatim bytes -> one raw value + ~1 bit each.
+        assert!(bytes.len() < 200, "got {}", bytes.len());
+        round_trip(&items);
+    }
+
+    #[test]
+    fn smooth_series_uses_xor_windows() {
+        let items: Vec<f64> = (0..500).map(|i| 100.0 + f64::from(i) * 0.25).collect();
+        let bytes = encode_column::<F64Column>(&items);
+        assert!(bytes.len() < 8 * items.len() / 2, "got {}", bytes.len());
+        round_trip(&items);
+    }
+
+    #[test]
+    fn small_value_set_switches_to_dictionary() {
+        // 9 distinct irregular doubles repeated 1000 times — XOR sees
+        // noise, the dictionary sees 9 patterns + 1-byte ids.
+        let palette: Vec<f64> = (0..9)
+            .map(|i| (f64::from(i) * 0.7321).sin() * 1e9)
+            .collect();
+        let items: Vec<f64> = (0..1000).map(|i| palette[i * 7 % 9]).collect();
+        let bytes = encode_column::<F64Column>(&items);
+        assert_eq!(bytes[bytes_mode_offset(&bytes)], MODE_DICT);
+        assert!(bytes.len() < 1200, "got {}", bytes.len());
+        round_trip(&items);
+    }
+
+    /// Offset of the mode byte (just past the count varint).
+    fn bytes_mode_offset(bytes: &[u8]) -> usize {
+        let mut buf = bytes;
+        crate::varint::read_u64(&mut buf).unwrap();
+        bytes.len() - buf.len()
+    }
+
+    #[test]
+    fn truncation_is_rejected_everywhere() {
+        let items: Vec<f64> = (0..50).map(|i| f64::from(i) * 1.5 - 3.0).collect();
+        let bytes = encode_column::<F64Column>(&items);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_column_exact::<F64Column>(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_mode_and_bad_window_are_corrupt() {
+        let items = vec![1.0f64, 2.0];
+        let mut bytes = encode_column::<F64Column>(&items);
+        let off = bytes_mode_offset(&bytes);
+        bytes[off] = 9;
+        assert!(matches!(
+            decode_column_exact::<F64Column>(&bytes),
+            Err(ColzError::Corrupt { .. })
+        ));
+    }
+}

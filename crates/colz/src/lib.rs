@@ -1,0 +1,174 @@
+//! `semtree-colz`: columnar compression codecs for the SemTree storage
+//! layer.
+//!
+//! Four self-contained, dependency-free codecs, following the layouts
+//! of "Compressed Indexes for Fast Search of Semantic Data"
+//! (Perego/Pibiri/Venturini) adapted to SemTree's snapshot and WAL
+//! record shapes:
+//!
+//! 1. [`TermDict`] — per-partition term dictionary: byte-string
+//!    interning with a sorted-id remap and front-coded (shared-prefix)
+//!    term storage. Encodes a stream of repeated terms as one sorted
+//!    dictionary plus a varint id column.
+//! 2. [`DeltaColumn`] / [`UIntColumn`] — delta+varint (LEB128)
+//!    encoding for id/offset arrays. `DeltaColumn` stores zigzagged
+//!    first differences, which collapse to one byte each for the
+//!    monotone arrays (LSNs, offsets, sorted ids) it is meant for.
+//! 3. [`F64Column`] — bit-packed f64 point columns: XOR-of-previous
+//!    with leading/trailing-zero window headers (Gorilla-style), with
+//!    an adaptive fallback to a value dictionary when a column has few
+//!    distinct values (FastMap coordinates built from a small
+//!    vocabulary compress far better that way).
+//! 4. [`RleColumn`] — run-length encoding for repetitive snapshot
+//!    records (node kinds, depths, parent tags, record kinds).
+//!
+//! On top of the four base codecs, [`PointsColumn`] composes them into
+//! a codec for whole point sets (`Vec<Vec<f64>>`), picking the cheapest
+//! of three layouts per block.
+//!
+//! Every codec implements [`ColumnCodec`]: `encode` (append to a byte
+//! buffer), `encoded_len` (exact size accounting — always equal to the
+//! bytes `encode` appends), and `decode` (consume from a byte slice).
+//! Decoders are fuzz-friendly: truncated input, corrupt varints,
+//! over-length counts, and out-of-range ids all return a typed
+//! [`ColzError`] — production paths never panic. The crate takes no
+//! locks and holds no state; it is a leaf in the workspace lock
+//! hierarchy (see `semtree-check`'s `LOCK_RANKS`).
+
+pub mod dict;
+pub mod fpack;
+pub mod points;
+pub mod rle;
+pub mod varint;
+
+pub use dict::TermDict;
+pub use fpack::F64Column;
+pub use points::PointsColumn;
+pub use rle::RleColumn;
+pub use varint::{DeltaColumn, UIntColumn};
+
+/// Typed decode failure. Decoders return this instead of panicking on
+/// any malformed input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColzError {
+    /// The input ended before the declared content did.
+    Truncated {
+        /// What the decoder was reading when the bytes ran out.
+        context: &'static str,
+    },
+    /// The input is structurally invalid (overlong varint, id out of
+    /// dictionary range, run of length zero, impossible count, ...).
+    Corrupt {
+        /// What invariant the input violated.
+        context: &'static str,
+    },
+}
+
+impl std::fmt::Display for ColzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ColzError::Truncated { context } => {
+                write!(f, "truncated columnar input while reading {context}")
+            }
+            ColzError::Corrupt { context } => write!(f, "corrupt columnar input: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for ColzError {}
+
+/// A columnar codec: a whole column of items encodes to bytes and
+/// decodes back, with exact size accounting.
+///
+/// Contract (enforced by the round-trip suites):
+/// - `encode` appends exactly `encoded_len(items)` bytes,
+/// - `decode(&mut &encode(items))` yields `items` and consumes exactly
+///   the encoded bytes (trailing bytes are left for the caller),
+/// - `decode` of truncated or corrupt input returns `Err`, never
+///   panics, and never attempts an allocation proportional to a
+///   declared count it has not byte-bounded against the input.
+pub trait ColumnCodec {
+    /// The item type this codec compresses.
+    type Item;
+
+    /// Append the encoded column to `out`.
+    fn encode(items: &[Self::Item], out: &mut Vec<u8>);
+
+    /// Exact number of bytes `encode` will append for `items`.
+    fn encoded_len(items: &[Self::Item]) -> usize;
+
+    /// Decode one column from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    fn decode(buf: &mut &[u8]) -> Result<Vec<Self::Item>, ColzError>;
+}
+
+/// Encode a column into a fresh buffer (convenience over
+/// [`ColumnCodec::encode`]).
+pub fn encode_column<C: ColumnCodec>(items: &[C::Item]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(C::encoded_len(items));
+    C::encode(items, &mut out);
+    out
+}
+
+/// Decode a column that must occupy `buf` exactly; trailing bytes are
+/// an error.
+pub fn decode_column_exact<C: ColumnCodec>(mut buf: &[u8]) -> Result<Vec<C::Item>, ColzError> {
+    let items = C::decode(&mut buf)?;
+    if buf.is_empty() {
+        Ok(items)
+    } else {
+        Err(ColzError::Corrupt {
+            context: "trailing bytes after column",
+        })
+    }
+}
+
+/// Guard a decoder-declared element count against the input actually
+/// remaining: each element of the column costs at least `min_bits` on
+/// the wire, so a count that implies more bits than remain is corrupt —
+/// reject it *before* allocating anything proportional to the count.
+pub(crate) fn check_count(
+    count: u64,
+    min_bits: usize,
+    remaining_bytes: usize,
+) -> Result<usize, ColzError> {
+    let count_usize = usize::try_from(count).map_err(|_| ColzError::Corrupt {
+        context: "element count overflows usize",
+    })?;
+    let implied_bits = count_usize.checked_mul(min_bits.max(1));
+    let available_bits = remaining_bytes.saturating_mul(8);
+    match implied_bits {
+        Some(bits) if bits <= available_bits => Ok(count_usize),
+        _ => Err(ColzError::Corrupt {
+            context: "declared element count exceeds remaining input",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let t = ColzError::Truncated { context: "varint" };
+        let c = ColzError::Corrupt { context: "bad id" };
+        assert!(t.to_string().contains("truncated"));
+        assert!(t.to_string().contains("varint"));
+        assert!(c.to_string().contains("corrupt"));
+        assert!(c.to_string().contains("bad id"));
+    }
+
+    #[test]
+    fn exact_decode_rejects_trailing_bytes() {
+        let mut bytes = encode_column::<UIntColumn>(&[1, 2, 3]);
+        assert!(decode_column_exact::<UIntColumn>(&bytes).is_ok());
+        bytes.push(0);
+        assert_eq!(
+            decode_column_exact::<UIntColumn>(&bytes),
+            Err(ColzError::Corrupt {
+                context: "trailing bytes after column",
+            })
+        );
+    }
+}

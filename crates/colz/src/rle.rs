@@ -1,0 +1,162 @@
+//! Run-length encoding for repetitive snapshot records.
+//!
+//! Snapshot columns like node kinds, depths, parent tags, and WAL
+//! record kinds are long runs of a few small values. The layout is:
+//!
+//! ```text
+//! count  varint        total items across all runs
+//! runs   (value varint, run_len varint)*   until the runs sum to count
+//! ```
+//!
+//! The decoder rejects zero-length runs and runs that overshoot the
+//! declared total, so every encoding of a column is canonical in
+//! length.
+
+use crate::varint::{len_u64, read_u64, write_u64};
+use crate::{ColumnCodec, ColzError};
+
+/// The run-length codec over `u64` items (narrower columns cast in and
+/// out — tags, depths and kinds all fit losslessly).
+pub struct RleColumn;
+
+/// Call `emit(value, run_len)` for each maximal run in `items`.
+fn for_each_run(items: &[u64], mut emit: impl FnMut(u64, u64)) {
+    let mut iter = items.iter();
+    let Some(&first) = iter.next() else {
+        return;
+    };
+    let mut value = first;
+    let mut run: u64 = 1;
+    for &v in iter {
+        if v == value {
+            run += 1;
+        } else {
+            emit(value, run);
+            value = v;
+            run = 1;
+        }
+    }
+    emit(value, run);
+}
+
+impl ColumnCodec for RleColumn {
+    type Item = u64;
+
+    fn encode(items: &[u64], out: &mut Vec<u8>) {
+        write_u64(items.len() as u64, out);
+        for_each_run(items, |value, run| {
+            write_u64(value, out);
+            write_u64(run, out);
+        });
+    }
+
+    fn encoded_len(items: &[u64]) -> usize {
+        let mut total = len_u64(items.len() as u64);
+        for_each_run(items, |value, run| {
+            total += len_u64(value) + len_u64(run);
+        });
+        total
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Vec<u64>, ColzError> {
+        let count = read_u64(buf)?;
+        // A run covers any number of items in 2 bytes, so the count is
+        // not byte-bounded; only the output allocation must be. Cap the
+        // upfront reservation, let the run loop grow the rest honestly.
+        let count = usize::try_from(count).map_err(|_| ColzError::Corrupt {
+            context: "rle item count overflows usize",
+        })?;
+        let mut items = Vec::with_capacity(count.min(buf.len().saturating_mul(16)));
+        while items.len() < count {
+            let value = read_u64(buf)?;
+            let run = read_u64(buf)?;
+            if run == 0 {
+                return Err(ColzError::Corrupt {
+                    context: "rle run of length zero",
+                });
+            }
+            let run = usize::try_from(run).map_err(|_| ColzError::Corrupt {
+                context: "rle run length overflows usize",
+            })?;
+            if run > count - items.len() {
+                return Err(ColzError::Corrupt {
+                    context: "rle runs overshoot the declared count",
+                });
+            }
+            items.resize(items.len() + run, value);
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_column_exact, encode_column};
+
+    #[test]
+    fn round_trips_with_exact_size() {
+        for items in [
+            vec![],
+            vec![7u64],
+            vec![0, 0, 0, 1, 1, 2, 0, 0],
+            vec![u64::MAX; 100],
+            (0..50).collect::<Vec<u64>>(),
+        ] {
+            let bytes = encode_column::<RleColumn>(&items);
+            assert_eq!(bytes.len(), RleColumn::encoded_len(&items));
+            assert_eq!(decode_column_exact::<RleColumn>(&bytes).unwrap(), items);
+        }
+    }
+
+    #[test]
+    fn long_runs_collapse() {
+        let mut items = vec![3u64; 100_000];
+        items.extend(vec![9u64; 100_000]);
+        let bytes = encode_column::<RleColumn>(&items);
+        // count (3 bytes) + two (value, run) pairs.
+        assert!(bytes.len() <= 3 + 2 * 4, "got {}", bytes.len());
+        assert_eq!(decode_column_exact::<RleColumn>(&bytes).unwrap(), items);
+    }
+
+    #[test]
+    fn rejects_zero_runs_overshoot_and_truncation() {
+        // Zero-length run.
+        let mut wire = Vec::new();
+        write_u64(2, &mut wire);
+        write_u64(5, &mut wire);
+        write_u64(0, &mut wire);
+        assert!(matches!(
+            decode_column_exact::<RleColumn>(&wire),
+            Err(ColzError::Corrupt { .. })
+        ));
+        // Overshooting run: declares 2 items, run covers 3.
+        let mut wire = Vec::new();
+        write_u64(2, &mut wire);
+        write_u64(5, &mut wire);
+        write_u64(3, &mut wire);
+        assert!(matches!(
+            decode_column_exact::<RleColumn>(&wire),
+            Err(ColzError::Corrupt { .. })
+        ));
+        // Truncation at every prefix.
+        let items = vec![1u64, 1, 2, 2, 2, 3];
+        let bytes = encode_column::<RleColumn>(&items);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_column_exact::<RleColumn>(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_declared_count_does_not_overallocate() {
+        // count u64::MAX with a two-byte body must fail fast without a
+        // proportional allocation.
+        let mut wire = Vec::new();
+        write_u64(u64::MAX, &mut wire);
+        write_u64(1, &mut wire);
+        assert!(decode_column_exact::<RleColumn>(&wire).is_err());
+    }
+}

@@ -1,0 +1,257 @@
+//! LEB128 varints, zigzag, and the two integer column codecs built on
+//! them: [`UIntColumn`] (plain varints) and [`DeltaColumn`]
+//! (zigzagged first differences — one byte per element for the
+//! monotone id/offset/LSN arrays it targets).
+
+use crate::{check_count, ColumnCodec, ColzError};
+
+/// Maximum bytes one LEB128-encoded `u64` may occupy. Ten 7-bit groups
+/// cover 70 bits; anything longer is rejected as corrupt.
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Append `value` to `out` as an LEB128 varint.
+pub fn write_u64(mut value: u64, out: &mut Vec<u8>) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Exact encoded size of `value` as an LEB128 varint.
+pub fn len_u64(value: u64) -> usize {
+    // 1 byte per started 7-bit group; value 0 still takes one byte.
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7).max(1)
+}
+
+/// Read one LEB128 varint from the front of `buf`, advancing it.
+///
+/// Rejects truncation, encodings longer than [`MAX_VARINT_LEN`] bytes,
+/// and final-byte payloads that overflow 64 bits.
+pub fn read_u64(buf: &mut &[u8]) -> Result<u64, ColzError> {
+    let mut value: u64 = 0;
+    let mut shift: u32 = 0;
+    for (i, &byte) in buf.iter().enumerate() {
+        if i >= MAX_VARINT_LEN {
+            return Err(ColzError::Corrupt {
+                context: "varint longer than 10 bytes",
+            });
+        }
+        let payload = u64::from(byte & 0x7f);
+        if shift == 63 && payload > 1 {
+            return Err(ColzError::Corrupt {
+                context: "varint overflows u64",
+            });
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            *buf = &buf[i + 1..];
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(ColzError::Truncated { context: "varint" })
+}
+
+/// Map a signed value onto an unsigned one with small absolute values
+/// staying small (0, -1, 1, -2 → 0, 1, 2, 3).
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Plain varint column: `count` followed by each value as an LEB128
+/// varint. The workhorse for id/payload columns with no exploitable
+/// ordering.
+pub struct UIntColumn;
+
+impl ColumnCodec for UIntColumn {
+    type Item = u64;
+
+    fn encode(items: &[u64], out: &mut Vec<u8>) {
+        write_u64(items.len() as u64, out);
+        for &v in items {
+            write_u64(v, out);
+        }
+    }
+
+    fn encoded_len(items: &[u64]) -> usize {
+        len_u64(items.len() as u64) + items.iter().map(|&v| len_u64(v)).sum::<usize>()
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Vec<u64>, ColzError> {
+        let count = read_u64(buf)?;
+        let count = check_count(count, 8, buf.len())?;
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            items.push(read_u64(buf)?);
+        }
+        Ok(items)
+    }
+}
+
+/// Delta+varint column: `count`, then the zigzagged difference from the
+/// previous value (first value differenced against 0), each as an
+/// LEB128 varint.
+///
+/// For the monotone arrays this codec targets (LSNs, sorted ids, byte
+/// offsets) every delta is small and non-negative, so elements encode
+/// in one or two bytes; zigzag keeps arbitrary (non-monotone) input
+/// correct rather than a precondition.
+pub struct DeltaColumn;
+
+impl ColumnCodec for DeltaColumn {
+    type Item = u64;
+
+    fn encode(items: &[u64], out: &mut Vec<u8>) {
+        write_u64(items.len() as u64, out);
+        let mut prev: u64 = 0;
+        for &v in items {
+            write_u64(zigzag(v.wrapping_sub(prev) as i64), out);
+            prev = v;
+        }
+    }
+
+    fn encoded_len(items: &[u64]) -> usize {
+        let mut total = len_u64(items.len() as u64);
+        let mut prev: u64 = 0;
+        for &v in items {
+            total += len_u64(zigzag(v.wrapping_sub(prev) as i64));
+            prev = v;
+        }
+        total
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Vec<u64>, ColzError> {
+        let count = read_u64(buf)?;
+        let count = check_count(count, 8, buf.len())?;
+        let mut items = Vec::with_capacity(count);
+        let mut prev: u64 = 0;
+        for _ in 0..count {
+            let delta = unzigzag(read_u64(buf)?);
+            prev = prev.wrapping_add(delta as u64);
+            items.push(prev);
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode_column_exact, encode_column};
+
+    #[test]
+    fn varint_round_trips_edge_values() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let mut out = Vec::new();
+            write_u64(v, &mut out);
+            assert_eq!(out.len(), len_u64(v), "len mismatch for {v}");
+            let mut buf = out.as_slice();
+            assert_eq!(read_u64(&mut buf).unwrap(), v);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_overlong_and_overflow() {
+        // Truncated: continuation bit set with nothing after.
+        let mut buf: &[u8] = &[0x80];
+        assert_eq!(
+            read_u64(&mut buf),
+            Err(ColzError::Truncated { context: "varint" })
+        );
+        // Overlong: 11 continuation bytes.
+        let overlong = [0x80u8; 11];
+        let mut buf: &[u8] = &overlong;
+        assert!(matches!(read_u64(&mut buf), Err(ColzError::Corrupt { .. })));
+        // Overflow: 10th byte carries more than the single remaining bit.
+        let mut wire = [0xffu8; 10];
+        wire[9] = 0x02;
+        let mut buf: &[u8] = &wire;
+        assert!(matches!(read_u64(&mut buf), Err(ColzError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn uint_column_round_trips_and_sizes_exactly() {
+        let items = vec![0u64, 5, 300, u64::MAX, 42];
+        let bytes = encode_column::<UIntColumn>(&items);
+        assert_eq!(bytes.len(), UIntColumn::encoded_len(&items));
+        assert_eq!(decode_column_exact::<UIntColumn>(&bytes).unwrap(), items);
+    }
+
+    #[test]
+    fn delta_column_is_tiny_for_monotone_input() {
+        let items: Vec<u64> = (1000..2000).collect();
+        let bytes = encode_column::<DeltaColumn>(&items);
+        assert_eq!(bytes.len(), DeltaColumn::encoded_len(&items));
+        // count (2 bytes) + first delta (zigzag 1000 = 2 bytes) + 999
+        // one-byte deltas.
+        assert!(bytes.len() <= 2 + 2 + 999, "got {}", bytes.len());
+        assert_eq!(decode_column_exact::<DeltaColumn>(&bytes).unwrap(), items);
+    }
+
+    #[test]
+    fn delta_column_handles_non_monotone_and_extremes() {
+        let items = vec![u64::MAX, 0, 1, u64::MAX / 2, 3];
+        let bytes = encode_column::<DeltaColumn>(&items);
+        assert_eq!(decode_column_exact::<DeltaColumn>(&bytes).unwrap(), items);
+    }
+
+    #[test]
+    fn columns_reject_overlength_counts() {
+        // Declared count of u64::MAX with 2 bytes of input.
+        let mut bytes = Vec::new();
+        write_u64(u64::MAX, &mut bytes);
+        bytes.push(0);
+        let mut buf = bytes.as_slice();
+        assert!(matches!(
+            UIntColumn::decode(&mut buf),
+            Err(ColzError::Corrupt { .. })
+        ));
+        let mut buf = bytes.as_slice();
+        assert!(matches!(
+            DeltaColumn::decode(&mut buf),
+            Err(ColzError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn columns_reject_truncated_bodies() {
+        let items = vec![1u64, 2, 3, 4];
+        let bytes = encode_column::<UIntColumn>(&items);
+        for cut in 0..bytes.len() {
+            let mut buf = &bytes[..cut];
+            assert!(UIntColumn::decode(&mut buf).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -22,7 +22,7 @@ use std::path::Path;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use semtree_cluster::{ClusterError, ComputeNodeId, CostModel, Transport};
+use semtree_cluster::{Cluster, ClusterError, ComputeNodeId, CostModel, Transport};
 use semtree_kdtree::SplitRule;
 use semtree_net::{
     decode_exact, dial_with_timeout, encode_frame_v2, read_frame, split_frame_v2, write_frame,
@@ -266,6 +266,45 @@ pub fn build_tree_durable(
     Ok(DistSemTree::over_transport_with_wal(
         fabric.local_fabric(),
         Arc::clone(fabric) as Arc<dyn Transport<Req, Resp>>,
+        config,
+        cost,
+        partitions,
+        sample,
+        Some(WalHandle::new(wal)),
+    )?)
+}
+
+/// [`build_tree_durable`] without the network: the whole deployment
+/// runs on the in-process simulated cluster, but every partition
+/// mutation still goes through a real WAL under `wal_dir`. This is what
+/// the recovery benchmark and offline durability tests drive — the
+/// on-disk artifacts are byte-compatible with a networked worker's.
+///
+/// `options` selects the on-disk format: the default writes columnar
+/// snapshots and compacted segments, `columnar: false` reproduces the
+/// legacy verbatim layout byte-for-byte.
+///
+/// # Errors
+/// Fails when the config cannot be deployed, `wal_dir` already holds a
+/// WAL, or a data partition cannot be spawned or seeded.
+pub fn build_local_durable(
+    config: DistConfig,
+    cost: CostModel,
+    partitions: usize,
+    sample: &[Vec<f64>],
+    wal_dir: &Path,
+    options: WalOptions,
+) -> Result<DistSemTree, DeployError> {
+    if Wal::exists(wal_dir) {
+        return Err(DeployError::Config(format!(
+            "{} already holds a write-ahead log; point it at a fresh directory",
+            wal_dir.display()
+        )));
+    }
+    let blob = NetDeployConfig::from_config(&config)?.to_bytes();
+    let wal = Wal::create(wal_dir, 0, &blob, options)?;
+    Ok(DistSemTree::build_on_with_wal(
+        Cluster::new(cost),
         config,
         cost,
         partitions,

@@ -60,6 +60,7 @@
 //! ```
 
 mod actor;
+mod colimage;
 mod deploy;
 mod proto;
 mod recovery;
@@ -67,13 +68,14 @@ mod store;
 mod tree;
 
 pub use deploy::{
-    build_tree, build_tree_durable, join_cluster, join_cluster_durable, serve_clients,
-    serve_clients_with, serve_cluster, ClientMetrics, ClientReq, ClientResp, DeployError,
-    DistFabric, NetClient, NetDeployConfig, PendingReply, PipelinedClient, ServeOptions,
-    WorkerHandle,
+    build_local_durable, build_tree, build_tree_durable, join_cluster, join_cluster_durable,
+    serve_clients, serve_clients_with, serve_cluster, ClientMetrics, ClientReq, ClientResp,
+    DeployError, DistFabric, NetClient, NetDeployConfig, PendingReply, PipelinedClient,
+    ServeOptions, WorkerHandle,
 };
 pub use proto::{PartitionStats, Req, Resp};
-pub use recovery::{inspect_wal, WalInspection};
+pub use recovery::{inspect_wal, SnapshotCompression, WalInspection};
 pub use semtree_kdtree::Neighbor;
+pub use semtree_wal::WalOptions;
 pub use store::LocalNodeId;
 pub use tree::{CapacityPolicy, DistConfig, DistSemTree, GlobalStats};

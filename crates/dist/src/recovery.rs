@@ -14,7 +14,10 @@ use std::sync::Arc;
 
 use semtree_cluster::ComputeNodeId;
 use semtree_net::decode_exact;
-use semtree_wal::{SequencedLog, Wal, WalError, WalRecord, WalReport, WalState};
+use semtree_wal::{
+    SequencedLog, Snapshot, Wal, WalError, WalRecord, WalReport, WalState,
+    SNAPSHOT_FORMAT_COLUMNAR, SNAPSHOT_FORMAT_VERBATIM,
+};
 
 use crate::deploy::NetDeployConfig;
 use crate::proto::PartitionStats;
@@ -128,15 +131,27 @@ impl WalHandle {
     }
 
     /// Snapshot one partition's full store image, superseding its log
-    /// records and compacting fully covered segments.
+    /// records and compacting fully covered segments. The blob format
+    /// follows the WAL's columnar setting: columnar-enabled logs store
+    /// the image through the `semtree-colz` column codec, legacy logs
+    /// keep the verbatim row encoding.
     pub(crate) fn snapshot_image(
         &self,
         partition: ComputeNodeId,
         image: &StoreImage,
     ) -> Result<(), WalError> {
         use semtree_net::Encode as _;
-        self.log
-            .with_sink(|wal| wal.snapshot(partition.0, &image.to_bytes()))?;
+        self.log.with_sink(|wal| {
+            let (format, blob) = if wal.columnar_enabled() {
+                (
+                    SNAPSHOT_FORMAT_COLUMNAR,
+                    crate::colimage::encode_image(image),
+                )
+            } else {
+                (SNAPSHOT_FORMAT_VERBATIM, image.to_bytes())
+            };
+            wal.snapshot(partition.0, format, &blob)
+        })?;
         Ok(())
     }
 
@@ -163,8 +178,7 @@ pub(crate) fn replay_stores(state: &WalState) -> Result<Vec<(u32, PartitionStore
 
     let mut stores: BTreeMap<u32, PartitionStore> = BTreeMap::new();
     for (&partition, snap) in &state.snapshots {
-        let image: StoreImage =
-            decode_exact(&snap.blob).map_err(|e| format!("partition {partition} snapshot: {e}"))?;
+        let image = decode_snapshot_image(snap)?;
         stores.insert(partition, PartitionStore::from_image(&image)?);
     }
 
@@ -249,6 +263,50 @@ fn missing(
     store.ok_or_else(|| format!("lsn {lsn}: record for unknown partition {partition}"))
 }
 
+/// Decode a snapshot blob according to its recorded payload format —
+/// the single dispatch point between the legacy verbatim image encoding
+/// and the columnar one.
+pub(crate) fn decode_snapshot_image(snap: &Snapshot) -> Result<StoreImage, String> {
+    match snap.format {
+        SNAPSHOT_FORMAT_VERBATIM => decode_exact(&snap.blob)
+            .map_err(|e| format!("partition {} snapshot: {e}", snap.partition)),
+        SNAPSHOT_FORMAT_COLUMNAR => crate::colimage::decode_image(&snap.blob)
+            .map_err(|e| format!("partition {} snapshot: {e}", snap.partition)),
+        other => Err(format!(
+            "partition {} snapshot: unknown payload format {other}",
+            snap.partition
+        )),
+    }
+}
+
+/// One partition's snapshot compression footprint: what its blob costs
+/// on disk versus what the decoded store image costs in the verbatim row
+/// encoding (the size a pre-columnar WAL would have stored).
+#[derive(Debug, Clone, Copy)]
+pub struct SnapshotCompression {
+    /// Compute-node id of the partition.
+    pub partition: u32,
+    /// Payload format of the stored blob (`SNAPSHOT_FORMAT_*`).
+    pub format: u8,
+    /// Bytes of the blob as stored in the snapshot file.
+    pub stored_bytes: usize,
+    /// Bytes of the same image in the verbatim row encoding.
+    pub decoded_bytes: usize,
+}
+
+impl SnapshotCompression {
+    /// Verbatim-to-stored compression ratio (1.0 for verbatim blobs;
+    /// 0 stored bytes reports a ratio of 1.0 to stay finite).
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.stored_bytes == 0 {
+            1.0
+        } else {
+            self.decoded_bytes as f64 / self.stored_bytes as f64
+        }
+    }
+}
+
 /// What `semtree recover` reports: the raw WAL summary plus the
 /// statistics of every partition store an online recovery would rebuild.
 #[derive(Debug)]
@@ -257,6 +315,8 @@ pub struct WalInspection {
     pub report: WalReport,
     /// `(partition id, stats)` of each replayed store, ascending id.
     pub partitions: Vec<(u32, PartitionStats)>,
+    /// Per-partition snapshot compression, ascending partition id.
+    pub compression: Vec<SnapshotCompression>,
 }
 
 /// Offline inspect-and-replay of a WAL directory: verifies every
@@ -267,14 +327,29 @@ pub struct WalInspection {
 /// Fails on unreadable or corrupt WAL contents, or a history that does
 /// not replay cleanly.
 pub fn inspect_wal(dir: &Path) -> Result<WalInspection, String> {
+    use semtree_net::Encode as _;
     let state = Wal::load(dir).map_err(|e| e.to_string())?;
     let report = WalReport::from_state(dir, &state).map_err(|e| e.to_string())?;
+    let mut compression = Vec::with_capacity(state.snapshots.len());
+    for (&partition, snap) in &state.snapshots {
+        let image = decode_snapshot_image(snap)?;
+        compression.push(SnapshotCompression {
+            partition,
+            format: snap.format,
+            stored_bytes: snap.blob.len(),
+            decoded_bytes: image.to_bytes().len(),
+        });
+    }
     let stores = replay_stores(&state)?;
     let partitions = stores
         .into_iter()
         .map(|(partition, store)| (partition, store.stats()))
         .collect();
-    Ok(WalInspection { report, partitions })
+    Ok(WalInspection {
+        report,
+        partitions,
+        compression,
+    })
 }
 
 #[cfg(test)]
@@ -336,6 +411,7 @@ mod tests {
         let options = WalOptions {
             segment_bytes: 4096,
             snapshot_every: 64,
+            ..WalOptions::default()
         };
         let tree = durable_tree(&dir, &config, options);
         for i in 0..150u64 {
@@ -406,6 +482,105 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v0_wal_recovers_identically_through_the_columnar_reader() {
+        let dir_legacy = scratch_dir("v0-legacy");
+        let dir_columnar = scratch_dir("v0-columnar");
+        let config = DistConfig::new(2)
+            .with_bucket_size(4)
+            .with_max_partitions(4)
+            .with_capacity(CapacityPolicy::MaxPoints(40));
+        let legacy = WalOptions {
+            segment_bytes: 4096,
+            snapshot_every: 64,
+            columnar: false,
+        };
+        let columnar = WalOptions {
+            columnar: true,
+            ..legacy
+        };
+        for (dir, options) in [(&dir_legacy, legacy), (&dir_columnar, columnar)] {
+            let tree = durable_tree(dir, &config, options);
+            for i in 0..120u64 {
+                tree.insert(&[(i % 11) as f64, (i / 11) as f64], i);
+            }
+            tree.shutdown();
+        }
+
+        // The legacy directory is true v0 on disk: headerless segments
+        // and version-1 verbatim snapshots.
+        for entry in std::fs::read_dir(dir_legacy.join("segments")).unwrap() {
+            let bytes = std::fs::read(entry.unwrap().path()).unwrap();
+            if bytes.len() >= 4 {
+                assert_ne!(&bytes[0..4], b"SSEG", "legacy segment grew a header");
+            }
+        }
+
+        // One reader, two formats, same workload: identical stores —
+        // node ids, parents, buckets, remote links, point counters.
+        let legacy_images = replayed_images(&dir_legacy);
+        let columnar_images = replayed_images(&dir_columnar);
+        assert_eq!(
+            legacy_images, columnar_images,
+            "columnar storage changed the recovered structure"
+        );
+
+        // Migration path: resume the v0 directory with columnar options,
+        // re-snapshot, compact. Replay must still see the same stores.
+        let (wal, _) = Wal::resume(&dir_legacy, columnar).expect("resume v0 dir");
+        let handle = WalHandle::new(wal);
+        for (partition, image) in &legacy_images {
+            handle
+                .snapshot_image(ComputeNodeId(*partition), image)
+                .expect("snapshot");
+        }
+        handle.compact().expect("compact");
+        drop(handle);
+        assert_eq!(
+            replayed_images(&dir_legacy),
+            legacy_images,
+            "migrating a v0 directory to columnar changed the replayed structure"
+        );
+        std::fs::remove_dir_all(&dir_legacy).ok();
+        std::fs::remove_dir_all(&dir_columnar).ok();
+    }
+
+    #[test]
+    fn inspect_reports_columnar_snapshot_compression() {
+        let dir = scratch_dir("inspect-compression");
+        let config = DistConfig::new(2).with_bucket_size(8);
+        let tree = durable_tree(&dir, &config, WalOptions::default());
+        // Points drawn from a small palette — the occurrence-heavy shape
+        // the columnar codec is built for.
+        for i in 0..400u64 {
+            tree.insert(&[(i % 5) as f64 * 0.25, (i % 7) as f64 * 0.5], i);
+        }
+        tree.shutdown();
+        let (wal, _) = Wal::resume(&dir, WalOptions::default()).expect("resume");
+        let handle = WalHandle::new(wal);
+        for (partition, image) in replayed_images(&dir) {
+            handle
+                .snapshot_image(ComputeNodeId(partition), &image)
+                .expect("snapshot");
+        }
+        drop(handle);
+
+        let inspection = inspect_wal(&dir).expect("inspect");
+        assert!(!inspection.compression.is_empty());
+        for c in &inspection.compression {
+            assert_eq!(c.format, semtree_wal::SNAPSHOT_FORMAT_COLUMNAR);
+            assert!(
+                c.ratio() > 5.0,
+                "partition {}: ratio {:.2} ({} stored / {} decoded)",
+                c.partition,
+                c.ratio(),
+                c.stored_bytes,
+                c.decoded_bytes
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn replay_reconstructs_points_written_after_the_last_snapshot() {
         let dir = scratch_dir("tail");
         let config = DistConfig::new(2).with_bucket_size(4);
@@ -414,6 +589,7 @@ mod tests {
         let options = WalOptions {
             segment_bytes: 1 << 20,
             snapshot_every: 1_000_000,
+            ..WalOptions::default()
         };
         let tree = durable_tree(&dir, &config, options);
         for i in 0..60u64 {

@@ -37,6 +37,7 @@
 //! assert_eq!(state.next_lsn, 2);
 //! ```
 
+mod colseg;
 mod crc32;
 mod log;
 mod ordering;
@@ -45,6 +46,7 @@ mod record;
 pub use crc32::crc32;
 pub use log::{
     Appended, PartitionReport, Snapshot, Wal, WalError, WalOptions, WalReport, WalState,
+    SNAPSHOT_FORMAT_COLUMNAR, SNAPSHOT_FORMAT_VERBATIM,
 };
 pub use ordering::{RecordSink, SequencedLog};
 pub use record::WalRecord;
@@ -128,6 +130,7 @@ mod tests {
         let options = WalOptions {
             segment_bytes: 1,
             snapshot_every: 4,
+            ..WalOptions::default()
         };
         let wal = Wal::create(&dir, 1, b"", options).unwrap();
         let mut due = false;
@@ -135,7 +138,9 @@ mod tests {
             due = wal.append(&insert(7, i)).unwrap().snapshot_due;
         }
         assert!(due, "4th record must trip snapshot_every = 4");
-        let covered = wal.snapshot(7, b"store-image").unwrap();
+        let covered = wal
+            .snapshot(7, SNAPSHOT_FORMAT_VERBATIM, b"store-image")
+            .unwrap();
         assert_eq!(covered, 4);
 
         // All four sealed segments held only covered records of
@@ -161,11 +166,12 @@ mod tests {
         let options = WalOptions {
             segment_bytes: 1,
             snapshot_every: u64::MAX,
+            ..WalOptions::default()
         };
         let wal = Wal::create(&dir, 1, b"", options).unwrap();
         wal.append(&insert(7, 0)).unwrap();
         wal.append(&insert(8, 1)).unwrap();
-        wal.snapshot(7, b"seven").unwrap();
+        wal.snapshot(7, SNAPSHOT_FORMAT_VERBATIM, b"seven").unwrap();
 
         let state = Wal::load(&dir).unwrap();
         let live: Vec<u32> = state
@@ -212,6 +218,7 @@ mod tests {
         let options = WalOptions {
             segment_bytes: 1,
             snapshot_every: u64::MAX,
+            ..WalOptions::default()
         };
         let wal = Wal::create(&dir, 1, b"", options).unwrap();
         wal.append(&insert(7, 0)).unwrap();
@@ -238,7 +245,7 @@ mod tests {
         let dir = tmpdir("snap-corrupt");
         let wal = Wal::create(&dir, 1, b"", WalOptions::default()).unwrap();
         wal.append(&insert(7, 0)).unwrap();
-        wal.snapshot(7, b"image").unwrap();
+        wal.snapshot(7, SNAPSHOT_FORMAT_VERBATIM, b"image").unwrap();
         drop(wal);
 
         let snap = dir.join("snapshots").join("part-7.snap");
@@ -248,6 +255,109 @@ mod tests {
 
         let err = Wal::load(&dir).unwrap_err();
         assert!(matches!(err, WalError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn columnar_compaction_rewrites_surviving_segments() {
+        let dir = tmpdir("columnar-compact");
+        let options = WalOptions {
+            segment_bytes: 1,
+            snapshot_every: u64::MAX,
+            columnar: true,
+        };
+        let wal = Wal::create(&dir, 1, b"", options).unwrap();
+        for i in 0..20 {
+            wal.append(&insert(7, i)).unwrap();
+            wal.append(&insert(8, 100 + i)).unwrap();
+        }
+        let before = Wal::load(&dir).unwrap();
+        // Snapshotting 7 triggers compaction: its single-record segments
+        // die, and every surviving sealed segment (all partition 8) is
+        // rewritten as a columnar block.
+        wal.snapshot(7, SNAPSHOT_FORMAT_VERBATIM, b"seven").unwrap();
+        drop(wal);
+
+        let mut sealed_columnar = 0;
+        let mut paths: Vec<_> = std::fs::read_dir(dir.join("segments"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        paths.sort();
+        for path in &paths[..paths.len() - 1] {
+            let bytes = std::fs::read(path).unwrap();
+            assert_eq!(&bytes[0..4], b"SSEG", "{}", path.display());
+            assert_eq!(bytes[5], 1, "sealed segment must use the columnar codec");
+            sealed_columnar += 1;
+        }
+        assert!(sealed_columnar > 0);
+
+        // The rewrite is invisible to readers: the surviving records
+        // come back identical, in the same LSN order.
+        let survivors: Vec<(u64, WalRecord)> = before
+            .tail
+            .iter()
+            .filter(|(_, r)| r.partition() == 8)
+            .cloned()
+            .collect();
+        let after = Wal::load(&dir).unwrap();
+        assert_eq!(after.tail, survivors);
+        assert_eq!(after.next_lsn, before.next_lsn);
+
+        // And resume keeps appending on top of columnar history.
+        let (wal, state) = Wal::resume(&dir, options).unwrap();
+        let lsn = wal.append(&insert(8, 999)).unwrap().lsn;
+        assert_eq!(lsn, state.next_lsn);
+    }
+
+    #[test]
+    fn legacy_mode_writes_headerless_v0_files() {
+        let dir = tmpdir("legacy-mode");
+        let options = WalOptions {
+            columnar: false,
+            ..WalOptions::default()
+        };
+        let wal = Wal::create(&dir, 1, b"cfg", options).unwrap();
+        for i in 0..5 {
+            wal.append(&insert(7, i)).unwrap();
+        }
+        wal.snapshot(7, SNAPSHOT_FORMAT_VERBATIM, b"image").unwrap();
+        wal.append(&insert(7, 9)).unwrap();
+        drop(wal);
+
+        // Segment files carry no header: the first bytes are a frame
+        // length, not the SSEG magic.
+        for entry in std::fs::read_dir(dir.join("segments")).unwrap() {
+            let bytes = std::fs::read(entry.unwrap().path()).unwrap();
+            if bytes.len() >= 4 {
+                assert_ne!(&bytes[0..4], b"SSEG");
+            }
+        }
+        // Verbatim snapshots use the legacy v1 layout: version word 1
+        // right after the magic, no format byte.
+        let snap = std::fs::read(dir.join("snapshots").join("part-7.snap")).unwrap();
+        assert_eq!(u32::from_le_bytes(snap[4..8].try_into().unwrap()), 1);
+
+        let state = Wal::load(&dir).unwrap();
+        assert_eq!(state.snapshots[&7].format, SNAPSHOT_FORMAT_VERBATIM);
+        assert_eq!(state.snapshots[&7].blob, b"image");
+        assert_eq!(state.live_tail().count(), 1);
+    }
+
+    #[test]
+    fn v2_snapshots_carry_their_payload_format() {
+        let dir = tmpdir("snap-format");
+        let wal = Wal::create(&dir, 1, b"", WalOptions::default()).unwrap();
+        wal.append(&insert(7, 0)).unwrap();
+        wal.snapshot(7, SNAPSHOT_FORMAT_COLUMNAR, b"columns")
+            .unwrap();
+        drop(wal);
+
+        let snap = std::fs::read(dir.join("snapshots").join("part-7.snap")).unwrap();
+        assert_eq!(u32::from_le_bytes(snap[4..8].try_into().unwrap()), 2);
+
+        let state = Wal::load(&dir).unwrap();
+        assert_eq!(state.snapshots[&7].format, SNAPSHOT_FORMAT_COLUMNAR);
+        assert_eq!(state.snapshots[&7].blob, b"columns");
     }
 
     #[test]

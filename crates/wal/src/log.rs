@@ -6,9 +6,20 @@
 //! ```text
 //! <wal-dir>/
 //!   MANIFEST                  magic, version, process index, config blob, crc
-//!   segments/seg-000001.wal   [u32 len][u32 crc][u64 lsn][record]…
-//!   snapshots/part-65537.snap magic, version, partition, covered lsn, blob, crc
+//!   segments/seg-000001.wal   ["SSEG" ver codec] [u32 len][u32 crc][u64 lsn][record]…
+//!   snapshots/part-65537.snap magic, version, partition, covered lsn, [format], blob, crc
 //! ```
+//!
+//! Segment files carry an optional 6-byte header (`SSEG`, version,
+//! codec). Headerless files are the legacy v0 row format and stay fully
+//! readable — the magic cannot collide with a v0 frame because read as
+//! a frame length it exceeds [`MAX_RECORD_LEN`]. Codec 0 is
+//! row-oriented frames (the hot tail — appends never pay encode
+//! latency); codec 1 is one `semtree-colz` columnar block, produced
+//! when a segment seals (and by compaction, for sealed row segments a
+//! resumed v0 directory left behind — see [`crate::colseg`]). Snapshot files similarly version their payload:
+//! v1 files hold a verbatim blob, v2 files add a payload-format byte
+//! (see [`SNAPSHOT_FORMAT_VERBATIM`] / [`SNAPSHOT_FORMAT_COLUMNAR`]).
 //!
 //! Every record frame and every snapshot file is CRC-32 checksummed.
 //! Appends are written and flushed record-by-record (a killed *process*
@@ -44,10 +55,38 @@ use crate::record::WalRecord;
 const MANIFEST_MAGIC: u32 = u32::from_le_bytes(*b"SWAL");
 /// `b"SNAP"` — first four bytes of a snapshot file.
 const SNAPSHOT_MAGIC: u32 = u32::from_le_bytes(*b"SNAP");
-/// On-disk format version (manifest + snapshots + segments).
+/// On-disk format version of the manifest.
 const FORMAT_VERSION: u32 = 1;
 /// Upper bound on a single record frame; larger lengths mean corruption.
 const MAX_RECORD_LEN: u32 = 256 * 1024 * 1024;
+
+/// `b"SSEG"` — first four bytes of a versioned segment file. A legacy
+/// v0 segment cannot start with these bytes: read as a v0 frame length
+/// they are `0x4745_5353`, far above [`MAX_RECORD_LEN`].
+const SEGMENT_MAGIC: [u8; 4] = *b"SSEG";
+/// Version byte following the segment magic.
+const SEGMENT_VERSION: u8 = 1;
+/// Segment codec byte: row-oriented record frames (appendable).
+const SEGMENT_CODEC_ROWS: u8 = 0;
+/// Segment codec byte: one columnar block (compaction output).
+const SEGMENT_CODEC_COLUMNAR: u8 = 1;
+/// Total length of a versioned segment header: magic, version, codec.
+const SEGMENT_HEADER_LEN: usize = 6;
+
+/// Snapshot file version whose payload is the bare blob (legacy v0
+/// layout — what every pre-columnar build wrote and still reads).
+const SNAPSHOT_VERSION_V1: u32 = 1;
+/// Snapshot file version that carries a payload-format byte before the
+/// blob.
+const SNAPSHOT_VERSION_V2: u32 = 2;
+
+/// Snapshot payload format: the blob is the store image verbatim.
+/// Snapshots written with this format use the legacy v1 file layout
+/// byte-for-byte, so old readers still accept them.
+pub const SNAPSHOT_FORMAT_VERBATIM: u8 = 0;
+/// Snapshot payload format: the blob is a columnar-compressed store
+/// image (`semtree-dist` owns the column layout).
+pub const SNAPSHOT_FORMAT_COLUMNAR: u8 = 1;
 
 /// A WAL failure: I/O, or on-disk state that fails validation.
 #[derive(Debug)]
@@ -90,6 +129,11 @@ pub struct WalOptions {
     /// Report a partition as snapshot-due after this many records since
     /// its last snapshot.
     pub snapshot_every: u64,
+    /// Write versioned segment headers and columnar-compress sealed
+    /// segments at compaction time. When false the WAL produces
+    /// byte-identical legacy v0 output (headerless row segments); either
+    /// setting reads both formats.
+    pub columnar: bool,
 }
 
 impl Default for WalOptions {
@@ -97,6 +141,7 @@ impl Default for WalOptions {
         WalOptions {
             segment_bytes: 4 * 1024 * 1024,
             snapshot_every: 256,
+            columnar: true,
         }
     }
 }
@@ -120,6 +165,10 @@ pub struct Snapshot {
     pub partition: u32,
     /// Every record of this partition with `lsn ≤` this is superseded.
     pub lsn: u64,
+    /// Payload format of `blob`: [`SNAPSHOT_FORMAT_VERBATIM`] or
+    /// [`SNAPSHOT_FORMAT_COLUMNAR`]. Legacy v1 snapshot files decode as
+    /// verbatim.
+    pub format: u8,
     /// The serialized store (opaque to the WAL; `semtree-dist` owns the
     /// format).
     pub blob: Vec<u8>,
@@ -164,6 +213,17 @@ impl WalState {
     }
 }
 
+/// What the manager tracks about a sealed segment still on disk.
+struct SealedInfo {
+    /// partition → highest LSN for it in this segment.
+    coverage: HashMap<u32, u64>,
+    /// Already stored as a columnar block (nothing left to rewrite).
+    columnar: bool,
+    /// A torn final frame is tolerable when re-reading this segment —
+    /// true only for the pre-resume tail, which may hold a crash scar.
+    allow_torn: bool,
+}
+
 struct Inner {
     file: File,
     segment_index: u64,
@@ -171,8 +231,8 @@ struct Inner {
     next_lsn: u64,
     /// partition → highest LSN written for it in the *current* segment.
     current_coverage: HashMap<u32, u64>,
-    /// sealed segment index → (partition → highest LSN in that segment).
-    sealed: BTreeMap<u64, HashMap<u32, u64>>,
+    /// sealed segment index → what is known about it.
+    sealed: BTreeMap<u64, SealedInfo>,
     snapshot_lsn: HashMap<u32, u64>,
     since_snapshot: HashMap<u32, u64>,
 }
@@ -277,7 +337,7 @@ impl Wal {
         config.to_vec().encode(&mut body);
         write_atomic(&manifest_path(dir), &checksummed(body))?;
 
-        let file = open_segment(dir, 1)?;
+        let file = open_segment(dir, 1, options.columnar)?;
         Ok(Wal {
             dir: dir.to_path_buf(),
             process_index,
@@ -302,11 +362,20 @@ impl Wal {
     pub fn resume(dir: &Path, options: WalOptions) -> Result<(Wal, WalState), WalError> {
         let scan = scan(dir)?;
         let next_segment = scan.segments.last().map_or(1, |s| s.index + 1);
-        let file = open_segment(dir, next_segment)?;
+        let file = open_segment(dir, next_segment, options.columnar)?;
 
         let mut sealed = BTreeMap::new();
-        for segment in &scan.segments {
-            sealed.insert(segment.index, segment.coverage.clone());
+        for (pos, segment) in scan.segments.iter().enumerate() {
+            sealed.insert(
+                segment.index,
+                SealedInfo {
+                    coverage: segment.coverage.clone(),
+                    columnar: segment.columnar,
+                    // Only the previous session's tail segment may carry
+                    // a torn final frame.
+                    allow_torn: pos + 1 == scan.segments.len(),
+                },
+            );
         }
         let snapshot_lsn: HashMap<u32, u64> = scan
             .snapshots
@@ -354,7 +423,7 @@ impl Wal {
         let appended = Self::stage_in(&self.options, &mut inner, record)?;
         inner.file.flush()?;
         if inner.segment_written >= self.options.segment_bytes {
-            Self::seal_in(&self.dir, &mut inner)?;
+            Self::seal_in(&self.dir, &mut inner, self.options.columnar)?;
         }
         Ok(appended)
     }
@@ -410,23 +479,33 @@ impl Wal {
         let inner = inner.get_mut();
         inner.file.flush()?;
         if inner.segment_written >= options.segment_bytes {
-            Self::seal_in(dir, inner)?;
+            Self::seal_in(dir, inner, options.columnar)?;
         }
         Ok(())
     }
 
     /// Persist a snapshot of `partition` covering everything appended so
-    /// far, then reclaim any segments it makes fully dead. Returns the
-    /// covered LSN.
-    pub fn snapshot(&self, partition: u32, blob: &[u8]) -> Result<u64, WalError> {
+    /// far, then reclaim any segments it makes fully dead. `format` tags
+    /// how the blob is encoded ([`SNAPSHOT_FORMAT_VERBATIM`] or
+    /// [`SNAPSHOT_FORMAT_COLUMNAR`]); verbatim snapshots are written in
+    /// the legacy v1 file layout so pre-columnar readers accept them.
+    /// Returns the covered LSN.
+    pub fn snapshot(&self, partition: u32, format: u8, blob: &[u8]) -> Result<u64, WalError> {
         let mut inner = self.inner.lock();
         let lsn = inner.next_lsn - 1;
 
         let mut body = Vec::new();
         SNAPSHOT_MAGIC.encode(&mut body);
-        FORMAT_VERSION.encode(&mut body);
-        partition.encode(&mut body);
-        lsn.encode(&mut body);
+        if format == SNAPSHOT_FORMAT_VERBATIM {
+            SNAPSHOT_VERSION_V1.encode(&mut body);
+            partition.encode(&mut body);
+            lsn.encode(&mut body);
+        } else {
+            SNAPSHOT_VERSION_V2.encode(&mut body);
+            partition.encode(&mut body);
+            lsn.encode(&mut body);
+            body.push(format);
+        }
         blob.to_vec().encode(&mut body);
         write_atomic(&snapshot_path(&self.dir, partition), &checksummed(body))?;
 
@@ -441,7 +520,7 @@ impl Wal {
                 .iter()
                 .all(|(p, &top)| inner.snapshot_lsn.get(p).copied().unwrap_or(0) >= top);
         if current_dead {
-            Self::seal_in(&self.dir, &mut inner)?;
+            Self::seal_in(&self.dir, &mut inner, self.options.columnar)?;
         }
         self.compact_locked(&mut inner)?;
         Ok(lsn)
@@ -472,19 +551,45 @@ impl Wal {
         self.process_index
     }
 
+    /// Whether this manager writes the columnar formats (versioned
+    /// segment headers, seal- and compaction-time columnar rewrite) —
+    /// what callers consult to pick a snapshot payload format.
+    pub fn columnar_enabled(&self) -> bool {
+        self.options.columnar
+    }
+
     /// Summarise a WAL directory without mutating it.
     pub fn inspect(dir: &Path) -> Result<WalReport, WalError> {
         WalReport::from_state(dir, &Wal::load(dir)?)
     }
 
-    fn seal_in(dir: &Path, inner: &mut Inner) -> Result<(), WalError> {
+    fn seal_in(dir: &Path, inner: &mut Inner, columnar: bool) -> Result<(), WalError> {
         inner.file.sync_data()?;
         let coverage = std::mem::take(&mut inner.current_coverage);
         let sealed_index = inner.segment_index;
-        inner.sealed.insert(sealed_index, coverage);
+        if columnar {
+            // A sealed segment never grows again, so re-encode it as one
+            // columnar block right away — cold records shouldn't wait for
+            // a compaction cycle to shed their row framing. write_atomic
+            // keeps the crash window torn-free: either the old row file
+            // or the complete columnar file is on disk.
+            let (segment, _) = read_segment(dir, sealed_index, false)?;
+            write_atomic(
+                &segment_path(dir, sealed_index),
+                &columnar_segment_bytes(&segment.records),
+            )?;
+        }
+        inner.sealed.insert(
+            sealed_index,
+            SealedInfo {
+                coverage,
+                columnar,
+                allow_torn: false,
+            },
+        );
         inner.segment_index += 1;
         inner.segment_written = 0;
-        inner.file = open_segment(dir, inner.segment_index)?;
+        inner.file = open_segment(dir, inner.segment_index, columnar)?;
         Ok(())
     }
 
@@ -492,8 +597,8 @@ impl Wal {
         let dead: Vec<u64> = inner
             .sealed
             .iter()
-            .filter(|(_, coverage)| {
-                coverage
+            .filter(|(_, info)| {
+                info.coverage
                     .iter()
                     .all(|(p, &top)| inner.snapshot_lsn.get(p).copied().unwrap_or(0) >= top)
             })
@@ -503,22 +608,67 @@ impl Wal {
             fs::remove_file(segment_path(&self.dir, *index))?;
             inner.sealed.remove(index);
         }
+        if self.options.columnar {
+            // Rewrite every surviving row segment as one columnar block.
+            // Sealed files never grow again, so the rewrite is a pure
+            // re-encode; write_atomic keeps crash windows torn-free.
+            for (&index, info) in inner.sealed.iter_mut() {
+                if info.columnar {
+                    continue;
+                }
+                let (segment, _) = read_segment(&self.dir, index, info.allow_torn)?;
+                write_atomic(
+                    &segment_path(&self.dir, index),
+                    &columnar_segment_bytes(&segment.records),
+                )?;
+                info.columnar = true;
+                info.allow_torn = false;
+            }
+        }
         Ok(dead.len())
     }
 }
 
-fn open_segment(dir: &Path, index: u64) -> Result<File, WalError> {
+/// Serialize records as a complete columnar segment file:
+/// `SSEG · version · codec · [u32 len] · [u32 crc] · block`.
+fn columnar_segment_bytes(records: &[(u64, WalRecord)]) -> Vec<u8> {
+    let block = crate::colseg::encode_block(records);
+    let mut bytes = Vec::with_capacity(SEGMENT_HEADER_LEN + 8 + block.len());
+    bytes.extend_from_slice(&SEGMENT_MAGIC);
+    bytes.push(SEGMENT_VERSION);
+    bytes.push(SEGMENT_CODEC_COLUMNAR);
+    (block.len() as u32).encode(&mut bytes);
+    crc32(&block).encode(&mut bytes);
+    bytes.extend_from_slice(&block);
+    bytes
+}
+
+fn open_segment(dir: &Path, index: u64, versioned: bool) -> Result<File, WalError> {
     let path = segment_path(dir, index);
-    Ok(OpenOptions::new()
+    let mut file = OpenOptions::new()
         .create_new(true)
         .append(true)
-        .open(path)?)
+        .open(path)?;
+    if versioned {
+        file.write_all(&[
+            SEGMENT_MAGIC[0],
+            SEGMENT_MAGIC[1],
+            SEGMENT_MAGIC[2],
+            SEGMENT_MAGIC[3],
+            SEGMENT_VERSION,
+            SEGMENT_CODEC_ROWS,
+        ])?;
+        file.flush()?;
+    }
+    Ok(file)
 }
 
 struct SegmentScan {
     index: u64,
     records: Vec<(u64, WalRecord)>,
     coverage: HashMap<u32, u64>,
+    /// The file held a columnar block (vs row frames).
+    columnar: bool,
 }
 
 struct Scan {
@@ -610,14 +760,113 @@ fn scan(dir: &Path) -> Result<Scan, WalError> {
     })
 }
 
+/// Read one segment file, dispatching on its header: headerless files
+/// are legacy v0 row frames; `SSEG`-headed files are versioned rows or
+/// a columnar block. `last` tolerates a torn final frame (row formats
+/// only — columnar files are written atomically, so any damage there is
+/// corruption).
 fn read_segment(dir: &Path, index: u64, last: bool) -> Result<(SegmentScan, bool), WalError> {
     let path = segment_path(dir, index);
     let mut bytes = Vec::new();
     File::open(&path)?.read_to_end(&mut bytes)?;
 
-    let mut records = Vec::new();
+    let body = if bytes.starts_with(&SEGMENT_MAGIC) {
+        if bytes.len() < SEGMENT_HEADER_LEN {
+            // A crash between create and header flush can leave a
+            // partial header — only acceptable in the newest segment.
+            if last {
+                return Ok((empty_scan(index), true));
+            }
+            return Err(WalError::Corrupt(format!(
+                "{}: truncated segment header",
+                path.display()
+            )));
+        }
+        if bytes[4] != SEGMENT_VERSION {
+            return Err(WalError::Corrupt(format!(
+                "{}: unsupported segment version {}",
+                path.display(),
+                bytes[4]
+            )));
+        }
+        match bytes[5] {
+            SEGMENT_CODEC_ROWS => &bytes[SEGMENT_HEADER_LEN..],
+            SEGMENT_CODEC_COLUMNAR => {
+                let records = read_columnar_body(&path, &bytes[SEGMENT_HEADER_LEN..])?;
+                return Ok((scan_of(index, records, true), false));
+            }
+            codec => {
+                return Err(WalError::Corrupt(format!(
+                    "{}: unsupported segment codec {codec}",
+                    path.display()
+                )))
+            }
+        }
+    } else {
+        &bytes[..]
+    };
+
+    let (records, torn) = scan_row_frames(&path, body, last)?;
+    Ok((scan_of(index, records, false), torn))
+}
+
+/// Build a [`SegmentScan`] from decoded records, deriving coverage.
+fn scan_of(index: u64, records: Vec<(u64, WalRecord)>, columnar: bool) -> SegmentScan {
     let mut coverage: HashMap<u32, u64> = HashMap::new();
-    let mut rest: &[u8] = &bytes;
+    for (lsn, record) in &records {
+        let top = coverage.entry(record.partition()).or_insert(0);
+        *top = (*top).max(*lsn);
+    }
+    SegmentScan {
+        index,
+        records,
+        coverage,
+        columnar,
+    }
+}
+
+fn empty_scan(index: u64) -> SegmentScan {
+    scan_of(index, Vec::new(), false)
+}
+
+/// Validate and decode a columnar segment body:
+/// `[u32 len] [u32 crc] block` with nothing before or after.
+fn read_columnar_body(path: &Path, body: &[u8]) -> Result<Vec<(u64, WalRecord)>, WalError> {
+    if body.len() < 8 {
+        return Err(WalError::Corrupt(format!(
+            "{}: truncated columnar block header",
+            path.display()
+        )));
+    }
+    let mut header = &body[0..8];
+    let len = u32::decode(&mut header)?;
+    let crc = u32::decode(&mut header)?;
+    let block = &body[8..];
+    if len as usize != block.len() {
+        return Err(WalError::Corrupt(format!(
+            "{}: columnar block length {} disagrees with file ({} bytes)",
+            path.display(),
+            len,
+            block.len()
+        )));
+    }
+    if crc32(block) != crc {
+        return Err(WalError::Corrupt(format!(
+            "{}: columnar block checksum mismatch",
+            path.display()
+        )));
+    }
+    crate::colseg::decode_block(block)
+}
+
+/// Scan row frames, tolerating a torn final frame when `last`.
+fn scan_row_frames(
+    path: &Path,
+    body: &[u8],
+    last: bool,
+) -> Result<(Vec<(u64, WalRecord)>, bool), WalError> {
+    let mut records = Vec::new();
+    let mut rest: &[u8] = body;
     let mut torn = false;
     while !rest.is_empty() {
         let frame_ok = (|| -> Result<Option<(u64, WalRecord)>, WalError> {
@@ -646,8 +895,6 @@ fn read_segment(dir: &Path, index: u64, last: bool) -> Result<(SegmentScan, bool
         })();
         match frame_ok {
             Ok(Some((lsn, record))) => {
-                let top = coverage.entry(record.partition()).or_insert(0);
-                *top = (*top).max(lsn);
                 records.push((lsn, record));
             }
             Ok(None) if last => {
@@ -667,14 +914,7 @@ fn read_segment(dir: &Path, index: u64, last: bool) -> Result<(SegmentScan, bool
         }
     }
 
-    Ok((
-        SegmentScan {
-            index,
-            records,
-            coverage,
-        },
-        torn,
-    ))
+    Ok((records, torn))
 }
 
 fn read_snapshot(path: &Path) -> Result<Snapshot, WalError> {
@@ -689,13 +929,22 @@ fn read_snapshot(path: &Path) -> Result<Snapshot, WalError> {
             path.display()
         )));
     }
-    if version != FORMAT_VERSION {
+    if version != SNAPSHOT_VERSION_V1 && version != SNAPSHOT_VERSION_V2 {
         return Err(WalError::Corrupt(format!(
             "unsupported snapshot version {version}"
         )));
     }
     let partition = u32::decode(&mut rest)?;
     let lsn = u64::decode(&mut rest)?;
+    let format = if version == SNAPSHOT_VERSION_V2 {
+        let (&format, tail) = rest.split_first().ok_or_else(|| {
+            WalError::Corrupt(format!("{} missing payload format byte", path.display()))
+        })?;
+        rest = tail;
+        format
+    } else {
+        SNAPSHOT_FORMAT_VERBATIM
+    };
     let blob = Vec::<u8>::decode(&mut rest)?;
     if !rest.is_empty() {
         return Err(WalError::Corrupt(format!(
@@ -706,6 +955,7 @@ fn read_snapshot(path: &Path) -> Result<Snapshot, WalError> {
     Ok(Snapshot {
         partition,
         lsn,
+        format,
         blob,
     })
 }
@@ -720,6 +970,10 @@ pub struct WalReport {
     pub process_index: u32,
     /// Number of segment files present.
     pub segments: usize,
+    /// Total bytes of all segment files on disk.
+    pub segment_disk_bytes: u64,
+    /// Total bytes of all snapshot files on disk.
+    pub snapshot_disk_bytes: u64,
     /// Total records still on disk.
     pub records: usize,
     /// Records replay would actually apply (not covered by a snapshot).
@@ -739,8 +993,14 @@ pub struct PartitionReport {
     pub partition: u32,
     /// Covered LSN of its snapshot, if one exists.
     pub snapshot_lsn: Option<u64>,
-    /// Size of the snapshot blob in bytes.
+    /// Size of the snapshot blob in bytes (as stored, after any
+    /// columnar compression).
     pub snapshot_bytes: usize,
+    /// Size of the whole snapshot file on disk (header + blob + crc).
+    pub snapshot_disk_bytes: u64,
+    /// Payload format of the snapshot blob ([`SNAPSHOT_FORMAT_VERBATIM`]
+    /// or [`SNAPSHOT_FORMAT_COLUMNAR`]).
+    pub snapshot_format: u8,
     /// Live `partition-create` records.
     pub creates: usize,
     /// Live `point-insert` records.
@@ -755,19 +1015,25 @@ impl WalReport {
     /// Build a report from an already-loaded state.
     pub fn from_state(dir: &Path, state: &WalState) -> Result<WalReport, WalError> {
         let mut segments = 0;
+        let mut segment_disk_bytes = 0;
         for entry in fs::read_dir(segments_dir(dir))? {
-            let name = entry?.file_name();
-            if name.to_string_lossy().ends_with(".wal") {
+            let entry = entry?;
+            if entry.file_name().to_string_lossy().ends_with(".wal") {
                 segments += 1;
+                segment_disk_bytes += entry.metadata()?.len();
             }
         }
 
         let mut per: BTreeMap<u32, PartitionReport> = BTreeMap::new();
+        let mut snapshot_disk_bytes = 0;
         for (partition, snap) in &state.snapshots {
             let entry = per.entry(*partition).or_default();
             entry.partition = *partition;
             entry.snapshot_lsn = Some(snap.lsn);
             entry.snapshot_bytes = snap.blob.len();
+            entry.snapshot_format = snap.format;
+            entry.snapshot_disk_bytes = fs::metadata(snapshot_path(dir, *partition))?.len();
+            snapshot_disk_bytes += entry.snapshot_disk_bytes;
         }
         let mut live_records = 0;
         for (_, record) in state.live_tail() {
@@ -786,6 +1052,8 @@ impl WalReport {
             dir: dir.to_path_buf(),
             process_index: state.process_index,
             segments,
+            segment_disk_bytes,
+            snapshot_disk_bytes,
             records: state.tail.len(),
             live_records,
             next_lsn: state.next_lsn,
@@ -801,9 +1069,10 @@ impl fmt::Display for WalReport {
         writeln!(f, "process-index: {}", self.process_index)?;
         writeln!(
             f,
-            "segments: {} ({} records, {} live)",
-            self.segments, self.records, self.live_records
+            "segments: {} ({} records, {} live, {} bytes on disk)",
+            self.segments, self.records, self.live_records, self.segment_disk_bytes
         )?;
+        writeln!(f, "snapshot-bytes: {}", self.snapshot_disk_bytes)?;
         writeln!(f, "next-lsn: {}", self.next_lsn)?;
         writeln!(f, "torn-tail: {}", self.torn_tail)?;
         for p in &self.partitions {
