@@ -28,6 +28,43 @@ use semtree_dist::{build_local_durable, inspect_wal, DistConfig, WalInspection, 
 /// Data partitions the workload spreads over (1 root + 3 data).
 const PARTITIONS: usize = 4;
 
+/// Everything that can sink a bench run, surfaced as `exit(1)` with a
+/// message instead of a panic (the driver parses stderr, not
+/// backtraces).
+#[derive(Debug)]
+enum BenchError {
+    /// Process/filesystem plumbing failed.
+    Io(std::io::Error),
+    /// Bad command-line arguments.
+    Usage(String),
+    /// The durable tree could not be built or recovered.
+    Build(String),
+    /// The victim-writer handshake or an output file broke protocol.
+    Protocol(String),
+    /// A measured result violated a published performance floor.
+    Bound(String),
+}
+
+impl std::fmt::Display for BenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BenchError::Io(e) => write!(f, "io: {e}"),
+            BenchError::Usage(msg) => write!(f, "usage: {msg}"),
+            BenchError::Build(msg) => write!(f, "build: {msg}"),
+            BenchError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            BenchError::Bound(msg) => write!(f, "bound violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+impl From<std::io::Error> for BenchError {
+    fn from(e: std::io::Error) -> Self {
+        BenchError::Io(e)
+    }
+}
+
 fn config() -> DistConfig {
     DistConfig::new(DIMS)
         .with_bucket_size(BUCKET)
@@ -46,7 +83,7 @@ fn wal_options(columnar: bool) -> WalOptions {
 
 /// The victim writer: build the durable tree, insert the whole corpus,
 /// report readiness, then idle until the parent kills the process.
-fn run_child(dir: &Path, columnar: bool, documents: usize, seed: u64) {
+fn run_child(dir: &Path, columnar: bool, documents: usize, seed: u64) -> Result<(), BenchError> {
     let pts = occurrence_points(documents, seed);
     let sample: Vec<Vec<f64>> = pts.iter().take(1024).cloned().collect();
     let tree = build_local_durable(
@@ -57,7 +94,7 @@ fn run_child(dir: &Path, columnar: bool, documents: usize, seed: u64) {
         dir,
         wal_options(columnar),
     )
-    .expect("build durable tree");
+    .map_err(|e| BenchError::Build(format!("durable tree: {e}")))?;
     for (i, p) in pts.iter().enumerate() {
         tree.insert(p, i as u64);
     }
@@ -150,8 +187,13 @@ fn measure(
 
 /// Spawn the victim writer, wait until the corpus is fully inserted,
 /// SIGKILL it, then time a cold recovery of the directory.
-fn crash_and_recover(dir: &Path, columnar: bool, documents: usize, seed: u64) -> RunResult {
-    let exe = std::env::current_exe().expect("current exe");
+fn crash_and_recover(
+    dir: &Path,
+    columnar: bool,
+    documents: usize,
+    seed: u64,
+) -> Result<RunResult, BenchError> {
+    let exe = std::env::current_exe()?;
     let mut child = Command::new(exe)
         .arg("--child")
         .arg(dir)
@@ -159,34 +201,37 @@ fn crash_and_recover(dir: &Path, columnar: bool, documents: usize, seed: u64) ->
         .arg(documents.to_string())
         .arg(seed.to_string())
         .stdout(Stdio::piped())
-        .spawn()
-        .expect("spawn victim writer");
-    let stdout = child.stdout.take().expect("child stdout");
+        .spawn()?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| BenchError::Protocol("child stdout not captured".to_string()))?;
     let mut lines = std::io::BufReader::new(stdout).lines();
     let ready = lines
         .next()
-        .expect("child reported readiness")
-        .expect("child stdout readable");
-    assert!(
-        ready.starts_with("ready:"),
-        "unexpected child line: {ready}"
-    );
-    child.kill().expect("SIGKILL victim");
+        .ok_or_else(|| BenchError::Protocol("child exited before reporting ready".to_string()))??;
+    if !ready.starts_with("ready:") {
+        return Err(BenchError::Protocol(format!(
+            "unexpected child line: {ready}"
+        )));
+    }
+    child.kill()?;
     let _ = child.wait();
 
     let started = Instant::now();
-    let inspection = inspect_wal(dir).expect("recover killed directory");
+    let inspection = inspect_wal(dir)
+        .map_err(|e| BenchError::Build(format!("recover killed directory: {e}")))?;
     let recovery_ms = started.elapsed().as_secs_f64() * 1000.0;
-    measure(
+    Ok(measure(
         dir,
         &inspection,
         if columnar { "columnar" } else { "verbatim" },
         recovery_ms,
-    )
+    ))
 }
 
 /// Append one record to a JSON array file, creating it if needed.
-fn append_json_record(path: &str, record: &str) {
+fn append_json_record(path: &str, record: &str) -> Result<(), BenchError> {
     let fresh = format!("[\n  {record}\n]\n");
     let content = match std::fs::read_to_string(path) {
         Err(_) => fresh,
@@ -195,7 +240,7 @@ fn append_json_record(path: &str, record: &str) {
             let head = text
                 .trim_end()
                 .strip_suffix(']')
-                .unwrap_or_else(|| panic!("{path} is not a JSON array"))
+                .ok_or_else(|| BenchError::Protocol(format!("{path} is not a JSON array")))?
                 .trim_end()
                 .to_string();
             if head.ends_with('[') {
@@ -205,7 +250,8 @@ fn append_json_record(path: &str, record: &str) {
             }
         }
     };
-    std::fs::write(path, content).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    std::fs::write(path, content)?;
+    Ok(())
 }
 
 fn scratch(tag: &str) -> PathBuf {
@@ -218,14 +264,28 @@ fn scratch(tag: &str) -> PathBuf {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("recovery bench: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), BenchError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--child") {
-        let dir = PathBuf::from(&args[1]);
-        let columnar = args[2] == "columnar";
-        let points: usize = args[3].parse().expect("point count");
-        let seed: u64 = args[4].parse().expect("seed");
-        run_child(&dir, columnar, points, seed);
-        return;
+        let [dir, format, points, seed] = &args[1..] else {
+            return Err(BenchError::Usage(
+                "--child needs DIR FORMAT POINTS SEED".to_string(),
+            ));
+        };
+        let columnar = format == "columnar";
+        let points: usize = points
+            .parse()
+            .map_err(|_| BenchError::Usage(format!("bad point count: {points}")))?;
+        let seed: u64 = seed
+            .parse()
+            .map_err(|_| BenchError::Usage(format!("bad seed: {seed}")))?;
+        return run_child(&PathBuf::from(dir), columnar, points, seed);
     }
 
     let mut documents = 200usize;
@@ -237,13 +297,23 @@ fn main() {
             "--docs" => {
                 documents = iter
                     .next()
-                    .expect("--docs N")
+                    .ok_or_else(|| BenchError::Usage("--docs needs a count".to_string()))?
                     .parse()
-                    .expect("document count");
+                    .map_err(|_| BenchError::Usage("bad document count".to_string()))?;
             }
-            "--seed" => seed = iter.next().expect("--seed S").parse().expect("seed"),
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .ok_or_else(|| BenchError::Usage("--seed needs a value".to_string()))?
+                    .parse()
+                    .map_err(|_| BenchError::Usage("bad seed".to_string()))?;
+            }
             "--json" => json = iter.next().cloned(),
-            other => panic!("unknown option '{other}' (--docs, --seed, --json)"),
+            other => {
+                return Err(BenchError::Usage(format!(
+                    "unknown option '{other}' (--docs, --seed, --json)"
+                )))
+            }
         }
     }
 
@@ -253,14 +323,18 @@ fn main() {
     );
     let columnar_dir = scratch("columnar");
     let legacy_dir = scratch("legacy");
-    let col = crash_and_recover(&columnar_dir, true, documents, seed);
-    let row = crash_and_recover(&legacy_dir, false, documents, seed);
+    let col = crash_and_recover(&columnar_dir, true, documents, seed)?;
+    let row = crash_and_recover(&legacy_dir, false, documents, seed)?;
 
-    assert_eq!(
-        col.points, row.points,
-        "formats recovered different corpora"
-    );
-    assert!(col.points > 0, "recovery lost the corpus");
+    if col.points != row.points {
+        return Err(BenchError::Bound(format!(
+            "formats recovered different corpora ({} vs {} points)",
+            col.points, row.points
+        )));
+    }
+    if col.points == 0 {
+        return Err(BenchError::Bound("recovery lost the corpus".to_string()));
+    }
     let disk_ratio = row.disk_bytes() as f64 / col.disk_bytes() as f64;
     let cold_ratio = row.cold_bytes() as f64 / col.cold_bytes() as f64;
 
@@ -295,23 +369,25 @@ fn main() {
             col.recovery_ms,
             row.recovery_ms
         );
-        append_json_record(&path, &record);
+        append_json_record(&path, &record)?;
         println!("appended to {path}");
     }
 
     std::fs::remove_dir_all(&columnar_dir).ok();
     std::fs::remove_dir_all(&legacy_dir).ok();
 
-    assert!(
-        cold_ratio >= 5.0,
-        "columnar snapshots + sealed WAL must be >= 5x smaller (got {cold_ratio:.2}x)"
-    );
-    assert!(
-        col.recovery_ms <= row.recovery_ms * 1.5,
-        "columnar recovery must not be slower ({:.1} ms vs {:.1} ms)",
-        col.recovery_ms,
-        row.recovery_ms
-    );
+    if cold_ratio < 5.0 {
+        return Err(BenchError::Bound(format!(
+            "columnar snapshots + sealed WAL must be >= 5x smaller (got {cold_ratio:.2}x)"
+        )));
+    }
+    if col.recovery_ms > row.recovery_ms * 1.5 {
+        return Err(BenchError::Bound(format!(
+            "columnar recovery must not be slower ({:.1} ms vs {:.1} ms)",
+            col.recovery_ms, row.recovery_ms
+        )));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

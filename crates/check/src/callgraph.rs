@@ -1,0 +1,325 @@
+//! Cross-crate call graph over the parsed workspace.
+//!
+//! Resolution is name-based and deliberately conservative: a call edge
+//! is created only when the callee is unambiguous. The heuristics, in
+//! order:
+//!
+//! 1. `Type::name(..)` — functions defined in an `impl Type`/`trait
+//!    Type` block with that name; ties broken toward the caller's
+//!    crate.
+//! 2. `name(..)` / `x.name(..)` — a unique function named `name` in
+//!    the caller's crate, else a globally unique one; names that
+//!    collide with ubiquitous std methods never resolve unqualified
+//!    (see `STD_COLLISION_NAMES`).
+//!
+//! Anything still ambiguous (or defined outside the workspace) stays
+//! unresolved and produces no edge — an UNDER-approximation the
+//! lock-flow rule documents: the gate never guesses a callee.
+
+use std::collections::HashMap;
+
+use crate::parse::ParsedFile;
+
+/// Names that collide with ubiquitous std methods (`Vec::push`,
+/// `HashMap::get`, `Option::map`, ...). An unqualified call to one of
+/// these is overwhelmingly a std call on a local value, so it never
+/// resolves to a workspace fn — an under-approximation that trades a
+/// little recall for zero false call edges (a `completions.push(..)`
+/// on a `Vec` must not become an edge into a workspace `fn push`).
+const STD_COLLISION_NAMES: &[&str] = &[
+    "new",
+    "default",
+    "clone",
+    "drop",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "push_back",
+    "pop_front",
+    "front",
+    "back",
+    "contains",
+    "contains_key",
+    "entry",
+    "drain",
+    "clear",
+    "extend",
+    "append",
+    "split",
+    "split_at",
+    "join",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "peek",
+    "map",
+    "and_then",
+    "or_else",
+    "filter",
+    "find",
+    "position",
+    "fold",
+    "collect",
+    "retain",
+    "take",
+    "replace",
+    "swap",
+    "write",
+    "write_all",
+    "read",
+    "read_exact",
+    "flush",
+    "send",
+    "recv",
+    "lock",
+    "unlock",
+    "poll",
+    "wait",
+    "notify",
+    "start",
+    "run",
+    "stop",
+    "close",
+    "open",
+    "reset",
+    "init",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "as_bytes",
+    "to_vec",
+    "to_string",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "min",
+    "max",
+    "abs",
+    "get_or_insert_with",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "cmp",
+    "eq",
+    "fmt",
+];
+
+/// One node: a non-test function definition somewhere in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnRef {
+    /// Index into the `ParsedFile` slice the graph was built from.
+    pub file: usize,
+    /// Index into that file's `fns`.
+    pub fn_idx: usize,
+}
+
+/// A resolved call edge out of a function.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// The resolved callee.
+    pub callee: usize,
+    /// Index into the caller's `calls` list (for line/args lookup).
+    pub call_idx: usize,
+}
+
+/// The workspace call graph: flat function list plus resolved edges.
+pub struct CallGraph {
+    /// Every non-test function, in (file, source) order.
+    pub nodes: Vec<FnRef>,
+    /// Per node, its resolved outgoing edges in source order.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+impl CallGraph {
+    /// Build the graph from the parsed workspace.
+    pub fn build(files: &[ParsedFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        // name -> node indexes; (qualifier, name) -> node indexes.
+        let mut by_name: HashMap<&str, Vec<usize>> = HashMap::new();
+        let mut by_qual: HashMap<(&str, &str), Vec<usize>> = HashMap::new();
+        for (file, parsed) in files.iter().enumerate() {
+            for (fn_idx, def) in parsed.fns.iter().enumerate() {
+                if def.is_test {
+                    continue;
+                }
+                let node = nodes.len();
+                nodes.push(FnRef { file, fn_idx });
+                by_name.entry(&def.name).or_default().push(node);
+                if let Some(q) = &def.qualifier {
+                    by_qual.entry((q, &def.name)).or_default().push(node);
+                }
+            }
+        }
+        let mut edges = Vec::with_capacity(nodes.len());
+        for &FnRef { file, fn_idx } in &nodes {
+            let caller_crate = &files[file].crate_name;
+            let def = &files[file].fns[fn_idx];
+            let mut out = Vec::new();
+            for (call_idx, call) in def.calls.iter().enumerate() {
+                let candidates: &[usize] = if let Some(q) = &call.qualifier {
+                    match by_qual.get(&(q.as_str(), call.name.as_str())) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                } else {
+                    if STD_COLLISION_NAMES.contains(&call.name.as_str()) {
+                        continue;
+                    }
+                    match by_name.get(call.name.as_str()) {
+                        Some(c) => c,
+                        None => continue,
+                    }
+                };
+                let resolved = disambiguate(candidates, files, &nodes, caller_crate);
+                if let Some(callee) = resolved {
+                    out.push(Edge { callee, call_idx });
+                }
+            }
+            edges.push(out);
+        }
+        CallGraph { nodes, edges }
+    }
+
+    /// The parsed definition behind node `n`.
+    pub fn def<'a>(&self, files: &'a [ParsedFile], n: usize) -> &'a crate::parse::FnDef {
+        let FnRef { file, fn_idx } = self.nodes[n];
+        &files[file].fns[fn_idx]
+    }
+
+    /// The file behind node `n`.
+    pub fn file<'a>(&self, files: &'a [ParsedFile], n: usize) -> &'a ParsedFile {
+        &files[self.nodes[n].file]
+    }
+}
+
+/// Pick the unique candidate: unique overall, else unique within the
+/// caller's crate. Ambiguity yields `None` (no edge).
+fn disambiguate(
+    candidates: &[usize],
+    files: &[ParsedFile],
+    nodes: &[FnRef],
+    caller_crate: &str,
+) -> Option<usize> {
+    if let [only] = candidates {
+        return Some(*only);
+    }
+    let mut same_crate = candidates
+        .iter()
+        .filter(|&&n| files[nodes[n].file].crate_name == caller_crate);
+    match (same_crate.next(), same_crate.next()) {
+        (Some(&n), None) => Some(n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(sources: &[(&str, &str, &str)]) -> (Vec<ParsedFile>, CallGraph) {
+        let files: Vec<ParsedFile> = sources
+            .iter()
+            .map(|(rel, krate, src)| ParsedFile::parse(rel, krate, src))
+            .collect();
+        let graph = CallGraph::build(&files);
+        (files, graph)
+    }
+
+    fn edge_names(files: &[ParsedFile], g: &CallGraph, caller: &str) -> Vec<String> {
+        let n = (0..g.nodes.len())
+            .find(|&n| g.def(files, n).name == caller)
+            .unwrap();
+        g.edges[n]
+            .iter()
+            .map(|e| g.def(files, e.callee).name.clone())
+            .collect()
+    }
+
+    #[test]
+    fn unique_names_resolve_across_crates() {
+        let (files, g) = graph(&[
+            ("crates/a/src/lib.rs", "a", "fn caller() { helper(); }"),
+            ("crates/b/src/lib.rs", "b", "fn helper() {}"),
+        ]);
+        assert_eq!(edge_names(&files, &g, "caller"), ["helper"]);
+    }
+
+    #[test]
+    fn ambiguous_names_prefer_the_callers_crate_or_drop() {
+        let (files, g) = graph(&[
+            (
+                "crates/a/src/lib.rs",
+                "a",
+                "fn caller() { helper(); } fn helper() {}",
+            ),
+            ("crates/b/src/lib.rs", "b", "fn helper() {}"),
+            ("crates/c/src/lib.rs", "c", "fn outsider() { helper(); }"),
+        ]);
+        // a::caller resolves to a::helper (same crate); c::outsider sees
+        // two foreign helpers and resolves nothing.
+        let n = (0..g.nodes.len())
+            .find(|&n| g.def(&files, n).name == "caller")
+            .unwrap();
+        assert_eq!(g.edges[n].len(), 1);
+        assert_eq!(g.file(&files, g.edges[n][0].callee).crate_name, "a");
+        assert!(edge_names(&files, &g, "outsider").is_empty());
+    }
+
+    #[test]
+    fn qualified_calls_use_the_impl_type() {
+        let (files, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            r#"
+            struct X; struct Y;
+            impl X { fn go(&self) {} }
+            impl Y { fn go(&self) {} }
+            fn caller() { X::go(&x); }
+            "#,
+        )]);
+        let n = (0..g.nodes.len())
+            .find(|&n| g.def(&files, n).name == "caller")
+            .unwrap();
+        assert_eq!(g.edges[n].len(), 1);
+        let callee = g.def(&files, g.edges[n][0].callee);
+        assert_eq!(callee.qualifier.as_deref(), Some("X"));
+    }
+
+    #[test]
+    fn std_collision_names_never_resolve_unqualified() {
+        let (files, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            r#"
+            struct Q;
+            impl Q { fn push(&self, v: u32) {} }
+            fn caller(q: &Q, v: Vec<u32>) { v.push(1); Q::push(q, 2); }
+            "#,
+        )]);
+        // `v.push(1)` must NOT edge into Q::push; the qualified call
+        // still resolves.
+        assert_eq!(edge_names(&files, &g, "caller"), ["push"]);
+    }
+
+    #[test]
+    fn test_fns_are_not_nodes() {
+        let (_, g) = graph(&[(
+            "crates/a/src/lib.rs",
+            "a",
+            r#"
+            #[cfg(test)]
+            mod tests { fn t() {} }
+            fn prod() {}
+            "#,
+        )]);
+        assert_eq!(g.nodes.len(), 1);
+    }
+}

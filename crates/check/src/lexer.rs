@@ -187,6 +187,19 @@ pub fn lex(source: &str) -> Vec<Tok> {
                             line,
                         });
                         i = j;
+                    } else if bytes.get(j).is_some_and(|&b| b != b'\'')
+                        && bytes.get(j + 1) == Some(&b'\'')
+                    {
+                        // Punctuation char literal ('"', '(', ' ') —
+                        // must be consumed whole or an inner `"` would
+                        // flip the string state for the rest of the
+                        // file.
+                        toks.push(Tok {
+                            kind: Kind::Other,
+                            text: String::from("'c'"),
+                            line,
+                        });
+                        i = j + 2;
                     } else {
                         // Stray quote; emit as punct and move on.
                         toks.push(Tok {
@@ -359,6 +372,21 @@ mod tests {
         assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
         assert!(!toks.iter().any(|t| t.is_ident("panic")));
         assert!(!toks.iter().any(|t| t.is_ident("expect")));
+    }
+
+    #[test]
+    fn punctuation_char_literals_do_not_flip_string_state() {
+        // '"' used to fall into the stray-quote branch, leaving its
+        // inner `"` to open a phantom string and invert the string
+        // state for everything after it.
+        let toks = lex(r#"
+            let q = '"';
+            let p = '(';
+            let s = "unwrap() stays a string";
+            real_ident();
+        "#);
+        assert!(!toks.iter().any(|t| t.is_ident("unwrap")));
+        assert!(toks.iter().any(|t| t.is_ident("real_ident")));
     }
 
     #[test]

@@ -1,31 +1,48 @@
 //! `semtree-check`: the workspace invariant lint gate.
 //!
 //! A zero-dependency static checker run in CI as
-//! `cargo run -p semtree-check`. It lexes every production source file
-//! in `crates/*/src` and enforces:
+//! `cargo run -p semtree-check`. It lexes and (lightly) parses every
+//! production source file in `crates/*/src` and enforces:
 //!
 //! 1. **no-panics** — no `.unwrap()`, `.expect()`, or `panic!` outside
 //!    test code. Known-justified sites live in `check.allow` with a
 //!    mandatory justification and an exact count that can only shrink.
-//! 2. **lock-order** — lock acquisitions follow the declared hierarchy
-//!    (`cluster → dist → net → wal → par → reactor`; see
-//!    [`rules::LOCK_RANKS`]): while
-//!    a guard of rank *r* is live, only ranks > *r* may be taken.
-//! 3. **codec-coverage** — every `NetMsg` wire variant appears in the
+//! 2. **lock-order** — within a function, lock acquisitions follow the
+//!    declared hierarchy (`cluster → dist → net → wal → par →
+//!    distance → reactor`; see [`rules::LOCK_RANKS`]): while a guard
+//!    of rank *r* is live, only ranks > *r* may be taken.
+//! 3. **lock-flow / lock-blocking** — the interprocedural extension:
+//!    a cross-crate call graph ([`callgraph`]) propagates the set of
+//!    held locks through resolved call edges ([`lockflow`]) to find
+//!    rank inversions that span functions and locks held across
+//!    blocking operations (`recv`, `join`, frame IO, non-shim waits),
+//!    each reported with its full file:line call chain.
+//! 4. **undeclared-lock** — every `Mutex`/`RwLock` declaration outside
+//!    the conc shim has a rank in [`rules::LOCK_RANKS`].
+//! 5. **unsafe-audit** — every `unsafe` block/impl/fn carries a
+//!    `// SAFETY:` comment arguing its soundness.
+//! 6. **truncation-cast** — no `<len>() as u32`/`u16` casts in the
+//!    codec crates (net, wal, colz); lengths go through `try_from`.
+//! 7. **codec-coverage** — every `NetMsg` wire variant appears in the
 //!    codec round-trip suite (`crates/net/tests/codec_roundtrip.rs`).
-//! 4. **no-boxed-errors** — no `Box<dyn Error>` in `pub` APIs; public
+//! 8. **no-boxed-errors** — no `Box<dyn Error>` in `pub` APIs; public
 //!    surfaces expose typed error enums.
 //!
-//! The rules are deliberately lexical: no macro expansion, no type
-//! information. That keeps the checker dependency-free, fast, and
-//! byte-for-byte deterministic — and the invariants it enforces are
-//! chosen to be decidable at that level. The deeper properties (actual
+//! The analysis is deliberately lexical/syntactic: no macro expansion,
+//! no type information. That keeps the checker dependency-free, fast,
+//! and byte-for-byte deterministic — and the invariants it enforces
+//! are chosen to be decidable at that level (the approximations are
+//! documented in DESIGN.md §13). The deeper properties (actual
 //! deadlock freedom, flush-before-apply under every interleaving) are
 //! verified dynamically by the `semtree-conc` model suite; this gate
 //! keeps the static shape of the code inside what that model covers.
 
 pub mod allow;
+pub mod callgraph;
 pub mod lexer;
+pub mod lockflow;
+pub mod parse;
+pub mod report;
 pub mod rules;
 
 use std::fs;
@@ -74,29 +91,72 @@ impl std::fmt::Display for CheckError {
 impl std::error::Error for CheckError {}
 
 /// A production source file queued for checking.
-struct SourceFile {
+pub struct SourceFile {
     /// Workspace-relative path (diagnostics use this).
-    rel: String,
+    pub rel: String,
     /// Crate directory name under `crates/` (for the lock-rank table).
-    crate_name: String,
-    source: String,
+    pub crate_name: String,
+    /// Full file contents.
+    pub source: String,
+}
+
+/// Run every single- and cross-file rule over in-memory sources and
+/// return the raw findings (no allowlist, no codec-coverage — those
+/// need the workspace on disk; see [`check_workspace`]). This is the
+/// seam the golden tests inject synthetic violations through.
+pub fn analyze(files: &[SourceFile]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut parsed = Vec::with_capacity(files.len());
+    for file in files {
+        let toks = lexer::lex(&file.source);
+        findings.extend(rules::no_panics(&file.rel, &toks));
+        findings.extend(rules::lock_order(&file.crate_name, &file.rel, &toks));
+        findings.extend(rules::no_boxed_errors(&file.rel, &toks));
+        findings.extend(rules::truncation_casts(&file.crate_name, &file.rel, &toks));
+        let p = parse::ParsedFile::parse(&file.rel, &file.crate_name, &file.source);
+        findings.extend(rules::undeclared_locks(
+            &file.crate_name,
+            &file.rel,
+            &p.lock_decls,
+        ));
+        findings.extend(rules::unsafe_audit(
+            &file.rel,
+            &file.source,
+            &p.unsafe_sites,
+        ));
+        parsed.push(p);
+    }
+    let graph = callgraph::CallGraph::build(&parsed);
+    findings.extend(lockflow::analyze(&parsed, &graph));
+    findings
+}
+
+/// Every `(crate, lock)` the parser discovers in non-exempt crates —
+/// the ground truth the self-sync test holds [`rules::LOCK_RANKS`] to.
+pub fn lock_census(files: &[SourceFile]) -> Vec<(String, String)> {
+    let mut census = Vec::new();
+    for file in files {
+        if rules::LOCK_DISCOVERY_EXEMPT_CRATES.contains(&file.crate_name.as_str()) {
+            continue;
+        }
+        let p = parse::ParsedFile::parse(&file.rel, &file.crate_name, &file.source);
+        for decl in &p.lock_decls {
+            census.push((file.crate_name.clone(), decl.name.clone()));
+        }
+    }
+    census.sort();
+    census.dedup();
+    census
 }
 
 /// Check the workspace rooted at `root` (the directory containing
 /// `crates/` and `check.allow`).
 pub fn check_workspace(root: &Path) -> Result<Outcome, CheckError> {
     let files = collect_sources(root)?;
-    let mut findings = Vec::new();
+    let mut findings = analyze(&files);
 
-    for file in &files {
-        let toks = lexer::lex(&file.source);
-        findings.extend(rules::no_panics(&file.rel, &toks));
-        findings.extend(rules::lock_order(&file.crate_name, &file.rel, &toks));
-        findings.extend(rules::no_boxed_errors(&file.rel, &toks));
-    }
-
-    // Rule 3 is a two-file property: msg.rs variants vs the round-trip
-    // suite.
+    // codec-coverage is a two-file property: msg.rs variants vs the
+    // round-trip suite (an integration test, so outside `src/`).
     let msg_rel = "crates/net/src/msg.rs";
     let test_rel = "crates/net/tests/codec_roundtrip.rs";
     let msg_src = files
@@ -134,7 +194,7 @@ pub fn check_workspace(root: &Path) -> Result<Outcome, CheckError> {
 /// Every `.rs` file under `crates/*/src`, recursively. Integration
 /// `tests/` directories are excluded by construction (they are siblings
 /// of `src`), and in-file `#[cfg(test)]` code is masked by the lexer.
-fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, CheckError> {
+pub fn collect_sources(root: &Path) -> Result<Vec<SourceFile>, CheckError> {
     let crates_dir = root.join("crates");
     let mut out = Vec::new();
     let entries = fs::read_dir(&crates_dir).map_err(|e| CheckError::Io(crates_dir.clone(), e))?;

@@ -1,0 +1,412 @@
+//! Interprocedural held-locks dataflow over the call graph.
+//!
+//! For every function the analysis computes the set of ranked locks
+//! that can be held **on entry** (propagated through resolved call
+//! edges from `let`-bound acquisitions in callers) and checks, at each
+//! local acquisition and each blocking operation, that:
+//!
+//! * no lock of rank <= a held rank is acquired (`lock-flow` — the
+//!   cross-function generalization of the per-function `lock-order`
+//!   rule), and
+//! * no ranked lock is held across a blocking operation (`recv`,
+//!   `join()`, frame/socket IO, `Condvar` waits outside the shim)
+//!   (`lock-blocking`).
+//!
+//! Every finding carries a file:line witness chain from the
+//! acquisition through each call edge to the violation.
+//!
+//! The dataflow is a may-analysis over an over-approximated graph
+//! (unresolved calls produce no edges, `let`-bound guards are assumed
+//! live to block end, match-scrutinee temporaries are NOT tracked);
+//! the known over/under-approximations are listed in DESIGN.md §13.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::callgraph::CallGraph;
+use crate::lexer::Kind;
+use crate::parse::ParsedFile;
+use crate::rules::{acquisition_at, Finding, IO_LOCK_EXEMPT};
+
+/// Operations that can block the calling thread. `join` only counts
+/// with an empty argument list (so `Path::join`/`str::join` never
+/// match); `wait`/`wait_timeout` are exempted for locks whose field is
+/// named in the call's arguments (the shim's condvar waits atomically
+/// release their companion mutex).
+const BLOCKING_OPS: &[&str] = &[
+    "recv",
+    "recv_timeout",
+    "read_frame",
+    "write_frame",
+    "dial_with_timeout",
+    "accept",
+    "poll_fds",
+    "sleep",
+    "wait",
+    "wait_timeout",
+    "join",
+];
+
+/// A lock held at some program point, with its provenance chain.
+#[derive(Debug, Clone)]
+struct Flow {
+    crate_name: String,
+    field: String,
+    rank: u32,
+    /// Rendered witness steps: acquisition site, then one step per
+    /// call edge crossed.
+    chain: Vec<String>,
+}
+
+/// A `let`-bound guard live during the local walk.
+struct Guard {
+    field: String,
+    rank: u32,
+    line: u32,
+    depth: u32,
+}
+
+/// Snapshot of locally held guards at an event.
+#[derive(Debug, Clone)]
+struct HeldAt {
+    field: String,
+    rank: u32,
+    line: u32,
+}
+
+/// One resolved call with the locally held locks at the call site.
+struct CallEvent {
+    callee: usize,
+    callee_name: String,
+    line: u32,
+    held: Vec<HeldAt>,
+}
+
+/// One blocking operation with the locally held locks at the site.
+struct BlockingEvent {
+    name: String,
+    line: u32,
+    /// Token range of the argument list (for the wait exemption).
+    args: (usize, usize),
+    held: Vec<HeldAt>,
+}
+
+/// Per-function local summary.
+struct Summary {
+    acquires: Vec<HeldAt>,
+    calls: Vec<CallEvent>,
+    blocking: Vec<BlockingEvent>,
+}
+
+/// Run the interprocedural analysis and return `lock-flow` and
+/// `lock-blocking` findings.
+pub fn analyze(files: &[ParsedFile], graph: &CallGraph) -> Vec<Finding> {
+    // Pass 1: which functions return a live guard (`-> ..Guard..` with
+    // an acquisition as the trailing expression)?
+    let returns_guard: Vec<Option<(String, u32)>> = (0..graph.nodes.len())
+        .map(|n| guard_returned(files, graph, n))
+        .collect();
+
+    // Pass 2: local walks.
+    let summaries: Vec<Summary> = (0..graph.nodes.len())
+        .map(|n| local_walk(files, graph, n, &returns_guard))
+        .collect();
+
+    // Pass 3: fixed-point propagation of entry-held sets.
+    let mut entry: Vec<BTreeMap<(String, String), Flow>> = vec![BTreeMap::new(); graph.nodes.len()];
+    let mut queue: VecDeque<usize> = (0..graph.nodes.len()).collect();
+    while let Some(n) = queue.pop_front() {
+        let rel = graph.file(files, n).rel.clone();
+        let entry_n: Vec<Flow> = entry[n].values().cloned().collect();
+        for call in &summaries[n].calls {
+            let step = format!("{}:{} calls `{}`", rel, call.line, call.callee_name);
+            let mut effective: Vec<Flow> = entry_n.clone();
+            effective.extend(call.held.iter().map(|h| local_flow(files, graph, n, h)));
+            for mut flow in effective {
+                let key = (flow.crate_name.clone(), flow.field.clone());
+                if entry[call.callee].contains_key(&key) {
+                    continue;
+                }
+                flow.chain.push(step.clone());
+                entry[call.callee].insert(key, flow);
+                queue.push_back(call.callee);
+            }
+        }
+    }
+
+    // Pass 4: report.
+    let mut findings = Vec::new();
+    for n in 0..graph.nodes.len() {
+        let parsed = graph.file(files, n);
+        let rel = &parsed.rel;
+        // (a) local acquisitions against propagated entry locks. Local
+        // nesting violations are the per-function `lock-order` rule's
+        // job; this only reports cross-function witnesses.
+        for acq in &summaries[n].acquires {
+            for flow in entry[n].values() {
+                let violation = if flow.field == acq.field && flow.crate_name == parsed.crate_name {
+                    Some("re-acquired across the call chain — self-deadlock")
+                } else if acq.rank <= flow.rank {
+                    Some("the hierarchy requires strictly ascending ranks")
+                } else {
+                    None
+                };
+                if let Some(why) = violation {
+                    findings.push(Finding {
+                        path: rel.clone(),
+                        line: acq.line,
+                        rule: "lock-flow",
+                        message: format!(
+                            "acquired `{}` (rank {}) while `{}` (rank {}) is held across \
+                             the call chain: {} → {}:{} acquires `{}` — {}",
+                            acq.field,
+                            acq.rank,
+                            flow.field,
+                            flow.rank,
+                            render_chain(&flow.chain),
+                            rel,
+                            acq.line,
+                            acq.field,
+                            why
+                        ),
+                    });
+                }
+            }
+        }
+        // (b) blocking operations with anything held.
+        for block in &summaries[n].blocking {
+            let mut flows: Vec<Flow> = block
+                .held
+                .iter()
+                .map(|h| local_flow(files, graph, n, h))
+                .collect();
+            flows.extend(entry[n].values().cloned());
+            for flow in flows {
+                if exempt(parsed, &flow, block) {
+                    continue;
+                }
+                findings.push(Finding {
+                    path: rel.clone(),
+                    line: block.line,
+                    rule: "lock-blocking",
+                    message: format!(
+                        "`{}()` may block while `{}` (rank {}) is held: {} → {}:{} \
+                         calls `{}` — release the lock before blocking, or route the \
+                         wait through the shim",
+                        block.name,
+                        flow.field,
+                        flow.rank,
+                        render_chain(&flow.chain),
+                        rel,
+                        block.line,
+                        block.name
+                    ),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, &a.message).cmp(&(&b.path, b.line, &b.message)));
+    findings.dedup();
+    findings
+}
+
+/// A locally held guard as a one-step flow rooted at its acquisition.
+fn local_flow(files: &[ParsedFile], graph: &CallGraph, n: usize, h: &HeldAt) -> Flow {
+    let parsed = graph.file(files, n);
+    Flow {
+        crate_name: parsed.crate_name.clone(),
+        field: h.field.clone(),
+        rank: h.rank,
+        chain: vec![format!(
+            "{}:{} acquires `{}` (rank {})",
+            parsed.rel, h.line, h.field, h.rank
+        )],
+    }
+}
+
+/// Render a witness chain, eliding the middle of very deep chains.
+fn render_chain(chain: &[String]) -> String {
+    if chain.len() <= 6 {
+        return chain.join(" → ");
+    }
+    let head = chain[..3].join(" → ");
+    let tail = chain[chain.len() - 2..].join(" → ");
+    format!("{head} → … → {tail}")
+}
+
+/// Is `flow` exempt from the blocking rule at this site? Two cases:
+/// the IO-serialization leaf locks in [`IO_LOCK_EXEMPT`], and
+/// wait-family calls that name the lock's field in their arguments
+/// (shim condvar waits release that mutex atomically).
+fn exempt(parsed: &ParsedFile, flow: &Flow, block: &BlockingEvent) -> bool {
+    if IO_LOCK_EXEMPT
+        .iter()
+        .any(|&(c, f)| c == flow.crate_name && f == flow.field)
+    {
+        return true;
+    }
+    if matches!(block.name.as_str(), "wait" | "wait_timeout") {
+        let (open, close) = block.args;
+        return parsed.toks[open..=close]
+            .iter()
+            .any(|t| t.kind == Kind::Ident && t.text == flow.field);
+    }
+    false
+}
+
+/// Does node `n` return a guard it acquired? Heuristic: the return
+/// type names a `*Guard*` type AND the body's trailing expression (no
+/// `;` after it) is a ranked acquisition. Covers `fn lock_x(..) ->
+/// MutexGuard<..> { x.lock().unwrap_or_else(..) }` helpers.
+fn guard_returned(files: &[ParsedFile], graph: &CallGraph, n: usize) -> Option<(String, u32)> {
+    let parsed = graph.file(files, n);
+    let def = graph.def(files, n);
+    let ret_names_guard = parsed.toks[def.ret.0..def.ret.1]
+        .iter()
+        .any(|t| t.kind == Kind::Ident && t.text.contains("Guard"));
+    if !ret_names_guard {
+        return None;
+    }
+    let mut i = def.body_open + 1;
+    while i < def.body_close {
+        if let Some(acq) = acquisition_at(&parsed.crate_name, &parsed.toks, i) {
+            let trailing = parsed.toks[acq.end..def.body_close]
+                .iter()
+                .all(|t| !t.is_punct(';'));
+            if trailing {
+                return Some((acq.field, acq.rank));
+            }
+            i = acq.end;
+            continue;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Walk one function body tracking `let`-bound guard liveness (same
+/// lexical model as the `lock-order` rule: a `let`-bound acquisition
+/// lives to the end of its block, anything else drops at statement
+/// end), snapshotting the held set at every resolved call and every
+/// blocking operation.
+fn local_walk(
+    files: &[ParsedFile],
+    graph: &CallGraph,
+    n: usize,
+    returns_guard: &[Option<(String, u32)>],
+) -> Summary {
+    let parsed = graph.file(files, n);
+    let def = graph.def(files, n);
+    let toks = &parsed.toks;
+    // Call sites by token index, with their resolved callee (if any).
+    let mut call_at: BTreeMap<usize, (usize, Option<usize>)> = BTreeMap::new();
+    for (call_idx, call) in def.calls.iter().enumerate() {
+        let callee = graph.edges[n]
+            .iter()
+            .find(|e| e.call_idx == call_idx)
+            .map(|e| e.callee);
+        call_at.insert(call.tok, (call_idx, callee));
+    }
+
+    let mut summary = Summary {
+        acquires: Vec::new(),
+        calls: Vec::new(),
+        blocking: Vec::new(),
+    };
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth: u32 = 0;
+    let mut stmt_start = def.body_open + 1;
+    let mut i = def.body_open + 1;
+    while i < def.body_close {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            stmt_start = i + 1;
+        } else if t.is_punct('}') {
+            held.retain(|g| g.depth < depth);
+            depth = depth.saturating_sub(1);
+            stmt_start = i + 1;
+        } else if t.is_punct(';') {
+            stmt_start = i + 1;
+        } else if !parsed.mask[i] {
+            // Ranked acquisition?
+            if let Some(acq) = acquisition_at(&parsed.crate_name, toks, i) {
+                summary.acquires.push(HeldAt {
+                    field: acq.field.clone(),
+                    rank: acq.rank,
+                    line: acq.line,
+                });
+                let is_binding = toks[stmt_start..i].iter().any(|t| t.is_ident("let"))
+                    && toks.get(acq.end).is_some_and(|t| t.is_punct(';'));
+                if is_binding {
+                    held.push(Guard {
+                        field: acq.field,
+                        rank: acq.rank,
+                        line: acq.line,
+                        depth,
+                    });
+                }
+                i = acq.end;
+                continue;
+            }
+            if let Some(&(call_idx, callee)) = call_at.get(&i) {
+                let call = &def.calls[call_idx];
+                let snapshot: Vec<HeldAt> = held
+                    .iter()
+                    .map(|g| HeldAt {
+                        field: g.field.clone(),
+                        rank: g.rank,
+                        line: g.line,
+                    })
+                    .collect();
+                // Blocking operation?
+                if is_blocking(call) {
+                    summary.blocking.push(BlockingEvent {
+                        name: call.name.clone(),
+                        line: call.line,
+                        args: (call.args_open, call.args_close),
+                        held: snapshot.clone(),
+                    });
+                }
+                if let Some(callee) = callee {
+                    summary.calls.push(CallEvent {
+                        callee,
+                        callee_name: call.name.clone(),
+                        line: call.line,
+                        held: snapshot,
+                    });
+                    // A `let`-bound call to a guard-returning helper
+                    // acquires that lock for the rest of the block.
+                    if let Some((field, rank)) = &returns_guard[callee] {
+                        let is_binding = toks[stmt_start..i].iter().any(|t| t.is_ident("let"))
+                            && toks
+                                .get(call.args_close + 1)
+                                .is_some_and(|t| t.is_punct(';'));
+                        if is_binding {
+                            held.push(Guard {
+                                field: field.clone(),
+                                rank: *rank,
+                                line: call.line,
+                                depth,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    summary
+}
+
+/// Is this call site a blocking operation? `join` blocks only as a
+/// no-argument call (`JoinHandle::join`); `Path::join(..)` and
+/// `str::join(..)` take arguments and never match.
+fn is_blocking(call: &crate::parse::CallSite) -> bool {
+    if !BLOCKING_OPS.contains(&call.name.as_str()) {
+        return false;
+    }
+    if call.name == "join" {
+        return call.args_close == call.args_open + 1;
+    }
+    true
+}

@@ -1,0 +1,675 @@
+//! A lightweight item/function/call parser layered on the lexer.
+//!
+//! This is NOT a Rust parser — it recognizes exactly the shapes the
+//! workspace rules need: function definitions with their enclosing
+//! `impl`/`trait` type, call sites inside function bodies, `unsafe`
+//! blocks/impls/fns, and `Mutex`/`RwLock` declarations (struct fields
+//! and `let`-bound locals). Everything else is skipped by brace
+//! matching. The simplifications (no macro expansion, no type
+//! resolution, closures attributed to their enclosing function) are
+//! deliberate and documented in DESIGN.md §"Static analysis".
+
+use crate::lexer::{lex, matching_brace, test_mask, Kind, Tok};
+
+/// One source file parsed into the item shapes the rules consume.
+pub struct ParsedFile {
+    /// Workspace-relative path (diagnostics use this).
+    pub rel: String,
+    /// Crate directory name under `crates/`.
+    pub crate_name: String,
+    /// The raw source (the unsafe-audit rule reads comment lines the
+    /// lexer drops).
+    pub source: String,
+    /// Lexed tokens.
+    pub toks: Vec<Tok>,
+    /// Parallel mask: token lives in test-only code.
+    pub mask: Vec<bool>,
+    /// Function definitions, in source order.
+    pub fns: Vec<FnDef>,
+    /// `unsafe` blocks / impls / fns, in source order.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// `Mutex`/`RwLock` declarations (struct fields + `let` locals),
+    /// deduplicated by name.
+    pub lock_decls: Vec<LockDecl>,
+}
+
+/// One function definition with a body.
+pub struct FnDef {
+    /// The function name.
+    pub name: String,
+    /// Self type of the enclosing `impl`/`trait` block, if any.
+    pub qualifier: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: u32,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token index of the body's opening `{`.
+    pub body_open: usize,
+    /// Token index of the body's matching `}`.
+    pub body_close: usize,
+    /// Return type tokens (between `->` and the body/`where`), empty
+    /// when the function returns `()`.
+    pub ret: (usize, usize),
+    /// Whether the definition lives in test-only code.
+    pub is_test: bool,
+    /// Call sites inside the body (innermost-fn attribution), in
+    /// source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// One call site inside a function body.
+pub struct CallSite {
+    /// Callee name (`foo` in `foo(..)`, `x.foo(..)`, `T::foo(..)`).
+    pub name: String,
+    /// Path segment directly before `::` (`T` in `T::foo(..)`).
+    pub qualifier: Option<String>,
+    /// Whether this is a `.`-method call.
+    pub is_method: bool,
+    /// 1-indexed line of the callee name.
+    pub line: u32,
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// Token index of the argument list's `(`.
+    pub args_open: usize,
+    /// Token index of the argument list's matching `)`.
+    pub args_close: usize,
+}
+
+/// One `unsafe` occurrence.
+pub struct UnsafeSite {
+    /// 1-indexed line of the `unsafe` keyword.
+    pub line: u32,
+    /// What follows the keyword: `"block"`, `"impl"`, `"fn"`, or
+    /// `"trait"`.
+    pub kind: &'static str,
+}
+
+/// One discovered lock declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockDecl {
+    /// Field or local binding name.
+    pub name: String,
+    /// 1-indexed line of the declaration.
+    pub line: u32,
+    /// `true` for a struct field, `false` for a `let` local.
+    pub is_field: bool,
+}
+
+/// Keywords that can precede `(` without being a call.
+fn is_keyword(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "let"
+            | "else"
+            | "in"
+            | "move"
+            | "as"
+            | "ref"
+            | "mut"
+            | "unsafe"
+            | "break"
+            | "continue"
+            | "fn"
+            | "where"
+            | "impl"
+            | "dyn"
+    )
+}
+
+impl ParsedFile {
+    /// Lex and parse one source file.
+    pub fn parse(rel: &str, crate_name: &str, source: &str) -> ParsedFile {
+        let toks = lex(source);
+        let mask = test_mask(&toks);
+        let impls = impl_blocks(&toks);
+        let mut fns = fn_defs(&toks, &mask, &impls);
+        attribute_calls(&toks, &mut fns);
+        let unsafe_sites = unsafe_sites(&toks, &mask);
+        let lock_decls = lock_decls(&toks, &mask);
+        ParsedFile {
+            rel: rel.to_string(),
+            crate_name: crate_name.to_string(),
+            source: source.to_string(),
+            toks,
+            mask,
+            fns,
+            unsafe_sites,
+            lock_decls,
+        }
+    }
+}
+
+/// An `impl`/`trait` block: its self-type name and body token range.
+struct ImplBlock {
+    qualifier: String,
+    body_open: usize,
+    body_close: usize,
+}
+
+/// Skip a `<...>` generic group starting at `open` (which must be `<`).
+/// Returns the index just past the matching `>`. Arrow `->` inside
+/// bounds is not counted as a closer.
+fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(i > 0 && toks[i - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Collect `impl`/`trait` blocks with their self-type name.
+fn impl_blocks(toks: &[Tok]) -> Vec<ImplBlock> {
+    let mut blocks = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let is_impl = toks[i].is_ident("impl");
+        let is_trait =
+            toks[i].is_ident("trait") && toks.get(i + 1).is_some_and(|t| t.kind == Kind::Ident);
+        if !is_impl && !is_trait {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < toks.len() && toks[j].is_punct('<') {
+            j = skip_angles(toks, j);
+        }
+        // Walk the header, remembering the last path-segment identifier
+        // seen; `for` (in `impl Trait for Type`) restarts the
+        // collection so the self type wins.
+        let mut qualifier: Option<String> = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') || t.is_punct(';') || t.is_ident("where") {
+                break;
+            }
+            if t.is_ident("for") {
+                qualifier = None;
+                j += 1;
+                continue;
+            }
+            if t.kind == Kind::Ident {
+                qualifier = Some(t.text.clone());
+                j += 1;
+                if j < toks.len() && toks[j].is_punct('<') {
+                    j = skip_angles(toks, j);
+                }
+                continue;
+            }
+            j += 1;
+        }
+        if j < toks.len() && toks[j].is_punct('{') {
+            if let (Some(qualifier), Some(close)) = (qualifier, matching_brace(toks, j)) {
+                blocks.push(ImplBlock {
+                    qualifier,
+                    body_open: j,
+                    body_close: close,
+                });
+            }
+        }
+        i = j + 1;
+    }
+    blocks
+}
+
+/// Collect every `fn` definition that has a body.
+fn fn_defs(toks: &[Tok], mask: &[bool], impls: &[ImplBlock]) -> Vec<FnDef> {
+    let mut fns = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        // `fn(..)` pointer types have no name; definitions do.
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident {
+            continue;
+        }
+        // Find the body `{` (a `;` first means a bodiless trait decl).
+        let mut j = i + 2;
+        let mut body_open = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                body_open = Some(j);
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        let Some(body_open) = body_open else { continue };
+        let Some(body_close) = matching_brace(toks, body_open) else {
+            continue;
+        };
+        // Return type: the `->` at paren depth 0 between the name and
+        // the body (arrows inside argument types sit at depth >= 1).
+        let mut ret = (body_open, body_open);
+        let mut depth = 0i32;
+        let mut k = i + 2;
+        while k < body_open {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0
+                && t.is_punct('-')
+                && toks.get(k + 1).is_some_and(|n| n.is_punct('>'))
+            {
+                let start = k + 2;
+                let mut end = start;
+                while end < body_open && !toks[end].is_ident("where") {
+                    end += 1;
+                }
+                ret = (start, end);
+                break;
+            }
+            k += 1;
+        }
+        let qualifier = impls
+            .iter()
+            .filter(|b| b.body_open < i && i < b.body_close)
+            .max_by_key(|b| b.body_open)
+            .map(|b| b.qualifier.clone());
+        fns.push(FnDef {
+            name: name_tok.text.clone(),
+            qualifier,
+            line: toks[i].line,
+            sig_start: i,
+            body_open,
+            body_close,
+            ret,
+            is_test: mask[i],
+            calls: Vec::new(),
+        });
+    }
+    fns
+}
+
+/// Find every call site and attribute it to the innermost enclosing
+/// function body.
+fn attribute_calls(toks: &[Tok], fns: &mut [FnDef]) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident || is_keyword(&t.text) {
+            continue;
+        }
+        // Not a definition name (`fn foo(`), not a macro (`foo!(`).
+        if i > 0 && toks[i - 1].is_ident("fn") {
+            continue;
+        }
+        // `foo(..)` directly, or `foo::<T>(..)` through a turbofish.
+        let args_open = if toks.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            i + 1
+        } else if toks.get(i + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct('<'))
+        {
+            let past = skip_angles(toks, i + 3);
+            if !toks.get(past).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            past
+        } else {
+            continue;
+        };
+        let Some(args_close) = matching_paren(toks, args_open) else {
+            continue;
+        };
+        let is_method = i > 0 && toks[i - 1].is_punct('.');
+        let qualifier = if i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].kind == Kind::Ident
+        {
+            Some(toks[i - 3].text.clone())
+        } else {
+            None
+        };
+        // Innermost function body containing this token.
+        let owner = fns
+            .iter_mut()
+            .filter(|f| f.body_open < i && i < f.body_close)
+            .max_by_key(|f| f.body_open);
+        if let Some(owner) = owner {
+            owner.calls.push(CallSite {
+                name: t.text.clone(),
+                qualifier,
+                is_method,
+                line: t.line,
+                tok: i,
+                args_open,
+                args_close,
+            });
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+pub(crate) fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0;
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Collect non-test `unsafe` sites.
+fn unsafe_sites(toks: &[Tok], mask: &[bool]) -> Vec<UnsafeSite> {
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || !toks[i].is_ident("unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(n) if n.is_punct('{') => "block",
+            Some(n) if n.is_ident("impl") => "impl",
+            Some(n) if n.is_ident("fn") => "fn",
+            Some(n) if n.is_ident("trait") => "trait",
+            // `unsafe` in type position (`unsafe fn()` pointers) or
+            // attribute grammar — not an auditable site.
+            _ => continue,
+        };
+        sites.push(UnsafeSite {
+            line: toks[i].line,
+            kind,
+        });
+    }
+    sites
+}
+
+/// Discover `Mutex`/`RwLock` declarations: struct fields whose type
+/// mentions `Mutex`/`RwLock`, and `let` locals initialized through
+/// `Mutex::new`/`RwLock::new`. Deduplicated by name (first site wins).
+fn lock_decls(toks: &[Tok], mask: &[bool]) -> Vec<LockDecl> {
+    let mut decls: Vec<LockDecl> = Vec::new();
+    let mut push = |decl: LockDecl| {
+        if !decls.iter().any(|d| d.name == decl.name) {
+            decls.push(decl);
+        }
+    };
+    let mut i = 0;
+    while i < toks.len() {
+        if mask[i] {
+            i += 1;
+            continue;
+        }
+        if toks[i].is_ident("struct") {
+            // `struct Name<..> { field: Type, .. }` — walk the fields.
+            let mut j = i + 1;
+            while j < toks.len()
+                && !toks[j].is_punct('{')
+                && !toks[j].is_punct(';')
+                && !toks[j].is_punct('(')
+            {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                if let Some(close) = matching_brace(toks, j) {
+                    for field in struct_fields(toks, j, close) {
+                        push(field);
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+        } else if toks[i].is_ident("let") {
+            // `let [mut] name = .. Mutex::new(..) ..;`
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            if let Some(name_tok) = toks.get(j).filter(|t| t.kind == Kind::Ident) {
+                let name = name_tok.text.clone();
+                let line = name_tok.line;
+                let mut k = j + 1;
+                let mut constructed = false;
+                while k < toks.len() && !toks[k].is_punct(';') && !toks[k].is_punct('{') {
+                    if (toks[k].is_ident("Mutex") || toks[k].is_ident("RwLock"))
+                        && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(k + 2).is_some_and(|t| t.is_punct(':'))
+                        && toks.get(k + 3).is_some_and(|t| t.is_ident("new"))
+                    {
+                        constructed = true;
+                    }
+                    k += 1;
+                }
+                if constructed {
+                    push(LockDecl {
+                        name,
+                        line,
+                        is_field: false,
+                    });
+                }
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    decls
+}
+
+/// Fields of the struct body `toks[open..=close]` whose type mentions
+/// `Mutex` or `RwLock`.
+fn struct_fields(toks: &[Tok], open: usize, close: usize) -> Vec<LockDecl> {
+    let mut fields = Vec::new();
+    let mut k = open + 1;
+    while k < close {
+        // A field is `name :` at top level of the struct body, where the
+        // next token is not another `:` (that would be a path).
+        let is_field_name = toks[k].kind == Kind::Ident
+            && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(k + 2).is_some_and(|t| t.is_punct(':'));
+        if !is_field_name {
+            k += 1;
+            continue;
+        }
+        let name = toks[k].text.clone();
+        let line = toks[k].line;
+        // Scan the type to the separating `,` at depth 0.
+        let mut depth = 0i32;
+        let mut j = k + 2;
+        let mut locky = false;
+        while j < close {
+            let t = &toks[j];
+            if t.is_punct('<') || t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')')
+                || t.is_punct(']')
+                || t.is_punct('}')
+                || (t.is_punct('>') && !toks[j - 1].is_punct('-'))
+            {
+                depth -= 1;
+            } else if t.is_punct(',') && depth == 0 {
+                break;
+            } else if t.is_ident("Mutex") || t.is_ident("RwLock") {
+                locky = true;
+            }
+            j += 1;
+        }
+        if locky {
+            fields.push(LockDecl {
+                name,
+                line,
+                is_field: true,
+            });
+        }
+        k = j + 1;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        ParsedFile::parse("crates/x/src/lib.rs", "x", src)
+    }
+
+    #[test]
+    fn fns_get_names_lines_and_impl_qualifiers() {
+        let p = parse(
+            r#"
+            fn free() { helper(); }
+            impl<S: Shim> Registry<S> {
+                fn method(&self) -> u32 { 7 }
+            }
+            impl Transport for NetFabric {
+                fn send(&self) {}
+            }
+            trait Greet {
+                fn default_hello(&self) { wave(); }
+                fn no_body(&self);
+            }
+        "#,
+        );
+        let sigs: Vec<(String, Option<String>)> = p
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.qualifier.clone()))
+            .collect();
+        assert_eq!(
+            sigs,
+            [
+                ("free".to_string(), None),
+                ("method".to_string(), Some("Registry".to_string())),
+                ("send".to_string(), Some("NetFabric".to_string())),
+                ("default_hello".to_string(), Some("Greet".to_string())),
+            ]
+        );
+        assert_eq!(p.fns[0].calls.len(), 1);
+        assert_eq!(p.fns[0].calls[0].name, "helper");
+    }
+
+    #[test]
+    fn calls_capture_methods_qualifiers_and_turbofish() {
+        let p = parse(
+            r#"
+            fn f(&self) {
+                free(1);
+                self.method(2);
+                Type::assoc(3);
+                decode_exact::<Resp>(body);
+                mac!(ignored);
+            }
+        "#,
+        );
+        let calls: Vec<(&str, Option<&str>, bool)> = p.fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.qualifier.as_deref(), c.is_method))
+            .collect();
+        assert_eq!(
+            calls,
+            [
+                ("free", None, false),
+                ("method", None, true),
+                ("assoc", Some("Type"), false),
+                ("decode_exact", None, false),
+            ]
+        );
+    }
+
+    #[test]
+    fn return_type_range_covers_guards() {
+        let p = parse(
+            r#"
+            fn lock_it(m: &Mutex<u32>) -> std::sync::MutexGuard<'_, u32> { m.lock().unwrap_or_else(s) }
+            fn arrowed(f: impl Fn() -> u32) -> bool { f() > 0 }
+        "#,
+        );
+        let ret_text = |f: &FnDef| {
+            p.toks[f.ret.0..f.ret.1]
+                .iter()
+                .map(|t| t.text.clone())
+                .collect::<String>()
+        };
+        assert!(ret_text(&p.fns[0]).contains("MutexGuard"));
+        assert_eq!(ret_text(&p.fns[1]), "bool");
+    }
+
+    #[test]
+    fn unsafe_sites_and_kinds() {
+        let p = parse(
+            r#"
+            fn f() { let x = unsafe { poll(a, b, c) }; }
+            unsafe impl Send for X {}
+            #[cfg(test)]
+            mod tests { fn t() { unsafe { ignored() } } }
+        "#,
+        );
+        let kinds: Vec<&str> = p.unsafe_sites.iter().map(|u| u.kind).collect();
+        assert_eq!(kinds, ["block", "impl"]);
+    }
+
+    #[test]
+    fn lock_decls_find_fields_and_locals() {
+        let p = parse(
+            r#"
+            struct Fabric<S: Shim> {
+                peers: S::RwLock<HashMap<u32, SocketAddr>>,
+                writer: Mutex<TcpStream>,
+                inflight: Arc<Mutex<Inflight>>,
+                plain: u32,
+            }
+            fn pool() {
+                let parts = Mutex::new(Vec::new());
+                let feed = semtree_conc::sync::Mutex::new(items);
+                let not_a_lock = Vec::new();
+            }
+        "#,
+        );
+        let names: Vec<&str> = p.lock_decls.iter().map(|d| d.name.as_str()).collect();
+        assert_eq!(names, ["peers", "writer", "inflight", "parts", "feed"]);
+        assert!(p.lock_decls[0].is_field);
+        assert!(!p.lock_decls[3].is_field);
+    }
+
+    #[test]
+    fn nested_fn_calls_attribute_to_the_inner_fn() {
+        let p = parse(
+            r#"
+            fn outer() {
+                fn inner() { deep(); }
+                shallow();
+            }
+        "#,
+        );
+        let outer = p.fns.iter().find(|f| f.name == "outer").unwrap();
+        let inner = p.fns.iter().find(|f| f.name == "inner").unwrap();
+        assert_eq!(
+            outer.calls.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["shallow"]
+        );
+        assert_eq!(
+            inner.calls.iter().map(|c| &c.name).collect::<Vec<_>>(),
+            ["deep"]
+        );
+    }
+}

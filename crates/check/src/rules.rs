@@ -41,6 +41,10 @@ pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     ("cluster", "router", 12),
     ("cluster", "factory", 13),
     ("cluster", "generation", 14),
+    // crates/dist — the pipelined client's correlation map. Submitters
+    // and the demux reader take it briefly and call nothing ranked
+    // while holding it.
+    ("dist", "inflight", 20),
     // crates/net
     ("net", "peers", 31),
     ("net", "conns", 32),
@@ -66,6 +70,13 @@ pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     ("reactor", "inner", 70),
     ("reactor", "completions", 71),
 ];
+
+/// Locks that are *allowed* to be held across blocking socket IO: the
+/// per-connection write serialization leaves. Holding `net::writer`
+/// across `write_frame` is the design (one frame at a time per
+/// socket); the lock guards the stream itself and nothing ranked is
+/// ever taken under it.
+pub const IO_LOCK_EXEMPT: &[(&str, &str)] = &[("net", "writer")];
 
 fn rank_of(crate_name: &str, field: &str) -> Option<u32> {
     LOCK_RANKS
@@ -121,20 +132,20 @@ pub fn no_panics(path: &str, toks: &[Tok]) -> Vec<Finding> {
 // ---------------------------------------------------------------------
 
 /// A detected lock acquisition in the token stream.
-struct Acquisition {
+pub(crate) struct Acquisition {
     /// Index of the `lock`/`read`/`write` (or `S::lock`-style callee)
     /// token.
-    field: String,
-    rank: u32,
-    line: u32,
+    pub(crate) field: String,
+    pub(crate) rank: u32,
+    pub(crate) line: u32,
     /// Token index just past the acquisition's closing `)`.
-    end: usize,
+    pub(crate) end: usize,
 }
 
 /// Detect `self.<field>.lock()/.read()/.write()` and
 /// `S::lock(&self.<field>)`-shaped acquisitions of ranked fields.
 /// Returns `None` when token `i` is not such an acquisition.
-fn acquisition_at(crate_name: &str, toks: &[Tok], i: usize) -> Option<Acquisition> {
+pub(crate) fn acquisition_at(crate_name: &str, toks: &[Tok], i: usize) -> Option<Acquisition> {
     let t = &toks[i];
     if t.kind != Kind::Ident {
         return None;
@@ -503,6 +514,164 @@ fn false_if_restricted(toks: &[Tok], open_paren: usize) -> bool {
     open_paren == 0 || !toks[open_paren - 1].is_ident("pub")
 }
 
+// ---------------------------------------------------------------------
+// Rule 5: every Mutex/RwLock declaration is in the rank hierarchy.
+// ---------------------------------------------------------------------
+
+/// Crates whose lock declarations are not subject to the hierarchy:
+/// `conc` *defines* the Mutex/RwLock wrappers and the model-checker
+/// internals, and `check` is the gate itself.
+pub const LOCK_DISCOVERY_EXEMPT_CRATES: &[&str] = &["conc", "check"];
+
+/// Flag `Mutex`/`RwLock` declarations (struct fields and `let`-bound
+/// locals, as discovered by the parser) that have no entry in
+/// [`LOCK_RANKS`] — new locks cannot dodge the hierarchy silently.
+pub fn undeclared_locks(
+    crate_name: &str,
+    path: &str,
+    decls: &[crate::parse::LockDecl],
+) -> Vec<Finding> {
+    if LOCK_DISCOVERY_EXEMPT_CRATES.contains(&crate_name) {
+        return Vec::new();
+    }
+    decls
+        .iter()
+        .filter(|d| rank_of(crate_name, &d.name).is_none())
+        .map(|d| Finding {
+            path: path.to_string(),
+            line: d.line,
+            rule: "undeclared-lock",
+            message: format!(
+                "{} `{}` holds a Mutex/RwLock but has no rank in LOCK_RANKS \
+                 (crates/check/src/rules.rs) — every lock must join the declared \
+                 hierarchy",
+                if d.is_field { "field" } else { "local" },
+                d.name
+            ),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Rule 6: every `unsafe` block/impl/fn carries a `// SAFETY:` comment.
+// ---------------------------------------------------------------------
+
+/// Require a `// SAFETY:` comment on (or directly above) every
+/// non-test `unsafe` site. The comment must state the argument for
+/// soundness; its presence is checked on the raw source because the
+/// lexer drops comments.
+pub fn unsafe_audit(path: &str, source: &str, sites: &[crate::parse::UnsafeSite]) -> Vec<Finding> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    for site in sites {
+        let at = site.line as usize - 1; // 0-indexed
+        let mut justified = lines.get(at).is_some_and(|l| l.contains("SAFETY:"));
+        // Walk up through the contiguous run of comments, attributes
+        // and blank lines directly above the site.
+        let mut j = at;
+        while !justified && j > 0 {
+            j -= 1;
+            let text = lines[j].trim_start();
+            if text.starts_with("//") || text.starts_with("#[") || text.is_empty() {
+                justified = text.contains("SAFETY:");
+                if justified {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if !justified {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: site.line,
+                rule: "unsafe-audit",
+                message: format!(
+                    "`unsafe` {} without a `// SAFETY:` comment — state why every \
+                     invariant the unsafe operation relies on holds",
+                    site.kind
+                ),
+            });
+        }
+    }
+    findings
+}
+
+// ---------------------------------------------------------------------
+// Rule 7: no truncating `as` casts on length expressions in codec
+// paths.
+// ---------------------------------------------------------------------
+
+/// Crates whose byte-level codecs must never silently truncate a
+/// length: wire framing, WAL records, columnar blocks.
+const CODEC_CRATES: &[&str] = &["net", "wal", "colz"];
+
+/// Identifiers that read as a length/size computation.
+const LEN_IDENTS: &[&str] = &["len", "encoded_len", "wire_size"];
+
+/// Flag `<len-expr> as u32` / `as u16` in codec crates: a payload
+/// larger than the target type silently wraps and corrupts the frame.
+/// Use `u32::try_from(..)` with a typed error instead (see
+/// `net::frame::write_frame` for the pattern).
+pub fn truncation_casts(crate_name: &str, path: &str, toks: &[Tok]) -> Vec<Finding> {
+    if !CODEC_CRATES.contains(&crate_name) {
+        return Vec::new();
+    }
+    let mask = test_mask(toks);
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if mask[i] || !toks[i].is_ident("as") {
+            continue;
+        }
+        let Some(target) = toks.get(i + 1) else {
+            continue;
+        };
+        if !(target.is_ident("u32") || target.is_ident("u16")) {
+            continue;
+        }
+        // The cast source must end in `<len-ident>( .. )`.
+        if i == 0 || !toks[i - 1].is_punct(')') {
+            continue;
+        }
+        let Some(open) = backward_matching_paren(toks, i - 1) else {
+            continue;
+        };
+        if open == 0 {
+            continue;
+        }
+        let callee = &toks[open - 1];
+        if callee.kind == Kind::Ident && LEN_IDENTS.contains(&callee.text.as_str()) {
+            findings.push(Finding {
+                path: path.to_string(),
+                line: toks[i].line,
+                rule: "truncation-cast",
+                message: format!(
+                    "`{}() as {}` silently truncates oversized values in a codec \
+                     path — use `{}::try_from(..)` and return a typed error",
+                    callee.text, target.text, target.text
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// Index of the `(` matching the `)` at `close`, scanning backwards.
+fn backward_matching_paren(toks: &[Tok], close: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in (0..=close).rev() {
+        if toks[i].is_punct(')') {
+            depth += 1;
+        } else if toks[i].is_punct('(') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,6 +826,70 @@ mod tests {
             .map(|f| f.message.split_whitespace().next().unwrap())
             .collect();
         assert_eq!(missing, ["NetMsg::Request", "NetMsg::Rejoin"]);
+    }
+
+    #[test]
+    fn undeclared_locks_flags_unranked_fields_only() {
+        let parsed = crate::parse::ParsedFile::parse(
+            "crates/net/src/fabric.rs",
+            "net",
+            r#"
+            struct Conn {
+                writer: Mutex<TcpStream>,
+                rogue: Mutex<u32>,
+            }
+            "#,
+        );
+        let f = undeclared_locks("net", "crates/net/src/fabric.rs", &parsed.lock_decls);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`rogue`"));
+
+        let conc = crate::parse::ParsedFile::parse(
+            "crates/conc/src/sync.rs",
+            "conc",
+            "struct Mutex<T> { inner: std::sync::Mutex<T> }",
+        );
+        assert!(undeclared_locks("conc", "crates/conc/src/sync.rs", &conc.lock_decls).is_empty());
+    }
+
+    #[test]
+    fn unsafe_audit_accepts_safety_comments_above_or_inline() {
+        let ok = r#"
+fn f() {
+    // SAFETY: fds points to len valid pollfds for the whole call.
+    let rc = unsafe { poll(fds, len, timeout) };
+}
+fn g() {
+    let rc = unsafe { poll(a, b, c) }; // SAFETY: same as above.
+}
+"#;
+        let parsed = crate::parse::ParsedFile::parse("sys.rs", "reactor", ok);
+        assert!(unsafe_audit("sys.rs", ok, &parsed.unsafe_sites).is_empty());
+
+        let bad = "fn f() {\n    let rc = unsafe { poll(a, b, c) };\n}\n";
+        let parsed = crate::parse::ParsedFile::parse("sys.rs", "reactor", bad);
+        let f = unsafe_audit("sys.rs", bad, &parsed.unsafe_sites);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("SAFETY"));
+    }
+
+    #[test]
+    fn truncation_casts_flag_len_casts_in_codec_crates_only() {
+        let src = r#"
+            fn encode(payload: &[u8], frame: &mut Vec<u8>) {
+                (payload.len() as u32).encode(frame);
+                let ok = u32::try_from(payload.len());
+                let id = counter.fetch_add(1, Ordering::SeqCst) as u32;
+                let bits = (i % 3) as u32;
+            }
+        "#;
+        let f = truncation_casts("wal", "log.rs", &lex(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("try_from"));
+        // Same source outside a codec crate: not a finding.
+        assert!(truncation_casts("core", "lib.rs", &lex(src)).is_empty());
     }
 
     #[test]

@@ -1306,7 +1306,10 @@ fn demux_replies(mut stream: TcpStream, inflight: &Mutex<Inflight>) {
         };
         let result = decode_exact::<ClientResp>(body)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
-        match lock_inflight(inflight).waiters.remove(&corr) {
+        // Take the waiter out under the lock, deliver after releasing
+        // it: `tx.send` must never run while `inflight` is held.
+        let waiter = lock_inflight(inflight).waiters.remove(&corr);
+        match waiter {
             // A dropped PendingReply just discards its answer.
             Some(tx) => drop(tx.send(result)),
             None => break format!("reply with unknown correlation id {corr}"),

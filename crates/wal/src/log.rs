@@ -443,7 +443,13 @@ impl Wal {
         lsn.encode(&mut payload);
         record.encode(&mut payload);
         let mut frame = Vec::with_capacity(8 + payload.len());
-        (payload.len() as u32).encode(&mut frame);
+        let payload_len = u32::try_from(payload.len()).map_err(|_| {
+            WalError::Corrupt(format!(
+                "record payload {}B exceeds u32 framing",
+                payload.len()
+            ))
+        })?;
+        payload_len.encode(&mut frame);
         crc32(&payload).encode(&mut frame);
         frame.extend_from_slice(&payload);
 
@@ -576,7 +582,7 @@ impl Wal {
             let (segment, _) = read_segment(dir, sealed_index, false)?;
             write_atomic(
                 &segment_path(dir, sealed_index),
-                &columnar_segment_bytes(&segment.records),
+                &columnar_segment_bytes(&segment.records)?,
             )?;
         }
         inner.sealed.insert(
@@ -619,7 +625,7 @@ impl Wal {
                 let (segment, _) = read_segment(&self.dir, index, info.allow_torn)?;
                 write_atomic(
                     &segment_path(&self.dir, index),
-                    &columnar_segment_bytes(&segment.records),
+                    &columnar_segment_bytes(&segment.records)?,
                 )?;
                 info.columnar = true;
                 info.allow_torn = false;
@@ -631,16 +637,22 @@ impl Wal {
 
 /// Serialize records as a complete columnar segment file:
 /// `SSEG · version · codec · [u32 len] · [u32 crc] · block`.
-fn columnar_segment_bytes(records: &[(u64, WalRecord)]) -> Vec<u8> {
+fn columnar_segment_bytes(records: &[(u64, WalRecord)]) -> Result<Vec<u8>, WalError> {
     let block = crate::colseg::encode_block(records);
+    let block_len = u32::try_from(block.len()).map_err(|_| {
+        WalError::Corrupt(format!(
+            "columnar block {}B exceeds u32 framing",
+            block.len()
+        ))
+    })?;
     let mut bytes = Vec::with_capacity(SEGMENT_HEADER_LEN + 8 + block.len());
     bytes.extend_from_slice(&SEGMENT_MAGIC);
     bytes.push(SEGMENT_VERSION);
     bytes.push(SEGMENT_CODEC_COLUMNAR);
-    (block.len() as u32).encode(&mut bytes);
+    block_len.encode(&mut bytes);
     crc32(&block).encode(&mut bytes);
     bytes.extend_from_slice(&block);
-    bytes
+    Ok(bytes)
 }
 
 fn open_segment(dir: &Path, index: u64, versioned: bool) -> Result<File, WalError> {
