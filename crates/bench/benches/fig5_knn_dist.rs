@@ -2,7 +2,7 @@
 //! 1 / 3 / 5 / 9 partitions.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use semtree_bench::{build_dist_tree, query_points, semantic_points, BUCKET};
+use semtree_bench::{build_dist_tree, dist_knn, query_points, semantic_points, BUCKET};
 
 fn bench_knn_dist(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_distributed_knn_k3");
@@ -22,7 +22,7 @@ fn bench_knn_dist(c: &mut Criterion) {
                 b.iter(|| {
                     let q = &qs[i % qs.len()];
                     i += 1;
-                    std::hint::black_box(tree.knn(q, 3))
+                    std::hint::black_box(dist_knn(&tree, q, 3))
                 });
             });
             tree.shutdown();

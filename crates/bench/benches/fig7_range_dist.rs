@@ -2,7 +2,9 @@
 //! 1 / 3 / 5 / 9 partitions (border nodes search both sides in parallel).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use semtree_bench::{build_dist_tree, pick_radius, query_points, semantic_points, BUCKET};
+use semtree_bench::{
+    build_dist_tree, dist_range, pick_radius, query_points, semantic_points, BUCKET,
+};
 
 fn bench_range_dist(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_distributed_range");
@@ -23,7 +25,7 @@ fn bench_range_dist(c: &mut Criterion) {
                 b.iter(|| {
                     let q = &qs[i % qs.len()];
                     i += 1;
-                    std::hint::black_box(tree.range(q, radius))
+                    std::hint::black_box(dist_range(&tree, q, radius))
                 });
             });
             tree.shutdown();

@@ -1,0 +1,283 @@
+//! Read-scaling workload matrix for the seqlock-versioned KD-tree.
+//!
+//! ```sh
+//! cargo run -p semtree-bench --bin read_scaling --release -- BENCH_PR9.json
+//! ```
+//!
+//! Three workloads (congee-style matrix) over a thread sweep:
+//!
+//! - **ReadOnly** — T lock-free readers hammer k-NN against a
+//!   pre-built tree; no writer. The scaling target: on multi-core
+//!   hardware, 4 threads ≥ 2× the single-thread throughput.
+//! - **InsertOnly** — T single-writer trees loaded concurrently (the
+//!   system is single-writer *per partition*; partitions are the unit
+//!   of write parallelism).
+//! - **Mixed** — one writer doubles the tree while T readers query it;
+//!   afterwards the tree must answer bit-for-bit like a reference
+//!   built sequentially from the same inserts.
+//!
+//! The JSON artifact records `cpus` alongside every row: a 1-CPU
+//! container cannot show parallel speedup, so CI's `read-scaling` job
+//! regenerates the artifact on its own hardware and readers of the
+//! committed file can judge the recorded run's environment.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use semtree_bench::{query_points, semantic_points, BUCKET, DIMS};
+use semtree_kdtree::versioned::{StdShim, VersionedKdReader, VersionedKdTree};
+use semtree_kdtree::{KdConfig, Neighbor};
+
+const POINTS: usize = 20_000;
+const QUERIES: usize = 256;
+const READS_PER_THREAD: usize = 4_000;
+const K: usize = 5;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+struct Row {
+    workload: &'static str,
+    threads: usize,
+    ops: u64,
+    nanos: u128,
+    speedup_vs_1t: f64,
+}
+
+impl Row {
+    fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / (self.nanos as f64 / 1e9)
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"ops\": {}, \"ns\": {}, \
+             \"ops_per_sec\": {:.1}, \"speedup_vs_1t\": {:.3}}}",
+            self.workload,
+            self.threads,
+            self.ops,
+            self.nanos,
+            self.ops_per_sec(),
+            self.speedup_vs_1t
+        )
+    }
+}
+
+fn build_tree(points: &[Vec<f64>]) -> VersionedKdTree<StdShim> {
+    let mut tree = VersionedKdTree::new(KdConfig::new(DIMS).with_bucket_size(BUCKET));
+    for (i, p) in points.iter().enumerate() {
+        assert!(tree.insert(p, i as u64), "bench insert failed");
+    }
+    tree
+}
+
+/// T readers, each running a fixed op count against a quiescent tree.
+fn read_only(reader: &VersionedKdReader<StdShim>, queries: &[Vec<f64>], threads: usize) -> Row {
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let reader = reader.clone();
+            let queries = queries.to_vec();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut sink = 0u64;
+                for i in 0..READS_PER_THREAD {
+                    let (hits, _) = reader.knn(&queries[(i + t) % queries.len()], K);
+                    sink = sink.wrapping_add(hits.first().map_or(0, |h| h.payload));
+                }
+                sink
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        assert!(h.join().is_ok(), "reader thread panicked");
+    }
+    Row {
+        workload: "ReadOnly",
+        threads,
+        ops: (threads * READS_PER_THREAD) as u64,
+        nanos: t0.elapsed().as_nanos(),
+        speedup_vs_1t: 1.0,
+    }
+}
+
+/// T independent single-writer trees loaded concurrently: write
+/// parallelism across partitions, never within one.
+fn insert_only(points: &[Vec<f64>], threads: usize) -> Row {
+    let per_tree = POINTS / threads;
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let chunk: Vec<Vec<f64>> = points[t * per_tree..(t + 1) * per_tree].to_vec();
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut tree =
+                    VersionedKdTree::<StdShim>::new(KdConfig::new(DIMS).with_bucket_size(BUCKET));
+                barrier.wait();
+                for (i, p) in chunk.iter().enumerate() {
+                    assert!(tree.insert(p, i as u64), "bench insert failed");
+                }
+                tree.len()
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for h in handles {
+        assert!(h.join().is_ok(), "writer thread panicked");
+    }
+    Row {
+        workload: "InsertOnly",
+        threads,
+        ops: (threads * per_tree) as u64,
+        nanos: t0.elapsed().as_nanos(),
+        speedup_vs_1t: 1.0,
+    }
+}
+
+/// One writer doubling the tree while T readers query it; returns the
+/// row plus total reader retries (contention evidence) and the tree
+/// for the parity check.
+fn mixed(
+    seed_points: &[Vec<f64>],
+    extra_points: &[Vec<f64>],
+    queries: &[Vec<f64>],
+    threads: usize,
+) -> (Row, u64, VersionedKdTree<StdShim>) {
+    let mut tree = build_tree(seed_points);
+    let reader = tree.reader();
+    let done = Arc::new(AtomicBool::new(false));
+    let retries = Arc::new(AtomicU64::new(0));
+    let reads = Arc::new(AtomicU64::new(0));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let reader = reader.clone();
+            let queries = queries.to_vec();
+            let done = Arc::clone(&done);
+            let retries = Arc::clone(&retries);
+            let reads = Arc::clone(&reads);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut i = t;
+                while !done.load(Ordering::Relaxed) {
+                    let (_, stats) = reader.knn(&queries[i % queries.len()], K);
+                    retries.fetch_add(stats.retries, Ordering::Relaxed);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let t0 = Instant::now();
+    for (i, p) in extra_points.iter().enumerate() {
+        assert!(
+            tree.insert(p, (seed_points.len() + i) as u64),
+            "bench insert failed"
+        );
+    }
+    done.store(true, Ordering::Relaxed);
+    for h in handles {
+        assert!(h.join().is_ok(), "reader thread panicked");
+    }
+    let nanos = t0.elapsed().as_nanos();
+    let ops = extra_points.len() as u64 + reads.load(Ordering::Relaxed);
+    (
+        Row {
+            workload: "Mixed",
+            threads,
+            ops,
+            nanos,
+            speedup_vs_1t: 1.0,
+        },
+        retries.load(Ordering::Relaxed),
+        tree,
+    )
+}
+
+/// The mixed-run tree must answer exactly like a tree built with no
+/// concurrent readers at all: concurrency changes timing, never bytes.
+fn parity(tree: &VersionedKdTree<StdShim>, all_points: &[Vec<f64>], queries: &[Vec<f64>]) -> bool {
+    let reference = build_tree(all_points);
+    let (ref_reader, run_reader) = (reference.reader(), tree.reader());
+    queries.iter().all(|q| {
+        let (a, _) = ref_reader.knn(q, K);
+        let (b, _) = run_reader.knn(q, K);
+        let key = |hits: &[Neighbor<u64>]| -> Vec<(u64, u64)> {
+            hits.iter().map(|h| (h.dist.to_bits(), h.payload)).collect()
+        };
+        key(&a) == key(&b)
+    })
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR9.json".to_string());
+    let cpus = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let seed_points = semantic_points(POINTS, 0x9A21);
+    let extra_points = semantic_points(POINTS, 0x9A22);
+    let queries = query_points(&seed_points, QUERIES);
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut mixed_retries = 0u64;
+    let mut mixed_ok = true;
+
+    let read_tree = build_tree(&seed_points);
+    let reader = read_tree.reader();
+    for &t in &THREADS {
+        eprintln!("ReadOnly x{t}...");
+        rows.push(read_only(&reader, &queries, t));
+    }
+    for &t in &THREADS {
+        eprintln!("InsertOnly x{t}...");
+        rows.push(insert_only(&seed_points, t));
+    }
+    let mut all_points = seed_points.clone();
+    all_points.extend(extra_points.iter().cloned());
+    for &t in &THREADS {
+        eprintln!("Mixed x{t}...");
+        let (row, retries, tree) = mixed(&seed_points, &extra_points, &queries, t);
+        mixed_retries += retries;
+        mixed_ok &= parity(&tree, &all_points, &queries);
+        rows.push(row);
+    }
+
+    // Speedups relative to each workload's single-thread row.
+    let base: Vec<(String, f64)> = rows
+        .iter()
+        .filter(|r| r.threads == 1)
+        .map(|r| (r.workload.to_string(), r.ops_per_sec()))
+        .collect();
+    for row in &mut rows {
+        if let Some((_, b)) = base.iter().find(|(w, _)| w == row.workload) {
+            row.speedup_vs_1t = row.ops_per_sec() / b;
+        }
+    }
+    let read_4t = rows
+        .iter()
+        .find(|r| r.workload == "ReadOnly" && r.threads == 4)
+        .map_or(0.0, |r| r.speedup_vs_1t);
+
+    assert!(mixed_ok, "mixed run diverged from the sequential reference");
+
+    let body = rows
+        .iter()
+        .map(Row::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"read_scaling\",\n  \"cpus\": {cpus},\n  \"points\": {POINTS},\n  \
+         \"k\": {K},\n  \"read_only_speedup_4t\": {read_4t:.3},\n  \
+         \"mixed_matches_sequential\": {mixed_ok},\n  \"mixed_read_retries\": {mixed_retries},\n  \
+         \"records\": [\n{body}\n  ]\n}}\n"
+    );
+    assert!(std::fs::write(&out, &json).is_ok(), "could not write {out}");
+    println!("{json}");
+    eprintln!("wrote {out} (cpus={cpus}, ReadOnly 4t speedup {read_4t:.2}x)");
+}

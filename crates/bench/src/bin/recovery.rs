@@ -21,7 +21,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::time::Instant;
 
-use semtree_bench::{occurrence_points, BUCKET, DIMS};
+use semtree_bench::{dist_insert, occurrence_points, BUCKET, DIMS};
 use semtree_cluster::CostModel;
 use semtree_dist::{build_local_durable, inspect_wal, DistConfig, WalInspection, WalOptions};
 
@@ -96,7 +96,7 @@ fn run_child(dir: &Path, columnar: bool, documents: usize, seed: u64) -> Result<
     )
     .map_err(|e| BenchError::Build(format!("durable tree: {e}")))?;
     for (i, p) in pts.iter().enumerate() {
-        tree.insert(p, i as u64);
+        dist_insert(&tree, p, i as u64);
     }
     println!("ready: {} points", tree.len());
     // No shutdown, no flush beyond the WAL's own: the parent SIGKILLs
@@ -415,7 +415,7 @@ mod tests {
             )
             .expect("build");
             for (i, p) in pts.iter().enumerate() {
-                tree.insert(p, i as u64);
+                dist_insert(&tree, p, i as u64);
             }
             tree.shutdown();
             let started = Instant::now();

@@ -19,8 +19,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use semtree_bench::{
-    build_chain_dist_tree, build_dist_tree, distinct_triples, embed_triples, pick_radius,
-    query_points, registry_for, semantic_points, triple_distance, BUCKET, DIMS,
+    build_chain_dist_tree, build_dist_tree, dist_knn, dist_range, distinct_triples, embed_triples,
+    pick_radius, query_points, registry_for, semantic_points, triple_distance, BUCKET, DIMS,
 };
 use semtree_core::{SemTree, TripleId, Weights};
 use semtree_distance::TripleDistance;
@@ -321,7 +321,7 @@ fn fig5_knn_dist(sizes: &[usize]) -> ExperimentTable {
             let queries = query_points(&points, 1000);
             let t0 = Instant::now();
             for q in &queries {
-                std::hint::black_box(tree.knn(q, 3));
+                std::hint::black_box(dist_knn(&tree, q, 3));
             }
             series.push(n as f64, t0.elapsed().as_secs_f64());
             tree.shutdown();
@@ -385,7 +385,7 @@ fn fig7_range_dist(sizes: &[usize]) -> ExperimentTable {
             let queries = query_points(&points, 1000);
             let t0 = Instant::now();
             for q in &queries {
-                std::hint::black_box(tree.range(q, radius));
+                std::hint::black_box(dist_range(&tree, q, radius));
             }
             series.push(n as f64, t0.elapsed().as_secs_f64());
             tree.shutdown();

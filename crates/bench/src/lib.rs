@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use semtree_cluster::CostModel;
-use semtree_dist::{DistConfig, DistSemTree};
+use semtree_dist::{DistConfig, DistSemTree, Neighbor, Query, QueryOutcome};
 use semtree_distance::{MemoizedDistance, TripleDistance, VocabularyRegistry, Weights};
 use semtree_fastmap::{Embedding, FastMap};
 use semtree_model::{Term, Triple};
@@ -115,6 +115,40 @@ pub fn occurrence_points(documents: usize, seed: u64) -> Vec<Vec<f64>> {
         .collect()
 }
 
+/// Insert one point through the unified query API, aborting the
+/// benchmark on cluster failure — a silently dropped insert would skew
+/// every figure built on the tree.
+pub fn dist_insert(tree: &DistSemTree, point: &[f64], payload: u64) {
+    let outcome = tree.query(Query::insert(point, payload));
+    assert!(outcome.is_ok(), "benchmark insert failed: {outcome:?}");
+}
+
+/// k-NN through the unified query API; the benchmark tree is in-process,
+/// so a cluster error is harness corruption, not a recoverable state.
+#[must_use]
+pub fn dist_knn(tree: &DistSemTree, point: &[f64], k: usize) -> Vec<Neighbor<u64>> {
+    match tree
+        .query(Query::knn(point, k))
+        .and_then(QueryOutcome::neighbors)
+    {
+        Ok(hits) => hits,
+        Err(e) => unreachable!("benchmark knn failed: {e}"),
+    }
+}
+
+/// Range search through the unified query API (same failure contract as
+/// [`dist_knn`]).
+#[must_use]
+pub fn dist_range(tree: &DistSemTree, point: &[f64], radius: f64) -> Vec<Neighbor<u64>> {
+    match tree
+        .query(Query::range(point, radius))
+        .and_then(QueryOutcome::neighbors)
+    {
+        Ok(hits) => hits,
+        Err(e) => unreachable!("benchmark range failed: {e}"),
+    }
+}
+
 /// Build a distributed tree over `m` partitions and insert every point in
 /// the given (already shuffled) order — the paper's dynamic build.
 #[must_use]
@@ -129,7 +163,7 @@ pub fn build_dist_tree(points: &[Vec<f64>], m: usize, bucket: usize) -> DistSemT
         DistSemTree::with_fanout(config, CostModel::zero(), m, &sample)
     };
     for (i, p) in points.iter().enumerate() {
-        tree.insert(p, i as u64);
+        dist_insert(&tree, p, i as u64);
     }
     tree
 }
@@ -145,7 +179,7 @@ pub fn build_chain_dist_tree(points: &[Vec<f64>], bucket: usize) -> DistSemTree 
         .with_split_rule(semtree_kdtree::SplitRule::DegenerateMin);
     let tree = DistSemTree::single(config, CostModel::zero());
     for (i, p) in sorted.iter().enumerate() {
-        tree.insert(p, i as u64);
+        dist_insert(&tree, p, i as u64);
     }
     tree
 }
@@ -252,7 +286,7 @@ mod tests {
             let tree = build_dist_tree(&ps, m, 16);
             assert_eq!(tree.len(), 200);
             assert_eq!(tree.partition_count(), m);
-            let hits = tree.knn(&ps[0], 1);
+            let hits = dist_knn(&tree, &ps[0], 1);
             assert!(hits[0].dist < 1e-9, "self-query finds itself");
             tree.shutdown();
         }

@@ -138,11 +138,10 @@ pub fn serve(parsed: &ParsedArgs) -> Result<String, String> {
     let _ = std::io::stdout().flush();
 
     let defaults = ServeOptions::default();
-    let options = ServeOptions {
-        executors: parsed.get_usize("serve-workers", defaults.executors)?,
-        global_depth: parsed.get_usize("serve-queue", defaults.global_depth)?,
-        per_conn_depth: parsed.get_usize("serve-depth", defaults.per_conn_depth)?,
-    };
+    let options = ServeOptions::default()
+        .with_executors(parsed.get_usize("serve-workers", defaults.executors)?)
+        .with_global_depth(parsed.get_usize("serve-queue", defaults.global_depth)?)
+        .with_per_conn_depth(parsed.get_usize("serve-depth", defaults.per_conn_depth)?);
     serve_clients_with(&listener, &tree, &options).map_err(|e| e.to_string())?;
     let inserted = tree.len();
     tree.shutdown();
@@ -357,9 +356,16 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
         }
         "metrics" => {
             let m = client.metrics().map_err(|e| e.to_string())?;
+            let histogram = m
+                .read_retries
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ");
             Ok(format!(
                 "messages: {}\nbytes: {}\nresponse-bytes: {}\nspawned-nodes: {}\n\
-                 latency-count: {}\np50-us: {:.1}\np99-us: {:.1}\np999-us: {:.1}\n",
+                 latency-count: {}\np50-us: {:.1}\np99-us: {:.1}\np999-us: {:.1}\n\
+                 reads-retried: {}\nread-retry-histogram: {histogram}\n",
                 m.messages,
                 m.bytes,
                 m.response_bytes,
@@ -368,6 +374,7 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
                 m.p50_nanos as f64 / 1000.0,
                 m.p99_nanos as f64 / 1000.0,
                 m.p999_nanos as f64 / 1000.0,
+                m.reads_retried,
             ))
         }
         "shutdown" => {
@@ -634,21 +641,23 @@ mod tests {
 
     #[test]
     fn recover_reports_compression_stats_and_json() {
-        use semtree_dist::{build_local_durable, WalOptions};
+        use semtree_dist::{build_local_durable, Query, QueryOutcome, WalOptions};
 
         let dir =
             std::env::temp_dir().join(format!("semtree-cli-recover-stats-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let config = DistConfig::new(2).with_bucket_size(8);
-        let options = WalOptions {
-            snapshot_every: 64,
-            ..WalOptions::default()
-        };
+        let options = WalOptions::default().with_snapshot_every(64);
         let tree = build_local_durable(config, CostModel::zero(), 1, &[], &dir, options)
             .expect("durable tree");
         for i in 0..400u64 {
             // A palette-heavy workload, so the snapshot compresses well.
-            tree.insert(&[(i % 5) as f64 * 0.25, (i % 7) as f64 * 0.5], i);
+            tree.query(Query::insert(
+                &[(i % 5) as f64 * 0.25, (i % 7) as f64 * 0.5],
+                i,
+            ))
+            .and_then(QueryOutcome::inserted)
+            .expect("insert");
         }
         tree.shutdown();
 

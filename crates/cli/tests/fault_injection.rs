@@ -12,8 +12,24 @@ use std::time::{Duration, Instant};
 use semtree_cli::demo_sample;
 use semtree_cluster::CostModel;
 use semtree_dist::{
-    CapacityPolicy, ClientResp, DistConfig, DistSemTree, NetClient, PipelinedClient,
+    CapacityPolicy, ClientResp, DistConfig, DistSemTree, NetClient, PipelinedClient, Query,
+    QueryOutcome,
 };
+
+fn ref_insert(tree: &DistSemTree, point: &[f64], payload: u64) {
+    tree.query(Query::insert(point, payload))
+        .and_then(QueryOutcome::inserted)
+        .expect("reference insert");
+}
+
+fn ref_knn_pairs(tree: &DistSemTree, query: &[f64], k: usize) -> Vec<(f64, u64)> {
+    tree.query(Query::knn(query, k))
+        .and_then(QueryOutcome::neighbors)
+        .expect("reference knn")
+        .into_iter()
+        .map(|n| (n.dist, n.payload))
+        .collect()
+}
 
 const DIMS: usize = 2;
 const BUCKET: usize = 8;
@@ -122,7 +138,7 @@ fn sigkilled_worker_recovers_and_serves_identical_results() {
 
     for (point, payload) in batch1 {
         client.insert(point, *payload).expect("pre-crash insert");
-        reference.insert(point, *payload);
+        ref_insert(&reference, point, *payload);
     }
 
     // SIGKILL the worker at a quiescent point: every acknowledged insert
@@ -159,21 +175,17 @@ fn sigkilled_worker_recovers_and_serves_identical_results() {
             }
         }
     }
-    reference.insert(first_point, *first_payload);
+    ref_insert(&reference, first_point, *first_payload);
     for (point, payload) in &batch2[1..] {
         client.insert(point, *payload).expect("post-crash insert");
-        reference.insert(point, *payload);
+        ref_insert(&reference, point, *payload);
     }
 
     // Byte-identical k-NN across the crash: exact f64 distances, exact
     // payloads, exact order.
     for (query, _) in points.iter().step_by(17) {
         let got = client.knn(query, 9).expect("net knn");
-        let want: Vec<(f64, u64)> = reference
-            .knn(query, 9)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
+        let want = ref_knn_pairs(&reference, query, 9);
         assert_eq!(got, want, "knn around {query:?}");
     }
 
@@ -265,19 +277,13 @@ fn sigkill_with_pipelined_requests_in_flight_yields_typed_errors_then_recovers()
         .collect();
     for (point, payload) in &points {
         seeder.insert(point, *payload).expect("seed insert");
-        reference.insert(point, *payload);
+        ref_insert(&reference, point, *payload);
     }
 
     let queries = demo_sample(DIMS, 24, SEED ^ 0xc1u64);
     let expected: Vec<Vec<(f64, u64)>> = queries
         .iter()
-        .map(|q| {
-            reference
-                .knn(q, 9)
-                .into_iter()
-                .map(|n| (n.dist, n.payload))
-                .collect()
-        })
+        .map(|q| ref_knn_pairs(&reference, q, 9))
         .collect();
 
     // Fill the pipeline, then SIGKILL the worker with the window still

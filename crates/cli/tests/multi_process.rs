@@ -9,7 +9,22 @@ use std::time::Duration;
 
 use semtree_cli::demo_sample;
 use semtree_cluster::CostModel;
-use semtree_dist::{DistConfig, DistSemTree, NetClient};
+use semtree_dist::{DistConfig, DistSemTree, NetClient, Query, QueryOutcome};
+
+fn ref_insert(tree: &DistSemTree, point: &[f64], payload: u64) {
+    tree.query(Query::insert(point, payload))
+        .and_then(QueryOutcome::inserted)
+        .expect("reference insert");
+}
+
+fn ref_pairs(tree: &DistSemTree, query: Query) -> Vec<(f64, u64)> {
+    tree.query(query)
+        .and_then(QueryOutcome::neighbors)
+        .expect("reference query")
+        .into_iter()
+        .map(|n| (n.dist, n.payload))
+        .collect()
+}
 
 const DIMS: usize = 2;
 const BUCKET: usize = 8;
@@ -101,24 +116,16 @@ fn coordinator_and_two_worker_processes_serve_identical_results() {
     let points = test_points(200);
     for (point, payload) in &points {
         client.insert(point, *payload).expect("net insert");
-        reference.insert(point, *payload);
+        ref_insert(&reference, point, *payload);
     }
 
     for (query, _) in points.iter().step_by(23) {
         let got = client.knn(query, 7).expect("net knn");
-        let want: Vec<(f64, u64)> = reference
-            .knn(query, 7)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
+        let want = ref_pairs(&reference, Query::knn(query, 7));
         assert_eq!(got, want, "knn around {query:?}");
 
         let got = client.range(query, 15.0).expect("net range");
-        let want: Vec<(f64, u64)> = reference
-            .range(query, 15.0)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
+        let want = ref_pairs(&reference, Query::range(query, 15.0));
         assert_eq!(got, want, "range around {query:?}");
     }
 

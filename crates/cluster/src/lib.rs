@@ -58,8 +58,9 @@ mod transport;
 pub use cost::CostModel;
 pub use gate::{GateElapsed, MembershipGate};
 pub use metrics::{
-    latency_bucket_floor, latency_bucket_index, ClusterMetrics, ClusterMetricsG, LatencyHistogram,
-    LatencyHistogramG, LatencySnapshot, MetricsSnapshot, LATENCY_BUCKETS,
+    latency_bucket_floor, latency_bucket_index, read_retry_bucket_index, ClusterMetrics,
+    ClusterMetricsG, LatencyHistogram, LatencyHistogramG, LatencySnapshot, MetricsSnapshot,
+    LATENCY_BUCKETS, READ_RETRY_BUCKETS,
 };
 pub use runtime::{ChannelFabric, Cluster, Handler, NodeCtx};
 pub use transport::{

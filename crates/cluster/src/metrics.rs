@@ -180,6 +180,22 @@ impl LatencySnapshot {
     }
 }
 
+/// Number of buckets in the optimistic-read retry histogram: exact
+/// counts 0–3, then power-of-two ranges 4–7, 8–15, 16–31, and 32+.
+pub const READ_RETRY_BUCKETS: usize = 8;
+
+/// Bucket index for an optimistic read that retried `retries` times.
+#[must_use]
+pub fn read_retry_bucket_index(retries: u64) -> usize {
+    match retries {
+        0..=3 => retries as usize,
+        4..=7 => 4,
+        8..=15 => 5,
+        16..=31 => 6,
+        _ => 7,
+    }
+}
+
 /// Shared, thread-safe counters over a [`crate::Cluster`]'s lifetime,
 /// generic over the concurrency shim.
 #[derive(Debug)]
@@ -190,6 +206,10 @@ pub struct ClusterMetricsG<S: Shim = StdShim> {
     spawned_nodes: S::AtomicU64,
     simulated_delay_nanos: S::AtomicU64,
     request_latency: LatencyHistogramG<S>,
+    /// Total writer-race retries across all optimistic reads.
+    reads_retried: S::AtomicU64,
+    /// Optimistic reads by retry count (see [`read_retry_bucket_index`]).
+    read_retries: [S::AtomicU64; READ_RETRY_BUCKETS],
 }
 
 /// The production metrics type: real relaxed atomics.
@@ -216,6 +236,11 @@ pub struct MetricsSnapshot {
     pub simulated_delay_nanos: u64,
     /// Per-request serving latency distribution.
     pub latency: LatencySnapshot,
+    /// Total writer-race retries across all optimistic reads.
+    pub reads_retried: u64,
+    /// Optimistic reads bucketed by how often each retried
+    /// (see [`read_retry_bucket_index`]).
+    pub read_retries: [u64; READ_RETRY_BUCKETS],
 }
 
 impl ClusterMetrics {
@@ -237,6 +262,8 @@ impl<S: Shim> ClusterMetricsG<S> {
             spawned_nodes: S::atomic_u64(0),
             simulated_delay_nanos: S::atomic_u64(0),
             request_latency: LatencyHistogramG::new_in(),
+            reads_retried: S::atomic_u64(0),
+            read_retries: std::array::from_fn(|_| S::atomic_u64(0)),
         }
     }
 
@@ -267,6 +294,20 @@ impl<S: Shim> ClusterMetricsG<S> {
     /// and the event-driven reactor feed this histogram.
     pub fn record_latency(&self, nanos: u64) {
         self.request_latency.record(nanos);
+    }
+
+    /// Account one completed optimistic (seqlock) read that validated
+    /// after `retries` writer races. Zero-retry reads land in bucket 0,
+    /// so the histogram's sum is the total optimistic read count.
+    pub fn record_read_retries(&self, retries: u64) {
+        S::fetch_add(&self.reads_retried, retries);
+        S::fetch_add(&self.read_retries[read_retry_bucket_index(retries)], 1);
+    }
+
+    /// Total writer-race retries so far.
+    #[must_use]
+    pub fn reads_retried(&self) -> u64 {
+        S::load(&self.reads_retried)
     }
 
     /// Requests delivered so far.
@@ -303,6 +344,8 @@ impl<S: Shim> ClusterMetricsG<S> {
             spawned_nodes: S::load(&self.spawned_nodes),
             simulated_delay_nanos: S::load(&self.simulated_delay_nanos),
             latency: self.request_latency.snapshot(),
+            reads_retried: S::load(&self.reads_retried),
+            read_retries: std::array::from_fn(|i| S::load(&self.read_retries[i])),
         }
     }
 
@@ -314,6 +357,10 @@ impl<S: Shim> ClusterMetricsG<S> {
         S::store(&self.spawned_nodes, 0);
         S::store(&self.simulated_delay_nanos, 0);
         self.request_latency.reset();
+        S::store(&self.reads_retried, 0);
+        for b in &self.read_retries {
+            S::store(b, 0);
+        }
     }
 }
 
@@ -436,6 +483,34 @@ mod tests {
         merged.merge(&b.snapshot());
         assert_eq!(merged.count, 3);
         assert_eq!(merged.buckets[latency_bucket_index(10)], 2);
+    }
+
+    #[test]
+    fn read_retry_buckets_are_exact_then_ranged() {
+        assert_eq!(read_retry_bucket_index(0), 0);
+        assert_eq!(read_retry_bucket_index(3), 3);
+        assert_eq!(read_retry_bucket_index(4), 4);
+        assert_eq!(read_retry_bucket_index(7), 4);
+        assert_eq!(read_retry_bucket_index(8), 5);
+        assert_eq!(read_retry_bucket_index(31), 6);
+        assert_eq!(read_retry_bucket_index(32), 7);
+        assert_eq!(read_retry_bucket_index(u64::MAX), 7);
+    }
+
+    #[test]
+    fn read_retries_accumulate_and_reset() {
+        let m = ClusterMetrics::new();
+        m.record_read_retries(0);
+        m.record_read_retries(2);
+        m.record_read_retries(5);
+        let s = m.snapshot();
+        assert_eq!(s.reads_retried, 7);
+        assert_eq!(s.read_retries.iter().sum::<u64>(), 3, "one entry per read");
+        assert_eq!(s.read_retries[0], 1);
+        assert_eq!(s.read_retries[2], 1);
+        assert_eq!(s.read_retries[4], 1);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
     }
 
     #[test]

@@ -262,6 +262,21 @@ impl Shim for ModelShim {
             .store(value, std::sync::atomic::Ordering::SeqCst);
     }
 
+    // The model serializes every atomic access through the scheduler,
+    // so SeqCst already subsumes the acquire/release orderings: the
+    // ordered variants only need to be schedule points like the rest.
+    fn load_acquire(atomic: &Self::AtomicU64) -> u64 {
+        atomic.touch();
+        atomic.value.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    fn store_release(atomic: &Self::AtomicU64, value: u64) {
+        atomic.touch();
+        atomic
+            .value
+            .store(value, std::sync::atomic::Ordering::SeqCst);
+    }
+
     fn now_nanos() -> u64 {
         let (exec, _) = current();
         let st = exec.lock_state();

@@ -68,6 +68,15 @@ pub trait Shim: Sized + Send + Sync + 'static {
     fn load(atomic: &Self::AtomicU64) -> u64;
     /// Overwrite the current value.
     fn store(atomic: &Self::AtomicU64, value: u64);
+    /// Read the current value with `Acquire` ordering: every write the
+    /// storing thread published (with [`Shim::store_release`]) before
+    /// the stored value is visible after this load. The seqlock read
+    /// side of the versioned KD-tree is built on this pairing.
+    fn load_acquire(atomic: &Self::AtomicU64) -> u64;
+    /// Overwrite the current value with `Release` ordering: pairs with
+    /// [`Shim::load_acquire`] to publish everything written before the
+    /// store.
+    fn store_release(atomic: &Self::AtomicU64, value: u64);
 
     /// Monotonic clock reading in nanoseconds. Only differences are
     /// meaningful; the epoch is arbitrary (process start for `StdShim`,
@@ -146,6 +155,14 @@ impl Shim for StdShim {
 
     fn store(atomic: &Self::AtomicU64, value: u64) {
         atomic.store(value, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn load_acquire(atomic: &Self::AtomicU64) -> u64 {
+        atomic.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    fn store_release(atomic: &Self::AtomicU64, value: u64) {
+        atomic.store(value, std::sync::atomic::Ordering::Release)
     }
 
     fn now_nanos() -> u64 {

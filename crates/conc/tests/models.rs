@@ -24,6 +24,7 @@ use semtree_conc::explore::{explore, explore_random, replay, Options};
 use semtree_conc::model::ModelShim;
 use semtree_conc::shim::Shim;
 use semtree_distance::MemoizedDistance;
+use semtree_kdtree::{KdConfig, VersionedKdTree};
 use semtree_net::ConnRegistry;
 use semtree_par::ChunkedQueue;
 use semtree_reactor::{Push, ServeQueue};
@@ -82,6 +83,12 @@ const TARGETS: &[Target] = &[
         name: "memo_shard_race",
         what: "Sharded MemoizedDistance: racing readers agree, symmetric pairs share one entry",
         body: memo_shard_race,
+        spurious_budget: 0,
+    },
+    Target {
+        name: "kdtree_read_split",
+        what: "Versioned KD-tree optimistic knn vs insert/split: every validated read equals the prefix its version names",
+        body: kdtree_read_split,
         spurious_budget: 0,
     },
     Target {
@@ -489,6 +496,69 @@ fn reactor_queue_close() {
     );
     assert_eq!(queue.conn_in_flight(7), 0, "closed conn 7 kept accounting");
     assert_eq!(queue.conn_in_flight(8), 0, "closed conn 8 kept accounting");
+}
+
+// ---------------------------------------------------------------------
+// Target 8: the versioned KD-tree's optimistic read vs insert/split.
+// ---------------------------------------------------------------------
+
+/// One writer inserts three 1-D points into a `bucket_size = 1` tree
+/// (the second and third inserts split leaves copy-on-write) while a
+/// reader runs a bounded optimistic 2-NN. The seqlock names the state:
+/// a read validated at version `2n` must return exactly the answer for
+/// the n-insert prefix — never a torn split, never a missing committed
+/// point, never a phantom. The expected answers are precomputed
+/// constants so the reference adds no schedule points of its own.
+fn kdtree_read_split() {
+    // Inserts, in order: 2.0 → payload 0, 0.0 → payload 1, 3.0 → 2.
+    // 2-NN of query 3.1, by prefix length (payloads, nearest first):
+    const EXPECTED: [&[u64]; 4] = [&[], &[0], &[0, 1], &[2, 0]];
+
+    let mut tree = VersionedKdTree::<ModelShim>::new(KdConfig::new(1).with_bucket_size(1));
+    let reader = tree.reader();
+
+    let writer = ModelShim::spawn(move || {
+        assert!(tree.insert(&[2.0], 0), "arena cannot exhaust here");
+        assert!(tree.insert(&[0.0], 1), "arena cannot exhaust here");
+        assert!(tree.insert(&[3.0], 2), "arena cannot exhaust here");
+        tree
+    });
+
+    let observer = {
+        let reader = reader.clone();
+        ModelShim::spawn(move || {
+            // Bounded retries: an unbounded seqlock retry loop would be
+            // an unbounded schedule for the explorer. Exhaustion just
+            // means every attempt raced the writer — a legal outcome.
+            if let Some((hits, stats)) = reader.knn_bounded(&[3.1], 2, 4) {
+                assert_eq!(stats.version % 2, 0, "validated against an odd version");
+                let prefix = usize::try_from(stats.version / 2).unwrap_or(usize::MAX);
+                assert!(
+                    prefix <= 3,
+                    "version {} names a phantom prefix",
+                    stats.version
+                );
+                let got: Vec<u64> = hits.iter().map(|h| h.payload).collect();
+                assert_eq!(
+                    got, EXPECTED[prefix],
+                    "read validated at version {} must equal its prefix",
+                    stats.version
+                );
+            }
+        })
+    };
+
+    let tree = ModelShim::join(writer);
+    ModelShim::join(observer);
+
+    // Quiescent read: all writes joined, so the first attempt validates
+    // and must see the full 3-insert state.
+    let (hits, stats) = reader.knn(&[3.1], 2);
+    assert_eq!(stats.retries, 0, "no writer left to race");
+    assert_eq!(stats.version, 6, "three inserts, one transaction each");
+    let got: Vec<u64> = hits.iter().map(|h| h.payload).collect();
+    assert_eq!(got, EXPECTED[3]);
+    drop(tree);
 }
 
 // ---------------------------------------------------------------------

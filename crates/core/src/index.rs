@@ -1,7 +1,7 @@
 //! The assembled SemTree index.
 
 use semtree_cluster::MetricsSnapshot;
-use semtree_dist::{DistConfig, DistSemTree, GlobalStats};
+use semtree_dist::{DistConfig, DistSemTree, GlobalStats, Neighbor, Query, QueryOutcome};
 use semtree_distance::{MemoizedDistance, TripleDistance};
 use semtree_fastmap::{Embedding, FastMap};
 use semtree_model::{Triple, TripleId, TripleStore};
@@ -213,7 +213,7 @@ impl SemTree {
         } else {
             k
         };
-        let neighbors = self.tree.knn(&point, fetch);
+        let neighbors = read_neighbors(&self.tree, Query::knn(&point, fetch));
         let mut hits: Vec<Hit> = neighbors
             .into_iter()
             .map(|n| self.to_hit(n.payload, n.dist, opts.refine.then_some(query)))
@@ -234,8 +234,7 @@ impl SemTree {
     #[must_use]
     pub fn range(&self, query: &Triple, radius: f64) -> Vec<Hit> {
         let point = self.project(query);
-        self.tree
-            .range(&point, radius)
+        read_neighbors(&self.tree, Query::range(&point, radius))
             .into_iter()
             .map(|n| self.to_hit(n.payload, n.dist, None))
             .collect()
@@ -248,9 +247,7 @@ impl SemTree {
     pub fn range_semantic(&self, query: &Triple, radius: f64, slack: f64) -> Vec<Hit> {
         let slack = slack.max(1.0);
         let point = self.project(query);
-        let mut hits: Vec<Hit> = self
-            .tree
-            .range(&point, radius * slack)
+        let mut hits: Vec<Hit> = read_neighbors(&self.tree, Query::range(&point, radius * slack))
             .into_iter()
             .map(|n| self.to_hit(n.payload, n.dist, Some(query)))
             .filter(|h| h.semantic_distance.expect("refined") <= radius)
@@ -307,7 +304,7 @@ impl SemTree {
         }
         debug_assert_eq!(id.index(), self.triples.len());
         let point = self.project(&triple);
-        self.tree.insert(&point, u64::from(id.0));
+        insert_point(&self.tree, &point, u64::from(id.0));
         self.embedding.push_point(&point);
         self.triples.push(triple);
         (id, true)
@@ -337,6 +334,24 @@ impl SemTree {
 }
 
 /// Build (or rebuild) the distributed tree over an embedding's points.
+/// Run a read query against the in-process tree. The cluster lives in
+/// this process and its actors outlive the facade, so the only failure
+/// is a dead partition thread — unrecoverable index corruption.
+fn read_neighbors(tree: &DistSemTree, query: Query) -> Vec<Neighbor<u64>> {
+    tree.query(query)
+        .and_then(QueryOutcome::neighbors)
+        .expect("in-process cluster query failed")
+}
+
+/// Insert into the in-process tree; same failure reasoning as
+/// [`read_neighbors`], and a silently dropped insert would desync the
+/// tree from the triple store.
+fn insert_point(tree: &DistSemTree, point: &[f64], payload: u64) {
+    tree.query(Query::insert(point, payload))
+        .and_then(QueryOutcome::inserted)
+        .expect("in-process cluster insert failed");
+}
+
 fn build_tree(
     embedding: &Embedding,
     dims: usize,
@@ -358,7 +373,7 @@ fn build_tree(
         DistSemTree::with_fanout(config, cost, partitions, &sample)
     };
     for (i, p) in embedding.iter() {
-        tree.insert(p, i as u64);
+        insert_point(&tree, p, i as u64);
     }
     tree
 }

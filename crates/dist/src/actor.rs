@@ -5,18 +5,26 @@ use std::sync::Arc;
 use semtree_cluster::{ClusterError, ComputeNodeId, Handler, NodeCtx};
 use semtree_par::Pool;
 
+use crate::mirror::{Mirror, ReadHandle};
 use crate::proto::{Req, Resp};
 use crate::store::{KnnState, LocalNodeId, PartitionStore, RemoteOps};
 use crate::tree::SharedConfig;
 
 /// Hosts one partition of the SemTree and speaks the [`Req`]/[`Resp`]
 /// protocol. Single-threaded per partition, like one MPJ rank — except
-/// for [`Req::KnnBatch`], whose queries fan out over `pool` when the
-/// partition has no remote links.
+/// for reads: while the partition is fully local, they go through the
+/// lock-free [`Mirror`], so [`Req::KnnBatch`] fans out over `pool` and
+/// the coordinator can bypass the mailbox entirely via the registered
+/// [`ReadHandle`].
 pub(crate) struct PartitionActor {
     store: PartitionStore,
     shared: Arc<SharedConfig>,
     pool: Pool,
+    /// Seqlock mirror of `store`, maintained on every local mutation.
+    mirror: Mirror,
+    /// The mirror's shared read side (also registered in `shared`).
+    handle: Arc<ReadHandle>,
+    registered: bool,
 }
 
 impl PartitionActor {
@@ -30,19 +38,21 @@ impl PartitionActor {
             Vec::new(),
             0,
         );
-        PartitionActor {
-            store,
-            shared,
-            pool: Pool::new(),
-        }
+        Self::with_store(store, shared)
     }
 
-    /// A partition with a pre-built store (the fan-out root).
+    /// A partition with a pre-built store (the fan-out root, or a
+    /// WAL-recovered partition).
     pub(crate) fn with_store(store: PartitionStore, shared: Arc<SharedConfig>) -> Self {
+        let mirror = Mirror::from_store(&store, shared.dims, shared.bucket_size, shared.split_rule);
+        let handle = mirror.handle();
         PartitionActor {
             store,
             shared,
             pool: Pool::new(),
+            mirror,
+            handle,
+            registered: false,
         }
     }
 
@@ -117,6 +127,10 @@ impl PartitionActor {
             } else {
                 store.relink_to_partition(candidate, new_partition, LocalNodeId(0));
             }
+            // The partition now has a remote link: freeze the mirror
+            // *before* any later write is acknowledged, so lock-free
+            // readers can never miss an acknowledged insert.
+            self.mirror.deactivate();
         }
         Ok(())
     }
@@ -303,6 +317,14 @@ impl Handler for PartitionActor {
     type Resp = Resp;
 
     fn handle(&mut self, ctx: &NodeCtx<Req, Resp>, req: Req) -> Resp {
+        if !self.registered {
+            // Publish the lock-free read side once the hosting node is
+            // known; the coordinator uses it to serve k-NN and range
+            // queries without entering this mailbox.
+            self.shared
+                .register_read_handle(ctx.node_id(), Arc::clone(&self.handle));
+            self.registered = true;
+        }
         let remote = FabricRemote { ctx };
         match req {
             Req::Insert {
@@ -334,6 +356,11 @@ impl Handler for PartitionActor {
                 };
                 match inserted {
                     Ok(stored_here) => {
+                        if stored_here {
+                            // Keep the mirror in lockstep before the
+                            // write can be acknowledged.
+                            self.mirror.insert(&point, payload);
+                        }
                         if let Some(wal) = &self.shared.wal {
                             match wal.log_splits(ctx.node_id(), &splits) {
                                 Ok(d) => due |= d,
@@ -363,6 +390,14 @@ impl Handler for PartitionActor {
                 k,
                 worst,
             } => {
+                // Fully-local partition: serve through the lock-free
+                // mirror (identical answer, retry accounting for free).
+                if node == LocalNodeId(0) {
+                    if let Some((hits, retries)) = self.handle.knn(&point, k, worst) {
+                        self.shared.record_read_retries(retries);
+                        return Resp::Candidates(hits);
+                    }
+                }
                 let mut state = KnnState::new(k, worst);
                 match self.store.knn(node, &point, &mut state, &remote) {
                     Ok(()) => Resp::Candidates(state.into_candidates()),
@@ -374,6 +409,12 @@ impl Handler for PartitionActor {
                 point,
                 radius,
             } => {
+                if node == LocalNodeId(0) {
+                    if let Some((hits, retries)) = self.handle.range(&point, radius) {
+                        self.shared.record_read_retries(retries);
+                        return Resp::Candidates(hits);
+                    }
+                }
                 let mut out = Vec::new();
                 match self.store.range(node, &point, radius, &mut out, &remote) {
                     Ok(()) => Resp::Candidates(out),
@@ -418,6 +459,7 @@ impl Handler for PartitionActor {
                 } else {
                     self.store = build();
                 }
+                self.mirror.rebuild(&self.store);
                 Resp::Done
             }
             Req::KnnBatch { node, points, k } => {
@@ -435,10 +477,37 @@ impl Handler for PartitionActor {
                         }
                     }
                     Resp::CandidateBatches(batches)
-                } else {
+                } else if node == LocalNodeId(0) && self.handle.is_active() {
                     // Fully local partition: fan the queries out over the
-                    // worker pool. Each query's answer is identical to the
-                    // sequential path.
+                    // worker pool through the lock-free mirror. Each
+                    // query's answer is identical to the sequential path.
+                    let handle = &self.handle;
+                    let results = self
+                        .pool
+                        .map(points.len(), &|i| handle.knn(&points[i], k, None));
+                    let mut batches = Vec::with_capacity(results.len());
+                    for (i, r) in results.into_iter().enumerate() {
+                        match r {
+                            Some((hits, retries)) => {
+                                self.shared.record_read_retries(retries);
+                                batches.push(hits);
+                            }
+                            None => {
+                                // Mirror rejected the query (e.g. a
+                                // dimensionality mismatch): sequential
+                                // store path for this one.
+                                let mut state = KnnState::new(k, None);
+                                match self.store.knn(node, &points[i], &mut state, &NoRemote) {
+                                    Ok(()) => batches.push(state.into_candidates()),
+                                    Err(e) => return Resp::Error(e.to_string()),
+                                }
+                            }
+                        }
+                    }
+                    Resp::CandidateBatches(batches)
+                } else {
+                    // Fully local partition with a frozen mirror: fan
+                    // out over the pool directly against the store.
                     let store = &self.store;
                     let results = self.pool.map(points.len(), &|i| {
                         let mut state = KnnState::new(k, None);

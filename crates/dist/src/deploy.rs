@@ -22,7 +22,9 @@ use std::path::Path;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
-use semtree_cluster::{Cluster, ClusterError, ComputeNodeId, CostModel, Transport};
+use semtree_cluster::{
+    Cluster, ClusterError, ComputeNodeId, CostModel, Transport, READ_RETRY_BUCKETS,
+};
 use semtree_kdtree::SplitRule;
 use semtree_net::{
     decode_exact, dial_with_timeout, encode_frame_v2, read_frame, split_frame_v2, write_frame,
@@ -34,7 +36,7 @@ use crate::actor::PartitionActor;
 use crate::proto::{PartitionStats, Req, Resp};
 use crate::recovery::{replay_stores, WalHandle};
 use crate::store::PartitionStore;
-use crate::tree::{CapacityPolicy, DistConfig, DistSemTree, SharedConfig};
+use crate::tree::{CapacityPolicy, DistConfig, DistSemTree, Query, QueryOutcome, SharedConfig};
 
 /// The [`NetFabric`] instantiated for the SemTree partition protocol.
 pub type DistFabric = NetFabric<Req, Resp>;
@@ -336,6 +338,7 @@ pub fn join_cluster(
     let net_config: NetDeployConfig = decode_exact(&blob)?;
     let config = net_config.to_config();
     let shared = SharedConfig::new(&config);
+    shared.set_metrics(fabric.local_fabric().metrics_handle());
     fabric.local_fabric().set_node_factory(Box::new(move || {
         Box::new(PartitionActor::fresh(Arc::clone(&shared)))
     }));
@@ -382,6 +385,7 @@ pub fn join_cluster_durable(
             WalOptions::default(),
         )?;
         let shared = SharedConfig::new_with_wal(&config, Some(WalHandle::new(wal)));
+        shared.set_metrics(fabric.local_fabric().metrics_handle());
         let factory_shared = Arc::clone(&shared);
         fabric.local_fabric().set_node_factory(Box::new(move || {
             Box::new(PartitionActor::fresh(Arc::clone(&factory_shared)))
@@ -417,6 +421,7 @@ pub fn join_cluster_durable(
     let fabric = DistFabric::rejoin(coordinator, cost, timeout, state.process_index, &recovered)?;
     let handle = WalHandle::new(wal);
     let shared = SharedConfig::new_with_wal(&config, Some(Arc::clone(&handle)));
+    shared.set_metrics(fabric.local_fabric().metrics_handle());
 
     // Re-spawn in ascending local index: the local fabric assigns indices
     // sequentially, so this reproduces every pre-crash partition id.
@@ -581,6 +586,11 @@ pub enum ClientResp {
         p99_nanos: u64,
         /// 99.9th-percentile request latency (nanoseconds).
         p999_nanos: u64,
+        /// Total writer-race retries across optimistic lock-free reads.
+        reads_retried: u64,
+        /// Optimistic reads bucketed by retry count
+        /// (see [`semtree_cluster::read_retry_bucket_index`]).
+        read_retries: [u64; READ_RETRY_BUCKETS],
     },
     /// The request failed.
     Error(String),
@@ -676,6 +686,8 @@ impl Encode for ClientResp {
                 p50_nanos,
                 p99_nanos,
                 p999_nanos,
+                reads_retried,
+                read_retries,
             } => {
                 out.push(4);
                 messages.encode(out);
@@ -686,6 +698,10 @@ impl Encode for ClientResp {
                 p50_nanos.encode(out);
                 p99_nanos.encode(out);
                 p999_nanos.encode(out);
+                reads_retried.encode(out);
+                for bucket in read_retries {
+                    bucket.encode(out);
+                }
             }
             ClientResp::Error(msg) => {
                 out.push(5);
@@ -716,6 +732,14 @@ impl Decode for ClientResp {
                 p50_nanos: u64::decode(buf)?,
                 p99_nanos: u64::decode(buf)?,
                 p999_nanos: u64::decode(buf)?,
+                reads_retried: u64::decode(buf)?,
+                read_retries: {
+                    let mut buckets = [0u64; READ_RETRY_BUCKETS];
+                    for bucket in &mut buckets {
+                        *bucket = u64::decode(buf)?;
+                    }
+                    buckets
+                },
             }),
             5 => Ok(ClientResp::Error(String::decode(buf)?)),
             6 => Ok(ClientResp::NeighborBatches(Vec::decode(buf)?)),
@@ -744,8 +768,8 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
             if let Some(err) = dims_mismatch(tree, &point) {
                 return err;
             }
-            match tree.try_insert(&point, payload) {
-                Ok(()) => ClientResp::Done,
+            match tree.query(Query::Insert { point, payload }) {
+                Ok(_) => ClientResp::Done,
                 Err(e) => ClientResp::Error(e.to_string()),
             }
         }
@@ -753,7 +777,10 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
             if let Some(err) = dims_mismatch(tree, &point) {
                 return err;
             }
-            match tree.try_knn(&point, k) {
+            match tree
+                .query(Query::Knn { point, k })
+                .and_then(QueryOutcome::neighbors)
+            {
                 Ok(hits) => {
                     ClientResp::Neighbors(hits.into_iter().map(|n| (n.dist, n.payload)).collect())
                 }
@@ -764,7 +791,10 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
             if let Some(err) = dims_mismatch(tree, &point) {
                 return err;
             }
-            match tree.try_range(&point, radius) {
+            match tree
+                .query(Query::Range { point, radius })
+                .and_then(QueryOutcome::neighbors)
+            {
                 Ok(hits) => {
                     ClientResp::Neighbors(hits.into_iter().map(|n| (n.dist, n.payload)).collect())
                 }
@@ -787,6 +817,8 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
                 p50_nanos: m.latency.p50_nanos(),
                 p99_nanos: m.latency.p99_nanos(),
                 p999_nanos: m.latency.p999_nanos(),
+                reads_retried: m.reads_retried,
+                read_retries: m.read_retries,
             }
         }
         ClientReq::Shutdown => ClientResp::Done,
@@ -796,7 +828,10 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
                     return err;
                 }
             }
-            match tree.try_knn_batch(&points, k) {
+            match tree
+                .query(Query::KnnBatch { points, k })
+                .and_then(QueryOutcome::neighbor_batches)
+            {
                 Ok(batches) => ClientResp::NeighborBatches(
                     batches
                         .into_iter()
@@ -830,6 +865,30 @@ impl Default for ServeOptions {
             global_depth: d.global_depth,
             per_conn_depth: d.per_conn_depth,
         }
+    }
+}
+
+impl ServeOptions {
+    /// Executor thread count (consuming builder, like the `with_*`
+    /// methods on `KdConfig`/`DistConfig`/`WalOptions`).
+    #[must_use]
+    pub fn with_executors(mut self, executors: usize) -> Self {
+        self.executors = executors;
+        self
+    }
+
+    /// Global in-flight bound before load shedding.
+    #[must_use]
+    pub fn with_global_depth(mut self, global_depth: usize) -> Self {
+        self.global_depth = global_depth;
+        self
+    }
+
+    /// Per-connection pipeline depth before backpressure.
+    #[must_use]
+    pub fn with_per_conn_depth(mut self, per_conn_depth: usize) -> Self {
+        self.per_conn_depth = per_conn_depth;
+        self
     }
 }
 
@@ -919,6 +978,11 @@ pub struct ClientMetrics {
     pub p99_nanos: u64,
     /// 99.9th-percentile request latency in nanoseconds.
     pub p999_nanos: u64,
+    /// Total writer-race retries across optimistic lock-free reads.
+    pub reads_retried: u64,
+    /// Optimistic reads bucketed by retry count
+    /// (see [`semtree_cluster::read_retry_bucket_index`]).
+    pub read_retries: [u64; READ_RETRY_BUCKETS],
 }
 
 /// A blocking client of the coordinator's query port.
@@ -1042,6 +1106,8 @@ impl NetClient {
                 p50_nanos,
                 p99_nanos,
                 p999_nanos,
+                reads_retried,
+                read_retries,
             } => Ok(ClientMetrics {
                 messages,
                 bytes,
@@ -1051,6 +1117,8 @@ impl NetClient {
                 p50_nanos,
                 p99_nanos,
                 p999_nanos,
+                reads_retried,
+                read_retries,
             }),
             other => Err(unexpected(&other)),
         }
@@ -1364,8 +1432,14 @@ mod tests {
             );
         }
         // The tree survived every bad request.
-        tree.insert(&[1.0, 2.0], 7);
-        assert_eq!(tree.knn(&[1.0, 2.0], 1)[0].payload, 7);
+        tree.query(Query::insert(&[1.0, 2.0], 7))
+            .and_then(QueryOutcome::inserted)
+            .expect("insert");
+        let hits = tree
+            .query(Query::knn(&[1.0, 2.0], 1))
+            .and_then(QueryOutcome::neighbors)
+            .expect("knn");
+        assert_eq!(hits[0].payload, 7);
         tree.shutdown();
     }
 
@@ -1421,6 +1495,8 @@ mod tests {
                 p50_nanos: 2_048,
                 p99_nanos: 65_536,
                 p999_nanos: 131_072,
+                reads_retried: 5,
+                read_retries: [10, 3, 1, 0, 1, 0, 0, 0],
             },
             ClientResp::Error("nope".into()),
             ClientResp::NeighborBatches(vec![vec![(0.5, 9), (1.0, 2)], vec![]]),

@@ -62,6 +62,7 @@
 mod actor;
 mod colimage;
 mod deploy;
+mod mirror;
 mod proto;
 mod recovery;
 mod store;
@@ -78,4 +79,4 @@ pub use recovery::{inspect_wal, SnapshotCompression, WalInspection};
 pub use semtree_kdtree::Neighbor;
 pub use semtree_wal::WalOptions;
 pub use store::LocalNodeId;
-pub use tree::{CapacityPolicy, DistConfig, DistSemTree, GlobalStats};
+pub use tree::{CapacityPolicy, DistConfig, DistSemTree, GlobalStats, Query, QueryOutcome};

@@ -362,7 +362,7 @@ mod tests {
     use semtree_wal::WalOptions;
 
     use crate::store::StoreImage;
-    use crate::tree::{CapacityPolicy, DistConfig, DistSemTree};
+    use crate::tree::{CapacityPolicy, DistConfig, DistSemTree, Query, QueryOutcome};
 
     fn scratch_dir(tag: &str) -> PathBuf {
         let dir =
@@ -408,14 +408,14 @@ mod tests {
         // Tiny segments and a cadence the workload will cross several
         // times, so sealing, live snapshots and compaction all happen
         // organically mid-run.
-        let options = WalOptions {
-            segment_bytes: 4096,
-            snapshot_every: 64,
-            ..WalOptions::default()
-        };
+        let options = WalOptions::default()
+            .with_segment_bytes(4096)
+            .with_snapshot_every(64);
         let tree = durable_tree(&dir, &config, options);
         for i in 0..150u64 {
-            tree.insert(&[(i % 13) as f64, (i / 13) as f64], i);
+            tree.query(Query::insert(&[(i % 13) as f64, (i / 13) as f64], i))
+                .and_then(QueryOutcome::inserted)
+                .expect("insert");
         }
         let live_points = tree.len();
         let live_partitions = tree.partition_count();
@@ -489,19 +489,17 @@ mod tests {
             .with_bucket_size(4)
             .with_max_partitions(4)
             .with_capacity(CapacityPolicy::MaxPoints(40));
-        let legacy = WalOptions {
-            segment_bytes: 4096,
-            snapshot_every: 64,
-            columnar: false,
-        };
-        let columnar = WalOptions {
-            columnar: true,
-            ..legacy
-        };
+        let legacy = WalOptions::default()
+            .with_segment_bytes(4096)
+            .with_snapshot_every(64)
+            .with_columnar(false);
+        let columnar = WalOptions::default().with_columnar(true);
         for (dir, options) in [(&dir_legacy, legacy), (&dir_columnar, columnar)] {
             let tree = durable_tree(dir, &config, options);
             for i in 0..120u64 {
-                tree.insert(&[(i % 11) as f64, (i / 11) as f64], i);
+                tree.query(Query::insert(&[(i % 11) as f64, (i / 11) as f64], i))
+                    .and_then(QueryOutcome::inserted)
+                    .expect("insert");
             }
             tree.shutdown();
         }
@@ -552,7 +550,12 @@ mod tests {
         // Points drawn from a small palette — the occurrence-heavy shape
         // the columnar codec is built for.
         for i in 0..400u64 {
-            tree.insert(&[(i % 5) as f64 * 0.25, (i % 7) as f64 * 0.5], i);
+            tree.query(Query::insert(
+                &[(i % 5) as f64 * 0.25, (i % 7) as f64 * 0.5],
+                i,
+            ))
+            .and_then(QueryOutcome::inserted)
+            .expect("insert");
         }
         tree.shutdown();
         let (wal, _) = Wal::resume(&dir, WalOptions::default()).expect("resume");
@@ -586,14 +589,17 @@ mod tests {
         let config = DistConfig::new(2).with_bucket_size(4);
         // A cadence the workload never reaches: everything after the
         // initial snapshot lives only in the tail.
-        let options = WalOptions {
-            segment_bytes: 1 << 20,
-            snapshot_every: 1_000_000,
-            ..WalOptions::default()
-        };
+        let options = WalOptions::default()
+            .with_segment_bytes(1 << 20)
+            .with_snapshot_every(1_000_000);
         let tree = durable_tree(&dir, &config, options);
         for i in 0..60u64 {
-            tree.insert(&[f64::from(i as u32 % 7), f64::from(i as u32 / 7)], i);
+            tree.query(Query::insert(
+                &[f64::from(i as u32 % 7), f64::from(i as u32 / 7)],
+                i,
+            ))
+            .and_then(QueryOutcome::inserted)
+            .expect("insert");
         }
         tree.shutdown();
 

@@ -194,7 +194,7 @@ impl KnnState {
     }
 }
 
-fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+pub(crate) fn euclidean(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
         .zip(b)
         .map(|(x, y)| (x - y) * (x - y))
@@ -1127,7 +1127,7 @@ impl Decode for ChildImage {
 /// Split-dimension/value selection shared with the sequential tree's
 /// semantics: cycle by depth, step to another dimension when degenerate,
 /// median value adjusted so both sides are non-empty.
-fn choose_split(
+pub(crate) fn choose_split(
     bucket: &[(Box<[f64]>, u64)],
     dims: usize,
     depth: u32,

@@ -1,13 +1,17 @@
 //! The `DistSemTree` facade: configuration, construction, and the public
 //! insert/k-NN/range operations.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
-use semtree_cluster::{ChannelFabric, Cluster, ClusterError, ComputeNodeId, CostModel, Transport};
+use semtree_cluster::{
+    ChannelFabric, Cluster, ClusterError, ClusterMetrics, ComputeNodeId, CostModel, Transport,
+};
 use semtree_kdtree::{Neighbor, SplitRule};
 
 use crate::actor::PartitionActor;
+use crate::mirror::ReadHandle;
 use crate::proto::{PartitionStats, Req, Resp};
 use crate::recovery::WalHandle;
 use crate::store::{Child, LocalNodeId, PNodeKind, PartitionStore};
@@ -124,6 +128,15 @@ impl DistConfig {
     }
 }
 
+/// Planar points (`dims = 2`) with [`DistConfig::new`]'s defaults —
+/// mirrors `KdConfig::default()` so the two tree layers start from the
+/// same configuration shape.
+impl Default for DistConfig {
+    fn default() -> Self {
+        DistConfig::new(2)
+    }
+}
+
 /// Configuration + partition accounting shared by every actor.
 pub(crate) struct SharedConfig {
     pub(crate) dims: usize,
@@ -134,6 +147,13 @@ pub(crate) struct SharedConfig {
     /// The process-wide WAL, `None` when running without durability.
     pub(crate) wal: Option<Arc<WalHandle>>,
     partitions: AtomicUsize,
+    /// Lock-free read handles registered by fully-local partition
+    /// actors, keyed by hosting compute node. Leaf lock (rank 21 in
+    /// semtree-check's order): nothing is acquired while it is held.
+    read_handles: Mutex<HashMap<ComputeNodeId, Arc<ReadHandle>>>,
+    /// Metrics sink for optimistic-read retry accounting; set once the
+    /// owning fabric is known, absent in bare unit-test stores.
+    metrics: OnceLock<Arc<ClusterMetrics>>,
 }
 
 impl SharedConfig {
@@ -150,7 +170,40 @@ impl SharedConfig {
             max_partitions: config.max_partitions,
             wal,
             partitions: AtomicUsize::new(0),
+            read_handles: Mutex::new(HashMap::new()),
+            metrics: OnceLock::new(),
         })
+    }
+
+    /// Publish (or refresh) the lock-free read handle for the partition
+    /// hosted on `node`.
+    pub(crate) fn register_read_handle(&self, node: ComputeNodeId, handle: Arc<ReadHandle>) {
+        self.read_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(node, handle);
+    }
+
+    /// The read handle registered for `node`, if any.
+    pub(crate) fn read_handle(&self, node: ComputeNodeId) -> Option<Arc<ReadHandle>> {
+        self.read_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&node)
+            .cloned()
+    }
+
+    /// Attach the cluster metrics sink (idempotent; first caller wins).
+    pub(crate) fn set_metrics(&self, metrics: Arc<ClusterMetrics>) {
+        let _ = self.metrics.set(metrics);
+    }
+
+    /// Account one optimistic read that validated after `retries`
+    /// writer races; a no-op when no metrics sink is attached.
+    pub(crate) fn record_read_retries(&self, retries: u64) {
+        if let Some(m) = self.metrics.get() {
+            m.record_read_retries(retries);
+        }
     }
 
     /// Atomically claim a slot for one more partition; `false` when the
@@ -211,6 +264,141 @@ impl GlobalStats {
     pub fn root_routing_nodes(&self) -> usize {
         self.partitions.first().map_or(0, |(_, s)| s.routing)
     }
+}
+
+/// One typed request against a [`DistSemTree`] — the input to
+/// [`DistSemTree::query`], the unified entry point that replaced the
+/// accreted `try_*`/panicking method pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Store one point with its payload (the distributed insertion
+    /// algorithm, starting "from the root node of the root partition").
+    Insert {
+        /// Point coordinates (must match the configured dimensionality).
+        point: Vec<f64>,
+        /// Caller-owned identifier carried with the point.
+        payload: u64,
+    },
+    /// The `k` nearest stored points to `point`.
+    Knn {
+        /// Query point.
+        point: Vec<f64>,
+        /// Result-set size `K`.
+        k: usize,
+    },
+    /// The `k` nearest stored points to every entry of `points`,
+    /// answered in one round trip to the root partition.
+    KnnBatch {
+        /// Query points, answered in order.
+        points: Vec<Vec<f64>>,
+        /// Result-set size `K` per query.
+        k: usize,
+    },
+    /// Every stored point within `radius` of `point` (inclusive).
+    Range {
+        /// Query point.
+        point: Vec<f64>,
+        /// Inclusive search radius `D`.
+        radius: f64,
+    },
+}
+
+impl Query {
+    /// [`Query::Insert`] from borrowed coordinates.
+    #[must_use]
+    pub fn insert(point: &[f64], payload: u64) -> Self {
+        Query::Insert {
+            point: point.to_vec(),
+            payload,
+        }
+    }
+
+    /// [`Query::Knn`] from borrowed coordinates.
+    #[must_use]
+    pub fn knn(point: &[f64], k: usize) -> Self {
+        Query::Knn {
+            point: point.to_vec(),
+            k,
+        }
+    }
+
+    /// [`Query::KnnBatch`] from borrowed query points.
+    #[must_use]
+    pub fn knn_batch(points: &[Vec<f64>], k: usize) -> Self {
+        Query::KnnBatch {
+            points: points.to_vec(),
+            k,
+        }
+    }
+
+    /// [`Query::Range`] from borrowed coordinates.
+    #[must_use]
+    pub fn range(point: &[f64], radius: f64) -> Self {
+        Query::Range {
+            point: point.to_vec(),
+            radius,
+        }
+    }
+}
+
+/// The successful result of [`DistSemTree::query`], one variant per
+/// [`Query`] shape. The typed accessors convert a shape mismatch into a
+/// [`ClusterError`] instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// An [`Query::Insert`] was applied and acknowledged.
+    Inserted,
+    /// Hits for [`Query::Knn`] / [`Query::Range`], closest first.
+    Neighbors(Vec<Neighbor<u64>>),
+    /// Per-query hits for [`Query::KnnBatch`], in input order, each
+    /// closest first.
+    NeighborBatches(Vec<Vec<Neighbor<u64>>>),
+}
+
+impl QueryOutcome {
+    fn mismatch(expected: &str, got: &Self) -> ClusterError {
+        ClusterError::Remote(format!("expected {expected} outcome, got {got:?}"))
+    }
+
+    /// Confirm this outcome acknowledges an insert.
+    ///
+    /// # Errors
+    /// Fails when the outcome is not [`QueryOutcome::Inserted`].
+    pub fn inserted(self) -> Result<(), ClusterError> {
+        match self {
+            QueryOutcome::Inserted => Ok(()),
+            other => Err(Self::mismatch("insert", &other)),
+        }
+    }
+
+    /// The neighbour list of a k-NN or range outcome.
+    ///
+    /// # Errors
+    /// Fails when the outcome is not [`QueryOutcome::Neighbors`].
+    pub fn neighbors(self) -> Result<Vec<Neighbor<u64>>, ClusterError> {
+        match self {
+            QueryOutcome::Neighbors(hits) => Ok(hits),
+            other => Err(Self::mismatch("neighbors", &other)),
+        }
+    }
+
+    /// The per-query neighbour lists of a batched k-NN outcome.
+    ///
+    /// # Errors
+    /// Fails when the outcome is not [`QueryOutcome::NeighborBatches`].
+    pub fn neighbor_batches(self) -> Result<Vec<Vec<Neighbor<u64>>>, ClusterError> {
+        match self {
+            QueryOutcome::NeighborBatches(batches) => Ok(batches),
+            other => Err(Self::mismatch("neighbor batches", &other)),
+        }
+    }
+}
+
+fn to_neighbors(candidates: Vec<(f64, u64)>) -> Vec<Neighbor<u64>> {
+    candidates
+        .into_iter()
+        .map(|(dist, payload)| Neighbor { dist, payload })
+        .collect()
 }
 
 /// The distributed SemTree: a cluster of partition actors behind a
@@ -319,6 +507,7 @@ impl DistSemTree {
     ) -> Result<Self, ClusterError> {
         assert!(partitions > 0, "at least one partition is required");
         let shared = SharedConfig::new_with_wal(&config, wal);
+        shared.set_metrics(cluster.metrics_handle());
         install_member_factory(&cluster, &shared);
 
         if partitions == 1 {
@@ -392,39 +581,137 @@ impl DistSemTree {
         })
     }
 
+    /// Execute one typed [`Query`] — the single entry point for every
+    /// data operation.
+    ///
+    /// Writes always travel through the root partition's actor mailbox
+    /// (preserving WAL-before-apply ordering). Reads take a lock-free
+    /// fast path when the root partition is fully local: they run
+    /// against the actor's seqlock [`Mirror`](crate::mirror::Mirror)
+    /// without entering the mailbox, retrying only when racing an
+    /// in-flight insert, and the answer is byte-identical to the
+    /// mailbox path. Retries land in the cluster metrics
+    /// (`reads_retried`).
+    ///
+    /// # Errors
+    /// Fails when a partition the operation must visit is unreachable
+    /// (dead node, network fault) or reports a failure of its own.
+    pub fn query(&self, query: Query) -> Result<QueryOutcome, ClusterError> {
+        match query {
+            Query::Insert { point, payload } => {
+                match self.cluster.call(
+                    self.root,
+                    Req::Insert {
+                        node: LocalNodeId(0),
+                        point,
+                        payload,
+                    },
+                )? {
+                    Resp::Done => {
+                        self.inserted.fetch_add(1, Ordering::Relaxed);
+                        Ok(QueryOutcome::Inserted)
+                    }
+                    Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+                    other => Err(ClusterError::Remote(format!(
+                        "expected done, got {other:?}"
+                    ))),
+                }
+            }
+            Query::Knn { point, k } => {
+                if let Some((hits, retries)) = self.direct_read(|h| h.knn(&point, k, None)) {
+                    self.shared.record_read_retries(retries);
+                    return Ok(QueryOutcome::Neighbors(to_neighbors(hits)));
+                }
+                match self.cluster.call(
+                    self.root,
+                    Req::Knn {
+                        node: LocalNodeId(0),
+                        point,
+                        k,
+                        worst: None,
+                    },
+                )? {
+                    Resp::Candidates(c) => Ok(QueryOutcome::Neighbors(to_neighbors(c))),
+                    Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+                    other => Err(ClusterError::Remote(format!(
+                        "expected candidates, got {other:?}"
+                    ))),
+                }
+            }
+            Query::KnnBatch { points, k } => {
+                match self.cluster.call(
+                    self.root,
+                    Req::KnnBatch {
+                        node: LocalNodeId(0),
+                        points,
+                        k,
+                    },
+                )? {
+                    Resp::CandidateBatches(b) => Ok(QueryOutcome::NeighborBatches(
+                        b.into_iter().map(to_neighbors).collect(),
+                    )),
+                    Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+                    other => Err(ClusterError::Remote(format!(
+                        "expected candidate batches, got {other:?}"
+                    ))),
+                }
+            }
+            Query::Range { point, radius } => {
+                let candidates =
+                    if let Some((hits, retries)) = self.direct_read(|h| h.range(&point, radius)) {
+                        self.shared.record_read_retries(retries);
+                        hits
+                    } else {
+                        match self.cluster.call(
+                            self.root,
+                            Req::Range {
+                                node: LocalNodeId(0),
+                                point,
+                                radius,
+                            },
+                        )? {
+                            Resp::Candidates(c) => c,
+                            Resp::Error(msg) => return Err(ClusterError::Remote(msg)),
+                            other => {
+                                return Err(ClusterError::Remote(format!(
+                                    "expected candidates, got {other:?}"
+                                )))
+                            }
+                        }
+                    };
+                let mut out = to_neighbors(candidates);
+                out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+                Ok(QueryOutcome::Neighbors(out))
+            }
+        }
+    }
+
+    /// Try the lock-free read fast path: only when the root partition
+    /// has registered a [`ReadHandle`] and it is still fully local.
+    fn direct_read<T>(&self, read: impl FnOnce(&ReadHandle) -> Option<T>) -> Option<T> {
+        let handle = self.shared.read_handle(self.root)?;
+        read(&handle)
+    }
+
     /// Insert a point via the distributed insertion algorithm, starting
     /// "from the root node of the root partition".
     ///
     /// # Errors
     /// Fails when the target partition is unreachable (dead node, network
     /// fault) or reports a failure of its own.
+    #[deprecated(note = "use DistSemTree::query with Query::Insert")]
     pub fn try_insert(&self, point: &[f64], payload: u64) -> Result<(), ClusterError> {
-        match self.cluster.call(
-            self.root,
-            Req::Insert {
-                node: LocalNodeId(0),
-                point: point.to_vec(),
-                payload,
-            },
-        )? {
-            Resp::Done => {
-                self.inserted.fetch_add(1, Ordering::Relaxed);
-                Ok(())
-            }
-            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
-            other => Err(ClusterError::Remote(format!(
-                "expected done, got {other:?}"
-            ))),
-        }
+        self.query(Query::insert(point, payload))?.inserted()
     }
 
-    /// Infallible [`try_insert`](DistSemTree::try_insert) for healthy
-    /// clusters.
+    /// Infallible insert for healthy clusters.
     ///
     /// # Panics
     /// Panics when the insert fails.
+    #[deprecated(note = "use DistSemTree::query with Query::Insert")]
     pub fn insert(&self, point: &[f64], payload: u64) {
-        self.try_insert(point, payload)
+        self.query(Query::insert(point, payload))
+            .and_then(QueryOutcome::inserted)
             .expect("distributed insert failed");
     }
 
@@ -432,112 +719,62 @@ impl DistSemTree {
     ///
     /// # Errors
     /// Fails when any partition the search must visit is unreachable.
+    #[deprecated(note = "use DistSemTree::query with Query::Knn")]
     pub fn try_knn(&self, point: &[f64], k: usize) -> Result<Vec<Neighbor<u64>>, ClusterError> {
-        match self.cluster.call(
-            self.root,
-            Req::Knn {
-                node: LocalNodeId(0),
-                point: point.to_vec(),
-                k,
-                worst: None,
-            },
-        )? {
-            Resp::Candidates(c) => Ok(c
-                .into_iter()
-                .map(|(dist, payload)| Neighbor { dist, payload })
-                .collect()),
-            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
-            other => Err(ClusterError::Remote(format!(
-                "expected candidates, got {other:?}"
-            ))),
-        }
+        self.query(Query::knn(point, k))?.neighbors()
     }
 
-    /// Infallible [`try_knn`](DistSemTree::try_knn) for healthy clusters.
+    /// Infallible k-nearest query for healthy clusters.
     ///
     /// # Panics
     /// Panics when the query fails.
+    #[deprecated(note = "use DistSemTree::query with Query::Knn")]
     #[must_use]
     pub fn knn(&self, point: &[f64], k: usize) -> Vec<Neighbor<u64>> {
-        self.try_knn(point, k).expect("distributed knn failed")
+        self.query(Query::knn(point, k))
+            .and_then(QueryOutcome::neighbors)
+            .expect("distributed knn failed")
     }
 
     /// Batched distributed k-nearest query: every query in `points` is
     /// answered in one round trip to the root partition, which fans
     /// fully-local batches out over its worker pool. Answers come back
     /// in query order, each closest first — identical to issuing
-    /// [`try_knn`](DistSemTree::try_knn) per query.
+    /// [`Query::Knn`] per query.
     ///
     /// # Errors
     /// Fails when any partition a search must visit is unreachable.
+    #[deprecated(note = "use DistSemTree::query with Query::KnnBatch")]
     pub fn try_knn_batch(
         &self,
         points: &[Vec<f64>],
         k: usize,
     ) -> Result<Vec<Vec<Neighbor<u64>>>, ClusterError> {
-        match self.cluster.call(
-            self.root,
-            Req::KnnBatch {
-                node: LocalNodeId(0),
-                points: points.to_vec(),
-                k,
-            },
-        )? {
-            Resp::CandidateBatches(b) => Ok(b
-                .into_iter()
-                .map(|c| {
-                    c.into_iter()
-                        .map(|(dist, payload)| Neighbor { dist, payload })
-                        .collect()
-                })
-                .collect()),
-            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
-            other => Err(ClusterError::Remote(format!(
-                "expected candidate batches, got {other:?}"
-            ))),
-        }
+        self.query(Query::knn_batch(points, k))?.neighbor_batches()
     }
 
     /// Distributed range query (inclusive radius); hits closest first.
     ///
     /// # Errors
     /// Fails when any partition the search must visit is unreachable.
+    #[deprecated(note = "use DistSemTree::query with Query::Range")]
     pub fn try_range(
         &self,
         point: &[f64],
         radius: f64,
     ) -> Result<Vec<Neighbor<u64>>, ClusterError> {
-        match self.cluster.call(
-            self.root,
-            Req::Range {
-                node: LocalNodeId(0),
-                point: point.to_vec(),
-                radius,
-            },
-        )? {
-            Resp::Candidates(c) => {
-                let mut out: Vec<Neighbor<u64>> = c
-                    .into_iter()
-                    .map(|(dist, payload)| Neighbor { dist, payload })
-                    .collect();
-                out.sort_by(|a, b| a.dist.partial_cmp(&b.dist).expect("finite distances"));
-                Ok(out)
-            }
-            Resp::Error(msg) => Err(ClusterError::Remote(msg)),
-            other => Err(ClusterError::Remote(format!(
-                "expected candidates, got {other:?}"
-            ))),
-        }
+        self.query(Query::range(point, radius))?.neighbors()
     }
 
-    /// Infallible [`try_range`](DistSemTree::try_range) for healthy
-    /// clusters.
+    /// Infallible range query for healthy clusters.
     ///
     /// # Panics
     /// Panics when the query fails.
+    #[deprecated(note = "use DistSemTree::query with Query::Range")]
     #[must_use]
     pub fn range(&self, point: &[f64], radius: f64) -> Vec<Neighbor<u64>> {
-        self.try_range(point, radius)
+        self.query(Query::range(point, radius))
+            .and_then(QueryOutcome::neighbors)
             .expect("distributed range failed")
     }
 
@@ -707,7 +944,9 @@ impl DistSemTree {
             DistSemTree::with_fanout(config, cost, partitions, &sample)
         };
         for (coords, payload) in points {
-            tree.insert(&coords, payload);
+            tree.query(Query::insert(&coords, payload))
+                .and_then(QueryOutcome::inserted)
+                .expect("re-insert during repartition failed");
         }
         tree
     }
@@ -861,24 +1100,63 @@ mod tests {
         all
     }
 
+    fn ins(tree: &DistSemTree, point: &[f64], payload: u64) {
+        tree.query(Query::insert(point, payload))
+            .and_then(QueryOutcome::inserted)
+            .expect("insert failed");
+    }
+
+    fn knn_q(tree: &DistSemTree, point: &[f64], k: usize) -> Vec<Neighbor<u64>> {
+        tree.query(Query::knn(point, k))
+            .and_then(QueryOutcome::neighbors)
+            .expect("knn failed")
+    }
+
+    fn range_q(tree: &DistSemTree, point: &[f64], radius: f64) -> Vec<Neighbor<u64>> {
+        tree.query(Query::range(point, radius))
+            .and_then(QueryOutcome::neighbors)
+            .expect("range failed")
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_answer_correctly() {
+        // The pre-`Query` entry points remain as thin wrappers; this is the
+        // one test that exercises them directly.
+        let tree = DistSemTree::single(DistConfig::new(1).with_bucket_size(4), CostModel::zero());
+        for i in 0..20u64 {
+            tree.insert(&[i as f64], i);
+        }
+        tree.try_insert(&[20.0], 20).expect("try_insert");
+        assert_eq!(tree.knn(&[3.2], 2).len(), 2);
+        assert_eq!(tree.try_knn(&[3.2], 2).expect("try_knn").len(), 2);
+        assert_eq!(tree.range(&[5.0], 1.0).len(), 3);
+        assert_eq!(tree.try_range(&[5.0], 1.0).expect("try_range").len(), 3);
+        let batches = tree
+            .try_knn_batch(&[vec![1.1], vec![9.9]], 3)
+            .expect("try_knn_batch");
+        assert_eq!(batches.len(), 2);
+        tree.shutdown();
+    }
+
     #[test]
     fn single_partition_knn_and_range_match_brute_force() {
         let points = grid(300);
         let tree = DistSemTree::single(DistConfig::new(2).with_bucket_size(8), CostModel::zero());
         for (c, p) in &points {
-            tree.insert(c, *p);
+            ins(&tree, c, *p);
         }
         assert_eq!(tree.len(), 300);
         assert_eq!(tree.partition_count(), 1);
 
         let q = [4.3, 7.8];
-        let got = tree.knn(&q, 5);
+        let got = knn_q(&tree, &q, 5);
         let want = brute_knn(&points, &q, 5);
         for (g, w) in got.iter().zip(&want) {
             assert!((g.dist - w.0).abs() < 1e-9);
         }
 
-        let got = tree.range(&q, 3.0);
+        let got = range_q(&tree, &q, 3.0);
         let want = points
             .iter()
             .filter(|(c, _)| {
@@ -908,19 +1186,19 @@ mod tests {
                 &sample,
             );
             for (c, p) in &points {
-                tree.insert(c, *p);
+                ins(&tree, c, *p);
             }
             assert_eq!(tree.partition_count(), m, "partition count for M={m}");
 
             let q = [8.0, 11.0];
-            let got = tree.knn(&q, 7);
+            let got = knn_q(&tree, &q, 7);
             let want = brute_knn(&points, &q, 7);
             assert_eq!(got.len(), 7, "M={m}");
             for (g, w) in got.iter().zip(&want) {
                 assert!((g.dist - w.0).abs() < 1e-9, "M={m}: {} vs {}", g.dist, w.0);
             }
 
-            let got_range = tree.range(&q, 4.0);
+            let got_range = range_q(&tree, &q, 4.0);
             let want_range = points
                 .iter()
                 .filter(|(c, _)| {
@@ -954,12 +1232,15 @@ mod tests {
                 &sample,
             );
             for (c, p) in &points {
-                tree.insert(c, *p);
+                ins(&tree, c, *p);
             }
-            let batches = tree.try_knn_batch(&queries, 6).expect("batch succeeds");
+            let batches = tree
+                .query(Query::knn_batch(&queries, 6))
+                .and_then(QueryOutcome::neighbor_batches)
+                .expect("batch succeeds");
             assert_eq!(batches.len(), queries.len());
             for (q, batch) in queries.iter().zip(&batches) {
-                let single = tree.knn(q, 6);
+                let single = knn_q(&tree, q, 6);
                 assert_eq!(batch.len(), single.len(), "M={m}");
                 for (b, s) in batch.iter().zip(&single) {
                     assert_eq!(b.dist.to_bits(), s.dist.to_bits(), "M={m}");
@@ -967,7 +1248,11 @@ mod tests {
                 }
             }
             // Empty batch round-trips cleanly.
-            assert!(tree.try_knn_batch(&[], 3).expect("empty batch").is_empty());
+            assert!(tree
+                .query(Query::knn_batch(&[], 3))
+                .and_then(QueryOutcome::neighbor_batches)
+                .expect("empty batch")
+                .is_empty());
             tree.shutdown();
         }
     }
@@ -985,7 +1270,7 @@ mod tests {
                 &sample,
             );
             for i in 0..200u64 {
-                tree.insert(&[(i % 64) as f64, (i / 64) as f64], i);
+                ins(&tree, &[(i % 64) as f64, (i / 64) as f64], i);
             }
             let stats = tree.global_stats();
             assert_eq!(stats.partition_count(), m);
@@ -1015,7 +1300,7 @@ mod tests {
             );
             tree.reset_metrics();
             for i in 0..100u64 {
-                tree.insert(&[(i % 64) as f64], i);
+                ins(&tree, &[(i % 64) as f64], i);
             }
             message_counts.push(tree.metrics().messages);
             tree.shutdown();
@@ -1039,7 +1324,7 @@ mod tests {
             .map(|i| (vec![f64::from(i)], u64::from(i)))
             .collect();
         for (c, p) in &points {
-            tree.insert(c, *p);
+            ins(&tree, c, *p);
         }
         assert!(
             tree.partition_count() > 1,
@@ -1052,7 +1337,7 @@ mod tests {
         }
         // Searches stay exact after build-partition.
         let q = [150.2];
-        let got = tree.knn(&q, 5);
+        let got = knn_q(&tree, &q, 5);
         let want = brute_knn(&points, &q, 5);
         for (g, w) in got.iter().zip(&want) {
             assert!((g.dist - w.0).abs() < 1e-9);
@@ -1070,7 +1355,7 @@ mod tests {
             CostModel::zero(),
         );
         for i in 0..100u64 {
-            tree.insert(&[i as f64], i);
+            ins(&tree, &[i as f64], i);
         }
         assert!(tree.partition_count() > 1);
         assert_eq!(tree.global_stats().total_points(), 100);
@@ -1087,7 +1372,7 @@ mod tests {
             CostModel::zero(),
         );
         for i in 0..200u64 {
-            tree.insert(&[i as f64], i);
+            ins(&tree, &[i as f64], i);
         }
         assert_eq!(tree.partition_count(), 3, "cap respected");
         assert_eq!(tree.global_stats().total_points(), 200);
@@ -1098,8 +1383,8 @@ mod tests {
     fn empty_tree_queries() {
         let tree = DistSemTree::single(DistConfig::new(2), CostModel::zero());
         assert!(tree.is_empty());
-        assert!(tree.knn(&[0.0, 0.0], 3).is_empty());
-        assert!(tree.range(&[0.0, 0.0], 10.0).is_empty());
+        assert!(knn_q(&tree, &[0.0, 0.0], 3).is_empty());
+        assert!(range_q(&tree, &[0.0, 0.0], 10.0).is_empty());
         tree.shutdown();
     }
 
@@ -1107,9 +1392,9 @@ mod tests {
     fn knn_k_larger_than_population() {
         let tree = DistSemTree::single(DistConfig::new(1).with_bucket_size(2), CostModel::zero());
         for i in 0..5u64 {
-            tree.insert(&[i as f64], i);
+            ins(&tree, &[i as f64], i);
         }
-        assert_eq!(tree.knn(&[2.0], 50).len(), 5);
+        assert_eq!(knn_q(&tree, &[2.0], 50).len(), 5);
         tree.shutdown();
     }
 
@@ -1139,7 +1424,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..100u64 {
                         let v = (t * 100 + i) % 128;
-                        tree.insert(&[v as f64], t * 1000 + i);
+                        ins(&tree, &[v as f64], t * 1000 + i);
                     }
                 })
             })
@@ -1151,11 +1436,11 @@ mod tests {
         assert_eq!(tree.global_stats().total_points(), 400);
 
         // Concurrent queries agree with a sequential pass.
-        let expected = tree.knn(&[64.2], 5);
+        let expected = knn_q(&tree, &[64.2], 5);
         let threads: Vec<_> = (0..4)
             .map(|_| {
                 let tree = Arc::clone(&tree);
-                std::thread::spawn(move || tree.knn(&[64.2], 5))
+                std::thread::spawn(move || knn_q(&tree, &[64.2], 5))
             })
             .collect();
         for th in threads {
@@ -1180,7 +1465,7 @@ mod tests {
                 &sample,
             );
             for i in 0..150u64 {
-                tree.insert(&[(i % 64) as f64], i);
+                ins(&tree, &[(i % 64) as f64], i);
             }
             assert_eq!(tree.verify(), Vec::<String>::new(), "M={m}");
             tree.shutdown();
@@ -1197,7 +1482,7 @@ mod tests {
             CostModel::zero(),
         );
         for i in 0..200u64 {
-            tree.insert(&[i as f64], i);
+            ins(&tree, &[i as f64], i);
         }
         assert!(tree.partition_count() > 1);
         assert_eq!(tree.verify(), Vec::<String>::new());
@@ -1216,7 +1501,7 @@ mod tests {
             &sample,
         );
         for i in 0..80u64 {
-            tree.insert(&[(i % 32) as f64], i);
+            ins(&tree, &[(i % 32) as f64], i);
         }
         let mut exported = tree.export_points();
         assert_eq!(exported.len(), 80);
@@ -1241,9 +1526,9 @@ mod tests {
             .map(|i| (vec![f64::from(i)], u64::from(i)))
             .collect();
         for (c, p) in &points {
-            tree.insert(c, *p);
+            ins(&tree, c, *p);
         }
-        let before = tree.knn(&[77.3], 5);
+        let before = knn_q(&tree, &[77.3], 5);
 
         let tree = tree.repartitioned(5);
         assert_eq!(tree.partition_count(), 5);
@@ -1251,7 +1536,7 @@ mod tests {
         assert_eq!(tree.global_stats().total_points(), 200);
         assert_eq!(tree.verify(), Vec::<String>::new());
 
-        let after = tree.knn(&[77.3], 5);
+        let after = knn_q(&tree, &[77.3], 5);
         for (a, b) in before.iter().zip(&after) {
             assert!((a.dist - b.dist).abs() < 1e-12);
         }

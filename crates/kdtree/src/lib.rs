@@ -37,7 +37,9 @@
 mod search;
 mod stats;
 mod tree;
+pub mod versioned;
 
 pub use search::{Neighbor, SearchStats};
 pub use stats::TreeShape;
 pub use tree::{KdConfig, KdTree, NodeId, SplitRule};
+pub use versioned::{ReadStats, VersionedKdReader, VersionedKdTree};

@@ -95,6 +95,15 @@ impl KdConfig {
     }
 }
 
+/// Planar points (`dims = 2`) with the default bucket size and split
+/// rule — the smallest configuration every example in this workspace
+/// starts from; call [`KdConfig::new`] for other dimensionalities.
+impl Default for KdConfig {
+    fn default() -> Self {
+        KdConfig::new(2)
+    }
+}
+
 #[derive(Debug, Clone)]
 pub(crate) struct Entry<P> {
     pub(crate) coords: Box<[f64]>,

@@ -1,0 +1,1045 @@
+//! Seqlock-versioned KD-tree: lock-free optimistic readers under a
+//! single writer.
+//!
+//! The sequential [`crate::KdTree`] requires `&mut` for inserts and `&`
+//! for searches, so sharing one across threads forces a lock and every
+//! reader queues behind every writer. This module removes the reader
+//! side of that lock with the optimistic scheme used by modern in-memory
+//! indexes (congee/ART-OLC style, adapted to a bucketed KD-tree):
+//!
+//! - **Append-only node arena.** Nodes live in chunked, write-once slots
+//!   ([`std::sync::OnceLock`]); a node is never mutated after
+//!   publication except for the routing node's packed child word, which
+//!   is a single atomic. Readers therefore never observe a torn node.
+//! - **Copy-on-write structural updates.** An insert clones the target
+//!   leaf's bucket, builds the replacement leaf (or, on overflow, the
+//!   whole replacement subtree) in fresh slots, then swings exactly one
+//!   pointer — the parent's child word or the root word — with a single
+//!   release store.
+//! - **A tree-level seqlock.** The writer brackets every mutation with
+//!   `version += 1` (odd = in progress, even = quiescent). A reader
+//!   snapshots the version, traverses without any lock, then validates
+//!   the version is unchanged; on mismatch it retries and reports the
+//!   retry count so the serving layer can surface contention.
+//!
+//! Why readers can never return a torn result: every word a reader
+//! loads (version, root, child words) is stored with release ordering
+//! and loaded with acquire ordering, and every node reachable through
+//! those words was fully written before the word was published. If a
+//! traversal overlaps a writer transaction, the reader either saw only
+//! pre-transaction words (the result is the pre-state, and the final
+//! version check passes because it re-reads the pre-transaction value)
+//! or it saw at least one post-transaction word — in which case the
+//! acquire load that observed it also makes the writer's *entry* store
+//! (`version = odd`) visible, so validation fails and the read retries.
+//! Structural safety does not depend on validation at all: child words
+//! only ever point at fully-published nodes, and no stored edge ever
+//! points back at an existing node, so any interleaving of old and new
+//! edges is still acyclic and every traversal terminates.
+//!
+//! All of this is safe Rust (the workspace denies `unsafe`): the arena
+//! trades reclamation for simplicity — superseded nodes stay allocated
+//! for the life of the tree, which is the right call for partition
+//! mirrors that are rebuilt wholesale on topology changes.
+//!
+//! The module is generic over the leaf payload `L` and the
+//! [`semtree_conc::shim::Shim`], so the same code runs under real
+//! atomics in production ([`VersionedKdTree`]) and under the
+//! deterministic model checker (`kdtree_read_split` in
+//! `crates/conc/tests/models.rs`).
+
+use std::collections::BinaryHeap;
+use std::sync::{Arc, OnceLock};
+
+pub use semtree_conc::shim::{Shim, StdShim};
+use semtree_par::metric::euclidean;
+use semtree_par::Pool;
+
+use crate::search::Neighbor;
+use crate::tree::{KdConfig, SplitRule};
+
+/// Number of arena chunks. Chunk `c` holds `64 << c` slots, so 25
+/// chunks cap the arena at ~2.1 billion nodes — comfortably inside
+/// `u32` indices, which must pack two to a child word.
+const MAX_CHUNKS: usize = 25;
+/// Total slot capacity across all chunks.
+const MAX_NODES: u64 = 64 * ((1 << MAX_CHUNKS as u64) - 1);
+
+/// `(chunk, offset)` of arena index `idx`.
+fn locate(idx: u32) -> (usize, usize) {
+    let q = idx / 64 + 1;
+    let chunk = (31 - q.leading_zeros()) as usize;
+    let base = 64 * ((1u32 << chunk) - 1);
+    (chunk, (idx - base) as usize)
+}
+
+fn chunk_capacity(chunk: usize) -> usize {
+    64 << chunk
+}
+
+/// Pack two node indices into one child word (left high, right low).
+fn pack_children(left: u32, right: u32) -> u64 {
+    (u64::from(left) << 32) | u64::from(right)
+}
+
+fn unpack_children(word: u64) -> (u32, u32) {
+    #[allow(clippy::cast_possible_truncation)]
+    let right = word as u32;
+    ((word >> 32) as u32, right)
+}
+
+/// One immutable-after-publication tree node.
+pub struct VNode<L, S: Shim> {
+    depth: u32,
+    kind: VKind<L, S>,
+}
+
+enum VKind<L, S: Shim> {
+    /// Interior node: split plane plus the one mutable word — both
+    /// child indices packed into a single atomic so a structural swing
+    /// is one release store, never a half-updated pair.
+    Routing {
+        split_dim: u32,
+        split_val: f64,
+        children: S::AtomicU64,
+    },
+    Leaf(L),
+}
+
+/// A routing node's fields as read at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoutingView {
+    /// Split dimension `Sr`.
+    pub split_dim: usize,
+    /// Split value `Sv`; points with `coords[Sr] <= Sv` go left.
+    pub split_val: f64,
+    /// Left child arena index.
+    pub left: u32,
+    /// Right child arena index.
+    pub right: u32,
+}
+
+impl<L, S: Shim> VNode<L, S> {
+    /// Depth of this node (root = 0).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// The leaf payload, when this is a leaf.
+    #[must_use]
+    pub fn as_leaf(&self) -> Option<&L> {
+        match &self.kind {
+            VKind::Leaf(leaf) => Some(leaf),
+            VKind::Routing { .. } => None,
+        }
+    }
+
+    /// The routing fields (children loaded with acquire), when this is
+    /// an interior node.
+    #[must_use]
+    pub fn as_routing(&self) -> Option<RoutingView> {
+        match &self.kind {
+            VKind::Leaf(_) => None,
+            VKind::Routing {
+                split_dim,
+                split_val,
+                children,
+            } => {
+                let (left, right) = unpack_children(S::load_acquire(children));
+                Some(RoutingView {
+                    split_dim: *split_dim as usize,
+                    split_val: *split_val,
+                    left,
+                    right,
+                })
+            }
+        }
+    }
+}
+
+/// Retry accounting for one optimistic read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadStats {
+    /// The (even) version the result was validated against.
+    pub version: u64,
+    /// Attempts that had to be discarded before the validated one.
+    pub retries: u64,
+}
+
+/// One lazily-allocated arena chunk: a block of publish-once node slots.
+type NodeChunk<L, S> = Box<[OnceLock<VNode<L, S>>]>;
+
+/// The shared versioned tree. Construct with [`VersionedTree::channel`],
+/// which splits ownership into one [`TreeWriter`] and cloneable
+/// [`TreeReader`]s.
+pub struct VersionedTree<L, S: Shim = StdShim> {
+    /// Tree-level seqlock: odd while a writer transaction is open.
+    version: S::AtomicU64,
+    /// Arena index of the root node.
+    root: S::AtomicU64,
+    /// Next free arena slot (written by the single writer only).
+    next: S::AtomicU64,
+    chunks: Box<[OnceLock<NodeChunk<L, S>>]>,
+}
+
+/// The single mutating handle. Deliberately **not** `Clone`: writers
+/// stay single-threaded per tree, which is what makes the plain
+/// version counter a sufficient write lock.
+pub struct TreeWriter<L, S: Shim = StdShim> {
+    tree: Arc<VersionedTree<L, S>>,
+}
+
+/// A lock-free read handle; clone freely across threads.
+pub struct TreeReader<L, S: Shim = StdShim> {
+    tree: Arc<VersionedTree<L, S>>,
+}
+
+impl<L, S: Shim> Clone for TreeReader<L, S> {
+    fn clone(&self) -> Self {
+        TreeReader {
+            tree: Arc::clone(&self.tree),
+        }
+    }
+}
+
+impl<L, S: Shim> TreeReader<L, S> {
+    /// Optimistic read; see [`VersionedTree::read`].
+    pub fn read<R>(
+        &self,
+        attempt: impl FnMut(&ReadGuard<'_, L, S>) -> Option<R>,
+    ) -> (R, ReadStats) {
+        self.tree.read(attempt)
+    }
+
+    /// Bounded-retry read; see [`VersionedTree::read_bounded`].
+    pub fn read_bounded<R>(
+        &self,
+        attempts: u64,
+        attempt: impl FnMut(&ReadGuard<'_, L, S>) -> Option<R>,
+    ) -> Option<(R, ReadStats)> {
+        self.tree.read_bounded(attempts, attempt)
+    }
+}
+
+/// One consistent-attempt view handed to read closures. All node
+/// lookups may observe an in-flight writer; a closure must treat
+/// [`ReadGuard::node`] returning `None` as "retry", never as absence.
+pub struct ReadGuard<'t, L, S: Shim> {
+    tree: &'t VersionedTree<L, S>,
+}
+
+impl<L, S: Shim> ReadGuard<'_, L, S> {
+    /// Current root index.
+    #[must_use]
+    pub fn root(&self) -> u32 {
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = S::load_acquire(&self.tree.root) as u32;
+        idx
+    }
+
+    /// The node at `idx`, or `None` when the slot is not yet published
+    /// (the reader raced the writer and must retry).
+    #[must_use]
+    pub fn node(&self, idx: u32) -> Option<&VNode<L, S>> {
+        self.tree.node(idx)
+    }
+}
+
+impl<L, S: Shim> VersionedTree<L, S> {
+    /// Build a tree whose root is a depth-0 leaf holding `root_leaf`,
+    /// returning the unique writer and a first reader — mpsc-style
+    /// split ownership, hence "channel" rather than "new".
+    pub fn channel(root_leaf: L) -> (TreeWriter<L, S>, TreeReader<L, S>) {
+        let tree = Arc::new(VersionedTree {
+            version: S::atomic_u64(0),
+            root: S::atomic_u64(0),
+            next: S::atomic_u64(0),
+            chunks: (0..MAX_CHUNKS).map(|_| OnceLock::new()).collect(),
+        });
+        // Publish the root leaf before any reader exists; no
+        // transaction needed. The very first append cannot exhaust the
+        // arena.
+        let root = tree.append(VNode {
+            depth: 0,
+            kind: VKind::Leaf(root_leaf),
+        });
+        debug_assert_eq!(root, Some(0));
+        let writer = TreeWriter {
+            tree: Arc::clone(&tree),
+        };
+        let reader = TreeReader { tree };
+        (writer, reader)
+    }
+
+    fn node(&self, idx: u32) -> Option<&VNode<L, S>> {
+        let (chunk, offset) = locate(idx);
+        self.chunks.get(chunk)?.get()?.get(offset)?.get()
+    }
+
+    /// Append a node, returning its index, or `None` when the arena is
+    /// exhausted. Writer-only.
+    fn append(&self, node: VNode<L, S>) -> Option<u32> {
+        let idx = S::load(&self.next);
+        if idx >= MAX_NODES {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let idx32 = idx as u32;
+        let (chunk, offset) = locate(idx32);
+        let slot = self.chunks[chunk].get_or_init(|| {
+            (0..chunk_capacity(chunk))
+                .map(|_| OnceLock::new())
+                .collect()
+        });
+        // `set` fails only if the slot was already published, which a
+        // single writer never does; treat it as exhaustion rather than
+        // corrupting the arena.
+        if slot.get(offset)?.set(node).is_err() {
+            return None;
+        }
+        S::store(&self.next, idx + 1);
+        Some(idx32)
+    }
+
+    /// Run `attempt` until it returns a value that validates against an
+    /// unchanged version. `attempt` must return `None` when it observes
+    /// an unpublished slot (writer race); the loop retries in both
+    /// cases and reports how often.
+    pub fn read<R>(
+        &self,
+        mut attempt: impl FnMut(&ReadGuard<'_, L, S>) -> Option<R>,
+    ) -> (R, ReadStats) {
+        let mut retries = 0u64;
+        loop {
+            if let Some(done) = self.read_once(&mut attempt) {
+                return (
+                    done.0,
+                    ReadStats {
+                        version: done.1,
+                        retries,
+                    },
+                );
+            }
+            retries = retries.saturating_add(1);
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Like [`VersionedTree::read`] but gives up after `attempts`
+    /// failed validations instead of spinning — the form the bounded
+    /// model checker drives, where an unbounded retry loop would be an
+    /// unbounded schedule.
+    pub fn read_bounded<R>(
+        &self,
+        attempts: u64,
+        mut attempt: impl FnMut(&ReadGuard<'_, L, S>) -> Option<R>,
+    ) -> Option<(R, ReadStats)> {
+        for retries in 0..attempts {
+            if let Some(done) = self.read_once(&mut attempt) {
+                return Some((
+                    done.0,
+                    ReadStats {
+                        version: done.1,
+                        retries,
+                    },
+                ));
+            }
+        }
+        None
+    }
+
+    fn read_once<R>(
+        &self,
+        attempt: &mut impl FnMut(&ReadGuard<'_, L, S>) -> Option<R>,
+    ) -> Option<(R, u64)> {
+        let v1 = S::load_acquire(&self.version);
+        if v1 & 1 == 1 {
+            return None; // writer transaction open
+        }
+        let value = attempt(&ReadGuard { tree: self })?;
+        if S::load_acquire(&self.version) == v1 {
+            Some((value, v1))
+        } else {
+            None
+        }
+    }
+}
+
+/// An open writer transaction: readers observe the version as odd and
+/// retry until [`Txn`] is dropped. All structural mutations happen
+/// through a transaction.
+pub struct Txn<'w, L, S: Shim = StdShim> {
+    tree: &'w VersionedTree<L, S>,
+    entry_version: u64,
+}
+
+impl<L, S: Shim> TreeWriter<L, S> {
+    /// A new reader handle for this tree.
+    #[must_use]
+    pub fn reader(&self) -> TreeReader<L, S> {
+        TreeReader {
+            tree: Arc::clone(&self.tree),
+        }
+    }
+
+    /// Open a transaction (bumps the version to odd with a release
+    /// store).
+    pub fn begin(&mut self) -> Txn<'_, L, S> {
+        let v = S::load(&self.tree.version);
+        S::store_release(&self.tree.version, v | 1);
+        Txn {
+            tree: &self.tree,
+            entry_version: v | 1,
+        }
+    }
+
+    /// Writer-side node access outside a transaction (the writer is the
+    /// only mutator, so its own view is always consistent).
+    #[must_use]
+    pub fn node(&self, idx: u32) -> Option<&VNode<L, S>> {
+        self.tree.node(idx)
+    }
+
+    /// Writer-side root index.
+    #[must_use]
+    pub fn root(&self) -> u32 {
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = S::load(&self.tree.root) as u32;
+        idx
+    }
+}
+
+impl<L, S: Shim> Txn<'_, L, S> {
+    /// Current root index.
+    #[must_use]
+    pub fn root(&self) -> u32 {
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = S::load(&self.tree.root) as u32;
+        idx
+    }
+
+    /// The node at `idx`. Within a transaction the writer sees all of
+    /// its own appends.
+    #[must_use]
+    pub fn node(&self, idx: u32) -> Option<&VNode<L, S>> {
+        self.tree.node(idx)
+    }
+
+    /// Publish a fresh leaf; returns its index, or `None` when the
+    /// arena is exhausted (the caller abandons the transaction — no
+    /// pointer has swung, so the logical tree is unchanged).
+    pub fn alloc_leaf(&mut self, depth: u32, leaf: L) -> Option<u32> {
+        self.tree.append(VNode {
+            depth,
+            kind: VKind::Leaf(leaf),
+        })
+    }
+
+    /// Publish a fresh routing node over two already-published
+    /// children.
+    pub fn alloc_routing(
+        &mut self,
+        depth: u32,
+        split_dim: usize,
+        split_val: f64,
+        left: u32,
+        right: u32,
+    ) -> Option<u32> {
+        #[allow(clippy::cast_possible_truncation)]
+        let dim = split_dim as u32;
+        self.tree.append(VNode {
+            depth,
+            kind: VKind::Routing {
+                split_dim: dim,
+                split_val,
+                children: S::atomic_u64(pack_children(left, right)),
+            },
+        })
+    }
+
+    /// Swing one child edge of routing node `parent` to `child`
+    /// (release store of the packed word). Returns `false` when
+    /// `parent` is not a routing node.
+    pub fn set_child(&mut self, parent: u32, left_side: bool, child: u32) -> bool {
+        let Some(node) = self.tree.node(parent) else {
+            return false;
+        };
+        let VKind::Routing { children, .. } = &node.kind else {
+            return false;
+        };
+        let (left, right) = unpack_children(S::load(children));
+        let word = if left_side {
+            pack_children(child, right)
+        } else {
+            pack_children(left, child)
+        };
+        S::store_release(children, word);
+        true
+    }
+
+    /// Swing the root pointer to `idx`.
+    pub fn set_root(&mut self, idx: u32) {
+        S::store_release(&self.tree.root, u64::from(idx));
+    }
+}
+
+impl<L, S: Shim> Drop for Txn<'_, L, S> {
+    fn drop(&mut self) {
+        // Close the seqlock: odd → next even. Everything stored inside
+        // the transaction happens-before this release store.
+        S::store_release(&self.tree.version, self.entry_version + 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// The concrete point tree used by benches, tests and the model target.
+// ---------------------------------------------------------------------
+
+/// Leaf bucket: insertion-ordered `(coords, payload)` pairs.
+pub type VBucket = Vec<(Box<[f64]>, u64)>;
+
+/// Writer half of a concurrently-readable bucketed KD-tree with the
+/// same split semantics as [`crate::KdTree`]. Obtain readers with
+/// [`VersionedKdTree::reader`].
+pub struct VersionedKdTree<S: Shim = StdShim> {
+    writer: TreeWriter<VBucket, S>,
+    config: KdConfig,
+    len: usize,
+}
+
+/// Cloneable lock-free read handle over a [`VersionedKdTree`].
+pub struct VersionedKdReader<S: Shim = StdShim> {
+    reader: TreeReader<VBucket, S>,
+    config: KdConfig,
+}
+
+impl<S: Shim> Clone for VersionedKdReader<S> {
+    fn clone(&self) -> Self {
+        VersionedKdReader {
+            reader: self.reader.clone(),
+            config: self.config,
+        }
+    }
+}
+
+/// k-NN candidate ordered lexicographically by `(distance, payload)`.
+/// The payload tie-break makes every search result deterministic
+/// regardless of traversal interleaving, which the parity tests and
+/// the model target rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    dist: f64,
+    payload: u64,
+}
+
+impl Eq for Cand {}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then_with(|| self.payload.cmp(&other.payload))
+    }
+}
+
+/// Explicit-stack traversal task (mirrors the sequential searcher).
+enum Task {
+    Visit(u32),
+    CheckFar { idx: u32, plane_dist: f64 },
+}
+
+impl<S: Shim> VersionedKdTree<S> {
+    /// Empty tree under `config`.
+    #[must_use]
+    pub fn new(config: KdConfig) -> Self {
+        let (writer, _) = VersionedTree::channel(Vec::new());
+        VersionedKdTree {
+            writer,
+            config,
+            len: 0,
+        }
+    }
+
+    /// A new lock-free read handle.
+    #[must_use]
+    pub fn reader(&self) -> VersionedKdReader<S> {
+        VersionedKdReader {
+            reader: self.writer.reader(),
+            config: self.config,
+        }
+    }
+
+    /// The tree configuration.
+    #[must_use]
+    pub fn config(&self) -> &KdConfig {
+        &self.config
+    }
+
+    /// Points stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert one point. Returns `false` only when the node arena is
+    /// exhausted (the tree is unchanged in that case).
+    ///
+    /// The insert navigates to the target leaf, republishes it with the
+    /// point appended — splitting copy-on-write into a fresh subtree
+    /// when the bucket overflows — and swings a single pointer, all
+    /// inside one seqlock transaction.
+    pub fn insert(&mut self, point: &[f64], payload: u64) -> bool {
+        assert_eq!(point.len(), self.config.dims(), "dimensionality mismatch");
+        let config = self.config;
+        let mut txn = self.writer.begin();
+        let mut idx = txn.root();
+        let mut parent: Option<(u32, bool)> = None;
+        let (leaf_idx, depth) = loop {
+            let Some(node) = txn.node(idx) else {
+                // Unreachable for the writer (its own view is always
+                // consistent); bail without swinging anything.
+                return false;
+            };
+            let depth = node.depth();
+            match node.as_routing() {
+                Some(r) => {
+                    let left_side = point[r.split_dim] <= r.split_val;
+                    parent = Some((idx, left_side));
+                    idx = if left_side { r.left } else { r.right };
+                }
+                None => break (idx, depth),
+            }
+        };
+        let mut bucket = match txn.node(leaf_idx).and_then(VNode::as_leaf) {
+            Some(bucket) => bucket.clone(),
+            None => return false,
+        };
+        bucket.push((point.into(), payload));
+        let Some(new_idx) = build_subtree(&mut txn, &config, bucket, depth) else {
+            return false;
+        };
+        match parent {
+            Some((p, left_side)) => {
+                if !txn.set_child(p, left_side, new_idx) {
+                    return false;
+                }
+            }
+            None => txn.set_root(new_idx),
+        }
+        self.len += 1;
+        true
+    }
+}
+
+/// Copy-on-write subtree build: identical split decisions to
+/// [`crate::KdTree`] (cycle/widest/degenerate rules, `<=` partition,
+/// unsplittable buckets stay leaves).
+fn build_subtree<S: Shim>(
+    txn: &mut Txn<'_, VBucket, S>,
+    config: &KdConfig,
+    bucket: VBucket,
+    depth: u32,
+) -> Option<u32> {
+    if bucket.len() <= config.bucket_size() {
+        return txn.alloc_leaf(depth, bucket);
+    }
+    let Some((split_dim, split_val)) = choose_split(&bucket, config, depth) else {
+        return txn.alloc_leaf(depth, bucket);
+    };
+    let (left, right): (VBucket, VBucket) = bucket
+        .into_iter()
+        .partition(|(coords, _)| coords[split_dim] <= split_val);
+    let left_idx = build_subtree(txn, config, left, depth + 1)?;
+    let right_idx = build_subtree(txn, config, right, depth + 1)?;
+    txn.alloc_routing(depth, split_dim, split_val, left_idx, right_idx)
+}
+
+/// Split selection over raw buckets, mirroring the sequential tree's
+/// `choose_split_at` semantics exactly (the parity proptest in this
+/// module guards against drift).
+fn choose_split(bucket: &VBucket, config: &KdConfig, depth: u32) -> Option<(usize, f64)> {
+    let dims = config.dims();
+    let preferred = match config.split_rule() {
+        SplitRule::Cycle | SplitRule::DegenerateMin => depth as usize % dims,
+        SplitRule::WidestSpread => widest_dim(bucket, dims),
+    };
+    for offset in 0..dims {
+        let dim = (preferred + offset) % dims;
+        let mut values: Vec<f64> = bucket.iter().map(|(c, _)| c[dim]).collect();
+        values.sort_by(f64::total_cmp);
+        let (min, max) = (values[0], *values.last()?);
+        if max == min {
+            continue;
+        }
+        if config.split_rule() == SplitRule::DegenerateMin {
+            return Some((dim, min));
+        }
+        let mid = values[values.len() / 2];
+        let val = if mid < max {
+            mid
+        } else {
+            values.iter().rev().find(|&&v| v < max).copied()?
+        };
+        return Some((dim, val));
+    }
+    None
+}
+
+fn widest_dim(bucket: &VBucket, dims: usize) -> usize {
+    let mut best = 0;
+    let mut best_spread = f64::NEG_INFINITY;
+    for dim in 0..dims {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (coords, _) in bucket {
+            lo = lo.min(coords[dim]);
+            hi = hi.max(coords[dim]);
+        }
+        if hi - lo > best_spread {
+            best_spread = hi - lo;
+            best = dim;
+        }
+    }
+    best
+}
+
+impl<S: Shim> VersionedKdReader<S> {
+    /// The `k` nearest stored points, sorted by `(distance, payload)`,
+    /// plus retry accounting. Lock-free: retries only when racing a
+    /// writer transaction.
+    #[must_use]
+    pub fn knn(&self, query: &[f64], k: usize) -> (Vec<Neighbor<u64>>, ReadStats) {
+        assert_eq!(query.len(), self.config.dims(), "dimensionality mismatch");
+        self.reader.tree.read(|guard| knn_attempt(guard, query, k))
+    }
+
+    /// Bounded-retry [`VersionedKdReader::knn`] for the model checker:
+    /// `None` when every attempt raced a writer.
+    #[must_use]
+    pub fn knn_bounded(
+        &self,
+        query: &[f64],
+        k: usize,
+        attempts: u64,
+    ) -> Option<(Vec<Neighbor<u64>>, ReadStats)> {
+        self.reader
+            .tree
+            .read_bounded(attempts, |guard| knn_attempt(guard, query, k))
+    }
+
+    /// All stored points within `radius` of `query`, sorted by
+    /// `(distance, payload)`, plus retry accounting.
+    #[must_use]
+    pub fn range(&self, query: &[f64], radius: f64) -> (Vec<Neighbor<u64>>, ReadStats) {
+        assert_eq!(query.len(), self.config.dims(), "dimensionality mismatch");
+        assert!(radius >= 0.0, "radius must be non-negative");
+        self.reader
+            .tree
+            .read(|guard| range_attempt(guard, query, radius))
+    }
+
+    /// Answer a batch of k-NN queries, fanning out over `pool`. Each
+    /// worker reads through its own optimistic guard; the second return
+    /// value is the total retries across the batch.
+    #[must_use]
+    pub fn knn_batch(
+        &self,
+        queries: &[Vec<f64>],
+        k: usize,
+        pool: &Pool,
+    ) -> (Vec<Vec<Neighbor<u64>>>, u64) {
+        let per_query = pool.map(queries.len(), &|i| self.knn(&queries[i], k));
+        let mut retries = 0u64;
+        let mut out = Vec::with_capacity(per_query.len());
+        for (hits, stats) in per_query {
+            retries += stats.retries;
+            out.push(hits);
+        }
+        (out, retries)
+    }
+}
+
+/// One optimistic k-NN traversal attempt; `None` on any sign of a
+/// writer race (unpublished slot).
+fn knn_attempt<S: Shim>(
+    guard: &ReadGuard<'_, VBucket, S>,
+    query: &[f64],
+    k: usize,
+) -> Option<Vec<Neighbor<u64>>> {
+    if k == 0 {
+        return Some(Vec::new());
+    }
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(k + 1);
+    let mut stack = vec![Task::Visit(guard.root())];
+    while let Some(task) = stack.pop() {
+        let idx = match task {
+            Task::Visit(idx) => idx,
+            Task::CheckFar { idx, plane_dist } => {
+                let descend = heap.len() < k || heap.peek().is_some_and(|w| plane_dist < w.dist);
+                if !descend {
+                    continue;
+                }
+                idx
+            }
+        };
+        let node = guard.node(idx)?;
+        match node.as_routing() {
+            Some(r) => {
+                let delta = query[r.split_dim] - r.split_val;
+                let (near, far) = if delta <= 0.0 {
+                    (r.left, r.right)
+                } else {
+                    (r.right, r.left)
+                };
+                stack.push(Task::CheckFar {
+                    idx: far,
+                    plane_dist: delta.abs(),
+                });
+                stack.push(Task::Visit(near));
+            }
+            None => {
+                let bucket = node.as_leaf()?;
+                for (coords, payload) in bucket {
+                    let cand = Cand {
+                        dist: euclidean(coords, query),
+                        payload: *payload,
+                    };
+                    if heap.len() < k {
+                        heap.push(cand);
+                    } else if heap.peek().is_some_and(|w| cand < *w) {
+                        heap.pop();
+                        heap.push(cand);
+                    }
+                }
+            }
+        }
+    }
+    let mut hits = heap.into_vec();
+    hits.sort_unstable();
+    Some(
+        hits.into_iter()
+            .map(|c| Neighbor {
+                dist: c.dist,
+                payload: c.payload,
+            })
+            .collect(),
+    )
+}
+
+/// One optimistic range traversal attempt (same descent rule as the
+/// sequential tree: both children when `|P[Sr] − Sv| <= D`).
+fn range_attempt<S: Shim>(
+    guard: &ReadGuard<'_, VBucket, S>,
+    query: &[f64],
+    radius: f64,
+) -> Option<Vec<Neighbor<u64>>> {
+    let mut out = Vec::new();
+    let mut stack = vec![guard.root()];
+    while let Some(idx) = stack.pop() {
+        let node = guard.node(idx)?;
+        match node.as_routing() {
+            Some(r) => {
+                let delta = query[r.split_dim] - r.split_val;
+                if delta.abs() <= radius {
+                    stack.push(r.left);
+                    stack.push(r.right);
+                } else if delta <= 0.0 {
+                    stack.push(r.left);
+                } else {
+                    stack.push(r.right);
+                }
+            }
+            None => {
+                let bucket = node.as_leaf()?;
+                for (coords, payload) in bucket {
+                    let dist = euclidean(coords, query);
+                    if dist <= radius {
+                        out.push(Cand {
+                            dist,
+                            payload: *payload,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    Some(
+        out.into_iter()
+            .map(|c| Neighbor {
+                dist: c.dist,
+                payload: c.payload,
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    fn grid_points(n: usize) -> Vec<(Vec<f64>, u64)> {
+        (0..n)
+            .map(|i| {
+                (
+                    vec![f64::from(i as u32 % 10), f64::from(i as u32 / 10)],
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunk_math_is_contiguous() {
+        let mut expected = (0usize, 0usize);
+        for idx in 0..200_000u32 {
+            let (chunk, offset) = locate(idx);
+            assert_eq!((chunk, offset), expected, "idx {idx}");
+            expected = if offset + 1 == chunk_capacity(chunk) {
+                (chunk + 1, 0)
+            } else {
+                (chunk, offset + 1)
+            };
+            assert!(offset < chunk_capacity(chunk));
+        }
+    }
+
+    #[test]
+    fn children_pack_roundtrip() {
+        for (l, r) in [(0, 0), (1, 2), (u32::MAX, 7), (123_456, u32::MAX)] {
+            assert_eq!(unpack_children(pack_children(l, r)), (l, r));
+        }
+    }
+
+    #[test]
+    fn matches_sequential_tree_on_grid() {
+        let config = KdConfig::new(2).with_bucket_size(4);
+        let mut vtree = VersionedKdTree::<StdShim>::new(config);
+        let mut seq = crate::KdTree::new(config);
+        for (coords, payload) in grid_points(100) {
+            assert!(vtree.insert(&coords, payload));
+            seq.insert(&coords, payload);
+        }
+        let reader = vtree.reader();
+        for query in [[3.2, 4.9], [0.0, 0.0], [9.9, 9.9], [5.0, 5.0]] {
+            let (hits, stats) = reader.knn(&query, 5);
+            let expected = seq.knn(&query, 5);
+            assert_eq!(stats.retries, 0, "no writer, no retries");
+            assert_eq!(hits.len(), expected.len());
+            // Distances must agree exactly; payload order may differ on
+            // ties (the versioned reader breaks ties by payload).
+            for (h, e) in hits.iter().zip(expected.iter()) {
+                assert_eq!(h.dist, e.dist);
+            }
+            let mut got: Vec<u64> = hits.iter().map(|h| h.payload).collect();
+            let mut want: Vec<u64> = expected.iter().map(|e| e.payload).collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+        let (in_range, _) = reader.range(&[5.0, 5.0], 2.5);
+        let expected = seq.range(&[5.0, 5.0], 2.5);
+        assert_eq!(in_range.len(), expected.len());
+    }
+
+    #[test]
+    fn insert_returns_points_immediately() {
+        let mut tree = VersionedKdTree::<StdShim>::new(KdConfig::new(2).with_bucket_size(1));
+        let reader = tree.reader();
+        for (i, coords) in [[0.0, 0.0], [1.0, 0.0], [0.5, 2.0], [3.0, 3.0]]
+            .iter()
+            .enumerate()
+        {
+            assert!(tree.insert(coords, i as u64));
+            let (hits, _) = reader.knn(coords, 1);
+            assert_eq!(
+                hits[0].payload, i as u64,
+                "read-your-writes after insert {i}"
+            );
+            assert_eq!(hits[0].dist, 0.0);
+        }
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_chain_splits_stay_searchable() {
+        let config = KdConfig::new(1)
+            .with_bucket_size(1)
+            .with_split_rule(SplitRule::DegenerateMin);
+        let mut tree = VersionedKdTree::<StdShim>::new(config);
+        for i in 0..32u64 {
+            assert!(tree.insert(&[i as f64], i));
+        }
+        let (hits, _) = tree.reader().knn(&[15.4], 3);
+        let payloads: Vec<u64> = hits.iter().map(|h| h.payload).collect();
+        assert_eq!(payloads, vec![15, 16, 14]);
+    }
+
+    #[test]
+    fn concurrent_readers_never_see_torn_state() {
+        // Stress (not exhaustive — the model target is): readers
+        // validate every result against "some prefix of the inserted
+        // points" while the writer splits leaves underneath them.
+        let config = KdConfig::new(2).with_bucket_size(2);
+        let mut tree = VersionedKdTree::<StdShim>::new(config);
+        let points = grid_points(400);
+        let reader = tree.reader();
+        let done = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for t in 0..3 {
+            let reader = reader.clone();
+            let done = Arc::clone(&done);
+            handles.push(std::thread::spawn(move || {
+                let query = [3.1 + f64::from(t), 4.2];
+                let mut max_retries = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let (hits, stats) = reader.knn(&query, 4);
+                    // Result sizes grow monotonically with the prefix;
+                    // distances are sorted and deterministic.
+                    for pair in hits.windows(2) {
+                        assert!(pair[0].dist <= pair[1].dist);
+                    }
+                    max_retries = max_retries.max(stats.retries);
+                }
+                max_retries
+            }));
+        }
+        for (coords, payload) in &points {
+            assert!(tree.insert(coords, *payload));
+        }
+        done.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+        // Final state matches a sequential build.
+        let mut seq = crate::KdTree::new(config);
+        for (coords, payload) in &points {
+            seq.insert(coords, *payload);
+        }
+        let (hits, _) = reader.knn(&[3.1, 4.2], 4);
+        let expected = seq.knn(&[3.1, 4.2], 4);
+        assert_eq!(
+            hits.iter()
+                .map(|h| h.payload)
+                .collect::<std::collections::BTreeSet<_>>(),
+            expected
+                .iter()
+                .map(|e| e.payload)
+                .collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+}

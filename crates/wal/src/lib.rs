@@ -127,11 +127,9 @@ mod tests {
     fn snapshots_cover_the_tail_and_compaction_reclaims_segments() {
         let dir = tmpdir("compact");
         // Tiny segments: every record seals one.
-        let options = WalOptions {
-            segment_bytes: 1,
-            snapshot_every: 4,
-            ..WalOptions::default()
-        };
+        let options = WalOptions::default()
+            .with_segment_bytes(1)
+            .with_snapshot_every(4);
         let wal = Wal::create(&dir, 1, b"", options).unwrap();
         let mut due = false;
         for i in 0..4 {
@@ -163,11 +161,9 @@ mod tests {
     #[test]
     fn segments_with_uncovered_partitions_survive_compaction() {
         let dir = tmpdir("mixed-compact");
-        let options = WalOptions {
-            segment_bytes: 1,
-            snapshot_every: u64::MAX,
-            ..WalOptions::default()
-        };
+        let options = WalOptions::default()
+            .with_segment_bytes(1)
+            .with_snapshot_every(u64::MAX);
         let wal = Wal::create(&dir, 1, b"", options).unwrap();
         wal.append(&insert(7, 0)).unwrap();
         wal.append(&insert(8, 1)).unwrap();
@@ -215,11 +211,9 @@ mod tests {
     #[test]
     fn corruption_in_an_interior_segment_is_an_error() {
         let dir = tmpdir("interior-corrupt");
-        let options = WalOptions {
-            segment_bytes: 1,
-            snapshot_every: u64::MAX,
-            ..WalOptions::default()
-        };
+        let options = WalOptions::default()
+            .with_segment_bytes(1)
+            .with_snapshot_every(u64::MAX);
         let wal = Wal::create(&dir, 1, b"", options).unwrap();
         wal.append(&insert(7, 0)).unwrap();
         wal.append(&insert(7, 1)).unwrap();
@@ -260,11 +254,10 @@ mod tests {
     #[test]
     fn columnar_compaction_rewrites_surviving_segments() {
         let dir = tmpdir("columnar-compact");
-        let options = WalOptions {
-            segment_bytes: 1,
-            snapshot_every: u64::MAX,
-            columnar: true,
-        };
+        let options = WalOptions::default()
+            .with_segment_bytes(1)
+            .with_snapshot_every(u64::MAX)
+            .with_columnar(true);
         let wal = Wal::create(&dir, 1, b"", options).unwrap();
         for i in 0..20 {
             wal.append(&insert(7, i)).unwrap();
@@ -312,10 +305,7 @@ mod tests {
     #[test]
     fn legacy_mode_writes_headerless_v0_files() {
         let dir = tmpdir("legacy-mode");
-        let options = WalOptions {
-            columnar: false,
-            ..WalOptions::default()
-        };
+        let options = WalOptions::default().with_columnar(false);
         let wal = Wal::create(&dir, 1, b"cfg", options).unwrap();
         for i in 0..5 {
             wal.append(&insert(7, i)).unwrap();

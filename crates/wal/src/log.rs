@@ -146,6 +146,30 @@ impl Default for WalOptions {
     }
 }
 
+impl WalOptions {
+    /// Seal segments at this size (consuming builder, like the
+    /// `with_*` methods on `KdConfig`/`DistConfig`).
+    #[must_use]
+    pub fn with_segment_bytes(mut self, segment_bytes: u64) -> Self {
+        self.segment_bytes = segment_bytes;
+        self
+    }
+
+    /// Report a partition snapshot-due after this many records.
+    #[must_use]
+    pub fn with_snapshot_every(mut self, snapshot_every: u64) -> Self {
+        self.snapshot_every = snapshot_every;
+        self
+    }
+
+    /// Toggle columnar segment compression (off = legacy v0 bytes).
+    #[must_use]
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
+        self
+    }
+}
+
 /// Result of an append: the LSN assigned to the record and whether the
 /// record's partition has accumulated enough history to warrant a
 /// snapshot.

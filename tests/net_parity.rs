@@ -6,8 +6,33 @@ use std::time::Duration;
 
 use semtree_cluster::{CostModel, Transport};
 use semtree_dist::{
-    build_tree, join_cluster, serve_cluster, CapacityPolicy, DistConfig, DistSemTree,
+    build_tree, join_cluster, serve_cluster, CapacityPolicy, DistConfig, DistSemTree, Neighbor,
+    Query, QueryOutcome,
 };
+
+fn insert(tree: &DistSemTree, point: &[f64], payload: u64) {
+    tree.query(Query::insert(point, payload))
+        .and_then(QueryOutcome::inserted)
+        .expect("insert");
+}
+
+fn knn_pairs(tree: &DistSemTree, point: &[f64], k: usize) -> Vec<(f64, u64)> {
+    tree.query(Query::knn(point, k))
+        .and_then(QueryOutcome::neighbors)
+        .expect("knn")
+        .into_iter()
+        .map(|n: Neighbor<u64>| (n.dist, n.payload))
+        .collect()
+}
+
+fn range_pairs(tree: &DistSemTree, point: &[f64], radius: f64) -> Vec<(f64, u64)> {
+    tree.query(Query::range(point, radius))
+        .and_then(QueryOutcome::neighbors)
+        .expect("range")
+        .into_iter()
+        .map(|n: Neighbor<u64>| (n.dist, n.payload))
+        .collect()
+}
 
 fn sample_points(dims: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut state = seed;
@@ -61,33 +86,17 @@ fn channel_and_tcp_fabrics_agree_on_every_query() {
     let channel_tree = DistSemTree::with_fanout(config, CostModel::zero(), 3, &sample);
 
     for (payload, point) in points.iter().enumerate() {
-        tcp_tree.insert(point, payload as u64);
-        channel_tree.insert(point, payload as u64);
+        insert(&tcp_tree, point, payload as u64);
+        insert(&channel_tree, point, payload as u64);
     }
 
     for query in points.iter().step_by(17) {
-        let tcp: Vec<(f64, u64)> = tcp_tree
-            .knn(query, 9)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
-        let channel: Vec<(f64, u64)> = channel_tree
-            .knn(query, 9)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
+        let tcp = knn_pairs(&tcp_tree, query, 9);
+        let channel = knn_pairs(&channel_tree, query, 9);
         assert_eq!(tcp, channel, "knn around {query:?}");
 
-        let tcp: Vec<(f64, u64)> = tcp_tree
-            .range(query, 12.5)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
-        let channel: Vec<(f64, u64)> = channel_tree
-            .range(query, 12.5)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
+        let tcp = range_pairs(&tcp_tree, query, 12.5);
+        let channel = range_pairs(&channel_tree, query, 12.5);
         assert_eq!(tcp, channel, "range around {query:?}");
     }
 
@@ -96,15 +105,12 @@ fn channel_and_tcp_fabrics_agree_on_every_query() {
     // results.
     let batch_queries: Vec<Vec<f64>> = points.iter().step_by(17).cloned().collect();
     let batches = tcp_tree
-        .try_knn_batch(&batch_queries, 9)
+        .query(Query::knn_batch(&batch_queries, 9))
+        .and_then(QueryOutcome::neighbor_batches)
         .expect("batched knn");
     assert_eq!(batches.len(), batch_queries.len());
     for (query, batch) in batch_queries.iter().zip(&batches) {
-        let channel: Vec<(f64, u64)> = channel_tree
-            .knn(query, 9)
-            .into_iter()
-            .map(|n| (n.dist, n.payload))
-            .collect();
+        let channel = knn_pairs(&channel_tree, query, 9);
         let tcp: Vec<(f64, u64)> = batch.iter().map(|n| (n.dist, n.payload)).collect();
         assert_eq!(tcp, channel, "knn batch around {query:?}");
     }

@@ -6,7 +6,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use semtree_cluster::CostModel;
-use semtree_dist::{CapacityPolicy, DistConfig, DistSemTree};
+use semtree_dist::{CapacityPolicy, DistConfig, DistSemTree, Query, QueryOutcome};
+
+fn insert(tree: &DistSemTree, point: &[f64], payload: u64) {
+    tree.query(Query::insert(point, payload))
+        .and_then(QueryOutcome::inserted)
+        .expect("insert");
+}
 use semtree_eval::{average_pr, precision, recall};
 use semtree_kdtree::{KdConfig, KdTree, TreeShape};
 use semtree_model::TripleId;
@@ -79,7 +85,7 @@ fn root_partition_structure() {
             &sample,
         );
         for i in 0..500u64 {
-            tree.insert(&[(i % 256) as f64], i);
+            insert(&tree, &[(i % 256) as f64], i);
         }
         let stats = tree.global_stats();
         assert_eq!(stats.partition_count(), m);
@@ -110,7 +116,7 @@ fn message_overhead_grows_with_partitions() {
         );
         tree.reset_metrics();
         for i in 0..300u64 {
-            tree.insert(&[(i % 256) as f64], i);
+            insert(&tree, &[(i % 256) as f64], i);
         }
         per_m.push(tree.metrics().messages);
         tree.shutdown();
@@ -142,11 +148,14 @@ fn border_range_search_runs_in_parallel() {
         &sample,
     );
     for i in 0..64u64 {
-        tree.insert(&[i as f64], i);
+        insert(&tree, &[i as f64], i);
     }
     // A query at the split point with a radius spanning both partitions.
     let t0 = Instant::now();
-    let hits = tree.range(&[32.0], 40.0);
+    let hits = tree
+        .query(Query::range(&[32.0], 40.0))
+        .and_then(QueryOutcome::neighbors)
+        .expect("range");
     let elapsed = t0.elapsed();
     assert_eq!(hits.len(), 64, "radius covers everything");
     // Message path: client→root (2·25ms) + one parallel pair of
@@ -170,7 +179,7 @@ fn build_partition_creates_routing_only_partitions() {
         CostModel::zero(),
     );
     for i in 0..400u64 {
-        tree.insert(&[i as f64], i);
+        insert(&tree, &[i as f64], i);
     }
     let stats = tree.global_stats();
     assert!(stats.partition_count() > 1);

@@ -4,13 +4,19 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 use semtree_cluster::CostModel;
-use semtree_dist::{DistConfig, DistSemTree};
+use semtree_dist::{DistConfig, DistSemTree, Query, QueryOutcome};
 use semtree_distance::{TripleDistance, VocabularyRegistry, Weights};
 use semtree_fastmap::FastMap;
 use semtree_kdtree::{KdConfig, KdTree};
 use semtree_model::{turtle, Term, Triple};
 use semtree_rtree::RTree;
 use semtree_vocab::wordnet;
+
+fn dist_query(tree: &DistSemTree, q: Query) -> Vec<semtree_dist::Neighbor<u64>> {
+    tree.query(q)
+        .and_then(QueryOutcome::neighbors)
+        .expect("distributed query")
+}
 
 fn euclid(a: &[f64], b: &[f64]) -> f64 {
     a.iter()
@@ -209,18 +215,20 @@ proptest! {
             &points,
         );
         for (i, p) in points.iter().enumerate() {
-            dist.insert(p, i as u64);
+            dist.query(Query::insert(p, i as u64))
+                .and_then(QueryOutcome::inserted)
+                .expect("distributed insert");
         }
 
         let a = seq.knn(&query, 5);
-        let b = dist.knn(&query, 5);
+        let b = dist_query(&dist, Query::knn(&query, 5));
         prop_assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             prop_assert!((x.dist - y.dist).abs() < 1e-9, "m={}: {} vs {}", m, x.dist, y.dist);
         }
 
         let ra = seq.range(&query, 10.0);
-        let rb = dist.range(&query, 10.0);
+        let rb = dist_query(&dist, Query::range(&query, 10.0));
         prop_assert_eq!(ra.len(), rb.len());
 
         prop_assert_eq!(dist.verify(), Vec::<String>::new());
@@ -258,5 +266,83 @@ proptest! {
         let ra = kd.range(&query, radius);
         let rb = rt.range(&query, radius);
         prop_assert_eq!(ra.len(), rb.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Seqlock readers racing the writer (DESIGN.md §14): while a writer
+    /// inserts (and splits leaves) the whole point set, a concurrent
+    /// lock-free reader only ever observes internally consistent answers
+    /// — sorted distances over some prefix of the inserts — and once the
+    /// writer finishes, the versioned tree agrees with a sequential
+    /// reference build on both k-NN and range.
+    #[test]
+    fn versioned_reads_under_writes_agree_with_sequential_reference(
+        points in prop::collection::vec(
+            prop::collection::vec(-20.0f64..20.0, 2),
+            8..120
+        ),
+        query in prop::collection::vec(-20.0f64..20.0, 2),
+        k in 1usize..6,
+        radius in 0.0f64..25.0,
+    ) {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use semtree_kdtree::versioned::VersionedKdTree;
+
+        let config = KdConfig::new(2).with_bucket_size(2);
+        let mut vtree = VersionedKdTree::<semtree_kdtree::versioned::StdShim>::new(config);
+        let reader = vtree.reader();
+
+        let done = Arc::new(AtomicBool::new(false));
+        let racing_reader = {
+            let reader = reader.clone();
+            let done = Arc::clone(&done);
+            let query = query.clone();
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                while !done.load(Ordering::Relaxed) {
+                    let (hits, _) = reader.knn(&query, k);
+                    // The result set grows monotonically with the
+                    // writer's progress and is always sorted: a torn
+                    // split would violate one of the two.
+                    assert!(hits.len() >= seen, "result set shrank");
+                    seen = hits.len();
+                    for pair in hits.windows(2) {
+                        assert!(pair[0].dist <= pair[1].dist, "unsorted hits");
+                    }
+                }
+            })
+        };
+
+        let mut seq = KdTree::new(config);
+        for (i, p) in points.iter().enumerate() {
+            prop_assert!(vtree.insert(p, i as u64));
+            seq.insert(p, i as u64);
+        }
+        done.store(true, Ordering::Relaxed);
+        racing_reader.join().expect("racing reader");
+
+        // Quiescent parity: exact distances, payload parity up to ties.
+        let (hits, stats) = reader.knn(&query, k);
+        let want = seq.knn(&query, k);
+        prop_assert_eq!(stats.retries, 0, "no writer left, no retries");
+        prop_assert_eq!(hits.len(), want.len());
+        for (h, w) in hits.iter().zip(&want) {
+            prop_assert_eq!(h.dist.to_bits(), w.dist.to_bits());
+        }
+        let mut got: Vec<u64> = hits.iter().map(|h| h.payload).collect();
+        let mut expect: Vec<u64> = want.iter().map(|w| w.payload).collect();
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+
+        let (in_range, _) = reader.range(&query, radius);
+        let want_range = seq.range(&query, radius);
+        prop_assert_eq!(in_range.len(), want_range.len());
+        for pair in in_range.windows(2) {
+            prop_assert!(pair[0].dist <= pair[1].dist);
+        }
     }
 }

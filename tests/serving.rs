@@ -13,7 +13,7 @@ use std::time::Duration;
 use semtree_cluster::CostModel;
 use semtree_dist::{
     serve_clients_with, ClientReq, ClientResp, DistConfig, DistSemTree, NetClient, PipelinedClient,
-    ServeOptions,
+    Query, QueryOutcome, ServeOptions,
 };
 
 fn sample_points(dims: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
@@ -46,12 +46,16 @@ fn tree_with_reference(
         .with_max_partitions(16);
     let tree = DistSemTree::single(config, CostModel::zero());
     for (i, p) in sample_points(2, n_points, 11).iter().enumerate() {
-        tree.insert(p, i as u64);
+        tree.query(Query::insert(p, i as u64))
+            .and_then(QueryOutcome::inserted)
+            .expect("insert");
     }
     let expected: Vec<Vec<(f64, u64)>> = queries
         .iter()
         .map(|q| {
-            tree.knn(q, k)
+            tree.query(Query::knn(q, k))
+                .and_then(QueryOutcome::neighbors)
+                .expect("knn")
                 .into_iter()
                 .map(|h| (h.dist, h.payload))
                 .collect()
