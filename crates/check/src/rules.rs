@@ -73,6 +73,10 @@ pub const LOCK_RANKS: &[(&str, &str, u32)] = &[
     // subsystem) only while holding *no* reactor lock.
     ("reactor", "inner", 70),
     ("reactor", "completions", 71),
+    // Each shard's socket-handoff mailbox. A leaf: shard 0 pushes an
+    // accepted socket and the owning shard drains it; neither side
+    // calls anything ranked while holding it.
+    ("reactor", "inbox", 72),
 ];
 
 /// Locks that are *allowed* to be held across blocking socket IO: the
@@ -432,6 +436,16 @@ pub fn no_boxed_errors(path: &str, toks: &[Tok]) -> Vec<Finding> {
             continue;
         }
         if !toks.get(i + 2).is_some_and(|t| t.is_ident("dyn")) {
+            continue;
+        }
+        // A boxed closure (`Box<dyn FnOnce(Result<_, ClusterError>)>`)
+        // is a completion callback, not an error type — the typed error
+        // lives inside its signature, which is exactly what this rule
+        // wants. Only bare boxed trait objects are suspect.
+        if toks
+            .get(i + 3)
+            .is_some_and(|t| t.is_ident("Fn") || t.is_ident("FnMut") || t.is_ident("FnOnce"))
+        {
             continue;
         }
         // Scan the generic argument to its closing `>` looking for an

@@ -73,6 +73,7 @@ impl std::error::Error for ArgsError {}
 fn is_flag(command: &Command, key: &str) -> bool {
     match command {
         Command::Recover => matches!(key, "stats" | "json"),
+        Command::Loadgen => key == "sweep",
         _ => false,
     }
 }
@@ -199,6 +200,8 @@ COMMANDS:
                  --serve-workers N reactor executor threads  [default 4]
                  --serve-queue N   global in-flight bound    [default 1024]
                  --serve-depth N   per-connection pipeline   [default 64]
+                 --serve-reactors N reactor shards           [default 0 = cores/2]
+                 --serve-poller P  epoll | epoll-edge | poll [default epoll on linux]
     worker     join a deployment and host partitions until shutdown
                  --join ADDR       the coordinator's cluster-addr (required)
                  --wal-dir DIR     write-ahead log directory; a worker
@@ -225,6 +228,8 @@ COMMANDS:
                  --seed S          query stream seed         [default 42]
                  --label L         name in the JSON record   [default loadgen]
                  --json FILE       append the run to a JSON array file
+                 --sweep           run the connection sweep C ∈ {1,8,64,256}
+                                   at --depth instead of one --connections cell
     recover    inspect and replay a write-ahead log offline (read-only)
                  --wal-dir DIR     write-ahead log directory (required)
                  --stats           per-partition snapshot compression:

@@ -21,8 +21,8 @@ use std::time::{Duration, Instant};
 use semtree_cluster::{CostModel, LatencyHistogram, LatencySnapshot};
 use semtree_dist::{
     build_tree, build_tree_durable, inspect_wal, join_cluster, join_cluster_durable,
-    serve_clients_with, serve_cluster, CapacityPolicy, ClientResp, DistConfig, NetClient,
-    PendingReply, PipelinedClient, ServeOptions,
+    serve_clients_with, serve_cluster, CapacityPolicy, ClientMetrics, ClientResp, DistConfig,
+    NetClient, PendingReply, PipelinedClient, PollerBackend, ServeOptions,
 };
 
 use crate::args::ParsedArgs;
@@ -138,10 +138,14 @@ pub fn serve(parsed: &ParsedArgs) -> Result<String, String> {
     let _ = std::io::stdout().flush();
 
     let defaults = ServeOptions::default();
-    let options = ServeOptions::default()
+    let mut options = ServeOptions::default()
         .with_executors(parsed.get_usize("serve-workers", defaults.executors)?)
         .with_global_depth(parsed.get_usize("serve-queue", defaults.global_depth)?)
-        .with_per_conn_depth(parsed.get_usize("serve-depth", defaults.per_conn_depth)?);
+        .with_per_conn_depth(parsed.get_usize("serve-depth", defaults.per_conn_depth)?)
+        .with_reactors(parsed.get_usize("serve-reactors", defaults.reactors)?);
+    if let Some(name) = parsed.get("serve-poller") {
+        options = options.with_backend(PollerBackend::parse(name)?);
+    }
     serve_clients_with(&listener, &tree, &options).map_err(|e| e.to_string())?;
     let inserted = tree.len();
     tree.shutdown();
@@ -362,10 +366,19 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
                 .map(ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(" ");
+            let shards = m.reactor_shards.min(m.shard_served.len() as u64) as usize;
+            let per_shard = |counts: &[u64]| {
+                counts[..shards]
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            };
             Ok(format!(
                 "messages: {}\nbytes: {}\nresponse-bytes: {}\nspawned-nodes: {}\n\
                  latency-count: {}\np50-us: {:.1}\np99-us: {:.1}\np999-us: {:.1}\n\
-                 reads-retried: {}\nread-retry-histogram: {histogram}\n",
+                 reads-retried: {}\nread-retry-histogram: {histogram}\n\
+                 reactor-shards: {}\nshard-served: {}\nshard-shed: {}\n",
                 m.messages,
                 m.bytes,
                 m.response_bytes,
@@ -375,6 +388,9 @@ pub fn net_query(parsed: &ParsedArgs) -> Result<String, String> {
                 m.p99_nanos as f64 / 1000.0,
                 m.p999_nanos as f64 / 1000.0,
                 m.reads_retried,
+                m.reactor_shards,
+                per_shard(&m.shard_served),
+                per_shard(&m.shard_shed),
             ))
         }
         "shutdown" => {
@@ -529,42 +545,46 @@ fn append_json_record(path: &str, record: &str) -> Result<(), String> {
     std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
-/// `semtree loadgen`: sustained pipelined load against a running
-/// `serve` process — C connections × D in-flight requests each —
-/// reporting throughput and client-observed latency quantiles.
-pub fn loadgen(parsed: &ParsedArgs) -> Result<String, String> {
-    let addr = parse_addr(parsed.require("addr")?)?;
-    let timeout = Duration::from_secs(parsed.get_u64("timeout", 10)?);
-    let connections = parsed.get_usize("connections", 1)?.max(1);
-    let depth = parsed.get_usize("depth", 8)?.max(1);
-    let requests = parsed.get_usize("requests", 1000)?;
-    let k = parsed.get_usize("k", 5)?;
-    let batch = parsed.get_usize("batch", 8)?.max(1);
-    let dims = parsed.get_usize("dims", 2)?;
-    let preload = parsed.get_usize("preload", 0)?;
-    let seed = parsed.get_u64("seed", 42)?;
-    let label = parsed.get("label").unwrap_or("loadgen").to_string();
-    let op = parsed.get("op").unwrap_or("knn").to_string();
-    if op != "knn" && op != "knn-batch" {
-        return Err(format!("unknown --op '{op}' (knn, knn-batch)"));
-    }
+/// One loadgen cell (a fixed connections × depth combination), fully
+/// measured: the merged client-side tally, wall time, and the server's
+/// per-reactor-shard served/shed deltas over the run.
+struct CellResult {
+    total: ConnReport,
+    elapsed: Duration,
+    reactor_shards: u64,
+    shard_served: Vec<u64>,
+    shard_shed: Vec<u64>,
+}
 
-    if preload > 0 {
-        let mut client = NetClient::connect(addr, timeout).map_err(|e| e.to_string())?;
-        for (i, point) in demo_sample(dims, preload, seed ^ 0x5EED).iter().enumerate() {
-            client
-                .insert(point, i as u64)
-                .map_err(|e| format!("preload insert {i} failed: {e}"))?;
-        }
-    }
+/// Fetch a metrics snapshot for shard-delta accounting. Best-effort:
+/// an older server without the Metrics op degrades to zeroed shards.
+fn shard_snapshot(addr: SocketAddr, timeout: Duration) -> ClientMetrics {
+    NetClient::connect(addr, timeout)
+        .and_then(|mut c| c.metrics())
+        .unwrap_or_default()
+}
 
-    let pool = demo_sample(dims, 256, seed);
+/// Run C connections × D in-flight requests each against `addr`,
+/// bracketed by server metrics snapshots so the record attributes the
+/// traffic to the reactor shards that handled it.
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    addr: SocketAddr,
+    timeout: Duration,
+    op: &str,
+    connections: usize,
+    depth: usize,
+    requests: usize,
+    k: usize,
+    batch: usize,
+    pool: &[Vec<f64>],
+) -> Result<CellResult, String> {
+    let before = shard_snapshot(addr, timeout);
     let started = Instant::now();
     let reports: Vec<Result<ConnReport, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|c| {
                 let count = requests / connections + usize::from(c < requests % connections);
-                let (op, pool) = (&op, &pool);
                 scope.spawn(move || {
                     drive_connection(addr, timeout, op, count, depth, k, batch, pool)
                 })
@@ -579,6 +599,7 @@ pub fn loadgen(parsed: &ParsedArgs) -> Result<String, String> {
             .collect()
     });
     let elapsed = started.elapsed();
+    let after = shard_snapshot(addr, timeout);
 
     let mut total = ConnReport::default();
     for report in reports {
@@ -588,28 +609,117 @@ pub fn loadgen(parsed: &ParsedArgs) -> Result<String, String> {
         total.errors += report.errors;
         total.latency.merge(&report.latency);
     }
-    let qps = total.completed as f64 / elapsed.as_secs_f64().max(1e-9);
-    let p50_us = total.latency.p50_nanos() as f64 / 1000.0;
-    let p99_us = total.latency.p99_nanos() as f64 / 1000.0;
-    let p999_us = total.latency.p999_nanos() as f64 / 1000.0;
+    let shards = after.reactor_shards.min(after.shard_served.len() as u64) as usize;
+    let delta = |a: &[u64], b: &[u64]| -> Vec<u64> {
+        (0..shards).map(|s| a[s].saturating_sub(b[s])).collect()
+    };
+    Ok(CellResult {
+        total,
+        elapsed,
+        reactor_shards: after.reactor_shards,
+        shard_served: delta(&after.shard_served, &before.shard_served),
+        shard_shed: delta(&after.shard_shed, &before.shard_shed),
+    })
+}
 
-    if let Some(path) = parsed.get("json") {
-        let record = format!(
-            "{{\"name\": \"{label}\", \"op\": \"{op}\", \"connections\": {connections}, \
-             \"depth\": {depth}, \"requests\": {requests}, \"qps\": {qps:.1}, \
-             \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \"p999_us\": {p999_us:.1}, \
-             \"shed\": {}, \"errors\": {}}}",
-            total.shed, total.errors
-        );
-        append_json_record(path, &record)?;
+/// Render one u64 slice as a JSON array.
+fn json_u64s(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(ToString::to_string).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// `semtree loadgen`: sustained pipelined load against a running
+/// `serve` process — C connections × D in-flight requests each —
+/// reporting throughput, client-observed latency quantiles, and the
+/// server's per-reactor-shard served/shed attribution. `--sweep` runs
+/// the connection-count curve C ∈ {1, 8, 64, 256} at the given depth
+/// instead of a single cell.
+pub fn loadgen(parsed: &ParsedArgs) -> Result<String, String> {
+    let addr = parse_addr(parsed.require("addr")?)?;
+    let timeout = Duration::from_secs(parsed.get_u64("timeout", 10)?);
+    let depth = parsed.get_usize("depth", 8)?.max(1);
+    let requests = parsed.get_usize("requests", 1000)?;
+    let k = parsed.get_usize("k", 5)?;
+    let batch = parsed.get_usize("batch", 8)?.max(1);
+    let dims = parsed.get_usize("dims", 2)?;
+    let preload = parsed.get_usize("preload", 0)?;
+    let seed = parsed.get_u64("seed", 42)?;
+    let label = parsed.get("label").unwrap_or("loadgen").to_string();
+    let op = parsed.get("op").unwrap_or("knn").to_string();
+    if op != "knn" && op != "knn-batch" {
+        return Err(format!("unknown --op '{op}' (knn, knn-batch)"));
+    }
+    let sweep = parsed.flag("sweep");
+    let connection_counts: Vec<usize> = if sweep {
+        vec![1, 8, 64, 256]
+    } else {
+        vec![parsed.get_usize("connections", 1)?.max(1)]
+    };
+
+    if preload > 0 {
+        let mut client = NetClient::connect(addr, timeout).map_err(|e| e.to_string())?;
+        for (i, point) in demo_sample(dims, preload, seed ^ 0x5EED).iter().enumerate() {
+            client
+                .insert(point, i as u64)
+                .map_err(|e| format!("preload insert {i} failed: {e}"))?;
+        }
     }
 
-    Ok(format!(
-        "op: {op}\nconnections: {connections}\ndepth: {depth}\nrequests: {requests}\n\
-         completed: {}\nqps: {qps:.1}\np50-us: {p50_us:.1}\np99-us: {p99_us:.1}\n\
-         p999-us: {p999_us:.1}\nshed: {}\nerrors: {}\n",
-        total.completed, total.shed, total.errors
-    ))
+    let pool = demo_sample(dims, 256, seed);
+    let mut out = String::new();
+    for connections in connection_counts {
+        let cell = run_cell(
+            addr,
+            timeout,
+            &op,
+            connections,
+            depth,
+            requests,
+            k,
+            batch,
+            &pool,
+        )?;
+        let qps = cell.total.completed as f64 / cell.elapsed.as_secs_f64().max(1e-9);
+        let p50_us = cell.total.latency.p50_nanos() as f64 / 1000.0;
+        let p99_us = cell.total.latency.p99_nanos() as f64 / 1000.0;
+        let p999_us = cell.total.latency.p999_nanos() as f64 / 1000.0;
+        let shard_qps: Vec<u64> = cell
+            .shard_served
+            .iter()
+            .map(|&served| (served as f64 / cell.elapsed.as_secs_f64().max(1e-9)) as u64)
+            .collect();
+
+        if let Some(path) = parsed.get("json") {
+            let record = format!(
+                "{{\"name\": \"{label}\", \"op\": \"{op}\", \"connections\": {connections}, \
+                 \"depth\": {depth}, \"requests\": {requests}, \"qps\": {qps:.1}, \
+                 \"p50_us\": {p50_us:.1}, \"p99_us\": {p99_us:.1}, \"p999_us\": {p999_us:.1}, \
+                 \"shed\": {}, \"errors\": {}, \"reactor_shards\": {}, \
+                 \"shard_qps\": {}, \"shard_served\": {}, \"shard_shed\": {}}}",
+                cell.total.shed,
+                cell.total.errors,
+                cell.reactor_shards,
+                json_u64s(&shard_qps),
+                json_u64s(&cell.shard_served),
+                json_u64s(&cell.shard_shed),
+            );
+            append_json_record(path, &record)?;
+        }
+
+        out.push_str(&format!(
+            "op: {op}\nconnections: {connections}\ndepth: {depth}\nrequests: {requests}\n\
+             completed: {}\nqps: {qps:.1}\np50-us: {p50_us:.1}\np99-us: {p99_us:.1}\n\
+             p999-us: {p999_us:.1}\nshed: {}\nerrors: {}\nreactor-shards: {}\n\
+             shard-served: {:?}\nshard-shed: {:?}\n",
+            cell.total.completed,
+            cell.total.shed,
+            cell.total.errors,
+            cell.reactor_shards,
+            cell.shard_served,
+            cell.shard_shed,
+        ));
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -60,10 +60,10 @@ pub use gate::{GateElapsed, MembershipGate};
 pub use metrics::{
     latency_bucket_floor, latency_bucket_index, read_retry_bucket_index, ClusterMetrics,
     ClusterMetricsG, LatencyHistogram, LatencyHistogramG, LatencySnapshot, MetricsSnapshot,
-    LATENCY_BUCKETS, READ_RETRY_BUCKETS,
+    LATENCY_BUCKETS, MAX_REACTOR_SHARDS, READ_RETRY_BUCKETS,
 };
 pub use runtime::{ChannelFabric, Cluster, Handler, NodeCtx};
 pub use transport::{
-    BoxHandler, ClusterError, ComputeNodeId, DynHandler, NodeFactory, ReplyHandle, ReplySlot,
-    Transport, Wire, PROCESS_STRIDE_BITS,
+    BoxHandler, ClusterError, CompleteFn, ComputeNodeId, DynHandler, NodeFactory, ReplyHandle,
+    ReplySlot, Transport, Wire, PROCESS_STRIDE_BITS,
 };

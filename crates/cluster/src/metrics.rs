@@ -184,6 +184,11 @@ impl LatencySnapshot {
 /// counts 0–3, then power-of-two ranges 4–7, 8–15, 16–31, and 32+.
 pub const READ_RETRY_BUCKETS: usize = 8;
 
+/// Width of the per-reactor-shard counter arrays: the most reactor
+/// shards one server will ever run (`semtree-reactor` clamps its shard
+/// count to this).
+pub const MAX_REACTOR_SHARDS: usize = 32;
+
 /// Bucket index for an optimistic read that retried `retries` times.
 #[must_use]
 pub fn read_retry_bucket_index(retries: u64) -> usize {
@@ -210,6 +215,12 @@ pub struct ClusterMetricsG<S: Shim = StdShim> {
     reads_retried: S::AtomicU64,
     /// Optimistic reads by retry count (see [`read_retry_bucket_index`]).
     read_retries: [S::AtomicU64; READ_RETRY_BUCKETS],
+    /// Reactor shards actually serving (0 when no reactor is attached).
+    reactor_shards: S::AtomicU64,
+    /// Requests completed, by owning reactor shard.
+    shard_served: [S::AtomicU64; MAX_REACTOR_SHARDS],
+    /// Requests shed at admission, by owning reactor shard.
+    shard_shed: [S::AtomicU64; MAX_REACTOR_SHARDS],
 }
 
 /// The production metrics type: real relaxed atomics.
@@ -241,6 +252,13 @@ pub struct MetricsSnapshot {
     /// Optimistic reads bucketed by how often each retried
     /// (see [`read_retry_bucket_index`]).
     pub read_retries: [u64; READ_RETRY_BUCKETS],
+    /// Reactor shards serving (0 when no reactor is attached); only the
+    /// first `reactor_shards` entries of the shard arrays are live.
+    pub reactor_shards: u64,
+    /// Requests completed, by owning reactor shard.
+    pub shard_served: [u64; MAX_REACTOR_SHARDS],
+    /// Requests shed at admission, by owning reactor shard.
+    pub shard_shed: [u64; MAX_REACTOR_SHARDS],
 }
 
 impl ClusterMetrics {
@@ -264,6 +282,9 @@ impl<S: Shim> ClusterMetricsG<S> {
             request_latency: LatencyHistogramG::new_in(),
             reads_retried: S::atomic_u64(0),
             read_retries: std::array::from_fn(|_| S::atomic_u64(0)),
+            reactor_shards: S::atomic_u64(0),
+            shard_served: std::array::from_fn(|_| S::atomic_u64(0)),
+            shard_shed: std::array::from_fn(|_| S::atomic_u64(0)),
         }
     }
 
@@ -302,6 +323,26 @@ impl<S: Shim> ClusterMetricsG<S> {
     pub fn record_read_retries(&self, retries: u64) {
         S::fetch_add(&self.reads_retried, retries);
         S::fetch_add(&self.read_retries[read_retry_bucket_index(retries)], 1);
+    }
+
+    /// Declare how many reactor shards are serving (the reactor calls
+    /// this once at startup; counts past [`MAX_REACTOR_SHARDS`] clamp).
+    pub fn set_reactor_shards(&self, shards: usize) {
+        S::store(&self.reactor_shards, shards.min(MAX_REACTOR_SHARDS) as u64);
+    }
+
+    /// Account one request completed by reactor shard `shard`.
+    pub fn record_shard_served(&self, shard: usize) {
+        if shard < MAX_REACTOR_SHARDS {
+            S::fetch_add(&self.shard_served[shard], 1);
+        }
+    }
+
+    /// Account one request shed at admission by reactor shard `shard`.
+    pub fn record_shard_shed(&self, shard: usize) {
+        if shard < MAX_REACTOR_SHARDS {
+            S::fetch_add(&self.shard_shed[shard], 1);
+        }
     }
 
     /// Total writer-race retries so far.
@@ -346,6 +387,9 @@ impl<S: Shim> ClusterMetricsG<S> {
             latency: self.request_latency.snapshot(),
             reads_retried: S::load(&self.reads_retried),
             read_retries: std::array::from_fn(|i| S::load(&self.read_retries[i])),
+            reactor_shards: S::load(&self.reactor_shards),
+            shard_served: std::array::from_fn(|i| S::load(&self.shard_served[i])),
+            shard_shed: std::array::from_fn(|i| S::load(&self.shard_shed[i])),
         }
     }
 
@@ -359,6 +403,14 @@ impl<S: Shim> ClusterMetricsG<S> {
         self.request_latency.reset();
         S::store(&self.reads_retried, 0);
         for b in &self.read_retries {
+            S::store(b, 0);
+        }
+        // The shard count survives a reset: it describes topology, not
+        // traffic, and experiment phases reset between measurements.
+        for b in &self.shard_served {
+            S::store(b, 0);
+        }
+        for b in &self.shard_shed {
             S::store(b, 0);
         }
     }
@@ -511,6 +563,27 @@ mod tests {
         assert_eq!(s.read_retries[4], 1);
         m.reset();
         assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+
+    #[test]
+    fn shard_counters_accumulate_and_reset_keeps_topology() {
+        let m = ClusterMetrics::new();
+        m.set_reactor_shards(3);
+        m.record_shard_served(0);
+        m.record_shard_served(2);
+        m.record_shard_shed(1);
+        m.record_shard_served(MAX_REACTOR_SHARDS); // out of range: ignored
+        let s = m.snapshot();
+        assert_eq!(s.reactor_shards, 3);
+        assert_eq!(s.shard_served[0], 1);
+        assert_eq!(s.shard_served[2], 1);
+        assert_eq!(s.shard_served.iter().sum::<u64>(), 2);
+        assert_eq!(s.shard_shed[1], 1);
+        m.reset();
+        let s = m.snapshot();
+        assert_eq!(s.reactor_shards, 3, "shard count describes topology");
+        assert_eq!(s.shard_served, [0; MAX_REACTOR_SHARDS]);
+        assert_eq!(s.shard_shed, [0; MAX_REACTOR_SHARDS]);
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crate::cost::CostModel;
 use crate::gate::MembershipGate;
 use crate::metrics::{ClusterMetrics, MetricsSnapshot};
 use crate::transport::{
-    BoxHandler, ClusterError, ComputeNodeId, NodeFactory, ReplyHandle, Transport, Wire,
-    PROCESS_STRIDE_BITS,
+    BoxHandler, ClusterError, CompleteFn, ComputeNodeId, NodeFactory, ReplyHandle, ReplySlot,
+    Transport, Wire, PROCESS_STRIDE_BITS,
 };
 
 /// A compute node's request handler: single-threaded, owns its state, may
@@ -234,6 +234,31 @@ impl<Req: Wire + Send + 'static, Resp: Wire + Send + 'static> Transport<Req, Res
         Ok(handle)
     }
 
+    fn submit(&self, target: ComputeNodeId, req: Req, complete: CompleteFn<Resp>) {
+        if target.process() != self.process_index {
+            complete(Err(ClusterError::UnknownNode(target)));
+            return;
+        }
+        let sender = {
+            let nodes = self.nodes.read();
+            match nodes.get(target.local_index()) {
+                Some(Some(tx)) => tx.clone(),
+                _ => {
+                    complete(Err(ClusterError::UnknownNode(target)));
+                    return;
+                }
+            }
+        };
+        self.record(req.wire_size());
+        let slot = ReplySlot::with_callback(target, complete);
+        // On send failure the unfilled slot inside the rejected envelope
+        // drops, which runs the callback with `NodeDied` — exactly once
+        // either way. The node thread otherwise fills it (invoking the
+        // callback there) when the response is ready, so the submitter
+        // never blocks on this request.
+        let _ = sender.send(Envelope { req, reply: slot });
+    }
+
     fn spawn_handler(&self, handler: BoxHandler<Req, Resp>) -> Result<ComputeNodeId, ClusterError> {
         self.spawn_boxed(handler)
     }
@@ -399,6 +424,14 @@ impl<H: Handler> Cluster<H> {
         self.transport.send(target, req)?.wait()
     }
 
+    /// Pipelined request from outside the cluster: `complete` runs
+    /// exactly once with the outcome, on the thread that finishes the
+    /// request, and the caller is free immediately (see
+    /// [`Transport::submit`]).
+    pub fn submit(&self, target: ComputeNodeId, req: H::Req, complete: CompleteFn<H::Resp>) {
+        self.transport.submit(target, req, complete);
+    }
+
     /// Number of compute nodes hosted by this process.
     #[must_use]
     pub fn node_count(&self) -> usize {
@@ -464,6 +497,27 @@ mod tests {
         let node = cluster.spawn(Echo);
         assert_eq!(cluster.call(node, 7), Ok(7));
         assert_eq!(cluster.node_count(), 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn submit_completes_through_the_callback_without_blocking() {
+        let cluster = Cluster::new(CostModel::zero());
+        let node = cluster.spawn(Echo);
+        let (tx, rx) = channel();
+        cluster.submit(node, 9, Box::new(move |out| tx.send(out).unwrap()));
+        assert_eq!(rx.recv().unwrap(), Ok(9));
+        // Routing failures also arrive through the callback, never a panic.
+        let (tx, rx) = channel();
+        cluster.submit(
+            ComputeNodeId(77),
+            1,
+            Box::new(move |out| tx.send(out).unwrap()),
+        );
+        assert_eq!(
+            rx.recv().unwrap(),
+            Err(ClusterError::UnknownNode(ComputeNodeId(77)))
+        );
         cluster.shutdown();
     }
 

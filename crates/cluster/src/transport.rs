@@ -132,9 +132,24 @@ pub struct ReplyHandle<Resp> {
     target: ComputeNodeId,
 }
 
+/// Called exactly once with the outcome of a submitted request — the
+/// pipelined alternative to blocking on a [`ReplyHandle`]. Runs on
+/// whatever thread fills the slot (a node thread, a transport's demux
+/// reader), so it must be quick and must not block on the transport.
+pub type CompleteFn<Resp> = Box<dyn FnOnce(Result<Resp, ClusterError>) + Send>;
+
+/// Where a [`ReplySlot`]'s outcome goes.
+enum ReplySink<Resp> {
+    /// A waiting [`ReplyHandle`] (synchronous callers).
+    Channel(mpsc::Sender<Result<Resp, ClusterError>>),
+    /// A completion callback (pipelined callers, [`Transport::submit`]).
+    Callback(CompleteFn<Resp>),
+}
+
 /// The responder side of one in-flight request.
 pub struct ReplySlot<Resp> {
-    tx: mpsc::Sender<Result<Resp, ClusterError>>,
+    sink: Option<ReplySink<Resp>>,
+    target: ComputeNodeId,
 }
 
 impl<Resp> ReplyHandle<Resp> {
@@ -142,7 +157,13 @@ impl<Resp> ReplyHandle<Resp> {
     #[must_use]
     pub fn pair(target: ComputeNodeId) -> (ReplySlot<Resp>, Self) {
         let (tx, rx) = mpsc::channel();
-        (ReplySlot { tx }, ReplyHandle { rx, target })
+        (
+            ReplySlot {
+                sink: Some(ReplySink::Channel(tx)),
+                target,
+            },
+            ReplyHandle { rx, target },
+        )
     }
 
     /// Block until the response (or a typed failure) arrives. A dropped
@@ -156,10 +177,39 @@ impl<Resp> ReplyHandle<Resp> {
 }
 
 impl<Resp> ReplySlot<Resp> {
+    /// A slot whose outcome is delivered by invoking `complete` instead
+    /// of waking a waiting handle. The callback is guaranteed to run
+    /// exactly once: on [`fill`](ReplySlot::fill), or — if the slot is
+    /// dropped unfilled (responder gone, connection torn down) — on drop
+    /// with [`ClusterError::NodeDied`].
+    #[must_use]
+    pub fn with_callback(target: ComputeNodeId, complete: CompleteFn<Resp>) -> Self {
+        ReplySlot {
+            sink: Some(ReplySink::Callback(complete)),
+            target,
+        }
+    }
+
     /// Deliver the outcome. A receiver that gave up waiting is not an
     /// error.
-    pub fn fill(self, outcome: Result<Resp, ClusterError>) {
-        let _ = self.tx.send(outcome);
+    pub fn fill(mut self, outcome: Result<Resp, ClusterError>) {
+        match self.sink.take() {
+            Some(ReplySink::Channel(tx)) => {
+                let _ = tx.send(outcome);
+            }
+            Some(ReplySink::Callback(complete)) => complete(outcome),
+            None => {}
+        }
+    }
+}
+
+impl<Resp> Drop for ReplySlot<Resp> {
+    fn drop(&mut self) {
+        // An unfilled callback still gets its exactly-once completion;
+        // channel sinks already signal death to the handle by hangup.
+        if let Some(ReplySink::Callback(complete)) = self.sink.take() {
+            complete(Err(ClusterError::NodeDied(self.target)));
+        }
     }
 }
 
@@ -190,6 +240,20 @@ pub trait Transport<Req, Resp>: Send + Sync {
     /// response. Sending is non-blocking; the transit cost (simulated
     /// or real) is paid on the responder's side.
     fn send(&self, target: ComputeNodeId, req: Req) -> Result<ReplyHandle<Resp>, ClusterError>;
+
+    /// Dispatch `req` to `target` and deliver the outcome by invoking
+    /// `complete` — exactly once — instead of handing back a handle to
+    /// block on. Pipelining transports run the callback from the thread
+    /// that finishes the request (a node thread, a demux reader), so a
+    /// submitting executor is free the moment this returns. The default
+    /// degrades to send-and-wait for transports without a pipelined
+    /// path, preserving exactly-once completion.
+    fn submit(&self, target: ComputeNodeId, req: Req, complete: CompleteFn<Resp>) {
+        match self.send(target, req) {
+            Ok(handle) => complete(handle.wait()),
+            Err(e) => complete(Err(e)),
+        }
+    }
 
     /// Start a node running `handler` in *this* process.
     fn spawn_handler(&self, handler: BoxHandler<Req, Resp>) -> Result<ComputeNodeId, ClusterError>;
@@ -247,6 +311,41 @@ mod tests {
         let (slot, handle) = ReplyHandle::<u64>::pair(target);
         drop(slot);
         assert_eq!(handle.wait(), Err(ClusterError::NodeDied(target)));
+    }
+
+    #[test]
+    fn callback_slot_runs_exactly_once_on_fill() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let hits = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&hits);
+        let slot = ReplySlot::<u64>::with_callback(
+            ComputeNodeId(3),
+            Box::new(move |out| {
+                assert_eq!(out, Ok(5));
+                sink.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        slot.fill(Ok(5)); // drop after fill must NOT re-run the callback
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn callback_slot_dropped_unfilled_reports_node_died() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let target = ComputeNodeId(9);
+        let hits = Arc::new(AtomicU64::new(0));
+        let sink = Arc::clone(&hits);
+        let slot = ReplySlot::<u64>::with_callback(
+            target,
+            Box::new(move |out| {
+                assert_eq!(out, Err(ClusterError::NodeDied(target)));
+                sink.fetch_add(1, Ordering::Relaxed);
+            }),
+        );
+        drop(slot);
+        assert_eq!(hits.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -97,6 +97,18 @@ const TARGETS: &[Target] = &[
         body: reactor_queue_close,
         spurious_budget: 1,
     },
+    Target {
+        name: "reactor_shard_wake",
+        what: "Shard inbox handoff under coalescing wakes: no socket stranded, no lost wakeup",
+        body: reactor_shard_wake,
+        spurious_budget: 1,
+    },
+    Target {
+        name: "pipelined_worker_hop",
+        what: "ReplyToken executor→demux hop: every slot released exactly once, completions precede their wake",
+        body: pipelined_worker_hop,
+        spurious_budget: 1,
+    },
 ];
 
 // ---------------------------------------------------------------------
@@ -559,6 +571,258 @@ fn kdtree_read_split() {
     let got: Vec<u64> = hits.iter().map(|h| h.payload).collect();
     assert_eq!(got, EXPECTED[3]);
     drop(tree);
+}
+
+// ---------------------------------------------------------------------
+// Target 9: the reactor shard's wake-pipe handoff protocol.
+// ---------------------------------------------------------------------
+
+/// Condvar stand-in for one reactor shard's wake pipe. `wake` is the
+/// nonblocking byte write of `ShardPort::wake` — a full pipe (`pending`
+/// already set) means a wake is already queued, so overwriting is
+/// success, exactly the coalescing the real pipe gives. `await_wake` is
+/// poller readiness plus the drain-the-pipe read the shard loop
+/// performs *before* taking the inbox or completion list. That pairing
+/// is load-bearing: producers push-then-wake and the consumer
+/// clears-then-drains, so every post strictly precedes the drain that
+/// its wake enables. Inverting either side lets a post consume its own
+/// wake and strand the item — which the explorer reports as a deadlock.
+struct WakePipe<S: Shim> {
+    pending: S::Mutex<bool>,
+    cv: S::Condvar,
+}
+
+impl<S: Shim> WakePipe<S> {
+    fn new() -> Self {
+        WakePipe {
+            pending: S::mutex(false),
+            cv: S::condvar(),
+        }
+    }
+
+    /// The nonblocking wake write: idempotent while a wake is pending.
+    fn wake(&self) {
+        *S::lock(&self.pending) = true;
+        S::notify_all(&self.cv);
+    }
+
+    /// Block until a wake is pending, then consume it (drain the pipe).
+    fn await_wake(&self) {
+        let mut pending = S::lock(&self.pending);
+        while !*pending {
+            pending = S::wait(&self.cv, pending, &self.pending);
+        }
+        *pending = false;
+    }
+}
+
+/// Two accept-side producers each hand a socket to the owning shard —
+/// lock-push into its inbox, then poke its wake pipe (`accept_balance`'s
+/// cross-shard branch) — while the shard loop sleeps until woken, drains
+/// the pipe, and only then takes the inbox. Every interleaving must
+/// adopt both sockets exactly once: coalesced wakes (the second write
+/// landing while the first is still pending) may collapse two pokes
+/// into one, but can never strand a handed-off socket, and the consumer
+/// may never hang (a lost wakeup here would park the shard with a live
+/// socket in its inbox).
+fn reactor_shard_wake() {
+    let inbox = Arc::new(ModelShim::mutex(Vec::<u64>::new()));
+    let pipe = Arc::new(WakePipe::<ModelShim>::new());
+
+    let producers: Vec<_> = [1u64, 2]
+        .into_iter()
+        .map(|socket| {
+            let inbox = Arc::clone(&inbox);
+            let pipe = Arc::clone(&pipe);
+            ModelShim::spawn(move || {
+                ModelShim::lock(&inbox).push(socket);
+                pipe.wake();
+            })
+        })
+        .collect();
+
+    let consumer = {
+        let inbox = Arc::clone(&inbox);
+        let pipe = Arc::clone(&pipe);
+        ModelShim::spawn(move || {
+            let mut adopted = Vec::new();
+            while adopted.len() < 2 {
+                pipe.await_wake();
+                // The shard's `mem::take` of its inbox.
+                adopted.append(&mut *ModelShim::lock(&inbox));
+            }
+            adopted
+        })
+    };
+
+    for p in producers {
+        ModelShim::join(p);
+    }
+    let mut adopted = ModelShim::join(consumer);
+    adopted.sort_unstable();
+    assert_eq!(
+        adopted,
+        vec![1, 2],
+        "a handed-off socket was stranded or adopted twice"
+    );
+    assert!(
+        ModelShim::lock(&inbox).is_empty(),
+        "the drain left a socket behind"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Target 10: the pipelined worker hop's reply token.
+// ---------------------------------------------------------------------
+
+/// The shared surface a [`HopToken`] completes into: the admission
+/// queue whose slot it owes, the owning shard's completion list, and
+/// that shard's wake pipe.
+struct HopFabric {
+    queue: ServeQueue<u64, ModelShim>,
+    completions: <ModelShim as Shim>::Mutex<Vec<(u64, u64)>>,
+    shard: WakePipe<ModelShim>,
+}
+
+/// `ReplyToken`, transcribed move for move: `complete` disarms, pushes
+/// the correlated completion, releases the queue slot, then wakes the
+/// owning shard — in that order, so the wake the shard consumes always
+/// trails the completion it announces. An armed token dropped without
+/// an answer (the service-bug path) still releases its slot and wakes
+/// the shard, so the connection cannot wedge.
+struct HopToken {
+    conn: u64,
+    corr: u64,
+    fabric: Arc<HopFabric>,
+    armed: bool,
+}
+
+impl HopToken {
+    fn complete(mut self) {
+        self.armed = false;
+        ModelShim::lock(&self.fabric.completions).push((self.conn, self.corr));
+        self.fabric.queue.complete(self.conn);
+        self.fabric.shard.wake();
+    }
+}
+
+impl Drop for HopToken {
+    fn drop(&mut self) {
+        if self.armed {
+            self.fabric.queue.complete(self.conn);
+            self.fabric.shard.wake();
+        }
+    }
+}
+
+/// One connection pipelines three requests through the full hop: the
+/// executor answers request 0 inline (`Dispatch::Sync`), hands request
+/// 1's token across threads to a demux reader that completes it later
+/// (`Dispatch::Completed` — the worker hop), and *drops* request 2's
+/// token armed (a service bug). The shard consumer sleeps on its wake
+/// pipe and drains the completion list until both answered requests
+/// land. No interleaving may release a slot twice (underflow), leak one
+/// (global count drains to zero even through the dropped token), lose a
+/// completion, or hang the shard — the push-completion-before-wake
+/// order is what guarantees the drain that consumes a wake sees the
+/// completion that wake announced.
+fn pipelined_worker_hop() {
+    let fabric = Arc::new(HopFabric {
+        queue: ServeQueue::new(3),
+        completions: ModelShim::mutex(Vec::new()),
+        shard: WakePipe::new(),
+    });
+    // The demux handoff: where the executor parks request 1's token for
+    // the reader thread (a `Pending::Call` slot, boiled to its bones).
+    let hop_slot = Arc::new(ModelShim::mutex(Option::<HopToken>::None));
+    let hop_pipe = Arc::new(WakePipe::<ModelShim>::new());
+
+    let producer = {
+        let fabric = Arc::clone(&fabric);
+        ModelShim::spawn(move || {
+            for corr in 0..3u64 {
+                assert_eq!(
+                    fabric.queue.push(7, corr),
+                    Push::Granted,
+                    "three pushes fit a three-slot queue"
+                );
+            }
+        })
+    };
+
+    let executor = {
+        let fabric = Arc::clone(&fabric);
+        let hop_slot = Arc::clone(&hop_slot);
+        let hop_pipe = Arc::clone(&hop_pipe);
+        ModelShim::spawn(move || {
+            for _ in 0..3 {
+                let (conn, corr) = fabric.queue.pop().expect("queue is not shut down");
+                let token = HopToken {
+                    conn,
+                    corr,
+                    fabric: Arc::clone(&fabric),
+                    armed: true,
+                };
+                match corr {
+                    // Dispatch::Sync — answered on this thread.
+                    0 => token.complete(),
+                    // Dispatch::Completed — carried to the demux reader.
+                    1 => {
+                        *ModelShim::lock(&hop_slot) = Some(token);
+                        hop_pipe.wake();
+                    }
+                    // The service discarded the token without answering.
+                    _ => drop(token),
+                }
+            }
+        })
+    };
+
+    let demux = {
+        let hop_slot = Arc::clone(&hop_slot);
+        let hop_pipe = Arc::clone(&hop_pipe);
+        ModelShim::spawn(move || {
+            hop_pipe.await_wake();
+            let token = ModelShim::lock(&hop_slot)
+                .take()
+                .expect("the wake trails the parked token");
+            token.complete();
+        })
+    };
+
+    let consumer = {
+        let fabric = Arc::clone(&fabric);
+        ModelShim::spawn(move || {
+            let mut landed = Vec::new();
+            while landed.len() < 2 {
+                fabric.shard.await_wake();
+                landed.append(&mut *ModelShim::lock(&fabric.completions));
+            }
+            landed
+        })
+    };
+
+    ModelShim::join(producer);
+    ModelShim::join(executor);
+    ModelShim::join(demux);
+    let mut landed = ModelShim::join(consumer);
+    landed.sort_unstable();
+    assert_eq!(
+        landed,
+        vec![(7, 0), (7, 1)],
+        "answered completions must land exactly once each"
+    );
+    assert!(!fabric.queue.underflowed(), "a slot release underflowed");
+    assert_eq!(
+        fabric.queue.global_in_flight(),
+        0,
+        "the dropped token must still release its slot"
+    );
+    assert_eq!(
+        fabric.queue.conn_in_flight(7),
+        0,
+        "per-conn accounting leaked"
+    );
 }
 
 // ---------------------------------------------------------------------

@@ -23,7 +23,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 use semtree_cluster::{
-    Cluster, ClusterError, ComputeNodeId, CostModel, Transport, READ_RETRY_BUCKETS,
+    Cluster, ClusterError, ComputeNodeId, CostModel, Transport, MAX_REACTOR_SHARDS,
+    READ_RETRY_BUCKETS,
 };
 use semtree_kdtree::SplitRule;
 use semtree_net::{
@@ -591,6 +592,16 @@ pub enum ClientResp {
         /// Optimistic reads bucketed by retry count
         /// (see [`semtree_cluster::read_retry_bucket_index`]).
         read_retries: [u64; READ_RETRY_BUCKETS],
+        /// Reactor shards serving the client port (0 = no reactor);
+        /// only the first `reactor_shards` entries of the shard arrays
+        /// are live.
+        reactor_shards: u64,
+        /// Requests completed, by owning reactor shard (boxed so the
+        /// rarely-built metrics reply doesn't inflate every hot
+        /// `ClientResp` moved through the serving path).
+        shard_served: Box<[u64; MAX_REACTOR_SHARDS]>,
+        /// Requests shed at admission, by owning reactor shard.
+        shard_shed: Box<[u64; MAX_REACTOR_SHARDS]>,
     },
     /// The request failed.
     Error(String),
@@ -688,6 +699,9 @@ impl Encode for ClientResp {
                 p999_nanos,
                 reads_retried,
                 read_retries,
+                reactor_shards,
+                shard_served,
+                shard_shed,
             } => {
                 out.push(4);
                 messages.encode(out);
@@ -701,6 +715,13 @@ impl Encode for ClientResp {
                 reads_retried.encode(out);
                 for bucket in read_retries {
                     bucket.encode(out);
+                }
+                reactor_shards.encode(out);
+                for count in shard_served.iter() {
+                    count.encode(out);
+                }
+                for count in shard_shed.iter() {
+                    count.encode(out);
                 }
             }
             ClientResp::Error(msg) => {
@@ -740,6 +761,21 @@ impl Decode for ClientResp {
                     }
                     buckets
                 },
+                reactor_shards: u64::decode(buf)?,
+                shard_served: {
+                    let mut counts = Box::new([0u64; MAX_REACTOR_SHARDS]);
+                    for count in counts.iter_mut() {
+                        *count = u64::decode(buf)?;
+                    }
+                    counts
+                },
+                shard_shed: {
+                    let mut counts = Box::new([0u64; MAX_REACTOR_SHARDS]);
+                    for count in counts.iter_mut() {
+                        *count = u64::decode(buf)?;
+                    }
+                    counts
+                },
             }),
             5 => Ok(ClientResp::Error(String::decode(buf)?)),
             6 => Ok(ClientResp::NeighborBatches(Vec::decode(buf)?)),
@@ -762,44 +798,57 @@ fn dims_mismatch(tree: &DistSemTree, point: &[f64]) -> Option<ClientResp> {
     })
 }
 
+/// Map an insert outcome to its wire response. These `*_resp` mappers
+/// are shared by the blocking ([`answer`]) and pipelined
+/// (`TreeService::call_pipelined`) serving paths, so both produce
+/// byte-identical responses by construction.
+fn done_resp(outcome: Result<QueryOutcome, ClusterError>) -> ClientResp {
+    match outcome {
+        Ok(_) => ClientResp::Done,
+        Err(e) => ClientResp::Error(e.to_string()),
+    }
+}
+
+/// Map a k-NN / range outcome to its wire response.
+fn neighbors_resp(outcome: Result<QueryOutcome, ClusterError>) -> ClientResp {
+    match outcome.and_then(QueryOutcome::neighbors) {
+        Ok(hits) => ClientResp::Neighbors(hits.into_iter().map(|n| (n.dist, n.payload)).collect()),
+        Err(e) => ClientResp::Error(e.to_string()),
+    }
+}
+
+/// Map a batched k-NN outcome to its wire response.
+fn batches_resp(outcome: Result<QueryOutcome, ClusterError>) -> ClientResp {
+    match outcome.and_then(QueryOutcome::neighbor_batches) {
+        Ok(batches) => ClientResp::NeighborBatches(
+            batches
+                .into_iter()
+                .map(|hits| hits.into_iter().map(|n| (n.dist, n.payload)).collect())
+                .collect(),
+        ),
+        Err(e) => ClientResp::Error(e.to_string()),
+    }
+}
+
 fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
     match req {
         ClientReq::Insert { point, payload } => {
             if let Some(err) = dims_mismatch(tree, &point) {
                 return err;
             }
-            match tree.query(Query::Insert { point, payload }) {
-                Ok(_) => ClientResp::Done,
-                Err(e) => ClientResp::Error(e.to_string()),
-            }
+            done_resp(tree.query(Query::Insert { point, payload }))
         }
         ClientReq::Knn { point, k } => {
             if let Some(err) = dims_mismatch(tree, &point) {
                 return err;
             }
-            match tree
-                .query(Query::Knn { point, k })
-                .and_then(QueryOutcome::neighbors)
-            {
-                Ok(hits) => {
-                    ClientResp::Neighbors(hits.into_iter().map(|n| (n.dist, n.payload)).collect())
-                }
-                Err(e) => ClientResp::Error(e.to_string()),
-            }
+            neighbors_resp(tree.query(Query::Knn { point, k }))
         }
         ClientReq::Range { point, radius } => {
             if let Some(err) = dims_mismatch(tree, &point) {
                 return err;
             }
-            match tree
-                .query(Query::Range { point, radius })
-                .and_then(QueryOutcome::neighbors)
-            {
-                Ok(hits) => {
-                    ClientResp::Neighbors(hits.into_iter().map(|n| (n.dist, n.payload)).collect())
-                }
-                Err(e) => ClientResp::Error(e.to_string()),
-            }
+            neighbors_resp(tree.query(Query::Range { point, radius }))
         }
         ClientReq::Stats => match tree.try_global_stats() {
             Ok(stats) => ClientResp::Stats(stats.partitions),
@@ -819,6 +868,9 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
                 p999_nanos: m.latency.p999_nanos(),
                 reads_retried: m.reads_retried,
                 read_retries: m.read_retries,
+                reactor_shards: m.reactor_shards,
+                shard_served: Box::new(m.shard_served),
+                shard_shed: Box::new(m.shard_shed),
             }
         }
         ClientReq::Shutdown => ClientResp::Done,
@@ -828,18 +880,7 @@ fn answer(tree: &DistSemTree, req: ClientReq) -> ClientResp {
                     return err;
                 }
             }
-            match tree
-                .query(Query::KnnBatch { points, k })
-                .and_then(QueryOutcome::neighbor_batches)
-            {
-                Ok(batches) => ClientResp::NeighborBatches(
-                    batches
-                        .into_iter()
-                        .map(|hits| hits.into_iter().map(|n| (n.dist, n.payload)).collect())
-                        .collect(),
-                ),
-                Err(e) => ClientResp::Error(e.to_string()),
-            }
+            batches_resp(tree.query(Query::KnnBatch { points, k }))
         }
     }
 }
@@ -855,6 +896,10 @@ pub struct ServeOptions {
     /// Per-connection pipeline depth; beyond it the reactor stops
     /// reading that socket (backpressure, nothing is shed).
     pub per_conn_depth: usize,
+    /// Reactor shard count; `0` = automatic (half the cores, ≥ 1).
+    pub reactors: usize,
+    /// Readiness backend (epoll on Linux by default, poll elsewhere).
+    pub backend: semtree_reactor::Backend,
 }
 
 impl Default for ServeOptions {
@@ -864,6 +909,8 @@ impl Default for ServeOptions {
             executors: d.executors,
             global_depth: d.global_depth,
             per_conn_depth: d.per_conn_depth,
+            reactors: d.reactors,
+            backend: d.backend,
         }
     }
 }
@@ -888,6 +935,20 @@ impl ServeOptions {
     #[must_use]
     pub fn with_per_conn_depth(mut self, per_conn_depth: usize) -> Self {
         self.per_conn_depth = per_conn_depth;
+        self
+    }
+
+    /// Reactor shard count (`0` = automatic: half the cores, ≥ 1).
+    #[must_use]
+    pub fn with_reactors(mut self, reactors: usize) -> Self {
+        self.reactors = reactors;
+        self
+    }
+
+    /// Readiness backend every reactor shard uses.
+    #[must_use]
+    pub fn with_backend(mut self, backend: semtree_reactor::Backend) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -918,6 +979,58 @@ impl semtree_reactor::Service for TreeService<'_> {
 
     fn overloaded(&self) -> Vec<u8> {
         ClientResp::Overloaded.to_bytes()
+    }
+
+    /// The pipelined serving path: data-plane queries are submitted
+    /// through [`DistSemTree::submit_query`] and the executor returns
+    /// immediately — the client's response is completed from whatever
+    /// thread finishes the partition work (the root actor's thread, or
+    /// a `semtree-net` demux reader when partitions are remote), via
+    /// the [`semtree_reactor::ReplyToken`]. Control-plane requests,
+    /// malformed frames, and dimension rejects answer synchronously;
+    /// the response bytes are identical to [`Service::call`]'s on every
+    /// path because both go through the same `*_resp` mappers.
+    fn call_pipelined(
+        &self,
+        request: &[u8],
+        token: semtree_reactor::ReplyToken,
+    ) -> semtree_reactor::Dispatch {
+        let req: ClientReq = match decode_exact(request) {
+            Ok(req) => req,
+            Err(_) => return semtree_reactor::Dispatch::Sync(token, self.call(request)),
+        };
+        type ToResp = fn(Result<QueryOutcome, ClusterError>) -> ClientResp;
+        let (query, to_resp): (Query, ToResp) = match req {
+            ClientReq::Insert { point, payload } if dims_mismatch(self.tree, &point).is_none() => {
+                (Query::Insert { point, payload }, done_resp)
+            }
+            ClientReq::Knn { point, k } if dims_mismatch(self.tree, &point).is_none() => {
+                (Query::Knn { point, k }, neighbors_resp)
+            }
+            ClientReq::Range { point, radius } if dims_mismatch(self.tree, &point).is_none() => {
+                (Query::Range { point, radius }, neighbors_resp)
+            }
+            ClientReq::KnnBatch { points, k }
+                if points.iter().all(|p| dims_mismatch(self.tree, p).is_none()) =>
+            {
+                (Query::KnnBatch { points, k }, batches_resp)
+            }
+            req => {
+                let shutdown = req == ClientReq::Shutdown;
+                return semtree_reactor::Dispatch::Sync(
+                    token,
+                    semtree_reactor::ServiceReply {
+                        payload: answer(self.tree, req).to_bytes(),
+                        shutdown,
+                    },
+                );
+            }
+        };
+        self.tree.submit_query(
+            query,
+            Box::new(move |outcome| token.complete(to_resp(outcome).to_bytes(), false)),
+        );
+        semtree_reactor::Dispatch::Completed
     }
 }
 
@@ -951,6 +1064,8 @@ pub fn serve_clients_with(
         global_depth: options.global_depth,
         per_conn_depth: options.per_conn_depth,
         metrics: Some(tree.metrics_handle()),
+        reactors: options.reactors,
+        backend: options.backend,
     };
     let service = TreeService { tree };
     semtree_reactor::serve(listener, &service, &config)?;
@@ -983,6 +1098,13 @@ pub struct ClientMetrics {
     /// Optimistic reads bucketed by retry count
     /// (see [`semtree_cluster::read_retry_bucket_index`]).
     pub read_retries: [u64; READ_RETRY_BUCKETS],
+    /// Reactor shards serving the client port (0 = no reactor).
+    pub reactor_shards: u64,
+    /// Requests completed, by owning reactor shard (first
+    /// `reactor_shards` entries live).
+    pub shard_served: [u64; MAX_REACTOR_SHARDS],
+    /// Requests shed at admission, by owning reactor shard.
+    pub shard_shed: [u64; MAX_REACTOR_SHARDS],
 }
 
 /// A blocking client of the coordinator's query port.
@@ -1108,6 +1230,9 @@ impl NetClient {
                 p999_nanos,
                 reads_retried,
                 read_retries,
+                reactor_shards,
+                shard_served,
+                shard_shed,
             } => Ok(ClientMetrics {
                 messages,
                 bytes,
@@ -1119,6 +1244,9 @@ impl NetClient {
                 p999_nanos,
                 reads_retried,
                 read_retries,
+                reactor_shards,
+                shard_served: *shard_served,
+                shard_shed: *shard_shed,
             }),
             other => Err(unexpected(&other)),
         }
@@ -1497,6 +1625,18 @@ mod tests {
                 p999_nanos: 131_072,
                 reads_retried: 5,
                 read_retries: [10, 3, 1, 0, 1, 0, 0, 0],
+                reactor_shards: 2,
+                shard_served: {
+                    let mut served = Box::new([0u64; MAX_REACTOR_SHARDS]);
+                    served[0] = 11;
+                    served[1] = 6;
+                    served
+                },
+                shard_shed: {
+                    let mut shed = Box::new([0u64; MAX_REACTOR_SHARDS]);
+                    shed[1] = 4;
+                    shed
+                },
             },
             ClientResp::Error("nope".into()),
             ClientResp::NeighborBatches(vec![vec![(0.5, 9), (1.0, 2)], vec![]]),

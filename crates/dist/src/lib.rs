@@ -77,6 +77,7 @@ pub use deploy::{
 pub use proto::{PartitionStats, Req, Resp};
 pub use recovery::{inspect_wal, SnapshotCompression, WalInspection};
 pub use semtree_kdtree::Neighbor;
+pub use semtree_reactor::{effective_reactors, Backend as PollerBackend};
 pub use semtree_wal::WalOptions;
 pub use store::LocalNodeId;
 pub use tree::{CapacityPolicy, DistConfig, DistSemTree, GlobalStats, Query, QueryOutcome};

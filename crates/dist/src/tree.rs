@@ -6,7 +6,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use semtree_cluster::{
-    ChannelFabric, Cluster, ClusterError, ClusterMetrics, ComputeNodeId, CostModel, Transport,
+    ChannelFabric, Cluster, ClusterError, ClusterMetrics, CompleteFn, ComputeNodeId, CostModel,
+    Transport,
 };
 use semtree_kdtree::{Neighbor, SplitRule};
 
@@ -401,13 +402,58 @@ fn to_neighbors(candidates: Vec<(f64, u64)>) -> Vec<Neighbor<u64>> {
         .collect()
 }
 
+/// Map an insert's actor response. Shared by the blocking and pipelined
+/// query paths so both produce identical outcomes.
+fn expect_done(resp: Resp) -> Result<QueryOutcome, ClusterError> {
+    match resp {
+        Resp::Done => Ok(QueryOutcome::Inserted),
+        Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+        other => Err(ClusterError::Remote(format!(
+            "expected done, got {other:?}"
+        ))),
+    }
+}
+
+/// Map a search's actor response to its raw candidate list.
+fn expect_candidates(resp: Resp) -> Result<Vec<(f64, u64)>, ClusterError> {
+    match resp {
+        Resp::Candidates(c) => Ok(c),
+        Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+        other => Err(ClusterError::Remote(format!(
+            "expected candidates, got {other:?}"
+        ))),
+    }
+}
+
+/// Map a batched search's actor response.
+fn expect_batches(resp: Resp) -> Result<QueryOutcome, ClusterError> {
+    match resp {
+        Resp::CandidateBatches(b) => Ok(QueryOutcome::NeighborBatches(
+            b.into_iter().map(to_neighbors).collect(),
+        )),
+        Resp::Error(msg) => Err(ClusterError::Remote(msg)),
+        other => Err(ClusterError::Remote(format!(
+            "expected candidate batches, got {other:?}"
+        ))),
+    }
+}
+
+/// Range results are distance-sorted before they leave the facade.
+fn sorted_range_outcome(candidates: Vec<(f64, u64)>) -> QueryOutcome {
+    let mut out = to_neighbors(candidates);
+    out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
+    QueryOutcome::Neighbors(out)
+}
+
 /// The distributed SemTree: a cluster of partition actors behind a
 /// synchronous client API.
 pub struct DistSemTree {
     cluster: Cluster<PartitionActor>,
     root: ComputeNodeId,
     shared: Arc<SharedConfig>,
-    inserted: AtomicU64,
+    /// Shared (not inline) so pipelined completion callbacks can bump it
+    /// from whatever thread finishes an insert.
+    inserted: Arc<AtomicU64>,
     cost: CostModel,
 }
 
@@ -528,7 +574,7 @@ impl DistSemTree {
                 cluster,
                 root,
                 shared,
-                inserted: AtomicU64::new(0),
+                inserted: Arc::new(AtomicU64::new(0)),
                 cost,
             });
         }
@@ -576,7 +622,7 @@ impl DistSemTree {
             cluster,
             root,
             shared,
-            inserted: AtomicU64::new(0),
+            inserted: Arc::new(AtomicU64::new(0)),
             cost,
         })
     }
@@ -599,30 +645,23 @@ impl DistSemTree {
     pub fn query(&self, query: Query) -> Result<QueryOutcome, ClusterError> {
         match query {
             Query::Insert { point, payload } => {
-                match self.cluster.call(
+                let outcome = expect_done(self.cluster.call(
                     self.root,
                     Req::Insert {
                         node: LocalNodeId(0),
                         point,
                         payload,
                     },
-                )? {
-                    Resp::Done => {
-                        self.inserted.fetch_add(1, Ordering::Relaxed);
-                        Ok(QueryOutcome::Inserted)
-                    }
-                    Resp::Error(msg) => Err(ClusterError::Remote(msg)),
-                    other => Err(ClusterError::Remote(format!(
-                        "expected done, got {other:?}"
-                    ))),
-                }
+                )?)?;
+                self.inserted.fetch_add(1, Ordering::Relaxed);
+                Ok(outcome)
             }
             Query::Knn { point, k } => {
                 if let Some((hits, retries)) = self.direct_read(|h| h.knn(&point, k, None)) {
                     self.shared.record_read_retries(retries);
                     return Ok(QueryOutcome::Neighbors(to_neighbors(hits)));
                 }
-                match self.cluster.call(
+                let candidates = expect_candidates(self.cluster.call(
                     self.root,
                     Req::Knn {
                         node: LocalNodeId(0),
@@ -630,58 +669,115 @@ impl DistSemTree {
                         k,
                         worst: None,
                     },
-                )? {
-                    Resp::Candidates(c) => Ok(QueryOutcome::Neighbors(to_neighbors(c))),
-                    Resp::Error(msg) => Err(ClusterError::Remote(msg)),
-                    other => Err(ClusterError::Remote(format!(
-                        "expected candidates, got {other:?}"
-                    ))),
-                }
+                )?)?;
+                Ok(QueryOutcome::Neighbors(to_neighbors(candidates)))
             }
-            Query::KnnBatch { points, k } => {
-                match self.cluster.call(
-                    self.root,
-                    Req::KnnBatch {
-                        node: LocalNodeId(0),
-                        points,
-                        k,
-                    },
-                )? {
-                    Resp::CandidateBatches(b) => Ok(QueryOutcome::NeighborBatches(
-                        b.into_iter().map(to_neighbors).collect(),
-                    )),
-                    Resp::Error(msg) => Err(ClusterError::Remote(msg)),
-                    other => Err(ClusterError::Remote(format!(
-                        "expected candidate batches, got {other:?}"
-                    ))),
-                }
-            }
+            Query::KnnBatch { points, k } => expect_batches(self.cluster.call(
+                self.root,
+                Req::KnnBatch {
+                    node: LocalNodeId(0),
+                    points,
+                    k,
+                },
+            )?),
             Query::Range { point, radius } => {
                 let candidates =
                     if let Some((hits, retries)) = self.direct_read(|h| h.range(&point, radius)) {
                         self.shared.record_read_retries(retries);
                         hits
                     } else {
-                        match self.cluster.call(
+                        expect_candidates(self.cluster.call(
                             self.root,
                             Req::Range {
                                 node: LocalNodeId(0),
                                 point,
                                 radius,
                             },
-                        )? {
-                            Resp::Candidates(c) => c,
-                            Resp::Error(msg) => return Err(ClusterError::Remote(msg)),
-                            other => {
-                                return Err(ClusterError::Remote(format!(
-                                    "expected candidates, got {other:?}"
-                                )))
-                            }
-                        }
+                        )?)?
                     };
-                let mut out = to_neighbors(candidates);
-                out.sort_by(|a, b| a.dist.total_cmp(&b.dist));
-                Ok(QueryOutcome::Neighbors(out))
+                Ok(sorted_range_outcome(candidates))
+            }
+        }
+    }
+
+    /// Pipelined form of [`query`](DistSemTree::query): dispatch the
+    /// operation and return immediately; `complete` runs exactly once
+    /// with the identical outcome the blocking path would have produced,
+    /// on whatever thread finishes the work — the root actor's thread
+    /// in-process, a network demux reader under `semtree-net`, or this
+    /// thread when the lock-free read fast path answers inline. This is
+    /// what lets one serving executor keep hundreds of worker round
+    /// trips in flight.
+    pub fn submit_query(&self, query: Query, complete: CompleteFn<QueryOutcome>) {
+        match query {
+            Query::Insert { point, payload } => {
+                let inserted = Arc::clone(&self.inserted);
+                self.cluster.submit(
+                    self.root,
+                    Req::Insert {
+                        node: LocalNodeId(0),
+                        point,
+                        payload,
+                    },
+                    Box::new(move |resp| {
+                        let outcome = resp.and_then(expect_done);
+                        if outcome.is_ok() {
+                            inserted.fetch_add(1, Ordering::Relaxed);
+                        }
+                        complete(outcome);
+                    }),
+                );
+            }
+            Query::Knn { point, k } => {
+                if let Some((hits, retries)) = self.direct_read(|h| h.knn(&point, k, None)) {
+                    self.shared.record_read_retries(retries);
+                    complete(Ok(QueryOutcome::Neighbors(to_neighbors(hits))));
+                    return;
+                }
+                self.cluster.submit(
+                    self.root,
+                    Req::Knn {
+                        node: LocalNodeId(0),
+                        point,
+                        k,
+                        worst: None,
+                    },
+                    Box::new(move |resp| {
+                        complete(
+                            resp.and_then(expect_candidates)
+                                .map(|c| QueryOutcome::Neighbors(to_neighbors(c))),
+                        );
+                    }),
+                );
+            }
+            Query::KnnBatch { points, k } => {
+                self.cluster.submit(
+                    self.root,
+                    Req::KnnBatch {
+                        node: LocalNodeId(0),
+                        points,
+                        k,
+                    },
+                    Box::new(move |resp| complete(resp.and_then(expect_batches))),
+                );
+            }
+            Query::Range { point, radius } => {
+                if let Some((hits, retries)) = self.direct_read(|h| h.range(&point, radius)) {
+                    self.shared.record_read_retries(retries);
+                    complete(Ok(sorted_range_outcome(hits)));
+                    return;
+                }
+                self.cluster.submit(
+                    self.root,
+                    Req::Range {
+                        node: LocalNodeId(0),
+                        point,
+                        radius,
+                    },
+                    Box::new(move |resp| {
+                        complete(resp.and_then(expect_candidates).map(sorted_range_outcome));
+                    }),
+                );
             }
         }
     }

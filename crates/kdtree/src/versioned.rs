@@ -158,6 +158,25 @@ impl<L, S: Shim> VNode<L, S> {
     }
 }
 
+/// How many failed validations spin (with doubling pause windows)
+/// before the reader starts yielding its timeslice between attempts.
+const SPIN_RETRIES: u64 = 6;
+
+/// Bounded spin-then-yield backoff for the optimistic-read retry loop.
+fn backoff(retries: u64) {
+    if retries <= SPIN_RETRIES {
+        // 2, 4, ... 64 pause hints: cheap enough to win when the writer
+        // publishes within its own timeslice.
+        for _ in 0..(1u32 << retries.min(SPIN_RETRIES)) {
+            std::hint::spin_loop();
+        }
+    } else {
+        // Persistent conflict: get off the CPU so the writer (or the
+        // scheduler) can make progress before the next full traversal.
+        std::thread::yield_now();
+    }
+}
+
 /// Retry accounting for one optimistic read.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ReadStats {
@@ -306,6 +325,14 @@ impl<L, S: Shim> VersionedTree<L, S> {
     /// unchanged version. `attempt` must return `None` when it observes
     /// an unpublished slot (writer race); the loop retries in both
     /// cases and reports how often.
+    ///
+    /// Failed validations back off before retrying: the first few
+    /// retries spin (the writer transaction is usually a handful of
+    /// stores), then the reader yields its timeslice. Without the yield
+    /// a reader that lost the race keeps re-running full traversals
+    /// against the same open transaction — on a loaded or single-core
+    /// host that starves the very writer it is waiting on and the retry
+    /// counter climbs by millions per second.
     pub fn read<R>(
         &self,
         mut attempt: impl FnMut(&ReadGuard<'_, L, S>) -> Option<R>,
@@ -322,7 +349,7 @@ impl<L, S: Shim> VersionedTree<L, S> {
                 );
             }
             retries = retries.saturating_add(1);
-            std::hint::spin_loop();
+            backoff(retries);
         }
     }
 

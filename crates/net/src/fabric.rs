@@ -23,7 +23,7 @@ use std::sync::{mpsc, Arc, Weak};
 use std::time::{Duration, Instant};
 
 use semtree_cluster::{
-    BoxHandler, ChannelFabric, ClusterError, ClusterMetrics, ComputeNodeId, CostModel,
+    BoxHandler, ChannelFabric, ClusterError, ClusterMetrics, CompleteFn, ComputeNodeId, CostModel,
     MembershipGate, MetricsSnapshot, NodeFactory, ReplyHandle, ReplySlot, Transport, Wire,
 };
 use semtree_conc::sync::Mutex;
@@ -432,11 +432,14 @@ where
         for conn in self.conns.values() {
             let _ = self.write_recorded(&conn, &joined_bytes);
         }
-        // The route and connection must exist before the Welcome goes out:
-        // the worker treats Welcome as "joined", and the coordinator may
-        // be asked to reach it the moment `join` returns.
+        // Ordering matters twice over. The route and connection must
+        // exist before the Welcome goes out (the worker treats Welcome as
+        // "joined", and the coordinator may be asked to reach it the
+        // moment `join` returns) — and the membership gate must fire only
+        // AFTER the Welcome is on the wire: waking waiters earlier lets a
+        // sender grab the freshly registered conn's writer first, and the
+        // worker's first frame becomes a request instead of its Welcome.
         self.peers.write().insert(assigned, peer_listen);
-        self.notify_membership();
         let Ok(conn) = self.register_conn(assigned, stream) else {
             return;
         };
@@ -446,6 +449,7 @@ where
             config: self.config.clone(),
         };
         let _ = self.write_recorded(&conn, &welcome.to_bytes());
+        self.notify_membership();
     }
 
     /// Coordinator path for a **restarted** worker: validate that the
@@ -493,8 +497,9 @@ where
         for conn in self.conns.values() {
             let _ = self.write_recorded(&conn, &joined_bytes);
         }
+        // Same discipline as `admit_worker`: the Welcome must be this
+        // socket's first outbound frame, so the gate fires only after it.
         self.peers.write().insert(process_index, peer_listen);
-        self.notify_membership();
         let Ok(conn) = self.register_conn(process_index, stream) else {
             return;
         };
@@ -504,6 +509,7 @@ where
             config: self.config.clone(),
         };
         let _ = self.write_recorded(&conn, &welcome.to_bytes());
+        self.notify_membership();
     }
 
     /// Adopt an established socket as the connection to `peer`: start its
@@ -782,6 +788,51 @@ where
             return Err(err);
         }
         Ok(handle)
+    }
+
+    /// The pipelined worker hop: the request rides the same persistent
+    /// per-peer connection as [`send`](Transport::send), but the
+    /// registered pending entry carries a callback slot, so the demux
+    /// reader thread completes the caller directly when the correlated
+    /// response frame arrives — no executor blocks in between. Failures
+    /// (teardown in `fail_all`, a remote error frame, a failed write)
+    /// all route through the same slot, preserving exactly-once
+    /// completion.
+    fn submit(&self, target: ComputeNodeId, req: Req, complete: CompleteFn<Resp>) {
+        if self.shutting_down.load(Ordering::SeqCst) {
+            complete(Err(ClusterError::Net("fabric is shutting down".into())));
+            return;
+        }
+        if target.process() == self.process_index {
+            self.local.submit(target, req, complete);
+            return;
+        }
+        let Some(this) = self.self_weak.upgrade() else {
+            complete(Err(ClusterError::Net("fabric is shutting down".into())));
+            return;
+        };
+        let conn = match this.conn_to(target.process()) {
+            Ok(conn) => conn,
+            Err(err) => {
+                complete(Err(err));
+                return;
+            }
+        };
+        let call_id = self.next_call_id.fetch_add(1, Ordering::SeqCst);
+        let slot = ReplySlot::with_callback(target, complete);
+        conn.pending.lock().insert(call_id, Pending::Call(slot));
+        let msg: NetMsg<Req, Resp> = NetMsg::Request {
+            call_id,
+            target: target.0,
+            body: req,
+        };
+        if let Err(err) = self.write_recorded(&conn, &msg.to_bytes()) {
+            // The reader will never see a response for a request that
+            // never left; surface the write failure ourselves.
+            if let Some(Pending::Call(slot)) = conn.take_pending(call_id) {
+                slot.fill(Err(err));
+            }
+        }
     }
 
     fn spawn_handler(&self, handler: BoxHandler<Req, Resp>) -> Result<ComputeNodeId, ClusterError> {

@@ -7,18 +7,23 @@
 //! round-trip. This crate replaces it with a **dependency-free
 //! readiness loop** over non-blocking `std::net` sockets:
 //!
-//! - [`sys`]: the one `poll(2)` wrapper (the only `unsafe` in the
-//!   workspace), `EINTR`-retrying and safe above the syscall;
+//! - [`sys`]: the readiness backends (the only `unsafe` in the
+//!   workspace) behind one `Poller` trait — persistent-registration
+//!   `epoll` (level- or edge-triggered) on Linux, portable `poll(2)`
+//!   everywhere, all `EINTR`-retrying and safe above the syscalls;
 //! - [`buffer`]: per-connection frame re-assembly and partial-write
 //!   resumption over the existing u32-length-prefixed framing;
 //! - [`queue`]: bounded global + per-connection admission with
 //!   backpressure semantics, generic over the concurrency shim so the
 //!   `semtree-conc` model checker can explore the queue-full /
 //!   connection-close race;
-//! - [`reactor`]: the poll loop and executor pool behind the
-//!   [`Service`] trait, shedding overload with a typed response and
-//!   recording per-request latency into the shared
-//!   [`semtree_cluster::MetricsSnapshot`] histogram.
+//! - [`reactor`]: N sharded event loops (accept-balanced connection
+//!   ownership, per-shard wake pipes and completion lists) feeding an
+//!   executor pool behind the [`Service`] trait — shedding overload
+//!   with a typed response, completing pipelined replies from any
+//!   thread via [`ReplyToken`], and recording per-request latency and
+//!   per-shard served/shed counters into the shared
+//!   [`semtree_cluster::MetricsSnapshot`].
 //!
 //! Requests are **pipelined**: a v2 frame (`semtree_net::FRAME_V2`)
 //! carries a correlation id, responses complete out of order, and a
@@ -32,7 +37,11 @@ mod sys;
 
 pub use buffer::{FrameReader, WriteQueue};
 pub use queue::{Push, ServeQueue};
-pub use reactor::{serve, ReactorConfig, ReactorReport, Service, ServiceReply};
+pub use reactor::{
+    effective_reactors, serve, Dispatch, ReactorConfig, ReactorReport, ReplyToken, Service,
+    ServiceReply, DRAIN_BUDGET, MAX_REACTORS,
+};
+pub use sys::{Backend, Interest};
 
 #[cfg(test)]
 mod tests {
@@ -129,7 +138,7 @@ mod tests {
             executors: 1,
             global_depth: 2,
             per_conn_depth: 64,
-            metrics: None,
+            ..ReactorConfig::default()
         };
         let (addr, handle) = serve_echo(config);
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -164,7 +173,8 @@ mod tests {
             executors: 2,
             global_depth: 1024,
             per_conn_depth: 2,
-            metrics: None,
+            reactors: 2,
+            ..ReactorConfig::default()
         };
         let (addr, handle) = serve_echo(config);
         let mut stream = TcpStream::connect(addr).unwrap();
@@ -214,7 +224,7 @@ mod tests {
             executors: 1,
             global_depth: 8,
             per_conn_depth: 8,
-            metrics: None,
+            ..ReactorConfig::default()
         };
         let (addr, handle) = serve_echo(config);
         {

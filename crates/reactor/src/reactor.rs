@@ -1,26 +1,41 @@
-//! The readiness loop: accept, buffer, admit, execute, reply.
+//! The sharded readiness fabric: accept, balance, buffer, admit,
+//! execute, reply.
 //!
-//! One reactor thread multiplexes every client connection with
-//! `poll(2)` (via [`crate::sys`]); a small pool of executor threads
-//! runs the [`Service`] on admitted requests. Responses flow back
-//! through a completion list and a self-wake socket, so out-of-order
-//! completion under pipelining is the natural case — each v2 frame
-//! carries its correlation id home.
+//! N reactor shards (one thread each) multiplex the client connections
+//! through a [`Poller`] — epoll on Linux, `poll(2)` elsewhere — while a
+//! small pool of executor threads runs the [`Service`] on admitted
+//! requests. Shard 0 owns the listener and hands each accepted socket
+//! to the least-loaded shard over a lock-protected inbox plus a wake
+//! pipe; after that the connection lives and dies on its owning shard
+//! (its fd is registered with that shard's poller exactly once).
+//! Responses flow back through per-shard completion lists, so
+//! out-of-order completion under pipelining is the natural case — each
+//! v2 frame carries its correlation id home.
+//!
+//! Completions are routed by an `Arc`'d [`ReplyToken`], which makes the
+//! reply path location-independent: an executor can answer inline
+//! ([`Dispatch::Sync`]), or a [`Service`] can take the token across
+//! threads and complete the response later from a transport's demux
+//! callback ([`Dispatch::Completed`]) — the pipelined worker hop.
 //!
 //! Connection lifecycle: `Accepted → Reading ⇄ Backpressured → Draining
 //! → Closed`. *Backpressured* means the connection's in-flight count
-//! reached the per-connection bound: the reactor stops polling the
-//! socket for readability (already-buffered bytes stay buffered) until
-//! a completion frees a slot. Admission against a full **global** bound
-//! instead sheds the request: the service's typed `overloaded` response
-//! is queued immediately, and the client sees backpressure as latency,
-//! never as a silent stall.
+//! reached the per-connection bound: the shard drops the socket's read
+//! interest (already-buffered bytes stay buffered) until a completion
+//! frees a slot. Admission against a full **global** bound instead
+//! sheds the request: the service's typed `overloaded` response is
+//! queued immediately, and the client sees backpressure as latency,
+//! never as a silent stall. Within one loop iteration a connection may
+//! admit at most [`DRAIN_BUDGET`] buffered frames before the shard
+//! moves on to its siblings, so one saturated pipelined connection
+//! cannot starve the others.
 
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -30,7 +45,29 @@ use semtree_net::{encode_frame_v2, split_frame_v2};
 
 use crate::buffer::{FrameReader, WriteQueue};
 use crate::queue::{Push, ServeQueue};
-use crate::sys::{poll_fds, PollFd, POLLERR, POLLHUP, POLLIN, POLLOUT};
+use crate::sys::{new_poller, Backend, Event, Interest, Poller};
+
+/// Poller token of a shard's wake pipe.
+const TOKEN_WAKE: u64 = u64::MAX;
+/// Poller token of the listener (accepting shard only).
+const TOKEN_LISTENER: u64 = u64::MAX - 1;
+/// Bits of a connection id carrying its owning shard index.
+const SHARD_SHIFT: u32 = 48;
+/// Most reactor shards a single [`serve`] will run, regardless of
+/// configuration (also the width of the per-shard metrics arrays).
+pub const MAX_REACTORS: usize = 32;
+
+/// Most buffered frames one connection may admit per loop iteration —
+/// the fairness bound keeping a saturated pipelined connection from
+/// starving its shard-mates. Leftover frames stay buffered and the
+/// shard re-pumps them on its next iteration without waiting for new
+/// socket readiness.
+pub const DRAIN_BUDGET: usize = 32;
+
+/// The shard index encoded in connection id `id`.
+fn conn_shard(id: u64) -> usize {
+    (id >> SHARD_SHIFT) as usize
+}
 
 /// What a [`Service`] returns for one request.
 #[derive(Debug)]
@@ -42,6 +79,17 @@ pub struct ServiceReply {
     pub shutdown: bool,
 }
 
+/// How a [`Service::call_pipelined`] invocation left the request.
+pub enum Dispatch {
+    /// The service consumed the [`ReplyToken`]; the response will be
+    /// (or already was) delivered via [`ReplyToken::complete`] from
+    /// whatever thread finishes the work.
+    Completed,
+    /// The service answered synchronously; the executor completes the
+    /// token with this reply.
+    Sync(ReplyToken, ServiceReply),
+}
+
 /// The application behind the reactor: decodes a request body, produces
 /// an encoded response. Called concurrently from executor threads.
 pub trait Service: Sync {
@@ -51,6 +99,15 @@ pub trait Service: Sync {
     /// The encoded "overloaded, retry later" response sent when the
     /// global queue is full and the request is shed without running.
     fn overloaded(&self) -> Vec<u8>;
+
+    /// Pipelined entry point: services that fan work out to other
+    /// threads (or processes) take the [`ReplyToken`] and return
+    /// [`Dispatch::Completed`], freeing this executor immediately; the
+    /// response is completed later from the finishing thread. The
+    /// default answers synchronously via [`call`](Service::call).
+    fn call_pipelined(&self, request: &[u8], token: ReplyToken) -> Dispatch {
+        Dispatch::Sync(token, self.call(request))
+    }
 }
 
 /// Tunables for [`serve`].
@@ -64,8 +121,14 @@ pub struct ReactorConfig {
     /// Per-connection bound; a connection at the bound stops being
     /// read (backpressure) until a completion frees a slot.
     pub per_conn_depth: usize,
-    /// Sink for per-request serving latency (dispatch → reply ready).
+    /// Sink for per-request serving latency (dispatch → reply ready)
+    /// and per-shard served/shed counters.
     pub metrics: Option<Arc<ClusterMetrics>>,
+    /// Reactor shard count; `0` means automatic (half the available
+    /// cores, at least one). Capped at [`MAX_REACTORS`].
+    pub reactors: usize,
+    /// Readiness backend every shard uses.
+    pub backend: Backend,
 }
 
 impl Default for ReactorConfig {
@@ -75,8 +138,18 @@ impl Default for ReactorConfig {
             global_depth: 1024,
             per_conn_depth: 64,
             metrics: None,
+            reactors: 0,
+            backend: Backend::default(),
         }
     }
+}
+
+/// The shard count a `reactors` setting resolves to on this host.
+#[must_use]
+pub fn effective_reactors(reactors: usize) -> usize {
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get() / 2);
+    let n = if reactors == 0 { auto } else { reactors };
+    n.clamp(1, MAX_REACTORS)
 }
 
 /// What happened over one [`serve`] run.
@@ -97,75 +170,131 @@ struct Job {
     admitted: Instant,
 }
 
-/// One finished response travelling back to the reactor.
+/// One finished response travelling back to its owning shard.
 struct Completion {
     conn: u64,
     /// Full reply payload (v2 header already prepended when required).
     payload: Vec<u8>,
-    shutdown: bool,
 }
 
-struct Conn {
-    id: u64,
-    stream: TcpStream,
-    reader: FrameReader,
-    writer: WriteQueue,
-}
-
-/// Everything the loop and the executors share by reference.
-struct Shared<'a, SVC: Service> {
-    service: &'a SVC,
-    config: &'a ReactorConfig,
-    queue: ServeQueue<Job>,
+/// One shard's cross-thread surface: where its completions, handed-off
+/// sockets, and wakes land.
+struct ShardPort {
     completions: Mutex<Vec<Completion>>,
+    /// Sockets accepted by shard 0 and assigned to this shard.
+    inbox: Mutex<Vec<TcpStream>>,
     wake_tx: UnixStream,
+    /// Live connections owned by this shard (accept balancing reads
+    /// these across shards).
+    conn_count: AtomicUsize,
+}
+
+impl ShardPort {
+    /// Poke the shard's wake pipe; a full pipe means a wake is already
+    /// pending, so `WouldBlock` is success.
+    fn wake(&self) {
+        let _ = (&self.wake_tx).write(&[1]);
+    }
+}
+
+/// The `'static` heart shared by shards, executors, and in-flight
+/// [`ReplyToken`]s (which may outlive an executor's interest in the
+/// request — that is the point).
+struct Router {
+    queue: ServeQueue<Job>,
+    shards: Vec<ShardPort>,
+    metrics: Option<Arc<ClusterMetrics>>,
+    per_conn_depth: usize,
     stopping: AtomicBool,
     served: AtomicU64,
 }
 
-impl<SVC: Service> Shared<'_, SVC> {
-    /// Poke the reactor's wake socket; a full pipe means a wake is
-    /// already pending, so `WouldBlock` is success.
-    fn wake(&self) {
-        let _ = (&self.wake_tx).write(&[1]);
-    }
+/// The write-side handle for one admitted request: whoever holds it
+/// answers the client. Created by the executor loop; either completed
+/// inline ([`Dispatch::Sync`]) or carried to another thread by a
+/// pipelining [`Service`] and completed from there.
+pub struct ReplyToken {
+    conn: u64,
+    corr: Option<u64>,
+    admitted: Instant,
+    router: Arc<Router>,
+    armed: bool,
+}
 
-    /// Executor body: run jobs until the queue shuts down.
-    fn run_executor(&self) {
-        while let Some((conn, job)) = self.queue.pop() {
-            let reply = self.service.call(&job.body);
-            let elapsed = u64::try_from(job.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
-            if let Some(metrics) = &self.config.metrics {
-                metrics.record_latency(elapsed);
+impl ReplyToken {
+    /// Deliver the encoded response body for this request (the reactor
+    /// adds framing and the v2 correlation header). `shutdown` asks the
+    /// whole reactor to drain and return once the reply is flushed.
+    pub fn complete(mut self, payload: Vec<u8>, shutdown: bool) {
+        self.armed = false;
+        let shard = conn_shard(self.conn);
+        let elapsed = u64::try_from(self.admitted.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if let Some(metrics) = &self.router.metrics {
+            metrics.record_latency(elapsed);
+            metrics.record_shard_served(shard);
+        }
+        self.router.served.fetch_add(1, Ordering::Relaxed);
+        let framed = match self.corr {
+            Some(corr) => encode_frame_v2(corr, &payload),
+            None => payload,
+        };
+        if shutdown {
+            self.router.stopping.store(true, Ordering::SeqCst);
+        }
+        self.router.shards[shard]
+            .completions
+            .lock()
+            .push(Completion {
+                conn: self.conn,
+                payload: framed,
+            });
+        self.router.queue.complete(self.conn);
+        if shutdown {
+            // Every shard must notice the drain, not just the owner.
+            for port in &self.router.shards {
+                port.wake();
             }
-            self.served.fetch_add(1, Ordering::Relaxed);
-            let payload = match job.corr {
-                Some(corr) => encode_frame_v2(corr, &reply.payload),
-                None => reply.payload,
-            };
-            if reply.shutdown {
-                self.stopping.store(true, Ordering::SeqCst);
-            }
-            {
-                let mut completions = self.completions.lock();
-                completions.push(Completion {
-                    conn,
-                    payload,
-                    shutdown: reply.shutdown,
-                });
-            }
-            self.queue.complete(conn);
-            self.wake();
+        } else {
+            self.router.shards[shard].wake();
         }
     }
 }
 
-/// Serve clients on `listener` until a request's [`ServiceReply`] sets
-/// `shutdown`. Executor threads are scoped, so `service` only needs
+impl Drop for ReplyToken {
+    fn drop(&mut self) {
+        if self.armed {
+            // Discarded without an answer (service bug or unwinding):
+            // release the pipeline slot so the connection cannot wedge.
+            // The client's correlation id simply never resolves.
+            self.router.queue.complete(self.conn);
+            self.router.shards[conn_shard(self.conn)].wake();
+        }
+    }
+}
+
+/// Executor body: run jobs until the queue shuts down.
+fn run_executor<SVC: Service>(service: &SVC, router: &Arc<Router>) {
+    while let Some((conn, job)) = router.queue.pop() {
+        let token = ReplyToken {
+            conn,
+            corr: job.corr,
+            admitted: job.admitted,
+            router: Arc::clone(router),
+            armed: true,
+        };
+        match service.call_pipelined(&job.body, token) {
+            Dispatch::Completed => {}
+            Dispatch::Sync(token, reply) => token.complete(reply.payload, reply.shutdown),
+        }
+    }
+}
+
+/// Serve clients on `listener` until a request's reply sets `shutdown`.
+/// Executor and shard threads are scoped, so `service` only needs
 /// `Sync`, not `'static`.
 ///
 /// # Errors
-/// Fatal socket-layer failures (listener, `poll(2)`, or the wake pipe);
+/// Fatal socket-layer failures (listener, poller, or a wake pipe);
 /// per-connection errors close that connection only.
 pub fn serve<SVC: Service>(
     listener: &TcpListener,
@@ -173,160 +302,338 @@ pub fn serve<SVC: Service>(
     config: &ReactorConfig,
 ) -> io::Result<ReactorReport> {
     listener.set_nonblocking(true)?;
-    let (wake_rx, wake_tx) = UnixStream::pair()?;
-    wake_rx.set_nonblocking(true)?;
-    wake_tx.set_nonblocking(true)?;
-    let shared = Shared {
-        service,
-        config,
+    let reactors = effective_reactors(config.reactors);
+    let mut wake_rxs = Vec::with_capacity(reactors);
+    let mut shards = Vec::with_capacity(reactors);
+    for _ in 0..reactors {
+        let (rx, tx) = UnixStream::pair()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        wake_rxs.push(rx);
+        shards.push(ShardPort {
+            completions: Mutex::new(Vec::new()),
+            inbox: Mutex::new(Vec::new()),
+            wake_tx: tx,
+            conn_count: AtomicUsize::new(0),
+        });
+    }
+    let router = Arc::new(Router {
         queue: ServeQueue::new(config.global_depth),
-        completions: Mutex::new(Vec::new()),
-        wake_tx,
+        shards,
+        metrics: config.metrics.clone(),
+        per_conn_depth: config.per_conn_depth.max(1),
         stopping: AtomicBool::new(false),
         served: AtomicU64::new(0),
-    };
-    std::thread::scope(|scope| {
+    });
+    if let Some(metrics) = &router.metrics {
+        metrics.set_reactor_shards(reactors);
+    }
+    let shed = std::thread::scope(|scope| -> io::Result<u64> {
         for _ in 0..config.executors.max(1) {
-            scope.spawn(|| shared.run_executor());
+            let router = &router;
+            scope.spawn(move || run_executor(service, router));
         }
-        let result = event_loop(listener, &wake_rx, &shared);
-        shared.queue.shutdown();
-        result
+        let mut handles = Vec::new();
+        for (shard, wake_rx) in wake_rxs.iter().enumerate().skip(1) {
+            let router = &router;
+            handles.push(
+                scope.spawn(move || shard_loop(shard, None, wake_rx, router, service, config)),
+            );
+        }
+        let r0 = shard_loop(0, Some(listener), &wake_rxs[0], &router, service, config);
+        // Shard 0 is back (shutdown or fatal error): stop the others.
+        router.stopping.store(true, Ordering::SeqCst);
+        for port in &router.shards {
+            port.wake();
+        }
+        let mut shed = 0u64;
+        let mut first_err = None;
+        match r0 {
+            Ok(n) => shed += n,
+            Err(e) => first_err = Some(e),
+        }
+        for handle in handles {
+            // A panicked shard surfaces as an io::Error rather than
+            // tearing down the whole process from the serve() caller.
+            let joined = handle
+                .join()
+                .unwrap_or_else(|_| Err(io::Error::other("reactor shard panicked")));
+            match joined {
+                Ok(n) => shed += n,
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        router.queue.shutdown();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(shed),
+        }
+    })?;
+    Ok(ReactorReport {
+        served: router.served.load(Ordering::Relaxed),
+        shed,
     })
 }
 
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    writer: WriteQueue,
+    /// Interest currently registered with the poller (diffed, not
+    /// rebuilt: registration is persistent).
+    interest: Interest,
+}
+
+/// One shard's event loop. Only the accepting shard gets `listener`.
+/// Returns the number of requests this shard shed.
 #[allow(clippy::too_many_lines)]
-fn event_loop<SVC: Service>(
-    listener: &TcpListener,
+fn shard_loop<SVC: Service>(
+    shard: usize,
+    listener: Option<&TcpListener>,
     wake_rx: &UnixStream,
-    shared: &Shared<'_, SVC>,
-) -> io::Result<ReactorReport> {
-    let mut conns: Vec<Conn> = Vec::new();
-    let mut next_conn_id: u64 = 0;
+    router: &Arc<Router>,
+    service: &SVC,
+    config: &ReactorConfig,
+) -> io::Result<u64> {
+    let mut poller = new_poller(config.backend)?;
+    poller.register(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)?;
+    let mut listener_armed = false;
+    if let Some(l) = listener {
+        poller.register(l.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        listener_armed = true;
+    }
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut next_seq: u64 = 0;
     let mut shed: u64 = 0;
     let mut scratch = vec![0u8; 64 * 1024];
-    // Index of the connection that asked for shutdown; its reply must
-    // flush before the loop exits.
+    let mut events: Vec<Event> = Vec::new();
+    // Connections the fairness budget left with admissible buffered
+    // frames; re-pumped next iteration without new socket readiness.
+    let mut repump: Vec<u64> = Vec::new();
     let mut drain_deadline: Option<Instant> = None;
 
     loop {
-        let stopping = shared.stopping.load(Ordering::SeqCst);
-        // ---- build the poll set: waker, listener, then connections.
-        let mut fds = Vec::with_capacity(2 + conns.len());
-        fds.push(PollFd::new(wake_rx.as_raw_fd(), POLLIN));
-        fds.push(PollFd::new(
-            listener.as_raw_fd(),
-            if stopping { 0 } else { POLLIN },
-        ));
-        for conn in &conns {
-            let mut events = 0i16;
-            let backpressured =
-                shared.queue.conn_in_flight(conn.id) >= shared.config.per_conn_depth;
-            if !stopping && !backpressured {
-                events |= POLLIN;
+        let stopping = router.stopping.load(Ordering::SeqCst);
+        if stopping && listener_armed {
+            if let Some(l) = listener {
+                poller.reregister(l.as_raw_fd(), TOKEN_LISTENER, Interest::NONE)?;
             }
-            if !conn.writer.is_empty() {
-                events |= POLLOUT;
-            }
-            fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+            listener_armed = false;
         }
-        poll_fds(&mut fds, 50)?;
-        // Snapshot readiness by connection id now: accepts and closes
-        // below reshuffle `conns`, and ids stay valid where indices
-        // would not.
-        let ready: Vec<(u64, i16)> = conns
-            .iter()
-            .zip(fds.iter().skip(2))
-            .map(|(c, f)| (c.id, f.revents))
-            .collect();
+        let timeout = if repump.is_empty() { 50 } else { 0 };
+        poller.wait(&mut events, timeout)?;
 
-        // ---- drain the waker.
-        if fds[0].has(POLLIN) {
+        // Connections touched this iteration: (id, readable, writable,
+        // error). Budget leftovers first, then kernel readiness.
+        let mut touched: Vec<(u64, bool, bool, bool)> = Vec::new();
+        for id in repump.drain(..) {
+            touched.push((id, false, false, false));
+        }
+        let mut wake_ready = false;
+        let mut accept_ready = false;
+        for ev in &events {
+            match ev.token {
+                TOKEN_WAKE => wake_ready = true,
+                TOKEN_LISTENER => accept_ready = true,
+                id => touched.push((id, ev.readable, ev.writable, ev.error)),
+            }
+        }
+
+        if wake_ready {
             while matches!((&*wake_rx).read(&mut scratch), Ok(n) if n > 0) {}
         }
 
-        // ---- accept new connections.
-        if fds[1].has(POLLIN) {
-            loop {
-                match listener.accept() {
-                    Ok((stream, _addr)) => {
-                        stream.set_nonblocking(true)?;
-                        stream.set_nodelay(true).ok();
-                        let id = next_conn_id;
-                        next_conn_id += 1;
-                        conns.push(Conn {
-                            id,
-                            stream,
-                            reader: FrameReader::new(),
-                            writer: WriteQueue::new(),
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(e) => return Err(e),
-                }
+        // ---- adopt sockets handed off by the accepting shard.
+        let handed: Vec<TcpStream> = std::mem::take(&mut *router.shards[shard].inbox.lock());
+        for stream in handed {
+            adopt(
+                &mut *poller,
+                router,
+                &mut conns,
+                &mut next_seq,
+                shard,
+                stream,
+                &mut touched,
+            );
+        }
+
+        // ---- accept new connections, balancing across shards.
+        if accept_ready && !stopping {
+            if let Some(l) = listener {
+                accept_balance(
+                    l,
+                    shard,
+                    router,
+                    &mut *poller,
+                    &mut conns,
+                    &mut next_seq,
+                    &mut touched,
+                )?;
             }
         }
 
         // ---- deliver finished responses into write queues.
-        let finished: Vec<Completion> = std::mem::take(&mut *shared.completions.lock());
+        let finished: Vec<Completion> =
+            std::mem::take(&mut *router.shards[shard].completions.lock());
         for completion in finished {
             // A completion for a vanished connection is dropped: its
-            // queue slot was already released by the executor.
-            let push_failed = match conns.iter_mut().find(|c| c.id == completion.conn) {
-                Some(conn) => conn.writer.push_frame(&completion.payload).is_err(),
-                None => false,
-            };
-            if push_failed {
-                // Response exceeds the frame format: nothing valid can
-                // be sent; drop the connection.
-                close_conn(shared, &mut conns, completion.conn);
-            }
-            if completion.shutdown && drain_deadline.is_none() {
-                drain_deadline = Some(Instant::now() + std::time::Duration::from_secs(5));
+            // queue slot was already released by the reply token.
+            if let Some(conn) = conns.get_mut(&completion.conn) {
+                if conn.writer.push_frame(&completion.payload).is_err() {
+                    // Response exceeds the frame format: nothing valid
+                    // can be sent; drop the connection.
+                    close_conn(&mut *poller, router, &mut conns, completion.conn);
+                } else {
+                    // The freed pipeline slot may unblock buffered
+                    // frames, and the new payload wants a flush.
+                    touched.push((completion.conn, false, false, false));
+                }
             }
         }
 
-        // ---- per-connection I/O, by id (closes may remove entries).
-        for (conn_id, revents) in ready {
-            let mut dead = revents & (POLLERR | POLLHUP) != 0 && revents & POLLIN == 0;
-            if !dead && revents & POLLIN != 0 && !stopping {
-                dead = read_ready(&mut conns, conn_id, &mut scratch);
+        // ---- per-connection I/O, merged by id (a connection may appear
+        // under several touch sources in one iteration).
+        touched.sort_unstable_by_key(|t| t.0);
+        let mut i = 0;
+        while i < touched.len() {
+            let id = touched[i].0;
+            let (mut readable, mut writable, mut error) = (false, false, false);
+            while i < touched.len() && touched[i].0 == id {
+                readable |= touched[i].1;
+                writable |= touched[i].2;
+                error |= touched[i].3;
+                i += 1;
+            }
+            if !conns.contains_key(&id) {
+                continue;
+            }
+            let mut dead = error && !readable;
+            if !dead && readable && !stopping {
+                dead = read_ready(&mut conns, id, &mut scratch);
             }
             // Admit whatever is buffered (also after completions freed
             // slots with no new socket readiness).
             if !dead && !stopping {
-                dead = pump_conn(shared, &mut conns, conn_id, &mut shed);
+                let (died, leftover) = pump_conn(shard, router, service, &mut conns, id, &mut shed);
+                dead = died;
+                if leftover {
+                    repump.push(id);
+                }
             }
             if !dead {
-                dead = write_ready(&mut conns, conn_id);
+                dead = write_ready(&mut conns, id);
             }
+            let _ = writable; // write_ready flushes whenever bytes are pending
             if dead {
-                close_conn(shared, &mut conns, conn_id);
+                close_conn(&mut *poller, router, &mut conns, id);
+            } else {
+                update_interest(&mut *poller, router, &mut conns, id, stopping);
             }
         }
 
         // ---- shutdown: once requested, wait for in-flight work, then
         // flush every writer before returning.
         if stopping {
-            let idle = shared.queue.global_in_flight() == 0;
-            let flushed =
-                conns.iter().all(|c| c.writer.is_empty()) && shared.completions.lock().is_empty();
+            if drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + std::time::Duration::from_secs(5));
+            }
+            let idle = router.queue.global_in_flight() == 0;
+            let flushed = conns.values().all(|c| c.writer.is_empty())
+                && router.shards[shard].completions.lock().is_empty();
             let expired = drain_deadline.is_some_and(|d| Instant::now() >= d);
             if (idle && flushed) || expired {
-                return Ok(ReactorReport {
-                    served: shared.served.load(Ordering::Relaxed),
-                    shed,
-                });
+                return Ok(shed);
             }
         }
     }
 }
 
+/// Accept until `WouldBlock`, assigning each socket to the least-loaded
+/// shard — locally when that is us, else via the target's inbox + wake.
+fn accept_balance(
+    listener: &TcpListener,
+    shard: usize,
+    router: &Arc<Router>,
+    poller: &mut dyn Poller,
+    conns: &mut HashMap<u64, Conn>,
+    next_seq: &mut u64,
+    touched: &mut Vec<(u64, bool, bool, bool)>,
+) -> io::Result<()> {
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                stream.set_nonblocking(true)?;
+                stream.set_nodelay(true).ok();
+                let target = router
+                    .shards
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, port)| port.conn_count.load(Ordering::Relaxed))
+                    .map_or(shard, |(index, _)| index);
+                // Count at handoff, not adoption, so a burst of accepts
+                // spreads instead of dogpiling the emptiest shard.
+                router.shards[target]
+                    .conn_count
+                    .fetch_add(1, Ordering::Relaxed);
+                if target == shard {
+                    adopt(poller, router, conns, next_seq, shard, stream, touched);
+                } else {
+                    router.shards[target].inbox.lock().push(stream);
+                    router.shards[target].wake();
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Take ownership of an accepted socket on this shard: register its fd
+/// and start reading. A failed registration drops the socket, not the
+/// shard.
+fn adopt(
+    poller: &mut dyn Poller,
+    router: &Arc<Router>,
+    conns: &mut HashMap<u64, Conn>,
+    next_seq: &mut u64,
+    shard: usize,
+    stream: TcpStream,
+    touched: &mut Vec<(u64, bool, bool, bool)>,
+) {
+    let id = ((shard as u64) << SHARD_SHIFT) | *next_seq;
+    *next_seq += 1;
+    if stream.set_nonblocking(true).is_err()
+        || poller
+            .register(stream.as_raw_fd(), id, Interest::READ)
+            .is_err()
+    {
+        router.shards[shard]
+            .conn_count
+            .fetch_sub(1, Ordering::Relaxed);
+        return;
+    }
+    conns.insert(
+        id,
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            writer: WriteQueue::new(),
+            interest: Interest::READ,
+        },
+    );
+    // Probe immediately: bytes may have raced ahead of registration.
+    touched.push((id, true, false, false));
+}
+
 /// Read until `WouldBlock`, buffering into the connection's
 /// [`FrameReader`]. Returns `true` when the connection died.
-fn read_ready(conns: &mut [Conn], conn_id: u64, scratch: &mut [u8]) -> bool {
-    let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) else {
+fn read_ready(conns: &mut HashMap<u64, Conn>, conn_id: u64, scratch: &mut [u8]) -> bool {
+    let Some(conn) = conns.get_mut(&conn_id) else {
         return false;
     };
     loop {
@@ -343,60 +650,75 @@ fn read_ready(conns: &mut [Conn], conn_id: u64, scratch: &mut [u8]) -> bool {
 }
 
 /// Parse and admit buffered frames while the connection has pipeline
-/// slots. Returns `true` when the connection died (corrupt stream).
+/// slots and fairness budget. Returns `(died, leftover)`: `died` when
+/// the stream is corrupt, `leftover` when admissible frames remain
+/// after the budget ran out (the caller re-pumps next iteration).
 fn pump_conn<SVC: Service>(
-    shared: &Shared<'_, SVC>,
-    conns: &mut [Conn],
+    shard: usize,
+    router: &Arc<Router>,
+    service: &SVC,
+    conns: &mut HashMap<u64, Conn>,
     conn_id: u64,
     shed: &mut u64,
-) -> bool {
-    let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) else {
-        return false;
+) -> (bool, bool) {
+    let Some(conn) = conns.get_mut(&conn_id) else {
+        return (false, false);
     };
+    let mut budget = DRAIN_BUDGET;
     loop {
         // Backpressure: leave complete frames buffered while the
         // connection is at its pipeline bound.
-        if shared.queue.conn_in_flight(conn_id) >= shared.config.per_conn_depth {
-            return false;
+        if router.queue.conn_in_flight(conn_id) >= router.per_conn_depth {
+            return (false, false);
+        }
+        if budget == 0 {
+            // Fairness bound reached: siblings get the shard before the
+            // rest of this pipeline burst is admitted. A buffered error
+            // also re-pumps, so the next pass reports it as death.
+            return (false, matches!(conn.reader.has_frame(), Ok(true) | Err(_)));
         }
         let payload = match conn.reader.next_frame() {
             Ok(Some(payload)) => payload,
-            Ok(None) => return false,
+            Ok(None) => return (false, false),
             // Hostile length prefix — the stream is unrecoverable.
-            Err(_) => return true,
+            Err(_) => return (true, false),
         };
+        budget -= 1;
         let (corr, body) = match split_frame_v2(&payload) {
             Ok(Some((corr, body))) => (Some(corr), body.to_vec()),
             Ok(None) => (None, payload),
             // Truncated v2 header — desynchronised stream.
-            Err(_) => return true,
+            Err(_) => return (true, false),
         };
         let job = Job {
             corr,
             body,
             admitted: Instant::now(),
         };
-        match shared.queue.push(conn_id, job) {
+        match router.queue.push(conn_id, job) {
             Push::Granted => {}
             Push::GlobalFull => {
                 *shed += 1;
-                let reply = shared.service.overloaded();
+                if let Some(metrics) = &router.metrics {
+                    metrics.record_shard_shed(shard);
+                }
+                let reply = service.overloaded();
                 let framed = match corr {
                     Some(corr) => encode_frame_v2(corr, &reply),
                     None => reply,
                 };
                 if conn.writer.push_frame(&framed).is_err() {
-                    return true;
+                    return (true, false);
                 }
             }
-            Push::Closed => return true,
+            Push::Closed => return (true, false),
         }
     }
 }
 
 /// Flush the connection's write queue. Returns `true` when it died.
-fn write_ready(conns: &mut [Conn], conn_id: u64) -> bool {
-    let Some(conn) = conns.iter_mut().find(|c| c.id == conn_id) else {
+fn write_ready(conns: &mut HashMap<u64, Conn>, conn_id: u64) -> bool {
+    let Some(conn) = conns.get_mut(&conn_id) else {
         return false;
     };
     if conn.writer.is_empty() {
@@ -405,7 +727,48 @@ fn write_ready(conns: &mut [Conn], conn_id: u64) -> bool {
     conn.writer.write_to(&mut conn.stream).is_err()
 }
 
-fn close_conn<SVC: Service>(shared: &Shared<'_, SVC>, conns: &mut Vec<Conn>, conn_id: u64) {
-    shared.queue.close_conn(conn_id);
-    conns.retain(|c| c.id != conn_id);
+/// Reconcile the poller's persistent registration with what the
+/// connection now needs: read interest unless backpressured or
+/// stopping, write interest while bytes are pending.
+fn update_interest(
+    poller: &mut dyn Poller,
+    router: &Arc<Router>,
+    conns: &mut HashMap<u64, Conn>,
+    conn_id: u64,
+    stopping: bool,
+) {
+    let Some(conn) = conns.get_mut(&conn_id) else {
+        return;
+    };
+    let desired = Interest {
+        readable: !stopping && router.queue.conn_in_flight(conn_id) < router.per_conn_depth,
+        writable: !conn.writer.is_empty(),
+    };
+    if desired != conn.interest {
+        if poller
+            .reregister(conn.stream.as_raw_fd(), conn_id, desired)
+            .is_err()
+        {
+            close_conn(poller, router, conns, conn_id);
+            return;
+        }
+        if let Some(conn) = conns.get_mut(&conn_id) {
+            conn.interest = desired;
+        }
+    }
+}
+
+fn close_conn(
+    poller: &mut dyn Poller,
+    router: &Arc<Router>,
+    conns: &mut HashMap<u64, Conn>,
+    conn_id: u64,
+) {
+    if let Some(conn) = conns.remove(&conn_id) {
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+        router.shards[conn_shard(conn_id)]
+            .conn_count
+            .fetch_sub(1, Ordering::Relaxed);
+        router.queue.close_conn(conn_id);
+    }
 }

@@ -1,12 +1,24 @@
-//! The one raw syscall the reactor needs: `poll(2)`.
+//! Raw readiness syscalls and the [`Poller`] abstraction over them.
 //!
 //! The workspace is dependency-free, so readiness notification cannot
-//! come from `mio`/`libc`; instead this module declares the `poll`
-//! symbol (part of every libc the workspace can link against) and wraps
-//! it in a safe, `EINTR`-retrying function over a `#[repr(C)]` fd set.
-//! This is the only module in the workspace allowed to contain `unsafe`
-//! — everything above it works with safe [`poll`] calls on
-//! [`PollFd`] slices.
+//! come from `mio`/`libc`; instead this module declares the handful of
+//! symbols it needs (part of every libc the workspace can link against)
+//! and wraps them in safe types. This is the only module in the
+//! workspace allowed to contain `unsafe` — everything above it works
+//! with the safe [`Poller`] trait.
+//!
+//! Two backends implement [`Poller`]:
+//!
+//! - [`Backend::Epoll`] / [`Backend::EpollEdge`] (Linux): persistent fd
+//!   registration in a kernel interest list; `epoll_wait` returns only
+//!   the ready descriptors, so a quiet connection costs nothing per
+//!   iteration. `Epoll` is level-triggered; `EpollEdge` arms
+//!   `EPOLLET`, which the reactor's drain-until-`WouldBlock` reads and
+//!   writes make safe.
+//! - [`Backend::Poll`] (portable fallback): the original `poll(2)`
+//!   path, rebuilding the fd array from the registration table on every
+//!   [`wait`](Poller::wait) — O(fds) per iteration, but runs on any
+//!   POSIX system.
 #![allow(unsafe_code)]
 
 use std::io;
@@ -81,6 +93,385 @@ pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
     }
 }
 
+// ----------------------------------------------------------------------
+// The Poller trait
+// ----------------------------------------------------------------------
+
+/// Which readiness conditions a registration watches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the fd has readable data (or a pending accept).
+    pub readable: bool,
+    /// Wake when the fd can be written without blocking.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// No interest: the fd stays registered (errors/hangups still
+    /// surface) but neither data nor write space wakes the loop.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable (data, accept, or EOF pending).
+    pub readable: bool,
+    /// Writable without blocking.
+    pub writable: bool,
+    /// Error or hangup reported by the kernel.
+    pub error: bool,
+}
+
+/// Readiness multiplexing behind a backend-neutral interface: register
+/// fds once under a caller-chosen token, then [`wait`](Poller::wait)
+/// repeatedly. Implementations: epoll (persistent kernel interest
+/// list) and `poll(2)` (portable rebuild-per-wait fallback).
+pub trait Poller: Send {
+    /// Start watching `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    /// Kernel registration failure (bad fd, duplicate registration).
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Change the interest set (and token) of an already-registered fd.
+    ///
+    /// # Errors
+    /// Kernel failure, or the fd was never registered.
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Stop watching `fd` entirely.
+    ///
+    /// # Errors
+    /// Kernel failure; an unknown fd is *not* an error (close races).
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+
+    /// Clear `events` and fill it with ready registrations, blocking up
+    /// to `timeout_ms` milliseconds (0 = poll without blocking).
+    ///
+    /// # Errors
+    /// A fatal readiness-syscall failure (`EINTR` is retried inside).
+    fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()>;
+}
+
+/// Which [`Poller`] implementation a reactor shard uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll`, level-triggered (the default on Linux).
+    Epoll,
+    /// Linux `epoll` with `EPOLLET` (edge-triggered) connection
+    /// registrations.
+    EpollEdge,
+    /// Portable `poll(2)`: the fd array is rebuilt every wait.
+    Poll,
+}
+
+impl Default for Backend {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            Backend::Epoll
+        } else {
+            Backend::Poll
+        }
+    }
+}
+
+impl Backend {
+    /// Parse a CLI-style backend name (`epoll`, `epoll-edge`, `poll`).
+    ///
+    /// # Errors
+    /// Returns the unrecognised name.
+    pub fn parse(name: &str) -> Result<Backend, String> {
+        match name {
+            "epoll" => Ok(Backend::Epoll),
+            "epoll-edge" => Ok(Backend::EpollEdge),
+            "poll" => Ok(Backend::Poll),
+            other => Err(format!(
+                "unknown poller backend {other:?} (expected epoll, epoll-edge, or poll)"
+            )),
+        }
+    }
+}
+
+/// Construct the poller for `backend`. On non-Linux targets the epoll
+/// backends quietly fall back to `poll(2)` — same trait, same
+/// semantics, linear wait cost.
+///
+/// # Errors
+/// Kernel failure creating the epoll instance.
+pub fn new_poller(backend: Backend) -> io::Result<Box<dyn Poller>> {
+    match backend {
+        Backend::Poll => Ok(Box::new(PollPoller::new())),
+        #[cfg(target_os = "linux")]
+        Backend::Epoll => Ok(Box::new(EpollPoller::new(false)?)),
+        #[cfg(target_os = "linux")]
+        Backend::EpollEdge => Ok(Box::new(EpollPoller::new(true)?)),
+        #[cfg(not(target_os = "linux"))]
+        Backend::Epoll | Backend::EpollEdge => Ok(Box::new(PollPoller::new())),
+    }
+}
+
+// ----------------------------------------------------------------------
+// poll(2) backend
+// ----------------------------------------------------------------------
+
+/// The portable fallback: a registration table flattened into a fresh
+/// `pollfd` array on every wait (the O(fds) rebuild the epoll backend
+/// exists to avoid).
+struct PollPoller {
+    entries: Vec<(RawFd, u64, Interest)>,
+    fds: Vec<PollFd>,
+}
+
+impl PollPoller {
+    fn new() -> Self {
+        PollPoller {
+            entries: Vec::new(),
+            fds: Vec::new(),
+        }
+    }
+}
+
+impl Poller for PollPoller {
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if self.entries.iter().any(|&(f, _, _)| f == fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.entries.push((fd, token, interest));
+        Ok(())
+    }
+
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|(f, _, _)| *f == fd)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+        entry.1 = token;
+        entry.2 = interest;
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        self.entries.retain(|&(f, _, _)| f != fd);
+        Ok(())
+    }
+
+    fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        events.clear();
+        self.fds.clear();
+        for &(fd, _, interest) in &self.entries {
+            let mut bits = 0i16;
+            if interest.readable {
+                bits |= POLLIN;
+            }
+            if interest.writable {
+                bits |= POLLOUT;
+            }
+            self.fds.push(PollFd::new(fd, bits));
+        }
+        let ready = poll_fds(&mut self.fds, timeout_ms)?;
+        if ready == 0 {
+            return Ok(());
+        }
+        for (entry, fd) in self.entries.iter().zip(self.fds.iter()) {
+            if fd.revents != 0 {
+                events.push(Event {
+                    token: entry.1,
+                    readable: fd.has(POLLIN),
+                    writable: fd.has(POLLOUT),
+                    error: fd.has(POLLERR | POLLHUP),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------------
+// epoll backend (Linux)
+// ----------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Interest, Poller};
+    use std::io;
+    use std::os::fd::RawFd;
+
+    const EPOLL_CLOEXEC: i32 = 0x8_0000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLET: u32 = 1 << 31;
+
+    /// Layout-identical to the kernel's `struct epoll_event`, which is
+    /// `__attribute__((packed))` on x86-64.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// The Linux backend: one epoll instance per reactor shard with
+    /// persistent registrations — `wait` returns only ready fds, so
+    /// idle connections cost nothing per iteration.
+    pub(super) struct EpollPoller {
+        epfd: RawFd,
+        edge: bool,
+        buf: Vec<EpollEvent>,
+    }
+
+    impl EpollPoller {
+        pub(super) fn new(edge: bool) -> io::Result<Self> {
+            // SAFETY: epoll_create1 takes a flags word and returns a
+            // fresh fd (or -1); no memory is passed to the kernel.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(EpollPoller {
+                epfd,
+                edge,
+                buf: vec![EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+
+        fn bits(&self, interest: Interest) -> u32 {
+            let mut events = 0u32;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            if self.edge {
+                events |= EPOLLET;
+            }
+            events
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+            let mut ev = event.unwrap_or(EpollEvent { events: 0, data: 0 });
+            // SAFETY: `ev` is a valid, exclusively borrowed
+            // `#[repr(C, packed)]` struct matching the kernel's
+            // epoll_event layout; the kernel only reads it (and ignores
+            // the pointer entirely for EPOLL_CTL_DEL on modern kernels,
+            // where passing a valid dummy is still correct).
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is a live epoll fd owned exclusively by
+            // this poller; closing it at most once is the Drop contract.
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+
+    impl Poller for EpollPoller {
+        fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: self.bits(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_ADD, fd, Some(ev))
+        }
+
+        fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let ev = EpollEvent {
+                events: self.bits(interest),
+                data: token,
+            };
+            self.ctl(EPOLL_CTL_MOD, fd, Some(ev))
+        }
+
+        fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            match self.ctl(EPOLL_CTL_DEL, fd, None) {
+                // A close may already have removed the fd from the
+                // interest list; deregistering it again is not a bug.
+                Err(e) if e.raw_os_error() == Some(2) || e.raw_os_error() == Some(9) => Ok(()),
+                other => other,
+            }
+        }
+
+        fn wait(&mut self, events: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+            events.clear();
+            let ready = loop {
+                // SAFETY: `buf` is a valid, exclusively borrowed slice
+                // of `#[repr(C, packed)]` epoll_event structs; the
+                // kernel writes at most `buf.len()` entries and returns
+                // how many.
+                let rc = unsafe {
+                    epoll_wait(
+                        self.epfd,
+                        self.buf.as_mut_ptr(),
+                        i32::try_from(self.buf.len()).unwrap_or(i32::MAX),
+                        timeout_ms,
+                    )
+                };
+                if rc >= 0 {
+                    break rc as usize;
+                }
+                let err = io::Error::last_os_error();
+                if err.kind() != io::ErrorKind::Interrupted {
+                    return Err(err);
+                }
+            };
+            for ev in &self.buf[..ready] {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            // A full buffer means more fds may be ready; grow so the
+            // next wait drains them in one call.
+            if ready == self.buf.len() {
+                self.buf
+                    .resize(self.buf.len() * 2, EpollEvent { events: 0, data: 0 });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+use epoll::EpollPoller;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +506,56 @@ mod tests {
         let ready = poll_fds(&mut fds, 1000).unwrap();
         assert_eq!(ready, 1);
         assert!(fds[0].has(POLLIN | POLLHUP));
+    }
+
+    /// Every backend reports the same readiness story for the same
+    /// socket activity: silent → timeout, write → readable on the right
+    /// token, hangup → error/readable, deregister → silence.
+    #[test]
+    fn backends_agree_on_readiness() {
+        for backend in [Backend::Poll, Backend::Epoll, Backend::EpollEdge] {
+            let mut poller = new_poller(backend).unwrap();
+            let mut events = Vec::new();
+            let (a, mut b) = UnixStream::pair().unwrap();
+            poller.register(a.as_raw_fd(), 7, Interest::READ).unwrap();
+
+            poller.wait(&mut events, 0).unwrap();
+            assert!(events.is_empty(), "{backend:?}: silent socket woke");
+
+            b.write_all(&[42]).unwrap();
+            poller.wait(&mut events, 1000).unwrap();
+            assert_eq!(events.len(), 1, "{backend:?}");
+            assert_eq!(events[0].token, 7, "{backend:?}");
+            assert!(events[0].readable, "{backend:?}");
+
+            // Writable interest on an idle socket fires immediately.
+            poller
+                .reregister(
+                    a.as_raw_fd(),
+                    9,
+                    Interest {
+                        readable: false,
+                        writable: true,
+                    },
+                )
+                .unwrap();
+            poller.wait(&mut events, 1000).unwrap();
+            assert!(
+                events.iter().any(|e| e.token == 9 && e.writable),
+                "{backend:?}: no writable event"
+            );
+
+            poller.deregister(a.as_raw_fd()).unwrap();
+            poller.wait(&mut events, 0).unwrap();
+            assert!(events.is_empty(), "{backend:?}: deregistered fd woke");
+        }
+    }
+
+    #[test]
+    fn backend_names_parse() {
+        assert_eq!(Backend::parse("epoll"), Ok(Backend::Epoll));
+        assert_eq!(Backend::parse("epoll-edge"), Ok(Backend::EpollEdge));
+        assert_eq!(Backend::parse("poll"), Ok(Backend::Poll));
+        assert!(Backend::parse("kqueue").is_err());
     }
 }

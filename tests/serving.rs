@@ -13,8 +13,9 @@ use std::time::Duration;
 use semtree_cluster::CostModel;
 use semtree_dist::{
     serve_clients_with, ClientReq, ClientResp, DistConfig, DistSemTree, NetClient, PipelinedClient,
-    Query, QueryOutcome, ServeOptions,
+    PollerBackend, Query, QueryOutcome, ServeOptions,
 };
+use semtree_reactor::DRAIN_BUDGET;
 
 fn sample_points(dims: usize, n: usize, seed: u64) -> Vec<Vec<f64>> {
     let mut state = seed;
@@ -140,6 +141,7 @@ fn queue_overflow_sheds_typed_overloaded_replies() {
         executors: 1,
         global_depth: 1,
         per_conn_depth: 64,
+        ..ServeOptions::default()
     };
     let (addr, handle) = spawn_server(tree, options);
 
@@ -173,6 +175,169 @@ fn queue_overflow_sheds_typed_overloaded_replies() {
     let q = &queries[0];
     let again = client.knn(q, k).expect("post-shed submit");
     assert!(again.wait_neighbors().is_ok() || shed == burst);
+
+    shutdown(addr, handle);
+}
+
+/// v1 (sequential, uncorrelated) and v2 (pipelined, correlated) framing
+/// interleaved on the same multi-shard epoll port: responses must route
+/// by connection and correlation id, never by arrival order.
+#[test]
+#[cfg(target_os = "linux")]
+fn v1_and_v2_clients_interleave_on_a_sharded_epoll_port() {
+    let k = 4;
+    let queries = sample_points(2, 24, 67);
+    let (tree, expected) = tree_with_reference(500, &queries, k);
+    let options = ServeOptions::default()
+        .with_reactors(2)
+        .with_backend(PollerBackend::Epoll);
+    let (addr, handle) = spawn_server(tree, options);
+
+    let mut v2 = PipelinedClient::connect(addr, Duration::from_secs(5)).expect("v2 connect");
+    let mut v1 = NetClient::connect(addr, Duration::from_secs(5)).expect("v1 connect");
+    let mut pending = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        // Submit pipelined, then complete a v1 round trip while the v2
+        // request is still in flight, then harvest — every iteration
+        // interleaves the two framings in both directions.
+        pending.push((i, v2.knn(q, k).expect("v2 submit")));
+        assert_eq!(v1.knn(q, k).expect("v1 knn"), expected[i], "v1 query {i}");
+        if i % 3 == 0 {
+            let (j, reply) = pending.remove(0);
+            let got = reply.wait_neighbors().expect("v2 reply");
+            assert_eq!(got, expected[j], "v2 query {j}");
+        }
+    }
+    for (j, reply) in pending {
+        let got = reply.wait_neighbors().expect("v2 reply");
+        assert_eq!(got, expected[j], "v2 query {j}");
+    }
+
+    shutdown(addr, handle);
+}
+
+/// One connection bursting far past the per-iteration drain budget must
+/// not starve a well-behaved sequential client on the same shard: the
+/// reactor admits at most `DRAIN_BUDGET` frames per connection per
+/// iteration and re-pumps the remainder, so the light client's requests
+/// interleave instead of queueing behind the whole flood.
+#[test]
+fn saturated_pipelined_connection_cannot_starve_a_light_one() {
+    let k = 3;
+    let queries = sample_points(2, 16, 71);
+    let (tree, expected) = tree_with_reference(400, &queries, k);
+    let flood = 6 * DRAIN_BUDGET;
+    // A single reactor shard (both connections share its event loop)
+    // with a per-connection window large enough to accept the whole
+    // flood — fairness must come from the drain budget, not admission
+    // backpressure.
+    let options = ServeOptions::default()
+        .with_reactors(1)
+        .with_per_conn_depth(flood)
+        .with_global_depth(4 * flood);
+    let (addr, handle) = spawn_server(tree, options);
+
+    let mut flooder = PipelinedClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    let burst: Vec<_> = (0..flood)
+        .map(|i| {
+            flooder
+                .knn(&queries[i % queries.len()], k)
+                .expect("flood submit")
+        })
+        .collect();
+    assert!(
+        burst.len() > DRAIN_BUDGET,
+        "the burst must exceed one drain budget to exercise re-pumping"
+    );
+
+    // While the flood is in flight, a v1 client completes full round
+    // trips; if the reactor drained the flooder's socket to exhaustion
+    // before servicing other connections, these would stall behind
+    // hundreds of queued executions.
+    let mut light = NetClient::connect(addr, Duration::from_secs(5)).expect("light connect");
+    for (i, q) in queries.iter().enumerate() {
+        assert_eq!(
+            light.knn(q, k).expect("light knn"),
+            expected[i],
+            "query {i}"
+        );
+    }
+
+    for (i, reply) in burst.into_iter().enumerate() {
+        let got = reply.wait_neighbors().expect("flood reply");
+        assert_eq!(got, expected[i % expected.len()], "flood query {i}");
+    }
+
+    shutdown(addr, handle);
+}
+
+/// Deliberate overload through the multi-shard epoll path: the global
+/// admission bound sheds with typed `Overloaded` replies, the shed
+/// counters attribute every shed to the owning shard, and the
+/// connection stays usable.
+#[test]
+#[cfg(target_os = "linux")]
+fn multi_shard_epoll_path_sheds_and_attributes_overload() {
+    let k = 8;
+    let queries = sample_points(2, 8, 79);
+    let (tree, _) = tree_with_reference(3_000, &queries, k);
+    let options = ServeOptions::default()
+        .with_reactors(2)
+        .with_backend(PollerBackend::Epoll)
+        .with_executors(1)
+        .with_global_depth(1)
+        .with_per_conn_depth(64);
+    let (addr, handle) = spawn_server(tree, options);
+
+    let mut client = PipelinedClient::connect(addr, Duration::from_secs(5)).expect("connect");
+    let heavy: Vec<Vec<f64>> = sample_points(2, 512, 83);
+    let burst = 48;
+    let pending: Vec<_> = (0..burst)
+        .map(|_| client.knn_batch(&heavy, k).expect("submit"))
+        .collect();
+
+    let mut served = 0u64;
+    let mut shed = 0u64;
+    for reply in pending {
+        match reply.wait().expect("reply") {
+            ClientResp::NeighborBatches(batches) => {
+                assert_eq!(batches.len(), heavy.len());
+                served += 1;
+            }
+            ClientResp::Overloaded => shed += 1,
+            other => panic!("unexpected reply under overload: {other:?}"),
+        }
+    }
+    assert_eq!(served + shed, burst);
+    assert!(served >= 1, "admitted requests must still be answered");
+    assert!(
+        shed >= 1,
+        "a 48-deep burst through a 1-slot queue must shed"
+    );
+
+    // The per-shard counters must account for exactly the sheds this
+    // (only) client observed, and the topology must report both shards.
+    let metrics = client.submit(&ClientReq::Metrics).expect("submit metrics");
+    match metrics.wait().expect("metrics reply") {
+        ClientResp::Metrics {
+            reactor_shards,
+            shard_served,
+            shard_shed,
+            ..
+        } => {
+            assert_eq!(reactor_shards, 2, "both reactor shards must report");
+            assert_eq!(
+                shard_shed.iter().sum::<u64>(),
+                shed,
+                "every shed must be attributed to its owning shard"
+            );
+            assert!(
+                shard_served.iter().sum::<u64>() >= served,
+                "served counters must cover the completed burst"
+            );
+        }
+        other => panic!("expected Metrics, got {other:?}"),
+    }
 
     shutdown(addr, handle);
 }
